@@ -1,0 +1,59 @@
+//===- bench/BenchTable.h - Plain-text table rendering ----------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_BENCH_BENCHTABLE_H
+#define REPRO_BENCH_BENCHTABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace repro::bench {
+
+/// Fixed-width text table; the benchmark binaries print these so their
+/// stdout reads like the paper's tables/figure series.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header)
+      : Columns(Header.size()) {
+    Rows.push_back(std::move(Header));
+  }
+
+  void addRow(std::vector<std::string> Row) {
+    Row.resize(Columns);
+    Rows.push_back(std::move(Row));
+  }
+
+  void print() const {
+    std::vector<std::size_t> Width(Columns, 0);
+    for (const auto &Row : Rows)
+      for (std::size_t C = 0; C < Columns; ++C)
+        Width[C] = std::max(Width[C], Row[C].size());
+    for (std::size_t R = 0; R < Rows.size(); ++R) {
+      std::string Line;
+      for (std::size_t C = 0; C < Columns; ++C) {
+        Line += Rows[R][C];
+        Line.append(Width[C] - Rows[R][C].size() + 2, ' ');
+      }
+      std::printf("%s\n", Line.c_str());
+      if (R == 0) {
+        std::string Rule;
+        for (std::size_t C = 0; C < Columns; ++C)
+          Rule.append(Width[C] + 2, '-');
+        std::printf("%s\n", Rule.c_str());
+      }
+    }
+  }
+
+private:
+  std::size_t Columns;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace repro::bench
+
+#endif // REPRO_BENCH_BENCHTABLE_H

@@ -1,0 +1,150 @@
+//===- bench/micro_runtime.cpp - Supporting microbenchmarks (E9) ------------===//
+//
+// google-benchmark microbenchmarks of the building blocks: fcreate/ftouch
+// round trips, suspension cost, the concurrency substrate (deque, MPMC
+// queue, hash map), Huffman throughput, and the λ⁴ᵢ abstract machine's
+// step rate. These put numbers behind the runtime the figures run on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppCommon.h"
+#include "apps/Huffman.h"
+#include "conc/ChaseLevDeque.h"
+#include "conc/ConcurrentHashMap.h"
+#include "conc/MpmcQueue.h"
+#include "icilk/Context.h"
+#include "lambda4i/Machine.h"
+#include "lambda4i/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace repro;
+
+ICILK_PRIORITY(Lo, icilk::BasePriority, 0);
+ICILK_PRIORITY(Hi, Lo, 1);
+
+void BM_FcreateFtouchRoundTrip(benchmark::State &State) {
+  icilk::RuntimeConfig C;
+  C.NumWorkers = 2;
+  C.NumLevels = 2;
+  icilk::Runtime Rt(C);
+  for (auto _ : State) {
+    auto F = icilk::fcreate<Hi>(Rt, [](icilk::Context<Hi> &) { return 1; });
+    benchmark::DoNotOptimize(icilk::touchFromOutside(Rt, F));
+  }
+}
+BENCHMARK(BM_FcreateFtouchRoundTrip);
+
+void BM_NestedTouchWithSuspension(benchmark::State &State) {
+  icilk::RuntimeConfig C;
+  C.NumWorkers = 1; // force the outer task to suspend
+  C.NumLevels = 1;
+  icilk::Runtime Rt(C);
+  for (auto _ : State) {
+    auto F = icilk::fcreate<Lo>(Rt, [](icilk::Context<Lo> &Ctx) {
+      auto Inner =
+          Ctx.fcreate<Lo>([](icilk::Context<Lo> &) { return 2; });
+      return Ctx.ftouch(Inner);
+    });
+    benchmark::DoNotOptimize(icilk::touchFromOutside(Rt, F));
+  }
+}
+BENCHMARK(BM_NestedTouchWithSuspension);
+
+void BM_SpawnBurst(benchmark::State &State) {
+  icilk::RuntimeConfig C;
+  C.NumWorkers = 4;
+  C.NumLevels = 1;
+  icilk::Runtime Rt(C);
+  const int Burst = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    for (int I = 0; I < Burst; ++I)
+      icilk::fcreate<Lo>(Rt, [](icilk::Context<Lo> &) {});
+    Rt.drain();
+  }
+  State.SetItemsProcessed(State.iterations() * Burst);
+}
+BENCHMARK(BM_SpawnBurst)->Arg(64)->Arg(512);
+
+void BM_DequePushPop(benchmark::State &State) {
+  conc::ChaseLevDeque<int> D;
+  for (auto _ : State) {
+    D.push(1);
+    benchmark::DoNotOptimize(D.pop());
+  }
+}
+BENCHMARK(BM_DequePushPop);
+
+void BM_MpmcPushPop(benchmark::State &State) {
+  conc::MpmcQueue<int> Q(1024);
+  for (auto _ : State) {
+    Q.tryPush(1);
+    benchmark::DoNotOptimize(Q.tryPop());
+  }
+}
+BENCHMARK(BM_MpmcPushPop);
+
+void BM_HashMapGetHit(benchmark::State &State) {
+  conc::ConcurrentHashMap<int, int> M;
+  for (int I = 0; I < 1024; ++I)
+    M.put(I, I);
+  int Key = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(M.get(Key));
+    Key = (Key + 7) & 1023;
+  }
+}
+BENCHMARK(BM_HashMapGetHit);
+
+void BM_HuffmanCompress(benchmark::State &State) {
+  Rng R(3);
+  std::string Text = apps::randomText(16384, R);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(apps::huffmanCompress(Text));
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(Text.size()));
+}
+BENCHMARK(BM_HuffmanCompress);
+
+void BM_HuffmanRoundTrip(benchmark::State &State) {
+  Rng R(3);
+  std::string Text = apps::randomText(16384, R);
+  for (auto _ : State) {
+    auto Blob = apps::huffmanCompress(Text);
+    benchmark::DoNotOptimize(apps::huffmanDecompress(Blob));
+  }
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(Text.size()));
+}
+BENCHMARK(BM_HuffmanRoundTrip);
+
+void BM_Lambda4iMachineSteps(benchmark::State &State) {
+  const char *Src = R"(
+priority p;
+fun sum (n : nat) : nat = ifz n then 0 else m. n + sum m;
+main at p {
+  a <- fcreate [p; nat] { ret (sum 30) };
+  b <- fcreate [p; nat] { ret (sum 30) };
+  x <- ftouch a;
+  y <- ftouch b;
+  ret x + y
+})";
+  auto Parsed = lambda4i::parseProgram(Src);
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    lambda4i::MachineConfig C;
+    C.P = 2;
+    auto R = lambda4i::runProgram(Parsed.Prog, C);
+    Steps += R.Steps;
+    benchmark::DoNotOptimize(R.Ok);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Steps));
+  State.SetLabel("items = machine parallel steps");
+}
+BENCHMARK(BM_Lambda4iMachineSteps);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+//===- apps/AppCommon.cpp - Shared case-study scaffolding -------------------===//
+
+#include "apps/AppCommon.h"
+
+#include "support/Timer.h"
+
+#include <array>
+#include <thread>
+
+namespace repro::apps {
+
+void sleepUntilMicros(uint64_t EpochMicros, uint64_t TargetMicros) {
+  uint64_t Deadline = EpochMicros + TargetMicros;
+  uint64_t Now = repro::nowMicros();
+  if (Now >= Deadline)
+    return;
+  std::this_thread::sleep_for(std::chrono::microseconds(Deadline - Now));
+}
+
+std::string randomText(std::size_t Bytes, repro::Rng &R) {
+  static constexpr std::array<const char *, 16> Words = {
+      "the",     "quick",  "server", "future",  "touch",   "priority",
+      "thread",  "cache",  "parallel", "respond", "request", "schedule",
+      "message", "signal", "worker", "deadline"};
+  std::string Out;
+  Out.reserve(Bytes + 12);
+  while (Out.size() < Bytes) {
+    Out += Words[R.nextBelow(Words.size())];
+    Out += ' ';
+  }
+  return Out;
+}
+
+} // namespace repro::apps

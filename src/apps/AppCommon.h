@@ -1,0 +1,116 @@
+//===- apps/AppCommon.h - Shared case-study scaffolding ---------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// Report structure and workload helpers shared by the three case studies
+// (proxy, email, jserver). Each app runs its server on an I-Cilk runtime —
+// priority-aware or the Cilk-F-like oblivious baseline — while a driver
+// thread plays the clients, and returns per-priority-level response and
+// compute time summaries (the raw material of Figs. 13 and 14).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_APPS_APPCOMMON_H
+#define REPRO_APPS_APPCOMMON_H
+
+#include "icilk/Context.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace repro::apps {
+
+/// Per-level measurement summary of one app run.
+struct AppReport {
+  std::vector<std::string> LevelNames;              ///< index = level
+  std::vector<repro::LatencySummary> Response;      ///< create → finish (µs)
+  std::vector<repro::LatencySummary> Compute;       ///< start → finish (µs)
+  std::vector<repro::LatencySummary> QueueWait;     ///< create → start (µs)
+  repro::LatencySummary EndToEnd;  ///< request arrival → final reply (µs)
+  uint64_t Requests = 0;
+  double WallMillis = 0;
+  /// Σ compute / (wall × effective cores), where effective cores =
+  /// min(workers, hardware threads) — on this 1-core box, 8 oversubscribed
+  /// workers still provide only one core of computation.
+  double UtilizationApprox = 0;
+};
+
+/// Harvests per-level summaries out of a drained runtime.
+inline AppReport collectReport(icilk::Runtime &Rt,
+                               std::vector<std::string> LevelNames,
+                               double WallMillis) {
+  AppReport Report;
+  Report.LevelNames = std::move(LevelNames);
+  Report.WallMillis = WallMillis;
+  for (unsigned L = 0; L < Rt.config().NumLevels; ++L) {
+    auto &S = Rt.levelStats(L);
+    Report.Response.push_back(S.Response.summary());
+    Report.Compute.push_back(S.Compute.summary());
+    Report.QueueWait.push_back(S.QueueWait.summary());
+  }
+  double BusyMicros = static_cast<double>(Rt.totalWorkNanos()) / 1000.0;
+  // Worker-pool occupancy: slices are wall time on (possibly
+  // oversubscribed) workers, so normalize by the pool size.
+  double WallMicros = WallMillis * 1000.0;
+  if (WallMicros > 0)
+    Report.UtilizationApprox =
+        BusyMicros / (WallMicros * Rt.config().NumWorkers);
+  return Report;
+}
+
+/// A merged Poisson arrival stream over \p Sources independent sources,
+/// each with mean inter-arrival \p MeanMicros. next() returns the absolute
+/// microsecond timestamp (from 0) and the source index of the next event.
+class PoissonArrivals {
+public:
+  PoissonArrivals(std::size_t Sources, double MeanMicros, repro::Rng &R)
+      : R(R) {
+    NextAt.reserve(Sources);
+    for (std::size_t I = 0; I < Sources; ++I)
+      NextAt.push_back(draw(MeanMicros));
+    Mean = MeanMicros;
+  }
+
+  struct Event {
+    uint64_t AtMicros;
+    std::size_t Source;
+  };
+
+  Event next() {
+    std::size_t Best = 0;
+    for (std::size_t I = 1; I < NextAt.size(); ++I)
+      if (NextAt[I] < NextAt[Best])
+        Best = I;
+    Event E{NextAt[Best], Best};
+    NextAt[Best] += draw(Mean);
+    return E;
+  }
+
+private:
+  uint64_t draw(double MeanMicros) {
+    return static_cast<uint64_t>(R.nextExponential(1.0 / MeanMicros)) + 1;
+  }
+
+  repro::Rng &R;
+  std::vector<uint64_t> NextAt;
+  double Mean = 0;
+};
+
+/// Sleeps the driver thread until \p TargetMicros after \p EpochMicros
+/// (absolute, from nowMicros()).
+void sleepUntilMicros(uint64_t EpochMicros, uint64_t TargetMicros);
+
+/// Generates pseudo-English text of roughly \p Bytes bytes (compressible,
+/// like email bodies).
+std::string randomText(std::size_t Bytes, repro::Rng &R);
+
+} // namespace repro::apps
+
+#endif // REPRO_APPS_APPCOMMON_H

@@ -1,0 +1,75 @@
+//===- apps/Email.h - The multi-user email-client case study ----*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The second case study of Sec. 5.1: a shared email client where users
+// sort, send, and print messages while a background pass compresses
+// mailboxes with Huffman codes. Six priority levels, highest to lowest:
+//
+//   a) EmailLoop — event loop handling user requests;
+//   b) EmailSend — sends email;
+//   c) EmailSort — sorts mailboxes;
+//   d) EmailWork — compress and print (they coordinate with each other);
+//   e) EmailCheck — periodically fires compression;
+//   f) EmailMain — shutdown.
+//
+// The paper's centerpiece interaction is reproduced exactly: each email
+// carries a slot holding the handle of any in-flight print/compress
+// thread. A new print/compress atomically exchanges its *own* handle into
+// the slot (fcreateSelf gives the body its handle) and ftouches the
+// previous occupant, so the two operations serialize per email through
+// futures stored in mutable state — the λ⁴ᵢ pattern that motivates the
+// whole paper.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_APPS_EMAIL_H
+#define REPRO_APPS_EMAIL_H
+
+#include "apps/AppCommon.h"
+
+namespace repro::apps {
+
+ICILK_PRIORITY(EmailMain, icilk::BasePriority, 0);
+ICILK_PRIORITY(EmailCheck, EmailMain, 1);
+ICILK_PRIORITY(EmailWork, EmailCheck, 2);
+ICILK_PRIORITY(EmailSort, EmailWork, 3);
+ICILK_PRIORITY(EmailSend, EmailSort, 4);
+ICILK_PRIORITY(EmailLoop, EmailSend, 5);
+
+/// Email state values returned by the coordinated operations (the paper's
+/// DECOMPRESSED/COMPRESSED constants).
+inline constexpr int Decompressed = 0;
+inline constexpr int Compressed = 1;
+
+struct EmailConfig {
+  unsigned Users = 90;
+  unsigned EmailsPerUser = 12;
+  std::size_t EmailBytes = 4096;
+  uint64_t DurationMillis = 1000;
+  double RequestIntervalMicros = 20000; ///< mean per-user request gap
+  uint64_t SendLatencyMicros = 800;     ///< SMTP-ish write
+  uint64_t PrinterLatencyMicros = 1200; ///< printer write
+  uint64_t CheckPeriodMicros = 15000;   ///< background check cadence
+  unsigned CompressBatch = 2;           ///< emails compressed per check hit
+  uint64_t HandleComputeMicros = 25;    ///< event-loop work per request
+  uint64_t Seed = 1;
+  icilk::RuntimeConfig Rt{.NumWorkers = 8, .NumLevels = 6};
+};
+
+struct EmailReport {
+  AppReport App;
+  uint64_t Sends = 0, Sorts = 0, Prints = 0, Compressions = 0;
+  uint64_t SlotConflicts = 0; ///< print/compress found an in-flight peer
+  uint64_t BytesSaved = 0;    ///< by compression
+};
+
+/// Runs the email server (Config.Rt.PriorityAware=false for the baseline).
+EmailReport runEmail(const EmailConfig &Config);
+
+} // namespace repro::apps
+
+#endif // REPRO_APPS_EMAIL_H

@@ -1,0 +1,191 @@
+//===- apps/Huffman.cpp - Huffman coding for the email case study ----------===//
+
+#include "apps/Huffman.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <queue>
+
+namespace repro::apps {
+
+namespace {
+
+struct Node {
+  uint64_t Freq;
+  int Symbol;      // -1 for internal
+  int Left = -1, Right = -1;
+};
+
+/// Computes code lengths via the classic two-queue/heap tree construction.
+std::array<uint8_t, 256> codeLengths(const std::array<uint64_t, 256> &Freq) {
+  std::vector<Node> Nodes;
+  auto Cmp = [&Nodes](int A, int B) { return Nodes[A].Freq > Nodes[B].Freq; };
+  std::priority_queue<int, std::vector<int>, decltype(Cmp)> Heap(Cmp);
+  for (int S = 0; S < 256; ++S)
+    if (Freq[S]) {
+      Nodes.push_back({Freq[S], S});
+      Heap.push(static_cast<int>(Nodes.size()) - 1);
+    }
+  std::array<uint8_t, 256> Lengths{};
+  if (Nodes.empty())
+    return Lengths;
+  if (Nodes.size() == 1) { // degenerate: single distinct byte
+    Lengths[Nodes[0].Symbol] = 1;
+    return Lengths;
+  }
+  while (Heap.size() > 1) {
+    int A = Heap.top();
+    Heap.pop();
+    int B = Heap.top();
+    Heap.pop();
+    Nodes.push_back({Nodes[A].Freq + Nodes[B].Freq, -1, A, B});
+    Heap.push(static_cast<int>(Nodes.size()) - 1);
+  }
+  // Depth-first depth assignment.
+  struct Item {
+    int Index;
+    uint8_t Depth;
+  };
+  std::vector<Item> Stack{{Heap.top(), 0}};
+  while (!Stack.empty()) {
+    auto [I, D] = Stack.back();
+    Stack.pop_back();
+    const Node &N = Nodes[I];
+    if (N.Symbol >= 0) {
+      Lengths[N.Symbol] = std::max<uint8_t>(D, 1);
+      continue;
+    }
+    Stack.push_back({N.Left, static_cast<uint8_t>(D + 1)});
+    Stack.push_back({N.Right, static_cast<uint8_t>(D + 1)});
+  }
+  return Lengths;
+}
+
+/// Canonical codes from lengths: symbols sorted by (length, value).
+std::array<uint32_t, 256> canonicalCodes(const std::vector<uint8_t> &Lengths) {
+  std::vector<int> Symbols;
+  for (int S = 0; S < 256; ++S)
+    if (Lengths[S])
+      Symbols.push_back(S);
+  std::sort(Symbols.begin(), Symbols.end(), [&](int A, int B) {
+    return Lengths[A] != Lengths[B] ? Lengths[A] < Lengths[B] : A < B;
+  });
+  std::array<uint32_t, 256> Codes{};
+  uint32_t Code = 0;
+  uint8_t PrevLen = 0;
+  for (int S : Symbols) {
+    Code <<= (Lengths[S] - PrevLen);
+    Codes[S] = Code;
+    ++Code;
+    PrevLen = Lengths[S];
+  }
+  return Codes;
+}
+
+class BitWriter {
+public:
+  void append(uint32_t Code, uint8_t Len) {
+    for (int B = Len - 1; B >= 0; --B) {
+      if (BitPos % 8 == 0)
+        Bytes.push_back(0);
+      if ((Code >> B) & 1u)
+        Bytes.back() |= static_cast<uint8_t>(1u << (7 - BitPos % 8));
+      ++BitPos;
+    }
+  }
+  std::vector<uint8_t> take() { return std::move(Bytes); }
+  uint64_t bitCount() const { return BitPos; }
+
+private:
+  std::vector<uint8_t> Bytes;
+  uint64_t BitPos = 0;
+};
+
+} // namespace
+
+HuffmanBlob huffmanCompress(const std::string &Input) {
+  HuffmanBlob Blob;
+  Blob.CodeLengths.assign(256, 0);
+  Blob.OriginalSize = Input.size();
+  if (Input.empty())
+    return Blob;
+
+  std::array<uint64_t, 256> Freq{};
+  for (unsigned char C : Input)
+    ++Freq[C];
+  auto Lengths = codeLengths(Freq);
+  Blob.CodeLengths.assign(Lengths.begin(), Lengths.end());
+  auto Codes = canonicalCodes(Blob.CodeLengths);
+
+  BitWriter Writer;
+  for (unsigned char C : Input)
+    Writer.append(Codes[C], Lengths[C]);
+  Blob.BitCount = Writer.bitCount();
+  Blob.Bits = Writer.take();
+  return Blob;
+}
+
+std::optional<std::string> huffmanDecompress(const HuffmanBlob &Blob) {
+  if (Blob.OriginalSize == 0)
+    return std::string();
+  if (Blob.CodeLengths.size() != 256)
+    return std::nullopt;
+  auto Codes = canonicalCodes(Blob.CodeLengths);
+
+  // Build a (length, code) -> symbol table; decoding walks bit by bit,
+  // extending the candidate code until it matches.
+  struct Entry {
+    uint8_t Len;
+    uint32_t Code;
+    unsigned char Symbol;
+  };
+  std::vector<Entry> Table;
+  uint8_t MaxLen = 0;
+  for (int S = 0; S < 256; ++S)
+    if (Blob.CodeLengths[S]) {
+      Table.push_back({Blob.CodeLengths[S], Codes[S],
+                       static_cast<unsigned char>(S)});
+      MaxLen = std::max(MaxLen, Blob.CodeLengths[S]);
+    }
+  if (Table.empty())
+    return std::nullopt;
+  std::sort(Table.begin(), Table.end(), [](const Entry &A, const Entry &B) {
+    return A.Len != B.Len ? A.Len < B.Len : A.Code < B.Code;
+  });
+
+  std::string Out;
+  Out.reserve(Blob.OriginalSize);
+  uint32_t Acc = 0;
+  uint8_t AccLen = 0;
+  std::size_t TableFrom = 0;
+  for (uint64_t BitIndex = 0; BitIndex < Blob.BitCount; ++BitIndex) {
+    std::size_t Byte = static_cast<std::size_t>(BitIndex / 8);
+    if (Byte >= Blob.Bits.size())
+      return std::nullopt;
+    unsigned Bit = (Blob.Bits[Byte] >> (7 - BitIndex % 8)) & 1u;
+    Acc = (Acc << 1) | Bit;
+    ++AccLen;
+    if (AccLen > MaxLen)
+      return std::nullopt;
+    // Scan entries of exactly AccLen (table sorted by length).
+    while (TableFrom < Table.size() && Table[TableFrom].Len < AccLen)
+      ++TableFrom;
+    for (std::size_t I = TableFrom;
+         I < Table.size() && Table[I].Len == AccLen; ++I)
+      if (Table[I].Code == Acc) {
+        Out.push_back(static_cast<char>(Table[I].Symbol));
+        Acc = 0;
+        AccLen = 0;
+        TableFrom = 0;
+        break;
+      }
+    if (Out.size() == Blob.OriginalSize)
+      break;
+  }
+  if (Out.size() != Blob.OriginalSize || AccLen != 0)
+    return std::nullopt;
+  return Out;
+}
+
+} // namespace repro::apps

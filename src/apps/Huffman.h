@@ -1,0 +1,45 @@
+//===- apps/Huffman.h - Huffman coding for the email case study -*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The email application's background compressor "reduces storage overhead
+// by compressing each user's messages using Huffman codes [CLRS Ch. 16.3]"
+// (Sec. 5.1). This is a complete canonical-Huffman codec: build a code
+// from byte frequencies, emit a self-describing bitstream, decode it back.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_APPS_HUFFMAN_H
+#define REPRO_APPS_HUFFMAN_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace repro::apps {
+
+/// A compressed blob: code table + padded bitstream.
+struct HuffmanBlob {
+  /// Code length per byte value (0 = absent); canonical codes are derived
+  /// from lengths, so lengths are all the decoder needs.
+  std::vector<uint8_t> CodeLengths; // size 256
+  std::vector<uint8_t> Bits;        // packed bitstream
+  uint64_t BitCount = 0;            // valid bits in Bits
+  uint64_t OriginalSize = 0;
+
+  std::size_t compressedBytes() const { return Bits.size() + 256; }
+};
+
+/// Compresses \p Input (empty input yields an empty blob).
+HuffmanBlob huffmanCompress(const std::string &Input);
+
+/// Decompresses; nullopt on a corrupt blob.
+std::optional<std::string> huffmanDecompress(const HuffmanBlob &Blob);
+
+} // namespace repro::apps
+
+#endif // REPRO_APPS_HUFFMAN_H

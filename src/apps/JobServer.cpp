@@ -1,0 +1,137 @@
+//===- apps/JobServer.cpp - The smallest-work-first job server ---------------===//
+
+#include "apps/JobServer.h"
+
+#include "apps/Kernels.h"
+#include "support/Timer.h"
+
+#include <atomic>
+
+namespace repro::apps {
+
+namespace {
+
+using icilk::Context;
+
+struct JobServer {
+  explicit JobServer(const JobServerConfig &Config)
+      : Config(Config), Rt(Config.Rt) {}
+
+  const JobServerConfig &Config;
+  icilk::Runtime Rt;
+  std::array<std::atomic<uint64_t>, 4> Counts{};
+  std::array<repro::LatencyRecorder, 4> JobResponse;
+  std::array<repro::LatencyRecorder, 4> JobCompute;
+
+  /// Records whole-job latencies for type \p Type.
+  void recordJob(std::size_t Type, uint64_t ArrivalMicros,
+                 uint64_t StartMicros) {
+    uint64_t Now = repro::nowMicros();
+    Counts[Type].fetch_add(1, std::memory_order_relaxed);
+    JobResponse[Type].record(static_cast<double>(Now - ArrivalMicros));
+    JobCompute[Type].record(static_cast<double>(Now - StartMicros));
+  }
+};
+
+void submitMatmul(JobServer &S, repro::Rng &R) {
+  uint64_t Seed = R.next();
+  uint64_t Arrival = repro::nowMicros();
+  icilk::fcreate<JobMatmul>(S.Rt, [&S, Seed, Arrival](Context<JobMatmul> &Ctx) {
+    uint64_t Start = repro::nowMicros();
+    repro::Rng Local(Seed);
+    Matrix A = randomMatrix(S.Config.MatmulN, Local);
+    Matrix B = randomMatrix(S.Config.MatmulN, Local);
+    Matrix C(S.Config.MatmulN);
+    matmulPar(Ctx, A, B, C, /*Cutoff=*/16);
+    S.recordJob(0, Arrival, Start);
+    return C.at(0, 0);
+  });
+}
+
+void submitFib(JobServer &S) {
+  uint64_t Arrival = repro::nowMicros();
+  icilk::fcreate<JobFib>(S.Rt, [&S, Arrival](Context<JobFib> &Ctx) {
+    uint64_t Start = repro::nowMicros();
+    uint64_t V = fibPar(Ctx, S.Config.FibN, /*Cutoff=*/16);
+    S.recordJob(1, Arrival, Start);
+    return V;
+  });
+}
+
+void submitSort(JobServer &S, repro::Rng &R) {
+  uint64_t Seed = R.next();
+  uint64_t Arrival = repro::nowMicros();
+  icilk::fcreate<JobSort>(S.Rt, [&S, Seed, Arrival](Context<JobSort> &Ctx) {
+    uint64_t Start = repro::nowMicros();
+    repro::Rng Local(Seed);
+    std::vector<int64_t> Data(S.Config.SortN);
+    for (auto &V : Data)
+      V = static_cast<int64_t>(Local.next());
+    msortPar(Ctx, Data, /*Cutoff=*/8192);
+    S.recordJob(2, Arrival, Start);
+    return Data.front();
+  });
+}
+
+void submitSw(JobServer &S, repro::Rng &R) {
+  uint64_t Seed = R.next();
+  uint64_t Arrival = repro::nowMicros();
+  icilk::fcreate<JobSw>(S.Rt, [&S, Seed, Arrival](Context<JobSw> &Ctx) {
+    uint64_t Start = repro::nowMicros();
+    repro::Rng Local(Seed);
+    std::string A = randomSequence(S.Config.SwN, Local);
+    std::string B = randomSequence(S.Config.SwN, Local);
+    int Best = smithWatermanPar(Ctx, A, B, /*Tile=*/64);
+    S.recordJob(3, Arrival, Start);
+    return Best;
+  });
+}
+
+} // namespace
+
+JobServerReport runJobServer(const JobServerConfig &Config) {
+  JobServer S(Config);
+  repro::Rng DriverRng(Config.Seed);
+
+  double MixTotal = 0;
+  for (double W : Config.Mix)
+    MixTotal += W;
+
+  uint64_t Epoch = repro::nowMicros();
+  uint64_t Horizon = Config.DurationMillis * 1000;
+  uint64_t NextAt = 0;
+  while (true) {
+    NextAt += static_cast<uint64_t>(
+                  DriverRng.nextExponential(1.0 / Config.ArrivalIntervalMicros)) +
+              1;
+    if (NextAt >= Horizon)
+      break;
+    sleepUntilMicros(Epoch, NextAt);
+    double Roll = DriverRng.nextDouble() * MixTotal;
+    if ((Roll -= Config.Mix[0]) < 0)
+      submitMatmul(S, DriverRng);
+    else if ((Roll -= Config.Mix[1]) < 0)
+      submitFib(S);
+    else if ((Roll -= Config.Mix[2]) < 0)
+      submitSort(S, DriverRng);
+    else
+      submitSw(S, DriverRng);
+  }
+  S.Rt.drain();
+
+  double WallMillis = static_cast<double>(repro::nowMicros() - Epoch) / 1000.0;
+  JobServerReport Report;
+  Report.App =
+      collectReport(S.Rt, {"sw", "sort", "fib", "matmul"}, WallMillis);
+  uint64_t Total = 0;
+  for (std::size_t I = 0; I < 4; ++I) {
+    Report.JobsByType[I] = S.Counts[I].load();
+    Report.JobResponse[I] = S.JobResponse[I].summary();
+    Report.JobCompute[I] = S.JobCompute[I].summary();
+    Total += Report.JobsByType[I];
+  }
+  Report.App.Requests = Total;
+  return Report;
+}
+
+} // namespace repro::apps

@@ -1,0 +1,61 @@
+//===- apps/JobServer.h - The smallest-work-first job server ----*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The third case study of Sec. 5.1: jobs arrive by a Poisson process and
+// run under a smallest-work-first policy — priority levels correspond to
+// job types. Paper order, high to low: matmul, fib, sort, Smith–Waterman;
+// job sizes are scaled to this machine (paper: n = 1024 / 36 / 1.1e7 /
+// 1024 on 20 cores).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_APPS_JOBSERVER_H
+#define REPRO_APPS_JOBSERVER_H
+
+#include "apps/AppCommon.h"
+
+#include <array>
+
+namespace repro::apps {
+
+ICILK_PRIORITY(JobSw, icilk::BasePriority, 0);
+ICILK_PRIORITY(JobSort, JobSw, 1);
+ICILK_PRIORITY(JobFib, JobSort, 2);
+ICILK_PRIORITY(JobMatmul, JobFib, 3);
+
+struct JobServerConfig {
+  uint64_t DurationMillis = 1500;
+  /// Mean inter-arrival time across ALL job types; lower = heavier load.
+  double ArrivalIntervalMicros = 12000;
+  /// Job mix (relative weights: matmul, fib, sort, sw).
+  std::array<double, 4> Mix{0.25, 0.25, 0.25, 0.25};
+  // Scaled job sizes (~1–7 ms each on this machine; the paper's sizes
+  // take seconds on a 20-core socket).
+  std::size_t MatmulN = 96;
+  unsigned FibN = 24;
+  std::size_t SortN = 40000;
+  std::size_t SwN = 320;
+  uint64_t Seed = 1;
+  icilk::RuntimeConfig Rt{.NumWorkers = 8, .NumLevels = 4};
+};
+
+struct JobServerReport {
+  AppReport App;
+  std::array<uint64_t, 4> JobsByType{}; ///< matmul, fib, sort, sw (level 3..0)
+  /// Whole-job latencies (top-level job task only, not its inner parallel
+  /// subtasks): Response = arrival → completion, Compute = first dispatch →
+  /// completion. Index: 0 matmul, 1 fib, 2 sort, 3 sw.
+  std::array<repro::LatencySummary, 4> JobResponse{};
+  std::array<repro::LatencySummary, 4> JobCompute{};
+};
+
+/// Runs the job server (Config.Rt.PriorityAware=false for the baseline).
+JobServerReport runJobServer(const JobServerConfig &Config);
+
+} // namespace repro::apps
+
+#endif // REPRO_APPS_JOBSERVER_H

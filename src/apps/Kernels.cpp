@@ -1,0 +1,59 @@
+//===- apps/Kernels.cpp - Sequential kernel references ----------------------===//
+
+#include "apps/Kernels.h"
+
+namespace repro::apps {
+
+Matrix randomMatrix(std::size_t N, repro::Rng &R) {
+  Matrix M(N);
+  for (double &V : M.Data)
+    V = R.nextDouble() * 2.0 - 1.0;
+  return M;
+}
+
+void matmulSeq(const Matrix &A, const Matrix &B, Matrix &C, std::size_t RowLo,
+               std::size_t RowHi) {
+  const std::size_t N = A.N;
+  for (std::size_t I = RowLo; I < RowHi; ++I)
+    for (std::size_t K = 0; K < N; ++K) {
+      double AIK = A.at(I, K);
+      for (std::size_t J = 0; J < N; ++J)
+        C.at(I, J) += AIK * B.at(K, J);
+    }
+}
+
+uint64_t fibSeq(unsigned N) {
+  if (N < 2)
+    return N;
+  return fibSeq(N - 1) + fibSeq(N - 2);
+}
+
+int smithWatermanSeq(const std::string &A, const std::string &B,
+                     const SwParams &Params) {
+  const std::size_t NA = A.size(), NB = B.size();
+  std::vector<int> Prev(NB + 1, 0), Cur(NB + 1, 0);
+  int Best = 0;
+  for (std::size_t I = 1; I <= NA; ++I) {
+    Cur[0] = 0;
+    for (std::size_t J = 1; J <= NB; ++J) {
+      int Diag = Prev[J - 1] +
+                 (A[I - 1] == B[J - 1] ? Params.Match : Params.Mismatch);
+      int Up = Prev[J] + Params.Gap;
+      int Left = Cur[J - 1] + Params.Gap;
+      Cur[J] = std::max({0, Diag, Up, Left});
+      Best = std::max(Best, Cur[J]);
+    }
+    std::swap(Prev, Cur);
+  }
+  return Best;
+}
+
+std::string randomSequence(std::size_t N, repro::Rng &R) {
+  static constexpr char Alphabet[] = {'A', 'C', 'G', 'T'};
+  std::string S(N, 'A');
+  for (char &C : S)
+    C = Alphabet[R.nextBelow(4)];
+  return S;
+}
+
+} // namespace repro::apps

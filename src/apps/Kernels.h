@@ -1,0 +1,233 @@
+//===- apps/Kernels.h - Parallel job kernels for jserver --------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The four job classes of the jserver case study (Sec. 5.1), implemented as
+// parallel algorithms over I-Cilk futures, templated on the priority they
+// run at:
+//
+//   * matmul — divide-and-conquer dense matrix multiplication;
+//   * fib    — the classic exponential parallel Fibonacci;
+//   * msort  — parallel merge sort;
+//   * sw     — Smith–Waterman sequence alignment as a *grid of futures*
+//              stored in a shared array, the dynamic-programming pattern
+//              the paper's introduction uses to motivate futures + state.
+//
+// Sizes are parameters; the benchmarks use scaled-down defaults suited to
+// this machine (the paper used n=1024 / 36 / 1.1e7 / 1024 on 20 cores).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_APPS_KERNELS_H
+#define REPRO_APPS_KERNELS_H
+
+#include "icilk/Context.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace repro::apps {
+
+//===----------------------------------------------------------------------===//
+// matmul
+//===----------------------------------------------------------------------===//
+
+/// Square row-major matrix of doubles.
+struct Matrix {
+  explicit Matrix(std::size_t N) : N(N), Data(N * N, 0.0) {}
+  double &at(std::size_t R, std::size_t C) { return Data[R * N + C]; }
+  double at(std::size_t R, std::size_t C) const { return Data[R * N + C]; }
+  std::size_t N;
+  std::vector<double> Data;
+};
+
+Matrix randomMatrix(std::size_t N, repro::Rng &R);
+
+/// Sequential reference (used by the D&C leaves and by tests).
+void matmulSeq(const Matrix &A, const Matrix &B, Matrix &C, std::size_t RowLo,
+               std::size_t RowHi);
+
+namespace detail {
+
+template <typename P>
+void matmulRec(icilk::Context<P> &Ctx, const Matrix &A, const Matrix &B,
+               Matrix &C, std::size_t RowLo, std::size_t RowHi,
+               std::size_t Cutoff) {
+  if (RowHi - RowLo <= Cutoff) {
+    matmulSeq(A, B, C, RowLo, RowHi);
+    return;
+  }
+  std::size_t Mid = (RowLo + RowHi) / 2;
+  auto Upper = Ctx.template fcreate<P>([&, RowLo, Mid](icilk::Context<P> &C2) {
+    matmulRec(C2, A, B, C, RowLo, Mid, Cutoff);
+    return 0;
+  });
+  matmulRec(Ctx, A, B, C, Mid, RowHi, Cutoff);
+  Ctx.ftouch(Upper);
+}
+
+} // namespace detail
+
+/// C = A·B with row-block divide and conquer.
+template <typename P>
+void matmulPar(icilk::Context<P> &Ctx, const Matrix &A, const Matrix &B,
+               Matrix &C, std::size_t Cutoff = 16) {
+  detail::matmulRec(Ctx, A, B, C, 0, A.N, Cutoff);
+}
+
+//===----------------------------------------------------------------------===//
+// fib
+//===----------------------------------------------------------------------===//
+
+uint64_t fibSeq(unsigned N);
+
+template <typename P>
+uint64_t fibPar(icilk::Context<P> &Ctx, unsigned N, unsigned Cutoff = 12) {
+  if (N <= Cutoff)
+    return fibSeq(N);
+  auto Left = Ctx.template fcreate<P>(
+      [N, Cutoff](icilk::Context<P> &C) { return fibPar(C, N - 1, Cutoff); });
+  uint64_t Right = fibPar(Ctx, N - 2, Cutoff);
+  return Ctx.ftouch(Left) + Right;
+}
+
+//===----------------------------------------------------------------------===//
+// merge sort
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+
+template <typename P>
+void msortRec(icilk::Context<P> &Ctx, std::vector<int64_t> &Data,
+              std::vector<int64_t> &Scratch, std::size_t Lo, std::size_t Hi,
+              std::size_t Cutoff) {
+  if (Hi - Lo <= Cutoff) {
+    std::sort(Data.begin() + static_cast<std::ptrdiff_t>(Lo),
+              Data.begin() + static_cast<std::ptrdiff_t>(Hi));
+    return;
+  }
+  std::size_t Mid = (Lo + Hi) / 2;
+  auto Left = Ctx.template fcreate<P>([&, Lo, Mid](icilk::Context<P> &C) {
+    msortRec(C, Data, Scratch, Lo, Mid, Cutoff);
+    return 0;
+  });
+  msortRec(Ctx, Data, Scratch, Mid, Hi, Cutoff);
+  Ctx.ftouch(Left);
+  std::merge(Data.begin() + static_cast<std::ptrdiff_t>(Lo),
+             Data.begin() + static_cast<std::ptrdiff_t>(Mid),
+             Data.begin() + static_cast<std::ptrdiff_t>(Mid),
+             Data.begin() + static_cast<std::ptrdiff_t>(Hi),
+             Scratch.begin() + static_cast<std::ptrdiff_t>(Lo));
+  std::copy(Scratch.begin() + static_cast<std::ptrdiff_t>(Lo),
+            Scratch.begin() + static_cast<std::ptrdiff_t>(Hi),
+            Data.begin() + static_cast<std::ptrdiff_t>(Lo));
+}
+
+} // namespace detail
+
+/// Parallel merge sort (in place, with one scratch buffer).
+template <typename P>
+void msortPar(icilk::Context<P> &Ctx, std::vector<int64_t> &Data,
+              std::size_t Cutoff = 2048) {
+  std::vector<int64_t> Scratch(Data.size());
+  detail::msortRec(Ctx, Data, Scratch, 0, Data.size(), Cutoff);
+}
+
+//===----------------------------------------------------------------------===//
+// Smith–Waterman via a grid of futures in shared state
+//===----------------------------------------------------------------------===//
+
+/// Alignment scores.
+struct SwParams {
+  int Match = 2;
+  int Mismatch = -1;
+  int Gap = -1;
+};
+
+/// Sequential reference; returns the best local-alignment score.
+int smithWatermanSeq(const std::string &A, const std::string &B,
+                     const SwParams &Params = {});
+
+/// Parallel Smith–Waterman: the DP matrix is tiled; tile (i,j) is computed
+/// by a future stored into a shared grid, reading its north/west/northwest
+/// neighbors' futures from that grid — the paper's "array of future
+/// references populated by fcreate" idiom. Returns the best score.
+template <typename P>
+int smithWatermanPar(icilk::Context<P> &Ctx, const std::string &A,
+                     const std::string &B, std::size_t Tile = 64,
+                     const SwParams &Params = {}) {
+  const std::size_t NA = A.size(), NB = B.size();
+  if (NA == 0 || NB == 0)
+    return 0;
+  const std::size_t TI = (NA + Tile - 1) / Tile;
+  const std::size_t TJ = (NB + Tile - 1) / Tile;
+
+  // Shared state: score matrix + the future grid itself.
+  struct Shared {
+    std::vector<int> H;         // (NA+1) x (NB+1)
+    std::size_t Stride;
+    std::vector<icilk::Future<P, int>> Grid; // TI x TJ of tile futures
+    std::size_t GridStride;
+  };
+  auto S = std::make_shared<Shared>();
+  S->Stride = NB + 1;
+  S->H.assign((NA + 1) * (NB + 1), 0);
+  S->GridStride = TJ;
+  S->Grid.resize(TI * TJ);
+
+  auto TileBody = [S, &A, &B, Params, Tile, NA, NB, TI,
+                   TJ](icilk::Context<P> &C, std::size_t BI,
+                       std::size_t BJ) -> int {
+    // Wait on the futures this tile depends on, read through shared state.
+    if (BI > 0)
+      C.ftouch(S->Grid[(BI - 1) * S->GridStride + BJ]);
+    if (BJ > 0)
+      C.ftouch(S->Grid[BI * S->GridStride + (BJ - 1)]);
+    if (BI > 0 && BJ > 0)
+      C.ftouch(S->Grid[(BI - 1) * S->GridStride + (BJ - 1)]);
+    (void)TI;
+    (void)TJ;
+    int Best = 0;
+    std::size_t ILo = BI * Tile + 1, IHi = std::min(NA, (BI + 1) * Tile);
+    std::size_t JLo = BJ * Tile + 1, JHi = std::min(NB, (BJ + 1) * Tile);
+    for (std::size_t I = ILo; I <= IHi; ++I)
+      for (std::size_t J = JLo; J <= JHi; ++J) {
+        int Diag = S->H[(I - 1) * S->Stride + (J - 1)] +
+                   (A[I - 1] == B[J - 1] ? Params.Match : Params.Mismatch);
+        int Up = S->H[(I - 1) * S->Stride + J] + Params.Gap;
+        int Left = S->H[I * S->Stride + (J - 1)] + Params.Gap;
+        int V = std::max({0, Diag, Up, Left});
+        S->H[I * S->Stride + J] = V;
+        Best = std::max(Best, V);
+      }
+    return Best;
+  };
+
+  // Populate the future grid in wavefront-compatible creation order; each
+  // tile synchronizes with its neighbors through the grid (state), not
+  // through structured fork-join.
+  for (std::size_t BI = 0; BI < TI; ++BI)
+    for (std::size_t BJ = 0; BJ < TJ; ++BJ)
+      S->Grid[BI * TJ + BJ] = Ctx.template fcreate<P>(
+          [TileBody, BI, BJ](icilk::Context<P> &C) mutable {
+            return TileBody(C, BI, BJ);
+          });
+
+  int Best = 0;
+  for (auto &F : S->Grid)
+    Best = std::max(Best, Ctx.ftouch(F));
+  return Best;
+}
+
+/// Random DNA-like string.
+std::string randomSequence(std::size_t N, repro::Rng &R);
+
+} // namespace repro::apps
+
+#endif // REPRO_APPS_KERNELS_H

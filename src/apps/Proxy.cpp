@@ -1,0 +1,149 @@
+//===- apps/Proxy.cpp - The proxy-server case study --------------------------===//
+
+#include "apps/Proxy.h"
+
+#include "conc/ConcurrentHashMap.h"
+#include "icilk/IoService.h"
+#include "support/Timer.h"
+
+#include <atomic>
+
+namespace repro::apps {
+
+namespace {
+
+using icilk::Context;
+
+/// Everything the server tasks share.
+struct ProxyServer {
+  explicit ProxyServer(const ProxyConfig &Config)
+      : Config(Config), Rt(Config.Rt), Cache(32, 64) {}
+
+  const ProxyConfig &Config;
+  icilk::Runtime Rt;
+  icilk::IoService Io;
+  conc::ConcurrentHashMap<std::size_t, std::string> Cache;
+  repro::LatencyRecorder EndToEnd;
+  std::atomic<uint64_t> Hits{0}, Misses{0}, Requests{0};
+  std::atomic<bool> StopStats{false};
+};
+
+/// Fetch component (ProxyFetch): origin fetch, render, cache fill, reply.
+void fetchAndReply(ProxyServer &S, Context<ProxyFetch> &Ctx, std::size_t Url,
+                   uint64_t FetchLatency, uint64_t ArrivalMicros) {
+  auto Net = S.Io.read<ProxyFetch>(FetchLatency,
+                                   static_cast<long>(Url % 1500 + 200));
+  long Bytes = Ctx.ftouch(Net);
+  repro::spinFor(S.Config.RenderComputeMicros); // parse/render the page
+  std::string Body(static_cast<std::size_t>(Bytes), 'x');
+  Body[0] = static_cast<char>('a' + Url % 26);
+  S.Cache.put(Url, std::move(Body));
+  auto Reply = S.Io.write<ProxyFetch>(S.Config.ReplyLatencyMicros, Bytes);
+  Ctx.ftouch(Reply);
+  S.EndToEnd.record(static_cast<double>(repro::nowMicros() - ArrivalMicros));
+}
+
+/// Event loop component (ProxyClient): one task per incoming request.
+void handleRequest(ProxyServer &S, Context<ProxyClient> &Ctx, std::size_t Url,
+                   uint64_t FetchLatency, uint64_t ArrivalMicros) {
+  S.Requests.fetch_add(1, std::memory_order_relaxed);
+  repro::spinFor(S.Config.HandleComputeMicros); // parse request, route
+  if (auto Cached = S.Cache.get(Url)) {
+    S.Hits.fetch_add(1, std::memory_order_relaxed);
+    auto Reply = S.Io.write<ProxyClient>(S.Config.ReplyLatencyMicros,
+                                         static_cast<long>(Cached->size()));
+    Ctx.ftouch(Reply);
+    S.EndToEnd.record(static_cast<double>(repro::nowMicros() - ArrivalMicros));
+    return;
+  }
+  S.Misses.fetch_add(1, std::memory_order_relaxed);
+  // Delegate downward — never wait on lower-priority work (Touch rule).
+  Ctx.fcreate<ProxyFetch>(
+      [&S, Url, FetchLatency, ArrivalMicros](Context<ProxyFetch> &C) {
+        fetchAndReply(S, C, Url, FetchLatency, ArrivalMicros);
+      });
+}
+
+/// Statistics logger (ProxyStats): periodic self-rearming task.
+void statsLoop(ProxyServer &S, Context<ProxyStats> &Ctx) {
+  if (S.StopStats.load(std::memory_order_acquire))
+    return;
+  auto Timer = S.Io.read<ProxyStats>(S.Config.StatsPeriodMicros, 0);
+  Ctx.ftouch(Timer);
+  // "Log": walk part of the cache and tally sizes.
+  std::size_t Total = 0;
+  S.Cache.forEach([&Total](std::size_t, const std::string &V) {
+    Total += V.size();
+  });
+  repro::spinFor(100);
+  (void)Total;
+  if (!S.StopStats.load(std::memory_order_acquire))
+    Ctx.fcreate<ProxyStats>([&S](Context<ProxyStats> &C) { statsLoop(S, C); });
+}
+
+} // namespace
+
+ProxyReport runProxy(const ProxyConfig &Config) {
+  ProxyServer S(Config);
+  repro::Rng DriverRng(Config.Seed);
+  repro::ZipfSampler Urls(Config.NumSites, Config.ZipfSkew);
+
+  // ProxyMain: startup — warm a few popular entries.
+  auto Startup = icilk::fcreate<ProxyMain>(S.Rt, [&S](Context<ProxyMain> &) {
+    for (std::size_t U = 0; U < 8; ++U)
+      S.Cache.put(U, std::string(512, 'w'));
+    repro::spinFor(200);
+    return 0;
+  });
+  icilk::touchFromOutside(S.Rt, Startup);
+
+  // Kick off the stats logger.
+  icilk::fcreate<ProxyStats>(S.Rt,
+                             [&S](Context<ProxyStats> &C) { statsLoop(S, C); });
+
+  // Drive the clients: a merged Poisson stream over the connections.
+  uint64_t Epoch = repro::nowMicros();
+  uint64_t Horizon = Config.DurationMillis * 1000;
+  PoissonArrivals Arrivals(Config.Connections, Config.RequestIntervalMicros,
+                           DriverRng);
+  repro::Rng LatencyRng = DriverRng.split();
+  while (true) {
+    auto E = Arrivals.next();
+    if (E.AtMicros >= Horizon)
+      break;
+    sleepUntilMicros(Epoch, E.AtMicros);
+    std::size_t Url = Urls.sample(LatencyRng);
+    auto FetchLatency = static_cast<uint64_t>(
+        LatencyRng.nextExponential(1.0 / static_cast<double>(
+                                             Config.FetchLatencyMeanMicros)));
+    uint64_t Arrival = repro::nowMicros();
+    icilk::fcreate<ProxyClient>(
+        S.Rt, [&S, Url, FetchLatency, Arrival](Context<ProxyClient> &C) {
+          handleRequest(S, C, Url, FetchLatency, Arrival);
+        });
+  }
+
+  // ProxyMain: shutdown — stop the logger, drain, aggregate.
+  S.StopStats.store(true, std::memory_order_release);
+  S.Rt.drain();
+  auto Shutdown = icilk::fcreate<ProxyMain>(S.Rt, [&S](Context<ProxyMain> &) {
+    repro::spinFor(200);
+    return static_cast<int>(S.Cache.size());
+  });
+  icilk::touchFromOutside(S.Rt, Shutdown);
+  S.Rt.drain();
+
+  double WallMillis =
+      static_cast<double>(repro::nowMicros() - Epoch) / 1000.0;
+  ProxyReport Report;
+  Report.App = collectReport(S.Rt, {"main", "stats", "fetch", "client"},
+                             WallMillis);
+  Report.App.EndToEnd = S.EndToEnd.summary();
+  Report.App.Requests = S.Requests.load();
+  Report.CacheHits = S.Hits.load();
+  Report.CacheMisses = S.Misses.load();
+  Report.CacheEntries = S.Cache.size();
+  return Report;
+}
+
+} // namespace repro::apps

@@ -1,0 +1,67 @@
+//===- apps/Proxy.h - The proxy-server case study ---------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The first case study of Sec. 5.1: clients request websites by URL; the
+// server fetches on their behalf and caches contents in a concurrent
+// hashtable. Four priority levels, highest to lowest:
+//
+//   a) ProxyClient — accept/per-client event loop handling requests;
+//   b) ProxyFetch  — fetches websites on cache misses;
+//   c) ProxyStats  — periodic statistics logging;
+//   d) ProxyMain   — server startup/shutdown.
+//
+// The event loop never waits on a fetch (that would be a priority
+// inversion the type system rejects); on a miss it *delegates*: the fetch
+// task itself completes the client's reply. The paper's real sockets are
+// replaced by the simulated latency-hiding IoService (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_APPS_PROXY_H
+#define REPRO_APPS_PROXY_H
+
+#include "apps/AppCommon.h"
+
+#include <cstdint>
+
+namespace repro::apps {
+
+/// Priority hierarchy of the proxy (Sec. 5.1 order).
+ICILK_PRIORITY(ProxyMain, icilk::BasePriority, 0);
+ICILK_PRIORITY(ProxyStats, ProxyMain, 1);
+ICILK_PRIORITY(ProxyFetch, ProxyStats, 2);
+ICILK_PRIORITY(ProxyClient, ProxyFetch, 3);
+
+struct ProxyConfig {
+  unsigned Connections = 90;       ///< simulated client connections
+  uint64_t DurationMillis = 1000;  ///< driver run time
+  double RequestIntervalMicros = 20000; ///< mean per-connection inter-arrival
+  std::size_t NumSites = 256;      ///< URL universe
+  double ZipfSkew = 0.9;           ///< URL popularity skew
+  uint64_t FetchLatencyMeanMicros = 3000; ///< simulated origin-server RTT
+  uint64_t ReplyLatencyMicros = 150;      ///< simulated client write
+  uint64_t StatsPeriodMicros = 20000;     ///< logger cadence
+  uint64_t HandleComputeMicros = 30;      ///< event-loop work per request
+  uint64_t RenderComputeMicros = 400;     ///< fetch-side processing
+  uint64_t Seed = 1;
+  icilk::RuntimeConfig Rt{.NumWorkers = 8, .NumLevels = 4};
+};
+
+struct ProxyReport {
+  AppReport App;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  std::size_t CacheEntries = 0;
+};
+
+/// Runs the proxy server under the given configuration (set
+/// Config.Rt.PriorityAware=false for the Cilk-F baseline).
+ProxyReport runProxy(const ProxyConfig &Config);
+
+} // namespace repro::apps
+
+#endif // REPRO_APPS_PROXY_H

@@ -1,0 +1,53 @@
+//===- conc/Backoff.h - Exponential backoff for spin loops ------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_CONC_BACKOFF_H
+#define REPRO_CONC_BACKOFF_H
+
+#include <cstdint>
+#include <thread>
+
+namespace repro::conc {
+
+/// Exponential backoff: spin a growing number of pause iterations, then
+/// start yielding to the OS. Used by retry loops in the lock-free
+/// structures and by idle workers.
+class Backoff {
+public:
+  /// One wait, longer than the last (up to a yield).
+  void pause() {
+    if (Spins <= MaxSpins) {
+      for (uint32_t I = 0; I < Spins; ++I)
+        cpuRelax();
+      Spins *= 2;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  /// Resets to the shortest wait.
+  void reset() { Spins = 1; }
+
+  /// True once pause() has escalated to yielding.
+  bool isYielding() const { return Spins > MaxSpins; }
+
+private:
+  static void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+  static constexpr uint32_t MaxSpins = 1024;
+  uint32_t Spins = 1;
+};
+
+} // namespace repro::conc
+
+#endif // REPRO_CONC_BACKOFF_H

@@ -1,0 +1,155 @@
+//===- conc/ChaseLevDeque.h - Work-stealing deque ---------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The Chase–Lev dynamic circular work-stealing deque [Chase & Lev, SPAA'05]
+// with the C11-memory-model formulation of Lê et al. [PPoPP'13]. The owner
+// pushes and pops at the bottom; thieves steal from the top. This is the
+// per-worker queue of I-Cilk's second-level work-stealing schedulers
+// (Sec. 4.3).
+//
+// T must be trivially copyable (the runtime stores task pointers).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_CONC_CHASELEVDEQUE_H
+#define REPRO_CONC_CHASELEVDEQUE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+namespace repro::conc {
+
+template <typename T> class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "deque elements must be trivially copyable");
+
+public:
+  explicit ChaseLevDeque(std::size_t InitialCapacity = 64)
+      : Buffer(new Ring(roundUpPow2(InitialCapacity))) {}
+
+  ChaseLevDeque(const ChaseLevDeque &) = delete;
+  ChaseLevDeque &operator=(const ChaseLevDeque &) = delete;
+
+  ~ChaseLevDeque() {
+    Ring *B = Buffer.load(std::memory_order_relaxed);
+    while (B) {
+      Ring *Prev = B->Retired;
+      delete B;
+      B = Prev;
+    }
+  }
+
+  /// Owner-only: push at the bottom.
+  void push(T Value) {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t Tp = Top.load(std::memory_order_acquire);
+    Ring *Buf = Buffer.load(std::memory_order_relaxed);
+    if (B - Tp > static_cast<int64_t>(Buf->Capacity) - 1)
+      Buf = grow(Buf, Tp, B);
+    Buf->put(B, Value);
+    std::atomic_thread_fence(std::memory_order_release);
+    Bottom.store(B + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner-only: pop at the bottom; empty optional when drained.
+  std::optional<T> pop() {
+    int64_t B = Bottom.load(std::memory_order_relaxed) - 1;
+    Ring *Buf = Buffer.load(std::memory_order_relaxed);
+    Bottom.store(B, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t Tp = Top.load(std::memory_order_relaxed);
+    if (Tp > B) {
+      // Deque was already empty; restore.
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T Value = Buf->get(B);
+    if (Tp != B)
+      return Value; // more than one element; no race with thieves
+    // Single element: race against thieves for it.
+    std::optional<T> Result = Value;
+    if (!Top.compare_exchange_strong(Tp, Tp + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      Result = std::nullopt; // a thief got it
+    Bottom.store(B + 1, std::memory_order_relaxed);
+    return Result;
+  }
+
+  /// Thief: steal from the top; empty optional on empty or lost race.
+  std::optional<T> steal() {
+    int64_t Tp = Top.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t B = Bottom.load(std::memory_order_acquire);
+    if (Tp >= B)
+      return std::nullopt;
+    Ring *Buf = Buffer.load(std::memory_order_consume);
+    T Value = Buf->get(Tp);
+    if (!Top.compare_exchange_strong(Tp, Tp + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      return std::nullopt; // lost the race
+    return Value;
+  }
+
+  /// Approximate size (racy; for the desire heuristic and stats only).
+  std::size_t sizeApprox() const {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t Tp = Top.load(std::memory_order_relaxed);
+    return B > Tp ? static_cast<std::size_t>(B - Tp) : 0;
+  }
+
+  bool emptyApprox() const { return sizeApprox() == 0; }
+
+private:
+  struct Ring {
+    explicit Ring(std::size_t Capacity)
+        : Capacity(Capacity), Mask(Capacity - 1), Slots(Capacity) {}
+
+    T get(int64_t Index) const {
+      return Slots[static_cast<std::size_t>(Index) & Mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(int64_t Index, T Value) {
+      Slots[static_cast<std::size_t>(Index) & Mask].store(
+          Value, std::memory_order_relaxed);
+    }
+
+    const std::size_t Capacity;
+    const std::size_t Mask;
+    std::vector<std::atomic<T>> Slots;
+    Ring *Retired = nullptr; ///< chain of outgrown buffers, freed at dtor
+  };
+
+  static std::size_t roundUpPow2(std::size_t N) {
+    std::size_t P = 1;
+    while (P < N)
+      P <<= 1;
+    return P < 8 ? 8 : P;
+  }
+
+  Ring *grow(Ring *Old, int64_t Tp, int64_t B) {
+    auto *Fresh = new Ring(Old->Capacity * 2);
+    for (int64_t I = Tp; I < B; ++I)
+      Fresh->put(I, Old->get(I));
+    // Old buffers are kept until destruction: in-flight thieves may still
+    // read from them (standard Chase–Lev retirement strategy).
+    Fresh->Retired = Old;
+    Buffer.store(Fresh, std::memory_order_release);
+    return Fresh;
+  }
+
+  std::atomic<int64_t> Top{0};
+  std::atomic<int64_t> Bottom{0};
+  std::atomic<Ring *> Buffer;
+};
+
+} // namespace repro::conc
+
+#endif // REPRO_CONC_CHASELEVDEQUE_H

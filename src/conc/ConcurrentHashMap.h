@@ -1,0 +1,157 @@
+//===- conc/ConcurrentHashMap.h - Striped-lock hash map ---------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// A striped-lock chaining hash map: N independent shards, each a small
+// mutex-protected bucket table. This is the "concurrent hashtable" the
+// proxy case study uses for its website cache (Sec. 5.1) — contention is
+// per-shard, reads and writes on different shards proceed in parallel.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_CONC_CONCURRENTHASHMAP_H
+#define REPRO_CONC_CONCURRENTHASHMAP_H
+
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace repro::conc {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ConcurrentHashMap {
+public:
+  explicit ConcurrentHashMap(std::size_t NumShards = 16,
+                             std::size_t BucketsPerShard = 64)
+      : Shards(NumShards) {
+    for (auto &S : Shards)
+      S.Buckets.resize(BucketsPerShard);
+  }
+
+  ConcurrentHashMap(const ConcurrentHashMap &) = delete;
+  ConcurrentHashMap &operator=(const ConcurrentHashMap &) = delete;
+
+  /// Inserts or overwrites; returns true if the key was new.
+  bool put(const K &Key, V Value) {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto &Bucket = S.Buckets[bucketFor(S, Key)];
+    for (auto &[EK, EV] : Bucket)
+      if (EK == Key) {
+        EV = std::move(Value);
+        return false;
+      }
+    Bucket.emplace_back(Key, std::move(Value));
+    ++S.Count;
+    return true;
+  }
+
+  /// Inserts only if absent; returns false (leaving the map unchanged) if
+  /// the key exists.
+  bool putIfAbsent(const K &Key, V Value) {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto &Bucket = S.Buckets[bucketFor(S, Key)];
+    for (auto &[EK, EV] : Bucket)
+      if (EK == Key)
+        return false;
+    Bucket.emplace_back(Key, std::move(Value));
+    ++S.Count;
+    return true;
+  }
+
+  /// Copy of the value, if present.
+  std::optional<V> get(const K &Key) const {
+    const Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    const auto &Bucket = S.Buckets[bucketFor(S, Key)];
+    for (const auto &[EK, EV] : Bucket)
+      if (EK == Key)
+        return EV;
+    return std::nullopt;
+  }
+
+  bool contains(const K &Key) const { return get(Key).has_value(); }
+
+  /// Removes; returns true if the key was present.
+  bool erase(const K &Key) {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto &Bucket = S.Buckets[bucketFor(S, Key)];
+    for (auto It = Bucket.begin(); It != Bucket.end(); ++It)
+      if (It->first == Key) {
+        Bucket.erase(It);
+        --S.Count;
+        return true;
+      }
+    return false;
+  }
+
+  /// Atomically updates (or inserts) the value for a key under its shard
+  /// lock: Update receives a pointer to the existing value or nullptr and
+  /// returns the new value.
+  template <typename F> void upsert(const K &Key, F &&Update) {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto &Bucket = S.Buckets[bucketFor(S, Key)];
+    for (auto &[EK, EV] : Bucket)
+      if (EK == Key) {
+        EV = Update(&EV);
+        return;
+      }
+    Bucket.emplace_back(Key, Update(static_cast<V *>(nullptr)));
+    ++S.Count;
+  }
+
+  /// Total entries (sums shard counters; momentarily stale under writes).
+  std::size_t size() const {
+    std::size_t N = 0;
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.Mutex);
+      N += S.Count;
+    }
+    return N;
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// Applies \p Fn to every (key, value) pair, one shard at a time.
+  template <typename F> void forEach(F &&Fn) const {
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.Mutex);
+      for (const auto &Bucket : S.Buckets)
+        for (const auto &[EK, EV] : Bucket)
+          Fn(EK, EV);
+    }
+  }
+
+private:
+  struct Shard {
+    mutable std::mutex Mutex;
+    std::vector<std::list<std::pair<K, V>>> Buckets;
+    std::size_t Count = 0;
+  };
+
+  Shard &shardFor(const K &Key) {
+    return Shards[Hash{}(Key) % Shards.size()];
+  }
+  const Shard &shardFor(const K &Key) const {
+    return Shards[Hash{}(Key) % Shards.size()];
+  }
+  std::size_t bucketFor(const Shard &S, const K &Key) const {
+    // Mix with a different multiplier than the shard selector so shards do
+    // not all collide into bucket 0.
+    return (Hash{}(Key) * 0x9e3779b97f4a7c15ULL >> 32) % S.Buckets.size();
+  }
+
+  std::vector<Shard> Shards;
+};
+
+} // namespace repro::conc
+
+#endif // REPRO_CONC_CONCURRENTHASHMAP_H

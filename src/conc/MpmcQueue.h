@@ -1,0 +1,113 @@
+//===- conc/MpmcQueue.h - Bounded lock-free MPMC queue ----------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// Dmitry Vyukov's bounded multi-producer/multi-consumer queue: a ring of
+// slots, each tagged with a sequence number that encodes whether the slot
+// is free for the Nth producer or holds the Nth element. Used for the
+// runtime's inter-level injection queues and the simulated I/O service's
+// completion queue.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_CONC_MPMCQUEUE_H
+#define REPRO_CONC_MPMCQUEUE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace repro::conc {
+
+template <typename T> class MpmcQueue {
+public:
+  explicit MpmcQueue(std::size_t Capacity = 1024)
+      : Slots(roundUpPow2(Capacity)), Mask(Slots.size() - 1) {
+    for (std::size_t I = 0; I < Slots.size(); ++I)
+      Slots[I].Seq.store(I, std::memory_order_relaxed);
+  }
+
+  MpmcQueue(const MpmcQueue &) = delete;
+  MpmcQueue &operator=(const MpmcQueue &) = delete;
+
+  /// Enqueues; false when full.
+  bool tryPush(T Value) {
+    std::size_t Pos = Head.load(std::memory_order_relaxed);
+    while (true) {
+      Slot &S = Slots[Pos & Mask];
+      std::size_t Seq = S.Seq.load(std::memory_order_acquire);
+      auto Diff = static_cast<intptr_t>(Seq) - static_cast<intptr_t>(Pos);
+      if (Diff == 0) {
+        if (Head.compare_exchange_weak(Pos, Pos + 1,
+                                       std::memory_order_relaxed)) {
+          S.Value = std::move(Value);
+          S.Seq.store(Pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (Diff < 0) {
+        return false; // full
+      } else {
+        Pos = Head.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Dequeues; empty optional when empty.
+  std::optional<T> tryPop() {
+    std::size_t Pos = Tail.load(std::memory_order_relaxed);
+    while (true) {
+      Slot &S = Slots[Pos & Mask];
+      std::size_t Seq = S.Seq.load(std::memory_order_acquire);
+      auto Diff =
+          static_cast<intptr_t>(Seq) - static_cast<intptr_t>(Pos + 1);
+      if (Diff == 0) {
+        if (Tail.compare_exchange_weak(Pos, Pos + 1,
+                                       std::memory_order_relaxed)) {
+          T Value = std::move(S.Value);
+          S.Seq.store(Pos + Mask + 1, std::memory_order_release);
+          return Value;
+        }
+      } else if (Diff < 0) {
+        return std::nullopt; // empty
+      } else {
+        Pos = Tail.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Approximate occupancy (racy; for stats).
+  std::size_t sizeApprox() const {
+    std::size_t H = Head.load(std::memory_order_relaxed);
+    std::size_t Tl = Tail.load(std::memory_order_relaxed);
+    return H > Tl ? H - Tl : 0;
+  }
+
+  std::size_t capacity() const { return Slots.size(); }
+
+private:
+  struct Slot {
+    std::atomic<std::size_t> Seq;
+    T Value;
+  };
+
+  static std::size_t roundUpPow2(std::size_t N) {
+    std::size_t P = 1;
+    while (P < N)
+      P <<= 1;
+    return P < 4 ? 4 : P;
+  }
+
+  std::vector<Slot> Slots;
+  const std::size_t Mask;
+  alignas(64) std::atomic<std::size_t> Head{0};
+  alignas(64) std::atomic<std::size_t> Tail{0};
+};
+
+} // namespace repro::conc
+
+#endif // REPRO_CONC_MPMCQUEUE_H

@@ -1,0 +1,89 @@
+//===- conc/TreiberStack.h - Lock-free stack --------------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// Treiber's classic lock-free stack. Nodes are leaked into a free list
+// rather than reclaimed concurrently (the runtime's usage is bursty and
+// bounded); popAll() hands the whole stack to one consumer, the pattern the
+// I-Cilk future uses for its waiter list.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_CONC_TREIBERSTACK_H
+#define REPRO_CONC_TREIBERSTACK_H
+
+#include <atomic>
+#include <vector>
+
+namespace repro::conc {
+
+template <typename T> class TreiberStack {
+public:
+  TreiberStack() = default;
+  TreiberStack(const TreiberStack &) = delete;
+  TreiberStack &operator=(const TreiberStack &) = delete;
+
+  ~TreiberStack() {
+    Node *N = Head.load(std::memory_order_relaxed);
+    while (N) {
+      Node *Next = N->Next;
+      delete N;
+      N = Next;
+    }
+  }
+
+  /// Pushes a value (multi-producer safe).
+  void push(T Value) {
+    auto *N = new Node{std::move(Value), Head.load(std::memory_order_relaxed)};
+    while (!Head.compare_exchange_weak(N->Next, N, std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Pops one value; false when empty. Safe only when no concurrent popAll
+  /// (the runtime uses either one-at-a-time or drain, never both).
+  bool tryPop(T &Out) {
+    Node *N = Head.load(std::memory_order_acquire);
+    while (N) {
+      if (Head.compare_exchange_weak(N, N->Next, std::memory_order_acquire,
+                                     std::memory_order_acquire)) {
+        Out = std::move(N->Value);
+        delete N;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Atomically takes the whole stack; returns values newest-first.
+  std::vector<T> popAll() {
+    Node *N = Head.exchange(nullptr, std::memory_order_acquire);
+    std::vector<T> Out;
+    while (N) {
+      Out.push_back(std::move(N->Value));
+      Node *Next = N->Next;
+      delete N;
+      N = Next;
+    }
+    return Out;
+  }
+
+  bool emptyApprox() const {
+    return Head.load(std::memory_order_relaxed) == nullptr;
+  }
+
+private:
+  struct Node {
+    T Value;
+    Node *Next;
+  };
+
+  std::atomic<Node *> Head{nullptr};
+};
+
+} // namespace repro::conc
+
+#endif // REPRO_CONC_TREIBERSTACK_H

@@ -1,0 +1,131 @@
+//===- dag/Analysis.h - Well-formedness, strengthening, span ----*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// Implements the static analyses of Section 2:
+//
+//  * well-formedness (Definition 1) — no priority inversions reachable
+//    through strong dependences;
+//  * strong well-formedness (Definition 4) — the stricter, easier-to-check
+//    property the type system guarantees (Lemma 3.4: it implies
+//    well-formedness);
+//  * the a-strengthening (Definition 2) — rewrites strong edges from
+//    lower-priority vertices into edges from the weak ancestor that any
+//    admissible schedule orders first;
+//  * the a-span S_a(↛↓a) and the competitor work W_{⊀ρ}(↛↓a), the two
+//    quantities in the Theorem 2.3 response-time bound.
+//
+// Span lengths are counted in vertices (each vertex is one unit of work),
+// matching the bound's accounting of time steps.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_DAG_ANALYSIS_H
+#define REPRO_DAG_ANALYSIS_H
+
+#include "dag/Graph.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repro::dag {
+
+/// Outcome of a well-formedness check; Reason is empty when OK.
+struct CheckResult {
+  bool Ok = true;
+  std::string Reason;
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Definition 1: for every thread a = s···t, (i) every strong ancestor u of
+/// t that is not an ancestor of s satisfies ρ_a ⪯ Prio(u); (ii) every
+/// strong edge (u0,u) with u ⊒s t, u0 ⋣ s, and Prio(u) ⪯̸ Prio(u0) is
+/// mitigated by some u' with u0 ⊒ u' ⊒s t and u ⋣ u'. (The paper requires
+/// u0 ⊒w u'; we accept any ancestry from u0, which is equally sound — u'
+/// still executes after u0 in every admissible schedule — and avoids
+/// flagging a thread that fork-joins its own higher-priority child.)
+CheckResult checkWellFormed(const Graph &G);
+
+/// Definition 4: every ftouch edge (a,u) goes from a higher-or-equal
+/// priority thread, and for every ftouch edge on thread a created by vertex
+/// u', there is a "knows-about" path from u' to the toucher whose first and
+/// last edges are continuation edges.
+///
+/// \p StrictWeakEdges additionally demands the knows-about path for weak
+/// edges (the literal reading of Definition 4). Graphs recorded from real
+/// executions need not satisfy it — a read may observe a write of a thread
+/// it learned about only through that very read — and the paper's own
+/// soundness proof (Lemma 3.6) establishes the condition for ftouch edges
+/// only, so the default is off.
+CheckResult checkStronglyWellFormed(const Graph &G,
+                                    bool StrictWeakEdges = false);
+
+/// The a-strengthening ĝ_a (Definition 2), represented as a strong-edge
+/// adjacency list over the same vertex set (weak edges drop out — they do
+/// not constrain the critical path once the rewrite internalizes them).
+struct Strengthening {
+  /// StrongSucc[v] = strong successors of v in ĝ_a.
+  std::vector<std::vector<VertexId>> StrongSucc;
+  /// Number of strong edges removed by the rewrite.
+  std::size_t RemovedEdges = 0;
+  /// Number of replacement edges added.
+  std::size_t AddedEdges = 0;
+};
+
+/// Computes ĝ_a for thread \p A.
+Strengthening strengthen(const Graph &G, ThreadId A);
+
+/// S_a(↛↓a): vertices on the longest strong path in ĝ_a ending at a's last
+/// vertex and avoiding ancestors of a's first vertex.
+uint64_t aSpan(const Graph &G, ThreadId A);
+
+/// S_a(V): same, restricted to vertices where \p AllowedMask is nonzero.
+uint64_t aSpanOver(const Graph &G, ThreadId A,
+                   const std::vector<uint8_t> &AllowedMask);
+
+/// W_{⊀ρ}(↛↓a): |{u : u ⋣ s ∧ t ⋣ u ∧ Prio(u) ⊀ ρ}| — the work that may
+/// compete with thread a for cores. This is the paper's literal definition;
+/// it excludes s and t themselves (each is its own ancestor), which makes
+/// the Theorem 2.3 right-hand side under-count by the boundary vertices.
+uint64_t competitorWork(const Graph &G, ThreadId A);
+
+/// Boundary-corrected competitor work, the quantity the token argument in
+/// the proof of Theorem 2.3 actually bounds B_h by: counts every vertex at
+/// priority ⊀ ρ that can execute inside a's response window — i.e. all but
+/// (i) proper ancestors of s reachable via some strong path (those executed
+/// before s became ready) and (ii) proper descendants of t (those execute
+/// after t; weak descendants too, by admissibility). Differs from
+/// competitorWork() only by O(1) boundary vertices per thread.
+uint64_t competitorWorkInclusive(const Graph &G, ThreadId A);
+
+/// Boundary-corrected a-span matching competitorWorkInclusive: longest
+/// strong path in ĝ_a ending at t over vertices that are not proper strong
+/// ancestors of s (s itself allowed).
+uint64_t aSpanInclusive(const Graph &G, ThreadId A);
+
+/// The two bound ingredients plus the Theorem 2.3 right-hand side.
+struct ResponseBound {
+  uint64_t CompetitorWork = 0;
+  uint64_t Span = 0;
+
+  /// ceil of (W + (P-1)·S) / P — the Theorem 2.3 bound on T(a).
+  double bound(unsigned P) const {
+    return (static_cast<double>(CompetitorWork) +
+            static_cast<double>(P - 1) * static_cast<double>(Span)) /
+           static_cast<double>(P);
+  }
+};
+
+/// Computes both bound ingredients for thread \p A using the
+/// boundary-corrected definitions (so the bound is sound for the inclusive
+/// response time T(a); see competitorWorkInclusive).
+ResponseBound responseBound(const Graph &G, ThreadId A);
+
+} // namespace repro::dag
+
+#endif // REPRO_DAG_ANALYSIS_H

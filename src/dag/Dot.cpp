@@ -1,0 +1,42 @@
+//===- dag/Dot.cpp - Graphviz export of cost DAGs -------------------------===//
+
+#include "dag/Dot.h"
+
+#include <sstream>
+
+namespace repro::dag {
+
+std::string toDot(const Graph &G, const std::string &Title) {
+  std::ostringstream OS;
+  OS << "digraph \"" << Title << "\" {\n";
+  OS << "  rankdir=TB;\n  node [shape=circle];\n";
+  for (ThreadId T = 0; T < G.numThreads(); ++T) {
+    OS << "  subgraph cluster_" << T << " {\n";
+    OS << "    label=\"" << G.threadName(T) << " @ "
+       << G.priorities().name(G.threadPriority(T)) << "\";\n";
+    for (VertexId V : G.threadVertices(T))
+      OS << "    v" << V << ";\n";
+    OS << "  }\n";
+  }
+  for (const Edge &E : G.allEdges()) {
+    OS << "  v" << E.Src << " -> v" << E.Dst;
+    switch (E.Kind) {
+    case EdgeKind::Continuation:
+      break;
+    case EdgeKind::Create:
+      OS << " [color=blue]";
+      break;
+    case EdgeKind::Touch:
+      OS << " [color=red]";
+      break;
+    case EdgeKind::Weak:
+      OS << " [style=dotted]";
+      break;
+    }
+    OS << ";\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+} // namespace repro::dag

@@ -1,0 +1,23 @@
+//===- dag/Dot.h - Graphviz export of cost DAGs -----------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_DAG_DOT_H
+#define REPRO_DAG_DOT_H
+
+#include "dag/Graph.h"
+
+#include <string>
+
+namespace repro::dag {
+
+/// Renders \p G as Graphviz dot: threads become columns (clusters), strong
+/// edges solid, weak edges dotted — mirroring the paper's figures.
+std::string toDot(const Graph &G, const std::string &Title = "costdag");
+
+} // namespace repro::dag
+
+#endif // REPRO_DAG_DOT_H

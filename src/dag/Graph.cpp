@@ -1,0 +1,227 @@
+//===- dag/Graph.cpp - Cost DAGs with weak edges --------------------------===//
+
+#include "dag/Graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace repro::dag {
+
+ThreadId Graph::addThread(PrioId Prio, std::string Name) {
+  assert(Prio < Order.size() && "priority not in the order");
+  if (Name.empty())
+    Name = "t" + std::to_string(Threads.size());
+  Threads.push_back({Prio, std::move(Name), {}});
+  invalidateAdjacency();
+  return static_cast<ThreadId>(Threads.size() - 1);
+}
+
+VertexId Graph::addVertex(ThreadId Thread) {
+  assert(Thread < Threads.size() && "unknown thread");
+  auto V = static_cast<VertexId>(VertexThread.size());
+  VertexThread.push_back(Thread);
+  Threads[Thread].Vertices.push_back(V);
+  invalidateAdjacency();
+  return V;
+}
+
+void Graph::addCreateEdge(VertexId Creator, ThreadId Child) {
+  assert(Creator < VertexThread.size() && Child < Threads.size());
+  Creates.emplace_back(Creator, Child);
+  invalidateAdjacency();
+}
+
+void Graph::addTouchEdge(ThreadId Touched, VertexId Toucher) {
+  assert(Touched < Threads.size() && Toucher < VertexThread.size());
+  Touches.emplace_back(Touched, Toucher);
+  invalidateAdjacency();
+}
+
+void Graph::addWeakEdge(VertexId Src, VertexId Dst) {
+  assert(Src < VertexThread.size() && Dst < VertexThread.size());
+  Weaks.emplace_back(Src, Dst);
+  invalidateAdjacency();
+}
+
+VertexId Graph::firstVertex(ThreadId T) const {
+  const auto &Vs = Threads[T].Vertices;
+  return Vs.empty() ? InvalidVertex : Vs.front();
+}
+
+VertexId Graph::lastVertex(ThreadId T) const {
+  const auto &Vs = Threads[T].Vertices;
+  return Vs.empty() ? InvalidVertex : Vs.back();
+}
+
+std::vector<Edge> Graph::allEdges() const {
+  std::vector<Edge> Edges;
+  for (const ThreadInfo &T : Threads)
+    for (std::size_t I = 0; I + 1 < T.Vertices.size(); ++I)
+      Edges.push_back({T.Vertices[I], T.Vertices[I + 1], EdgeKind::Continuation});
+  for (auto [Creator, Child] : Creates) {
+    VertexId First = firstVertex(Child);
+    assert(First != InvalidVertex && "create edge to an empty thread");
+    Edges.push_back({Creator, First, EdgeKind::Create});
+  }
+  for (auto [Touched, Toucher] : Touches) {
+    VertexId Last = lastVertex(Touched);
+    assert(Last != InvalidVertex && "touch edge from an empty thread");
+    Edges.push_back({Last, Toucher, EdgeKind::Touch});
+  }
+  for (auto [Src, Dst] : Weaks)
+    Edges.push_back({Src, Dst, EdgeKind::Weak});
+  return Edges;
+}
+
+void Graph::rebuildAdjacency() const {
+  Out.assign(VertexThread.size(), {});
+  In.assign(VertexThread.size(), {});
+  for (const Edge &E : allEdges()) {
+    Out[E.Src].push_back(E);
+    In[E.Dst].push_back(E);
+  }
+  AdjacencyValid = true;
+}
+
+const std::vector<std::vector<Edge>> &Graph::outEdges() const {
+  if (!AdjacencyValid)
+    rebuildAdjacency();
+  return Out;
+}
+
+const std::vector<std::vector<Edge>> &Graph::inEdges() const {
+  if (!AdjacencyValid)
+    rebuildAdjacency();
+  return In;
+}
+
+std::vector<uint8_t> Graph::descendantsOf(VertexId V) const {
+  const auto &Adj = outEdges();
+  std::vector<uint8_t> Mask(numVertices(), 0);
+  std::deque<VertexId> Work{V};
+  Mask[V] = 1;
+  while (!Work.empty()) {
+    VertexId U = Work.front();
+    Work.pop_front();
+    for (const Edge &E : Adj[U])
+      if (!Mask[E.Dst]) {
+        Mask[E.Dst] = 1;
+        Work.push_back(E.Dst);
+      }
+  }
+  return Mask;
+}
+
+std::vector<uint8_t> Graph::ancestorsOf(VertexId V) const {
+  const auto &Adj = inEdges();
+  std::vector<uint8_t> Mask(numVertices(), 0);
+  std::deque<VertexId> Work{V};
+  Mask[V] = 1;
+  while (!Work.empty()) {
+    VertexId U = Work.front();
+    Work.pop_front();
+    for (const Edge &E : Adj[U])
+      if (!Mask[E.Src]) {
+        Mask[E.Src] = 1;
+        Work.push_back(E.Src);
+      }
+  }
+  return Mask;
+}
+
+bool Graph::isAncestor(VertexId U, VertexId V) const {
+  return descendantsOf(U)[V] != 0;
+}
+
+std::vector<uint8_t> Graph::weakReachableFrom(VertexId Src) const {
+  // Two-state forward BFS: state 1 once a weak edge has been traversed.
+  const auto &Adj = outEdges();
+  std::size_t N = numVertices();
+  std::vector<uint8_t> Seen(2 * N, 0);
+  std::deque<std::pair<VertexId, bool>> Work;
+  Work.emplace_back(Src, false);
+  Seen[Src] = 1;
+  std::vector<uint8_t> Mask(N, 0);
+  while (!Work.empty()) {
+    auto [U, Weak] = Work.front();
+    Work.pop_front();
+    for (const Edge &E : Adj[U]) {
+      bool NextWeak = Weak || E.Kind == EdgeKind::Weak;
+      std::size_t Slot = (NextWeak ? N : 0) + E.Dst;
+      if (Seen[Slot])
+        continue;
+      Seen[Slot] = 1;
+      if (NextWeak)
+        Mask[E.Dst] = 1;
+      Work.emplace_back(E.Dst, NextWeak);
+    }
+  }
+  return Mask;
+}
+
+std::vector<uint8_t> Graph::weakReachingTo(VertexId Dst) const {
+  // Two-state backward BFS from Dst; state 1 once a weak edge is crossed.
+  const auto &Adj = inEdges();
+  std::size_t N = numVertices();
+  std::vector<uint8_t> Seen(2 * N, 0);
+  std::deque<std::pair<VertexId, bool>> Work;
+  Work.emplace_back(Dst, false);
+  Seen[Dst] = 1;
+  std::vector<uint8_t> Mask(N, 0);
+  while (!Work.empty()) {
+    auto [U, Weak] = Work.front();
+    Work.pop_front();
+    for (const Edge &E : Adj[U]) {
+      bool NextWeak = Weak || E.Kind == EdgeKind::Weak;
+      std::size_t Slot = (NextWeak ? N : 0) + E.Src;
+      if (Seen[Slot])
+        continue;
+      Seen[Slot] = 1;
+      if (NextWeak)
+        Mask[E.Src] = 1;
+      Work.emplace_back(E.Src, NextWeak);
+    }
+  }
+  return Mask;
+}
+
+bool Graph::isWeakAncestor(VertexId U, VertexId V) const {
+  return weakReachableFrom(U)[V] != 0;
+}
+
+bool Graph::isStrongAncestor(VertexId U, VertexId V) const {
+  return isAncestor(U, V) && !isWeakAncestor(U, V);
+}
+
+std::vector<VertexId> Graph::topologicalOrder() const {
+  const auto &Adj = outEdges();
+  std::size_t N = numVertices();
+  std::vector<uint32_t> InDegree(N, 0);
+  for (std::size_t V = 0; V < N; ++V)
+    for (const Edge &E : Adj[V])
+      ++InDegree[E.Dst];
+  std::deque<VertexId> Ready;
+  for (std::size_t V = 0; V < N; ++V)
+    if (InDegree[V] == 0)
+      Ready.push_back(static_cast<VertexId>(V));
+  std::vector<VertexId> Order;
+  Order.reserve(N);
+  while (!Ready.empty()) {
+    VertexId U = Ready.front();
+    Ready.pop_front();
+    Order.push_back(U);
+    for (const Edge &E : Adj[U])
+      if (--InDegree[E.Dst] == 0)
+        Ready.push_back(E.Dst);
+  }
+  if (Order.size() != N)
+    return {}; // cyclic
+  return Order;
+}
+
+bool Graph::isAcyclic() const {
+  return numVertices() == 0 || !topologicalOrder().empty();
+}
+
+} // namespace repro::dag

@@ -1,0 +1,198 @@
+//===- dag/Graph.h - Cost DAGs with weak edges ------------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// Implements the DAG model of Section 2: a graph g = (T, Ec, Et, Ew) where
+// T maps thread symbols to (priority, vertex sequence), Ec holds fcreate
+// edges (u, b) — shorthand for an edge from u to the first vertex of b —
+// Et holds ftouch edges (a, u) — shorthand for an edge from the last
+// vertex of a to u — and Ew holds weak edges between vertices.
+// Consecutive vertices of a thread are joined by continuation edges.
+//
+// Strong edges (continuation, fcreate, ftouch) determine which schedules
+// are valid for the DAG; weak edges determine whether the DAG is valid for
+// a given schedule (admissibility, Sec. 2.2).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_DAG_GRAPH_H
+#define REPRO_DAG_GRAPH_H
+
+#include "dag/Priority.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repro::dag {
+
+using VertexId = uint32_t;
+using ThreadId = uint32_t;
+
+constexpr VertexId InvalidVertex = ~VertexId(0);
+constexpr ThreadId InvalidThread = ~ThreadId(0);
+
+/// Kinds of edges. The first three are strong; Weak edges record
+/// happens-before facts flowing through mutable state.
+enum class EdgeKind : uint8_t { Continuation, Create, Touch, Weak };
+
+/// True for edge kinds that constrain readiness.
+inline bool isStrong(EdgeKind Kind) { return Kind != EdgeKind::Weak; }
+
+/// A resolved vertex-to-vertex edge.
+struct Edge {
+  VertexId Src;
+  VertexId Dst;
+  EdgeKind Kind;
+
+  bool operator==(const Edge &Other) const = default;
+};
+
+/// A cost DAG in the paper's sense.
+///
+/// Construction protocol: create threads with addThread(), append vertices
+/// with addVertex(), then record fcreate/ftouch/weak edges. Create and
+/// touch edges are stored against *threads* (as in the paper's Ec/Et) and
+/// resolved to the child's first / the source's last vertex when the edge
+/// list is materialized, so threads may keep growing after the edge is
+/// recorded.
+class Graph {
+public:
+  explicit Graph(PriorityOrder Order) : Order(std::move(Order)) {}
+
+  //===--------------------------------------------------------------------===
+  // Construction
+  //===--------------------------------------------------------------------===
+
+  /// Adds a thread at priority \p Prio with no vertices yet.
+  ThreadId addThread(PrioId Prio, std::string Name = "");
+
+  /// Appends a vertex to \p Thread (adding a continuation edge from the
+  /// previous last vertex, if any). Returns the new vertex id.
+  VertexId addVertex(ThreadId Thread);
+
+  /// Records an fcreate edge (\p Creator, \p Child) ∈ Ec: \p Creator
+  /// spawned thread \p Child. Resolves to Child's first vertex.
+  void addCreateEdge(VertexId Creator, ThreadId Child);
+
+  /// Records an ftouch edge (\p Touched, \p Toucher) ∈ Et: vertex
+  /// \p Toucher waits for thread \p Touched. Resolves from Touched's last
+  /// vertex.
+  void addTouchEdge(ThreadId Touched, VertexId Toucher);
+
+  /// Records a weak edge (\p Src, \p Dst) ∈ Ew: the DAG is only valid for
+  /// schedules executing Src before Dst (a read of Dst observing Src's
+  /// write).
+  void addWeakEdge(VertexId Src, VertexId Dst);
+
+  //===--------------------------------------------------------------------===
+  // Structure queries
+  //===--------------------------------------------------------------------===
+
+  std::size_t numThreads() const { return Threads.size(); }
+  std::size_t numVertices() const { return VertexThread.size(); }
+
+  const PriorityOrder &priorities() const { return Order; }
+
+  PrioId threadPriority(ThreadId T) const { return Threads[T].Prio; }
+  const std::string &threadName(ThreadId T) const { return Threads[T].Name; }
+  const std::vector<VertexId> &threadVertices(ThreadId T) const {
+    return Threads[T].Vertices;
+  }
+  VertexId firstVertex(ThreadId T) const;
+  VertexId lastVertex(ThreadId T) const;
+
+  /// Thread containing \p V.
+  ThreadId vertexThread(VertexId V) const { return VertexThread[V]; }
+
+  /// Prio_g(u): priority of the thread containing \p V.
+  PrioId vertexPriority(VertexId V) const {
+    return Threads[VertexThread[V]].Prio;
+  }
+
+  /// All edges, with create/touch shorthands resolved to vertex pairs.
+  /// Includes continuation edges.
+  std::vector<Edge> allEdges() const;
+
+  /// Resolved outgoing adjacency (rebuilt lazily after mutation).
+  const std::vector<std::vector<Edge>> &outEdges() const;
+  /// Resolved incoming adjacency (Edge.Src is the predecessor).
+  const std::vector<std::vector<Edge>> &inEdges() const;
+
+  /// Raw recorded create edges as (creator vertex, child thread).
+  const std::vector<std::pair<VertexId, ThreadId>> &createEdges() const {
+    return Creates;
+  }
+  /// Raw recorded touch edges as (touched thread, touching vertex).
+  const std::vector<std::pair<ThreadId, VertexId>> &touchEdges() const {
+    return Touches;
+  }
+  /// Raw weak edges.
+  const std::vector<std::pair<VertexId, VertexId>> &weakEdges() const {
+    return Weaks;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Reachability (ancestor relations, Sec. 2.2)
+  //===--------------------------------------------------------------------===
+
+  /// u ⊒ v: there is a directed path (over any edges) from u to v; reflexive.
+  bool isAncestor(VertexId U, VertexId V) const;
+
+  /// u ⊒s v: u ⊒ v and every path from u to v is strong (contains no weak
+  /// edge).
+  bool isStrongAncestor(VertexId U, VertexId V) const;
+
+  /// u ⊒w v: there exists a path from u to v containing at least one weak
+  /// edge.
+  bool isWeakAncestor(VertexId U, VertexId V) const;
+
+  /// Set of vertices that can reach \p V (including V itself) over any
+  /// edges. Returned as a dense boolean mask indexed by VertexId.
+  std::vector<uint8_t> ancestorsOf(VertexId V) const;
+
+  /// Set of vertices reachable from \p V (including V itself).
+  std::vector<uint8_t> descendantsOf(VertexId V) const;
+
+  /// Mask of vertices u such that there is a weak path (≥1 weak edge) from
+  /// \p Src to u.
+  std::vector<uint8_t> weakReachableFrom(VertexId Src) const;
+
+  /// Mask of vertices u such that there is a weak path from u to \p Dst.
+  std::vector<uint8_t> weakReachingTo(VertexId Dst) const;
+
+  /// True if the strong+weak edge relation is acyclic (it always is when
+  /// built through this API from a real execution, but analyses assert it).
+  bool isAcyclic() const;
+
+  /// Topological order over all edges; empty if cyclic.
+  std::vector<VertexId> topologicalOrder() const;
+
+private:
+  struct ThreadInfo {
+    PrioId Prio;
+    std::string Name;
+    std::vector<VertexId> Vertices;
+  };
+
+  void invalidateAdjacency() { AdjacencyValid = false; }
+  void rebuildAdjacency() const;
+
+  PriorityOrder Order;
+  std::vector<ThreadInfo> Threads;
+  std::vector<ThreadId> VertexThread;
+  std::vector<std::pair<VertexId, ThreadId>> Creates;
+  std::vector<std::pair<ThreadId, VertexId>> Touches;
+  std::vector<std::pair<VertexId, VertexId>> Weaks;
+
+  mutable bool AdjacencyValid = false;
+  mutable std::vector<std::vector<Edge>> Out;
+  mutable std::vector<std::vector<Edge>> In;
+};
+
+} // namespace repro::dag
+
+#endif // REPRO_DAG_GRAPH_H

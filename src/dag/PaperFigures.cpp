@@ -1,0 +1,73 @@
+//===- dag/PaperFigures.cpp - The worked-example DAGs of the paper --------===//
+
+#include "dag/PaperFigures.h"
+
+namespace repro::dag {
+
+namespace {
+
+/// Fig. 1 uses a single priority; the interesting structure is the edges.
+Fig1 makeFig1Common(bool WithTouch, bool WithWeakEdge) {
+  PriorityOrder Order = PriorityOrder::totalOrder(1);
+  Graph G(Order);
+  ThreadId Main = G.addThread(0, "main");
+  ThreadId F = G.addThread(0, "f");
+  ThreadId GT = G.addThread(0, "g");
+
+  VertexId V8 = G.addVertex(Main); // fcreate(f)
+  VertexId V9 = G.addVertex(Main); // read of t / conditional
+  VertexId V5 = G.addVertex(F);    // t = fcreate(g)
+  VertexId V3 = G.addVertex(GT);   // body of g
+
+  G.addCreateEdge(V8, F);
+  G.addCreateEdge(V5, GT);
+
+  VertexId V10 = InvalidVertex;
+  if (WithTouch) {
+    V10 = G.addVertex(Main); // ftouch(t)
+    G.addTouchEdge(GT, V10);
+  }
+  if (WithWeakEdge)
+    G.addWeakEdge(V5, V9); // the read of t observes f's write
+
+  return {std::move(G), Main, F, GT, V8, V9, V10, V5, V3};
+}
+
+Fig2 makeFig2Common(bool WithWeakPath) {
+  PriorityOrder Order = PriorityOrder::totalOrder(2); // 0 = low, 1 = high
+  Graph G(Order);
+  ThreadId A = G.addThread(1, "a");
+  ThreadId C = G.addThread(0, "c");
+  ThreadId B = G.addThread(1, "b");
+
+  VertexId S = G.addVertex(A);       // s: spawns c
+  VertexId U0 = G.addVertex(C);      // u0: fcreates b
+  VertexId U = G.addVertex(B);       // u
+  VertexId UPrime = G.addVertex(B);  // u′: end of b
+
+  G.addCreateEdge(S, C);
+  G.addCreateEdge(U0, B);
+
+  VertexId R = InvalidVertex, W = InvalidVertex;
+  if (WithWeakPath) {
+    W = G.addVertex(C); // w: writes b's handle
+    R = G.addVertex(A); // r: reads the handle before touching
+  }
+  VertexId T = G.addVertex(A); // t: ftouches b
+  G.addTouchEdge(B, T);
+  if (WithWeakPath)
+    G.addWeakEdge(W, R);
+
+  return {std::move(G), A, B, C, S, R, T, U0, W, U, UPrime};
+}
+
+} // namespace
+
+Fig1 makeFig1a() { return makeFig1Common(/*WithTouch=*/true, /*WithWeakEdge=*/false); }
+Fig1 makeFig1b() { return makeFig1Common(/*WithTouch=*/false, /*WithWeakEdge=*/false); }
+Fig1 makeFig1c() { return makeFig1Common(/*WithTouch=*/true, /*WithWeakEdge=*/true); }
+
+Fig2 makeFig2a() { return makeFig2Common(/*WithWeakPath=*/false); }
+Fig2 makeFig2b() { return makeFig2Common(/*WithWeakPath=*/true); }
+
+} // namespace repro::dag

@@ -1,0 +1,53 @@
+//===- dag/PaperFigures.h - The worked-example DAGs of the paper *- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// Builders for the exact DAGs of Figures 1–3, used by unit tests and the
+// dag_analysis example to reproduce the paper's worked examples: the
+// schedule-dependence of the DAG in Fig. 1, the priority-inversion DAG and
+// its weakly-mitigated repair in Fig. 2, and the a-strengthening in Fig. 3.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_DAG_PAPERFIGURES_H
+#define REPRO_DAG_PAPERFIGURES_H
+
+#include "dag/Graph.h"
+
+namespace repro::dag {
+
+/// Fig. 1: main (vertices 8, 9, [10]) spawns f (vertex 5), which spawns
+/// g (vertex 3); variant (a) touches g from vertex 10, variant (b) omits
+/// the touch, variant (c) is (a) plus the weak edge (5, 9).
+struct Fig1 {
+  Graph G;
+  ThreadId Main, F, GThread;
+  VertexId V8, V9, V10, V5, V3; // V10 == InvalidVertex in variant (b)
+};
+
+Fig1 makeFig1a();
+Fig1 makeFig1b();
+Fig1 makeFig1c();
+
+/// Fig. 2: high-priority thread a = s···t; low-priority thread c contains
+/// u0 (and, in variant (b), the write w); u0 fcreates the high-priority
+/// thread b = u·u′ which t ftouches. Variant (a) is ill-formed; variant (b)
+/// adds the weak path u0 → w ⇝ r (a vertex of a before t), making it
+/// well-formed. The same shape illustrates strengthening (Fig. 3).
+struct Fig2 {
+  Graph G;
+  ThreadId A, B, C;
+  VertexId S, R, T;  // thread a: s · r · t (r only in variant (b))
+  VertexId U0, W;    // thread c (W only in variant (b))
+  VertexId U, UPrime; // thread b
+};
+
+Fig2 makeFig2a();
+Fig2 makeFig2b();
+
+} // namespace repro::dag
+
+#endif // REPRO_DAG_PAPERFIGURES_H

@@ -1,0 +1,57 @@
+//===- dag/Priority.cpp - Partially ordered priorities --------------------===//
+
+#include "dag/Priority.h"
+
+#include <cassert>
+
+namespace repro::dag {
+
+PrioId PriorityOrder::addPriority(std::string Name) {
+  std::size_t OldN = Names.size();
+  std::size_t NewN = OldN + 1;
+  if (Name.empty())
+    Name = "p" + std::to_string(OldN);
+  Names.push_back(std::move(Name));
+
+  // Re-lay-out the row-major matrix for the new dimension.
+  std::vector<uint8_t> NewLeq(NewN * NewN, 0);
+  for (std::size_t A = 0; A < OldN; ++A)
+    for (std::size_t B = 0; B < OldN; ++B)
+      NewLeq[A * NewN + B] = Leq[A * OldN + B];
+  NewLeq[OldN * NewN + OldN] = 1; // reflexivity
+  Leq = std::move(NewLeq);
+  return static_cast<PrioId>(OldN);
+}
+
+bool PriorityOrder::addLess(PrioId Lo, PrioId Hi) {
+  assert(Lo < Names.size() && Hi < Names.size() && "unknown priority id");
+  if (Lo == Hi || leq(Hi, Lo))
+    return false;
+  // Close transitively: everything ⪯ Lo becomes ⪯ everything Hi ⪯ ... i.e.
+  // for all A ⪯ Lo and Hi ⪯ B, set A ⪯ B.
+  std::size_t N = Names.size();
+  for (std::size_t A = 0; A < N; ++A) {
+    if (!Leq[index(static_cast<PrioId>(A), Lo)])
+      continue;
+    for (std::size_t B = 0; B < N; ++B)
+      if (Leq[index(Hi, static_cast<PrioId>(B))])
+        Leq[index(static_cast<PrioId>(A), static_cast<PrioId>(B))] = 1;
+  }
+  return true;
+}
+
+bool PriorityOrder::leq(PrioId A, PrioId B) const {
+  assert(A < Names.size() && B < Names.size() && "unknown priority id");
+  return Leq[index(A, B)] != 0;
+}
+
+PriorityOrder PriorityOrder::totalOrder(std::size_t N) {
+  PriorityOrder Order;
+  for (std::size_t I = 0; I < N; ++I)
+    Order.addPriority("level" + std::to_string(I));
+  for (std::size_t I = 0; I + 1 < N; ++I)
+    Order.addLess(static_cast<PrioId>(I), static_cast<PrioId>(I + 1));
+  return Order;
+}
+
+} // namespace repro::dag

@@ -1,0 +1,84 @@
+//===- dag/Priority.h - Partially ordered priorities ------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper draws priorities ρ from a partially ordered set R, where
+// ρ1 ⪯ ρ2 means ρ1 is lower than or equal to ρ2 (Sec. 2.1). PriorityOrder
+// represents such a set: priorities are small integer ids, the programmer
+// declares generating relations `lo ≺ hi`, and the class maintains the
+// reflexive-transitive closure so ⪯, ≺, and incomparability queries are
+// O(1) bitset lookups. A total order (the common case; I-Cilk levels) is a
+// special case built by totalOrder().
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_DAG_PRIORITY_H
+#define REPRO_DAG_PRIORITY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repro::dag {
+
+/// Dense id of a priority within a PriorityOrder.
+using PrioId = uint32_t;
+
+/// A finite partially ordered set of priorities.
+///
+/// Invariant: the internal Leq matrix is always a reflexive, transitive
+/// relation; addLess() rejects edges that would create a cycle (which would
+/// collapse two distinct priorities).
+class PriorityOrder {
+public:
+  PriorityOrder() = default;
+
+  /// Creates a new priority, initially incomparable to all others.
+  PrioId addPriority(std::string Name = "");
+
+  /// Declares Lo ≺ Hi (and closes transitively). Returns false — and leaves
+  /// the order unchanged — if Hi ⪯ Lo already holds with Hi != Lo, i.e. the
+  /// edge would create a cycle; declaring Lo ≺ Lo is also rejected.
+  bool addLess(PrioId Lo, PrioId Hi);
+
+  /// ρ1 ⪯ ρ2: lower-or-equal.
+  bool leq(PrioId A, PrioId B) const;
+
+  /// ρ1 ≺ ρ2: strictly lower.
+  bool less(PrioId A, PrioId B) const { return A != B && leq(A, B); }
+
+  /// Neither A ⪯ B nor B ⪯ A.
+  bool incomparable(PrioId A, PrioId B) const {
+    return !leq(A, B) && !leq(B, A);
+  }
+
+  std::size_t size() const { return Names.size(); }
+  const std::string &name(PrioId P) const { return Names[P]; }
+
+  /// Builds the total order 0 ≺ 1 ≺ ... ≺ N-1 (higher id = higher priority),
+  /// matching I-Cilk's integer levels.
+  static PriorityOrder totalOrder(std::size_t N);
+
+  /// True if \p P is maximal among the ids in \p Others (no element strictly
+  /// greater). Used by the prompt scheduler.
+  template <typename Range> bool isMaximalIn(PrioId P, const Range &Others) const {
+    for (PrioId Q : Others)
+      if (less(P, Q))
+        return false;
+    return true;
+  }
+
+private:
+  std::size_t index(PrioId A, PrioId B) const { return A * Names.size() + B; }
+
+  std::vector<std::string> Names;
+  /// Row-major reachability matrix: Leq[index(A,B)] iff A ⪯ B.
+  std::vector<uint8_t> Leq;
+};
+
+} // namespace repro::dag
+
+#endif // REPRO_DAG_PRIORITY_H

@@ -1,0 +1,165 @@
+//===- dag/RandomDag.cpp - Random well-formed DAG generation --------------===//
+
+#include "dag/RandomDag.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace repro::dag {
+
+namespace {
+
+/// Mutable generator state for one simulated thread.
+struct SimThread {
+  ThreadId Id;
+  PrioId Prio;
+  bool Finished = false;
+  /// Threads this one "knows about" (can legally ftouch / has handles to).
+  std::vector<ThreadId> Known;
+};
+
+/// State of one shared mutable cell: the vertex of the last write plus a
+/// snapshot of the writer's knowledge (rule D-Set3's signature).
+struct SimCell {
+  VertexId Writer = InvalidVertex;
+  std::vector<ThreadId> Knowledge;
+};
+
+void mergeKnown(std::vector<ThreadId> &Into, const std::vector<ThreadId> &From) {
+  for (ThreadId T : From)
+    if (std::find(Into.begin(), Into.end(), T) == Into.end())
+      Into.push_back(T);
+}
+
+} // namespace
+
+Graph randomWellFormedDag(repro::Rng &R, const RandomDagConfig &Config) {
+  assert(Config.NumPriorities >= 1 && Config.NumCells >= 1);
+  PriorityOrder Order = PriorityOrder::totalOrder(Config.NumPriorities);
+  Graph G(Order);
+
+  std::vector<SimThread> Threads;
+  auto TopPrio = static_cast<PrioId>(Config.NumPriorities - 1);
+  ThreadId RootId = G.addThread(TopPrio, "root");
+  G.addVertex(RootId);
+  Threads.push_back({RootId, TopPrio, false, {}});
+
+  std::vector<SimCell> Cells(Config.NumCells);
+
+  auto ActiveCount = [&] {
+    std::size_t N = 0;
+    for (const SimThread &T : Threads)
+      N += T.Finished ? 0 : 1;
+    return N;
+  };
+
+  while (G.numVertices() < Config.TargetVertices && ActiveCount() > 0) {
+    // Pick a random active thread.
+    std::size_t Pick = R.nextBelow(ActiveCount());
+    SimThread *A = nullptr;
+    for (SimThread &T : Threads) {
+      if (T.Finished)
+        continue;
+      if (Pick == 0) {
+        A = &T;
+        break;
+      }
+      --Pick;
+    }
+    assert(A && "active thread lookup failed");
+
+    double Roll = R.nextDouble();
+    if (Roll < Config.CreateProb) {
+      // fcreate: new child at a random priority; the child inherits the
+      // parent's knowledge (D-Create) and the parent learns the child.
+      VertexId U = G.addVertex(A->Id);
+      auto ChildPrio = static_cast<PrioId>(R.nextBelow(Config.NumPriorities));
+      ThreadId Child = G.addThread(ChildPrio);
+      G.addVertex(Child);
+      G.addCreateEdge(U, Child);
+      SimThread ChildSim{Child, ChildPrio, false, A->Known};
+      A->Known.push_back(Child);
+      Threads.push_back(std::move(ChildSim));
+      // NOTE: Threads reallocation invalidates A; do not use it below.
+      continue;
+    }
+    Roll -= Config.CreateProb;
+
+    if (Roll < Config.TouchProb) {
+      // ftouch a known, finished thread of ⪰ priority (the Touch rule).
+      std::vector<ThreadId> Candidates;
+      for (ThreadId Tid : A->Known) {
+        const SimThread &B = Threads[Tid];
+        if (B.Finished && Order.leq(A->Prio, B.Prio))
+          Candidates.push_back(Tid);
+      }
+      if (!Candidates.empty()) {
+        ThreadId B = Candidates[R.nextBelow(Candidates.size())];
+        VertexId U = G.addVertex(A->Id);
+        G.addTouchEdge(B, U);
+        mergeKnown(A->Known, Threads[B].Known);
+        continue;
+      }
+      // Fall through to plain work below.
+    } else {
+      Roll -= Config.TouchProb;
+      if (Roll < Config.WriteProb) {
+        // Write a shared cell: the cell records the write vertex and a
+        // snapshot of the writer's knowledge (D-Set3).
+        VertexId W = G.addVertex(A->Id);
+        SimCell &Cell = Cells[R.nextBelow(Cells.size())];
+        Cell.Writer = W;
+        Cell.Knowledge = A->Known;
+        continue;
+      }
+      Roll -= Config.WriteProb;
+      if (Roll < Config.ReadProb) {
+        // Read a shared cell: weak edge from its last writer (D-Get2), and
+        // the reader learns the cell's signature.
+        SimCell &Cell = Cells[R.nextBelow(Cells.size())];
+        if (Cell.Writer != InvalidVertex) {
+          VertexId U = G.addVertex(A->Id);
+          G.addWeakEdge(Cell.Writer, U);
+          mergeKnown(A->Known, Cell.Knowledge);
+          continue;
+        }
+        // Unwritten cell: fall through to plain work.
+      } else {
+        Roll -= Config.ReadProb;
+        if (Roll < Config.FinishProb && A->Id != RootId) {
+          // Retire: append a terminal "return" vertex so ftouch edges leave
+          // from a vertex after any fcreate/write (keeping knows-about
+          // paths' first edges continuations), then stop scheduling it.
+          G.addVertex(A->Id);
+          A->Finished = true;
+          continue;
+        }
+      }
+    }
+
+    // Plain unit of work.
+    G.addVertex(A->Id);
+  }
+
+  // Retire all remaining non-root threads, then give the root a join vertex
+  // touching every finished thread it knows about (at ⪰ its priority, i.e.
+  // only top-priority ones) so the root's response time covers real work.
+  for (SimThread &T : Threads)
+    if (T.Id != RootId && !T.Finished) {
+      G.addVertex(T.Id);
+      T.Finished = true;
+    }
+  SimThread &Root = Threads[RootId];
+  for (ThreadId Tid : Root.Known) {
+    const SimThread &B = Threads[Tid];
+    if (Order.leq(Root.Prio, B.Prio)) {
+      VertexId U = G.addVertex(RootId);
+      G.addTouchEdge(B.Id, U);
+    }
+  }
+  G.addVertex(RootId); // root's final vertex t
+  return G;
+}
+
+} // namespace repro::dag

@@ -1,0 +1,48 @@
+//===- dag/RandomDag.h - Random well-formed DAG generation ------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// Generates random cost DAGs by simulating a random λ⁴ᵢ-like program: a
+// pool of threads at totally ordered priorities performs work, fcreates
+// children, ftouches finished threads it knows about at ⪰ its own
+// priority, and communicates through shared cells (which produce weak
+// edges). Because every ftouch obeys the priority rule and knowledge
+// propagates along real edges, the resulting graphs are strongly
+// well-formed by construction — the property tests check the analyses
+// agree, and the theory bench feeds these graphs to the prompt-schedule
+// simulator to validate the Theorem 2.3 bound.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_DAG_RANDOMDAG_H
+#define REPRO_DAG_RANDOMDAG_H
+
+#include "dag/Graph.h"
+#include "support/Random.h"
+
+#include <cstdint>
+
+namespace repro::dag {
+
+/// Knobs for the generator.
+struct RandomDagConfig {
+  std::size_t NumPriorities = 3;  ///< totally ordered levels
+  std::size_t TargetVertices = 200;
+  double CreateProb = 0.15;  ///< chance a step fcreates a child
+  double TouchProb = 0.10;   ///< chance a step ftouches a known finished thread
+  double WriteProb = 0.10;   ///< chance a step writes a shared cell
+  double ReadProb = 0.10;    ///< chance a step reads a shared cell (weak edge)
+  double FinishProb = 0.05;  ///< chance a non-root thread retires
+  std::size_t NumCells = 8;  ///< shared mutable cells
+};
+
+/// Generates a strongly well-formed DAG. The root thread runs at the
+/// highest priority so every thread can be joined transitively.
+Graph randomWellFormedDag(repro::Rng &R, const RandomDagConfig &Config);
+
+} // namespace repro::dag
+
+#endif // REPRO_DAG_RANDOMDAG_H

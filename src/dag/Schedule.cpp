@@ -1,0 +1,210 @@
+//===- dag/Schedule.cpp - Prompt schedules of cost DAGs -------------------===//
+
+#include "dag/Schedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace repro::dag {
+
+Schedule promptSchedule(const Graph &G, unsigned P, WeakEdgePolicy Policy) {
+  assert(P >= 1 && "need at least one core");
+  std::size_t N = G.numVertices();
+  Schedule S;
+  S.NumCores = P;
+  S.StepOf.assign(N, NotExecuted);
+  if (N == 0)
+    return S;
+
+  const auto &In = G.inEdges();
+  // Pending strong (and optionally weak) parents per vertex.
+  std::vector<uint32_t> Pending(N, 0);
+  for (std::size_t V = 0; V < N; ++V)
+    for (const Edge &E : In[V])
+      if (isStrong(E.Kind) || Policy == WeakEdgePolicy::Respect)
+        ++Pending[V];
+
+  std::vector<VertexId> Ready;
+  for (std::size_t V = 0; V < N; ++V)
+    if (Pending[V] == 0)
+      Ready.push_back(static_cast<VertexId>(V));
+
+  const auto &Out = G.outEdges();
+  const PriorityOrder &Order = G.priorities();
+  std::size_t Executed = 0;
+
+  while (Executed < N) {
+    if (Ready.empty()) {
+      // Only possible under Ignore policy on graphs where weak edges form a
+      // cycle with strong ones, or with malformed input; bail out leaving
+      // the remaining vertices unexecuted.
+      break;
+    }
+    // Pick up to P ready vertices, each maximal in priority among the
+    // remaining unassigned ready vertices. Lower ids win ties.
+    std::vector<VertexId> Assigned;
+    std::vector<uint8_t> Taken(Ready.size(), 0);
+    for (unsigned Core = 0; Core < P; ++Core) {
+      std::size_t Best = Ready.size();
+      for (std::size_t I = 0; I < Ready.size(); ++I) {
+        if (Taken[I])
+          continue;
+        bool Maximal = true;
+        for (std::size_t J = 0; J < Ready.size() && Maximal; ++J)
+          if (J != I && !Taken[J] &&
+              Order.less(G.vertexPriority(Ready[I]),
+                         G.vertexPriority(Ready[J])))
+            Maximal = false;
+        if (!Maximal)
+          continue;
+        if (Best == Ready.size() || Ready[I] < Ready[Best])
+          Best = I;
+      }
+      if (Best == Ready.size())
+        break; // no unassigned ready vertex left
+      Taken[Best] = 1;
+      Assigned.push_back(Ready[Best]);
+    }
+
+    uint32_t Step = static_cast<uint32_t>(S.Steps.size());
+    for (VertexId V : Assigned)
+      S.StepOf[V] = Step;
+    Executed += Assigned.size();
+    S.Steps.push_back(Assigned);
+
+    // Rebuild the ready list: drop executed, then add newly-enabled.
+    std::vector<VertexId> NextReady;
+    NextReady.reserve(Ready.size());
+    for (std::size_t I = 0; I < Ready.size(); ++I)
+      if (!Taken[I])
+        NextReady.push_back(Ready[I]);
+    for (VertexId V : Assigned)
+      for (const Edge &E : Out[V]) {
+        if (!isStrong(E.Kind) && Policy != WeakEdgePolicy::Respect)
+          continue;
+        if (--Pending[E.Dst] == 0)
+          NextReady.push_back(E.Dst);
+      }
+    Ready = std::move(NextReady);
+  }
+  return S;
+}
+
+CheckResult checkValidSchedule(const Graph &G, const Schedule &S) {
+  std::size_t N = G.numVertices();
+  if (S.StepOf.size() != N)
+    return {false, "schedule covers a different vertex count"};
+  std::vector<uint32_t> SeenAt(N, NotExecuted);
+  for (std::size_t Step = 0; Step < S.Steps.size(); ++Step) {
+    if (S.Steps[Step].size() > S.NumCores)
+      return {false, "step " + std::to_string(Step) + " exceeds core count"};
+    for (VertexId V : S.Steps[Step]) {
+      if (SeenAt[V] != NotExecuted)
+        return {false, "vertex executed twice"};
+      SeenAt[V] = static_cast<uint32_t>(Step);
+    }
+  }
+  for (std::size_t V = 0; V < N; ++V) {
+    if (SeenAt[V] == NotExecuted)
+      return {false, "vertex v" + std::to_string(V) + " never executed"};
+    if (SeenAt[V] != S.StepOf[V])
+      return {false, "StepOf inconsistent with Steps"};
+  }
+  for (const Edge &E : G.allEdges()) {
+    if (!isStrong(E.Kind))
+      continue;
+    if (S.StepOf[E.Src] >= S.StepOf[E.Dst])
+      return {false, "strong dependence violated at edge (v" +
+                         std::to_string(E.Src) + ", v" +
+                         std::to_string(E.Dst) + ")"};
+  }
+  return {};
+}
+
+bool isAdmissible(const Graph &G, const Schedule &S) {
+  for (auto [Src, Dst] : G.weakEdges()) {
+    if (S.StepOf[Src] == NotExecuted || S.StepOf[Dst] == NotExecuted)
+      return false;
+    if (S.StepOf[Src] >= S.StepOf[Dst])
+      return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Step at which each vertex becomes strong-ready under schedule \p S.
+std::vector<uint32_t> strongReadySteps(const Graph &G, const Schedule &S) {
+  const auto &In = G.inEdges();
+  std::vector<uint32_t> ReadyAt(G.numVertices(), 0);
+  for (VertexId V = 0; V < G.numVertices(); ++V)
+    for (const Edge &E : In[V]) {
+      if (!isStrong(E.Kind))
+        continue;
+      if (S.StepOf[E.Src] == NotExecuted) {
+        ReadyAt[V] = NotExecuted;
+        break;
+      }
+      ReadyAt[V] = std::max(ReadyAt[V], S.StepOf[E.Src] + 1);
+    }
+  return ReadyAt;
+}
+
+} // namespace
+
+CheckResult checkPrompt(const Graph &G, const Schedule &S) {
+  std::vector<uint32_t> ReadyAt = strongReadySteps(G, S);
+  const PriorityOrder &Order = G.priorities();
+  for (uint32_t Step = 0; Step < S.Steps.size(); ++Step) {
+    // Ready-but-unassigned vertices at this step.
+    std::vector<VertexId> Waiting;
+    for (VertexId V = 0; V < G.numVertices(); ++V)
+      if (ReadyAt[V] != NotExecuted && ReadyAt[V] <= Step &&
+          S.StepOf[V] > Step)
+        Waiting.push_back(V);
+    if (Waiting.empty())
+      continue;
+    if (S.Steps[Step].size() < S.NumCores) {
+      std::ostringstream OS;
+      OS << "step " << Step << ": core idle while v" << Waiting.front()
+         << " is ready";
+      return {false, OS.str()};
+    }
+    for (VertexId U : S.Steps[Step])
+      for (VertexId V : Waiting)
+        if (Order.less(G.vertexPriority(U), G.vertexPriority(V))) {
+          std::ostringstream OS;
+          OS << "step " << Step << ": v" << U << " assigned while higher v"
+             << V << " waits";
+          return {false, OS.str()};
+        }
+  }
+  return {};
+}
+
+uint32_t readyStep(const Graph &G, const Schedule &S, ThreadId A) {
+  const auto &Vs = G.threadVertices(A);
+  assert(!Vs.empty() && "readyStep of an empty thread");
+  return strongReadySteps(G, S)[Vs.front()];
+}
+
+uint64_t responseTime(const Graph &G, const Schedule &S, ThreadId A) {
+  const auto &Vs = G.threadVertices(A);
+  assert(!Vs.empty() && "responseTime of an empty thread");
+  uint32_t Ready = readyStep(G, S, A);
+  uint32_t Done = S.StepOf[Vs.back()];
+  assert(Ready != NotExecuted && Done != NotExecuted && Done >= Ready);
+  return static_cast<uint64_t>(Done) - Ready + 1;
+}
+
+BoundCheck checkResponseBound(const Graph &G, const Schedule &S, ThreadId A) {
+  BoundCheck Check;
+  Check.Observed = responseTime(G, S, A);
+  Check.Bound = responseBound(G, A);
+  Check.BoundValue = Check.Bound.bound(S.NumCores);
+  Check.Holds = static_cast<double>(Check.Observed) <= Check.BoundValue;
+  return Check;
+}
+
+} // namespace repro::dag

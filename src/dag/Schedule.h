@@ -1,0 +1,96 @@
+//===- dag/Schedule.h - Prompt schedules of cost DAGs -----------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// A schedule assigns vertices to P cores at each time step (Sec. 2.1). A
+// vertex is *ready* once all of its strong parents executed on prior steps;
+// a schedule is *prompt* if at every step it assigns ready vertices such
+// that no unassigned ready vertex is higher-priority than an assigned one,
+// until cores or ready vertices run out; it is *admissible* for the DAG if
+// every weak edge's source executes strictly before its target (Sec. 2.2).
+//
+// PromptScheduler simulates prompt scheduling. In its default
+// (WeakEdgePolicy::Respect) mode it also delays reads behind the writes
+// their weak edges record — this is what a real execution does (the read
+// simply observes an earlier write), and the resulting schedule is
+// admissible by construction. The Ignore mode schedules strong-ready
+// vertices only, which can produce inadmissible schedules for DAGs like
+// Fig. 1(c) — tests use it to reproduce exactly that phenomenon.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_DAG_SCHEDULE_H
+#define REPRO_DAG_SCHEDULE_H
+
+#include "dag/Analysis.h"
+#include "dag/Graph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace repro::dag {
+
+constexpr uint32_t NotExecuted = ~uint32_t(0);
+
+/// A complete schedule of a DAG.
+struct Schedule {
+  /// Steps[k] = vertices executed at time step k (at most P).
+  std::vector<std::vector<VertexId>> Steps;
+  /// StepOf[v] = step at which v executed (NotExecuted if never).
+  std::vector<uint32_t> StepOf;
+  unsigned NumCores = 1;
+
+  std::size_t length() const { return Steps.size(); }
+};
+
+/// How the simulator treats weak edges when deciding readiness.
+enum class WeakEdgePolicy {
+  /// Delay a vertex until its weak parents executed too (admissible by
+  /// construction; models real executions).
+  Respect,
+  /// Readiness considers strong parents only (the paper's literal prompt
+  /// definition; may yield inadmissible schedules).
+  Ignore,
+};
+
+/// Simulates a prompt P-core schedule of \p G. Ties among equally-eligible
+/// ready vertices break toward lower vertex ids, so runs are deterministic.
+Schedule promptSchedule(const Graph &G, unsigned P,
+                        WeakEdgePolicy Policy = WeakEdgePolicy::Respect);
+
+/// True if every vertex executes exactly once and only after its strong
+/// parents (on strictly earlier steps), with at most P per step.
+CheckResult checkValidSchedule(const Graph &G, const Schedule &S);
+
+/// Admissibility: every weak edge's source runs strictly before its target.
+bool isAdmissible(const Graph &G, const Schedule &S);
+
+/// Promptness per Sec. 2.1: no idle core while strong-ready work exists, and
+/// nothing assigned while a strictly higher-priority ready vertex waits.
+CheckResult checkPrompt(const Graph &G, const Schedule &S);
+
+/// Step at which thread \p A's first vertex became ready (all strong
+/// parents done), i.e. the start of its response-time window.
+uint32_t readyStep(const Graph &G, const Schedule &S, ThreadId A);
+
+/// T(a): steps from when a's first vertex becomes ready to when its last
+/// vertex executes, inclusive (Sec. 2.3).
+uint64_t responseTime(const Graph &G, const Schedule &S, ThreadId A);
+
+/// Evaluation of Theorem 2.3 for one thread under one schedule.
+struct BoundCheck {
+  uint64_t Observed = 0;     ///< T(a)
+  ResponseBound Bound;       ///< W and S_a
+  double BoundValue = 0.0;   ///< (W + (P-1)·S_a)/P
+  bool Holds = false;        ///< Observed ≤ BoundValue
+};
+
+/// Computes T(a) and the Theorem 2.3 right-hand side for thread \p A.
+BoundCheck checkResponseBound(const Graph &G, const Schedule &S, ThreadId A);
+
+} // namespace repro::dag
+
+#endif // REPRO_DAG_SCHEDULE_H

@@ -1,0 +1,208 @@
+//===- icilk/Context.h - fcreate / ftouch programming interface -*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The Sec. 4.1 programming interface. Context<Prio> is the C++ rendering of
+// the paper's "command function" wrapper: a task body receives the context
+// of its own static priority, and every ftouch goes through it so the
+// Sec. 4.2 static_assert can compare the toucher's and touchee's priority
+// classes. fcreate is deliberately *not* priority-restricted (any code may
+// spawn at any priority, exactly as in λ⁴ᵢ).
+//
+//   ICILK_PRIORITY(Bg, icilk::BasePriority, 0);
+//   ICILK_PRIORITY(Ui, Bg, 1);
+//
+//   auto F = icilk::fcreate<Ui>(Rt, [](icilk::Context<Ui> &Ctx) {
+//     auto Inner = Ctx.fcreate<Ui>([](auto &) { return 21; });
+//     return 2 * Ctx.ftouch(Inner);
+//   });
+//   int R = icilk::touchFromOutside(Rt, F);   // external join, no check
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_ICILK_CONTEXT_H
+#define REPRO_ICILK_CONTEXT_H
+
+#include "conc/Backoff.h"
+#include "icilk/Future.h"
+#include "icilk/Runtime.h"
+#include "icilk/Trace.h"
+
+#include <cassert>
+#include <type_traits>
+#include <utility>
+
+namespace repro::icilk {
+
+template <typename Prio> class Context;
+
+namespace detail {
+
+/// Blocks until \p State completes. On a task fiber this *suspends*: the
+/// task parks on the future's waiter list and the worker returns to its
+/// scheduling loop (Cilk-F's proactive-stealing behaviour). External
+/// threads spin with backoff.
+inline void waitReady(Runtime &Rt, FutureStateBase &State) {
+  (void)Rt;
+  if (Task *Self = Task::current()) {
+    while (!State.isReady())
+      Self->suspendOn(State);
+    return;
+  }
+  conc::Backoff B;
+  while (!State.isReady())
+    B.pause();
+}
+
+/// Completes \p State with \p Value and requeues every parked waiter.
+template <typename T>
+void completeAndResume(FutureState<T> &State, T Value) {
+  for (Waiter &W : State.complete(std::move(Value)))
+    W.Rt->resumeTask(W.T);
+}
+
+/// Trace bookkeeping shared by the spawn paths: registers the new task
+/// with the attached recorder (if any) and tags the state/task.
+template <typename V>
+void traceSpawn(Runtime &Rt, FutureState<V> &State, Task &NewTask,
+                unsigned Level) {
+  if (TraceRecorder *Tr = Rt.trace()) {
+    Task *Cur = Task::current();
+    TraceTaskId Id =
+        Tr->recordSpawn(Cur ? Cur->traceId() : TraceExternal, Level);
+    State.setProducerTraceId(Id);
+    NewTask.setTraceId(Id);
+  }
+}
+
+/// Trace bookkeeping for a completed touch.
+inline void traceTouch(Runtime &Rt, const FutureStateBase &State) {
+  if (TraceRecorder *Tr = Rt.trace()) {
+    Task *Cur = Task::current();
+    Tr->recordTouch(Cur ? Cur->traceId() : TraceExternal,
+                    State.producerTraceId());
+  }
+}
+
+/// Result type of a body invoked with Context<Prio>&.
+template <typename Prio, typename Fn>
+using BodyResult = std::invoke_result_t<Fn, Context<Prio> &>;
+
+/// void-returning bodies produce Future<Prio, Unit>.
+template <typename R> struct FutureValueType {
+  using type = R;
+};
+template <> struct FutureValueType<void> {
+  using type = Unit;
+};
+
+} // namespace detail
+
+/// Spawns \p Body as a new thread at priority \p ChildPrio and returns its
+/// handle (the paper's fcreate). \p Body is invoked with a
+/// Context<ChildPrio>& so its own touches are checked at its priority.
+template <typename ChildPrio, typename Fn>
+auto fcreate(Runtime &Rt, Fn &&Body)
+    -> Future<ChildPrio,
+              typename detail::FutureValueType<
+                  detail::BodyResult<ChildPrio, Fn>>::type> {
+  static_assert(IsPriority<ChildPrio>, "fcreate priority must be a priority");
+  using R = detail::BodyResult<ChildPrio, Fn>;
+  using V = typename detail::FutureValueType<R>::type;
+  assert(ChildPrio::Level < Rt.config().NumLevels &&
+         "priority level outside the runtime's configured range");
+
+  auto State = std::make_shared<FutureState<V>>(ChildPrio::Level);
+  auto Work = [&Rt, State, Body = std::forward<Fn>(Body)]() mutable {
+    Context<ChildPrio> Ctx(Rt);
+    if constexpr (std::is_void_v<R>) {
+      Body(Ctx);
+      detail::completeAndResume(*State, Unit{});
+    } else {
+      detail::completeAndResume(*State, Body(Ctx));
+    }
+  };
+  auto NewTask = std::make_unique<Task>(std::move(Work), ChildPrio::Level);
+  detail::traceSpawn(Rt, *State, *NewTask, ChildPrio::Level);
+  Rt.submitTask(std::move(NewTask));
+  return Future<ChildPrio, V>(std::move(State));
+}
+
+/// Like fcreate, but the body also receives its *own* handle — I-Cilk's
+/// "allocate the handle, then associate it" idiom (Sec. 4.1), which the
+/// email case study uses to publish a thread's handle into shared state
+/// (the CAS coordination slot) from inside the thread itself. The value
+/// type \p T must be given explicitly. The handle is associated before the
+/// task is submitted, so the body can use it immediately.
+template <typename ChildPrio, typename T, typename Fn>
+Future<ChildPrio, T> fcreateSelf(Runtime &Rt, Fn &&Body) {
+  static_assert(IsPriority<ChildPrio>, "fcreate priority must be a priority");
+  assert(ChildPrio::Level < Rt.config().NumLevels &&
+         "priority level outside the runtime's configured range");
+  auto State = std::make_shared<FutureState<T>>(ChildPrio::Level);
+  Future<ChildPrio, T> Handle(State);
+  auto Work = [&Rt, State, Handle, Body = std::forward<Fn>(Body)]() mutable {
+    Context<ChildPrio> Ctx(Rt);
+    detail::completeAndResume(*State, Body(Ctx, Handle));
+  };
+  auto NewTask = std::make_unique<Task>(std::move(Work), ChildPrio::Level);
+  detail::traceSpawn(Rt, *State, *NewTask, ChildPrio::Level);
+  Rt.submitTask(std::move(NewTask));
+  return Handle;
+}
+
+/// Joins a future from *outside* the runtime (benchmark drivers, main()).
+/// No priority check applies — the external thread is not a scheduled
+/// command — and no helping happens (the caller is not a worker).
+template <typename Prio, typename T>
+const T &touchFromOutside(Runtime &Rt, const Future<Prio, T> &F) {
+  assert(F.isAssociated() && "ftouch of an unassociated handle");
+  detail::waitReady(Rt, *F.state());
+  detail::traceTouch(Rt, *F.state());
+  return F.state()->value();
+}
+
+/// Execution context of a running command at static priority \p Prio.
+template <typename Prio> class Context {
+public:
+  static_assert(IsPriority<Prio>, "context priority must be a priority");
+  using Priority = Prio;
+
+  explicit Context(Runtime &Rt) : Rt(Rt) {}
+
+  Runtime &runtime() const { return Rt; }
+
+  /// Spawn a child thread at \p ChildPrio (no parent/child restriction).
+  template <typename ChildPrio, typename Fn> auto fcreate(Fn &&Body) {
+    return icilk::fcreate<ChildPrio>(Rt, std::forward<Fn>(Body));
+  }
+
+  /// Wait for \p F and return its value. Compiles only when this context's
+  /// priority is lower than or equal to the future's — the λ⁴ᵢ Touch rule.
+  template <typename P2, typename T>
+  const T &ftouch(const Future<P2, T> &F) const {
+    ICILK_ASSERT_NO_INVERSION(Prio, P2);
+    assert(F.isAssociated() &&
+           "ftouch of a handle never associated by fcreate (Sec. 4.2 rule 2)");
+    assert(F.state()->level() >= Prio::Level &&
+           "runtime level disagrees with the static priority relation");
+    detail::waitReady(Rt, *F.state());
+    detail::traceTouch(Rt, *F.state());
+    return F.state()->value();
+  }
+
+  /// Non-blocking readiness probe (safe at any priority — no waiting).
+  template <typename P2, typename T> bool poll(const Future<P2, T> &F) const {
+    return F.isReady();
+  }
+
+private:
+  Runtime &Rt;
+};
+
+} // namespace repro::icilk
+
+#endif // REPRO_ICILK_CONTEXT_H

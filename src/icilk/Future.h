@@ -1,0 +1,152 @@
+//===- icilk/Future.h - Prioritized futures ---------------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// Future<Prio, T> is the handle returned by fcreate (Sec. 4.1): a
+// first-class value that can be stored in data structures or shared state
+// and ftouched later. The priority rides in the type so the Sec. 4.2
+// static check applies at every touch site; the shared state underneath is
+// type-erased for the runtime.
+//
+// The state also carries the waiter list for suspension: a task blocked on
+// an unready future parks here and is requeued by whoever completes the
+// future (a worker finishing the producing task, or the I/O timer thread).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_ICILK_FUTURE_H
+#define REPRO_ICILK_FUTURE_H
+
+#include "icilk/Priority.h"
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace repro::icilk {
+
+class Runtime;
+class Task;
+
+/// A parked task and the runtime that must requeue it.
+struct Waiter {
+  Runtime *Rt;
+  Task *T;
+};
+
+/// Type-erased completion state shared between the task and its handles.
+class FutureStateBase {
+public:
+  explicit FutureStateBase(unsigned Level) : Level(Level) {}
+  virtual ~FutureStateBase() = default;
+
+  bool isReady() const { return Ready.load(std::memory_order_acquire); }
+  unsigned level() const { return Level; }
+
+  /// Trace identity of the producing task (0 = external, e.g. I/O).
+  uint32_t producerTraceId() const { return ProducerTraceId; }
+  void setProducerTraceId(uint32_t Id) { ProducerTraceId = Id; }
+
+  /// Registers \p W unless the future is already ready; returns false (and
+  /// registers nothing) in the ready case, in which case the caller keeps
+  /// ownership of the task and requeues it itself. Runs under the state's
+  /// spinlock, so it never races with completion's waiter drain.
+  bool addWaiter(Waiter W) {
+    lock();
+    if (Ready.load(std::memory_order_relaxed)) {
+      unlock();
+      return false;
+    }
+    Waiters.push_back(W);
+    unlock();
+    return true;
+  }
+
+protected:
+  /// Publishes readiness and hands back every parked waiter; the caller
+  /// requeues them (Runtime::resumeTask).
+  [[nodiscard]] std::vector<Waiter> markReadyTakeWaiters() {
+    lock();
+    Ready.store(true, std::memory_order_release);
+    std::vector<Waiter> Out = std::move(Waiters);
+    Waiters.clear();
+    unlock();
+    return Out;
+  }
+
+private:
+  void lock() {
+    while (Lock.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() { Lock.clear(std::memory_order_release); }
+
+  std::atomic<bool> Ready{false};
+  std::atomic_flag Lock = ATOMIC_FLAG_INIT;
+  std::vector<Waiter> Waiters;
+  unsigned Level;
+  uint32_t ProducerTraceId = 0;
+};
+
+/// Completion state carrying a value of type T.
+template <typename T> class FutureState : public FutureStateBase {
+public:
+  using FutureStateBase::FutureStateBase;
+
+  /// Called exactly once on completion; returns the waiters to requeue
+  /// (see Runtime::resumeTask / icilk::completeAndResume).
+  [[nodiscard]] std::vector<Waiter> complete(T Value) {
+    assert(!isReady() && "future completed twice");
+    Storage.emplace(std::move(Value));
+    return markReadyTakeWaiters();
+  }
+
+  /// Valid only after isReady().
+  const T &value() const {
+    assert(isReady() && "value() before completion");
+    return *Storage;
+  }
+
+private:
+  std::optional<T> Storage;
+};
+
+/// Placeholder for futures of void-returning bodies.
+struct Unit {};
+
+/// The user-facing prioritized handle. Copyable (shared-state semantics),
+/// like the thread handles of Sec. 4.1.
+template <typename Prio, typename T> class Future {
+public:
+  static_assert(IsPriority<Prio>, "Future priority must derive BasePriority");
+  using Priority = Prio;
+  using ValueType = T;
+
+  Future() = default; // unassociated handle (Sec. 4.2's second rule: do not
+                      // touch one of these)
+  explicit Future(std::shared_ptr<FutureState<T>> State)
+      : State(std::move(State)) {}
+
+  /// True once the underlying thread finished.
+  bool isReady() const { return State && State->isReady(); }
+
+  /// True if this handle was associated with a thread by fcreate.
+  bool isAssociated() const { return State != nullptr; }
+
+  /// The shared state; internal — prefer Context::ftouch, which performs
+  /// the priority-inversion check.
+  const std::shared_ptr<FutureState<T>> &state() const { return State; }
+
+private:
+  std::shared_ptr<FutureState<T>> State;
+};
+
+} // namespace repro::icilk
+
+#endif // REPRO_ICILK_FUTURE_H

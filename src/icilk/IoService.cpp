@@ -1,0 +1,76 @@
+//===- icilk/IoService.cpp - Latency-hiding simulated I/O -------------------===//
+
+#include "icilk/IoService.h"
+
+#include "icilk/Runtime.h"
+#include "support/Timer.h"
+
+namespace repro::icilk {
+
+IoService::IoService() : Timer([this] { timerLoop(); }) {}
+
+IoService::~IoService() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stop = true;
+  }
+  Cv.notify_all();
+  if (Timer.joinable())
+    Timer.join();
+  // Complete anything still pending so touchers do not hang at teardown.
+  while (!Heap.empty()) {
+    for (Waiter &W : Heap.top().State->complete(Heap.top().Bytes))
+      W.Rt->resumeTask(W.T);
+    Heap.pop();
+  }
+}
+
+void IoService::submit(uint64_t LatencyMicros,
+                       std::shared_ptr<FutureState<IoResult>> State,
+                       IoResult Bytes) {
+  uint64_t Deadline = repro::nowNanos() + LatencyMicros * 1000;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Heap.push(Op{Deadline, std::move(State), Bytes});
+  }
+  Cv.notify_one();
+}
+
+void IoService::timerLoop() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (true) {
+    if (Stop)
+      return;
+    if (Heap.empty()) {
+      Cv.wait(Lock, [this] { return Stop || !Heap.empty(); });
+      continue;
+    }
+    uint64_t Now = repro::nowNanos();
+    const Op &Next = Heap.top();
+    if (Next.DeadlineNanos <= Now) {
+      Op Due = Next;
+      Heap.pop();
+      Lock.unlock();
+      // Completion (and waiter requeue) outside the service lock.
+      for (Waiter &W : Due.State->complete(Due.Bytes))
+        W.Rt->resumeTask(W.T);
+      Lock.lock();
+      ++Done;
+      continue;
+    }
+    Cv.wait_for(Lock,
+                std::chrono::nanoseconds(Next.DeadlineNanos - Now));
+  }
+}
+
+uint64_t IoService::completed() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Done;
+}
+
+uint64_t IoService::inFlight() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Heap.size();
+}
+
+} // namespace repro::icilk

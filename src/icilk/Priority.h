@@ -1,0 +1,75 @@
+//===- icilk/Priority.h - Compile-time priority lattice ---------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The λ⁴ᵢ type system encoded in C++ (Sec. 4.2): each priority is a class,
+// and ρ ≻ ρ' iff ρ's class derives from ρ''s. The relation is tested at
+// compile time with std::is_base_of, and every ftouch site static_asserts
+// that the toucher's priority is lower than or equal to the touched
+// thread's — exactly the paper's
+//
+//   static_assert(is_base_of<this->Priority, fptr->Priority>::value,
+//                 "ERROR: priority inversion on future touch");
+//
+// Each priority class also carries a runtime level index (0 = lowest) that
+// selects the second-level scheduler pool. Declare priorities with
+// ICILK_PRIORITY:
+//
+//   ICILK_PRIORITY(Background, icilk::BasePriority, 0);
+//   ICILK_PRIORITY(Interactive, Background, 1);     // Interactive ≻ Background
+//
+// As the paper notes, C++ is not type safe: the guarantees hold provided
+// the programmer (1) performs no unsafe casts of future handles and (2)
+// only touches handles already associated with a created thread.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_ICILK_PRIORITY_H
+#define REPRO_ICILK_PRIORITY_H
+
+#include <type_traits>
+
+namespace repro::icilk {
+
+/// Root of every priority hierarchy.
+struct BasePriority {
+  static constexpr unsigned Level = 0;
+};
+
+/// ρ' ⪯ ρ: Lo is lower than or equal to Hi (Hi derives from Lo, or same).
+template <typename Lo, typename Hi>
+inline constexpr bool PrioLeq = std::is_base_of_v<Lo, Hi>;
+
+/// Strictly higher.
+template <typename Lo, typename Hi>
+inline constexpr bool PrioLess = PrioLeq<Lo, Hi> && !std::is_same_v<Lo, Hi>;
+
+/// Sanity trait: a priority is a class derived from BasePriority carrying a
+/// Level constant consistent with its bases.
+template <typename P>
+inline constexpr bool IsPriority =
+    std::is_base_of_v<BasePriority, P> && (P::Level >= 0);
+
+/// The paper's ftouch guard, usable anywhere the touching context's
+/// priority type is known.
+#define ICILK_ASSERT_NO_INVERSION(CtxPrio, TargetPrio)                         \
+  static_assert(::repro::icilk::PrioLeq<CtxPrio, TargetPrio>,                  \
+                "ERROR: priority inversion on future touch")
+
+/// Declares priority `Name` strictly above `Base` with runtime level `Lvl`.
+/// The static_asserts pin the inheritance ⇔ level consistency the runtime
+/// relies on.
+#define ICILK_PRIORITY(Name, Base, Lvl)                                        \
+  struct Name : Base {                                                         \
+    static constexpr unsigned Level = (Lvl);                                   \
+  };                                                                           \
+  static_assert(::repro::icilk::IsPriority<Name>, "not a priority");           \
+  static_assert((Name::Level) >= (Base::Level),                                \
+                "derived priority must not have a lower level")
+
+} // namespace repro::icilk
+
+#endif // REPRO_ICILK_PRIORITY_H

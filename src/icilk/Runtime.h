@@ -1,0 +1,176 @@
+//===- icilk/Runtime.h - Two-level adaptive work-stealing runtime *- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The I-Cilk runtime scheduler (Sec. 4.3): a fixed pool of worker threads
+// scheduled in two levels.
+//
+//  * Second level: one work-stealing scheduler per priority level — each
+//    worker owns a Chase–Lev deque per level, plus a per-level injection
+//    queue for cross-level and external spawns. Like Cilk-F's *proactive*
+//    work stealing, a task blocked on an ftouch *suspends* (its ucontext
+//    fiber parks on the future's waiter list) and the worker goes back to
+//    scheduling; completing the future requeues the waiters. Suspension —
+//    not helping — is essential: futures wait on non-descendants (the
+//    email app's print/compress chains), which deadlocks any
+//    run-on-the-blocked-stack scheme.
+//
+//  * Top level: a master thread re-evaluates the cores-to-level assignment
+//    every scheduling quantum (default 500 µs) from each level's reported
+//    *desire*, granted strictly in priority order. A level's desire adapts
+//    multiplicatively (growth parameter γ, default 2) against a utilization
+//    threshold (default 90%), following A-STEAL: high utilization and a
+//    satisfied desire → grow; high utilization, unsatisfied → hold; low
+//    utilization → shrink.
+//
+// With PriorityAware=false the same runtime degrades to the paper's
+// baseline, Cilk-F: a single work-stealing pool that ignores priorities
+// (levels are still recorded for measurement).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_ICILK_RUNTIME_H
+#define REPRO_ICILK_RUNTIME_H
+
+#include "conc/ChaseLevDeque.h"
+#include "conc/MpmcQueue.h"
+#include "icilk/Future.h"
+#include "icilk/Task.h"
+#include "support/Stats.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace repro::icilk {
+
+/// Scheduler knobs (paper defaults from Sec. 5.2).
+struct RuntimeConfig {
+  unsigned NumWorkers = 8;
+  unsigned NumLevels = 4;
+  /// false = Cilk-F baseline: one pool, priorities ignored for scheduling.
+  bool PriorityAware = true;
+  uint64_t QuantumMicros = 500;       ///< master scheduling quantum
+  double UtilizationThreshold = 0.9;  ///< 90%
+  double Growth = 2.0;                ///< γ
+};
+
+/// Per-priority-level measurement sinks (Figs. 13–14 report summaries of
+/// these).
+struct LevelStats {
+  repro::LatencyRecorder Response;  ///< creation → completion (µs)
+  repro::LatencyRecorder Compute;   ///< start → completion (µs)
+  repro::LatencyRecorder QueueWait; ///< creation → start (µs)
+  std::atomic<uint64_t> Completed{0};
+};
+
+class Runtime {
+public:
+  explicit Runtime(RuntimeConfig Config = {});
+  ~Runtime();
+
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  const RuntimeConfig &config() const { return Config; }
+
+  /// Schedules \p T (takes ownership). Internal: use fcreate (Context.h).
+  void submitTask(std::unique_ptr<Task> T);
+
+  /// Requeues a task that suspended on a future and is ready to continue.
+  /// Called by whoever completes the future (workers, the I/O timer).
+  void resumeTask(Task *T);
+
+  /// Blocks the calling thread until every submitted task completed.
+  /// Callable from non-worker threads only.
+  void drain();
+
+  /// Stops workers and the master after the current tasks finish; called by
+  /// the destructor. Outstanding queued tasks are still executed first.
+  void shutdown();
+
+  LevelStats &levelStats(unsigned Level) { return *Stats[Level]; }
+  const LevelStats &levelStats(unsigned Level) const { return *Stats[Level]; }
+
+  uint64_t tasksExecuted() const {
+    return Executed.load(std::memory_order_relaxed);
+  }
+
+  /// Total nanoseconds workers spent executing task slices (suspended time
+  /// excluded) — the honest numerator for utilization.
+  uint64_t totalWorkNanos() const {
+    return TotalWorkNanos.load(std::memory_order_relaxed);
+  }
+  int64_t outstanding() const {
+    return Outstanding.load(std::memory_order_relaxed);
+  }
+
+  /// Workers currently assigned per level (top-level scheduler state);
+  /// meaningful in priority-aware mode.
+  std::vector<unsigned> assignmentCounts() const;
+
+  /// Current desire per level (for the scheduler ablation bench).
+  std::vector<double> desires() const;
+
+  /// True when the calling thread is one of this runtime's workers.
+  bool onWorkerThread() const;
+
+  /// Attaches (or detaches, with nullptr) an execution-trace recorder;
+  /// fcreate/ftouch record spawn/touch events while one is attached. The
+  /// recorder must outlive the attachment.
+  void setTrace(class TraceRecorder *T) {
+    Trace.store(T, std::memory_order_release);
+  }
+  class TraceRecorder *trace() const {
+    return Trace.load(std::memory_order_acquire);
+  }
+
+private:
+  struct Worker {
+    explicit Worker(unsigned NumLevels) {
+      Deques.reserve(NumLevels);
+      for (unsigned L = 0; L < NumLevels; ++L)
+        Deques.push_back(std::make_unique<conc::ChaseLevDeque<Task *>>());
+    }
+    std::vector<std::unique_ptr<conc::ChaseLevDeque<Task *>>> Deques;
+    std::atomic<unsigned> AssignedLevel{0};
+    std::atomic<uint64_t> WorkNanos{0};
+    std::thread Thread;
+  };
+
+  unsigned queueIndex(unsigned Level) const {
+    return Config.PriorityAware ? Level : 0;
+  }
+
+  void workerLoop(unsigned Index);
+  void masterLoop();
+  void enqueue(Task *T);
+  Task *findTaskAtLevel(unsigned QueueIdx, Worker *Self);
+  void runTask(Task *T, Worker *Self);
+
+  RuntimeConfig Config;
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::vector<std::unique_ptr<conc::MpmcQueue<Task *>>> Injection;
+  std::vector<std::unique_ptr<LevelStats>> Stats;
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> Pending; ///< queued, per level
+
+  std::atomic<int64_t> Outstanding{0};
+  std::atomic<uint64_t> Executed{0};
+  std::atomic<uint64_t> TotalWorkNanos{0};
+  std::atomic<class TraceRecorder *> Trace{nullptr};
+  std::atomic<bool> Stop{false};
+
+  std::thread Master;
+  std::mutex MasterMutex;
+  std::condition_variable MasterCv;
+};
+
+} // namespace repro::icilk
+
+#endif // REPRO_ICILK_RUNTIME_H

@@ -1,0 +1,62 @@
+//===- icilk/Task.cpp - Suspendable fiber-backed task ------------------------===//
+
+#include "icilk/Task.h"
+
+#include <cassert>
+
+namespace repro::icilk {
+
+namespace {
+
+/// Per-thread fiber plumbing: where a fiber returns to, and which task is
+/// being launched (makecontext cannot pass pointers portably).
+thread_local ucontext_t WorkerReturnCtx;
+thread_local Task *LaunchingTask = nullptr;
+thread_local Task *RunningTask = nullptr;
+
+} // namespace
+
+Task *Task::current() { return RunningTask; }
+
+void Task::trampoline() {
+  Task *Self = LaunchingTask;
+  LaunchingTask = nullptr;
+  Self->Body();
+  Self->FinishNanos = repro::nowNanos();
+  Self->Done = true;
+  // Back to whichever worker is dispatching us right now.
+  swapcontext(&Self->Ctx, &WorkerReturnCtx);
+  assert(false && "resumed a finished task");
+}
+
+bool Task::startOrResume() {
+  Task *PrevRunning = RunningTask;
+  RunningTask = this;
+  if (!Started) {
+    Started = true;
+    StartNanos = repro::nowNanos();
+    Stack = std::make_unique<char[]>(StackBytes);
+    getcontext(&Ctx);
+    Ctx.uc_stack.ss_sp = Stack.get();
+    Ctx.uc_stack.ss_size = StackBytes;
+    Ctx.uc_link = nullptr; // trampoline swaps back explicitly
+    makecontext(&Ctx, &Task::trampoline, 0);
+    LaunchingTask = this;
+  }
+  // Save the worker's return point; nested dispatch is impossible (workers
+  // only dispatch from their scheduler context), so one slot suffices.
+  ucontext_t SavedReturn = WorkerReturnCtx;
+  swapcontext(&WorkerReturnCtx, &Ctx);
+  WorkerReturnCtx = SavedReturn;
+  RunningTask = PrevRunning;
+  return Done;
+}
+
+void Task::suspendOn(FutureStateBase &State) {
+  assert(RunningTask == this && "suspend from outside the task fiber");
+  WaitingOn = &State;
+  swapcontext(&Ctx, &WorkerReturnCtx);
+  // Resumed (possibly on a different worker thread).
+}
+
+} // namespace repro::icilk

@@ -1,0 +1,103 @@
+//===- icilk/Task.h - Suspendable fiber-backed task -------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// One schedulable unit: the body of an fcreate'd thread plus its future
+// completion. Tasks are *suspendable*: each runs on its own ucontext fiber
+// so an ftouch of an unready future can park the task on the future's
+// waiter list and hand the worker back to its scheduling loop — the role
+// proactive work stealing plays in Cilk-F (Sec. 4.3). Helping-style
+// blocking would deadlock on future graphs where a task waits on a
+// non-descendant (e.g. the email app's print/compress slot chains).
+//
+// The fiber stack is allocated lazily at first dispatch, so queued-but-
+// unstarted tasks are cheap. A suspended task's context is fully saved
+// before it becomes visible to resumers, so it may resume on any worker.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_ICILK_TASK_H
+#define REPRO_ICILK_TASK_H
+
+#include "support/Timer.h"
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace repro::icilk {
+
+class FutureStateBase;
+
+/// Fiber-backed task. Drive with startOrResume() from a worker; inspect
+/// isDone()/waitingOn() afterwards.
+class Task {
+public:
+  static constexpr std::size_t StackBytes = 256 * 1024;
+
+  Task(std::function<void()> Body, unsigned Level)
+      : Body(std::move(Body)), Level(Level), CreateNanos(repro::nowNanos()) {}
+
+  Task(const Task &) = delete;
+  Task &operator=(const Task &) = delete;
+
+  unsigned level() const { return Level; }
+  bool isDone() const { return Done; }
+
+  /// The future this task suspended on (null unless just suspended).
+  FutureStateBase *waitingOn() const { return WaitingOn; }
+  void clearWaitingOn() { WaitingOn = nullptr; }
+
+  /// Runs or resumes the task on the calling worker thread until it
+  /// completes or suspends. Returns true when the task finished.
+  bool startOrResume();
+
+  /// Called from inside the fiber: saves the context and switches back to
+  /// the dispatching worker, recording the awaited future.
+  void suspendOn(FutureStateBase &State);
+
+  // Timing metadata (µs helpers valid once done).
+  uint64_t createNanos() const { return CreateNanos; }
+  double queueWaitMicros() const {
+    return static_cast<double>(StartNanos - CreateNanos) / 1000.0;
+  }
+  double computeMicros() const {
+    return static_cast<double>(FinishNanos - StartNanos) / 1000.0;
+  }
+  double responseMicros() const {
+    return static_cast<double>(FinishNanos - CreateNanos) / 1000.0;
+  }
+
+  /// The task currently executing on this thread's fiber (null on a plain
+  /// thread or in the worker's scheduler context).
+  static Task *current();
+
+  /// Trace identity for the optional execution-trace recorder (Trace.h).
+  uint32_t traceId() const { return TraceId; }
+  void setTraceId(uint32_t Id) { TraceId = Id; }
+
+private:
+  static void trampoline();
+
+  std::function<void()> Body;
+  unsigned Level;
+  uint64_t CreateNanos;
+  uint64_t StartNanos = 0;
+  uint64_t FinishNanos = 0;
+
+  bool Started = false;
+  bool Done = false;
+  uint32_t TraceId = 0;
+  FutureStateBase *WaitingOn = nullptr;
+  std::unique_ptr<char[]> Stack;
+  ucontext_t Ctx{};
+};
+
+} // namespace repro::icilk
+
+#endif // REPRO_ICILK_TASK_H

@@ -1,0 +1,83 @@
+//===- icilk/Trace.cpp - Execution traces lifted to cost DAGs ----------------===//
+
+#include "icilk/Trace.h"
+
+#include <cassert>
+
+namespace repro::icilk {
+
+TraceTaskId TraceRecorder::recordSpawn(TraceTaskId Parent, unsigned Level) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto Child = static_cast<TraceTaskId>(TaskLevels.size());
+  TaskLevels.push_back(Level);
+  Events.push_back({Kind::Spawn, Parent, Child});
+  return Child;
+}
+
+void TraceRecorder::recordTouch(TraceTaskId Waiter, TraceTaskId Producer) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back({Kind::Touch, Waiter, Producer});
+}
+
+void TraceRecorder::noteHappensBefore(TraceTaskId Writer, TraceTaskId Reader) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  // The event happens at the reader (the read observes the write), so the
+  // reader is the actor and the weak edge comes from the writer's last
+  // vertex.
+  Events.push_back({Kind::Weak, Reader, Writer});
+}
+
+dag::Graph TraceRecorder::lift(unsigned NumLevels) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  dag::Graph G(dag::PriorityOrder::totalOrder(NumLevels));
+
+  // One graph thread per task; the external driver lifts at the *lowest*
+  // level — like the case studies' main, it joins everything at shutdown,
+  // which is only inversion-free from the bottom of the order.
+  std::vector<dag::ThreadId> Threads;
+  std::vector<dag::VertexId> LastVertex;
+  Threads.reserve(TaskLevels.size());
+  for (std::size_t T = 0; T < TaskLevels.size(); ++T) {
+    unsigned Level =
+        T == TraceExternal ? 0 : std::min(TaskLevels[T], NumLevels - 1);
+    dag::ThreadId Id = G.addThread(
+        Level, T == TraceExternal ? "driver" : "task" + std::to_string(T));
+    Threads.push_back(Id);
+    LastVertex.push_back(G.addVertex(Id)); // initial vertex
+  }
+
+  // Replay events in global order; each appends one vertex to its actor.
+  for (const Event &E : Events) {
+    dag::VertexId V = G.addVertex(Threads[E.Actor]);
+    switch (E.K) {
+    case Kind::Spawn:
+      G.addCreateEdge(V, Threads[E.Other]);
+      break;
+    case Kind::Touch:
+      // Recorded after the wait completed: the producer has finished, so
+      // the resolved edge (its final vertex → V) is the true dependence.
+      G.addTouchEdge(Threads[E.Other], V);
+      break;
+    case Kind::Weak:
+      G.addWeakEdge(LastVertex[E.Other], V);
+      break;
+    }
+    LastVertex[E.Actor] = V;
+  }
+  return G;
+}
+
+std::size_t TraceRecorder::numTasks() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return TaskLevels.size() - 1; // excluding the external driver
+}
+
+std::size_t TraceRecorder::numTouches() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::size_t N = 0;
+  for (const Event &E : Events)
+    N += E.K == Kind::Touch ? 1 : 0;
+  return N;
+}
+
+} // namespace repro::icilk

@@ -1,0 +1,78 @@
+//===- icilk/Trace.h - Execution traces lifted to cost DAGs -----*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// Records the thread-structure events of a real I-Cilk execution — task
+// spawns and future touches — and lifts them into a dag::Graph so the
+// Section 2 analyses apply to runtime executions exactly as they do to
+// λ⁴ᵢ machine runs: the soundness tests check that programs written
+// against the statically-checked API produce strongly well-formed DAGs.
+//
+// What the trace captures: fcreate edges (who spawned whom) and ftouch
+// edges (who waited on whose future), in per-task program order. What it
+// does not capture: reads/writes of application state — a handle that
+// travels through untracked shared state will (correctly) fail the
+// knows-about condition unless the program also calls noteHappensBefore to
+// reify that flow, the runtime analogue of the calculus's weak edges.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_ICILK_TRACE_H
+#define REPRO_ICILK_TRACE_H
+
+#include "dag/Graph.h"
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace repro::icilk {
+
+/// Task identifier within a trace (0 = the external driver "main").
+using TraceTaskId = uint32_t;
+constexpr TraceTaskId TraceExternal = 0;
+
+/// Collects spawn/touch/happens-before events from one runtime execution.
+/// Thread-safe; attach with Runtime hooks via Context (see fcreate/ftouch)
+/// or record manually.
+class TraceRecorder {
+public:
+  /// Registers a new task at \p Level spawned by \p Parent; returns its id.
+  TraceTaskId recordSpawn(TraceTaskId Parent, unsigned Level);
+
+  /// Records that \p Waiter ftouched the future produced by \p Producer.
+  void recordTouch(TraceTaskId Waiter, TraceTaskId Producer);
+
+  /// Records a happens-before through application state: \p Writer's
+  /// current point precedes \p Reader's (a weak edge in the lift).
+  void noteHappensBefore(TraceTaskId Writer, TraceTaskId Reader);
+
+  /// Lifts the trace into a cost DAG over totalOrder(NumLevels)
+  /// priorities. Tasks become threads; each recorded event appends a
+  /// vertex to its task in program order; spawns/touches/notes become
+  /// create/touch/weak edges. The external driver becomes a lowest-
+  /// priority thread (it joins everything, like the apps' main).
+  dag::Graph lift(unsigned NumLevels) const;
+
+  std::size_t numTasks() const;
+  std::size_t numTouches() const;
+
+private:
+  enum class Kind : uint8_t { Spawn, Touch, Weak };
+  struct Event {
+    Kind K;
+    TraceTaskId Actor;  ///< the task performing the event
+    TraceTaskId Other;  ///< spawned child / touched producer / reader
+  };
+
+  mutable std::mutex Mutex;
+  std::vector<unsigned> TaskLevels{0}; ///< index 0: external driver, top level
+  std::vector<Event> Events;
+};
+
+} // namespace repro::icilk
+
+#endif // REPRO_ICILK_TRACE_H

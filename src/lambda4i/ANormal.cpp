@@ -1,0 +1,225 @@
+//===- lambda4i/ANormal.cpp - A-normalization pass --------------------------===//
+
+#include "lambda4i/ANormal.h"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace repro::lambda4i {
+
+namespace {
+
+/// Accumulates `let %anfN = e in …` bindings hoisted from operands.
+class Hoister {
+public:
+  /// Normalizes \p E and reduces it to an *atom* (a syntactic value),
+  /// hoisting into a let if needed.
+  ExprRef atom(const ExprRef &E) {
+    ExprRef Norm = aNormalizeExpr(E);
+    if (Norm->isValue())
+      return Norm;
+    std::string X = "%anf" + std::to_string(Counter++);
+    Binds.emplace_back(X, std::move(Norm));
+    return Expr::makeVar(Binds.back().first);
+  }
+
+  /// Wraps \p Body in the accumulated lets (innermost last).
+  ExprRef wrap(ExprRef Body) {
+    for (auto It = Binds.rbegin(); It != Binds.rend(); ++It)
+      Body = Expr::makeLet(It->first, It->second, std::move(Body));
+    return Body;
+  }
+
+private:
+  static std::atomic<uint64_t> Counter;
+  std::vector<std::pair<std::string, ExprRef>> Binds;
+};
+
+std::atomic<uint64_t> Hoister::Counter{0};
+
+} // namespace
+
+ExprRef aNormalizeExpr(const ExprRef &E) {
+  if (!E)
+    return E;
+  using K = Expr::Kind;
+  switch (E->kind()) {
+  case K::Var:
+  case K::Unit:
+  case K::Nat:
+  case K::RefVal:
+  case K::Tid:
+    return E;
+  case K::Lam:
+    return Expr::makeLam(E->var(), E->type(), aNormalizeExpr(E->sub1()));
+  case K::Pair: {
+    Hoister H;
+    ExprRef L = H.atom(E->sub1());
+    ExprRef R = H.atom(E->sub2());
+    return H.wrap(Expr::makePair(std::move(L), std::move(R)));
+  }
+  case K::Inl: {
+    Hoister H;
+    ExprRef V = H.atom(E->sub1());
+    return H.wrap(Expr::makeInl(E->type(), std::move(V)));
+  }
+  case K::Inr: {
+    Hoister H;
+    ExprRef V = H.atom(E->sub1());
+    return H.wrap(Expr::makeInr(E->type(), std::move(V)));
+  }
+  case K::CmdVal:
+    return Expr::makeCmdVal(E->prio(), aNormalizeCmd(E->cmd()));
+  case K::Let:
+    return Expr::makeLet(E->var(), aNormalizeExpr(E->sub1()),
+                         aNormalizeExpr(E->sub2()));
+  case K::Ifz: {
+    Hoister H;
+    ExprRef Cond = H.atom(E->sub1());
+    return H.wrap(Expr::makeIfz(std::move(Cond), aNormalizeExpr(E->sub2()),
+                                E->var(), aNormalizeExpr(E->sub3())));
+  }
+  case K::App: {
+    Hoister H;
+    ExprRef F = H.atom(E->sub1());
+    ExprRef A = H.atom(E->sub2());
+    return H.wrap(Expr::makeApp(std::move(F), std::move(A)));
+  }
+  case K::Fst: {
+    Hoister H;
+    ExprRef V = H.atom(E->sub1());
+    return H.wrap(Expr::makeFst(std::move(V)));
+  }
+  case K::Snd: {
+    Hoister H;
+    ExprRef V = H.atom(E->sub1());
+    return H.wrap(Expr::makeSnd(std::move(V)));
+  }
+  case K::Case: {
+    Hoister H;
+    ExprRef Scrut = H.atom(E->sub1());
+    return H.wrap(Expr::makeCase(std::move(Scrut), E->var(),
+                                 aNormalizeExpr(E->sub2()), E->var2(),
+                                 aNormalizeExpr(E->sub3())));
+  }
+  case K::Fix:
+    return Expr::makeFix(E->var(), E->type(), aNormalizeExpr(E->sub1()));
+  case K::PrioLam:
+    return Expr::makePrioLam(E->var(), E->constraints(),
+                             aNormalizeExpr(E->sub1()));
+  case K::PrioApp: {
+    Hoister H;
+    ExprRef V = H.atom(E->sub1());
+    return H.wrap(Expr::makePrioApp(std::move(V), E->prio()));
+  }
+  case K::Prim: {
+    Hoister H;
+    ExprRef L = H.atom(E->sub1());
+    ExprRef R = H.atom(E->sub2());
+    return H.wrap(Expr::makePrim(E->primOp(), std::move(L), std::move(R)));
+  }
+  }
+  return E;
+}
+
+CmdRef aNormalizeCmd(const CmdRef &M) {
+  if (!M)
+    return M;
+  using K = Cmd::Kind;
+  switch (M->kind()) {
+  case K::Bind:
+    return Cmd::makeBind(M->var(), aNormalizeExpr(M->sub1()),
+                         aNormalizeCmd(M->cmd()));
+  case K::Create:
+    return Cmd::makeCreate(M->prio(), M->type(), aNormalizeCmd(M->cmd()));
+  case K::Touch:
+    return Cmd::makeTouch(aNormalizeExpr(M->sub1()));
+  case K::Dcl:
+    return Cmd::makeDcl(M->var(), M->type(), aNormalizeExpr(M->sub1()),
+                        aNormalizeCmd(M->cmd()));
+  case K::Get:
+    return Cmd::makeGet(aNormalizeExpr(M->sub1()));
+  case K::Set:
+    return Cmd::makeSet(aNormalizeExpr(M->sub1()),
+                        aNormalizeExpr(M->sub2()));
+  case K::Ret:
+    return Cmd::makeRet(aNormalizeExpr(M->sub1()));
+  case K::Cas:
+    return Cmd::makeCas(aNormalizeExpr(M->sub1()),
+                        aNormalizeExpr(M->sub2()),
+                        aNormalizeExpr(M->sub3()));
+  }
+  return M;
+}
+
+namespace {
+
+bool operandOk(const ExprRef &E) { return E->isValue() && isANormalExpr(E); }
+
+} // namespace
+
+bool isANormalExpr(const ExprRef &E) {
+  if (!E)
+    return true;
+  using K = Expr::Kind;
+  switch (E->kind()) {
+  case K::Var:
+  case K::Unit:
+  case K::Nat:
+  case K::RefVal:
+  case K::Tid:
+    return true;
+  case K::Lam:
+  case K::Fix:
+  case K::PrioLam:
+    return isANormalExpr(E->sub1());
+  case K::Pair:
+  case K::App:
+  case K::Prim:
+    return operandOk(E->sub1()) && operandOk(E->sub2());
+  case K::Inl:
+  case K::Inr:
+  case K::Fst:
+  case K::Snd:
+  case K::PrioApp:
+    return operandOk(E->sub1());
+  case K::CmdVal:
+    return isANormalCmd(E->cmd());
+  case K::Let:
+    return isANormalExpr(E->sub1()) && isANormalExpr(E->sub2());
+  case K::Ifz:
+    return operandOk(E->sub1()) && isANormalExpr(E->sub2()) &&
+           isANormalExpr(E->sub3());
+  case K::Case:
+    return operandOk(E->sub1()) && isANormalExpr(E->sub2()) &&
+           isANormalExpr(E->sub3());
+  }
+  return true;
+}
+
+bool isANormalCmd(const CmdRef &M) {
+  if (!M)
+    return true;
+  using K = Cmd::Kind;
+  switch (M->kind()) {
+  case K::Bind:
+    return isANormalExpr(M->sub1()) && isANormalCmd(M->cmd());
+  case K::Create:
+    return isANormalCmd(M->cmd());
+  case K::Touch:
+  case K::Get:
+  case K::Ret:
+    return isANormalExpr(M->sub1());
+  case K::Dcl:
+    return isANormalExpr(M->sub1()) && isANormalCmd(M->cmd());
+  case K::Set:
+    return isANormalExpr(M->sub1()) && isANormalExpr(M->sub2());
+  case K::Cas:
+    return isANormalExpr(M->sub1()) && isANormalExpr(M->sub2()) &&
+           isANormalExpr(M->sub3());
+  }
+  return true;
+}
+
+} // namespace repro::lambda4i

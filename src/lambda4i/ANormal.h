@@ -1,0 +1,38 @@
+//===- lambda4i/ANormal.h - A-normalization pass ----------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// λ⁴ᵢ's grammar (Fig. 4) and stack dynamics (Fig. 11) are in A-normal
+// form: the operands of applications, pairs, projections, injections, ifz,
+// case, priority application, and the primitive arithmetic extension must
+// be syntactic values; computation is sequenced through let. The surface
+// parser accepts general expressions; this pass hoists non-value operands
+// into fresh let bindings (%anfN — '%' is unlexable, so no capture).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_LAMBDA4I_ANORMAL_H
+#define REPRO_LAMBDA4I_ANORMAL_H
+
+#include "lambda4i/Ast.h"
+
+namespace repro::lambda4i {
+
+/// A-normalizes an expression.
+ExprRef aNormalizeExpr(const ExprRef &E);
+
+/// A-normalizes every expression inside a command.
+CmdRef aNormalizeCmd(const CmdRef &M);
+
+/// True if \p E is in A-normal form (elimination-form operands are values).
+bool isANormalExpr(const ExprRef &E);
+
+/// True if every expression inside \p M is in A-normal form.
+bool isANormalCmd(const CmdRef &M);
+
+} // namespace repro::lambda4i
+
+#endif // REPRO_LAMBDA4I_ANORMAL_H

@@ -1,0 +1,337 @@
+//===- lambda4i/Ast.cpp - λ⁴ᵢ abstract syntax -------------------------------===//
+
+#include "lambda4i/Ast.h"
+
+#include <sstream>
+
+namespace repro::lambda4i {
+
+//===----------------------------------------------------------------------===//
+// Expr factories
+//===----------------------------------------------------------------------===//
+
+ExprRef Expr::makeVar(std::string Name) {
+  auto *E = new Expr(Kind::Var);
+  E->Name = std::move(Name);
+  return ExprRef(E);
+}
+
+ExprRef Expr::makeUnit() {
+  static ExprRef Instance(new Expr(Kind::Unit));
+  return Instance;
+}
+
+ExprRef Expr::makeNat(uint64_t N) {
+  auto *E = new Expr(Kind::Nat);
+  E->NatVal = N;
+  return ExprRef(E);
+}
+
+ExprRef Expr::makeLam(std::string X, TypeRef Dom, ExprRef Body) {
+  auto *E = new Expr(Kind::Lam);
+  E->Name = std::move(X);
+  E->Ty = std::move(Dom);
+  E->E1 = std::move(Body);
+  return ExprRef(E);
+}
+
+ExprRef Expr::makePair(ExprRef L, ExprRef R) {
+  auto *E = new Expr(Kind::Pair);
+  E->E1 = std::move(L);
+  E->E2 = std::move(R);
+  return ExprRef(E);
+}
+
+ExprRef Expr::makeInl(TypeRef RightTy, ExprRef V) {
+  auto *E = new Expr(Kind::Inl);
+  E->Ty = std::move(RightTy);
+  E->E1 = std::move(V);
+  return ExprRef(E);
+}
+
+ExprRef Expr::makeInr(TypeRef LeftTy, ExprRef V) {
+  auto *E = new Expr(Kind::Inr);
+  E->Ty = std::move(LeftTy);
+  E->E1 = std::move(V);
+  return ExprRef(E);
+}
+
+ExprRef Expr::makeRefVal(LocId Loc) {
+  auto *E = new Expr(Kind::RefVal);
+  E->NatVal = Loc;
+  return ExprRef(E);
+}
+
+ExprRef Expr::makeTid(ThreadSym T) {
+  auto *E = new Expr(Kind::Tid);
+  E->NatVal = T;
+  return ExprRef(E);
+}
+
+ExprRef Expr::makeCmdVal(PrioExpr P, CmdRef M) {
+  auto *E = new Expr(Kind::CmdVal);
+  E->P = std::move(P);
+  E->M = std::move(M);
+  return ExprRef(E);
+}
+
+ExprRef Expr::makeLet(std::string X, ExprRef E1, ExprRef E2) {
+  auto *E = new Expr(Kind::Let);
+  E->Name = std::move(X);
+  E->E1 = std::move(E1);
+  E->E2 = std::move(E2);
+  return ExprRef(E);
+}
+
+ExprRef Expr::makeIfz(ExprRef Cond, ExprRef Zero, std::string X,
+                      ExprRef Succ) {
+  auto *E = new Expr(Kind::Ifz);
+  E->E1 = std::move(Cond);
+  E->E2 = std::move(Zero);
+  E->Name = std::move(X);
+  E->E3 = std::move(Succ);
+  return ExprRef(E);
+}
+
+ExprRef Expr::makeApp(ExprRef F, ExprRef A) {
+  auto *E = new Expr(Kind::App);
+  E->E1 = std::move(F);
+  E->E2 = std::move(A);
+  return ExprRef(E);
+}
+
+ExprRef Expr::makeFst(ExprRef V) {
+  auto *E = new Expr(Kind::Fst);
+  E->E1 = std::move(V);
+  return ExprRef(E);
+}
+
+ExprRef Expr::makeSnd(ExprRef V) {
+  auto *E = new Expr(Kind::Snd);
+  E->E1 = std::move(V);
+  return ExprRef(E);
+}
+
+ExprRef Expr::makeCase(ExprRef Scrut, std::string XL, ExprRef L,
+                       std::string XR, ExprRef R) {
+  auto *E = new Expr(Kind::Case);
+  E->E1 = std::move(Scrut);
+  E->Name = std::move(XL);
+  E->E2 = std::move(L);
+  E->Name2 = std::move(XR);
+  E->E3 = std::move(R);
+  return ExprRef(E);
+}
+
+ExprRef Expr::makeFix(std::string X, TypeRef Ty, ExprRef Body) {
+  auto *E = new Expr(Kind::Fix);
+  E->Name = std::move(X);
+  E->Ty = std::move(Ty);
+  E->E1 = std::move(Body);
+  return ExprRef(E);
+}
+
+ExprRef Expr::makePrioLam(std::string Pi, std::vector<Constraint> Cs,
+                          ExprRef Body) {
+  auto *E = new Expr(Kind::PrioLam);
+  E->Name = std::move(Pi);
+  E->Cs = std::move(Cs);
+  E->E1 = std::move(Body);
+  return ExprRef(E);
+}
+
+ExprRef Expr::makePrioApp(ExprRef V, PrioExpr P) {
+  auto *E = new Expr(Kind::PrioApp);
+  E->E1 = std::move(V);
+  E->P = std::move(P);
+  return ExprRef(E);
+}
+
+ExprRef Expr::makePrim(PrimOp Op, ExprRef L, ExprRef R) {
+  auto *E = new Expr(Kind::Prim);
+  E->Op = Op;
+  E->E1 = std::move(L);
+  E->E2 = std::move(R);
+  return ExprRef(E);
+}
+
+bool Expr::isValue() const {
+  switch (K) {
+  case Kind::Var:
+  case Kind::Unit:
+  case Kind::Nat:
+  case Kind::Lam:
+  case Kind::RefVal:
+  case Kind::Tid:
+  case Kind::CmdVal:
+  case Kind::PrioLam:
+    return true;
+  case Kind::Pair:
+    return E1->isValue() && E2->isValue();
+  case Kind::Inl:
+  case Kind::Inr:
+    return E1->isValue();
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cmd factories
+//===----------------------------------------------------------------------===//
+
+CmdRef Cmd::makeBind(std::string X, ExprRef E, CmdRef M) {
+  auto *C = new Cmd(Kind::Bind);
+  C->Name = std::move(X);
+  C->E1 = std::move(E);
+  C->M = std::move(M);
+  return CmdRef(C);
+}
+
+CmdRef Cmd::makeCreate(PrioExpr P, TypeRef Ty, CmdRef M) {
+  auto *C = new Cmd(Kind::Create);
+  C->P = std::move(P);
+  C->Ty = std::move(Ty);
+  C->M = std::move(M);
+  return CmdRef(C);
+}
+
+CmdRef Cmd::makeTouch(ExprRef E) {
+  auto *C = new Cmd(Kind::Touch);
+  C->E1 = std::move(E);
+  return CmdRef(C);
+}
+
+CmdRef Cmd::makeDcl(std::string S, TypeRef Ty, ExprRef Init, CmdRef M) {
+  auto *C = new Cmd(Kind::Dcl);
+  C->Name = std::move(S);
+  C->Ty = std::move(Ty);
+  C->E1 = std::move(Init);
+  C->M = std::move(M);
+  return CmdRef(C);
+}
+
+CmdRef Cmd::makeGet(ExprRef E) {
+  auto *C = new Cmd(Kind::Get);
+  C->E1 = std::move(E);
+  return CmdRef(C);
+}
+
+CmdRef Cmd::makeSet(ExprRef Lhs, ExprRef Rhs) {
+  auto *C = new Cmd(Kind::Set);
+  C->E1 = std::move(Lhs);
+  C->E2 = std::move(Rhs);
+  return CmdRef(C);
+}
+
+CmdRef Cmd::makeRet(ExprRef E) {
+  auto *C = new Cmd(Kind::Ret);
+  C->E1 = std::move(E);
+  return CmdRef(C);
+}
+
+CmdRef Cmd::makeCas(ExprRef Target, ExprRef Old, ExprRef New) {
+  auto *C = new Cmd(Kind::Cas);
+  C->E1 = std::move(Target);
+  C->E2 = std::move(Old);
+  C->E3 = std::move(New);
+  return CmdRef(C);
+}
+
+//===----------------------------------------------------------------------===//
+// Pretty printing
+//===----------------------------------------------------------------------===//
+
+std::string Expr::toString(const ExprRef &E, const dag::PriorityOrder &Order) {
+  if (!E)
+    return "<null>";
+  switch (E->K) {
+  case Kind::Var:
+    return E->Name;
+  case Kind::Unit:
+    return "()";
+  case Kind::Nat:
+    return std::to_string(E->NatVal);
+  case Kind::Lam:
+    return "(fn (" + E->Name + " : " + Type::toString(E->Ty, Order) + ") => " +
+           toString(E->E1, Order) + ")";
+  case Kind::Pair:
+    return "(" + toString(E->E1, Order) + ", " + toString(E->E2, Order) + ")";
+  case Kind::Inl:
+    return "(inl " + toString(E->E1, Order) + ")";
+  case Kind::Inr:
+    return "(inr " + toString(E->E1, Order) + ")";
+  case Kind::RefVal:
+    return "ref[" + std::to_string(E->NatVal) + "]";
+  case Kind::Tid:
+    return "tid[" + std::to_string(E->NatVal) + "]";
+  case Kind::CmdVal:
+    return "cmd[" + lambda4i::toString(E->P, Order) + "] {" +
+           Cmd::toString(E->M, Order) + "}";
+  case Kind::Let:
+    return "let " + E->Name + " = " + toString(E->E1, Order) + " in " +
+           toString(E->E2, Order);
+  case Kind::Ifz:
+    return "ifz " + toString(E->E1, Order) + " then " +
+           toString(E->E2, Order) + " else " + E->Name + ". " +
+           toString(E->E3, Order);
+  case Kind::App:
+    return "(" + toString(E->E1, Order) + " " + toString(E->E2, Order) + ")";
+  case Kind::Fst:
+    return "(fst " + toString(E->E1, Order) + ")";
+  case Kind::Snd:
+    return "(snd " + toString(E->E1, Order) + ")";
+  case Kind::Case:
+    return "case " + toString(E->E1, Order) + " of inl " + E->Name + " => " +
+           toString(E->E2, Order) + " | inr " + E->Name2 + " => " +
+           toString(E->E3, Order);
+  case Kind::Fix:
+    return "(fix " + E->Name + " : " + Type::toString(E->Ty, Order) + " is " +
+           toString(E->E1, Order) + ")";
+  case Kind::PrioLam:
+    return "(plam " + E->Name + " => " + toString(E->E1, Order) + ")";
+  case Kind::PrioApp:
+    return toString(E->E1, Order) + "@[" + lambda4i::toString(E->P, Order) +
+           "]";
+  case Kind::Prim: {
+    const char *OpStr = E->Op == PrimOp::Add   ? " + "
+                        : E->Op == PrimOp::Sub ? " - "
+                                               : " * ";
+    return "(" + toString(E->E1, Order) + OpStr + toString(E->E2, Order) + ")";
+  }
+  }
+  return "<?>";
+}
+
+std::string Cmd::toString(const CmdRef &M, const dag::PriorityOrder &Order) {
+  if (!M)
+    return "<null>";
+  switch (M->K) {
+  case Kind::Bind:
+    return M->Name + " <- " + Expr::toString(M->E1, Order) + "; " +
+           toString(M->M, Order);
+  case Kind::Create:
+    return "fcreate[" + lambda4i::toString(M->P, Order) + "; " +
+           Type::toString(M->Ty, Order) + "] {" + toString(M->M, Order) + "}";
+  case Kind::Touch:
+    return "ftouch " + Expr::toString(M->E1, Order);
+  case Kind::Dcl:
+    return "dcl " + M->Name + " : " + Type::toString(M->Ty, Order) +
+           " := " + Expr::toString(M->E1, Order) + " in " +
+           toString(M->M, Order);
+  case Kind::Get:
+    return "!" + Expr::toString(M->E1, Order);
+  case Kind::Set:
+    return Expr::toString(M->E1, Order) + " := " +
+           Expr::toString(M->E2, Order);
+  case Kind::Ret:
+    return "ret " + Expr::toString(M->E1, Order);
+  case Kind::Cas:
+    return "cas(" + Expr::toString(M->E1, Order) + ", " +
+           Expr::toString(M->E2, Order) + ", " +
+           Expr::toString(M->E3, Order) + ")";
+  }
+  return "<?>";
+}
+
+} // namespace repro::lambda4i

@@ -1,0 +1,188 @@
+//===- lambda4i/Ast.h - λ⁴ᵢ abstract syntax ---------------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// Abstract syntax of λ⁴ᵢ (Fig. 4), split into *expressions* (state-free)
+// and *commands* (thread/state-manipulating), in A-normal form: the
+// elimination forms' operands are syntactic values after the ANF pass
+// (ANormal.h), matching the stack dynamics of Figs. 9–11 which only
+// decompose let-bindings and command frames.
+//
+// Trees are immutable and shared (shared_ptr<const>), so the
+// substitution-based dynamics can reuse unchanged subtrees.
+//
+// Extensions beyond the paper's core grammar, all discussed in the paper:
+//   * nat primitives (+, -, *, ==-as-ifz fuel) — the case studies need
+//     arithmetic;
+//   * cas (Sec. 3.3's compare-and-swap, rules D-CAS1/D-CAS2).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_LAMBDA4I_AST_H
+#define REPRO_LAMBDA4I_AST_H
+
+#include "lambda4i/Type.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace repro::lambda4i {
+
+class Expr;
+class Cmd;
+using ExprRef = std::shared_ptr<const Expr>;
+using CmdRef = std::shared_ptr<const Cmd>;
+
+/// Runtime identifier of a heap location s.
+using LocId = uint32_t;
+/// Runtime identifier of a thread symbol a.
+using ThreadSym = uint32_t;
+
+/// Binary nat primitives (language extension).
+enum class PrimOp : uint8_t { Add, Sub, Mul };
+
+/// λ⁴ᵢ expression.
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    Var,     ///< x
+    Unit,    ///< ⟨⟩
+    Nat,     ///< n
+    Lam,     ///< λx:τ.e (domain annotation added for checking)
+    Pair,    ///< (v, v)
+    Inl,     ///< inl v   (annotated with the right summand type)
+    Inr,     ///< inr v   (annotated with the left summand type)
+    RefVal,  ///< ref[s]  (runtime only)
+    Tid,     ///< tid[a]  (runtime only)
+    CmdVal,  ///< cmd[ρ]{m}
+    Let,     ///< let x = e in e
+    Ifz,     ///< ifz v {e ; x.e}
+    App,     ///< v v
+    Fst,     ///< fst v
+    Snd,     ///< snd v
+    Case,    ///< case v {x.e ; y.e}
+    Fix,     ///< fix x:τ is e
+    PrioLam, ///< Λπ∼C.e
+    PrioApp, ///< v[ρ]
+    Prim,    ///< v ⊕ v (nat arithmetic extension)
+  };
+
+  Kind kind() const { return K; }
+
+  // Accessors; validity depends on kind.
+  const std::string &var() const { return Name; }      ///< Var/Lam/Ifz/Fix/PrioLam binder
+  const std::string &var2() const { return Name2; }    ///< Case right binder
+  uint64_t nat() const { return NatVal; }
+  LocId loc() const { return static_cast<LocId>(NatVal); }
+  ThreadSym tid() const { return static_cast<ThreadSym>(NatVal); }
+  PrimOp primOp() const { return Op; }
+  const TypeRef &type() const { return Ty; }           ///< Lam dom / Fix / Inl·Inr annotation
+  const PrioExpr &prio() const { return P; }           ///< CmdVal/PrioApp
+  const std::vector<Constraint> &constraints() const { return Cs; }
+  const ExprRef &sub1() const { return E1; }
+  const ExprRef &sub2() const { return E2; }
+  const ExprRef &sub3() const { return E3; }
+  const CmdRef &cmd() const { return M; }              ///< CmdVal body
+
+  // Factories.
+  static ExprRef makeVar(std::string Name);
+  static ExprRef makeUnit();
+  static ExprRef makeNat(uint64_t N);
+  static ExprRef makeLam(std::string X, TypeRef Dom, ExprRef Body);
+  static ExprRef makePair(ExprRef L, ExprRef R);
+  static ExprRef makeInl(TypeRef RightTy, ExprRef V);
+  static ExprRef makeInr(TypeRef LeftTy, ExprRef V);
+  static ExprRef makeRefVal(LocId Loc);
+  static ExprRef makeTid(ThreadSym T);
+  static ExprRef makeCmdVal(PrioExpr P, CmdRef M);
+  static ExprRef makeLet(std::string X, ExprRef E1, ExprRef E2);
+  static ExprRef makeIfz(ExprRef Cond, ExprRef Zero, std::string X,
+                         ExprRef Succ);
+  static ExprRef makeApp(ExprRef F, ExprRef A);
+  static ExprRef makeFst(ExprRef V);
+  static ExprRef makeSnd(ExprRef V);
+  static ExprRef makeCase(ExprRef Scrut, std::string XL, ExprRef L,
+                          std::string XR, ExprRef R);
+  static ExprRef makeFix(std::string X, TypeRef Ty, ExprRef Body);
+  static ExprRef makePrioLam(std::string Pi, std::vector<Constraint> Cs,
+                             ExprRef Body);
+  static ExprRef makePrioApp(ExprRef V, PrioExpr P);
+  static ExprRef makePrim(PrimOp Op, ExprRef L, ExprRef R);
+
+  /// Syntactic value check (Fig. 4's v grammar; variables count — closed
+  /// runtime terms never evaluate one).
+  bool isValue() const;
+
+  /// Pretty-printer for diagnostics.
+  static std::string toString(const ExprRef &E,
+                              const dag::PriorityOrder &Order);
+
+private:
+  explicit Expr(Kind K) : K(K) {}
+  friend class Cmd;
+
+  Kind K;
+  PrimOp Op = PrimOp::Add;
+  uint64_t NatVal = 0;
+  std::string Name, Name2;
+  TypeRef Ty;
+  PrioExpr P;
+  std::vector<Constraint> Cs;
+  ExprRef E1, E2, E3;
+  CmdRef M;
+};
+
+/// λ⁴ᵢ command.
+class Cmd {
+public:
+  enum class Kind : uint8_t {
+    Bind,   ///< x ← e ; m
+    Create, ///< fcreate[ρ;τ]{m}
+    Touch,  ///< ftouch e
+    Dcl,    ///< dcl[τ] s := e in m   (s enters scope as a τ ref variable)
+    Get,    ///< !e
+    Set,    ///< e := e
+    Ret,    ///< ret e
+    Cas,    ///< cas(e, e_old, e_new)  (Sec. 3.3 extension)
+  };
+
+  Kind kind() const { return K; }
+
+  const std::string &var() const { return Name; } ///< Bind/Dcl binder
+  const TypeRef &type() const { return Ty; }      ///< Create return / Dcl cell
+  const PrioExpr &prio() const { return P; }      ///< Create priority
+  const ExprRef &sub1() const { return E1; }
+  const ExprRef &sub2() const { return E2; }
+  const ExprRef &sub3() const { return E3; }
+  const CmdRef &cmd() const { return M; }         ///< Bind tail / Create / Dcl body
+
+  static CmdRef makeBind(std::string X, ExprRef E, CmdRef M);
+  static CmdRef makeCreate(PrioExpr P, TypeRef Ty, CmdRef M);
+  static CmdRef makeTouch(ExprRef E);
+  static CmdRef makeDcl(std::string S, TypeRef Ty, ExprRef Init, CmdRef M);
+  static CmdRef makeGet(ExprRef E);
+  static CmdRef makeSet(ExprRef Lhs, ExprRef Rhs);
+  static CmdRef makeRet(ExprRef E);
+  static CmdRef makeCas(ExprRef Target, ExprRef Old, ExprRef New);
+
+  static std::string toString(const CmdRef &M, const dag::PriorityOrder &Order);
+
+private:
+  explicit Cmd(Kind K) : K(K) {}
+
+  Kind K;
+  std::string Name;
+  TypeRef Ty;
+  PrioExpr P;
+  ExprRef E1, E2, E3;
+  CmdRef M;
+};
+
+} // namespace repro::lambda4i
+
+#endif // REPRO_LAMBDA4I_AST_H

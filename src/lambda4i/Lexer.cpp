@@ -1,0 +1,230 @@
+//===- lambda4i/Lexer.cpp - Tokenizer for the λ⁴ᵢ surface syntax -----------===//
+
+#include "lambda4i/Lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace repro::lambda4i {
+
+namespace {
+
+const std::map<std::string, Tok> &keywordTable() {
+  static const std::map<std::string, Tok> Table = {
+      {"priority", Tok::KwPriority}, {"order", Tok::KwOrder},
+      {"fun", Tok::KwFun},           {"main", Tok::KwMain},
+      {"at", Tok::KwAt},             {"let", Tok::KwLet},
+      {"in", Tok::KwIn},             {"fn", Tok::KwFn},
+      {"fix", Tok::KwFix},           {"is", Tok::KwIs},
+      {"ifz", Tok::KwIfz},           {"then", Tok::KwThen},
+      {"else", Tok::KwElse},         {"case", Tok::KwCase},
+      {"of", Tok::KwOf},             {"inl", Tok::KwInl},
+      {"inr", Tok::KwInr},           {"fst", Tok::KwFst},
+      {"snd", Tok::KwSnd},           {"ret", Tok::KwRet},
+      {"fcreate", Tok::KwFcreate},   {"ftouch", Tok::KwFtouch},
+      {"dcl", Tok::KwDcl},           {"cas", Tok::KwCas},
+      {"cmd", Tok::KwCmd},           {"unit", Tok::KwUnit},
+      {"nat", Tok::KwNat},           {"ref", Tok::KwRef},
+      {"thread", Tok::KwThread},     {"plam", Tok::KwPlam},
+      {"forall", Tok::KwForall},
+  };
+  return Table;
+}
+
+} // namespace
+
+std::vector<Token> tokenize(const std::string &Source) {
+  std::vector<Token> Out;
+  unsigned Line = 1, Col = 1;
+  std::size_t I = 0;
+  const std::size_t N = Source.size();
+
+  auto Peek = [&](std::size_t Ahead = 0) -> char {
+    return I + Ahead < N ? Source[I + Ahead] : '\0';
+  };
+  auto Advance = [&] {
+    if (Source[I] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++I;
+  };
+  auto Emit = [&](Tok Kind, unsigned L, unsigned C, std::string Text = "",
+                  uint64_t Value = 0) {
+    Out.push_back({Kind, std::move(Text), Value, L, C});
+  };
+
+  while (I < N) {
+    char C = Peek();
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance();
+      continue;
+    }
+    // Comments: "--" or "#" to end of line.
+    if (C == '#' || (C == '-' && Peek(1) == '-')) {
+      while (I < N && Peek() != '\n')
+        Advance();
+      continue;
+    }
+    unsigned L = Line, Cl = Col;
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                       Peek() == '_' || Peek() == '\'')) {
+        Text.push_back(Peek());
+        Advance();
+      }
+      auto It = keywordTable().find(Text);
+      if (It != keywordTable().end())
+        Emit(It->second, L, Cl, Text);
+      else
+        Emit(Tok::Ident, L, Cl, std::move(Text));
+      continue;
+    }
+    // Integers.
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      uint64_t Value = 0;
+      std::string Text;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Value = Value * 10 + static_cast<uint64_t>(Peek() - '0');
+        Text.push_back(Peek());
+        Advance();
+      }
+      Emit(Tok::Int, L, Cl, std::move(Text), Value);
+      continue;
+    }
+    // Multi-character operators first.
+    auto Two = [&](char A, char B) { return C == A && Peek(1) == B; };
+    if (Two('<', '=')) {
+      Advance();
+      Advance();
+      Emit(Tok::Le, L, Cl);
+      continue;
+    }
+    if (Two('<', '-')) {
+      Advance();
+      Advance();
+      Emit(Tok::LArrow, L, Cl);
+      continue;
+    }
+    if (Two('=', '>')) {
+      Advance();
+      Advance();
+      Emit(Tok::FatArrow, L, Cl);
+      continue;
+    }
+    if (Two('-', '>')) {
+      Advance();
+      Advance();
+      Emit(Tok::Arrow, L, Cl);
+      continue;
+    }
+    if (Two(':', '=')) {
+      Advance();
+      Advance();
+      Emit(Tok::ColonEq, L, Cl);
+      continue;
+    }
+    // Single-character tokens.
+    Tok Kind;
+    switch (C) {
+    case '(': Kind = Tok::LParen; break;
+    case ')': Kind = Tok::RParen; break;
+    case '{': Kind = Tok::LBrace; break;
+    case '}': Kind = Tok::RBrace; break;
+    case '[': Kind = Tok::LBracket; break;
+    case ']': Kind = Tok::RBracket; break;
+    case ',': Kind = Tok::Comma; break;
+    case ';': Kind = Tok::Semi; break;
+    case ':': Kind = Tok::Colon; break;
+    case '.': Kind = Tok::Dot; break;
+    case '|': Kind = Tok::Pipe; break;
+    case '@': Kind = Tok::At; break;
+    case '!': Kind = Tok::Bang; break;
+    case '<': Kind = Tok::Lt; break;
+    case '=': Kind = Tok::Eq; break;
+    case '*': Kind = Tok::Star; break;
+    case '+': Kind = Tok::Plus; break;
+    case '-': Kind = Tok::Minus; break;
+    default:
+      Emit(Tok::Error, L, Cl,
+           std::string("unexpected character '") + C + "'");
+      Emit(Tok::Eof, L, Cl);
+      return Out;
+    }
+    Advance();
+    Emit(Kind, L, Cl);
+  }
+  Emit(Tok::Eof, Line, Col);
+  return Out;
+}
+
+const char *tokenKindName(Tok Kind) {
+  switch (Kind) {
+  case Tok::Ident: return "identifier";
+  case Tok::Int: return "integer";
+  case Tok::KwPriority: return "'priority'";
+  case Tok::KwOrder: return "'order'";
+  case Tok::KwFun: return "'fun'";
+  case Tok::KwMain: return "'main'";
+  case Tok::KwAt: return "'at'";
+  case Tok::KwLet: return "'let'";
+  case Tok::KwIn: return "'in'";
+  case Tok::KwFn: return "'fn'";
+  case Tok::KwFix: return "'fix'";
+  case Tok::KwIs: return "'is'";
+  case Tok::KwIfz: return "'ifz'";
+  case Tok::KwThen: return "'then'";
+  case Tok::KwElse: return "'else'";
+  case Tok::KwCase: return "'case'";
+  case Tok::KwOf: return "'of'";
+  case Tok::KwInl: return "'inl'";
+  case Tok::KwInr: return "'inr'";
+  case Tok::KwFst: return "'fst'";
+  case Tok::KwSnd: return "'snd'";
+  case Tok::KwRet: return "'ret'";
+  case Tok::KwFcreate: return "'fcreate'";
+  case Tok::KwFtouch: return "'ftouch'";
+  case Tok::KwDcl: return "'dcl'";
+  case Tok::KwCas: return "'cas'";
+  case Tok::KwCmd: return "'cmd'";
+  case Tok::KwUnit: return "'unit'";
+  case Tok::KwNat: return "'nat'";
+  case Tok::KwRef: return "'ref'";
+  case Tok::KwThread: return "'thread'";
+  case Tok::KwPlam: return "'plam'";
+  case Tok::KwForall: return "'forall'";
+  case Tok::LParen: return "'('";
+  case Tok::RParen: return "')'";
+  case Tok::LBrace: return "'{'";
+  case Tok::RBrace: return "'}'";
+  case Tok::LBracket: return "'['";
+  case Tok::RBracket: return "']'";
+  case Tok::Comma: return "','";
+  case Tok::Semi: return "';'";
+  case Tok::Colon: return "':'";
+  case Tok::Dot: return "'.'";
+  case Tok::Pipe: return "'|'";
+  case Tok::At: return "'@'";
+  case Tok::Bang: return "'!'";
+  case Tok::Lt: return "'<'";
+  case Tok::Le: return "'<='";
+  case Tok::FatArrow: return "'=>'";
+  case Tok::Arrow: return "'->'";
+  case Tok::LArrow: return "'<-'";
+  case Tok::ColonEq: return "':='";
+  case Tok::Eq: return "'='";
+  case Tok::Star: return "'*'";
+  case Tok::Plus: return "'+'";
+  case Tok::Minus: return "'-'";
+  case Tok::Eof: return "end of input";
+  case Tok::Error: return "lexical error";
+  }
+  return "?";
+}
+
+} // namespace repro::lambda4i

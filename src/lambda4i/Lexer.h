@@ -1,0 +1,55 @@
+//===- lambda4i/Lexer.h - Tokenizer for the λ⁴ᵢ surface syntax --*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_LAMBDA4I_LEXER_H
+#define REPRO_LAMBDA4I_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repro::lambda4i {
+
+/// Token kinds of the surface syntax. Keywords are contextual-free (always
+/// reserved).
+enum class Tok : uint8_t {
+  Ident,
+  Int,
+  // Keywords.
+  KwPriority, KwOrder, KwFun, KwMain, KwAt, KwLet, KwIn, KwFn, KwFix, KwIs,
+  KwIfz, KwThen, KwElse, KwCase, KwOf, KwInl, KwInr, KwFst, KwSnd, KwRet,
+  KwFcreate, KwFtouch, KwDcl, KwCas, KwCmd, KwUnit, KwNat, KwRef, KwThread,
+  KwPlam, KwForall,
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semi, Colon, Dot, Pipe, At, Bang,
+  Lt, Le, FatArrow, Arrow, LArrow, ColonEq, Eq,
+  Star, Plus, Minus,
+  Eof,
+  Error,
+};
+
+/// One token with its source location (1-based line/column).
+struct Token {
+  Tok Kind = Tok::Eof;
+  std::string Text;   ///< identifier spelling / error message
+  uint64_t IntValue = 0;
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// Tokenizes \p Source. Comments run from "--" or "#" to end of line. On a
+/// lexical error the stream ends with a Tok::Error token carrying the
+/// message. Always ends with Eof.
+std::vector<Token> tokenize(const std::string &Source);
+
+/// Human-readable token kind name for diagnostics.
+const char *tokenKindName(Tok Kind);
+
+} // namespace repro::lambda4i
+
+#endif // REPRO_LAMBDA4I_LEXER_H

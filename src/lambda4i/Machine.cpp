@@ -1,0 +1,609 @@
+//===- lambda4i/Machine.cpp - Stack-machine cost semantics ------------------===//
+
+#include "lambda4i/Machine.h"
+
+#include "lambda4i/ANormal.h"
+#include "lambda4i/Subst.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace repro::lambda4i {
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Frames and stack states (Fig. 8)
+//===----------------------------------------------------------------------===//
+
+/// One stack frame f.
+struct Frame {
+  enum class Kind : uint8_t {
+    Let,       ///< let x = – in e
+    Bind,      ///< x ← – ; m
+    Touch,     ///< ftouch –
+    Dcl,       ///< dcl[τ] s := – in m
+    Get,       ///< !–
+    SetLhs,    ///< – := e
+    SetRhs,    ///< ref[s] := –
+    Ret,       ///< ret –
+    CasTarget, ///< cas(–, e_old, e_new)
+    CasOld,    ///< cas(ref[s], –, e_new)
+    CasNew,    ///< cas(ref[s], v_old, –)
+  };
+  Kind K;
+  std::string Name; ///< Let/Bind/Dcl binder
+  TypeRef Ty;       ///< Dcl cell type
+  ExprRef E;        ///< Let body / SetLhs rhs / Cas pending operand
+  ExprRef V;        ///< SetRhs target / Cas target / CasNew old value
+  CmdRef M;         ///< Bind tail / Dcl body
+};
+
+/// K ::= k ▷ e | k ◁ v | k ▶ m | k ◀ ret v.
+enum class Mode : uint8_t { EvalExpr, RetVal, EvalCmd, RetCmd };
+
+/// One machine thread a ↪(ρ;Σ) K.
+struct MachThread {
+  dag::ThreadId DagId;
+  dag::PrioId Prio;
+  std::vector<Frame> Stack;
+  Mode M = Mode::EvalCmd;
+  ExprRef Term; ///< expression/value under evaluation
+  CmdRef Cmd;   ///< command under evaluation
+  std::set<ThreadSym> Known; ///< Σ: thread symbols this thread knows about
+  bool Done = false;
+  ExprRef Result;
+};
+
+/// σ(s) = (v, u, Σ).
+struct HeapCell {
+  ExprRef Value;
+  dag::VertexId Writer = dag::InvalidVertex;
+  std::set<ThreadSym> Knowledge;
+};
+
+//===----------------------------------------------------------------------===//
+// The machine
+//===----------------------------------------------------------------------===//
+
+class Machine {
+public:
+  Machine(const Program &Prog, const MachineConfig &Config)
+      : Config(Config), Result() {
+    Result.Graph = dag::Graph(Prog.Order);
+    // Main thread.
+    MachThread Main;
+    assert(Prog.MainPrio.isConst() && "main priority must be a constant");
+    Main.Prio = Prog.MainPrio.Id;
+    Main.DagId = Result.Graph.addThread(Main.Prio, "main");
+    Main.Cmd = aNormalizeCmd(Prog.Main);
+    Main.M = Mode::EvalCmd;
+    Threads.push_back(std::move(Main));
+    Rng = repro::Rng(Config.Seed);
+  }
+
+  RunResult run();
+
+private:
+  /// A thread can take a step unless it is done or blocked on an ftouch of
+  /// an unfinished thread (Theorem 3.3's case (3)).
+  bool isReady(const MachThread &T) const {
+    if (T.Done)
+      return false;
+    if (T.M == Mode::RetVal && !T.Stack.empty() &&
+        T.Stack.back().K == Frame::Kind::Touch &&
+        T.Term->kind() == Expr::Kind::Tid)
+      return Threads[T.Term->tid()].Done;
+    return true;
+  }
+
+  /// Steps thread \p Index once; returns false on a stuck state (records
+  /// the diagnostic).
+  bool stepThread(std::size_t Index);
+
+  bool stepExpr(MachThread &T);  ///< Fig. 11 via D-Exp
+  bool stepRetVal(MachThread &T, dag::VertexId U);
+  bool stepCmd(MachThread &T, dag::VertexId U);
+  bool stepRetCmd(MachThread &T);
+
+  bool stuck(const std::string &Why) {
+    if (Result.Error.empty())
+      Result.Error = Why;
+    return false;
+  }
+
+  MachineConfig Config;
+  RunResult Result;
+  std::vector<MachThread> Threads;
+  std::vector<HeapCell> Heap;
+  repro::Rng Rng{1};
+  std::size_t RoundRobinNext = 0;
+
+  // D-Par write combining: within one parallel step, reads observe the
+  // pre-step heap (σ), plain writes are buffered and applied at the end of
+  // the step in thread-selection order ("writes by a_j overwrite writes by
+  // a_i for j > i"), and cas is linearized immediately — that is its whole
+  // purpose (Sec. 3.3) — with the pre-step state remembered so same-step
+  // reads still see σ.
+  std::vector<std::pair<LocId, HeapCell>> StepWrites;
+  std::map<LocId, HeapCell> StepSnapshot;
+
+  /// The pre-step view of cell \p Loc.
+  const HeapCell &readCell(LocId Loc) const {
+    auto It = StepSnapshot.find(Loc);
+    return It == StepSnapshot.end() ? Heap[Loc] : It->second;
+  }
+
+  /// Remembers \p Loc's pre-step state before an in-step (cas) update.
+  void snapshotCell(LocId Loc) {
+    StepSnapshot.try_emplace(Loc, Heap[Loc]);
+  }
+
+  /// Applies buffered writes; called at the end of each parallel step.
+  void flushStepWrites() {
+    for (auto &[Loc, Cell] : StepWrites)
+      Heap[Loc] = std::move(Cell);
+    StepWrites.clear();
+    StepSnapshot.clear();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expression steps (Fig. 11) — D-Exp
+//===----------------------------------------------------------------------===//
+
+bool Machine::stepExpr(MachThread &T) {
+  const ExprRef &E = T.Term;
+  using K = Expr::Kind;
+  // k ▷ v ↦ k ◁ v.
+  if (E->isValue()) {
+    T.M = Mode::RetVal;
+    return true;
+  }
+  switch (E->kind()) {
+  case K::Let: // push the let frame
+    T.Stack.push_back({Frame::Kind::Let, E->var(), nullptr, E->sub2(),
+                       nullptr, nullptr});
+    T.Term = E->sub1();
+    return true;
+  case K::Ifz: {
+    const ExprRef &Cond = E->sub1();
+    if (Cond->kind() != K::Nat)
+      return false;
+    if (Cond->nat() == 0)
+      T.Term = E->sub2();
+    else
+      T.Term = substExpr(E->sub3(), E->var(), Expr::makeNat(Cond->nat() - 1));
+    return true;
+  }
+  case K::App: {
+    const ExprRef &F = E->sub1();
+    // Substituting a recursive definition puts the fix term itself in
+    // operator position; unroll it in place (one extra micro-step).
+    if (F->kind() == K::Fix) {
+      T.Term = Expr::makeApp(substExpr(F->sub1(), F->var(), F), E->sub2());
+      return true;
+    }
+    if (F->kind() != K::Lam)
+      return false;
+    T.Term = substExpr(F->sub1(), F->var(), E->sub2());
+    return true;
+  }
+  case K::Fst: {
+    const ExprRef &P = E->sub1();
+    if (P->kind() != K::Pair)
+      return false;
+    T.Term = P->sub1();
+    T.M = Mode::RetVal;
+    return true;
+  }
+  case K::Snd: {
+    const ExprRef &P = E->sub1();
+    if (P->kind() != K::Pair)
+      return false;
+    T.Term = P->sub2();
+    T.M = Mode::RetVal;
+    return true;
+  }
+  case K::Case: {
+    const ExprRef &S = E->sub1();
+    if (S->kind() == K::Inl)
+      T.Term = substExpr(E->sub2(), E->var(), S->sub1());
+    else if (S->kind() == K::Inr)
+      T.Term = substExpr(E->sub3(), E->var2(), S->sub1());
+    else
+      return false;
+    return true;
+  }
+  case K::Fix:
+    T.Term = substExpr(E->sub1(), E->var(), E);
+    return true;
+  case K::PrioApp: {
+    const ExprRef &F = E->sub1();
+    if (F->kind() != K::PrioLam)
+      return false;
+    T.Term = substPrioExpr(F->sub1(), F->var(), E->prio());
+    return true;
+  }
+  case K::Prim: {
+    const ExprRef &L = E->sub1();
+    const ExprRef &R = E->sub2();
+    if (L->kind() != K::Nat || R->kind() != K::Nat)
+      return false;
+    uint64_t A = L->nat(), B = R->nat();
+    uint64_t Out = 0;
+    switch (E->primOp()) {
+    case PrimOp::Add:
+      Out = A + B;
+      break;
+    case PrimOp::Sub:
+      Out = A >= B ? A - B : 0; // nat monus
+      break;
+    case PrimOp::Mul:
+      Out = A * B;
+      break;
+    }
+    T.Term = Expr::makeNat(Out);
+    T.M = Mode::RetVal;
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Value return steps (k ◁ v against the top frame)
+//===----------------------------------------------------------------------===//
+
+bool Machine::stepRetVal(MachThread &T, dag::VertexId U) {
+  if (T.Stack.empty())
+    return false; // expressions always evaluate under a frame
+  Frame F = T.Stack.back();
+  const ExprRef V = T.Term;
+  using FK = Frame::Kind;
+  switch (F.K) {
+  case FK::Let: // k; let x = – in e2 ◁ v ↦ k ▷ [v/x]e2
+    T.Stack.pop_back();
+    T.Term = substExpr(F.E, F.Name, V);
+    T.M = Mode::EvalExpr;
+    return true;
+  case FK::Bind: { // D-Bind2: k; x ← –; m2 ◁ cmd[ρ]{m} ⇒ … ▶ m
+    if (V->kind() != Expr::Kind::CmdVal)
+      return false;
+    T.Cmd = V->cmd();
+    T.M = Mode::EvalCmd;
+    return true; // frame stays
+  }
+  case FK::Touch: { // D-Touch2
+    if (V->kind() != Expr::Kind::Tid)
+      return false;
+    MachThread &B = Threads[V->tid()];
+    assert(B.Done && "scheduler stepped a blocked thread");
+    T.Stack.pop_back();
+    T.Term = B.Result;
+    T.M = Mode::RetCmd;
+    Result.Graph.addTouchEdge(B.DagId, U);
+    T.Known.insert(B.Known.begin(), B.Known.end());
+    return true;
+  }
+  case FK::Dcl: { // D-Dcl2: allocate, substitute ref[s] in the body
+    auto Loc = static_cast<LocId>(Heap.size());
+    Heap.push_back({V, U, T.Known});
+    T.Stack.pop_back();
+    T.Cmd = substCmd(F.M, F.Name, Expr::makeRefVal(Loc));
+    T.M = Mode::EvalCmd;
+    return true;
+  }
+  case FK::Get: { // D-Get2: weak edge from the last writer (pre-step σ)
+    if (V->kind() != Expr::Kind::RefVal)
+      return false;
+    const HeapCell &Cell = readCell(V->loc());
+    T.Stack.pop_back();
+    T.Term = Cell.Value;
+    T.M = Mode::RetCmd;
+    Result.Graph.addWeakEdge(Cell.Writer, U);
+    T.Known.insert(Cell.Knowledge.begin(), Cell.Knowledge.end());
+    return true;
+  }
+  case FK::SetLhs: { // D-Set2
+    if (V->kind() != Expr::Kind::RefVal)
+      return false;
+    T.Stack.pop_back();
+    T.Stack.push_back({FK::SetRhs, "", nullptr, nullptr, V, nullptr});
+    T.Term = F.E;
+    T.M = Mode::EvalExpr;
+    return true;
+  }
+  case FK::SetRhs: { // D-Set3 — buffered until the end of the parallel step
+    StepWrites.emplace_back(F.V->loc(), HeapCell{V, U, T.Known});
+    T.Stack.pop_back();
+    T.M = Mode::RetCmd;
+    return true; // T.Term already holds v
+  }
+  case FK::Ret: // D-Ret2
+    T.Stack.pop_back();
+    T.M = Mode::RetCmd;
+    return true;
+  case FK::CasTarget: {
+    // v is the evaluated ref; F.E = e_new, F.V = e_old (unevaluated).
+    if (V->kind() != Expr::Kind::RefVal)
+      return false;
+    T.Stack.pop_back();
+    T.Stack.push_back({FK::CasOld, "", nullptr, F.E, V, nullptr});
+    T.Term = F.V;
+    T.M = Mode::EvalExpr;
+    return true;
+  }
+  case FK::CasOld: {
+    // v is the evaluated old value; F.V is the ref, F.E is e_new.
+    T.Stack.pop_back();
+    Frame NewF{FK::CasNew, "", nullptr, nullptr, nullptr, nullptr};
+    NewF.V = F.V;  // ref
+    NewF.E = V;    // old value (evaluated)
+    T.Stack.push_back(std::move(NewF));
+    T.Term = F.E;  // e_new
+    T.M = Mode::EvalExpr;
+    return true;
+  }
+  case FK::CasNew: { // D-CAS1 / D-CAS2 — linearized within the step
+    LocId Loc = F.V->loc();
+    HeapCell &Cell = Heap[Loc];
+    if (valueEqual(Cell.Value, F.E)) {
+      snapshotCell(Loc); // same-step reads still see σ
+      Cell.Value = V;
+      Cell.Writer = U;
+      Cell.Knowledge = T.Known;
+      T.Term = Expr::makeNat(1);
+    } else {
+      T.Term = Expr::makeNat(0);
+    }
+    T.Stack.pop_back();
+    T.M = Mode::RetCmd;
+    return true;
+  }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Command steps (k ▶ m)
+//===----------------------------------------------------------------------===//
+
+bool Machine::stepCmd(MachThread &T, dag::VertexId U) {
+  const CmdRef M = T.Cmd;
+  using CK = Cmd::Kind;
+  using FK = Frame::Kind;
+  switch (M->kind()) {
+  case CK::Bind: // D-Bind1
+    T.Stack.push_back({FK::Bind, M->var(), nullptr, nullptr, nullptr,
+                       M->cmd()});
+    T.Term = M->sub1();
+    T.M = Mode::EvalExpr;
+    return true;
+  case CK::Create: { // D-Create
+    assert(M->prio().isConst() && "runtime priorities are constants");
+    MachThread Child;
+    Child.Prio = M->prio().Id;
+    Child.DagId = Result.Graph.addThread(Child.Prio);
+    Child.Cmd = M->cmd();
+    Child.M = Mode::EvalCmd;
+    Child.Known = T.Known; // child inherits the parent's signature
+    auto Sym = static_cast<ThreadSym>(Threads.size());
+    T.Known.insert(Sym); // …then the parent learns the child
+    Result.Graph.addCreateEdge(U, Child.DagId);
+    T.Term = Expr::makeTid(Sym);
+    T.M = Mode::RetCmd;
+    // May reallocate Threads and invalidate T; T is not used afterwards.
+    Threads.push_back(std::move(Child));
+    return true;
+  }
+  case CK::Touch: // D-Touch1
+    T.Stack.push_back({FK::Touch, "", nullptr, nullptr, nullptr, nullptr});
+    T.Term = M->sub1();
+    T.M = Mode::EvalExpr;
+    return true;
+  case CK::Dcl: // D-Dcl1
+    T.Stack.push_back({FK::Dcl, M->var(), M->type(), nullptr, nullptr,
+                       M->cmd()});
+    T.Term = M->sub1();
+    T.M = Mode::EvalExpr;
+    return true;
+  case CK::Get: // D-Get1
+    T.Stack.push_back({FK::Get, "", nullptr, nullptr, nullptr, nullptr});
+    T.Term = M->sub1();
+    T.M = Mode::EvalExpr;
+    return true;
+  case CK::Set: // D-Set1
+    T.Stack.push_back({FK::SetLhs, "", nullptr, M->sub2(), nullptr, nullptr});
+    T.Term = M->sub1();
+    T.M = Mode::EvalExpr;
+    return true;
+  case CK::Ret: // D-Ret1
+    T.Stack.push_back({FK::Ret, "", nullptr, nullptr, nullptr, nullptr});
+    T.Term = M->sub1();
+    T.M = Mode::EvalExpr;
+    return true;
+  case CK::Cas: { // extension: evaluate target, then old, then new
+    Frame F{FK::CasTarget, "", nullptr, nullptr, nullptr, nullptr};
+    F.E = M->sub3(); // e_new
+    F.V = M->sub2(); // e_old (unevaluated; becomes T.Term at CasTarget)
+    T.Stack.push_back(std::move(F));
+    T.Term = M->sub1();
+    T.M = Mode::EvalExpr;
+    return true;
+  }
+  }
+  return false;
+}
+
+bool Machine::stepRetCmd(MachThread &T) {
+  // ϵ ◀ ret v is terminal and never stepped (stepThread marks the thread
+  // done the moment it enters that state).
+  assert(!T.Stack.empty() && "stepped a finished thread");
+  Frame &F = T.Stack.back();
+  if (F.K != Frame::Kind::Bind)
+    return false;
+  // D-Bind3: k; x ← –; m2 ◀ ret v ⇒ k ▶ [v/x]m2.
+  CmdRef Tail = substCmd(F.M, F.Name, T.Term);
+  T.Stack.pop_back();
+  T.Cmd = std::move(Tail);
+  T.M = Mode::EvalCmd;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// One thread step = one vertex
+//===----------------------------------------------------------------------===//
+
+bool Machine::stepThread(std::size_t Index) {
+  dag::VertexId U = Result.Graph.addVertex(Threads[Index].DagId);
+  Result.Schedule.StepOf.resize(Result.Graph.numVertices(),
+                                dag::NotExecuted);
+  Result.Schedule.StepOf[U] = static_cast<uint32_t>(Result.Steps);
+  Result.Schedule.Steps.back().push_back(U);
+
+  MachThread &T = Threads[Index];
+  bool Ok = false;
+  switch (T.M) {
+  case Mode::EvalExpr:
+    Ok = stepExpr(T);
+    break;
+  case Mode::RetVal:
+    Ok = stepRetVal(T, U);
+    break;
+  case Mode::EvalCmd:
+    Ok = stepCmd(T, U);
+    break;
+  case Mode::RetCmd:
+    Ok = stepRetCmd(T);
+    break;
+  }
+  if (!Ok)
+    return stuck("thread " + std::to_string(Index) + " is stuck at step " +
+                 std::to_string(Result.Steps) + " evaluating " +
+                 (Threads[Index].M == Mode::EvalCmd ||
+                          Threads[Index].M == Mode::RetCmd
+                      ? Cmd::toString(Threads[Index].Cmd,
+                                      Result.Graph.priorities())
+                      : Expr::toString(Threads[Index].Term,
+                                       Result.Graph.priorities())));
+  // Entering ϵ ◀ ret v finishes the thread (re-fetch: Create reallocates).
+  MachThread &After = Threads[Index];
+  if (After.M == Mode::RetCmd && After.Stack.empty() && !After.Done) {
+    After.Done = true;
+    After.Result = After.Term;
+  }
+  return true;
+}
+
+RunResult Machine::run() {
+  const dag::PriorityOrder &Order = Result.Graph.priorities();
+  while (Result.Steps < Config.MaxSteps) {
+    // Collect ready threads.
+    std::vector<std::size_t> Ready;
+    bool AllDone = true;
+    for (std::size_t I = 0; I < Threads.size(); ++I) {
+      if (!Threads[I].Done)
+        AllDone = false;
+      if (isReady(Threads[I]))
+        Ready.push_back(I);
+    }
+    if (AllDone) {
+      Result.Ok = true;
+      Result.MainValue = Threads[0].Result;
+      Result.NumThreads = Threads.size();
+      Result.Schedule.NumCores = Config.P;
+      return Result;
+    }
+    if (Ready.empty()) {
+      stuck("deadlock: no thread can step (touch cycle?)");
+      return Result;
+    }
+
+    // Choose ≤ P of them per the policy.
+    std::vector<std::size_t> Chosen;
+    switch (Config.Policy) {
+    case SchedPolicy::Prompt: {
+      // Repeatedly pick a ready thread whose priority is maximal among the
+      // remaining ready ones.
+      std::vector<uint8_t> Taken(Ready.size(), 0);
+      for (unsigned Core = 0; Core < Config.P; ++Core) {
+        std::size_t Best = Ready.size();
+        for (std::size_t I = 0; I < Ready.size(); ++I) {
+          if (Taken[I])
+            continue;
+          bool Maximal = true;
+          for (std::size_t J = 0; J < Ready.size() && Maximal; ++J)
+            if (J != I && !Taken[J] &&
+                Order.less(Threads[Ready[I]].Prio, Threads[Ready[J]].Prio))
+              Maximal = false;
+          if (Maximal && (Best == Ready.size() || Ready[I] < Ready[Best]))
+            Best = I;
+        }
+        if (Best == Ready.size())
+          break;
+        Taken[Best] = 1;
+        Chosen.push_back(Ready[Best]);
+      }
+      break;
+    }
+    case SchedPolicy::RoundRobin: {
+      for (std::size_t Off = 0; Off < Ready.size() && Chosen.size() < Config.P;
+           ++Off)
+        Chosen.push_back(Ready[(RoundRobinNext + Off) % Ready.size()]);
+      ++RoundRobinNext;
+      break;
+    }
+    case SchedPolicy::Random: {
+      for (std::size_t I = Ready.size(); I > 1; --I)
+        std::swap(Ready[I - 1], Ready[Rng.nextBelow(I)]);
+      for (std::size_t I = 0; I < Ready.size() && Chosen.size() < Config.P;
+           ++I)
+        Chosen.push_back(Ready[I]);
+      break;
+    }
+    }
+
+    Result.Schedule.Steps.emplace_back();
+    for (std::size_t Index : Chosen)
+      if (!stepThread(Index))
+        return Result;
+    flushStepWrites();
+    ++Result.Steps;
+  }
+  stuck("out of fuel after " + std::to_string(Config.MaxSteps) + " steps");
+  return Result;
+}
+
+} // namespace
+
+bool valueEqual(const ExprRef &A, const ExprRef &B) {
+  if (A->kind() != B->kind())
+    return false;
+  using K = Expr::Kind;
+  switch (A->kind()) {
+  case K::Unit:
+    return true;
+  case K::Nat:
+    return A->nat() == B->nat();
+  case K::RefVal:
+    return A->loc() == B->loc();
+  case K::Tid:
+    return A->tid() == B->tid();
+  case K::Pair:
+    return valueEqual(A->sub1(), B->sub1()) && valueEqual(A->sub2(), B->sub2());
+  case K::Inl:
+  case K::Inr:
+    return valueEqual(A->sub1(), B->sub1());
+  default:
+    return false; // functions/commands are never cas-comparable
+  }
+}
+
+RunResult runProgram(const Program &Prog, const MachineConfig &Config) {
+  Machine M(Prog, Config);
+  return M.run();
+}
+
+} // namespace repro::lambda4i

@@ -1,0 +1,78 @@
+//===- lambda4i/Machine.h - Stack-machine cost semantics --------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The parallel abstract machine of Section 3.2 (Figs. 8–11): each thread is
+// a stack state — popping an expression/command or pushing a value — and a
+// configuration is (Σ, σ, g, µ). Every thread step appends one vertex to
+// the thread's sequence in the cost graph; fcreate/ftouch add create/touch
+// edges, and every read (!e) adds a weak edge from the cell's last writer
+// (rule D-Get2). CAS follows the Sec. 3.3 extension rules D-CAS1/D-CAS2.
+//
+// Rule D-Par steps an arbitrary subset of threads; the machine parameter-
+// izes that choice (prompt by priority, round-robin, or seeded random) and
+// records which machine step executed each vertex, so a run *is* a
+// schedule of the produced DAG (admissible by construction — a read can
+// only observe an earlier write). Tests use this to validate Theorems 3.7
+// and 3.8 end-to-end.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_LAMBDA4I_MACHINE_H
+#define REPRO_LAMBDA4I_MACHINE_H
+
+#include "dag/Graph.h"
+#include "dag/Schedule.h"
+#include "lambda4i/Parser.h"
+#include "support/Random.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace repro::lambda4i {
+
+/// How D-Par picks the subset of threads to step.
+enum class SchedPolicy {
+  Prompt,     ///< up to P ready threads, maximal by priority (ties: lowest id)
+  RoundRobin, ///< up to P ready threads in rotating order
+  Random,     ///< up to P ready threads, uniformly shuffled
+};
+
+/// Machine configuration knobs.
+struct MachineConfig {
+  unsigned P = 2;                      ///< cores per parallel step
+  SchedPolicy Policy = SchedPolicy::Prompt;
+  uint64_t MaxSteps = 1'000'000;       ///< fuel against divergence
+  uint64_t Seed = 1;                   ///< for SchedPolicy::Random
+};
+
+/// Outcome of a run.
+struct RunResult {
+  bool Ok = false;
+  std::string Error;        ///< stuck state / out of fuel diagnostic
+  ExprRef MainValue;        ///< final value of the main thread
+  uint64_t Steps = 0;       ///< parallel steps taken
+  dag::Graph Graph;         ///< the cost graph g
+  dag::Schedule Schedule;   ///< which step executed each vertex
+  /// Machine thread index -> cost-graph thread id (same order; main is 0).
+  std::size_t NumThreads = 0;
+
+  RunResult() : Graph(dag::PriorityOrder()) {}
+};
+
+/// Runs a parsed (and A-normalized) program to completion.
+RunResult runProgram(const Program &Prog, const MachineConfig &Config);
+
+/// Structural value equality used by cas (D-CAS1's v = v_old); nat, unit,
+/// ref and tid compare by identity, pairs and injections recursively;
+/// functions and commands never compare equal.
+bool valueEqual(const ExprRef &A, const ExprRef &B);
+
+} // namespace repro::lambda4i
+
+#endif // REPRO_LAMBDA4I_MACHINE_H

@@ -1,0 +1,758 @@
+//===- lambda4i/Parser.cpp - Parser for the λ⁴ᵢ surface syntax -------------===//
+
+#include "lambda4i/Parser.h"
+
+#include "lambda4i/Lexer.h"
+#include "lambda4i/Subst.h"
+
+#include <cassert>
+#include <sstream>
+#include <vector>
+
+namespace repro::lambda4i {
+
+namespace {
+
+/// Recursive-descent parser state. Errors set Failed and record the first
+/// diagnostic; subsequent parsing short-circuits via null returns.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  ParseResult run();
+
+private:
+  // -- token plumbing ------------------------------------------------------
+  const Token &peek(std::size_t Ahead = 0) const {
+    std::size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  bool check(Tok Kind) const { return peek().Kind == Kind; }
+  bool accept(Tok Kind) {
+    if (!check(Kind))
+      return false;
+    ++Pos;
+    return true;
+  }
+  const Token &advance() { return Tokens[Pos < Tokens.size() - 1 ? Pos++ : Pos]; }
+  bool expect(Tok Kind, const char *Context) {
+    if (accept(Kind))
+      return true;
+    fail(std::string("expected ") + tokenKindName(Kind) + " " + Context +
+         ", found " + tokenKindName(peek().Kind));
+    return false;
+  }
+  void fail(const std::string &Message) {
+    if (Failed)
+      return;
+    Failed = true;
+    std::ostringstream OS;
+    OS << peek().Line << ":" << peek().Col << ": " << Message;
+    Error = OS.str();
+  }
+
+  // -- priorities ----------------------------------------------------------
+  /// Resolves an identifier to a priority expression: a bound priority
+  /// variable shadows a declared constant.
+  bool resolvePrio(const std::string &Name, PrioExpr &Out) {
+    for (auto It = PrioVars.rbegin(); It != PrioVars.rend(); ++It)
+      if (*It == Name) {
+        Out = PrioExpr::variable(Name);
+        return true;
+      }
+    auto It = PrioByName.find(Name);
+    if (It != PrioByName.end()) {
+      Out = PrioExpr::constant(It->second);
+      return true;
+    }
+    fail("unknown priority '" + Name + "'");
+    return false;
+  }
+
+  bool parsePrio(PrioExpr &Out) {
+    if (!check(Tok::Ident)) {
+      fail("expected a priority name");
+      return false;
+    }
+    std::string Name = advance().Text;
+    return resolvePrio(Name, Out);
+  }
+
+  std::vector<Constraint> parseConstraintList();
+
+  // -- grammar -------------------------------------------------------------
+  TypeRef parseType();
+  TypeRef parseTypeProd();
+  TypeRef parseTypePostfix();
+  TypeRef parseTypeAtom();
+
+  ExprRef parseExpr();
+  ExprRef parseArith();
+  ExprRef parseTerm();
+  ExprRef parseApp();
+  ExprRef parsePrefix();
+  ExprRef parsePostfix();
+  ExprRef parseAtom();
+
+  CmdRef parseCmd();
+  /// Parses a bind source (command sugar or expression); wraps command
+  /// forms in cmd[CurPrio]{·}.
+  ExprRef parseBindSource();
+  /// Parses a command form that can appear bare (fcreate/ftouch/!/cas/set).
+  CmdRef parseBareCmdForm(bool &Handled);
+
+  std::vector<Token> Tokens;
+  std::size_t Pos = 0;
+  bool Failed = false;
+  std::string Error;
+
+  dag::PriorityOrder Order;
+  std::map<std::string, dag::PrioId> PrioByName;
+  std::vector<std::string> PrioVars;
+  std::vector<PrioExpr> PrioContext; ///< enclosing command priorities
+};
+
+std::vector<Constraint> Parser::parseConstraintList() {
+  std::vector<Constraint> Cs;
+  if (!accept(Tok::LParen))
+    return Cs; // empty constraint set
+  if (accept(Tok::RParen))
+    return Cs;
+  do {
+    PrioExpr Lo, Hi;
+    if (!parsePrio(Lo))
+      return Cs;
+    if (!expect(Tok::Le, "in constraint"))
+      return Cs;
+    if (!parsePrio(Hi))
+      return Cs;
+    Cs.push_back({Lo, Hi});
+  } while (accept(Tok::Comma));
+  expect(Tok::RParen, "after constraints");
+  return Cs;
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+TypeRef Parser::parseType() {
+  TypeRef Left = parseTypeProd();
+  if (!Left)
+    return nullptr;
+  if (accept(Tok::Arrow)) {
+    TypeRef Right = parseType(); // right-associative
+    if (!Right)
+      return nullptr;
+    return Type::arrow(std::move(Left), std::move(Right));
+  }
+  return Left;
+}
+
+TypeRef Parser::parseTypeProd() {
+  TypeRef Left = parseTypePostfix();
+  if (!Left)
+    return nullptr;
+  while (check(Tok::Star) || check(Tok::Plus)) {
+    bool IsProd = advance().Kind == Tok::Star;
+    TypeRef Right = parseTypePostfix();
+    if (!Right)
+      return nullptr;
+    Left = IsProd ? Type::prod(std::move(Left), std::move(Right))
+                  : Type::sum(std::move(Left), std::move(Right));
+  }
+  return Left;
+}
+
+TypeRef Parser::parseTypePostfix() {
+  TypeRef T = parseTypeAtom();
+  if (!T)
+    return nullptr;
+  while (true) {
+    if (accept(Tok::KwRef)) {
+      T = Type::ref(std::move(T));
+      continue;
+    }
+    if (check(Tok::KwThread) || check(Tok::KwCmd)) {
+      bool IsThread = advance().Kind == Tok::KwThread;
+      if (!expect(Tok::LBracket, "after 'thread'/'cmd'"))
+        return nullptr;
+      PrioExpr P;
+      if (!parsePrio(P))
+        return nullptr;
+      if (!expect(Tok::RBracket, "after priority"))
+        return nullptr;
+      T = IsThread ? Type::thread(std::move(T), P)
+                   : Type::cmd(std::move(T), P);
+      continue;
+    }
+    return T;
+  }
+}
+
+TypeRef Parser::parseTypeAtom() {
+  if (accept(Tok::KwUnit))
+    return Type::unit();
+  if (accept(Tok::KwNat))
+    return Type::nat();
+  if (accept(Tok::LParen)) {
+    TypeRef T = parseType();
+    if (!T)
+      return nullptr;
+    if (!expect(Tok::RParen, "after type"))
+      return nullptr;
+    return T;
+  }
+  if (accept(Tok::KwForall)) {
+    if (!check(Tok::Ident)) {
+      fail("expected priority variable after 'forall'");
+      return nullptr;
+    }
+    std::string Pi = advance().Text;
+    PrioVars.push_back(Pi);
+    std::vector<Constraint> Cs = parseConstraintList();
+    if (!expect(Tok::Dot, "after forall binder")) {
+      PrioVars.pop_back();
+      return nullptr;
+    }
+    TypeRef Body = parseType();
+    PrioVars.pop_back();
+    if (!Body)
+      return nullptr;
+    return Type::forall(Pi, std::move(Cs), std::move(Body));
+  }
+  fail("expected a type");
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprRef Parser::parseExpr() {
+  if (Failed)
+    return nullptr;
+  if (accept(Tok::KwLet)) {
+    if (!check(Tok::Ident)) {
+      fail("expected binder after 'let'");
+      return nullptr;
+    }
+    std::string X = advance().Text;
+    if (!expect(Tok::Eq, "after let binder"))
+      return nullptr;
+    ExprRef E1 = parseExpr();
+    if (!E1 || !expect(Tok::KwIn, "after let binding"))
+      return nullptr;
+    ExprRef E2 = parseExpr();
+    if (!E2)
+      return nullptr;
+    return Expr::makeLet(X, std::move(E1), std::move(E2));
+  }
+  if (accept(Tok::KwFn)) {
+    if (!expect(Tok::LParen, "after 'fn'"))
+      return nullptr;
+    if (!check(Tok::Ident)) {
+      fail("expected parameter name");
+      return nullptr;
+    }
+    std::string X = advance().Text;
+    if (!expect(Tok::Colon, "after parameter"))
+      return nullptr;
+    TypeRef Dom = parseType();
+    if (!Dom || !expect(Tok::RParen, "after parameter type") ||
+        !expect(Tok::FatArrow, "after fn header"))
+      return nullptr;
+    ExprRef Body = parseExpr();
+    if (!Body)
+      return nullptr;
+    return Expr::makeLam(X, std::move(Dom), std::move(Body));
+  }
+  if (accept(Tok::KwFix)) {
+    if (!check(Tok::Ident)) {
+      fail("expected binder after 'fix'");
+      return nullptr;
+    }
+    std::string X = advance().Text;
+    if (!expect(Tok::Colon, "after fix binder"))
+      return nullptr;
+    TypeRef Ty = parseType();
+    if (!Ty || !expect(Tok::KwIs, "after fix type"))
+      return nullptr;
+    ExprRef Body = parseExpr();
+    if (!Body)
+      return nullptr;
+    return Expr::makeFix(X, std::move(Ty), std::move(Body));
+  }
+  if (accept(Tok::KwIfz)) {
+    ExprRef Cond = parseExpr();
+    if (!Cond || !expect(Tok::KwThen, "in ifz"))
+      return nullptr;
+    ExprRef Zero = parseExpr();
+    if (!Zero || !expect(Tok::KwElse, "in ifz"))
+      return nullptr;
+    if (!check(Tok::Ident)) {
+      fail("expected predecessor binder after 'else'");
+      return nullptr;
+    }
+    std::string X = advance().Text;
+    if (!expect(Tok::Dot, "after ifz binder"))
+      return nullptr;
+    ExprRef Succ = parseExpr();
+    if (!Succ)
+      return nullptr;
+    return Expr::makeIfz(std::move(Cond), std::move(Zero), X,
+                         std::move(Succ));
+  }
+  if (accept(Tok::KwCase)) {
+    ExprRef Scrut = parseExpr();
+    if (!Scrut || !expect(Tok::KwOf, "in case") ||
+        !expect(Tok::KwInl, "in case"))
+      return nullptr;
+    if (!check(Tok::Ident)) {
+      fail("expected inl binder");
+      return nullptr;
+    }
+    std::string XL = advance().Text;
+    if (!expect(Tok::FatArrow, "after inl binder"))
+      return nullptr;
+    ExprRef L = parseExpr();
+    if (!L || !expect(Tok::Pipe, "between case arms") ||
+        !expect(Tok::KwInr, "in case"))
+      return nullptr;
+    if (!check(Tok::Ident)) {
+      fail("expected inr binder");
+      return nullptr;
+    }
+    std::string XR = advance().Text;
+    if (!expect(Tok::FatArrow, "after inr binder"))
+      return nullptr;
+    ExprRef R = parseExpr();
+    if (!R)
+      return nullptr;
+    return Expr::makeCase(std::move(Scrut), XL, std::move(L), XR,
+                          std::move(R));
+  }
+  if (accept(Tok::KwPlam)) {
+    if (!check(Tok::Ident)) {
+      fail("expected priority variable after 'plam'");
+      return nullptr;
+    }
+    std::string Pi = advance().Text;
+    PrioVars.push_back(Pi);
+    std::vector<Constraint> Cs = parseConstraintList();
+    if (!expect(Tok::FatArrow, "after plam header")) {
+      PrioVars.pop_back();
+      return nullptr;
+    }
+    ExprRef Body = parseExpr();
+    PrioVars.pop_back();
+    if (!Body)
+      return nullptr;
+    return Expr::makePrioLam(Pi, std::move(Cs), std::move(Body));
+  }
+  return parseArith();
+}
+
+ExprRef Parser::parseArith() {
+  ExprRef Left = parseTerm();
+  if (!Left)
+    return nullptr;
+  while (check(Tok::Plus) || check(Tok::Minus)) {
+    PrimOp Op = advance().Kind == Tok::Plus ? PrimOp::Add : PrimOp::Sub;
+    ExprRef Right = parseTerm();
+    if (!Right)
+      return nullptr;
+    Left = Expr::makePrim(Op, std::move(Left), std::move(Right));
+  }
+  return Left;
+}
+
+ExprRef Parser::parseTerm() {
+  ExprRef Left = parseApp();
+  if (!Left)
+    return nullptr;
+  while (check(Tok::Star)) {
+    advance();
+    ExprRef Right = parseApp();
+    if (!Right)
+      return nullptr;
+    Left = Expr::makePrim(PrimOp::Mul, std::move(Left), std::move(Right));
+  }
+  return Left;
+}
+
+/// True if the current token can begin a prefix expression (application
+/// argument).
+static bool startsPrefix(Tok Kind) {
+  switch (Kind) {
+  case Tok::Ident:
+  case Tok::Int:
+  case Tok::LParen:
+  case Tok::KwCmd:
+  case Tok::KwFst:
+  case Tok::KwSnd:
+  case Tok::KwInl:
+  case Tok::KwInr:
+    return true;
+  default:
+    return false;
+  }
+}
+
+ExprRef Parser::parseApp() {
+  ExprRef Head = parsePrefix();
+  if (!Head)
+    return nullptr;
+  while (!Failed && startsPrefix(peek().Kind)) {
+    ExprRef Arg = parsePrefix();
+    if (!Arg)
+      return nullptr;
+    Head = Expr::makeApp(std::move(Head), std::move(Arg));
+  }
+  return Head;
+}
+
+ExprRef Parser::parsePrefix() {
+  if (accept(Tok::KwFst)) {
+    ExprRef E = parsePrefix();
+    return E ? Expr::makeFst(std::move(E)) : nullptr;
+  }
+  if (accept(Tok::KwSnd)) {
+    ExprRef E = parsePrefix();
+    return E ? Expr::makeSnd(std::move(E)) : nullptr;
+  }
+  if (check(Tok::KwInl) || check(Tok::KwInr)) {
+    bool IsInl = advance().Kind == Tok::KwInl;
+    if (!expect(Tok::LBracket, "after inl/inr (other summand type)"))
+      return nullptr;
+    TypeRef Other = parseType();
+    if (!Other || !expect(Tok::RBracket, "after summand type"))
+      return nullptr;
+    ExprRef E = parsePrefix();
+    if (!E)
+      return nullptr;
+    return IsInl ? Expr::makeInl(std::move(Other), std::move(E))
+                 : Expr::makeInr(std::move(Other), std::move(E));
+  }
+  return parsePostfix();
+}
+
+ExprRef Parser::parsePostfix() {
+  ExprRef E = parseAtom();
+  if (!E)
+    return nullptr;
+  while (check(Tok::At) && peek(1).Kind == Tok::LBracket) {
+    advance(); // @
+    advance(); // [
+    PrioExpr P;
+    if (!parsePrio(P))
+      return nullptr;
+    if (!expect(Tok::RBracket, "after priority application"))
+      return nullptr;
+    E = Expr::makePrioApp(std::move(E), P);
+  }
+  return E;
+}
+
+ExprRef Parser::parseAtom() {
+  if (check(Tok::Int))
+    return Expr::makeNat(advance().IntValue);
+  if (check(Tok::Ident))
+    return Expr::makeVar(advance().Text);
+  if (accept(Tok::LParen)) {
+    if (accept(Tok::RParen))
+      return Expr::makeUnit();
+    ExprRef First = parseExpr();
+    if (!First)
+      return nullptr;
+    if (accept(Tok::Comma)) {
+      ExprRef Second = parseExpr();
+      if (!Second || !expect(Tok::RParen, "after pair"))
+        return nullptr;
+      return Expr::makePair(std::move(First), std::move(Second));
+    }
+    if (!expect(Tok::RParen, "after expression"))
+      return nullptr;
+    return First;
+  }
+  if (accept(Tok::KwCmd)) {
+    if (!expect(Tok::LBracket, "after 'cmd'"))
+      return nullptr;
+    PrioExpr P;
+    if (!parsePrio(P))
+      return nullptr;
+    if (!expect(Tok::RBracket, "after cmd priority") ||
+        !expect(Tok::LBrace, "before cmd body"))
+      return nullptr;
+    PrioContext.push_back(P);
+    CmdRef M = parseCmd();
+    PrioContext.pop_back();
+    if (!M || !expect(Tok::RBrace, "after cmd body"))
+      return nullptr;
+    return Expr::makeCmdVal(P, std::move(M));
+  }
+  fail(std::string("expected an expression, found ") +
+       tokenKindName(peek().Kind));
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Commands
+//===----------------------------------------------------------------------===//
+
+CmdRef Parser::parseBareCmdForm(bool &Handled) {
+  Handled = true;
+  if (accept(Tok::KwFcreate)) {
+    if (!expect(Tok::LBracket, "after 'fcreate'"))
+      return nullptr;
+    PrioExpr P;
+    if (!parsePrio(P))
+      return nullptr;
+    if (!expect(Tok::Semi, "between fcreate priority and type"))
+      return nullptr;
+    TypeRef Ty = parseType();
+    if (!Ty || !expect(Tok::RBracket, "after fcreate type") ||
+        !expect(Tok::LBrace, "before fcreate body"))
+      return nullptr;
+    PrioContext.push_back(P);
+    CmdRef Body = parseCmd();
+    PrioContext.pop_back();
+    if (!Body || !expect(Tok::RBrace, "after fcreate body"))
+      return nullptr;
+    return Cmd::makeCreate(P, std::move(Ty), std::move(Body));
+  }
+  if (accept(Tok::KwFtouch)) {
+    ExprRef E = parseArith();
+    return E ? Cmd::makeTouch(std::move(E)) : nullptr;
+  }
+  if (accept(Tok::KwRet)) {
+    ExprRef E = parseExpr();
+    return E ? Cmd::makeRet(std::move(E)) : nullptr;
+  }
+  if (accept(Tok::Bang)) {
+    ExprRef E = parseArith();
+    return E ? Cmd::makeGet(std::move(E)) : nullptr;
+  }
+  if (accept(Tok::KwCas)) {
+    if (!expect(Tok::LParen, "after 'cas'"))
+      return nullptr;
+    ExprRef Target = parseExpr();
+    if (!Target || !expect(Tok::Comma, "in cas"))
+      return nullptr;
+    ExprRef Old = parseExpr();
+    if (!Old || !expect(Tok::Comma, "in cas"))
+      return nullptr;
+    ExprRef New = parseExpr();
+    if (!New || !expect(Tok::RParen, "after cas"))
+      return nullptr;
+    return Cmd::makeCas(std::move(Target), std::move(Old), std::move(New));
+  }
+  Handled = false;
+  return nullptr;
+}
+
+ExprRef Parser::parseBindSource() {
+  assert(!PrioContext.empty() && "bind sugar outside a command context");
+  bool Handled = false;
+  CmdRef Sugar = parseBareCmdForm(Handled);
+  if (Handled) {
+    if (!Sugar)
+      return nullptr;
+    return Expr::makeCmdVal(PrioContext.back(), std::move(Sugar));
+  }
+  ExprRef E = parseExpr();
+  if (!E)
+    return nullptr;
+  if (accept(Tok::ColonEq)) {
+    ExprRef Rhs = parseExpr();
+    if (!Rhs)
+      return nullptr;
+    return Expr::makeCmdVal(PrioContext.back(),
+                            Cmd::makeSet(std::move(E), std::move(Rhs)));
+  }
+  return E;
+}
+
+CmdRef Parser::parseCmd() {
+  if (Failed)
+    return nullptr;
+  // Bind: IDENT '<-' source ';' cmd
+  if (check(Tok::Ident) && peek(1).Kind == Tok::LArrow) {
+    std::string X = advance().Text;
+    advance(); // <-
+    ExprRef Src = parseBindSource();
+    if (!Src || !expect(Tok::Semi, "after bind source"))
+      return nullptr;
+    CmdRef Tail = parseCmd();
+    if (!Tail)
+      return nullptr;
+    return Cmd::makeBind(X, std::move(Src), std::move(Tail));
+  }
+  if (accept(Tok::KwDcl)) {
+    if (!check(Tok::Ident)) {
+      fail("expected cell name after 'dcl'");
+      return nullptr;
+    }
+    std::string S = advance().Text;
+    if (!expect(Tok::Colon, "after dcl name"))
+      return nullptr;
+    TypeRef Ty = parseType();
+    if (!Ty || !expect(Tok::ColonEq, "after dcl type"))
+      return nullptr;
+    ExprRef Init = parseExpr();
+    if (!Init || !expect(Tok::KwIn, "after dcl initializer"))
+      return nullptr;
+    CmdRef Body = parseCmd();
+    if (!Body)
+      return nullptr;
+    return Cmd::makeDcl(S, std::move(Ty), std::move(Init), std::move(Body));
+  }
+  // Bare command forms usable in tail position.
+  bool Handled = false;
+  CmdRef Bare = parseBareCmdForm(Handled);
+  if (Handled)
+    return Bare;
+  // Assignment or error.
+  ExprRef Lhs = parseExpr();
+  if (!Lhs)
+    return nullptr;
+  if (accept(Tok::ColonEq)) {
+    ExprRef Rhs = parseExpr();
+    if (!Rhs)
+      return nullptr;
+    return Cmd::makeSet(std::move(Lhs), std::move(Rhs));
+  }
+  fail("expected a command");
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+ParseResult Parser::run() {
+  ParseResult Result;
+  // (fun name, fun value) in declaration order; substituted into later funs
+  // and main.
+  std::vector<std::pair<std::string, ExprRef>> Funs;
+  CmdRef Main;
+  PrioExpr MainPrio = PrioExpr::constant(0);
+  bool SawMain = false;
+
+  while (!Failed && !check(Tok::Eof)) {
+    if (check(Tok::Error)) {
+      fail(peek().Text);
+      break;
+    }
+    if (accept(Tok::KwPriority)) {
+      if (!check(Tok::Ident)) {
+        fail("expected priority name");
+        break;
+      }
+      std::string Name = advance().Text;
+      if (PrioByName.count(Name)) {
+        fail("duplicate priority '" + Name + "'");
+        break;
+      }
+      PrioByName[Name] = Order.addPriority(Name);
+      expect(Tok::Semi, "after priority declaration");
+      continue;
+    }
+    if (accept(Tok::KwOrder)) {
+      PrioExpr Lo, Hi;
+      if (!parsePrio(Lo) || !expect(Tok::Lt, "in order declaration") ||
+          !parsePrio(Hi))
+        break;
+      if (!Lo.isConst() || !Hi.isConst()) {
+        fail("order declarations relate priority constants");
+        break;
+      }
+      if (!Order.addLess(Lo.Id, Hi.Id)) {
+        fail("order declaration would create a cycle");
+        break;
+      }
+      expect(Tok::Semi, "after order declaration");
+      continue;
+    }
+    if (accept(Tok::KwFun)) {
+      if (!check(Tok::Ident)) {
+        fail("expected function name");
+        break;
+      }
+      std::string F = advance().Text;
+      if (!expect(Tok::LParen, "after function name"))
+        break;
+      if (!check(Tok::Ident)) {
+        fail("expected parameter name");
+        break;
+      }
+      std::string X = advance().Text;
+      if (!expect(Tok::Colon, "after parameter"))
+        break;
+      TypeRef Dom = parseType();
+      if (!Dom || !expect(Tok::RParen, "after parameter type") ||
+          !expect(Tok::Colon, "before return type"))
+        break;
+      TypeRef Cod = parseType();
+      if (!Cod || !expect(Tok::Eq, "before function body"))
+        break;
+      ExprRef Body = parseExpr();
+      if (!Body)
+        break;
+      expect(Tok::Semi, "after function body");
+      // Earlier funs are visible in this body.
+      for (const auto &[G, V] : Funs)
+        Body = substExpr(Body, G, V);
+      ExprRef Value = Expr::makeFix(
+          F, Type::arrow(Dom, Cod), Expr::makeLam(X, Dom, std::move(Body)));
+      Funs.emplace_back(F, std::move(Value));
+      continue;
+    }
+    if (accept(Tok::KwMain)) {
+      if (SawMain) {
+        fail("duplicate main");
+        break;
+      }
+      if (!expect(Tok::KwAt, "after 'main'"))
+        break;
+      if (!parsePrio(MainPrio))
+        break;
+      if (!expect(Tok::LBrace, "before main body"))
+        break;
+      PrioContext.push_back(MainPrio);
+      Main = parseCmd();
+      PrioContext.pop_back();
+      if (!Main || !expect(Tok::RBrace, "after main body"))
+        break;
+      SawMain = true;
+      continue;
+    }
+    fail(std::string("expected a top-level declaration, found ") +
+         tokenKindName(peek().Kind));
+  }
+
+  if (!Failed && !SawMain)
+    fail("program has no main");
+  if (Failed) {
+    Result.Error = Error;
+    return Result;
+  }
+
+  for (const auto &[F, V] : Funs)
+    Main = substCmd(Main, F, V);
+
+  Result.Ok = true;
+  Result.Prog.Order = std::move(Order);
+  Result.Prog.PrioByName = std::move(PrioByName);
+  Result.Prog.MainPrio = MainPrio;
+  Result.Prog.Main = std::move(Main);
+  return Result;
+}
+
+} // namespace
+
+ParseResult parseProgram(const std::string &Source) {
+  return Parser(tokenize(Source)).run();
+}
+
+} // namespace repro::lambda4i

@@ -1,0 +1,66 @@
+//===- lambda4i/Parser.h - Parser for the λ⁴ᵢ surface syntax ----*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// Recursive-descent parser for a small ML-flavored surface syntax over the
+// λ⁴ᵢ core calculus:
+//
+//   priority low;  priority high;  order low < high;
+//
+//   fun double (x : nat) : nat = x + x;
+//
+//   main at high {
+//     r <- ret (double 21);
+//     h <- fcreate [low; nat] { ret 0 };
+//     dcl cell : nat := r in
+//     v <- !cell;
+//     ret v
+//   }
+//
+// Sugar (desugared during parsing, so the core AST is exactly Fig. 4 plus
+// the documented extensions):
+//   * `x <- ftouch e; m`, `x <- !e; m`, `x <- e1 := e2; m`,
+//     `x <- cas(...); m`, `x <- fcreate[...]{...}; m` wrap the command in
+//     cmd[ρ]{·} at the enclosing priority and bind it (rule Bind);
+//   * top-level `fun f (x:τ1) : τ2 = e;` elaborates to
+//     fix f : τ1→τ2 is fn(x:τ1) => e, substituted into later declarations
+//     and main.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_LAMBDA4I_PARSER_H
+#define REPRO_LAMBDA4I_PARSER_H
+
+#include "lambda4i/Ast.h"
+
+#include <map>
+#include <string>
+
+namespace repro::lambda4i {
+
+/// A parsed, elaborated λ⁴ᵢ program.
+struct Program {
+  dag::PriorityOrder Order;
+  std::map<std::string, dag::PrioId> PrioByName;
+  PrioExpr MainPrio = PrioExpr::constant(0);
+  CmdRef Main; ///< top-level funs already substituted; not yet A-normalized
+};
+
+/// Parse outcome: either a Program or a diagnostic.
+struct ParseResult {
+  bool Ok = false;
+  Program Prog;
+  std::string Error; ///< "line:col: message" on failure
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Parses and elaborates \p Source.
+ParseResult parseProgram(const std::string &Source);
+
+} // namespace repro::lambda4i
+
+#endif // REPRO_LAMBDA4I_PARSER_H

@@ -1,0 +1,66 @@
+//===- lambda4i/Prio.cpp - Priorities and constraint entailment -----------===//
+
+#include "lambda4i/Prio.h"
+
+#include <deque>
+
+namespace repro::lambda4i {
+
+bool ConstraintEnv::entails(const PrioExpr &Lo, const PrioExpr &Hi) const {
+  if (Lo == Hi)
+    return true; // refl
+  if (Lo.isConst() && Hi.isConst() && Order->leq(Lo.Id, Hi.Id))
+    return true; // assume (+ refl/trans inside the order)
+
+  // General case: BFS over the union of hypothesis edges and the ambient
+  // order, treating priority expressions as graph nodes (trans).
+  auto Equal = [](const PrioExpr &A, const PrioExpr &B) { return A == B; };
+  std::deque<PrioExpr> Work{Lo};
+  std::vector<PrioExpr> Seen{Lo};
+  auto Visit = [&](const PrioExpr &Next) {
+    for (const PrioExpr &S : Seen)
+      if (Equal(S, Next))
+        return;
+    Seen.push_back(Next);
+    Work.push_back(Next);
+  };
+  while (!Work.empty()) {
+    PrioExpr Cur = Work.front();
+    Work.pop_front();
+    if (Cur == Hi)
+      return true;
+    // Hypothesis edges.
+    for (const Constraint &H : Hyps)
+      if (H.Lo == Cur)
+        Visit(H.Hi);
+    // Ambient order edges from a constant.
+    if (Cur.isConst()) {
+      if (Hi.isConst() && Order->leq(Cur.Id, Hi.Id))
+        return true;
+      for (dag::PrioId P = 0; P < Order->size(); ++P)
+        if (P != Cur.Id && Order->leq(Cur.Id, P))
+          Visit(PrioExpr::constant(P));
+    }
+  }
+  return false;
+}
+
+bool ConstraintEnv::entailsAll(const std::vector<Constraint> &Cs) const {
+  for (const Constraint &C : Cs)
+    if (!entails(C.Lo, C.Hi))
+      return false;
+  return true;
+}
+
+PrioExpr substPrio(const PrioExpr &Into, const std::string &Var,
+                   const PrioExpr &Replacement) {
+  if (Into.isVar() && Into.Var == Var)
+    return Replacement;
+  return Into;
+}
+
+std::string toString(const PrioExpr &P, const dag::PriorityOrder &Order) {
+  return P.isConst() ? Order.name(P.Id) : P.Var;
+}
+
+} // namespace repro::lambda4i

@@ -1,0 +1,92 @@
+//===- lambda4i/Prio.h - Priorities and constraint entailment ---*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// λ⁴ᵢ draws priorities from a fixed partially ordered set R and supports
+// priority polymorphism: Λπ∼C.e abstracts over a priority variable π under
+// constraints C (conjunctions of ρ1 ⪯ ρ2). This header defines priority
+// expressions (constants or variables), constraints, and the entailment
+// judgment Γ ⊢R C of Figure 7 — closure of the declared order and the
+// hypotheses under reflexivity and transitivity.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_LAMBDA4I_PRIO_H
+#define REPRO_LAMBDA4I_PRIO_H
+
+#include "dag/Priority.h"
+
+#include <string>
+#include <vector>
+
+namespace repro::lambda4i {
+
+/// A priority expression: either a constant of the ambient order R or a
+/// bound priority variable π.
+struct PrioExpr {
+  enum class Kind { Const, Var } K = Kind::Const;
+  dag::PrioId Id = 0;  ///< valid when K == Const
+  std::string Var;     ///< valid when K == Var
+
+  static PrioExpr constant(dag::PrioId Id) { return {Kind::Const, Id, {}}; }
+  static PrioExpr variable(std::string Name) {
+    return {Kind::Var, 0, std::move(Name)};
+  }
+
+  bool isConst() const { return K == Kind::Const; }
+  bool isVar() const { return K == Kind::Var; }
+
+  bool operator==(const PrioExpr &O) const {
+    if (K != O.K)
+      return false;
+    return isConst() ? Id == O.Id : Var == O.Var;
+  }
+};
+
+/// One conjunct ρ1 ⪯ ρ2; C ::= ρ ⪯ ρ | C ∧ C flattens to a vector.
+struct Constraint {
+  PrioExpr Lo;
+  PrioExpr Hi;
+
+  bool operator==(const Constraint &O) const = default;
+};
+
+/// Entailment environment: the ambient order R plus hypothesis constraints
+/// introduced by priority abstractions.
+class ConstraintEnv {
+public:
+  explicit ConstraintEnv(const dag::PriorityOrder &Order) : Order(&Order) {}
+
+  /// Pushes a hypothesis (rule hyp); returns a token for popping.
+  void pushHypothesis(Constraint C) { Hyps.push_back(std::move(C)); }
+  void popHypothesis() { Hyps.pop_back(); }
+  std::size_t numHypotheses() const { return Hyps.size(); }
+  void truncateHypotheses(std::size_t N) { Hyps.resize(N); }
+
+  /// Γ ⊢R Lo ⪯ Hi: reachability over the declared order (assume), the
+  /// hypotheses (hyp), closed under refl and trans.
+  bool entails(const PrioExpr &Lo, const PrioExpr &Hi) const;
+
+  /// Entails every conjunct.
+  bool entailsAll(const std::vector<Constraint> &Cs) const;
+
+  const dag::PriorityOrder &order() const { return *Order; }
+
+private:
+  const dag::PriorityOrder *Order;
+  std::vector<Constraint> Hyps;
+};
+
+/// [ρ/π] on a priority expression.
+PrioExpr substPrio(const PrioExpr &Into, const std::string &Var,
+                   const PrioExpr &Replacement);
+
+/// Renders a priority expression using \p Order for constant names.
+std::string toString(const PrioExpr &P, const dag::PriorityOrder &Order);
+
+} // namespace repro::lambda4i
+
+#endif // REPRO_LAMBDA4I_PRIO_H

@@ -1,0 +1,277 @@
+//===- lambda4i/Subst.cpp - Substitution on λ⁴ᵢ terms -----------------------===//
+
+#include "lambda4i/Subst.h"
+
+namespace repro::lambda4i {
+
+ExprRef substExpr(const ExprRef &E, const std::string &X, const ExprRef &V) {
+  if (!E)
+    return E;
+  using K = Expr::Kind;
+  switch (E->kind()) {
+  case K::Var:
+    return E->var() == X ? V : E;
+  case K::Unit:
+  case K::Nat:
+  case K::RefVal:
+  case K::Tid:
+    return E;
+  case K::Lam:
+    if (E->var() == X)
+      return E;
+    return Expr::makeLam(E->var(), E->type(), substExpr(E->sub1(), X, V));
+  case K::Pair:
+    return Expr::makePair(substExpr(E->sub1(), X, V),
+                          substExpr(E->sub2(), X, V));
+  case K::Inl:
+    return Expr::makeInl(E->type(), substExpr(E->sub1(), X, V));
+  case K::Inr:
+    return Expr::makeInr(E->type(), substExpr(E->sub1(), X, V));
+  case K::CmdVal:
+    return Expr::makeCmdVal(E->prio(), substCmd(E->cmd(), X, V));
+  case K::Let: {
+    ExprRef NewE1 = substExpr(E->sub1(), X, V);
+    ExprRef NewE2 = E->var() == X ? E->sub2() : substExpr(E->sub2(), X, V);
+    return Expr::makeLet(E->var(), std::move(NewE1), std::move(NewE2));
+  }
+  case K::Ifz: {
+    ExprRef Cond = substExpr(E->sub1(), X, V);
+    ExprRef Zero = substExpr(E->sub2(), X, V);
+    ExprRef Succ = E->var() == X ? E->sub3() : substExpr(E->sub3(), X, V);
+    return Expr::makeIfz(std::move(Cond), std::move(Zero), E->var(),
+                         std::move(Succ));
+  }
+  case K::App:
+    return Expr::makeApp(substExpr(E->sub1(), X, V),
+                         substExpr(E->sub2(), X, V));
+  case K::Fst:
+    return Expr::makeFst(substExpr(E->sub1(), X, V));
+  case K::Snd:
+    return Expr::makeSnd(substExpr(E->sub1(), X, V));
+  case K::Case: {
+    ExprRef Scrut = substExpr(E->sub1(), X, V);
+    ExprRef L = E->var() == X ? E->sub2() : substExpr(E->sub2(), X, V);
+    ExprRef R = E->var2() == X ? E->sub3() : substExpr(E->sub3(), X, V);
+    return Expr::makeCase(std::move(Scrut), E->var(), std::move(L),
+                          E->var2(), std::move(R));
+  }
+  case K::Fix:
+    if (E->var() == X)
+      return E;
+    return Expr::makeFix(E->var(), E->type(), substExpr(E->sub1(), X, V));
+  case K::PrioLam:
+    return Expr::makePrioLam(E->var(), E->constraints(),
+                             substExpr(E->sub1(), X, V));
+  case K::PrioApp:
+    return Expr::makePrioApp(substExpr(E->sub1(), X, V), E->prio());
+  case K::Prim:
+    return Expr::makePrim(E->primOp(), substExpr(E->sub1(), X, V),
+                          substExpr(E->sub2(), X, V));
+  }
+  return E;
+}
+
+CmdRef substCmd(const CmdRef &M, const std::string &X, const ExprRef &V) {
+  if (!M)
+    return M;
+  using K = Cmd::Kind;
+  switch (M->kind()) {
+  case K::Bind: {
+    ExprRef E = substExpr(M->sub1(), X, V);
+    CmdRef Tail = M->var() == X ? M->cmd() : substCmd(M->cmd(), X, V);
+    return Cmd::makeBind(M->var(), std::move(E), std::move(Tail));
+  }
+  case K::Create:
+    return Cmd::makeCreate(M->prio(), M->type(), substCmd(M->cmd(), X, V));
+  case K::Touch:
+    return Cmd::makeTouch(substExpr(M->sub1(), X, V));
+  case K::Dcl: {
+    ExprRef Init = substExpr(M->sub1(), X, V);
+    CmdRef Body = M->var() == X ? M->cmd() : substCmd(M->cmd(), X, V);
+    return Cmd::makeDcl(M->var(), M->type(), std::move(Init), std::move(Body));
+  }
+  case K::Get:
+    return Cmd::makeGet(substExpr(M->sub1(), X, V));
+  case K::Set:
+    return Cmd::makeSet(substExpr(M->sub1(), X, V),
+                        substExpr(M->sub2(), X, V));
+  case K::Ret:
+    return Cmd::makeRet(substExpr(M->sub1(), X, V));
+  case K::Cas:
+    return Cmd::makeCas(substExpr(M->sub1(), X, V),
+                        substExpr(M->sub2(), X, V),
+                        substExpr(M->sub3(), X, V));
+  }
+  return M;
+}
+
+ExprRef substPrioExpr(const ExprRef &E, const std::string &Pi,
+                      const PrioExpr &Rho) {
+  if (!E)
+    return E;
+  using K = Expr::Kind;
+  auto SubTy = [&](const TypeRef &T) { return Type::substPrio(T, Pi, Rho); };
+  switch (E->kind()) {
+  case K::Var:
+  case K::Unit:
+  case K::Nat:
+  case K::RefVal:
+  case K::Tid:
+    return E;
+  case K::Lam:
+    return Expr::makeLam(E->var(), SubTy(E->type()),
+                         substPrioExpr(E->sub1(), Pi, Rho));
+  case K::Pair:
+    return Expr::makePair(substPrioExpr(E->sub1(), Pi, Rho),
+                          substPrioExpr(E->sub2(), Pi, Rho));
+  case K::Inl:
+    return Expr::makeInl(SubTy(E->type()), substPrioExpr(E->sub1(), Pi, Rho));
+  case K::Inr:
+    return Expr::makeInr(SubTy(E->type()), substPrioExpr(E->sub1(), Pi, Rho));
+  case K::CmdVal:
+    return Expr::makeCmdVal(substPrio(E->prio(), Pi, Rho),
+                            substPrioCmd(E->cmd(), Pi, Rho));
+  case K::Let:
+    return Expr::makeLet(E->var(), substPrioExpr(E->sub1(), Pi, Rho),
+                         substPrioExpr(E->sub2(), Pi, Rho));
+  case K::Ifz:
+    return Expr::makeIfz(substPrioExpr(E->sub1(), Pi, Rho),
+                         substPrioExpr(E->sub2(), Pi, Rho), E->var(),
+                         substPrioExpr(E->sub3(), Pi, Rho));
+  case K::App:
+    return Expr::makeApp(substPrioExpr(E->sub1(), Pi, Rho),
+                         substPrioExpr(E->sub2(), Pi, Rho));
+  case K::Fst:
+    return Expr::makeFst(substPrioExpr(E->sub1(), Pi, Rho));
+  case K::Snd:
+    return Expr::makeSnd(substPrioExpr(E->sub1(), Pi, Rho));
+  case K::Case:
+    return Expr::makeCase(substPrioExpr(E->sub1(), Pi, Rho), E->var(),
+                          substPrioExpr(E->sub2(), Pi, Rho), E->var2(),
+                          substPrioExpr(E->sub3(), Pi, Rho));
+  case K::Fix:
+    return Expr::makeFix(E->var(), SubTy(E->type()),
+                         substPrioExpr(E->sub1(), Pi, Rho));
+  case K::PrioLam: {
+    if (E->var() == Pi)
+      return E; // shadowed
+    std::vector<Constraint> Cs;
+    Cs.reserve(E->constraints().size());
+    for (const Constraint &C : E->constraints())
+      Cs.push_back({substPrio(C.Lo, Pi, Rho), substPrio(C.Hi, Pi, Rho)});
+    return Expr::makePrioLam(E->var(), std::move(Cs),
+                             substPrioExpr(E->sub1(), Pi, Rho));
+  }
+  case K::PrioApp:
+    return Expr::makePrioApp(substPrioExpr(E->sub1(), Pi, Rho),
+                             substPrio(E->prio(), Pi, Rho));
+  case K::Prim:
+    return Expr::makePrim(E->primOp(), substPrioExpr(E->sub1(), Pi, Rho),
+                          substPrioExpr(E->sub2(), Pi, Rho));
+  }
+  return E;
+}
+
+CmdRef substPrioCmd(const CmdRef &M, const std::string &Pi,
+                    const PrioExpr &Rho) {
+  if (!M)
+    return M;
+  using K = Cmd::Kind;
+  auto SubTy = [&](const TypeRef &T) { return Type::substPrio(T, Pi, Rho); };
+  switch (M->kind()) {
+  case K::Bind:
+    return Cmd::makeBind(M->var(), substPrioExpr(M->sub1(), Pi, Rho),
+                         substPrioCmd(M->cmd(), Pi, Rho));
+  case K::Create:
+    return Cmd::makeCreate(substPrio(M->prio(), Pi, Rho), SubTy(M->type()),
+                           substPrioCmd(M->cmd(), Pi, Rho));
+  case K::Touch:
+    return Cmd::makeTouch(substPrioExpr(M->sub1(), Pi, Rho));
+  case K::Dcl:
+    return Cmd::makeDcl(M->var(), SubTy(M->type()),
+                        substPrioExpr(M->sub1(), Pi, Rho),
+                        substPrioCmd(M->cmd(), Pi, Rho));
+  case K::Get:
+    return Cmd::makeGet(substPrioExpr(M->sub1(), Pi, Rho));
+  case K::Set:
+    return Cmd::makeSet(substPrioExpr(M->sub1(), Pi, Rho),
+                        substPrioExpr(M->sub2(), Pi, Rho));
+  case K::Ret:
+    return Cmd::makeRet(substPrioExpr(M->sub1(), Pi, Rho));
+  case K::Cas:
+    return Cmd::makeCas(substPrioExpr(M->sub1(), Pi, Rho),
+                        substPrioExpr(M->sub2(), Pi, Rho),
+                        substPrioExpr(M->sub3(), Pi, Rho));
+  }
+  return M;
+}
+
+bool occursFree(const ExprRef &E, const std::string &X) {
+  if (!E)
+    return false;
+  using K = Expr::Kind;
+  switch (E->kind()) {
+  case K::Var:
+    return E->var() == X;
+  case K::Unit:
+  case K::Nat:
+  case K::RefVal:
+  case K::Tid:
+    return false;
+  case K::Lam:
+    return E->var() != X && occursFree(E->sub1(), X);
+  case K::Pair:
+  case K::App:
+  case K::Prim:
+    return occursFree(E->sub1(), X) || occursFree(E->sub2(), X);
+  case K::Inl:
+  case K::Inr:
+  case K::Fst:
+  case K::Snd:
+  case K::PrioApp:
+    return occursFree(E->sub1(), X);
+  case K::CmdVal: {
+    // Walk the command for free occurrences.
+    const CmdRef &M = E->cmd();
+    switch (M->kind()) {
+    case Cmd::Kind::Bind:
+      return occursFree(M->sub1(), X) ||
+             (M->var() != X &&
+              occursFree(Expr::makeCmdVal(E->prio(), M->cmd()), X));
+    case Cmd::Kind::Create:
+      return occursFree(Expr::makeCmdVal(E->prio(), M->cmd()), X);
+    case Cmd::Kind::Touch:
+    case Cmd::Kind::Get:
+    case Cmd::Kind::Ret:
+      return occursFree(M->sub1(), X);
+    case Cmd::Kind::Dcl:
+      return occursFree(M->sub1(), X) ||
+             (M->var() != X &&
+              occursFree(Expr::makeCmdVal(E->prio(), M->cmd()), X));
+    case Cmd::Kind::Set:
+      return occursFree(M->sub1(), X) || occursFree(M->sub2(), X);
+    case Cmd::Kind::Cas:
+      return occursFree(M->sub1(), X) || occursFree(M->sub2(), X) ||
+             occursFree(M->sub3(), X);
+    }
+    return false;
+  }
+  case K::Let:
+    return occursFree(E->sub1(), X) ||
+           (E->var() != X && occursFree(E->sub2(), X));
+  case K::Ifz:
+    return occursFree(E->sub1(), X) || occursFree(E->sub2(), X) ||
+           (E->var() != X && occursFree(E->sub3(), X));
+  case K::Case:
+    return occursFree(E->sub1(), X) ||
+           (E->var() != X && occursFree(E->sub2(), X)) ||
+           (E->var2() != X && occursFree(E->sub3(), X));
+  case K::Fix:
+    return E->var() != X && occursFree(E->sub1(), X);
+  case K::PrioLam:
+    return occursFree(E->sub1(), X);
+  }
+  return false;
+}
+
+} // namespace repro::lambda4i

@@ -1,0 +1,40 @@
+//===- lambda4i/Subst.h - Substitution on λ⁴ᵢ terms -------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// Capture-avoiding-enough substitution: the dynamics only ever substitutes
+// *closed* values (Lemma 3.1's uses), so shadowing checks on binders
+// suffice and no alpha-renaming is required.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_LAMBDA4I_SUBST_H
+#define REPRO_LAMBDA4I_SUBST_H
+
+#include "lambda4i/Ast.h"
+
+namespace repro::lambda4i {
+
+/// [V/X]E.
+ExprRef substExpr(const ExprRef &E, const std::string &X, const ExprRef &V);
+
+/// [V/X]M.
+CmdRef substCmd(const CmdRef &M, const std::string &X, const ExprRef &V);
+
+/// [ρ/π]E.
+ExprRef substPrioExpr(const ExprRef &E, const std::string &Pi,
+                      const PrioExpr &Rho);
+
+/// [ρ/π]M.
+CmdRef substPrioCmd(const CmdRef &M, const std::string &Pi,
+                    const PrioExpr &Rho);
+
+/// True if variable \p X occurs free in \p E — used by tests and asserts.
+bool occursFree(const ExprRef &E, const std::string &X);
+
+} // namespace repro::lambda4i
+
+#endif // REPRO_LAMBDA4I_SUBST_H

@@ -1,0 +1,172 @@
+//===- lambda4i/Type.cpp - λ⁴ᵢ types ---------------------------------------===//
+
+#include "lambda4i/Type.h"
+
+#include <cassert>
+
+namespace repro::lambda4i {
+
+TypeRef Type::unit() {
+  static TypeRef Instance(new Type(Kind::Unit));
+  return Instance;
+}
+
+TypeRef Type::nat() {
+  static TypeRef Instance(new Type(Kind::Nat));
+  return Instance;
+}
+
+TypeRef Type::arrow(TypeRef Dom, TypeRef Cod) {
+  auto *T = new Type(Kind::Arrow);
+  T->A = std::move(Dom);
+  T->B = std::move(Cod);
+  return TypeRef(T);
+}
+
+TypeRef Type::prod(TypeRef L, TypeRef R) {
+  auto *T = new Type(Kind::Prod);
+  T->A = std::move(L);
+  T->B = std::move(R);
+  return TypeRef(T);
+}
+
+TypeRef Type::sum(TypeRef L, TypeRef R) {
+  auto *T = new Type(Kind::Sum);
+  T->A = std::move(L);
+  T->B = std::move(R);
+  return TypeRef(T);
+}
+
+TypeRef Type::ref(TypeRef Inner) {
+  auto *T = new Type(Kind::Ref);
+  T->A = std::move(Inner);
+  return TypeRef(T);
+}
+
+TypeRef Type::thread(TypeRef Inner, PrioExpr P) {
+  auto *T = new Type(Kind::Thread);
+  T->A = std::move(Inner);
+  T->P = std::move(P);
+  return TypeRef(T);
+}
+
+TypeRef Type::cmd(TypeRef Inner, PrioExpr P) {
+  auto *T = new Type(Kind::Cmd);
+  T->A = std::move(Inner);
+  T->P = std::move(P);
+  return TypeRef(T);
+}
+
+TypeRef Type::forall(std::string Var, std::vector<Constraint> Cs,
+                     TypeRef Body) {
+  auto *T = new Type(Kind::Forall);
+  T->Var = std::move(Var);
+  T->Cs = std::move(Cs);
+  T->A = std::move(Body);
+  return TypeRef(T);
+}
+
+bool Type::equal(const TypeRef &X, const TypeRef &Y) {
+  if (X == Y)
+    return true;
+  if (!X || !Y || X->K != Y->K)
+    return false;
+  switch (X->K) {
+  case Kind::Unit:
+  case Kind::Nat:
+    return true;
+  case Kind::Arrow:
+  case Kind::Prod:
+  case Kind::Sum:
+    return equal(X->A, Y->A) && equal(X->B, Y->B);
+  case Kind::Ref:
+    return equal(X->A, Y->A);
+  case Kind::Thread:
+  case Kind::Cmd:
+    return X->P == Y->P && equal(X->A, Y->A);
+  case Kind::Forall:
+    return X->Var == Y->Var && X->Cs == Y->Cs && equal(X->A, Y->A);
+  }
+  return false;
+}
+
+TypeRef Type::substPrio(const TypeRef &T, const std::string &Var,
+                        const PrioExpr &Replacement) {
+  if (!T)
+    return T;
+  switch (T->K) {
+  case Kind::Unit:
+  case Kind::Nat:
+    return T;
+  case Kind::Arrow:
+    return arrow(substPrio(T->A, Var, Replacement),
+                 substPrio(T->B, Var, Replacement));
+  case Kind::Prod:
+    return prod(substPrio(T->A, Var, Replacement),
+                substPrio(T->B, Var, Replacement));
+  case Kind::Sum:
+    return sum(substPrio(T->A, Var, Replacement),
+               substPrio(T->B, Var, Replacement));
+  case Kind::Ref:
+    return ref(substPrio(T->A, Var, Replacement));
+  case Kind::Thread:
+    return thread(substPrio(T->A, Var, Replacement),
+                  lambda4i::substPrio(T->P, Var, Replacement));
+  case Kind::Cmd:
+    return cmd(substPrio(T->A, Var, Replacement),
+               lambda4i::substPrio(T->P, Var, Replacement));
+  case Kind::Forall: {
+    if (T->Var == Var)
+      return T; // shadowed
+    std::vector<Constraint> NewCs;
+    NewCs.reserve(T->Cs.size());
+    for (const Constraint &C : T->Cs)
+      NewCs.push_back({lambda4i::substPrio(C.Lo, Var, Replacement),
+                       lambda4i::substPrio(C.Hi, Var, Replacement)});
+    return forall(T->Var, std::move(NewCs), substPrio(T->A, Var, Replacement));
+  }
+  }
+  return T;
+}
+
+std::string Type::toString(const TypeRef &T, const dag::PriorityOrder &Order) {
+  if (!T)
+    return "<null>";
+  switch (T->K) {
+  case Kind::Unit:
+    return "unit";
+  case Kind::Nat:
+    return "nat";
+  case Kind::Arrow:
+    return "(" + toString(T->A, Order) + " -> " + toString(T->B, Order) + ")";
+  case Kind::Prod:
+    return "(" + toString(T->A, Order) + " * " + toString(T->B, Order) + ")";
+  case Kind::Sum:
+    return "(" + toString(T->A, Order) + " + " + toString(T->B, Order) + ")";
+  case Kind::Ref:
+    return toString(T->A, Order) + " ref";
+  case Kind::Thread:
+    return toString(T->A, Order) + " thread[" +
+           lambda4i::toString(T->P, Order) + "]";
+  case Kind::Cmd:
+    return toString(T->A, Order) + " cmd[" + lambda4i::toString(T->P, Order) +
+           "]";
+  case Kind::Forall: {
+    std::string S = "forall " + T->Var;
+    if (!T->Cs.empty()) {
+      S += " (";
+      for (std::size_t I = 0; I < T->Cs.size(); ++I) {
+        if (I)
+          S += ", ";
+        S += lambda4i::toString(T->Cs[I].Lo, Order) + " <= " +
+             lambda4i::toString(T->Cs[I].Hi, Order);
+      }
+      S += ")";
+    }
+    return S + ". " + toString(T->A, Order);
+  }
+  }
+  return "<?>";
+}
+
+} // namespace repro::lambda4i

@@ -1,0 +1,86 @@
+//===- lambda4i/Type.h - λ⁴ᵢ types ------------------------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// Types of λ⁴ᵢ (Fig. 4):
+//
+//   τ ::= unit | nat | τ → τ | τ × τ | τ + τ
+//       | τ ref | τ thread[ρ] | τ cmd[ρ] | ∀π∼C.τ
+//
+// Types are immutable trees shared via TypeRef (shared_ptr to const), with
+// structural equality up to priority expressions.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_LAMBDA4I_TYPE_H
+#define REPRO_LAMBDA4I_TYPE_H
+
+#include "lambda4i/Prio.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace repro::lambda4i {
+
+class Type;
+using TypeRef = std::shared_ptr<const Type>;
+
+/// A λ⁴ᵢ type node.
+class Type {
+public:
+  enum class Kind { Unit, Nat, Arrow, Prod, Sum, Ref, Thread, Cmd, Forall };
+
+  Kind kind() const { return K; }
+
+  // Components (valid per kind):
+  const TypeRef &left() const { return A; }   ///< Arrow domain / Prod·Sum left
+  const TypeRef &right() const { return B; }  ///< Arrow codomain / right
+  const TypeRef &inner() const { return A; }  ///< Ref / Thread / Cmd / Forall body
+  const PrioExpr &prio() const { return P; }  ///< Thread / Cmd priority
+  const std::string &prioVar() const { return Var; }        ///< Forall binder
+  const std::vector<Constraint> &constraints() const {      ///< Forall C
+    return Cs;
+  }
+
+  // Factories.
+  static TypeRef unit();
+  static TypeRef nat();
+  static TypeRef arrow(TypeRef Dom, TypeRef Cod);
+  static TypeRef prod(TypeRef L, TypeRef R);
+  static TypeRef sum(TypeRef L, TypeRef R);
+  static TypeRef ref(TypeRef Inner);
+  static TypeRef thread(TypeRef Inner, PrioExpr P);
+  static TypeRef cmd(TypeRef Inner, PrioExpr P);
+  static TypeRef forall(std::string Var, std::vector<Constraint> Cs,
+                        TypeRef Body);
+
+  /// Structural equality (priority expressions compared syntactically;
+  /// ∀-types compared up to identical binder names — the parser does not
+  /// alpha-vary, so this suffices for source programs).
+  static bool equal(const TypeRef &X, const TypeRef &Y);
+
+  /// [ρ/π]τ.
+  static TypeRef substPrio(const TypeRef &T, const std::string &Var,
+                           const PrioExpr &Replacement);
+
+  /// Pretty-prints using \p Order for priority constant names.
+  static std::string toString(const TypeRef &T,
+                              const dag::PriorityOrder &Order);
+
+private:
+  explicit Type(Kind K) : K(K) {}
+
+  Kind K;
+  TypeRef A, B;
+  PrioExpr P;
+  std::string Var;
+  std::vector<Constraint> Cs;
+};
+
+} // namespace repro::lambda4i
+
+#endif // REPRO_LAMBDA4I_TYPE_H

@@ -1,0 +1,380 @@
+//===- lambda4i/TypeChecker.cpp - λ⁴ᵢ type system ---------------------------===//
+
+#include "lambda4i/TypeChecker.h"
+
+#include <cassert>
+#include <vector>
+
+namespace repro::lambda4i {
+
+namespace {
+
+/// Mutable checking context: scoped variable bindings, priority variables,
+/// and constraint hypotheses.
+class Checker {
+public:
+  Checker(const dag::PriorityOrder &Order, const Signature &Sig)
+      : Order(Order), Sig(Sig), Constraints(Order) {}
+
+  TypeRef expr(const ExprRef &E);
+  TypeRef cmd(const CmdRef &M, const PrioExpr &Rho);
+
+  std::string takeError() { return Error; }
+
+  void bindInitial(const std::map<std::string, TypeRef> &Gamma) {
+    for (const auto &[Name, Ty] : Gamma)
+      Vars.emplace_back(Name, Ty);
+  }
+
+private:
+  TypeRef fail(const std::string &Message) {
+    if (Error.empty())
+      Error = Message;
+    return nullptr;
+  }
+
+  TypeRef lookup(const std::string &X) {
+    for (auto It = Vars.rbegin(); It != Vars.rend(); ++It)
+      if (It->first == X)
+        return It->second;
+    return nullptr;
+  }
+
+  /// RAII-less scoping: remember the size, pop back to it.
+  std::size_t mark() const { return Vars.size(); }
+  void release(std::size_t Mark) { Vars.resize(Mark); }
+
+  std::string describe(const TypeRef &T) { return Type::toString(T, Order); }
+  std::string describe(const PrioExpr &P) { return toString(P, Order); }
+
+  const dag::PriorityOrder &Order;
+  const Signature &Sig;
+  ConstraintEnv Constraints;
+  std::vector<std::pair<std::string, TypeRef>> Vars;
+  std::string Error;
+};
+
+TypeRef Checker::expr(const ExprRef &E) {
+  if (!E)
+    return fail("null expression");
+  using K = Expr::Kind;
+  switch (E->kind()) {
+  case K::Var: { // (var)
+    TypeRef T = lookup(E->var());
+    if (!T)
+      return fail("unbound variable '" + E->var() + "'");
+    return T;
+  }
+  case K::Unit: // (unitI)
+    return Type::unit();
+  case K::Nat: // (natI)
+    return Type::nat();
+  case K::Lam: { // (→I)
+    std::size_t M = mark();
+    Vars.emplace_back(E->var(), E->type());
+    TypeRef Body = expr(E->sub1());
+    release(M);
+    if (!Body)
+      return nullptr;
+    return Type::arrow(E->type(), Body);
+  }
+  case K::Pair: { // (×I)
+    TypeRef L = expr(E->sub1());
+    if (!L)
+      return nullptr;
+    TypeRef R = expr(E->sub2());
+    if (!R)
+      return nullptr;
+    return Type::prod(std::move(L), std::move(R));
+  }
+  case K::Inl: { // (+I1) — annotation is the right summand
+    TypeRef L = expr(E->sub1());
+    if (!L)
+      return nullptr;
+    return Type::sum(std::move(L), E->type());
+  }
+  case K::Inr: { // (+I2) — annotation is the left summand
+    TypeRef R = expr(E->sub1());
+    if (!R)
+      return nullptr;
+    return Type::sum(E->type(), std::move(R));
+  }
+  case K::RefVal: { // (Ref)
+    auto It = Sig.Locs.find(E->loc());
+    if (It == Sig.Locs.end())
+      return fail("reference to unknown location s" +
+                  std::to_string(E->loc()));
+    return Type::ref(It->second);
+  }
+  case K::Tid: { // (Tid)
+    auto It = Sig.Tids.find(E->tid());
+    if (It == Sig.Tids.end())
+      return fail("handle to unknown thread a" + std::to_string(E->tid()));
+    return Type::thread(It->second.first, It->second.second);
+  }
+  case K::CmdVal: { // (cmdI)
+    TypeRef T = cmd(E->cmd(), E->prio());
+    if (!T)
+      return nullptr;
+    return Type::cmd(std::move(T), E->prio());
+  }
+  case K::Let: { // (let)
+    TypeRef T1 = expr(E->sub1());
+    if (!T1)
+      return nullptr;
+    std::size_t M = mark();
+    Vars.emplace_back(E->var(), std::move(T1));
+    TypeRef T2 = expr(E->sub2());
+    release(M);
+    return T2;
+  }
+  case K::Ifz: { // (natE)
+    TypeRef Cond = expr(E->sub1());
+    if (!Cond)
+      return nullptr;
+    if (Cond->kind() != Type::Kind::Nat)
+      return fail("ifz scrutinee has type " + describe(Cond) + ", not nat");
+    TypeRef Zero = expr(E->sub2());
+    if (!Zero)
+      return nullptr;
+    std::size_t M = mark();
+    Vars.emplace_back(E->var(), Type::nat());
+    TypeRef Succ = expr(E->sub3());
+    release(M);
+    if (!Succ)
+      return nullptr;
+    if (!Type::equal(Zero, Succ))
+      return fail("ifz branches disagree: " + describe(Zero) + " vs " +
+                  describe(Succ));
+    return Zero;
+  }
+  case K::App: { // (→E)
+    TypeRef F = expr(E->sub1());
+    if (!F)
+      return nullptr;
+    if (F->kind() != Type::Kind::Arrow)
+      return fail("applying a non-function of type " + describe(F));
+    TypeRef A = expr(E->sub2());
+    if (!A)
+      return nullptr;
+    if (!Type::equal(F->left(), A))
+      return fail("argument type " + describe(A) + " does not match domain " +
+                  describe(F->left()));
+    return F->right();
+  }
+  case K::Fst: { // (×E1)
+    TypeRef T = expr(E->sub1());
+    if (!T)
+      return nullptr;
+    if (T->kind() != Type::Kind::Prod)
+      return fail("fst of non-product " + describe(T));
+    return T->left();
+  }
+  case K::Snd: { // (×E2)
+    TypeRef T = expr(E->sub1());
+    if (!T)
+      return nullptr;
+    if (T->kind() != Type::Kind::Prod)
+      return fail("snd of non-product " + describe(T));
+    return T->right();
+  }
+  case K::Case: { // (+E)
+    TypeRef S = expr(E->sub1());
+    if (!S)
+      return nullptr;
+    if (S->kind() != Type::Kind::Sum)
+      return fail("case of non-sum " + describe(S));
+    std::size_t M = mark();
+    Vars.emplace_back(E->var(), S->left());
+    TypeRef L = expr(E->sub2());
+    release(M);
+    if (!L)
+      return nullptr;
+    M = mark();
+    Vars.emplace_back(E->var2(), S->right());
+    TypeRef R = expr(E->sub3());
+    release(M);
+    if (!R)
+      return nullptr;
+    if (!Type::equal(L, R))
+      return fail("case arms disagree: " + describe(L) + " vs " +
+                  describe(R));
+    return L;
+  }
+  case K::Fix: { // (fix)
+    std::size_t M = mark();
+    Vars.emplace_back(E->var(), E->type());
+    TypeRef Body = expr(E->sub1());
+    release(M);
+    if (!Body)
+      return nullptr;
+    if (!Type::equal(Body, E->type()))
+      return fail("fix body has type " + describe(Body) +
+                  ", annotation says " + describe(E->type()));
+    return E->type();
+  }
+  case K::PrioLam: { // (∀I)
+    for (const Constraint &C : E->constraints())
+      Constraints.pushHypothesis(C);
+    TypeRef Body = expr(E->sub1());
+    for (std::size_t I = 0; I < E->constraints().size(); ++I)
+      Constraints.popHypothesis();
+    if (!Body)
+      return nullptr;
+    return Type::forall(E->var(), E->constraints(), std::move(Body));
+  }
+  case K::PrioApp: { // (∀E)
+    TypeRef F = expr(E->sub1());
+    if (!F)
+      return nullptr;
+    if (F->kind() != Type::Kind::Forall)
+      return fail("priority application of non-polymorphic " + describe(F));
+    // Check [ρ'/π]C.
+    for (const Constraint &C : F->constraints()) {
+      Constraint Inst{substPrio(C.Lo, F->prioVar(), E->prio()),
+                      substPrio(C.Hi, F->prioVar(), E->prio())};
+      if (!Constraints.entails(Inst.Lo, Inst.Hi))
+        return fail("priority application does not satisfy constraint " +
+                    describe(Inst.Lo) + " <= " + describe(Inst.Hi));
+    }
+    return Type::substPrio(F->inner(), F->prioVar(), E->prio());
+  }
+  case K::Prim: { // nat arithmetic extension
+    TypeRef L = expr(E->sub1());
+    if (!L)
+      return nullptr;
+    TypeRef R = expr(E->sub2());
+    if (!R)
+      return nullptr;
+    if (L->kind() != Type::Kind::Nat || R->kind() != Type::Kind::Nat)
+      return fail("arithmetic on non-nat operands");
+    return Type::nat();
+  }
+  }
+  return fail("unhandled expression form");
+}
+
+TypeRef Checker::cmd(const CmdRef &M, const PrioExpr &Rho) {
+  if (!M)
+    return fail("null command");
+  using K = Cmd::Kind;
+  switch (M->kind()) {
+  case K::Bind: { // (Bind)
+    TypeRef E = expr(M->sub1());
+    if (!E)
+      return nullptr;
+    if (E->kind() != Type::Kind::Cmd)
+      return fail("bind source has type " + describe(E) + ", not a cmd");
+    if (!(E->prio() == Rho))
+      return fail("bind source runs at priority " + describe(E->prio()) +
+                  " but the context is at " + describe(Rho));
+    std::size_t Mk = mark();
+    Vars.emplace_back(M->var(), E->inner());
+    TypeRef Tail = cmd(M->cmd(), Rho);
+    release(Mk);
+    return Tail;
+  }
+  case K::Create: { // (Create)
+    TypeRef Body = cmd(M->cmd(), M->prio());
+    if (!Body)
+      return nullptr;
+    if (!Type::equal(Body, M->type()))
+      return fail("fcreate body has type " + describe(Body) +
+                  ", annotation says " + describe(M->type()));
+    return Type::thread(M->type(), M->prio());
+  }
+  case K::Touch: { // (Touch) — the priority-inversion rule
+    TypeRef E = expr(M->sub1());
+    if (!E)
+      return nullptr;
+    if (E->kind() != Type::Kind::Thread)
+      return fail("ftouch of non-thread " + describe(E));
+    if (!Constraints.entails(Rho, E->prio()))
+      return fail("priority inversion: ftouch of a thread at priority " +
+                  describe(E->prio()) + " from priority " + describe(Rho));
+    return E->inner();
+  }
+  case K::Dcl: { // (Dcl)
+    TypeRef Init = expr(M->sub1());
+    if (!Init)
+      return nullptr;
+    if (!Type::equal(Init, M->type()))
+      return fail("dcl initializer has type " + describe(Init) +
+                  ", cell declared " + describe(M->type()));
+    std::size_t Mk = mark();
+    Vars.emplace_back(M->var(), Type::ref(M->type()));
+    TypeRef Body = cmd(M->cmd(), Rho);
+    release(Mk);
+    return Body;
+  }
+  case K::Get: { // (Get)
+    TypeRef E = expr(M->sub1());
+    if (!E)
+      return nullptr;
+    if (E->kind() != Type::Kind::Ref)
+      return fail("dereference of non-reference " + describe(E));
+    return E->inner();
+  }
+  case K::Set: { // (Set)
+    TypeRef L = expr(M->sub1());
+    if (!L)
+      return nullptr;
+    if (L->kind() != Type::Kind::Ref)
+      return fail("assignment to non-reference " + describe(L));
+    TypeRef R = expr(M->sub2());
+    if (!R)
+      return nullptr;
+    if (!Type::equal(L->inner(), R))
+      return fail("assignment of " + describe(R) + " to a " +
+                  describe(L->inner()) + " cell");
+    return R;
+  }
+  case K::Ret: // (Ret)
+    return expr(M->sub1());
+  case K::Cas: { // (D-CAS extension): cas(r, old, new) : nat
+    TypeRef T = expr(M->sub1());
+    if (!T)
+      return nullptr;
+    if (T->kind() != Type::Kind::Ref)
+      return fail("cas target is not a reference: " + describe(T));
+    TypeRef Old = expr(M->sub2());
+    if (!Old)
+      return nullptr;
+    TypeRef New = expr(M->sub3());
+    if (!New)
+      return nullptr;
+    if (!Type::equal(T->inner(), Old) || !Type::equal(T->inner(), New))
+      return fail("cas operand types do not match the cell type " +
+                  describe(T->inner()));
+    return Type::nat();
+  }
+  }
+  return fail("unhandled command form");
+}
+
+} // namespace
+
+TypeCheckResult checkExpr(const dag::PriorityOrder &Order, const Signature &Sig,
+                          const std::map<std::string, TypeRef> &Gamma,
+                          const ExprRef &E) {
+  Checker C(Order, Sig);
+  C.bindInitial(Gamma);
+  TypeRef T = C.expr(E);
+  return {T, T ? "" : C.takeError()};
+}
+
+TypeCheckResult checkCmd(const dag::PriorityOrder &Order, const Signature &Sig,
+                         const std::map<std::string, TypeRef> &Gamma,
+                         const CmdRef &M, const PrioExpr &Rho) {
+  Checker C(Order, Sig);
+  C.bindInitial(Gamma);
+  TypeRef T = C.cmd(M, Rho);
+  return {T, T ? "" : C.takeError()};
+}
+
+TypeCheckResult checkProgram(const Program &Prog) {
+  Signature Empty;
+  return checkCmd(Prog.Order, Empty, {}, Prog.Main, Prog.MainPrio);
+}
+
+} // namespace repro::lambda4i

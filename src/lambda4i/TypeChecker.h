@@ -1,0 +1,65 @@
+//===- lambda4i/TypeChecker.h - λ⁴ᵢ type system -----------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// Implements the typing judgments of Figures 5 and 6:
+//
+//   Γ ⊢R_Σ e : τ          (expressions — state-free, priority-free)
+//   Γ ⊢R_Σ m ∼: τ @ ρ     (commands — typed at a priority ρ)
+//
+// together with constraint entailment Γ ⊢R C (Fig. 7, in Prio.h). The one
+// rule that prevents priority inversions is Touch: `ftouch e` requires
+// e : τ thread[ρ'] with ρ ⪯ ρ' — a thread may only wait for
+// higher-or-equal-priority threads. Theorem 3.7 (tested in
+// tests/lambda4i/soundness_test.cpp) says programs accepted here produce
+// strongly well-formed cost graphs.
+//
+// Signatures Σ type the runtime-only values ref[s] and tid[a]; source
+// programs need none (dcl binds the cell as a τ ref variable).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_LAMBDA4I_TYPECHECKER_H
+#define REPRO_LAMBDA4I_TYPECHECKER_H
+
+#include "lambda4i/Ast.h"
+#include "lambda4i/Parser.h"
+
+#include <map>
+#include <string>
+
+namespace repro::lambda4i {
+
+/// Σ: types for runtime locations and threads (empty for source programs).
+struct Signature {
+  std::map<LocId, TypeRef> Locs;                          ///< s ∼ τ
+  std::map<ThreadSym, std::pair<TypeRef, PrioExpr>> Tids; ///< a ∼ τ @ ρ
+};
+
+/// Result of checking: a type on success, a diagnostic otherwise.
+struct TypeCheckResult {
+  TypeRef Ty;          ///< null on failure
+  std::string Error;
+
+  explicit operator bool() const { return Ty != nullptr; }
+};
+
+/// Γ ⊢R_Σ e : τ with an initial variable context \p Gamma.
+TypeCheckResult checkExpr(const dag::PriorityOrder &Order, const Signature &Sig,
+                          const std::map<std::string, TypeRef> &Gamma,
+                          const ExprRef &E);
+
+/// Γ ⊢R_Σ m ∼: τ @ ρ.
+TypeCheckResult checkCmd(const dag::PriorityOrder &Order, const Signature &Sig,
+                         const std::map<std::string, TypeRef> &Gamma,
+                         const CmdRef &M, const PrioExpr &Rho);
+
+/// Type-checks a whole program: its main command at the declared priority.
+TypeCheckResult checkProgram(const Program &Prog);
+
+} // namespace repro::lambda4i
+
+#endif // REPRO_LAMBDA4I_TYPECHECKER_H

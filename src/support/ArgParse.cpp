@@ -1,0 +1,63 @@
+//===- support/ArgParse.cpp - Tiny --flag=value parser --------------------===//
+
+#include "support/ArgParse.h"
+
+#include "support/StringUtils.h"
+
+namespace repro {
+
+ArgMap ArgMap::parse(int Argc, const char *const *Argv) {
+  ArgMap Map;
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (!startsWith(Arg, "--")) {
+      Map.Positional.emplace_back(Arg);
+      continue;
+    }
+    Arg.remove_prefix(2);
+    std::size_t Eq = Arg.find('=');
+    if (Eq == std::string_view::npos) {
+      Map.Values[std::string(Arg)] = "";
+    } else {
+      Map.Values[std::string(Arg.substr(0, Eq))] =
+          std::string(Arg.substr(Eq + 1));
+    }
+  }
+  return Map;
+}
+
+bool ArgMap::has(const std::string &Key) const { return Values.count(Key) != 0; }
+
+std::string ArgMap::getString(const std::string &Key,
+                              const std::string &Default) const {
+  auto It = Values.find(Key);
+  return It == Values.end() ? Default : It->second;
+}
+
+int64_t ArgMap::getInt(const std::string &Key, int64_t Default) const {
+  auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  if (auto Parsed = parseInt(It->second))
+    return *Parsed;
+  return Default;
+}
+
+double ArgMap::getDouble(const std::string &Key, double Default) const {
+  auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  if (auto Parsed = parseDouble(It->second))
+    return *Parsed;
+  return Default;
+}
+
+bool ArgMap::getBool(const std::string &Key, bool Default) const {
+  auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  const std::string &V = It->second;
+  return V.empty() || V == "1" || V == "true" || V == "yes" || V == "on";
+}
+
+} // namespace repro

@@ -1,0 +1,57 @@
+//===- support/ArgParse.h - Tiny --flag=value parser ------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// Benchmark harnesses and examples take flags like `--app=proxy
+// --connections=120 --seed=7`. This parser accepts `--key=value` and bare
+// `--key` boolean flags; everything else is a positional argument.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_SUPPORT_ARGPARSE_H
+#define REPRO_SUPPORT_ARGPARSE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// Parsed command line: `--key=value` pairs plus positional arguments.
+class ArgMap {
+public:
+  ArgMap() = default;
+
+  /// Parses argv (skipping argv[0]).
+  static ArgMap parse(int Argc, const char *const *Argv);
+
+  /// True if `--key` or `--key=value` was given.
+  bool has(const std::string &Key) const;
+
+  /// String value of `--key=value`, or \p Default.
+  std::string getString(const std::string &Key,
+                        const std::string &Default = "") const;
+
+  /// Integer value, or \p Default when absent or malformed.
+  int64_t getInt(const std::string &Key, int64_t Default) const;
+
+  /// Double value, or \p Default when absent or malformed.
+  double getDouble(const std::string &Key, double Default) const;
+
+  /// Boolean: present with no value, or value in {1,true,yes,on}.
+  bool getBool(const std::string &Key, bool Default = false) const;
+
+  const std::vector<std::string> &positional() const { return Positional; }
+
+private:
+  std::map<std::string, std::string> Values;
+  std::vector<std::string> Positional;
+};
+
+} // namespace repro
+
+#endif // REPRO_SUPPORT_ARGPARSE_H

@@ -1,0 +1,57 @@
+//===- support/Histogram.cpp - Fixed-bucket histogram ---------------------===//
+
+#include "support/Histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace repro {
+
+Histogram::Histogram(double Lo, double Hi, std::size_t NumBuckets)
+    : Lo(Lo), Hi(Hi), Buckets(NumBuckets, 0) {
+  assert(Lo < Hi && "histogram range must be non-empty");
+  assert(NumBuckets > 0 && "histogram needs at least one bucket");
+}
+
+void Histogram::add(double Value) {
+  ++Total;
+  if (Value < Lo) {
+    ++Under;
+    return;
+  }
+  if (Value >= Hi) {
+    ++Over;
+    return;
+  }
+  double Frac = (Value - Lo) / (Hi - Lo);
+  auto Index = static_cast<std::size_t>(Frac * static_cast<double>(Buckets.size()));
+  Index = std::min(Index, Buckets.size() - 1);
+  ++Buckets[Index];
+}
+
+double Histogram::bucketLowerEdge(std::size_t Index) const {
+  return Lo + (Hi - Lo) * static_cast<double>(Index) /
+                  static_cast<double>(Buckets.size());
+}
+
+std::string Histogram::render(std::size_t Width) const {
+  uint64_t MaxCount = 1;
+  for (uint64_t C : Buckets)
+    MaxCount = std::max(MaxCount, C);
+  std::ostringstream OS;
+  for (std::size_t I = 0; I < Buckets.size(); ++I) {
+    auto BarLen = static_cast<std::size_t>(
+        static_cast<double>(Buckets[I]) / static_cast<double>(MaxCount) *
+        static_cast<double>(Width));
+    OS << bucketLowerEdge(I) << "\t" << Buckets[I] << "\t"
+       << std::string(BarLen, '#') << "\n";
+  }
+  if (Under)
+    OS << "(underflow " << Under << ")\n";
+  if (Over)
+    OS << "(overflow " << Over << ")\n";
+  return OS.str();
+}
+
+} // namespace repro

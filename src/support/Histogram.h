@@ -1,0 +1,57 @@
+//===- support/Histogram.h - Fixed-bucket histogram -------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// A simple linear-bucket histogram used by the benchmark harnesses to show
+// latency distributions as ASCII bar charts, and by tests to assert on
+// distribution shapes (e.g., exponential inter-arrival times for the
+// jserver Poisson workload).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_SUPPORT_HISTOGRAM_H
+#define REPRO_SUPPORT_HISTOGRAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// Linear histogram over [Lo, Hi) with a fixed number of buckets; values
+/// outside the range land in saturating under/overflow buckets.
+class Histogram {
+public:
+  Histogram(double Lo, double Hi, std::size_t NumBuckets);
+
+  /// Adds one observation.
+  void add(double Value);
+
+  /// Total number of observations, including out-of-range ones.
+  uint64_t total() const { return Total; }
+
+  /// Count in bucket \p Index (0..numBuckets()-1).
+  uint64_t bucketCount(std::size_t Index) const { return Buckets[Index]; }
+  uint64_t underflow() const { return Under; }
+  uint64_t overflow() const { return Over; }
+  std::size_t numBuckets() const { return Buckets.size(); }
+
+  /// Lower edge of bucket \p Index.
+  double bucketLowerEdge(std::size_t Index) const;
+
+  /// Renders an ASCII bar chart, \p Width characters at the widest bar.
+  std::string render(std::size_t Width = 50) const;
+
+private:
+  double Lo, Hi;
+  std::vector<uint64_t> Buckets;
+  uint64_t Under = 0, Over = 0, Total = 0;
+};
+
+} // namespace repro
+
+#endif // REPRO_SUPPORT_HISTOGRAM_H

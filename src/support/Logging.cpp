@@ -1,0 +1,45 @@
+//===- support/Logging.cpp - Minimal leveled logging ----------------------===//
+
+#include "support/Logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace repro {
+
+namespace {
+
+std::atomic<LogLevel> GlobalThreshold{LogLevel::Warn};
+std::mutex EmitMutex;
+
+const char *levelName(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Debug:
+    return "DEBUG";
+  case LogLevel::Info:
+    return "INFO";
+  case LogLevel::Warn:
+    return "WARN";
+  case LogLevel::Error:
+    return "ERROR";
+  case LogLevel::Off:
+    return "OFF";
+  }
+  return "?";
+}
+
+} // namespace
+
+LogLevel logThreshold() { return GlobalThreshold.load(std::memory_order_relaxed); }
+
+void setLogThreshold(LogLevel Level) {
+  GlobalThreshold.store(Level, std::memory_order_relaxed);
+}
+
+void logMessage(LogLevel Level, const std::string &Message) {
+  std::lock_guard<std::mutex> Lock(EmitMutex);
+  std::fprintf(stderr, "[%s] %s\n", levelName(Level), Message.c_str());
+}
+
+} // namespace repro

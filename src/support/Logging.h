@@ -1,0 +1,69 @@
+//===- support/Logging.h - Minimal leveled logging -------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// A tiny, thread-safe, leveled logger. The runtime and benchmark harnesses
+// use this instead of raw iostream so that log output from concurrent
+// workers does not interleave mid-line and can be silenced globally.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_SUPPORT_LOGGING_H
+#define REPRO_SUPPORT_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace repro {
+
+/// Severity levels, in increasing order of importance.
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Returns the current global log threshold. Messages below it are dropped.
+LogLevel logThreshold();
+
+/// Sets the global log threshold.
+void setLogThreshold(LogLevel Level);
+
+/// Emits one formatted log line (thread-safe; appends '\n').
+void logMessage(LogLevel Level, const std::string &Message);
+
+namespace detail {
+
+/// Accumulates one log statement and emits it on destruction.
+class LogStream {
+public:
+  explicit LogStream(LogLevel Level, bool Enabled = true)
+      : Level(Level), Enabled(Enabled) {}
+  LogStream(const LogStream &) = delete;
+  LogStream &operator=(const LogStream &) = delete;
+  ~LogStream() {
+    if (Enabled)
+      logMessage(Level, Buffer.str());
+  }
+
+  template <typename T> LogStream &operator<<(const T &Value) {
+    if (Enabled)
+      Buffer << Value;
+    return *this;
+  }
+
+private:
+  LogLevel Level;
+  std::ostringstream Buffer;
+  bool Enabled = true;
+};
+
+} // namespace detail
+
+/// Creates a log statement at \p Level; usage: `log(LogLevel::Info) << ...;`
+inline detail::LogStream log(LogLevel Level) {
+  return detail::LogStream(Level, Level >= logThreshold());
+}
+
+} // namespace repro
+
+#endif // REPRO_SUPPORT_LOGGING_H

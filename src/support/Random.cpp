@@ -1,0 +1,104 @@
+//===- support/Random.cpp - Deterministic PRNG and distributions ----------===//
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace repro {
+
+uint64_t splitMix64(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static inline uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+Rng::Rng(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (auto &Word : State)
+    Word = splitMix64(S);
+}
+
+uint64_t Rng::next() {
+  const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  const uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound > 0 && "nextBelow requires a positive bound");
+  // Lemire's nearly-divisionless bounded sampling.
+  uint64_t X = next();
+  __uint128_t M = static_cast<__uint128_t>(X) * Bound;
+  uint64_t L = static_cast<uint64_t>(M);
+  if (L < Bound) {
+    uint64_t Threshold = -Bound % Bound;
+    while (L < Threshold) {
+      X = next();
+      M = static_cast<__uint128_t>(X) * Bound;
+      L = static_cast<uint64_t>(M);
+    }
+  }
+  return static_cast<uint64_t>(M >> 64);
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  if (Span == 0) // full 64-bit range
+    return static_cast<int64_t>(next());
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+double Rng::nextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::nextExponential(double Rate) {
+  assert(Rate > 0 && "rate must be positive");
+  double U;
+  do {
+    U = nextDouble();
+  } while (U <= 0.0);
+  return -std::log(U) / Rate;
+}
+
+bool Rng::nextBool(double P) { return nextDouble() < P; }
+
+Rng Rng::split() { return Rng(next()); }
+
+ZipfSampler::ZipfSampler(std::size_t N, double Skew) {
+  assert(N > 0 && "Zipf over an empty domain");
+  Cdf.resize(N);
+  double Sum = 0.0;
+  for (std::size_t I = 0; I < N; ++I) {
+    Sum += 1.0 / std::pow(static_cast<double>(I + 1), Skew);
+    Cdf[I] = Sum;
+  }
+  for (auto &Value : Cdf)
+    Value /= Sum;
+}
+
+std::size_t ZipfSampler::sample(Rng &R) const {
+  double U = R.nextDouble();
+  auto It = std::lower_bound(Cdf.begin(), Cdf.end(), U);
+  if (It == Cdf.end())
+    return Cdf.size() - 1;
+  return static_cast<std::size_t>(It - Cdf.begin());
+}
+
+} // namespace repro

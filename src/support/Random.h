@@ -1,0 +1,74 @@
+//===- support/Random.h - Deterministic PRNG and distributions -*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// Deterministic random number generation for workload synthesis. All
+// benchmark harnesses seed explicitly so paper-figure reproductions are
+// repeatable run-to-run. We implement splitmix64 (for seeding) and
+// xoshiro256** (for the stream), plus the distributions the evaluation
+// needs: uniform ints/reals, exponential inter-arrival times (Poisson
+// process, Sec. 5.1 jserver), and Zipf-like skewed key popularity for the
+// proxy cache.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_SUPPORT_RANDOM_H
+#define REPRO_SUPPORT_RANDOM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace repro {
+
+/// splitmix64 step; used to expand a single seed into generator state.
+uint64_t splitMix64(uint64_t &State);
+
+/// xoshiro256** — a small, fast, high-quality PRNG.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t next();
+
+  /// Uniform integer in [0, Bound) with Lemire rejection (Bound > 0).
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Uniform real in [0, 1).
+  double nextDouble();
+
+  /// Exponentially distributed value with the given rate (mean 1/Rate).
+  double nextExponential(double Rate);
+
+  /// Bernoulli trial with probability \p P of returning true.
+  bool nextBool(double P = 0.5);
+
+  /// Splits off an independently seeded generator (for per-thread streams).
+  Rng split();
+
+private:
+  uint64_t State[4];
+};
+
+/// Samples indices in [0, N) with a Zipf(s) popularity skew. Precomputes the
+/// CDF once so sampling is O(log N).
+class ZipfSampler {
+public:
+  ZipfSampler(std::size_t N, double Skew);
+
+  std::size_t sample(Rng &R) const;
+  std::size_t size() const { return Cdf.size(); }
+
+private:
+  std::vector<double> Cdf;
+};
+
+} // namespace repro
+
+#endif // REPRO_SUPPORT_RANDOM_H

@@ -1,0 +1,80 @@
+//===- support/Stats.h - Latency sample statistics --------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's evaluation reports per-priority-level average and
+// 95th-percentile response and compute times (Figs. 13 and 14).
+// LatencyRecorder collects raw samples (microseconds as doubles) and
+// computes those summaries. It is safe to record from many threads.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_SUPPORT_STATS_H
+#define REPRO_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// Summary of a latency sample set.
+struct LatencySummary {
+  std::size_t Count = 0;
+  double Mean = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  double P50 = 0.0;
+  double P95 = 0.0;
+  double P99 = 0.0;
+  double StdDev = 0.0;
+};
+
+/// Computes the \p Q quantile (0..1) of \p Samples by linear interpolation
+/// between order statistics. \p Samples need not be sorted; it is copied.
+double quantile(std::vector<double> Samples, double Q);
+
+/// Computes the quantile of pre-sorted samples without copying.
+double quantileSorted(const std::vector<double> &Sorted, double Q);
+
+/// Summarizes a raw sample vector.
+LatencySummary summarize(std::vector<double> Samples);
+
+/// Thread-safe accumulator for latency samples.
+class LatencyRecorder {
+public:
+  LatencyRecorder() = default;
+
+  /// Records one sample (any unit; callers use microseconds).
+  void record(double Value);
+
+  /// Records a batch of samples.
+  void recordAll(const std::vector<double> &Values);
+
+  /// Number of samples recorded so far.
+  std::size_t count() const;
+
+  /// Snapshot of all samples.
+  std::vector<double> samples() const;
+
+  /// Computes the summary over a snapshot of current samples.
+  LatencySummary summary() const;
+
+  /// Drops all samples.
+  void clear();
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<double> Samples;
+};
+
+/// Renders a summary as a short human-readable string.
+std::string toString(const LatencySummary &S);
+
+} // namespace repro
+
+#endif // REPRO_SUPPORT_STATS_H

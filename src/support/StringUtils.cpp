@@ -1,0 +1,87 @@
+//===- support/StringUtils.cpp - Small string helpers ---------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace repro {
+
+std::vector<std::string> splitString(std::string_view Input, char Sep) {
+  std::vector<std::string> Result;
+  std::size_t Start = 0;
+  while (true) {
+    std::size_t Pos = Input.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Result.emplace_back(Input.substr(Start));
+      return Result;
+    }
+    Result.emplace_back(Input.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view Input) {
+  std::size_t Begin = 0;
+  while (Begin < Input.size() &&
+         std::isspace(static_cast<unsigned char>(Input[Begin])))
+    ++Begin;
+  std::size_t End = Input.size();
+  while (End > Begin && std::isspace(static_cast<unsigned char>(Input[End - 1])))
+    --End;
+  return Input.substr(Begin, End - Begin);
+}
+
+bool startsWith(std::string_view Input, std::string_view Prefix) {
+  return Input.size() >= Prefix.size() &&
+         Input.substr(0, Prefix.size()) == Prefix;
+}
+
+bool endsWith(std::string_view Input, std::string_view Suffix) {
+  return Input.size() >= Suffix.size() &&
+         Input.substr(Input.size() - Suffix.size()) == Suffix;
+}
+
+std::optional<int64_t> parseInt(std::string_view Input) {
+  int64_t Value = 0;
+  const char *First = Input.data();
+  const char *Last = Input.data() + Input.size();
+  auto [Ptr, Ec] = std::from_chars(First, Last, Value);
+  if (Ec != std::errc() || Ptr != Last || Input.empty())
+    return std::nullopt;
+  return Value;
+}
+
+std::optional<double> parseDouble(std::string_view Input) {
+  if (Input.empty())
+    return std::nullopt;
+  // std::from_chars for double is not universally available; use strtod on a
+  // NUL-terminated copy.
+  std::string Copy(Input);
+  char *End = nullptr;
+  double Value = std::strtod(Copy.c_str(), &End);
+  if (End != Copy.c_str() + Copy.size())
+    return std::nullopt;
+  return Value;
+}
+
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep) {
+  std::string Result;
+  for (std::size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result.append(Sep);
+    Result.append(Parts[I]);
+  }
+  return Result;
+}
+
+std::string formatFixed(double Value, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return Buffer;
+}
+
+} // namespace repro

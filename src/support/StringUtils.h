@@ -1,0 +1,45 @@
+//===- support/StringUtils.h - Small string helpers -------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_SUPPORT_STRINGUTILS_H
+#define REPRO_SUPPORT_STRINGUTILS_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro {
+
+/// Splits \p Input on \p Sep; empty fields are preserved.
+std::vector<std::string> splitString(std::string_view Input, char Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view Input);
+
+/// True if \p Input begins with \p Prefix.
+bool startsWith(std::string_view Input, std::string_view Prefix);
+
+/// True if \p Input ends with \p Suffix.
+bool endsWith(std::string_view Input, std::string_view Suffix);
+
+/// Parses a decimal signed integer; nullopt on malformed or trailing junk.
+std::optional<int64_t> parseInt(std::string_view Input);
+
+/// Parses a floating-point value; nullopt on malformed or trailing junk.
+std::optional<double> parseDouble(std::string_view Input);
+
+/// Joins \p Parts with \p Sep.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+/// Formats a double with fixed precision (for table output).
+std::string formatFixed(double Value, int Precision);
+
+} // namespace repro
+
+#endif // REPRO_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,25 @@
+//===- support/Timer.cpp - Wall-clock timing helpers ----------------------===//
+
+#include "support/Timer.h"
+
+namespace repro {
+
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t nowMicros() { return nowNanos() / 1000; }
+
+void spinFor(uint64_t Micros) {
+  uint64_t Deadline = nowNanos() + Micros * 1000;
+  // Volatile sink keeps the loop from being optimized away.
+  volatile uint64_t Sink = 0;
+  while (nowNanos() < Deadline)
+    Sink = Sink + 1;
+  (void)Sink;
+}
+
+} // namespace repro

@@ -1,0 +1,50 @@
+//===- support/Timer.h - Wall-clock timing helpers --------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_SUPPORT_TIMER_H
+#define REPRO_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace repro {
+
+/// Monotonic timestamp in nanoseconds.
+uint64_t nowNanos();
+
+/// Monotonic timestamp in microseconds.
+uint64_t nowMicros();
+
+/// Busy-spins for approximately \p Micros microseconds of CPU work; used by
+/// synthetic workloads where sleep() would free the core and distort the
+/// scheduler measurements.
+void spinFor(uint64_t Micros);
+
+/// Simple stopwatch over the steady clock.
+class Stopwatch {
+public:
+  Stopwatch() : Start(std::chrono::steady_clock::now()) {}
+
+  /// Elapsed time in microseconds since construction or last reset.
+  double elapsedMicros() const {
+    auto Now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(Now - Start).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double elapsedMillis() const { return elapsedMicros() / 1000.0; }
+
+  /// Restarts the stopwatch.
+  void reset() { Start = std::chrono::steady_clock::now(); }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace repro
+
+#endif // REPRO_SUPPORT_TIMER_H

@@ -1,0 +1,161 @@
+//===- tests/apps/apps_test.cpp - Case-study smoke and invariant tests ----===//
+//
+// Miniature runs of the three Sec. 5.1 applications (fractions of a second,
+// small worker pools) checking structural invariants: requests get served,
+// per-level stats populate, the email slot protocol serializes compress and
+// print, and both runtime modes work.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Email.h"
+#include "apps/JobServer.h"
+#include "apps/Proxy.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::apps {
+namespace {
+
+ProxyConfig smallProxy(bool PriorityAware) {
+  ProxyConfig C;
+  C.Connections = 8;
+  C.DurationMillis = 250;
+  C.RequestIntervalMicros = 4000;
+  C.FetchLatencyMeanMicros = 1000;
+  C.Rt.NumWorkers = 4;
+  C.Rt.PriorityAware = PriorityAware;
+  return C;
+}
+
+TEST(ProxyTest, ServesRequestsAndPopulatesCache) {
+  ProxyReport R = runProxy(smallProxy(true));
+  EXPECT_GT(R.App.Requests, 20u);
+  EXPECT_EQ(R.CacheHits + R.CacheMisses, R.App.Requests);
+  EXPECT_GT(R.CacheEntries, 8u); // warmed 8 + misses
+  // The event loop (level 3) served every request.
+  EXPECT_EQ(R.App.Response[ProxyClient::Level].Count, R.App.Requests);
+  // Fetch tasks exist only for misses.
+  EXPECT_EQ(R.App.Response[ProxyFetch::Level].Count, R.CacheMisses);
+  // End-to-end latencies were recorded for every request.
+  EXPECT_EQ(R.App.EndToEnd.Count, R.App.Requests);
+}
+
+TEST(ProxyTest, ZipfSkewYieldsCacheHits) {
+  ProxyReport R = runProxy(smallProxy(true));
+  EXPECT_GT(R.CacheHits, 0u);
+}
+
+TEST(ProxyTest, BaselineModeServesSameWorkload) {
+  ProxyReport R = runProxy(smallProxy(false));
+  EXPECT_GT(R.App.Requests, 20u);
+  EXPECT_EQ(R.App.EndToEnd.Count, R.App.Requests);
+}
+
+TEST(ProxyTest, StatsLoggerRan) {
+  ProxyReport R = runProxy(smallProxy(true));
+  EXPECT_GT(R.App.Response[ProxyStats::Level].Count, 0u);
+}
+
+EmailConfig smallEmail(bool PriorityAware) {
+  EmailConfig C;
+  C.Users = 6;
+  C.EmailsPerUser = 6;
+  C.EmailBytes = 2048;
+  C.DurationMillis = 250;
+  C.RequestIntervalMicros = 5000;
+  C.CheckPeriodMicros = 8000;
+  C.Rt.NumWorkers = 4;
+  C.Rt.PriorityAware = PriorityAware;
+  return C;
+}
+
+TEST(EmailTest, ServesMixedRequests) {
+  EmailReport R = runEmail(smallEmail(true));
+  EXPECT_GT(R.App.Requests, 20u);
+  EXPECT_EQ(R.App.Response[EmailLoop::Level].Count, R.App.Requests);
+  EXPECT_GT(R.Sends + R.Sorts + R.Prints, 0u);
+  // Dispatch conservation: every request became exactly one component task.
+  EXPECT_EQ(R.Sends + R.Sorts + R.Prints, R.App.Requests);
+}
+
+TEST(EmailTest, BackgroundCompressionHappens) {
+  EmailReport R = runEmail(smallEmail(true));
+  EXPECT_GT(R.Compressions, 0u);
+  EXPECT_GT(R.BytesSaved, 0u);
+  EXPECT_GT(R.App.Response[EmailCheck::Level].Count, 0u);
+}
+
+TEST(EmailTest, BaselineModeWorks) {
+  EmailReport R = runEmail(smallEmail(false));
+  EXPECT_GT(R.App.Requests, 20u);
+  EXPECT_EQ(R.Sends + R.Sorts + R.Prints, R.App.Requests);
+}
+
+TEST(EmailTest, SlotProtocolNeverLosesEmails) {
+  // Stress print/compress conflicts: tiny mailbox, aggressive check loop,
+  // print-heavy mix — then verify every print produced output (recorded in
+  // Prints) and compression happened; serialization bugs would deadlock or
+  // crash the decode.
+  EmailConfig C = smallEmail(true);
+  C.Users = 2;
+  C.EmailsPerUser = 3;
+  C.CheckPeriodMicros = 2000;
+  C.CompressBatch = 3;
+  C.DurationMillis = 300;
+  C.RequestIntervalMicros = 2500;
+  EmailReport R = runEmail(C);
+  EXPECT_GT(R.Prints, 0u);
+  EXPECT_GT(R.Compressions, 0u);
+}
+
+JobServerConfig smallJobs(bool PriorityAware) {
+  JobServerConfig C;
+  C.DurationMillis = 300;
+  C.ArrivalIntervalMicros = 15000;
+  C.MatmulN = 24;
+  C.FibN = 18;
+  C.SortN = 8000;
+  C.SwN = 64;
+  C.Rt.NumWorkers = 4;
+  C.Rt.PriorityAware = PriorityAware;
+  return C;
+}
+
+TEST(JobServerTest, RunsAllJobTypes) {
+  JobServerConfig C = smallJobs(true);
+  C.DurationMillis = 600;
+  C.ArrivalIntervalMicros = 8000;
+  JobServerReport R = runJobServer(C);
+  EXPECT_GT(R.App.Requests, 10u);
+  // All four types eventually appear (probabilistic but overwhelmingly so
+  // with ~75 arrivals at equal mix).
+  for (std::size_t T = 0; T < 4; ++T)
+    EXPECT_GT(R.JobsByType[T], 0u) << "type " << T;
+}
+
+TEST(JobServerTest, StatsAttributedToTypeLevels) {
+  JobServerReport R = runJobServer(smallJobs(true));
+  uint64_t FromLevels = 0;
+  for (unsigned L = 0; L < 4; ++L)
+    FromLevels += R.App.Response[L].Count;
+  // Each job is one top-level task plus its inner parallel tasks at the
+  // same level, so per-level counts are at least the per-type job counts.
+  EXPECT_GE(FromLevels, R.App.Requests);
+}
+
+TEST(JobServerTest, BaselineModeWorks) {
+  JobServerReport R = runJobServer(smallJobs(false));
+  EXPECT_GT(R.App.Requests, 5u);
+}
+
+TEST(JobServerTest, MixWeightsRespected) {
+  JobServerConfig C = smallJobs(true);
+  C.Mix = {1.0, 0.0, 0.0, 0.0}; // matmul only
+  C.DurationMillis = 250;
+  JobServerReport R = runJobServer(C);
+  EXPECT_GT(R.JobsByType[0], 0u);
+  EXPECT_EQ(R.JobsByType[1] + R.JobsByType[2] + R.JobsByType[3], 0u);
+}
+
+} // namespace
+} // namespace repro::apps

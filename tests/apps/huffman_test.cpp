@@ -1,0 +1,94 @@
+//===- tests/apps/huffman_test.cpp - Huffman codec --------------------------===//
+
+#include "apps/AppCommon.h"
+#include "apps/Huffman.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::apps {
+namespace {
+
+TEST(HuffmanTest, RoundTripSimple) {
+  std::string In = "abracadabra";
+  auto Blob = huffmanCompress(In);
+  auto Out = huffmanDecompress(Blob);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(*Out, In);
+}
+
+TEST(HuffmanTest, EmptyInput) {
+  auto Blob = huffmanCompress("");
+  EXPECT_EQ(Blob.OriginalSize, 0u);
+  auto Out = huffmanDecompress(Blob);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_TRUE(Out->empty());
+}
+
+TEST(HuffmanTest, SingleRepeatedByte) {
+  std::string In(1000, 'z');
+  auto Blob = huffmanCompress(In);
+  auto Out = huffmanDecompress(Blob);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(*Out, In);
+  // 1 bit per byte: 1000 bits ≈ 125 bytes of stream.
+  EXPECT_LE(Blob.Bits.size(), 130u);
+}
+
+TEST(HuffmanTest, SingleCharacter) {
+  auto Blob = huffmanCompress("x");
+  auto Out = huffmanDecompress(Blob);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(*Out, "x");
+}
+
+TEST(HuffmanTest, AllByteValues) {
+  std::string In;
+  for (int C = 0; C < 256; ++C)
+    In.append(static_cast<std::size_t>(C + 1), static_cast<char>(C));
+  auto Blob = huffmanCompress(In);
+  auto Out = huffmanDecompress(Blob);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(*Out, In);
+}
+
+TEST(HuffmanTest, CompressesEnglishText) {
+  repro::Rng R(5);
+  std::string In = randomText(20000, R);
+  auto Blob = huffmanCompress(In);
+  auto Out = huffmanDecompress(Blob);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(*Out, In);
+  // Word-ish text over a tiny alphabet compresses well below 70%.
+  EXPECT_LT(Blob.Bits.size(), In.size() * 7 / 10);
+}
+
+TEST(HuffmanTest, RandomBinaryRoundTrips) {
+  repro::Rng R(9);
+  for (int Round = 0; Round < 10; ++Round) {
+    std::string In;
+    std::size_t N = 1 + R.nextBelow(5000);
+    In.reserve(N);
+    for (std::size_t I = 0; I < N; ++I)
+      In.push_back(static_cast<char>(R.nextBelow(256)));
+    auto Out = huffmanDecompress(huffmanCompress(In));
+    ASSERT_TRUE(Out.has_value());
+    EXPECT_EQ(*Out, In);
+  }
+}
+
+TEST(HuffmanTest, CorruptBlobRejected) {
+  auto Blob = huffmanCompress("hello world hello world");
+  Blob.BitCount /= 2; // truncated stream cannot reproduce OriginalSize
+  EXPECT_FALSE(huffmanDecompress(Blob).has_value());
+
+  auto Blob2 = huffmanCompress("hello world hello world");
+  Blob2.CodeLengths.resize(10); // truncated table
+  EXPECT_FALSE(huffmanDecompress(Blob2).has_value());
+
+  auto Blob3 = huffmanCompress("hello world hello world");
+  Blob3.Bits.clear(); // bits missing entirely
+  EXPECT_FALSE(huffmanDecompress(Blob3).has_value());
+}
+
+} // namespace
+} // namespace repro::apps

@@ -1,0 +1,124 @@
+//===- tests/apps/kernels_test.cpp - Parallel job kernels -------------------===//
+
+#include "apps/Kernels.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::apps {
+namespace {
+
+ICILK_PRIORITY(K, icilk::BasePriority, 0);
+
+icilk::RuntimeConfig kernelRt() {
+  icilk::RuntimeConfig C;
+  C.NumWorkers = 4;
+  C.NumLevels = 1;
+  return C;
+}
+
+TEST(KernelsTest, FibMatchesSequential) {
+  icilk::Runtime Rt(kernelRt());
+  for (unsigned N : {0u, 1u, 10u, 20u}) {
+    auto F = icilk::fcreate<K>(Rt, [N](icilk::Context<K> &Ctx) {
+      return fibPar(Ctx, N, /*Cutoff=*/8);
+    });
+    EXPECT_EQ(icilk::touchFromOutside(Rt, F), fibSeq(N)) << "N=" << N;
+  }
+}
+
+TEST(KernelsTest, MatmulMatchesSequential) {
+  icilk::Runtime Rt(kernelRt());
+  repro::Rng R(3);
+  Matrix A = randomMatrix(24, R), B = randomMatrix(24, R);
+  Matrix Seq(24), Par(24);
+  matmulSeq(A, B, Seq, 0, 24);
+  auto F = icilk::fcreate<K>(Rt, [&](icilk::Context<K> &Ctx) {
+    matmulPar(Ctx, A, B, Par, /*Cutoff=*/4);
+    return 0;
+  });
+  icilk::touchFromOutside(Rt, F);
+  for (std::size_t I = 0; I < 24; ++I)
+    for (std::size_t J = 0; J < 24; ++J)
+      EXPECT_NEAR(Par.at(I, J), Seq.at(I, J), 1e-9);
+}
+
+TEST(KernelsTest, MsortSortsCorrectly) {
+  icilk::Runtime Rt(kernelRt());
+  repro::Rng R(7);
+  std::vector<int64_t> Data(20000);
+  for (auto &V : Data)
+    V = static_cast<int64_t>(R.next() % 1000);
+  std::vector<int64_t> Expected = Data;
+  std::sort(Expected.begin(), Expected.end());
+  auto F = icilk::fcreate<K>(Rt, [&](icilk::Context<K> &Ctx) {
+    msortPar(Ctx, Data, /*Cutoff=*/256);
+    return 0;
+  });
+  icilk::touchFromOutside(Rt, F);
+  EXPECT_EQ(Data, Expected);
+}
+
+TEST(KernelsTest, MsortEmptyAndTiny) {
+  icilk::Runtime Rt(kernelRt());
+  std::vector<int64_t> Empty;
+  std::vector<int64_t> One{5};
+  auto F = icilk::fcreate<K>(Rt, [&](icilk::Context<K> &Ctx) {
+    msortPar(Ctx, Empty);
+    msortPar(Ctx, One);
+    return 0;
+  });
+  icilk::touchFromOutside(Rt, F);
+  EXPECT_TRUE(Empty.empty());
+  EXPECT_EQ(One[0], 5);
+}
+
+TEST(KernelsTest, SmithWatermanMatchesSequential) {
+  icilk::Runtime Rt(kernelRt());
+  repro::Rng R(11);
+  for (int Round = 0; Round < 3; ++Round) {
+    std::string A = randomSequence(100 + Round * 40, R);
+    std::string B = randomSequence(90 + Round * 30, R);
+    int Seq = smithWatermanSeq(A, B);
+    auto F = icilk::fcreate<K>(Rt, [&](icilk::Context<K> &Ctx) {
+      return smithWatermanPar(Ctx, A, B, /*Tile=*/32);
+    });
+    EXPECT_EQ(icilk::touchFromOutside(Rt, F), Seq);
+  }
+}
+
+TEST(KernelsTest, SmithWatermanIdenticalSequences) {
+  icilk::Runtime Rt(kernelRt());
+  std::string A = "ACGTACGTACGT";
+  auto F = icilk::fcreate<K>(Rt, [&](icilk::Context<K> &Ctx) {
+    return smithWatermanPar(Ctx, A, A, /*Tile=*/4);
+  });
+  // Perfect self-alignment: every char matches.
+  EXPECT_EQ(icilk::touchFromOutside(Rt, F),
+            static_cast<int>(A.size()) * 2);
+}
+
+TEST(KernelsTest, SmithWatermanEmptySequence) {
+  icilk::Runtime Rt(kernelRt());
+  auto F = icilk::fcreate<K>(Rt, [](icilk::Context<K> &Ctx) {
+    return smithWatermanPar(Ctx, "", "ACGT");
+  });
+  EXPECT_EQ(icilk::touchFromOutside(Rt, F), 0);
+}
+
+TEST(KernelsTest, SmithWatermanSingleWorkerNoDeadlock) {
+  // The futures-grid pattern must not deadlock even with one worker (the
+  // help chain resolves the wavefront).
+  icilk::RuntimeConfig C;
+  C.NumWorkers = 1;
+  C.NumLevels = 1;
+  icilk::Runtime Rt(C);
+  repro::Rng R(13);
+  std::string A = randomSequence(120, R), B = randomSequence(120, R);
+  auto F = icilk::fcreate<K>(Rt, [&](icilk::Context<K> &Ctx) {
+    return smithWatermanPar(Ctx, A, B, /*Tile=*/16);
+  });
+  EXPECT_EQ(icilk::touchFromOutside(Rt, F), smithWatermanSeq(A, B));
+}
+
+} // namespace
+} // namespace repro::apps

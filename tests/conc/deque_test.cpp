@@ -1,0 +1,105 @@
+//===- tests/conc/deque_test.cpp - Chase–Lev deque --------------------------===//
+
+#include "conc/ChaseLevDeque.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace repro::conc {
+namespace {
+
+TEST(ChaseLevTest, LifoForOwner) {
+  ChaseLevDeque<int> D;
+  D.push(1);
+  D.push(2);
+  D.push(3);
+  EXPECT_EQ(D.pop().value(), 3);
+  EXPECT_EQ(D.pop().value(), 2);
+  EXPECT_EQ(D.pop().value(), 1);
+  EXPECT_FALSE(D.pop().has_value());
+}
+
+TEST(ChaseLevTest, StealTakesOldest) {
+  ChaseLevDeque<int> D;
+  D.push(1);
+  D.push(2);
+  EXPECT_EQ(D.steal().value(), 1);
+  EXPECT_EQ(D.pop().value(), 2);
+}
+
+TEST(ChaseLevTest, EmptyStealFails) {
+  ChaseLevDeque<int> D;
+  EXPECT_FALSE(D.steal().has_value());
+}
+
+TEST(ChaseLevTest, GrowsPastInitialCapacity) {
+  ChaseLevDeque<int> D(8);
+  for (int I = 0; I < 1000; ++I)
+    D.push(I);
+  EXPECT_EQ(D.sizeApprox(), 1000u);
+  for (int I = 999; I >= 0; --I)
+    EXPECT_EQ(D.pop().value(), I);
+}
+
+TEST(ChaseLevTest, SingleElementRace) {
+  // Owner pop vs. steals on a 1-element deque: exactly one side wins.
+  for (int Round = 0; Round < 200; ++Round) {
+    ChaseLevDeque<int> D;
+    D.push(7);
+    std::atomic<int> Got{0};
+    std::thread Thief([&] {
+      if (D.steal())
+        Got.fetch_add(1);
+    });
+    if (D.pop())
+      Got.fetch_add(1);
+    Thief.join();
+    EXPECT_EQ(Got.load(), 1);
+  }
+}
+
+TEST(ChaseLevTest, NoElementLostOrDuplicatedUnderConcurrentSteals) {
+  constexpr int N = 20000;
+  constexpr int Thieves = 3;
+  ChaseLevDeque<int> D;
+  std::vector<std::vector<int>> Stolen(Thieves);
+  std::vector<int> Popped;
+  std::atomic<bool> Done{false};
+
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Thieves; ++T)
+    Ts.emplace_back([&, T] {
+      while (!Done.load(std::memory_order_acquire))
+        if (auto V = D.steal())
+          Stolen[T].push_back(*V);
+    });
+
+  // Owner interleaves pushes and pops.
+  for (int I = 0; I < N; ++I) {
+    D.push(I);
+    if (I % 3 == 0)
+      if (auto V = D.pop())
+        Popped.push_back(*V);
+  }
+  while (auto V = D.pop())
+    Popped.push_back(*V);
+  // Let thieves drain the (already empty) deque, then stop them.
+  Done.store(true, std::memory_order_release);
+  for (auto &T : Ts)
+    T.join();
+
+  std::multiset<int> All(Popped.begin(), Popped.end());
+  for (const auto &S : Stolen)
+    All.insert(S.begin(), S.end());
+  ASSERT_EQ(All.size(), static_cast<std::size_t>(N));
+  int Expected = 0;
+  for (int V : All)
+    EXPECT_EQ(V, Expected++);
+}
+
+} // namespace
+} // namespace repro::conc

@@ -1,0 +1,104 @@
+//===- tests/conc/hashmap_test.cpp - Striped concurrent hash map -----------===//
+
+#include "conc/ConcurrentHashMap.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace repro::conc {
+namespace {
+
+TEST(HashMapTest, PutGetErase) {
+  ConcurrentHashMap<std::string, int> M;
+  EXPECT_TRUE(M.put("a", 1));
+  EXPECT_FALSE(M.put("a", 2)); // overwrite, not new
+  EXPECT_EQ(M.get("a").value(), 2);
+  EXPECT_FALSE(M.get("b").has_value());
+  EXPECT_TRUE(M.erase("a"));
+  EXPECT_FALSE(M.erase("a"));
+  EXPECT_TRUE(M.empty());
+}
+
+TEST(HashMapTest, PutIfAbsent) {
+  ConcurrentHashMap<int, int> M;
+  EXPECT_TRUE(M.putIfAbsent(1, 10));
+  EXPECT_FALSE(M.putIfAbsent(1, 20));
+  EXPECT_EQ(M.get(1).value(), 10);
+}
+
+TEST(HashMapTest, SizeTracksEntries) {
+  ConcurrentHashMap<int, int> M(4, 4);
+  for (int I = 0; I < 100; ++I)
+    M.put(I, I);
+  EXPECT_EQ(M.size(), 100u);
+  for (int I = 0; I < 50; ++I)
+    M.erase(I);
+  EXPECT_EQ(M.size(), 50u);
+}
+
+TEST(HashMapTest, UpsertInsertsAndUpdates) {
+  ConcurrentHashMap<std::string, int> M;
+  M.upsert("k", [](int *Existing) { return Existing ? *Existing + 1 : 1; });
+  M.upsert("k", [](int *Existing) { return Existing ? *Existing + 1 : 1; });
+  EXPECT_EQ(M.get("k").value(), 2);
+}
+
+TEST(HashMapTest, ForEachVisitsAll) {
+  ConcurrentHashMap<int, int> M;
+  for (int I = 0; I < 20; ++I)
+    M.put(I, I * I);
+  int Count = 0, Sum = 0;
+  M.forEach([&](int K, int V) {
+    ++Count;
+    Sum += V - K * K;
+  });
+  EXPECT_EQ(Count, 20);
+  EXPECT_EQ(Sum, 0);
+}
+
+TEST(HashMapTest, ManyCollisionsStillCorrect) {
+  // One shard, one bucket: everything chains.
+  ConcurrentHashMap<int, int> M(1, 1);
+  for (int I = 0; I < 200; ++I)
+    M.put(I, I);
+  for (int I = 0; I < 200; ++I)
+    EXPECT_EQ(M.get(I).value(), I);
+}
+
+TEST(HashMapTest, ConcurrentUpsertsAreAtomic) {
+  ConcurrentHashMap<int, long long> M;
+  constexpr int Threads = 4, PerThread = 20000, Keys = 8;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      for (int I = 0; I < PerThread; ++I)
+        M.upsert((T + I) % Keys, [](long long *Existing) {
+          return Existing ? *Existing + 1 : 1;
+        });
+    });
+  for (auto &T : Ts)
+    T.join();
+  long long Total = 0;
+  M.forEach([&](int, long long V) { Total += V; });
+  EXPECT_EQ(Total, static_cast<long long>(Threads) * PerThread);
+}
+
+TEST(HashMapTest, ConcurrentDisjointWritersDontInterfere) {
+  ConcurrentHashMap<int, int> M(16, 16);
+  constexpr int Threads = 4, PerThread = 5000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      for (int I = 0; I < PerThread; ++I)
+        M.put(T * PerThread + I, I);
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(M.size(), static_cast<std::size_t>(Threads * PerThread));
+}
+
+} // namespace
+} // namespace repro::conc

@@ -1,0 +1,84 @@
+//===- tests/conc/mpmc_queue_test.cpp - Vyukov MPMC queue -------------------===//
+
+#include "conc/MpmcQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace repro::conc {
+namespace {
+
+TEST(MpmcQueueTest, FifoSingleThread) {
+  MpmcQueue<int> Q(8);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_TRUE(Q.tryPush(I));
+  for (int I = 0; I < 5; ++I)
+    EXPECT_EQ(Q.tryPop().value(), I);
+  EXPECT_FALSE(Q.tryPop().has_value());
+}
+
+TEST(MpmcQueueTest, FullQueueRejectsPush) {
+  MpmcQueue<int> Q(4);
+  for (std::size_t I = 0; I < Q.capacity(); ++I)
+    EXPECT_TRUE(Q.tryPush(static_cast<int>(I)));
+  EXPECT_FALSE(Q.tryPush(99));
+  EXPECT_TRUE(Q.tryPop().has_value());
+  EXPECT_TRUE(Q.tryPush(99)); // slot freed
+}
+
+TEST(MpmcQueueTest, CapacityRoundsUpToPow2) {
+  MpmcQueue<int> Q(5);
+  EXPECT_EQ(Q.capacity(), 8u);
+}
+
+TEST(MpmcQueueTest, WrapsAroundManyTimes) {
+  MpmcQueue<int> Q(4);
+  for (int I = 0; I < 1000; ++I) {
+    ASSERT_TRUE(Q.tryPush(I));
+    ASSERT_EQ(Q.tryPop().value(), I);
+  }
+}
+
+TEST(MpmcQueueTest, ConcurrentProducersConsumersConserveSum) {
+  constexpr int Producers = 3, Consumers = 3, PerProducer = 10000;
+  MpmcQueue<int> Q(256);
+  std::atomic<long long> Consumed{0};
+  std::atomic<int> DoneProducers{0};
+
+  std::vector<std::thread> Ts;
+  for (int P = 0; P < Producers; ++P)
+    Ts.emplace_back([&] {
+      for (int I = 1; I <= PerProducer; ++I)
+        while (!Q.tryPush(I))
+          std::this_thread::yield();
+      DoneProducers.fetch_add(1);
+    });
+  for (int C = 0; C < Consumers; ++C)
+    Ts.emplace_back([&] {
+      while (true) {
+        if (auto V = Q.tryPop()) {
+          Consumed.fetch_add(*V);
+          continue;
+        }
+        if (DoneProducers.load() == Producers && !Q.tryPop())
+          break;
+        std::this_thread::yield();
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  // Drain any remainder (consumers may race the final empty check).
+  while (auto V = Q.tryPop())
+    Consumed.fetch_add(*V);
+
+  long long ExpectedSum =
+      static_cast<long long>(Producers) * PerProducer * (PerProducer + 1) / 2;
+  EXPECT_EQ(Consumed.load(), ExpectedSum);
+}
+
+} // namespace
+} // namespace repro::conc

@@ -1,0 +1,84 @@
+//===- tests/conc/stack_test.cpp - Treiber stack + backoff -----------------===//
+
+#include "conc/Backoff.h"
+#include "conc/TreiberStack.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace repro::conc {
+namespace {
+
+TEST(TreiberStackTest, LifoOrder) {
+  TreiberStack<int> S;
+  S.push(1);
+  S.push(2);
+  int V = 0;
+  EXPECT_TRUE(S.tryPop(V));
+  EXPECT_EQ(V, 2);
+  EXPECT_TRUE(S.tryPop(V));
+  EXPECT_EQ(V, 1);
+  EXPECT_FALSE(S.tryPop(V));
+}
+
+TEST(TreiberStackTest, PopAllDrainsNewestFirst) {
+  TreiberStack<int> S;
+  for (int I = 0; I < 5; ++I)
+    S.push(I);
+  auto All = S.popAll();
+  ASSERT_EQ(All.size(), 5u);
+  EXPECT_EQ(All.front(), 4);
+  EXPECT_EQ(All.back(), 0);
+  EXPECT_TRUE(S.emptyApprox());
+}
+
+TEST(TreiberStackTest, ConcurrentPushesAllArrive) {
+  TreiberStack<int> S;
+  constexpr int Threads = 4, PerThread = 10000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      for (int I = 0; I < PerThread; ++I)
+        S.push(T * PerThread + I);
+    });
+  for (auto &T : Ts)
+    T.join();
+  auto All = S.popAll();
+  std::set<int> Unique(All.begin(), All.end());
+  EXPECT_EQ(Unique.size(), static_cast<std::size_t>(Threads * PerThread));
+}
+
+TEST(TreiberStackTest, PushWhileDraining) {
+  TreiberStack<int> S;
+  std::atomic<bool> Stop{false};
+  std::atomic<int> Pushed{0}, Drained{0};
+  std::thread Producer([&] {
+    for (int I = 0; I < 20000; ++I) {
+      S.push(I);
+      Pushed.fetch_add(1);
+    }
+    Stop.store(true);
+  });
+  while (!Stop.load() || !S.emptyApprox())
+    Drained.fetch_add(static_cast<int>(S.popAll().size()));
+  Producer.join();
+  Drained.fetch_add(static_cast<int>(S.popAll().size()));
+  EXPECT_EQ(Drained.load(), Pushed.load());
+}
+
+TEST(BackoffTest, EscalatesToYield) {
+  Backoff B;
+  EXPECT_FALSE(B.isYielding());
+  for (int I = 0; I < 16; ++I)
+    B.pause();
+  EXPECT_TRUE(B.isYielding());
+  B.reset();
+  EXPECT_FALSE(B.isYielding());
+}
+
+} // namespace
+} // namespace repro::conc

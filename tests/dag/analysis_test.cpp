@@ -1,0 +1,241 @@
+//===- tests/dag/analysis_test.cpp - Well-formedness & strengthening ------===//
+
+#include "dag/Analysis.h"
+#include "dag/PaperFigures.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::dag {
+namespace {
+
+/// Simple high-priority thread touching a low-priority one: a textbook
+/// priority inversion.
+Graph makeInversion() {
+  Graph G(PriorityOrder::totalOrder(2));
+  ThreadId Hi = G.addThread(1, "hi");
+  ThreadId Lo = G.addThread(0, "lo");
+  VertexId H0 = G.addVertex(Hi);
+  G.addVertex(Lo);
+  G.addVertex(Lo);
+  VertexId H1 = G.addVertex(Hi);
+  G.addCreateEdge(H0, Lo);
+  G.addTouchEdge(Lo, H1);
+  return G;
+}
+
+TEST(WellFormedTest, InversionRejected) {
+  Graph G = makeInversion();
+  CheckResult R = checkWellFormed(G);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Reason.find("lower priority"), std::string::npos);
+}
+
+TEST(StronglyWellFormedTest, InversionRejected) {
+  Graph G = makeInversion();
+  EXPECT_FALSE(checkStronglyWellFormed(G).Ok);
+}
+
+TEST(WellFormedTest, SamePriorityJoinAccepted) {
+  Graph G(PriorityOrder::totalOrder(2));
+  ThreadId A = G.addThread(1), B = G.addThread(1);
+  VertexId A0 = G.addVertex(A);
+  G.addVertex(B);
+  VertexId A1 = G.addVertex(A);
+  G.addCreateEdge(A0, B);
+  G.addTouchEdge(B, A1);
+  EXPECT_TRUE(checkWellFormed(G).Ok);
+  EXPECT_TRUE(checkStronglyWellFormed(G).Ok);
+}
+
+TEST(WellFormedTest, LowTouchingHighAccepted) {
+  Graph G(PriorityOrder::totalOrder(2));
+  ThreadId Lo = G.addThread(0), Hi = G.addThread(1);
+  VertexId L0 = G.addVertex(Lo);
+  G.addVertex(Hi);
+  VertexId L1 = G.addVertex(Lo);
+  G.addCreateEdge(L0, Hi);
+  G.addTouchEdge(Hi, L1);
+  EXPECT_TRUE(checkWellFormed(G).Ok);
+  EXPECT_TRUE(checkStronglyWellFormed(G).Ok);
+}
+
+TEST(WellFormedTest, IncomparablePrioritiesTouchRejected) {
+  // Touching across incomparable priorities is an inversion: ρ ⪯̸ ρ'.
+  PriorityOrder O;
+  PrioId P1 = O.addPriority("p1");
+  PrioId P2 = O.addPriority("p2"); // incomparable to p1
+  Graph G(O);
+  ThreadId A = G.addThread(P1), B = G.addThread(P2);
+  VertexId A0 = G.addVertex(A);
+  G.addVertex(B);
+  VertexId A1 = G.addVertex(A);
+  G.addCreateEdge(A0, B);
+  G.addTouchEdge(B, A1);
+  EXPECT_FALSE(checkWellFormed(G).Ok);
+  EXPECT_FALSE(checkStronglyWellFormed(G).Ok);
+}
+
+TEST(StronglyWellFormedTest, TouchWithoutKnowsAboutPathRejected) {
+  // Thread c touches b but has no path from b's creation: the handle
+  // "appeared from nowhere" (violates Definition 4(3)).
+  Graph G(PriorityOrder::totalOrder(1));
+  ThreadId Main = G.addThread(0, "main");
+  ThreadId B = G.addThread(0, "b");
+  ThreadId C = G.addThread(0, "c");
+  VertexId M0 = G.addVertex(Main);  // creates c
+  VertexId M1 = G.addVertex(Main);  // creates b (after c!)
+  G.addVertex(Main);
+  VertexId C0 = G.addVertex(C);
+  VertexId C1 = G.addVertex(C);
+  G.addVertex(B);
+  G.addCreateEdge(M0, C);
+  G.addCreateEdge(M1, B);
+  (void)C0;
+  G.addTouchEdge(B, C1); // c cannot know about b
+  EXPECT_FALSE(checkStronglyWellFormed(G).Ok);
+}
+
+TEST(StronglyWellFormedTest, TouchWithHandoffPathAccepted) {
+  // Same shape, but b is created before c, so the creator's continuation
+  // carries the handle to c's creation: M0 creates b, M1 creates c.
+  Graph G(PriorityOrder::totalOrder(1));
+  ThreadId Main = G.addThread(0, "main");
+  ThreadId B = G.addThread(0, "b");
+  ThreadId C = G.addThread(0, "c");
+  VertexId M0 = G.addVertex(Main); // creates b
+  VertexId M1 = G.addVertex(Main); // creates c
+  G.addVertex(Main);
+  G.addVertex(B);
+  G.addVertex(C);
+  VertexId C1 = G.addVertex(C);
+  G.addCreateEdge(M0, B);
+  G.addCreateEdge(M1, C);
+  G.addTouchEdge(B, C1);
+  EXPECT_TRUE(checkStronglyWellFormed(G).Ok);
+  EXPECT_TRUE(checkWellFormed(G).Ok);
+}
+
+TEST(StrengtheningTest, NoOffendingEdgesKeepsGraph) {
+  Graph G(PriorityOrder::totalOrder(2));
+  ThreadId A = G.addThread(1), B = G.addThread(1);
+  VertexId A0 = G.addVertex(A);
+  G.addVertex(B);
+  VertexId A1 = G.addVertex(A);
+  G.addCreateEdge(A0, B);
+  G.addTouchEdge(B, A1);
+  Strengthening S = strengthen(G, A);
+  EXPECT_EQ(S.RemovedEdges, 0u);
+  EXPECT_EQ(S.AddedEdges, 0u);
+}
+
+TEST(StrengtheningTest, Fig3RewritesLowPriorityCreateEdge) {
+  Fig2 F = makeFig2b();
+  Strengthening S = strengthen(F.G, F.A);
+  // The create edge (u0, u) from low priority is removed and replaced by an
+  // edge from r (the weak descendant of u0 on a's spine).
+  EXPECT_EQ(S.RemovedEdges, 1u);
+  EXPECT_EQ(S.AddedEdges, 1u);
+  bool Found = false;
+  for (VertexId W : S.StrongSucc[F.R])
+    Found |= W == F.U;
+  EXPECT_TRUE(Found);
+  // And u0 no longer reaches u strongly.
+  for (VertexId W : S.StrongSucc[F.U0])
+    EXPECT_NE(W, F.U);
+}
+
+TEST(SpanTest, ChainSpan) {
+  // Single thread of 5 vertices: span of the thread is 5 (s excluded? s is
+  // its own ancestor, so the path starts after it: 4 — check the exact
+  // accounting).
+  Graph G(PriorityOrder::totalOrder(1));
+  ThreadId A = G.addThread(0);
+  for (int I = 0; I < 5; ++I)
+    G.addVertex(A);
+  // Ancestors of s = {s}; allowed = the remaining 4 vertices ending at t.
+  EXPECT_EQ(aSpan(G, A), 4u);
+}
+
+TEST(SpanTest, ParallelChildDominatesSpan) {
+  // main: m0 · m1 · m2 with child of 6 vertices created at m0, touched at
+  // m2. The critical path to m2 goes through the child.
+  Graph G(PriorityOrder::totalOrder(1));
+  ThreadId Main = G.addThread(0);
+  ThreadId Child = G.addThread(0);
+  VertexId M0 = G.addVertex(Main);
+  for (int I = 0; I < 6; ++I)
+    G.addVertex(Child);
+  VertexId M1 = G.addVertex(Main);
+  (void)M1;
+  VertexId M2 = G.addVertex(Main);
+  G.addCreateEdge(M0, Child);
+  G.addTouchEdge(Child, M2);
+  // Path: c0..c5, m2 = 7 vertices (m0 = s is excluded).
+  EXPECT_EQ(aSpan(G, Main), 7u);
+}
+
+TEST(CompetitorWorkTest, CountsParallelNotLowerPriority) {
+  Graph G(PriorityOrder::totalOrder(3));
+  ThreadId A = G.addThread(1, "a");
+  ThreadId Low = G.addThread(0, "low");   // never competes
+  ThreadId High = G.addThread(2, "high"); // competes
+  ThreadId Peer = G.addThread(1, "peer"); // competes
+  VertexId A0 = G.addVertex(A);
+  VertexId A1 = G.addVertex(A);
+  (void)A1;
+  G.addVertex(Low);
+  G.addVertex(Low);
+  G.addVertex(High);
+  G.addVertex(Peer);
+  G.addCreateEdge(A0, Low);
+  G.addCreateEdge(A0, High);
+  G.addCreateEdge(A0, Peer);
+  // Competitors of a: its own interior+t? t excluded (descendant of t);
+  // a1 = t excluded; high (1) + peer (1) = 2.
+  EXPECT_EQ(competitorWork(G, A), 2u);
+}
+
+TEST(CompetitorWorkTest, AncestorsOfStartExcluded) {
+  Graph G(PriorityOrder::totalOrder(1));
+  ThreadId Main = G.addThread(0);
+  ThreadId A = G.addThread(0);
+  VertexId M0 = G.addVertex(Main);
+  VertexId M1 = G.addVertex(Main);
+  (void)M1;
+  G.addVertex(A);
+  VertexId A1 = G.addVertex(A);
+  (void)A1;
+  G.addCreateEdge(M0, A);
+  // Ancestors of a's first vertex: m0 (+the vertex itself). m1 runs in
+  // parallel and counts; a's own a1=t is excluded as a descendant of t.
+  EXPECT_EQ(competitorWork(G, A), 1u);
+}
+
+TEST(ResponseBoundTest, CombinesWorkAndSpan) {
+  Graph G(PriorityOrder::totalOrder(1));
+  ThreadId A = G.addThread(0);
+  for (int I = 0; I < 3; ++I)
+    G.addVertex(A);
+  ResponseBound B = responseBound(G, A);
+  // Boundary-corrected quantities include s and t: the whole 3-chain.
+  EXPECT_EQ(B.Span, 3u);
+  EXPECT_EQ(B.CompetitorWork, 3u);
+  EXPECT_DOUBLE_EQ(B.bound(1), 3.0);
+  EXPECT_DOUBLE_EQ(B.bound(2), (3.0 + 3.0) / 2.0);
+}
+
+TEST(ResponseBoundTest, PaperDefinitionsExcludeBoundaries) {
+  // The literal paper definitions under-count by the endpoints — the reason
+  // responseBound() uses the corrected versions.
+  Graph G(PriorityOrder::totalOrder(1));
+  ThreadId A = G.addThread(0);
+  for (int I = 0; I < 3; ++I)
+    G.addVertex(A);
+  EXPECT_EQ(competitorWork(G, A), 1u);       // interior only
+  EXPECT_EQ(aSpan(G, A), 2u);                // interior + t
+  EXPECT_EQ(competitorWorkInclusive(G, A), 3u);
+  EXPECT_EQ(aSpanInclusive(G, A), 3u);
+}
+
+} // namespace
+} // namespace repro::dag

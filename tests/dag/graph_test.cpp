@@ -1,0 +1,169 @@
+//===- tests/dag/graph_test.cpp - Cost DAG structure ------------------------===//
+
+#include "dag/Graph.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::dag {
+namespace {
+
+/// A two-thread graph: main = m0·m1·m2 spawning child = c0·c1 at m0 and
+/// touching it at m2.
+struct ForkJoin {
+  Graph G{PriorityOrder::totalOrder(1)};
+  ThreadId Main, Child;
+  VertexId M0, M1, M2, C0, C1;
+
+  ForkJoin() {
+    Main = G.addThread(0, "main");
+    Child = G.addThread(0, "child");
+    M0 = G.addVertex(Main);
+    C0 = G.addVertex(Child);
+    C1 = G.addVertex(Child);
+    M1 = G.addVertex(Main);
+    M2 = G.addVertex(Main);
+    G.addCreateEdge(M0, Child);
+    G.addTouchEdge(Child, M2);
+  }
+};
+
+TEST(GraphTest, ThreadVertexBookkeeping) {
+  ForkJoin F;
+  EXPECT_EQ(F.G.numThreads(), 2u);
+  EXPECT_EQ(F.G.numVertices(), 5u);
+  EXPECT_EQ(F.G.vertexThread(F.M1), F.Main);
+  EXPECT_EQ(F.G.firstVertex(F.Child), F.C0);
+  EXPECT_EQ(F.G.lastVertex(F.Child), F.C1);
+  EXPECT_EQ(F.G.threadVertices(F.Main).size(), 3u);
+}
+
+TEST(GraphTest, ContinuationEdgesImplicit) {
+  ForkJoin F;
+  auto Edges = F.G.allEdges();
+  int Continuations = 0;
+  for (const Edge &E : Edges)
+    Continuations += E.Kind == EdgeKind::Continuation ? 1 : 0;
+  EXPECT_EQ(Continuations, 3); // m0→m1, m1→m2, c0→c1
+}
+
+TEST(GraphTest, CreateEdgeResolvesToFirstVertex) {
+  ForkJoin F;
+  bool Found = false;
+  for (const Edge &E : F.G.allEdges())
+    if (E.Kind == EdgeKind::Create) {
+      EXPECT_EQ(E.Src, F.M0);
+      EXPECT_EQ(E.Dst, F.C0);
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(GraphTest, TouchEdgeResolvesFromLastVertex) {
+  ForkJoin F;
+  bool Found = false;
+  for (const Edge &E : F.G.allEdges())
+    if (E.Kind == EdgeKind::Touch) {
+      EXPECT_EQ(E.Src, F.C1);
+      EXPECT_EQ(E.Dst, F.M2);
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(GraphTest, TouchEdgeTracksThreadGrowth) {
+  // Record the touch before the touched thread grows; the resolved edge
+  // must still leave from the final last vertex.
+  Graph G(PriorityOrder::totalOrder(1));
+  ThreadId A = G.addThread(0), B = G.addThread(0);
+  VertexId A0 = G.addVertex(A);
+  G.addVertex(B);
+  G.addCreateEdge(A0, B);
+  VertexId A1 = G.addVertex(A);
+  G.addTouchEdge(B, A1);
+  VertexId B1 = G.addVertex(B); // B grows afterwards
+  bool Found = false;
+  for (const Edge &E : G.allEdges())
+    if (E.Kind == EdgeKind::Touch) {
+      EXPECT_EQ(E.Src, B1);
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(GraphTest, AncestorsIncludeSelfAndFollowAllEdges) {
+  ForkJoin F;
+  EXPECT_TRUE(F.G.isAncestor(F.M0, F.M0));
+  EXPECT_TRUE(F.G.isAncestor(F.M0, F.C1));  // via create edge
+  EXPECT_TRUE(F.G.isAncestor(F.C0, F.M2));  // via touch edge
+  EXPECT_FALSE(F.G.isAncestor(F.M1, F.C0)); // parallel branches
+  EXPECT_FALSE(F.G.isAncestor(F.C0, F.M1));
+}
+
+TEST(GraphTest, StrongAndWeakAncestors) {
+  // a: x0·x1 ; b: y0. Weak edge y0 → x1 only.
+  Graph G(PriorityOrder::totalOrder(1));
+  ThreadId A = G.addThread(0), B = G.addThread(0);
+  VertexId X0 = G.addVertex(A);
+  VertexId X1 = G.addVertex(A);
+  VertexId Y0 = G.addVertex(B);
+  G.addWeakEdge(Y0, X1);
+  EXPECT_TRUE(G.isWeakAncestor(Y0, X1));
+  EXPECT_FALSE(G.isStrongAncestor(Y0, X1));
+  EXPECT_TRUE(G.isStrongAncestor(X0, X1));
+  EXPECT_FALSE(G.isWeakAncestor(X0, X1));
+}
+
+TEST(GraphTest, MixedPathsMakeWeakAncestor) {
+  // Two routes from u to w: one strong, one through a weak edge ⇒ u is a
+  // weak ancestor and NOT a strong ancestor (all-paths-strong fails).
+  Graph G(PriorityOrder::totalOrder(1));
+  ThreadId A = G.addThread(0), B = G.addThread(0);
+  VertexId U = G.addVertex(A);
+  VertexId W = G.addVertex(A); // continuation U → W (strong path)
+  VertexId V = G.addVertex(B);
+  G.addCreateEdge(U, B);  // strong edge U → V
+  G.addWeakEdge(V, W);    // weak path U → V → W
+  EXPECT_TRUE(G.isAncestor(U, W));
+  EXPECT_TRUE(G.isWeakAncestor(U, W));
+  EXPECT_FALSE(G.isStrongAncestor(U, W));
+}
+
+TEST(GraphTest, TopologicalOrderRespectsEdges) {
+  ForkJoin F;
+  auto Order = F.G.topologicalOrder();
+  ASSERT_EQ(Order.size(), F.G.numVertices());
+  std::vector<std::size_t> Pos(Order.size());
+  for (std::size_t I = 0; I < Order.size(); ++I)
+    Pos[Order[I]] = I;
+  for (const Edge &E : F.G.allEdges())
+    EXPECT_LT(Pos[E.Src], Pos[E.Dst]);
+}
+
+TEST(GraphTest, AcyclicDetection) {
+  ForkJoin F;
+  EXPECT_TRUE(F.G.isAcyclic());
+  // A weak edge back into an ancestor creates a (weak) cycle.
+  F.G.addWeakEdge(F.M2, F.M0);
+  EXPECT_FALSE(F.G.isAcyclic());
+}
+
+TEST(GraphTest, EmptyGraphIsAcyclic) {
+  Graph G(PriorityOrder::totalOrder(1));
+  EXPECT_TRUE(G.isAcyclic());
+  EXPECT_EQ(G.numVertices(), 0u);
+}
+
+TEST(GraphTest, WeakReachabilityMasks) {
+  ForkJoin F;
+  F.G.addWeakEdge(F.C0, F.M1);
+  auto FromC0 = F.G.weakReachableFrom(F.C0);
+  EXPECT_TRUE(FromC0[F.M1]);
+  EXPECT_TRUE(FromC0[F.M2]); // continue past the weak edge
+  EXPECT_FALSE(FromC0[F.C1]); // only strong path within the thread
+  auto ToM2 = F.G.weakReachingTo(F.M2);
+  EXPECT_TRUE(ToM2[F.C0]);
+  EXPECT_FALSE(ToM2[F.M1]); // M1→M2 is purely strong
+}
+
+} // namespace
+} // namespace repro::dag

@@ -1,0 +1,105 @@
+//===- tests/dag/priority_test.cpp - Partial order of priorities ----------===//
+
+#include "dag/Priority.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace repro::dag {
+namespace {
+
+TEST(PriorityOrderTest, ReflexiveByDefault) {
+  PriorityOrder O;
+  PrioId A = O.addPriority("a");
+  EXPECT_TRUE(O.leq(A, A));
+  EXPECT_FALSE(O.less(A, A));
+}
+
+TEST(PriorityOrderTest, FreshPrioritiesIncomparable) {
+  PriorityOrder O;
+  PrioId A = O.addPriority();
+  PrioId B = O.addPriority();
+  EXPECT_TRUE(O.incomparable(A, B));
+}
+
+TEST(PriorityOrderTest, AddLessEstablishesOrder) {
+  PriorityOrder O;
+  PrioId Lo = O.addPriority("lo");
+  PrioId Hi = O.addPriority("hi");
+  EXPECT_TRUE(O.addLess(Lo, Hi));
+  EXPECT_TRUE(O.leq(Lo, Hi));
+  EXPECT_TRUE(O.less(Lo, Hi));
+  EXPECT_FALSE(O.leq(Hi, Lo));
+}
+
+TEST(PriorityOrderTest, TransitiveClosure) {
+  PriorityOrder O;
+  PrioId A = O.addPriority(), B = O.addPriority(), C = O.addPriority();
+  O.addLess(A, B);
+  O.addLess(B, C);
+  EXPECT_TRUE(O.less(A, C));
+}
+
+TEST(PriorityOrderTest, ClosureWorksWhenEdgesAddedOutOfOrder) {
+  PriorityOrder O;
+  PrioId A = O.addPriority(), B = O.addPriority(), C = O.addPriority();
+  O.addLess(B, C);
+  O.addLess(A, B); // must connect A to C through the existing B ⪯ C
+  EXPECT_TRUE(O.less(A, C));
+}
+
+TEST(PriorityOrderTest, CycleRejected) {
+  PriorityOrder O;
+  PrioId A = O.addPriority(), B = O.addPriority();
+  EXPECT_TRUE(O.addLess(A, B));
+  EXPECT_FALSE(O.addLess(B, A));
+  EXPECT_FALSE(O.leq(B, A)); // order unchanged
+}
+
+TEST(PriorityOrderTest, SelfEdgeRejected) {
+  PriorityOrder O;
+  PrioId A = O.addPriority();
+  EXPECT_FALSE(O.addLess(A, A));
+}
+
+TEST(PriorityOrderTest, TotalOrderIsChain) {
+  PriorityOrder O = PriorityOrder::totalOrder(4);
+  ASSERT_EQ(O.size(), 4u);
+  for (PrioId I = 0; I < 4; ++I)
+    for (PrioId J = 0; J < 4; ++J)
+      EXPECT_EQ(O.leq(I, J), I <= J) << I << " vs " << J;
+}
+
+TEST(PriorityOrderTest, DiamondPartialOrder) {
+  // lo ≺ {m1, m2} ≺ hi, m1 and m2 incomparable.
+  PriorityOrder O;
+  PrioId Lo = O.addPriority("lo"), M1 = O.addPriority("m1"),
+         M2 = O.addPriority("m2"), Hi = O.addPriority("hi");
+  O.addLess(Lo, M1);
+  O.addLess(Lo, M2);
+  O.addLess(M1, Hi);
+  O.addLess(M2, Hi);
+  EXPECT_TRUE(O.less(Lo, Hi));
+  EXPECT_TRUE(O.incomparable(M1, M2));
+}
+
+TEST(PriorityOrderTest, IsMaximalIn) {
+  PriorityOrder O = PriorityOrder::totalOrder(3);
+  std::vector<PrioId> All{0, 1, 2};
+  EXPECT_TRUE(O.isMaximalIn(2, All));
+  EXPECT_FALSE(O.isMaximalIn(0, All));
+  std::vector<PrioId> JustLow{0};
+  EXPECT_TRUE(O.isMaximalIn(0, JustLow));
+}
+
+TEST(PriorityOrderTest, NamesPreserved) {
+  PriorityOrder O;
+  PrioId A = O.addPriority("interactive");
+  EXPECT_EQ(O.name(A), "interactive");
+  PrioId B = O.addPriority();
+  EXPECT_EQ(O.name(B), "p1"); // auto-generated
+}
+
+} // namespace
+} // namespace repro::dag

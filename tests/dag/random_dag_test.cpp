@@ -1,0 +1,86 @@
+//===- tests/dag/random_dag_test.cpp - Generator invariants ---------------===//
+
+#include "dag/Analysis.h"
+#include "dag/RandomDag.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::dag {
+namespace {
+
+class RandomDagSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomDagSeeds, GeneratedGraphsAreAcyclic) {
+  repro::Rng R(GetParam());
+  Graph G = randomWellFormedDag(R, {});
+  EXPECT_TRUE(G.isAcyclic());
+  EXPECT_GE(G.numVertices(), 200u);
+}
+
+TEST_P(RandomDagSeeds, GeneratedGraphsAreStronglyWellFormed) {
+  repro::Rng R(GetParam());
+  Graph G = randomWellFormedDag(R, {});
+  CheckResult C = checkStronglyWellFormed(G);
+  EXPECT_TRUE(C.Ok) << C.Reason;
+}
+
+TEST_P(RandomDagSeeds, GeneratedGraphsAreWellFormed) {
+  // Lemma 3.4: strong well-formedness implies well-formedness. Check the
+  // weaker property independently.
+  repro::Rng R(GetParam());
+  RandomDagConfig Config;
+  Config.TargetVertices = 120; // Definition 1 checking is O(V·E) per thread
+  Graph G = randomWellFormedDag(R, Config);
+  CheckResult C = checkWellFormed(G);
+  EXPECT_TRUE(C.Ok) << C.Reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(RandomDagTest, HonorsPriorityCount) {
+  repro::Rng R(7);
+  RandomDagConfig Config;
+  Config.NumPriorities = 5;
+  Graph G = randomWellFormedDag(R, Config);
+  EXPECT_EQ(G.priorities().size(), 5u);
+  for (ThreadId T = 0; T < G.numThreads(); ++T)
+    EXPECT_LT(G.threadPriority(T), 5u);
+}
+
+TEST(RandomDagTest, TouchEdgesNeverInvert) {
+  repro::Rng R(11);
+  Graph G = randomWellFormedDag(R, {});
+  for (auto [Touched, Toucher] : G.touchEdges())
+    EXPECT_TRUE(G.priorities().leq(G.vertexPriority(Toucher),
+                                   G.threadPriority(Touched)));
+}
+
+TEST(RandomDagTest, RootRunsAtTopPriority) {
+  repro::Rng R(13);
+  RandomDagConfig Config;
+  Config.NumPriorities = 4;
+  Graph G = randomWellFormedDag(R, Config);
+  EXPECT_EQ(G.threadPriority(0), 3u);
+}
+
+TEST(RandomDagTest, DeterministicForSeed) {
+  repro::Rng R1(99), R2(99);
+  Graph A = randomWellFormedDag(R1, {});
+  Graph B = randomWellFormedDag(R2, {});
+  EXPECT_EQ(A.numVertices(), B.numVertices());
+  EXPECT_EQ(A.numThreads(), B.numThreads());
+  EXPECT_EQ(A.weakEdges().size(), B.weakEdges().size());
+}
+
+TEST(RandomDagTest, ProducesWeakEdgesUnderDefaultConfig) {
+  repro::Rng R(17);
+  RandomDagConfig Config;
+  Config.TargetVertices = 400;
+  Graph G = randomWellFormedDag(R, Config);
+  EXPECT_GT(G.weakEdges().size(), 0u);
+  EXPECT_GT(G.createEdges().size(), 0u);
+}
+
+} // namespace
+} // namespace repro::dag

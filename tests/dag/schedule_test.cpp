@@ -1,0 +1,181 @@
+//===- tests/dag/schedule_test.cpp - Prompt schedule simulation -----------===//
+
+#include "dag/Schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::dag {
+namespace {
+
+Graph chain(std::size_t N) {
+  Graph G(PriorityOrder::totalOrder(1));
+  ThreadId A = G.addThread(0);
+  for (std::size_t I = 0; I < N; ++I)
+    G.addVertex(A);
+  return G;
+}
+
+TEST(PromptScheduleTest, ChainIsSequential) {
+  Graph G = chain(5);
+  Schedule S = promptSchedule(G, 4);
+  EXPECT_EQ(S.length(), 5u);
+  EXPECT_TRUE(checkValidSchedule(G, S).Ok);
+  EXPECT_TRUE(checkPrompt(G, S).Ok);
+  EXPECT_TRUE(isAdmissible(G, S));
+}
+
+TEST(PromptScheduleTest, IndependentThreadsRunInParallel) {
+  Graph G(PriorityOrder::totalOrder(1));
+  for (int T = 0; T < 4; ++T) {
+    ThreadId Id = G.addThread(0);
+    for (int I = 0; I < 3; ++I)
+      G.addVertex(Id);
+  }
+  Schedule S = promptSchedule(G, 4);
+  EXPECT_EQ(S.length(), 3u); // perfectly parallel
+  EXPECT_TRUE(checkValidSchedule(G, S).Ok);
+  EXPECT_TRUE(checkPrompt(G, S).Ok);
+}
+
+TEST(PromptScheduleTest, OneCoreSerializesEverything) {
+  Graph G(PriorityOrder::totalOrder(1));
+  for (int T = 0; T < 3; ++T) {
+    ThreadId Id = G.addThread(0);
+    G.addVertex(Id);
+    G.addVertex(Id);
+  }
+  Schedule S = promptSchedule(G, 1);
+  EXPECT_EQ(S.length(), 6u);
+  EXPECT_TRUE(checkValidSchedule(G, S).Ok);
+}
+
+TEST(PromptScheduleTest, HighPriorityScheduledFirst) {
+  Graph G(PriorityOrder::totalOrder(2));
+  ThreadId Lo = G.addThread(0, "lo");
+  ThreadId Hi = G.addThread(1, "hi");
+  for (int I = 0; I < 4; ++I)
+    G.addVertex(Lo);
+  for (int I = 0; I < 4; ++I)
+    G.addVertex(Hi);
+  Schedule S = promptSchedule(G, 1);
+  // All of hi's vertices execute before any of lo's.
+  for (VertexId H : G.threadVertices(Hi))
+    for (VertexId L : G.threadVertices(Lo))
+      EXPECT_LT(S.StepOf[H], S.StepOf[L]);
+  EXPECT_TRUE(checkPrompt(G, S).Ok);
+}
+
+TEST(PromptScheduleTest, RespectPolicyDelaysWeakReads) {
+  // writer w ; reader r with weak edge w→r; both sources. Under Respect, r
+  // waits for w.
+  Graph G(PriorityOrder::totalOrder(1));
+  ThreadId A = G.addThread(0), B = G.addThread(0);
+  VertexId W0 = G.addVertex(A);
+  VertexId W = G.addVertex(A);
+  VertexId R = G.addVertex(B);
+  (void)W0;
+  G.addWeakEdge(W, R);
+  Schedule S = promptSchedule(G, 2, WeakEdgePolicy::Respect);
+  EXPECT_LT(S.StepOf[W], S.StepOf[R]);
+  EXPECT_TRUE(isAdmissible(G, S));
+}
+
+TEST(PromptScheduleTest, IgnorePolicyCanBeInadmissible) {
+  Graph G(PriorityOrder::totalOrder(1));
+  ThreadId A = G.addThread(0), B = G.addThread(0);
+  VertexId W0 = G.addVertex(A);
+  VertexId W = G.addVertex(A);
+  VertexId R = G.addVertex(B);
+  (void)W0;
+  G.addWeakEdge(W, R);
+  Schedule S = promptSchedule(G, 2, WeakEdgePolicy::Ignore);
+  // R runs at step 0 (it is a source); W at step 1 ⇒ inadmissible.
+  EXPECT_FALSE(isAdmissible(G, S));
+  EXPECT_TRUE(checkPrompt(G, S).Ok); // but prompt w.r.t. strong readiness
+}
+
+TEST(CheckValidScheduleTest, RejectsDependenceViolations) {
+  Graph G = chain(2);
+  Schedule S;
+  S.NumCores = 2;
+  S.Steps = {{1}, {0}}; // child before parent
+  S.StepOf = {1, 0};
+  EXPECT_FALSE(checkValidSchedule(G, S).Ok);
+}
+
+TEST(CheckValidScheduleTest, RejectsOverSubscribedStep) {
+  Graph G(PriorityOrder::totalOrder(1));
+  ThreadId A = G.addThread(0), B = G.addThread(0);
+  G.addVertex(A);
+  G.addVertex(B);
+  Schedule S;
+  S.NumCores = 1;
+  S.Steps = {{0, 1}};
+  S.StepOf = {0, 0};
+  EXPECT_FALSE(checkValidSchedule(G, S).Ok);
+}
+
+TEST(CheckPromptTest, FlagsIdleCoreWithReadyWork) {
+  Graph G(PriorityOrder::totalOrder(1));
+  ThreadId A = G.addThread(0), B = G.addThread(0);
+  G.addVertex(A);
+  G.addVertex(B);
+  Schedule S;
+  S.NumCores = 2;
+  S.Steps = {{0}, {1}}; // could have run both at step 0
+  S.StepOf = {0, 1};
+  ASSERT_TRUE(checkValidSchedule(G, S).Ok);
+  EXPECT_FALSE(checkPrompt(G, S).Ok);
+}
+
+TEST(CheckPromptTest, FlagsLowPriorityJumpingQueue) {
+  Graph G(PriorityOrder::totalOrder(2));
+  ThreadId Lo = G.addThread(0), Hi = G.addThread(1);
+  G.addVertex(Lo);
+  G.addVertex(Hi);
+  Schedule S;
+  S.NumCores = 1;
+  S.Steps = {{0}, {1}}; // low first: not prompt
+  S.StepOf = {0, 1};
+  EXPECT_FALSE(checkPrompt(G, S).Ok);
+}
+
+TEST(ResponseTimeTest, MeasuresReadyToCompletion) {
+  // main: m0 · m1; child (created at m0): c0 · c1 · c2.
+  Graph G(PriorityOrder::totalOrder(1));
+  ThreadId Main = G.addThread(0), Child = G.addThread(0);
+  VertexId M0 = G.addVertex(Main);
+  G.addVertex(Main);
+  G.addVertex(Child);
+  G.addVertex(Child);
+  G.addVertex(Child);
+  G.addCreateEdge(M0, Child);
+  Schedule S = promptSchedule(G, 1);
+  // Child becomes ready after m0 executes (step 1); with 1 core it finishes
+  // after all 5 vertices run.
+  uint64_t T = responseTime(G, S, Child);
+  EXPECT_GE(T, 3u);
+  EXPECT_LE(T, 4u);
+}
+
+TEST(BoundCheckTest, Theorem23HoldsOnForkJoin) {
+  Graph G(PriorityOrder::totalOrder(2));
+  ThreadId Main = G.addThread(0, "main");
+  ThreadId Hi = G.addThread(1, "hi");
+  VertexId M0 = G.addVertex(Main);
+  for (int I = 0; I < 10; ++I)
+    G.addVertex(Main);
+  for (int I = 0; I < 5; ++I)
+    G.addVertex(Hi);
+  G.addCreateEdge(M0, Hi);
+  for (unsigned P : {1u, 2u, 4u}) {
+    Schedule S = promptSchedule(G, P);
+    ASSERT_TRUE(checkValidSchedule(G, S).Ok);
+    BoundCheck C = checkResponseBound(G, S, Hi);
+    EXPECT_TRUE(C.Holds) << "P=" << P << " T=" << C.Observed
+                         << " bound=" << C.BoundValue;
+  }
+}
+
+} // namespace
+} // namespace repro::dag

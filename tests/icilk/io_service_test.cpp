@@ -1,0 +1,95 @@
+//===- tests/icilk/io_service_test.cpp - Latency-hiding I/O ----------------===//
+
+#include "icilk/Context.h"
+#include "icilk/IoService.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace repro::icilk {
+namespace {
+
+ICILK_PRIORITY(Low, BasePriority, 0);
+ICILK_PRIORITY(High, Low, 1);
+
+TEST(IoServiceTest, CompletesAfterLatency) {
+  IoService Io;
+  auto F = Io.read<High>(/*LatencyMicros=*/2000, /*Bytes=*/128);
+  EXPECT_FALSE(F.isReady());
+  uint64_t Start = repro::nowMicros();
+  while (!F.isReady())
+    std::this_thread::yield();
+  uint64_t Elapsed = repro::nowMicros() - Start;
+  EXPECT_GE(Elapsed + 100, 1000u); // roughly the requested latency
+  EXPECT_EQ(F.state()->value(), 128);
+}
+
+TEST(IoServiceTest, CompletesInDeadlineOrder) {
+  IoService Io;
+  auto Slow = Io.read<High>(20000, 1);
+  auto Fast = Io.read<High>(1000, 2);
+  while (!Fast.isReady())
+    std::this_thread::yield();
+  EXPECT_FALSE(Slow.isReady());
+  while (!Slow.isReady())
+    std::this_thread::yield();
+  EXPECT_EQ(Io.completed(), 2u);
+}
+
+TEST(IoServiceTest, ZeroLatencyCompletesPromptly) {
+  IoService Io;
+  auto F = Io.write<Low>(0, 64);
+  while (!F.isReady())
+    std::this_thread::yield();
+  EXPECT_EQ(F.state()->value(), 64);
+}
+
+TEST(IoServiceTest, ManyConcurrentOps) {
+  IoService Io;
+  std::vector<Future<Low, IoResult>> Fs;
+  for (int I = 0; I < 200; ++I)
+    Fs.push_back(Io.read<Low>(static_cast<uint64_t>(I % 7) * 300, I));
+  for (int I = 0; I < 200; ++I) {
+    while (!Fs[I].isReady())
+      std::this_thread::yield();
+    EXPECT_EQ(Fs[I].state()->value(), I);
+  }
+  EXPECT_EQ(Io.completed(), 200u);
+  EXPECT_EQ(Io.inFlight(), 0u);
+}
+
+TEST(IoServiceTest, WorkersRunTasksWhileIoPends) {
+  // The latency-hiding property: an ftouch on an io_future must not stop
+  // other tasks from running on the touching worker.
+  RuntimeConfig C;
+  C.NumWorkers = 1;
+  C.NumLevels = 2;
+  Runtime Rt(C);
+  IoService Io;
+  std::atomic<int> Background{0};
+
+  auto Waiter = fcreate<Low>(Rt, [&](Context<Low> &Ctx) {
+    auto IoF = Io.read<High>(/*LatencyMicros=*/30000, 7);
+    for (int I = 0; I < 10; ++I)
+      Ctx.fcreate<Low>([&](Context<Low> &) { Background.fetch_add(1); });
+    long Bytes = Ctx.ftouch(IoF); // helping runs the 10 tasks meanwhile
+    return static_cast<int>(Bytes) + Background.load();
+  });
+  int Result = touchFromOutside(Rt, Waiter);
+  EXPECT_EQ(Result, 17) << "background tasks should finish during the I/O";
+}
+
+TEST(IoServiceTest, DestructorCompletesPendingOps) {
+  Future<Low, IoResult> F;
+  {
+    IoService Io;
+    F = Io.read<Low>(10'000'000, 5); // 10 s — far beyond the test
+  }
+  EXPECT_TRUE(F.isReady());
+  EXPECT_EQ(F.state()->value(), 5);
+}
+
+} // namespace
+} // namespace repro::icilk

@@ -1,0 +1,82 @@
+//===- tests/lambda4i/anormal_test.cpp - A-normalization -------------------===//
+
+#include "lambda4i/ANormal.h"
+#include "lambda4i/Parser.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::lambda4i {
+namespace {
+
+CmdRef parseMain(const std::string &Body) {
+  auto R = parseProgram("priority p;\nmain at p { " + Body + " }");
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.Prog.Main;
+}
+
+TEST(ANormalTest, ValuesUntouched) {
+  ExprRef N = Expr::makeNat(3);
+  EXPECT_EQ(aNormalizeExpr(N), N);
+  EXPECT_TRUE(isANormalExpr(N));
+}
+
+TEST(ANormalTest, NestedApplicationHoisted) {
+  // f (g x) must become let %anf = g x in f %anf.
+  CmdRef M = parseMain("ret (f (g x))");
+  EXPECT_FALSE(isANormalCmd(M));
+  CmdRef A = aNormalizeCmd(M);
+  EXPECT_TRUE(isANormalCmd(A));
+  const ExprRef &E = A->sub1();
+  ASSERT_EQ(E->kind(), Expr::Kind::Let);
+  EXPECT_EQ(E->sub1()->kind(), Expr::Kind::App); // g x
+  EXPECT_EQ(E->sub2()->kind(), Expr::Kind::App); // f %anf
+}
+
+TEST(ANormalTest, ArithmeticOperandsHoisted) {
+  CmdRef A = aNormalizeCmd(parseMain("ret ((1 + 2) * (3 + 4))"));
+  EXPECT_TRUE(isANormalCmd(A));
+}
+
+TEST(ANormalTest, PairOperandsHoisted) {
+  CmdRef A = aNormalizeCmd(parseMain("ret (f 1, g 2)"));
+  EXPECT_TRUE(isANormalCmd(A));
+}
+
+TEST(ANormalTest, IfzScrutineeHoistedBranchesRecursed) {
+  CmdRef A = aNormalizeCmd(parseMain("ret (ifz f 1 then g 2 else x. h x)"));
+  EXPECT_TRUE(isANormalCmd(A));
+}
+
+TEST(ANormalTest, CaseScrutineeHoisted) {
+  CmdRef A = aNormalizeCmd(
+      parseMain("ret (case f 1 of inl x => x | inr y => y)"));
+  EXPECT_TRUE(isANormalCmd(A));
+}
+
+TEST(ANormalTest, LambdaBodiesNormalized) {
+  CmdRef A = aNormalizeCmd(parseMain("ret (fn (x : nat) => f (g x))"));
+  EXPECT_TRUE(isANormalCmd(A));
+}
+
+TEST(ANormalTest, CommandSubexpressionsNormalized) {
+  CmdRef A = aNormalizeCmd(
+      parseMain("dcl c : nat := f (g 1) in c := h (k 2)"));
+  EXPECT_TRUE(isANormalCmd(A));
+}
+
+TEST(ANormalTest, IdempotentOnNormalForms) {
+  CmdRef A = aNormalizeCmd(parseMain("ret (f (g x))"));
+  CmdRef B = aNormalizeCmd(A);
+  EXPECT_TRUE(isANormalCmd(B));
+  // Second pass introduces no further lets.
+  EXPECT_EQ(Cmd::toString(A, dag::PriorityOrder::totalOrder(1)),
+            Cmd::toString(B, dag::PriorityOrder::totalOrder(1)));
+}
+
+TEST(ANormalTest, ProjectionChainsNormalized) {
+  CmdRef A = aNormalizeCmd(parseMain("ret (fst (snd (f p)))"));
+  EXPECT_TRUE(isANormalCmd(A));
+}
+
+} // namespace
+} // namespace repro::lambda4i

@@ -1,0 +1,84 @@
+//===- tests/lambda4i/lexer_test.cpp - Surface-syntax tokenizer -----------===//
+
+#include "lambda4i/Lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::lambda4i {
+namespace {
+
+std::vector<Tok> kinds(const std::string &Src) {
+  std::vector<Tok> Out;
+  for (const Token &T : tokenize(Src))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(LexerTest, EmptyInputIsJustEof) {
+  auto Ts = tokenize("");
+  ASSERT_EQ(Ts.size(), 1u);
+  EXPECT_EQ(Ts[0].Kind, Tok::Eof);
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto Ks = kinds("priority foo fcreate bar'");
+  EXPECT_EQ(Ks[0], Tok::KwPriority);
+  EXPECT_EQ(Ks[1], Tok::Ident);
+  EXPECT_EQ(Ks[2], Tok::KwFcreate);
+  EXPECT_EQ(Ks[3], Tok::Ident); // primes allowed in identifiers
+}
+
+TEST(LexerTest, IntegersCarryValues) {
+  auto Ts = tokenize("42 007");
+  EXPECT_EQ(Ts[0].IntValue, 42u);
+  EXPECT_EQ(Ts[1].IntValue, 7u);
+}
+
+TEST(LexerTest, MultiCharOperatorsWinOverSingle) {
+  auto Ks = kinds("<- <= -> => := < = - :");
+  std::vector<Tok> Expected{Tok::LArrow, Tok::Le,    Tok::Arrow,
+                            Tok::FatArrow, Tok::ColonEq, Tok::Lt,
+                            Tok::Eq,     Tok::Minus, Tok::Colon, Tok::Eof};
+  EXPECT_EQ(Ks, Expected);
+}
+
+TEST(LexerTest, CommentsIgnoredToEndOfLine) {
+  auto Ks = kinds("a -- this is a comment <- ignored\nb # also\nc");
+  std::vector<Tok> Expected{Tok::Ident, Tok::Ident, Tok::Ident, Tok::Eof};
+  EXPECT_EQ(Ks, Expected);
+}
+
+TEST(LexerTest, MinusNotACommentWhenSingle) {
+  auto Ks = kinds("a - b");
+  std::vector<Tok> Expected{Tok::Ident, Tok::Minus, Tok::Ident, Tok::Eof};
+  EXPECT_EQ(Ks, Expected);
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto Ts = tokenize("a\n  b");
+  EXPECT_EQ(Ts[0].Line, 1u);
+  EXPECT_EQ(Ts[0].Col, 1u);
+  EXPECT_EQ(Ts[1].Line, 2u);
+  EXPECT_EQ(Ts[1].Col, 3u);
+}
+
+TEST(LexerTest, UnexpectedCharacterProducesError) {
+  auto Ts = tokenize("a $ b");
+  bool SawError = false;
+  for (const Token &T : Ts)
+    SawError |= T.Kind == Tok::Error;
+  EXPECT_TRUE(SawError);
+}
+
+TEST(LexerTest, PunctuationSuite) {
+  auto Ks = kinds("( ) { } [ ] , ; . | @ ! * +");
+  std::vector<Tok> Expected{Tok::LParen,  Tok::RParen, Tok::LBrace,
+                            Tok::RBrace,  Tok::LBracket, Tok::RBracket,
+                            Tok::Comma,   Tok::Semi,   Tok::Dot,
+                            Tok::Pipe,    Tok::At,     Tok::Bang,
+                            Tok::Star,    Tok::Plus,   Tok::Eof};
+  EXPECT_EQ(Ks, Expected);
+}
+
+} // namespace
+} // namespace repro::lambda4i

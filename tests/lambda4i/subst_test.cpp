@@ -1,0 +1,99 @@
+//===- tests/lambda4i/subst_test.cpp - Substitution properties --------------===//
+
+#include "lambda4i/Parser.h"
+#include "lambda4i/Subst.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::lambda4i {
+namespace {
+
+ExprRef var(const char *X) { return Expr::makeVar(X); }
+
+TEST(SubstTest, ReplacesFreeVariable) {
+  ExprRef E = Expr::makePrim(PrimOp::Add, var("x"), var("y"));
+  ExprRef R = substExpr(E, "x", Expr::makeNat(3));
+  EXPECT_FALSE(occursFree(R, "x"));
+  EXPECT_TRUE(occursFree(R, "y"));
+}
+
+TEST(SubstTest, LambdaBinderShadows) {
+  // λx. x + y — substituting x must not touch the bound occurrence.
+  ExprRef Lam = Expr::makeLam(
+      "x", Type::nat(), Expr::makePrim(PrimOp::Add, var("x"), var("y")));
+  ExprRef R = substExpr(Lam, "x", Expr::makeNat(1));
+  EXPECT_EQ(R, Lam); // shadowed: untouched (shared node returned)
+}
+
+TEST(SubstTest, LetBinderShadowsOnlyBody) {
+  // let x = x in x: the bound expression's x is free, the body's is not.
+  ExprRef E = Expr::makeLet("x", var("x"), var("x"));
+  ExprRef R = substExpr(E, "x", Expr::makeNat(9));
+  EXPECT_EQ(R->sub1()->kind(), Expr::Kind::Nat);
+  EXPECT_EQ(R->sub2()->kind(), Expr::Kind::Var);
+}
+
+TEST(SubstTest, CaseBindersIndependent) {
+  ExprRef E = Expr::makeCase(var("s"), "x", var("x"), "y", var("x"));
+  ExprRef R = substExpr(E, "x", Expr::makeNat(5));
+  EXPECT_EQ(R->sub2()->kind(), Expr::Kind::Var); // left arm shadowed
+  EXPECT_EQ(R->sub3()->kind(), Expr::Kind::Nat); // right arm substituted
+}
+
+TEST(SubstTest, SubstitutionReachesIntoCommands) {
+  CmdRef M = Cmd::makeRet(var("x"));
+  ExprRef E = Expr::makeCmdVal(PrioExpr::constant(0), M);
+  ExprRef R = substExpr(E, "x", Expr::makeNat(7));
+  EXPECT_EQ(R->cmd()->sub1()->kind(), Expr::Kind::Nat);
+}
+
+TEST(SubstTest, DclBinderShadowsBody) {
+  CmdRef M = Cmd::makeDcl("r", Type::nat(), var("r"),
+                          Cmd::makeRet(var("r")));
+  CmdRef R = substCmd(M, "r", Expr::makeNat(2));
+  EXPECT_EQ(R->sub1()->kind(), Expr::Kind::Nat); // initializer: free
+  EXPECT_EQ(R->cmd()->sub1()->kind(), Expr::Kind::Var); // body: bound
+}
+
+TEST(SubstTest, NoOpOnClosedTerms) {
+  dag::PriorityOrder Order = dag::PriorityOrder::totalOrder(1);
+  ExprRef E = Expr::makeLam("x", Type::nat(), var("x"));
+  ExprRef R = substExpr(E, "z", Expr::makeNat(1));
+  EXPECT_EQ(Expr::toString(R, Order), Expr::toString(E, Order));
+}
+
+TEST(PrioSubstTest, SubstitutesIntoTypesAndCommands) {
+  // (Λπ. cmd[π]{ fcreate[π; nat]{ret 0}}) — instantiating π rewrites both
+  // the cmd annotation and the fcreate priority.
+  CmdRef Create = Cmd::makeCreate(PrioExpr::variable("pi"), Type::nat(),
+                                  Cmd::makeRet(Expr::makeNat(0)));
+  ExprRef Body = Expr::makeCmdVal(PrioExpr::variable("pi"),
+                                  Cmd::makeBind("h", Expr::makeCmdVal(
+                                      PrioExpr::variable("pi"), Create),
+                                      Cmd::makeRet(Expr::makeNat(1))));
+  ExprRef R = substPrioExpr(Body, "pi", PrioExpr::constant(2));
+  EXPECT_TRUE(R->prio().isConst());
+  EXPECT_EQ(R->prio().Id, 2u);
+}
+
+TEST(PrioSubstTest, NestedPrioLamShadows) {
+  ExprRef Inner = Expr::makePrioLam("pi", {}, var("x"));
+  ExprRef R = substPrioExpr(Inner, "pi", PrioExpr::constant(1));
+  EXPECT_EQ(R, Inner); // binder shadows: untouched
+}
+
+TEST(OccursFreeTest, WalksAllForms) {
+  auto Parsed = parseProgram(R"(
+priority p;
+main at p {
+  ret (let a = 1 in ifz a then b else c. c + a)
+})");
+  ASSERT_TRUE(Parsed.Ok) << Parsed.Error;
+  const ExprRef &E = Parsed.Prog.Main->sub1();
+  EXPECT_TRUE(occursFree(E, "b"));
+  EXPECT_FALSE(occursFree(E, "a")); // bound by the let
+  EXPECT_FALSE(occursFree(E, "c")); // bound by the ifz
+}
+
+} // namespace
+} // namespace repro::lambda4i

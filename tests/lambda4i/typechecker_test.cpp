@@ -1,0 +1,245 @@
+//===- tests/lambda4i/typechecker_test.cpp - The λ⁴ᵢ type system ----------===//
+
+#include "lambda4i/ANormal.h"
+#include "lambda4i/Parser.h"
+#include "lambda4i/TypeChecker.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::lambda4i {
+namespace {
+
+constexpr const char *Prelude = R"(
+priority low;
+priority mid;
+priority high;
+order low < mid;
+order mid < high;
+)";
+
+TypeCheckResult checkSrc(const std::string &Source) {
+  auto R = parseProgram(std::string(Prelude) + Source);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  if (!R.Ok)
+    return {nullptr, "parse error"};
+  // Check the A-normalized program, as the machine runs it.
+  Program P = R.Prog;
+  P.Main = aNormalizeCmd(P.Main);
+  return checkProgram(P);
+}
+
+TEST(TypeCheckTest, RetNatIsNat) {
+  auto R = checkSrc("main at high { ret 42 }");
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.Ty->kind(), Type::Kind::Nat);
+}
+
+TEST(TypeCheckTest, LambdaApplication) {
+  auto R = checkSrc("main at high { ret ((fn (x : nat) => x + 1) 2) }");
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.Ty->kind(), Type::Kind::Nat);
+}
+
+TEST(TypeCheckTest, PairsAndProjections) {
+  auto R = checkSrc("main at high { ret (fst (1, (2, 3)) + snd (snd (1, (2, 3)))) }");
+  ASSERT_TRUE(R) << R.Error;
+}
+
+TEST(TypeCheckTest, SumsAndCase) {
+  auto R = checkSrc(
+      "main at high { ret (case inl [unit] 3 of inl x => x | inr y => 0) }");
+  ASSERT_TRUE(R) << R.Error;
+}
+
+TEST(TypeCheckTest, FixTypesAtAnnotation) {
+  auto R = checkSrc(R"(
+fun fib (n : nat) : nat =
+  ifz n then 0 else p1.
+  ifz p1 then 1 else p2. fib p1 + fib p2;
+main at high { ret (fib 10) }
+)");
+  ASSERT_TRUE(R) << R.Error;
+}
+
+TEST(TypeCheckTest, DclGetSet) {
+  auto R = checkSrc(R"(
+main at high {
+  dcl c : nat := 0 in
+  x <- !c;
+  y <- c := x + 1;
+  ret y
+})");
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.Ty->kind(), Type::Kind::Nat);
+}
+
+TEST(TypeCheckTest, FcreateYieldsThreadHandle) {
+  auto R = checkSrc(R"(
+main at high {
+  h <- fcreate [high; nat] { ret 7 };
+  v <- ftouch h;
+  ret v
+})");
+  ASSERT_TRUE(R) << R.Error;
+}
+
+TEST(TypeCheckTest, TouchHigherPriorityAllowed) {
+  auto R = checkSrc(R"(
+main at low {
+  h <- fcreate [high; nat] { ret 7 };
+  v <- ftouch h;
+  ret v
+})");
+  ASSERT_TRUE(R) << R.Error;
+}
+
+TEST(TypeCheckTest, CreateLowerPriorityAllowed) {
+  // fcreate imposes no relation between parent and child priorities.
+  auto R = checkSrc(R"(
+main at high {
+  h <- fcreate [low; nat] { ret 7 };
+  ret 0
+})");
+  ASSERT_TRUE(R) << R.Error;
+}
+
+TEST(TypeCheckTest, HandlesThroughState) {
+  // The paper's motivating pattern: store a thread handle in a ref, read it
+  // back, touch it.
+  auto R = checkSrc(R"(
+main at high {
+  h <- fcreate [high; nat] { ret 1 };
+  dcl slot : nat thread [high] := h in
+  g <- !slot;
+  v <- ftouch g;
+  ret v
+})");
+  ASSERT_TRUE(R) << R.Error;
+}
+
+TEST(TypeCheckTest, CasOnNatCell) {
+  auto R = checkSrc(R"(
+main at high {
+  dcl c : nat := 0 in
+  won <- cas(c, 0, 1);
+  ret won
+})");
+  ASSERT_TRUE(R) << R.Error;
+}
+
+TEST(TypeCheckTest, PriorityPolymorphicIdentity) {
+  auto R = checkSrc(R"(
+main at high {
+  ret ((plam p (low <= p) => fn (x : nat) => x) @[mid] 3)
+})");
+  ASSERT_TRUE(R) << R.Error;
+}
+
+// --- rejections -----------------------------------------------------------
+
+TEST(TypeCheckRejectTest, PriorityInversionOnTouch) {
+  auto R = checkSrc(R"(
+main at high {
+  h <- fcreate [low; nat] { ret 7 };
+  v <- ftouch h;
+  ret v
+})");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("priority inversion"), std::string::npos);
+}
+
+TEST(TypeCheckRejectTest, IncomparableTouchRejected) {
+  auto R = parseProgram(R"(
+priority a;
+priority b;
+main at a {
+  h <- fcreate [b; nat] { ret 7 };
+  v <- ftouch h;
+  ret v
+})");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  auto C = checkProgram(R.Prog);
+  EXPECT_FALSE(C);
+}
+
+TEST(TypeCheckRejectTest, InversionThroughStateStillCaught) {
+  // Even when the handle flows through a ref, the handle's *type* carries
+  // its priority, so the bad touch is rejected.
+  auto R = checkSrc(R"(
+main at high {
+  h <- fcreate [low; nat] { ret 1 };
+  dcl slot : nat thread [low] := h in
+  g <- !slot;
+  v <- ftouch g;
+  ret v
+})");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("priority inversion"), std::string::npos);
+}
+
+TEST(TypeCheckRejectTest, UnboundVariable) {
+  auto R = checkSrc("main at high { ret nosuch }");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("unbound"), std::string::npos);
+}
+
+TEST(TypeCheckRejectTest, BranchTypeMismatch) {
+  auto R = checkSrc("main at high { ret (ifz 1 then 0 else x. ()) }");
+  EXPECT_FALSE(R);
+}
+
+TEST(TypeCheckRejectTest, ApplyNonFunction) {
+  auto R = checkSrc("main at high { ret (3 4) }");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("non-function"), std::string::npos);
+}
+
+TEST(TypeCheckRejectTest, WrongArgumentType) {
+  auto R = checkSrc("main at high { ret ((fn (x : nat) => x) ()) }");
+  EXPECT_FALSE(R);
+}
+
+TEST(TypeCheckRejectTest, SetTypeMismatch) {
+  auto R = checkSrc("main at high { dcl c : nat := 0 in c := () }");
+  EXPECT_FALSE(R);
+}
+
+TEST(TypeCheckRejectTest, DclInitializerMismatch) {
+  auto R = checkSrc("main at high { dcl c : nat := () in ret 0 }");
+  EXPECT_FALSE(R);
+}
+
+TEST(TypeCheckRejectTest, BindPriorityMismatch) {
+  // Binding a low-priority command inside a high-priority context violates
+  // the Bind rule's priority agreement.
+  auto R = checkSrc(R"(
+main at high {
+  x <- (cmd [low] { ret 1 });
+  ret x
+})");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("priority"), std::string::npos);
+}
+
+TEST(TypeCheckRejectTest, FcreateBodyTypeMismatch) {
+  auto R = checkSrc("main at high { h <- fcreate [high; nat] { ret () }; ret 0 }");
+  EXPECT_FALSE(R);
+}
+
+TEST(TypeCheckRejectTest, PolymorphicConstraintViolated) {
+  // Instantiating with a priority that does not satisfy mid <= p.
+  auto R = checkSrc(R"(
+main at high {
+  ret ((plam p (mid <= p) => fn (x : nat) => x) @[low] 3)
+})");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("constraint"), std::string::npos);
+}
+
+TEST(TypeCheckRejectTest, CasOperandMismatch) {
+  auto R = checkSrc("main at high { dcl c : nat := 0 in won <- cas(c, (), 1); ret won }");
+  EXPECT_FALSE(R);
+}
+
+} // namespace
+} // namespace repro::lambda4i

@@ -1,0 +1,62 @@
+//===- tests/support/argparse_test.cpp - Flag parsing ----------------------===//
+
+#include "support/ArgParse.h"
+
+#include <gtest/gtest.h>
+
+namespace repro {
+namespace {
+
+ArgMap parseArgs(std::initializer_list<const char *> Args) {
+  std::vector<const char *> Argv{"prog"};
+  Argv.insert(Argv.end(), Args.begin(), Args.end());
+  return ArgMap::parse(static_cast<int>(Argv.size()), Argv.data());
+}
+
+TEST(ArgParseTest, KeyValuePairs) {
+  ArgMap M = parseArgs({"--app=proxy", "--connections=120"});
+  EXPECT_EQ(M.getString("app"), "proxy");
+  EXPECT_EQ(M.getInt("connections", 0), 120);
+}
+
+TEST(ArgParseTest, DefaultsWhenAbsent) {
+  ArgMap M = parseArgs({});
+  EXPECT_EQ(M.getString("app", "email"), "email");
+  EXPECT_EQ(M.getInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(M.getDouble("rate", 2.5), 2.5);
+  EXPECT_FALSE(M.has("anything"));
+}
+
+TEST(ArgParseTest, BareFlagIsBooleanTrue) {
+  ArgMap M = parseArgs({"--verbose"});
+  EXPECT_TRUE(M.has("verbose"));
+  EXPECT_TRUE(M.getBool("verbose"));
+}
+
+TEST(ArgParseTest, ExplicitBooleans) {
+  ArgMap M = parseArgs({"--a=true", "--b=0", "--c=yes", "--d=off"});
+  EXPECT_TRUE(M.getBool("a"));
+  EXPECT_FALSE(M.getBool("b"));
+  EXPECT_TRUE(M.getBool("c"));
+  EXPECT_FALSE(M.getBool("d"));
+}
+
+TEST(ArgParseTest, PositionalArguments) {
+  ArgMap M = parseArgs({"file1", "--k=v", "file2"});
+  ASSERT_EQ(M.positional().size(), 2u);
+  EXPECT_EQ(M.positional()[0], "file1");
+  EXPECT_EQ(M.positional()[1], "file2");
+}
+
+TEST(ArgParseTest, MalformedIntFallsBackToDefault) {
+  ArgMap M = parseArgs({"--n=abc"});
+  EXPECT_EQ(M.getInt("n", 9), 9);
+}
+
+TEST(ArgParseTest, DoubleValues) {
+  ArgMap M = parseArgs({"--rate=0.75"});
+  EXPECT_DOUBLE_EQ(M.getDouble("rate", 0), 0.75);
+}
+
+} // namespace
+} // namespace repro

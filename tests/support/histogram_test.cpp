@@ -1,0 +1,52 @@
+//===- tests/support/histogram_test.cpp - Histogram ------------------------===//
+
+#include "support/Histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace repro {
+namespace {
+
+TEST(HistogramTest, BucketsValuesLinearly) {
+  Histogram H(0, 10, 10);
+  H.add(0.5);
+  H.add(9.5);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(9), 1u);
+  EXPECT_EQ(H.total(), 2u);
+}
+
+TEST(HistogramTest, UnderAndOverflow) {
+  Histogram H(0, 10, 5);
+  H.add(-1);
+  H.add(10);
+  H.add(100);
+  EXPECT_EQ(H.underflow(), 1u);
+  EXPECT_EQ(H.overflow(), 2u);
+  EXPECT_EQ(H.total(), 3u);
+}
+
+TEST(HistogramTest, BoundaryValueGoesToUpperBucket) {
+  Histogram H(0, 10, 10);
+  H.add(1.0); // exactly the edge between bucket 0 and 1
+  EXPECT_EQ(H.bucketCount(1), 1u);
+}
+
+TEST(HistogramTest, LowerEdges) {
+  Histogram H(0, 100, 4);
+  EXPECT_DOUBLE_EQ(H.bucketLowerEdge(0), 0.0);
+  EXPECT_DOUBLE_EQ(H.bucketLowerEdge(1), 25.0);
+  EXPECT_DOUBLE_EQ(H.bucketLowerEdge(3), 75.0);
+}
+
+TEST(HistogramTest, RenderShowsBars) {
+  Histogram H(0, 2, 2);
+  H.add(0.1);
+  H.add(0.2);
+  H.add(1.5);
+  std::string Out = H.render(10);
+  EXPECT_NE(Out.find("##########"), std::string::npos); // full-width bar
+}
+
+} // namespace
+} // namespace repro

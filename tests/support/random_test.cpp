@@ -1,0 +1,136 @@
+//===- tests/support/random_test.cpp - PRNG and distributions -------------===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace repro {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += A.next() == B.next() ? 1 : 0;
+  EXPECT_LT(Same, 3);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng R(7);
+  for (uint64_t Bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng R(9);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(R.nextBelow(1), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(11);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng R(13);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng R(17);
+  double Sum = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Sum += R.nextDouble();
+  EXPECT_NEAR(Sum / N, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng R(19);
+  const double Rate = 4.0;
+  double Sum = 0;
+  const int N = 50000;
+  for (int I = 0; I < N; ++I)
+    Sum += R.nextExponential(Rate);
+  EXPECT_NEAR(Sum / N, 1.0 / Rate, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng R(23);
+  int Hits = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Hits += R.nextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.3, 0.02);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng A(31);
+  Rng B = A.split();
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += A.next() == B.next() ? 1 : 0;
+  EXPECT_LT(Same, 3);
+}
+
+TEST(SplitMix64Test, KnownToDiffer) {
+  uint64_t S1 = 0, S2 = 1;
+  EXPECT_NE(splitMix64(S1), splitMix64(S2));
+}
+
+TEST(ZipfTest, SampleInDomain) {
+  Rng R(37);
+  ZipfSampler Z(50, 1.0);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(Z.sample(R), 50u);
+}
+
+TEST(ZipfTest, SkewFavorsSmallIndices) {
+  Rng R(41);
+  ZipfSampler Z(100, 1.2);
+  std::array<int, 100> Counts{};
+  for (int I = 0; I < 50000; ++I)
+    ++Counts[Z.sample(R)];
+  // Index 0 should dominate index 50 heavily under a 1.2 skew.
+  EXPECT_GT(Counts[0], Counts[50] * 5);
+}
+
+TEST(ZipfTest, ZeroSkewIsUniformish) {
+  Rng R(43);
+  ZipfSampler Z(10, 0.0);
+  std::array<int, 10> Counts{};
+  const int N = 50000;
+  for (int I = 0; I < N; ++I)
+    ++Counts[Z.sample(R)];
+  for (int C : Counts)
+    EXPECT_NEAR(static_cast<double>(C) / N, 0.1, 0.02);
+}
+
+} // namespace
+} // namespace repro

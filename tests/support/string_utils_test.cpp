@@ -1,0 +1,71 @@
+//===- tests/support/string_utils_test.cpp - String helpers ---------------===//
+
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+namespace repro {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  auto Parts = splitString("a,b,c", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "c");
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  auto Parts = splitString("a,,c,", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[1], "");
+  EXPECT_EQ(Parts[3], "");
+}
+
+TEST(SplitTest, NoSeparatorYieldsWhole) {
+  auto Parts = splitString("abc", ',');
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0], "abc");
+}
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi\t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(PrefixSuffixTest, Matches) {
+  EXPECT_TRUE(startsWith("--flag", "--"));
+  EXPECT_FALSE(startsWith("-", "--"));
+  EXPECT_TRUE(endsWith("file.cpp", ".cpp"));
+  EXPECT_FALSE(endsWith("cpp", ".cpp"));
+}
+
+TEST(ParseIntTest, ValidAndInvalid) {
+  EXPECT_EQ(parseInt("42").value(), 42);
+  EXPECT_EQ(parseInt("-7").value(), -7);
+  EXPECT_FALSE(parseInt("").has_value());
+  EXPECT_FALSE(parseInt("4x").has_value());
+  EXPECT_FALSE(parseInt("x4").has_value());
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(parseDouble("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parseDouble("-1e3").value(), -1000.0);
+  EXPECT_FALSE(parseDouble("").has_value());
+  EXPECT_FALSE(parseDouble("1.5junk").has_value());
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ","), "");
+  EXPECT_EQ(joinStrings({"x"}, ","), "x");
+}
+
+TEST(FormatFixedTest, Precision) {
+  EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(formatFixed(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace repro

@@ -1,0 +1,46 @@
+//===- tests/support/timer_test.cpp - Timing helpers -----------------------===//
+
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+namespace repro {
+namespace {
+
+TEST(TimerTest, NowIsMonotonic) {
+  uint64_t A = nowNanos();
+  uint64_t B = nowNanos();
+  EXPECT_LE(A, B);
+}
+
+TEST(TimerTest, MicrosDerivedFromNanos) {
+  uint64_t Micros = nowMicros();
+  uint64_t Nanos = nowNanos();
+  EXPECT_LE(Micros, Nanos / 1000 + 1);
+}
+
+TEST(TimerTest, SpinForTakesAtLeastRequested) {
+  uint64_t Start = nowMicros();
+  spinFor(1000);
+  uint64_t Elapsed = nowMicros() - Start;
+  EXPECT_GE(Elapsed, 1000u);
+  // Sanity upper bound: a 1ms spin should not take half a second.
+  EXPECT_LT(Elapsed, 500000u);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch W;
+  spinFor(2000);
+  EXPECT_GE(W.elapsedMicros(), 2000.0);
+  EXPECT_GE(W.elapsedMillis(), 2.0);
+}
+
+TEST(StopwatchTest, ResetRestarts) {
+  Stopwatch W;
+  spinFor(2000);
+  W.reset();
+  EXPECT_LT(W.elapsedMicros(), 2000.0);
+}
+
+} // namespace
+} // namespace repro
