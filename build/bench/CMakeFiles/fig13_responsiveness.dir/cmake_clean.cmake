@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_responsiveness.dir/fig13_responsiveness.cpp.o"
+  "CMakeFiles/fig13_responsiveness.dir/fig13_responsiveness.cpp.o.d"
+  "fig13_responsiveness"
+  "fig13_responsiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_responsiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_compute.dir/fig14_compute.cpp.o"
+  "CMakeFiles/fig14_compute.dir/fig14_compute.cpp.o.d"
+  "fig14_compute"
+  "fig14_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_compute.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_runtime.dir/micro_runtime.cpp.o"
+  "CMakeFiles/micro_runtime.dir/micro_runtime.cpp.o.d"
+  "micro_runtime"
+  "micro_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_compile.dir/table1_compile.cpp.o"
+  "CMakeFiles/table1_compile.dir/table1_compile.cpp.o.d"
+  "table1_compile"
+  "table1_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

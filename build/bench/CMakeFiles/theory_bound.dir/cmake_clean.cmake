@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_bound.dir/theory_bound.cpp.o"
+  "CMakeFiles/theory_bound.dir/theory_bound.cpp.o.d"
+  "theory_bound"
+  "theory_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for theory_bound.
+# This may be replaced when dependencies are built.

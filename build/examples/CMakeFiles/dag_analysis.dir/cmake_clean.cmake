@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_analysis.dir/dag_analysis.cpp.o"
+  "CMakeFiles/dag_analysis.dir/dag_analysis.cpp.o.d"
+  "dag_analysis"
+  "dag_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

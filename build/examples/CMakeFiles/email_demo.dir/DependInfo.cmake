@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/email_demo.cpp" "examples/CMakeFiles/email_demo.dir/email_demo.cpp.o" "gcc" "examples/CMakeFiles/email_demo.dir/email_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/repro_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/icilk/CMakeFiles/repro_icilk.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/repro_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

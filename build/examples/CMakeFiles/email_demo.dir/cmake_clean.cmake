@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/email_demo.dir/email_demo.cpp.o"
+  "CMakeFiles/email_demo.dir/email_demo.cpp.o.d"
+  "email_demo"
+  "email_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/email_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobserver_demo.dir/jobserver_demo.cpp.o"
+  "CMakeFiles/jobserver_demo.dir/jobserver_demo.cpp.o.d"
+  "jobserver_demo"
+  "jobserver_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobserver_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

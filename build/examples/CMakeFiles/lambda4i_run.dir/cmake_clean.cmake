@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lambda4i_run.dir/lambda4i_run.cpp.o"
+  "CMakeFiles/lambda4i_run.dir/lambda4i_run.cpp.o.d"
+  "lambda4i_run"
+  "lambda4i_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lambda4i_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

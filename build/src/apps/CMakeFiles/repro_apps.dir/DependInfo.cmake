@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/AppCommon.cpp" "src/apps/CMakeFiles/repro_apps.dir/AppCommon.cpp.o" "gcc" "src/apps/CMakeFiles/repro_apps.dir/AppCommon.cpp.o.d"
+  "/root/repo/src/apps/Email.cpp" "src/apps/CMakeFiles/repro_apps.dir/Email.cpp.o" "gcc" "src/apps/CMakeFiles/repro_apps.dir/Email.cpp.o.d"
+  "/root/repo/src/apps/Huffman.cpp" "src/apps/CMakeFiles/repro_apps.dir/Huffman.cpp.o" "gcc" "src/apps/CMakeFiles/repro_apps.dir/Huffman.cpp.o.d"
+  "/root/repo/src/apps/JobServer.cpp" "src/apps/CMakeFiles/repro_apps.dir/JobServer.cpp.o" "gcc" "src/apps/CMakeFiles/repro_apps.dir/JobServer.cpp.o.d"
+  "/root/repo/src/apps/Kernels.cpp" "src/apps/CMakeFiles/repro_apps.dir/Kernels.cpp.o" "gcc" "src/apps/CMakeFiles/repro_apps.dir/Kernels.cpp.o.d"
+  "/root/repo/src/apps/Proxy.cpp" "src/apps/CMakeFiles/repro_apps.dir/Proxy.cpp.o" "gcc" "src/apps/CMakeFiles/repro_apps.dir/Proxy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/icilk/CMakeFiles/repro_icilk.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/repro_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_apps.dir/AppCommon.cpp.o"
+  "CMakeFiles/repro_apps.dir/AppCommon.cpp.o.d"
+  "CMakeFiles/repro_apps.dir/Email.cpp.o"
+  "CMakeFiles/repro_apps.dir/Email.cpp.o.d"
+  "CMakeFiles/repro_apps.dir/Huffman.cpp.o"
+  "CMakeFiles/repro_apps.dir/Huffman.cpp.o.d"
+  "CMakeFiles/repro_apps.dir/JobServer.cpp.o"
+  "CMakeFiles/repro_apps.dir/JobServer.cpp.o.d"
+  "CMakeFiles/repro_apps.dir/Kernels.cpp.o"
+  "CMakeFiles/repro_apps.dir/Kernels.cpp.o.d"
+  "CMakeFiles/repro_apps.dir/Proxy.cpp.o"
+  "CMakeFiles/repro_apps.dir/Proxy.cpp.o.d"
+  "librepro_apps.a"
+  "librepro_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

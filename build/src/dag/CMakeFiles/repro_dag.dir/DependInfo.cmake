@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/Analysis.cpp" "src/dag/CMakeFiles/repro_dag.dir/Analysis.cpp.o" "gcc" "src/dag/CMakeFiles/repro_dag.dir/Analysis.cpp.o.d"
+  "/root/repo/src/dag/Dot.cpp" "src/dag/CMakeFiles/repro_dag.dir/Dot.cpp.o" "gcc" "src/dag/CMakeFiles/repro_dag.dir/Dot.cpp.o.d"
+  "/root/repo/src/dag/Graph.cpp" "src/dag/CMakeFiles/repro_dag.dir/Graph.cpp.o" "gcc" "src/dag/CMakeFiles/repro_dag.dir/Graph.cpp.o.d"
+  "/root/repo/src/dag/PaperFigures.cpp" "src/dag/CMakeFiles/repro_dag.dir/PaperFigures.cpp.o" "gcc" "src/dag/CMakeFiles/repro_dag.dir/PaperFigures.cpp.o.d"
+  "/root/repo/src/dag/Priority.cpp" "src/dag/CMakeFiles/repro_dag.dir/Priority.cpp.o" "gcc" "src/dag/CMakeFiles/repro_dag.dir/Priority.cpp.o.d"
+  "/root/repo/src/dag/RandomDag.cpp" "src/dag/CMakeFiles/repro_dag.dir/RandomDag.cpp.o" "gcc" "src/dag/CMakeFiles/repro_dag.dir/RandomDag.cpp.o.d"
+  "/root/repo/src/dag/Schedule.cpp" "src/dag/CMakeFiles/repro_dag.dir/Schedule.cpp.o" "gcc" "src/dag/CMakeFiles/repro_dag.dir/Schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_dag.dir/Analysis.cpp.o"
+  "CMakeFiles/repro_dag.dir/Analysis.cpp.o.d"
+  "CMakeFiles/repro_dag.dir/Dot.cpp.o"
+  "CMakeFiles/repro_dag.dir/Dot.cpp.o.d"
+  "CMakeFiles/repro_dag.dir/Graph.cpp.o"
+  "CMakeFiles/repro_dag.dir/Graph.cpp.o.d"
+  "CMakeFiles/repro_dag.dir/PaperFigures.cpp.o"
+  "CMakeFiles/repro_dag.dir/PaperFigures.cpp.o.d"
+  "CMakeFiles/repro_dag.dir/Priority.cpp.o"
+  "CMakeFiles/repro_dag.dir/Priority.cpp.o.d"
+  "CMakeFiles/repro_dag.dir/RandomDag.cpp.o"
+  "CMakeFiles/repro_dag.dir/RandomDag.cpp.o.d"
+  "CMakeFiles/repro_dag.dir/Schedule.cpp.o"
+  "CMakeFiles/repro_dag.dir/Schedule.cpp.o.d"
+  "librepro_dag.a"
+  "librepro_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

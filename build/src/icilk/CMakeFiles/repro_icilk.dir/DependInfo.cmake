@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/icilk/IoService.cpp" "src/icilk/CMakeFiles/repro_icilk.dir/IoService.cpp.o" "gcc" "src/icilk/CMakeFiles/repro_icilk.dir/IoService.cpp.o.d"
+  "/root/repo/src/icilk/Runtime.cpp" "src/icilk/CMakeFiles/repro_icilk.dir/Runtime.cpp.o" "gcc" "src/icilk/CMakeFiles/repro_icilk.dir/Runtime.cpp.o.d"
+  "/root/repo/src/icilk/Task.cpp" "src/icilk/CMakeFiles/repro_icilk.dir/Task.cpp.o" "gcc" "src/icilk/CMakeFiles/repro_icilk.dir/Task.cpp.o.d"
+  "/root/repo/src/icilk/Trace.cpp" "src/icilk/CMakeFiles/repro_icilk.dir/Trace.cpp.o" "gcc" "src/icilk/CMakeFiles/repro_icilk.dir/Trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/repro_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

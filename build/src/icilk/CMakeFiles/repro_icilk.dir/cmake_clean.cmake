@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_icilk.dir/IoService.cpp.o"
+  "CMakeFiles/repro_icilk.dir/IoService.cpp.o.d"
+  "CMakeFiles/repro_icilk.dir/Runtime.cpp.o"
+  "CMakeFiles/repro_icilk.dir/Runtime.cpp.o.d"
+  "CMakeFiles/repro_icilk.dir/Task.cpp.o"
+  "CMakeFiles/repro_icilk.dir/Task.cpp.o.d"
+  "CMakeFiles/repro_icilk.dir/Trace.cpp.o"
+  "CMakeFiles/repro_icilk.dir/Trace.cpp.o.d"
+  "librepro_icilk.a"
+  "librepro_icilk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_icilk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

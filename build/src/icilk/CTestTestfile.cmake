@@ -1,0 +1,6 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/icilk
+# Build directory: /root/repo/build/src/icilk
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.

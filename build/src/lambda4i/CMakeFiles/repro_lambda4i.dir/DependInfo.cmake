@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lambda4i/ANormal.cpp" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/ANormal.cpp.o" "gcc" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/ANormal.cpp.o.d"
+  "/root/repo/src/lambda4i/Ast.cpp" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/Ast.cpp.o" "gcc" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/Ast.cpp.o.d"
+  "/root/repo/src/lambda4i/Lexer.cpp" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/Lexer.cpp.o" "gcc" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/Lexer.cpp.o.d"
+  "/root/repo/src/lambda4i/Machine.cpp" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/Machine.cpp.o" "gcc" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/Machine.cpp.o.d"
+  "/root/repo/src/lambda4i/Parser.cpp" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/Parser.cpp.o" "gcc" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/Parser.cpp.o.d"
+  "/root/repo/src/lambda4i/Prio.cpp" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/Prio.cpp.o" "gcc" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/Prio.cpp.o.d"
+  "/root/repo/src/lambda4i/Subst.cpp" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/Subst.cpp.o" "gcc" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/Subst.cpp.o.d"
+  "/root/repo/src/lambda4i/Type.cpp" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/Type.cpp.o" "gcc" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/Type.cpp.o.d"
+  "/root/repo/src/lambda4i/TypeChecker.cpp" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/TypeChecker.cpp.o" "gcc" "src/lambda4i/CMakeFiles/repro_lambda4i.dir/TypeChecker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/repro_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

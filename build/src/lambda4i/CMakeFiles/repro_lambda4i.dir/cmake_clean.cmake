@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_lambda4i.dir/ANormal.cpp.o"
+  "CMakeFiles/repro_lambda4i.dir/ANormal.cpp.o.d"
+  "CMakeFiles/repro_lambda4i.dir/Ast.cpp.o"
+  "CMakeFiles/repro_lambda4i.dir/Ast.cpp.o.d"
+  "CMakeFiles/repro_lambda4i.dir/Lexer.cpp.o"
+  "CMakeFiles/repro_lambda4i.dir/Lexer.cpp.o.d"
+  "CMakeFiles/repro_lambda4i.dir/Machine.cpp.o"
+  "CMakeFiles/repro_lambda4i.dir/Machine.cpp.o.d"
+  "CMakeFiles/repro_lambda4i.dir/Parser.cpp.o"
+  "CMakeFiles/repro_lambda4i.dir/Parser.cpp.o.d"
+  "CMakeFiles/repro_lambda4i.dir/Prio.cpp.o"
+  "CMakeFiles/repro_lambda4i.dir/Prio.cpp.o.d"
+  "CMakeFiles/repro_lambda4i.dir/Subst.cpp.o"
+  "CMakeFiles/repro_lambda4i.dir/Subst.cpp.o.d"
+  "CMakeFiles/repro_lambda4i.dir/Type.cpp.o"
+  "CMakeFiles/repro_lambda4i.dir/Type.cpp.o.d"
+  "CMakeFiles/repro_lambda4i.dir/TypeChecker.cpp.o"
+  "CMakeFiles/repro_lambda4i.dir/TypeChecker.cpp.o.d"
+  "librepro_lambda4i.a"
+  "librepro_lambda4i.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_lambda4i.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

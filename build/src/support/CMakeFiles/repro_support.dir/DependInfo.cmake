@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/ArgParse.cpp" "src/support/CMakeFiles/repro_support.dir/ArgParse.cpp.o" "gcc" "src/support/CMakeFiles/repro_support.dir/ArgParse.cpp.o.d"
+  "/root/repo/src/support/Histogram.cpp" "src/support/CMakeFiles/repro_support.dir/Histogram.cpp.o" "gcc" "src/support/CMakeFiles/repro_support.dir/Histogram.cpp.o.d"
+  "/root/repo/src/support/Logging.cpp" "src/support/CMakeFiles/repro_support.dir/Logging.cpp.o" "gcc" "src/support/CMakeFiles/repro_support.dir/Logging.cpp.o.d"
+  "/root/repo/src/support/Random.cpp" "src/support/CMakeFiles/repro_support.dir/Random.cpp.o" "gcc" "src/support/CMakeFiles/repro_support.dir/Random.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "src/support/CMakeFiles/repro_support.dir/Stats.cpp.o" "gcc" "src/support/CMakeFiles/repro_support.dir/Stats.cpp.o.d"
+  "/root/repo/src/support/StringUtils.cpp" "src/support/CMakeFiles/repro_support.dir/StringUtils.cpp.o" "gcc" "src/support/CMakeFiles/repro_support.dir/StringUtils.cpp.o.d"
+  "/root/repo/src/support/Timer.cpp" "src/support/CMakeFiles/repro_support.dir/Timer.cpp.o" "gcc" "src/support/CMakeFiles/repro_support.dir/Timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

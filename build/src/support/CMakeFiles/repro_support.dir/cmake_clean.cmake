@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_support.dir/ArgParse.cpp.o"
+  "CMakeFiles/repro_support.dir/ArgParse.cpp.o.d"
+  "CMakeFiles/repro_support.dir/Histogram.cpp.o"
+  "CMakeFiles/repro_support.dir/Histogram.cpp.o.d"
+  "CMakeFiles/repro_support.dir/Logging.cpp.o"
+  "CMakeFiles/repro_support.dir/Logging.cpp.o.d"
+  "CMakeFiles/repro_support.dir/Random.cpp.o"
+  "CMakeFiles/repro_support.dir/Random.cpp.o.d"
+  "CMakeFiles/repro_support.dir/Stats.cpp.o"
+  "CMakeFiles/repro_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/repro_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/repro_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/repro_support.dir/Timer.cpp.o"
+  "CMakeFiles/repro_support.dir/Timer.cpp.o.d"
+  "librepro_support.a"
+  "librepro_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

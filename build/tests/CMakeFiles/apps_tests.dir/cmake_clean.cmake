@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_tests.dir/apps/apps_test.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/apps_test.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/huffman_test.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/huffman_test.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/kernels_test.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/kernels_test.cpp.o.d"
+  "apps_tests"
+  "apps_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

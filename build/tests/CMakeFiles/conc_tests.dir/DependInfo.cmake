@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/conc/deque_test.cpp" "tests/CMakeFiles/conc_tests.dir/conc/deque_test.cpp.o" "gcc" "tests/CMakeFiles/conc_tests.dir/conc/deque_test.cpp.o.d"
+  "/root/repo/tests/conc/hashmap_test.cpp" "tests/CMakeFiles/conc_tests.dir/conc/hashmap_test.cpp.o" "gcc" "tests/CMakeFiles/conc_tests.dir/conc/hashmap_test.cpp.o.d"
+  "/root/repo/tests/conc/mpmc_queue_test.cpp" "tests/CMakeFiles/conc_tests.dir/conc/mpmc_queue_test.cpp.o" "gcc" "tests/CMakeFiles/conc_tests.dir/conc/mpmc_queue_test.cpp.o.d"
+  "/root/repo/tests/conc/stack_test.cpp" "tests/CMakeFiles/conc_tests.dir/conc/stack_test.cpp.o" "gcc" "tests/CMakeFiles/conc_tests.dir/conc/stack_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conc_tests.dir/conc/deque_test.cpp.o"
+  "CMakeFiles/conc_tests.dir/conc/deque_test.cpp.o.d"
+  "CMakeFiles/conc_tests.dir/conc/hashmap_test.cpp.o"
+  "CMakeFiles/conc_tests.dir/conc/hashmap_test.cpp.o.d"
+  "CMakeFiles/conc_tests.dir/conc/mpmc_queue_test.cpp.o"
+  "CMakeFiles/conc_tests.dir/conc/mpmc_queue_test.cpp.o.d"
+  "CMakeFiles/conc_tests.dir/conc/stack_test.cpp.o"
+  "CMakeFiles/conc_tests.dir/conc/stack_test.cpp.o.d"
+  "conc_tests"
+  "conc_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

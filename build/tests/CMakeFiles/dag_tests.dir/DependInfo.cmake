@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dag/analysis_test.cpp" "tests/CMakeFiles/dag_tests.dir/dag/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/dag_tests.dir/dag/analysis_test.cpp.o.d"
+  "/root/repo/tests/dag/bound_property_test.cpp" "tests/CMakeFiles/dag_tests.dir/dag/bound_property_test.cpp.o" "gcc" "tests/CMakeFiles/dag_tests.dir/dag/bound_property_test.cpp.o.d"
+  "/root/repo/tests/dag/graph_test.cpp" "tests/CMakeFiles/dag_tests.dir/dag/graph_test.cpp.o" "gcc" "tests/CMakeFiles/dag_tests.dir/dag/graph_test.cpp.o.d"
+  "/root/repo/tests/dag/paper_figures_test.cpp" "tests/CMakeFiles/dag_tests.dir/dag/paper_figures_test.cpp.o" "gcc" "tests/CMakeFiles/dag_tests.dir/dag/paper_figures_test.cpp.o.d"
+  "/root/repo/tests/dag/priority_test.cpp" "tests/CMakeFiles/dag_tests.dir/dag/priority_test.cpp.o" "gcc" "tests/CMakeFiles/dag_tests.dir/dag/priority_test.cpp.o.d"
+  "/root/repo/tests/dag/random_dag_test.cpp" "tests/CMakeFiles/dag_tests.dir/dag/random_dag_test.cpp.o" "gcc" "tests/CMakeFiles/dag_tests.dir/dag/random_dag_test.cpp.o.d"
+  "/root/repo/tests/dag/schedule_test.cpp" "tests/CMakeFiles/dag_tests.dir/dag/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/dag_tests.dir/dag/schedule_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/repro_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

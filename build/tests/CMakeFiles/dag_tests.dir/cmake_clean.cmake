@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_tests.dir/dag/analysis_test.cpp.o"
+  "CMakeFiles/dag_tests.dir/dag/analysis_test.cpp.o.d"
+  "CMakeFiles/dag_tests.dir/dag/bound_property_test.cpp.o"
+  "CMakeFiles/dag_tests.dir/dag/bound_property_test.cpp.o.d"
+  "CMakeFiles/dag_tests.dir/dag/graph_test.cpp.o"
+  "CMakeFiles/dag_tests.dir/dag/graph_test.cpp.o.d"
+  "CMakeFiles/dag_tests.dir/dag/paper_figures_test.cpp.o"
+  "CMakeFiles/dag_tests.dir/dag/paper_figures_test.cpp.o.d"
+  "CMakeFiles/dag_tests.dir/dag/priority_test.cpp.o"
+  "CMakeFiles/dag_tests.dir/dag/priority_test.cpp.o.d"
+  "CMakeFiles/dag_tests.dir/dag/random_dag_test.cpp.o"
+  "CMakeFiles/dag_tests.dir/dag/random_dag_test.cpp.o.d"
+  "CMakeFiles/dag_tests.dir/dag/schedule_test.cpp.o"
+  "CMakeFiles/dag_tests.dir/dag/schedule_test.cpp.o.d"
+  "dag_tests"
+  "dag_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

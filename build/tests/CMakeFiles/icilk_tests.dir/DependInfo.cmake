@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/icilk/io_service_test.cpp" "tests/CMakeFiles/icilk_tests.dir/icilk/io_service_test.cpp.o" "gcc" "tests/CMakeFiles/icilk_tests.dir/icilk/io_service_test.cpp.o.d"
+  "/root/repo/tests/icilk/priority_static_test.cpp" "tests/CMakeFiles/icilk_tests.dir/icilk/priority_static_test.cpp.o" "gcc" "tests/CMakeFiles/icilk_tests.dir/icilk/priority_static_test.cpp.o.d"
+  "/root/repo/tests/icilk/runtime_test.cpp" "tests/CMakeFiles/icilk_tests.dir/icilk/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/icilk_tests.dir/icilk/runtime_test.cpp.o.d"
+  "/root/repo/tests/icilk/scheduler_test.cpp" "tests/CMakeFiles/icilk_tests.dir/icilk/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/icilk_tests.dir/icilk/scheduler_test.cpp.o.d"
+  "/root/repo/tests/icilk/trace_test.cpp" "tests/CMakeFiles/icilk_tests.dir/icilk/trace_test.cpp.o" "gcc" "tests/CMakeFiles/icilk_tests.dir/icilk/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/icilk/CMakeFiles/repro_icilk.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/repro_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

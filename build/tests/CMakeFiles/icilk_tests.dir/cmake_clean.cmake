@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icilk_tests.dir/icilk/io_service_test.cpp.o"
+  "CMakeFiles/icilk_tests.dir/icilk/io_service_test.cpp.o.d"
+  "CMakeFiles/icilk_tests.dir/icilk/priority_static_test.cpp.o"
+  "CMakeFiles/icilk_tests.dir/icilk/priority_static_test.cpp.o.d"
+  "CMakeFiles/icilk_tests.dir/icilk/runtime_test.cpp.o"
+  "CMakeFiles/icilk_tests.dir/icilk/runtime_test.cpp.o.d"
+  "CMakeFiles/icilk_tests.dir/icilk/scheduler_test.cpp.o"
+  "CMakeFiles/icilk_tests.dir/icilk/scheduler_test.cpp.o.d"
+  "CMakeFiles/icilk_tests.dir/icilk/trace_test.cpp.o"
+  "CMakeFiles/icilk_tests.dir/icilk/trace_test.cpp.o.d"
+  "icilk_tests"
+  "icilk_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icilk_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

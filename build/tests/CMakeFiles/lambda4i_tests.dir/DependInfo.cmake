@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lambda4i/anormal_test.cpp" "tests/CMakeFiles/lambda4i_tests.dir/lambda4i/anormal_test.cpp.o" "gcc" "tests/CMakeFiles/lambda4i_tests.dir/lambda4i/anormal_test.cpp.o.d"
+  "/root/repo/tests/lambda4i/lexer_test.cpp" "tests/CMakeFiles/lambda4i_tests.dir/lambda4i/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/lambda4i_tests.dir/lambda4i/lexer_test.cpp.o.d"
+  "/root/repo/tests/lambda4i/machine_test.cpp" "tests/CMakeFiles/lambda4i_tests.dir/lambda4i/machine_test.cpp.o" "gcc" "tests/CMakeFiles/lambda4i_tests.dir/lambda4i/machine_test.cpp.o.d"
+  "/root/repo/tests/lambda4i/parser_test.cpp" "tests/CMakeFiles/lambda4i_tests.dir/lambda4i/parser_test.cpp.o" "gcc" "tests/CMakeFiles/lambda4i_tests.dir/lambda4i/parser_test.cpp.o.d"
+  "/root/repo/tests/lambda4i/soundness_test.cpp" "tests/CMakeFiles/lambda4i_tests.dir/lambda4i/soundness_test.cpp.o" "gcc" "tests/CMakeFiles/lambda4i_tests.dir/lambda4i/soundness_test.cpp.o.d"
+  "/root/repo/tests/lambda4i/subst_test.cpp" "tests/CMakeFiles/lambda4i_tests.dir/lambda4i/subst_test.cpp.o" "gcc" "tests/CMakeFiles/lambda4i_tests.dir/lambda4i/subst_test.cpp.o.d"
+  "/root/repo/tests/lambda4i/typechecker_test.cpp" "tests/CMakeFiles/lambda4i_tests.dir/lambda4i/typechecker_test.cpp.o" "gcc" "tests/CMakeFiles/lambda4i_tests.dir/lambda4i/typechecker_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lambda4i/CMakeFiles/repro_lambda4i.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/repro_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

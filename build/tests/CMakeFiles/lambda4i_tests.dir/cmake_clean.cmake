@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lambda4i_tests.dir/lambda4i/anormal_test.cpp.o"
+  "CMakeFiles/lambda4i_tests.dir/lambda4i/anormal_test.cpp.o.d"
+  "CMakeFiles/lambda4i_tests.dir/lambda4i/lexer_test.cpp.o"
+  "CMakeFiles/lambda4i_tests.dir/lambda4i/lexer_test.cpp.o.d"
+  "CMakeFiles/lambda4i_tests.dir/lambda4i/machine_test.cpp.o"
+  "CMakeFiles/lambda4i_tests.dir/lambda4i/machine_test.cpp.o.d"
+  "CMakeFiles/lambda4i_tests.dir/lambda4i/parser_test.cpp.o"
+  "CMakeFiles/lambda4i_tests.dir/lambda4i/parser_test.cpp.o.d"
+  "CMakeFiles/lambda4i_tests.dir/lambda4i/soundness_test.cpp.o"
+  "CMakeFiles/lambda4i_tests.dir/lambda4i/soundness_test.cpp.o.d"
+  "CMakeFiles/lambda4i_tests.dir/lambda4i/subst_test.cpp.o"
+  "CMakeFiles/lambda4i_tests.dir/lambda4i/subst_test.cpp.o.d"
+  "CMakeFiles/lambda4i_tests.dir/lambda4i/typechecker_test.cpp.o"
+  "CMakeFiles/lambda4i_tests.dir/lambda4i/typechecker_test.cpp.o.d"
+  "lambda4i_tests"
+  "lambda4i_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lambda4i_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

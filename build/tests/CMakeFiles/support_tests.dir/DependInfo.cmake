@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/argparse_test.cpp" "tests/CMakeFiles/support_tests.dir/support/argparse_test.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/argparse_test.cpp.o.d"
+  "/root/repo/tests/support/histogram_test.cpp" "tests/CMakeFiles/support_tests.dir/support/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/histogram_test.cpp.o.d"
+  "/root/repo/tests/support/random_test.cpp" "tests/CMakeFiles/support_tests.dir/support/random_test.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/random_test.cpp.o.d"
+  "/root/repo/tests/support/stats_test.cpp" "tests/CMakeFiles/support_tests.dir/support/stats_test.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/stats_test.cpp.o.d"
+  "/root/repo/tests/support/string_utils_test.cpp" "tests/CMakeFiles/support_tests.dir/support/string_utils_test.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/string_utils_test.cpp.o.d"
+  "/root/repo/tests/support/timer_test.cpp" "tests/CMakeFiles/support_tests.dir/support/timer_test.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/timer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/support/argparse_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/argparse_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/histogram_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/histogram_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/random_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/random_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/stats_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/stats_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/string_utils_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/string_utils_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/timer_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/timer_test.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(support_tests "/root/repo/build/tests/support_tests")
+set_tests_properties(support_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dag_tests "/root/repo/build/tests/dag_tests")
+set_tests_properties(dag_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(conc_tests "/root/repo/build/tests/conc_tests")
+set_tests_properties(conc_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;31;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(icilk_tests "/root/repo/build/tests/icilk_tests")
+set_tests_properties(icilk_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;39;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(apps_tests "/root/repo/build/tests/apps_tests")
+set_tests_properties(apps_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;48;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lambda4i_tests "/root/repo/build/tests/lambda4i_tests")
+set_tests_properties(lambda4i_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;55;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_tests "/root/repo/build/tests/integration_tests")
+set_tests_properties(integration_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;66;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
