@@ -1,0 +1,112 @@
+//===- bench/fault_injection.cpp - Robustness under injected faults --------===//
+//
+// Not a paper figure: a robustness companion to Figs. 13/14. Two tables:
+//
+//  1. The proxy under a sweep of injected I/O fault rates (seeded
+//     FaultPlan; mix of fail/delay/drop). Shows that retries with
+//     IoService-timed backoff mask faults — FailedRequests stays zero at
+//     realistic rates — and what the masking costs in end-to-end latency.
+//
+//  2. The job server at ~2x overload with admission-control shedding off
+//     vs on. Shows the responsiveness guarantee surviving overload: the
+//     highest-priority (matmul) p99 recovers to near its uncontended value
+//     while shed low-priority jobs are counted, not silently lost.
+//
+// One core, so absolute latencies are machine-scaled; shapes are the claim.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/JobServer.h"
+#include "apps/Proxy.h"
+#include "bench/BenchTable.h"
+#include "support/ArgParse.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+namespace {
+
+using namespace repro;
+using namespace repro::apps;
+
+void runProxySweep(uint64_t DurationMillis, uint64_t Seed) {
+  std::printf("\n== proxy: injected I/O fault-rate sweep (retries mask "
+              "faults) ==\n");
+  bench::Table T({"fault rate", "requests", "injected", "retries", "failed",
+                  "e2e mean (us)", "e2e p95 (us)", "e2e p99 (us)"});
+  const double Rates[] = {0.0, 0.02, 0.05, 0.10};
+  for (double Rate : Rates) {
+    ProxyConfig C;
+    C.Connections = 8;
+    C.DurationMillis = DurationMillis;
+    C.Seed = Seed;
+    C.FaultSeed = Seed + 41;
+    // The rate splits 70% hard failures, 20% delays, 10% drops — roughly a
+    // flaky upstream with occasional lost packets.
+    C.Faults.FailProb = 0.7 * Rate;
+    C.Faults.DelayProb = 0.2 * Rate;
+    C.Faults.DropProb = 0.1 * Rate;
+    C.Faults.DropAfterMicros = 20000;
+    ProxyReport R = runProxy(C);
+    T.addRow({formatFixed(Rate * 100, 0) + "%", std::to_string(R.App.Requests),
+              std::to_string(R.InjectedFaults), std::to_string(R.Retries),
+              std::to_string(R.FailedRequests),
+              formatFixed(R.App.EndToEnd.Mean, 1),
+              formatFixed(R.App.EndToEnd.P95, 1),
+              formatFixed(R.App.EndToEnd.P99, 1)});
+  }
+  T.print();
+  std::printf("Shape to check: failed stays 0 until the rate overwhelms the "
+              "retry budget;\nlatency tails grow with the rate (each retry "
+              "adds a backoff wait + re-read).\n");
+}
+
+void runJobServerOverload(uint64_t DurationMillis, uint64_t Seed) {
+  std::printf("\n== jserver: ~2x overload, admission-control shedding off vs "
+              "on ==\n");
+  auto Run = [&](double ArrivalMicros, bool Shed) {
+    JobServerConfig C;
+    C.DurationMillis = DurationMillis;
+    C.ArrivalIntervalMicros = ArrivalMicros;
+    C.Seed = Seed;
+    C.Shedding = Shed;
+    C.ShedMaxLevel = 2; // admit only matmul under pressure
+    C.ShedQueueDepth = 8;
+    C.Rt.NumWorkers = 4;
+    return runJobServer(C);
+  };
+  bench::Table T({"config", "done", "shed", "matmul p99 (us)", "fib p99 (us)",
+                  "sw p99 (us)"});
+  auto AddRow = [&](const char *Name, const JobServerReport &R) {
+    uint64_t Done = 0, Shed = 0;
+    for (int I = 0; I < 4; ++I) {
+      Done += R.JobsByType[static_cast<std::size_t>(I)];
+      Shed += R.JobsShed[static_cast<std::size_t>(I)];
+    }
+    T.addRow({Name, std::to_string(Done), std::to_string(Shed),
+              formatFixed(R.JobResponse[0].P99, 1),
+              formatFixed(R.JobResponse[1].P99, 1),
+              formatFixed(R.JobResponse[3].P99, 1)});
+  };
+  AddRow("uncontended", Run(20000, false));
+  AddRow("overload, shed off", Run(2500, false));
+  AddRow("overload, shed on", Run(2500, true));
+  T.print();
+  std::printf("Shape to check: overload inflates every p99; shedding pulls "
+              "matmul's p99 back\ntoward the uncontended row at the cost of "
+              "shed (counted) low-priority jobs.\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgMap Args = ArgMap::parse(Argc, Argv);
+  auto Duration = static_cast<uint64_t>(Args.getInt("duration-ms", 600));
+  auto Seed = static_cast<uint64_t>(Args.getInt("seed", 1));
+
+  std::printf("Robustness benchmarks: deterministic fault injection and "
+              "overload shedding.\n");
+  runProxySweep(Duration, Seed);
+  runJobServerOverload(Duration, Seed);
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 check: configure + build + full ctest, then a ThreadSanitizer pass
+# over the concurrency-sensitive suites (icilk + conc). Run from anywhere;
+# trees land in <repo>/build and <repo>/build-tsan.
+set -euo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: build + ctest =="
+cmake -B "$REPO/build" -S "$REPO" >/dev/null
+cmake --build "$REPO/build" -j "$JOBS"
+ctest --test-dir "$REPO/build" --output-on-failure -j "$JOBS"
+
+echo
+echo "== tsan: icilk + conc suites =="
+cmake -B "$REPO/build-tsan" -S "$REPO" -DREPRO_SANITIZE=thread >/dev/null
+cmake --build "$REPO/build-tsan" -j "$JOBS" --target icilk_tests conc_tests
+# halt_on_error: a single data race fails the check rather than scrolling by.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
+"$REPO/build-tsan/tests/conc_tests"
+"$REPO/build-tsan/tests/icilk_tests"
+
+echo
+echo "check.sh: all passes green"

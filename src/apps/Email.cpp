@@ -3,7 +3,9 @@
 #include "apps/Email.h"
 
 #include "apps/Huffman.h"
+#include "conc/Backoff.h"
 #include "icilk/IoService.h"
+#include "support/Logging.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -41,31 +43,47 @@ struct Mailbox {
 
 struct EmailServer {
   explicit EmailServer(const EmailConfig &Config)
-      : Config(Config), Rt(Config.Rt) {}
+      : Config(Config), Rt(Config.Rt) {
+    if (Config.Faults.enabled()) {
+      Faults = std::make_shared<icilk::FaultPlan>(Config.FaultSeed,
+                                                  Config.Faults);
+      Io.setFaultPlan(Faults);
+    }
+  }
 
   const EmailConfig &Config;
   icilk::Runtime Rt;
   icilk::IoService Io;
+  std::shared_ptr<icilk::FaultPlan> Faults;
   std::vector<Mailbox> Boxes;
   repro::LatencyRecorder EndToEnd;
   std::atomic<uint64_t> Sends{0}, Sorts{0}, Prints{0}, Compressions{0};
   std::atomic<uint64_t> SlotConflicts{0}, BytesSaved{0}, Requests{0};
+  std::atomic<uint64_t> SendFailures{0}, PrintFailures{0}, Retries{0};
   std::atomic<bool> StopCheck{false};
 };
+
+/// Touches the previous slot occupant's future, tolerating an erroneous
+/// completion: a failed print must not poison the next print/compress of
+/// the same email, so on error the email's stored state is the truth.
+int touchSlotPrev(EmailServer &S, Context<EmailWork> &Ctx, Email &E,
+                  const WorkStatePtr &Prev) {
+  if (!Prev->isReady())
+    S.SlotConflicts.fetch_add(1, std::memory_order_relaxed);
+  try {
+    return Ctx.ftouch(icilk::Future<EmailWork, int>(Prev));
+  } catch (const icilk::IoError &) {
+    return E.State.load(std::memory_order_relaxed);
+  }
+}
 
 /// The paper's compress function: exchange own handle into the slot, wait
 /// out any in-flight print/compress, then compress if still needed.
 int compressEmail(EmailServer &S, Context<EmailWork> &Ctx, Email &E,
                   const icilk::Future<EmailWork, int> &Self) {
   WorkStatePtr Prev = E.Slot.exchange(Self.state());
-  int State = Decompressed;
-  if (Prev) {
-    if (!Prev->isReady())
-      S.SlotConflicts.fetch_add(1, std::memory_order_relaxed);
-    State = Ctx.ftouch(icilk::Future<EmailWork, int>(Prev));
-  } else {
-    State = E.State.load(std::memory_order_relaxed);
-  }
+  int State = Prev ? touchSlotPrev(S, Ctx, E, Prev)
+                   : E.State.load(std::memory_order_relaxed);
   if (State == Decompressed && !E.Body.empty()) {
     E.Blob = huffmanCompress(E.Body);
     if (E.Blob.compressedBytes() < E.Body.size())
@@ -84,11 +102,8 @@ int printEmail(EmailServer &S, Context<EmailWork> &Ctx, Email &E,
                const icilk::Future<EmailWork, int> &Self) {
   WorkStatePtr Prev = E.Slot.exchange(Self.state());
   int State = E.State.load(std::memory_order_relaxed);
-  if (Prev) {
-    if (!Prev->isReady())
-      S.SlotConflicts.fetch_add(1, std::memory_order_relaxed);
-    State = Ctx.ftouch(icilk::Future<EmailWork, int>(Prev));
-  }
+  if (Prev)
+    State = touchSlotPrev(S, Ctx, E, Prev);
   std::string PageData;
   if (State == Compressed) {
     auto Restored = huffmanDecompress(E.Blob);
@@ -98,20 +113,44 @@ int printEmail(EmailServer &S, Context<EmailWork> &Ctx, Email &E,
   }
   auto Printer = S.Io.write<EmailWork>(S.Config.PrinterLatencyMicros,
                                        static_cast<long>(PageData.size()));
-  Ctx.ftouch(Printer);
-  S.Prints.fetch_add(1, std::memory_order_relaxed);
+  try {
+    Ctx.ftouch(Printer);
+    S.Prints.fetch_add(1, std::memory_order_relaxed);
+  } catch (const icilk::IoError &E2) {
+    S.PrintFailures.fetch_add(1, std::memory_order_relaxed);
+    repro::log(repro::LogLevel::Warn) << "print failed: " << E2.what();
+  }
   return State; // printing leaves the email's state unchanged
 }
 
 /// Send (EmailSend): reads only immutable metadata plus a network write.
+/// A failed wire write is retried with jittered backoff; a send that still
+/// fails is *surfaced* — counted, logged — rather than silently dropped.
 void sendEmail(EmailServer &S, Context<EmailSend> &Ctx, Mailbox &Box,
                std::size_t Index, uint64_t ArrivalMicros) {
   const Email &E = *Box.Emails[Index];
-  auto Wire = S.Io.write<EmailSend>(S.Config.SendLatencyMicros,
-                                    static_cast<long>(E.OriginalBytes));
-  Ctx.ftouch(Wire);
+  conc::RetryBackoff Backoff(S.Config.RetryBaseDelayMicros,
+                             /*CapMicros=*/S.Config.SendLatencyMicros * 4,
+                             /*Seed=*/ArrivalMicros ^ Index);
+  for (unsigned Attempt = 0;; ++Attempt) {
+    auto Wire = S.Io.write<EmailSend>(S.Config.SendLatencyMicros,
+                                      static_cast<long>(E.OriginalBytes));
+    try {
+      Ctx.ftouch(Wire);
+      S.Sends.fetch_add(1, std::memory_order_relaxed);
+      break;
+    } catch (const icilk::IoError &E2) {
+      if (Attempt >= S.Config.SendRetries) {
+        S.SendFailures.fetch_add(1, std::memory_order_relaxed);
+        repro::log(repro::LogLevel::Warn)
+            << "send failed after " << Attempt << " retries: " << E2.what();
+        break;
+      }
+      S.Retries.fetch_add(1, std::memory_order_relaxed);
+      Ctx.ftouch(S.Io.sleepFor<EmailSend>(Backoff.nextDelayMicros()));
+    }
+  }
   repro::spinFor(60); // envelope bookkeeping
-  S.Sends.fetch_add(1, std::memory_order_relaxed);
   S.EndToEnd.record(static_cast<double>(repro::nowMicros() - ArrivalMicros));
 }
 
@@ -139,8 +178,8 @@ void sortMailbox(EmailServer &S, Context<EmailSort> &, Mailbox &Box,
 void checkLoop(EmailServer &S, Context<EmailCheck> &Ctx, repro::Rng Rng) {
   if (S.StopCheck.load(std::memory_order_acquire))
     return;
-  auto Timer = S.Io.read<EmailCheck>(S.Config.CheckPeriodMicros, 0);
-  Ctx.ftouch(Timer);
+  // A pure timer: never fault-injected, so the check loop survives any plan.
+  Ctx.ftouch(S.Io.sleepFor<EmailCheck>(S.Config.CheckPeriodMicros));
   // Pick a user and compress a batch of their uncompressed emails.
   Mailbox &Box = S.Boxes[Rng.nextBelow(S.Boxes.size())];
   unsigned Fired = 0;
@@ -267,6 +306,9 @@ EmailReport runEmail(const EmailConfig &Config) {
   Report.Compressions = S.Compressions.load();
   Report.SlotConflicts = S.SlotConflicts.load();
   Report.BytesSaved = S.BytesSaved.load();
+  Report.SendFailures = S.SendFailures.load();
+  Report.PrintFailures = S.PrintFailures.load();
+  Report.Retries = S.Retries.load();
   return Report;
 }
 

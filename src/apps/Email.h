@@ -57,14 +57,24 @@ struct EmailConfig {
   unsigned CompressBatch = 2;           ///< emails compressed per check hit
   uint64_t HandleComputeMicros = 25;    ///< event-loop work per request
   uint64_t Seed = 1;
+  /// Fault injection over the client's simulated I/O (default: disabled).
+  icilk::FaultSpec Faults{};
+  uint64_t FaultSeed = 7;
+  /// A failed send is retried this many times (jittered backoff) before
+  /// being surfaced as a SendFailure.
+  unsigned SendRetries = 1;
+  uint64_t RetryBaseDelayMicros = 300;
   icilk::RuntimeConfig Rt{.NumWorkers = 8, .NumLevels = 6};
 };
 
 struct EmailReport {
   AppReport App;
   uint64_t Sends = 0, Sorts = 0, Prints = 0, Compressions = 0;
-  uint64_t SlotConflicts = 0; ///< print/compress found an in-flight peer
-  uint64_t BytesSaved = 0;    ///< by compression
+  uint64_t SlotConflicts = 0;  ///< print/compress found an in-flight peer
+  uint64_t BytesSaved = 0;     ///< by compression
+  uint64_t SendFailures = 0;   ///< sends abandoned after retries (surfaced)
+  uint64_t PrintFailures = 0;  ///< printer writes that failed
+  uint64_t Retries = 0;        ///< send retries performed
 };
 
 /// Runs the email server (Config.Rt.PriorityAware=false for the baseline).

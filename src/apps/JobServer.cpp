@@ -20,8 +20,27 @@ struct JobServer {
   const JobServerConfig &Config;
   icilk::Runtime Rt;
   std::array<std::atomic<uint64_t>, 4> Counts{};
+  std::array<std::atomic<uint64_t>, 4> Shed{};
   std::array<repro::LatencyRecorder, 4> JobResponse;
   std::array<repro::LatencyRecorder, 4> JobCompute;
+
+  /// Admission control: true = reject this arrival. Type index 0..3 maps
+  /// to level 3..0 (matmul highest). Only low-priority types are ever
+  /// shed, and only while the aggregate queue depth is over the limit.
+  bool shouldShed(std::size_t Type) {
+    if (!Config.Shedding)
+      return false;
+    unsigned Level = 3 - static_cast<unsigned>(Type);
+    if (Level > Config.ShedMaxLevel)
+      return false;
+    int64_t Depth = 0;
+    for (unsigned L = 0; L < Rt.config().NumLevels; ++L)
+      Depth += Rt.pendingAt(L);
+    if (Depth <= Config.ShedQueueDepth)
+      return false;
+    Shed[Type].fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
 
   /// Records whole-job latencies for type \p Type.
   void recordJob(std::size_t Type, uint64_t ArrivalMicros,
@@ -108,14 +127,19 @@ JobServerReport runJobServer(const JobServerConfig &Config) {
       break;
     sleepUntilMicros(Epoch, NextAt);
     double Roll = DriverRng.nextDouble() * MixTotal;
-    if ((Roll -= Config.Mix[0]) < 0)
-      submitMatmul(S, DriverRng);
-    else if ((Roll -= Config.Mix[1]) < 0)
-      submitFib(S);
-    else if ((Roll -= Config.Mix[2]) < 0)
-      submitSort(S, DriverRng);
-    else
-      submitSw(S, DriverRng);
+    if ((Roll -= Config.Mix[0]) < 0) {
+      if (!S.shouldShed(0))
+        submitMatmul(S, DriverRng);
+    } else if ((Roll -= Config.Mix[1]) < 0) {
+      if (!S.shouldShed(1))
+        submitFib(S);
+    } else if ((Roll -= Config.Mix[2]) < 0) {
+      if (!S.shouldShed(2))
+        submitSort(S, DriverRng);
+    } else {
+      if (!S.shouldShed(3))
+        submitSw(S, DriverRng);
+    }
   }
   S.Rt.drain();
 
@@ -126,6 +150,7 @@ JobServerReport runJobServer(const JobServerConfig &Config) {
   uint64_t Total = 0;
   for (std::size_t I = 0; I < 4; ++I) {
     Report.JobsByType[I] = S.Counts[I].load();
+    Report.JobsShed[I] = S.Shed[I].load();
     Report.JobResponse[I] = S.JobResponse[I].summary();
     Report.JobCompute[I] = S.JobCompute[I].summary();
     Total += Report.JobsByType[I];

@@ -40,12 +40,22 @@ struct JobServerConfig {
   std::size_t SortN = 40000;
   std::size_t SwN = 320;
   uint64_t Seed = 1;
+  /// Admission control: when enabled, an arriving job whose priority level
+  /// is at most ShedMaxLevel is *shed* (rejected, counted, never submitted)
+  /// while the runtime's total queue depth (Σ pendingAt) exceeds
+  /// ShedQueueDepth. High-priority jobs are always admitted, so their
+  /// response times survive overload — the paper's responsiveness
+  /// guarantee, preserved by sacrificing low-priority throughput.
+  bool Shedding = false;
+  unsigned ShedMaxLevel = 1;    ///< shed sort (1) and sw (0); admit fib, matmul
+  int64_t ShedQueueDepth = 24;  ///< queued-task threshold
   icilk::RuntimeConfig Rt{.NumWorkers = 8, .NumLevels = 4};
 };
 
 struct JobServerReport {
   AppReport App;
   std::array<uint64_t, 4> JobsByType{}; ///< matmul, fib, sort, sw (level 3..0)
+  std::array<uint64_t, 4> JobsShed{};   ///< same index; nonzero only when shedding
   /// Whole-job latencies (top-level job task only, not its inner parallel
   /// subtasks): Response = arrival → completion, Compute = first dispatch →
   /// completion. Index: 0 matmul, 1 fib, 2 sort, 3 sw.

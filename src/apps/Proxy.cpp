@@ -2,6 +2,7 @@
 
 #include "apps/Proxy.h"
 
+#include "conc/Backoff.h"
 #include "conc/ConcurrentHashMap.h"
 #include "icilk/IoService.h"
 #include "support/Timer.h"
@@ -17,29 +18,69 @@ using icilk::Context;
 /// Everything the server tasks share.
 struct ProxyServer {
   explicit ProxyServer(const ProxyConfig &Config)
-      : Config(Config), Rt(Config.Rt), Cache(32, 64) {}
+      : Config(Config), Rt(Config.Rt), Cache(32, 64) {
+    if (Config.Faults.enabled()) {
+      Faults = std::make_shared<icilk::FaultPlan>(Config.FaultSeed,
+                                                  Config.Faults);
+      Io.setFaultPlan(Faults);
+    }
+  }
 
   const ProxyConfig &Config;
   icilk::Runtime Rt;
   icilk::IoService Io;
+  std::shared_ptr<icilk::FaultPlan> Faults;
   conc::ConcurrentHashMap<std::size_t, std::string> Cache;
   repro::LatencyRecorder EndToEnd;
   std::atomic<uint64_t> Hits{0}, Misses{0}, Requests{0};
+  std::atomic<uint64_t> Retries{0}, Failed{0};
   std::atomic<bool> StopStats{false};
 };
 
+/// Issues one simulated I/O op and touches it, retrying erroneous
+/// completions with capped exponential backoff + jitter. Returns nullopt
+/// when the op still fails after MaxIoRetries retries. Backoff sleeps ride
+/// the timer heap (IoService::sleepFor), so the worker keeps scheduling.
+template <typename Prio>
+std::optional<long> ioWithRetry(ProxyServer &S, Context<Prio> &Ctx,
+                                uint64_t LatencyMicros, long Bytes,
+                                uint64_t JitterSeed) {
+  conc::RetryBackoff Backoff(S.Config.RetryBaseDelayMicros,
+                             S.Config.RetryCapDelayMicros, JitterSeed);
+  for (unsigned Attempt = 0;; ++Attempt) {
+    auto Op = S.Io.read<Prio>(LatencyMicros, Bytes);
+    try {
+      return Ctx.ftouch(Op);
+    } catch (const icilk::IoError &) {
+      if (Attempt >= S.Config.MaxIoRetries)
+        return std::nullopt;
+      S.Retries.fetch_add(1, std::memory_order_relaxed);
+      Ctx.ftouch(S.Io.sleepFor<Prio>(Backoff.nextDelayMicros()));
+    }
+  }
+}
+
 /// Fetch component (ProxyFetch): origin fetch, render, cache fill, reply.
+/// Upstream failures are retried; a request abandoned after max retries is
+/// counted in Failed but still gets an end-to-end sample (the client heard
+/// *something* — an error page — and the latency of hearing it matters).
 void fetchAndReply(ProxyServer &S, Context<ProxyFetch> &Ctx, std::size_t Url,
                    uint64_t FetchLatency, uint64_t ArrivalMicros) {
-  auto Net = S.Io.read<ProxyFetch>(FetchLatency,
-                                   static_cast<long>(Url % 1500 + 200));
-  long Bytes = Ctx.ftouch(Net);
+  auto Bytes = ioWithRetry(S, Ctx, FetchLatency,
+                           static_cast<long>(Url % 1500 + 200),
+                           /*JitterSeed=*/ArrivalMicros ^ Url);
+  if (!Bytes) {
+    S.Failed.fetch_add(1, std::memory_order_relaxed);
+    S.EndToEnd.record(static_cast<double>(repro::nowMicros() - ArrivalMicros));
+    return;
+  }
   repro::spinFor(S.Config.RenderComputeMicros); // parse/render the page
-  std::string Body(static_cast<std::size_t>(Bytes), 'x');
+  std::string Body(static_cast<std::size_t>(*Bytes), 'x');
   Body[0] = static_cast<char>('a' + Url % 26);
   S.Cache.put(Url, std::move(Body));
-  auto Reply = S.Io.write<ProxyFetch>(S.Config.ReplyLatencyMicros, Bytes);
-  Ctx.ftouch(Reply);
+  if (!ioWithRetry(S, Ctx, S.Config.ReplyLatencyMicros, *Bytes,
+                   ArrivalMicros ^ (Url + 1)))
+    S.Failed.fetch_add(1, std::memory_order_relaxed);
   S.EndToEnd.record(static_cast<double>(repro::nowMicros() - ArrivalMicros));
 }
 
@@ -50,9 +91,10 @@ void handleRequest(ProxyServer &S, Context<ProxyClient> &Ctx, std::size_t Url,
   repro::spinFor(S.Config.HandleComputeMicros); // parse request, route
   if (auto Cached = S.Cache.get(Url)) {
     S.Hits.fetch_add(1, std::memory_order_relaxed);
-    auto Reply = S.Io.write<ProxyClient>(S.Config.ReplyLatencyMicros,
-                                         static_cast<long>(Cached->size()));
-    Ctx.ftouch(Reply);
+    if (!ioWithRetry(S, Ctx, S.Config.ReplyLatencyMicros,
+                     static_cast<long>(Cached->size()),
+                     ArrivalMicros ^ (Url + 2)))
+      S.Failed.fetch_add(1, std::memory_order_relaxed);
     S.EndToEnd.record(static_cast<double>(repro::nowMicros() - ArrivalMicros));
     return;
   }
@@ -68,8 +110,8 @@ void handleRequest(ProxyServer &S, Context<ProxyClient> &Ctx, std::size_t Url,
 void statsLoop(ProxyServer &S, Context<ProxyStats> &Ctx) {
   if (S.StopStats.load(std::memory_order_acquire))
     return;
-  auto Timer = S.Io.read<ProxyStats>(S.Config.StatsPeriodMicros, 0);
-  Ctx.ftouch(Timer);
+  // A pure timer: never fault-injected, so the logger survives any plan.
+  Ctx.ftouch(S.Io.sleepFor<ProxyStats>(S.Config.StatsPeriodMicros));
   // "Log": walk part of the cache and tally sizes.
   std::size_t Total = 0;
   S.Cache.forEach([&Total](std::size_t, const std::string &V) {
@@ -143,6 +185,9 @@ ProxyReport runProxy(const ProxyConfig &Config) {
   Report.CacheHits = S.Hits.load();
   Report.CacheMisses = S.Misses.load();
   Report.CacheEntries = S.Cache.size();
+  Report.Retries = S.Retries.load();
+  Report.FailedRequests = S.Failed.load();
+  Report.InjectedFaults = S.Faults ? S.Faults->injected() : 0;
   return Report;
 }
 

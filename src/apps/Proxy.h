@@ -48,6 +48,16 @@ struct ProxyConfig {
   uint64_t HandleComputeMicros = 30;      ///< event-loop work per request
   uint64_t RenderComputeMicros = 400;     ///< fetch-side processing
   uint64_t Seed = 1;
+  /// Fault injection (default: disabled — all probabilities zero). When
+  /// enabled, every simulated I/O op rolls against this spec.
+  icilk::FaultSpec Faults{};
+  uint64_t FaultSeed = 42;
+  /// Failed upstream reads/replies are retried this many times with
+  /// capped exponential backoff + jitter (conc::RetryBackoff); backoff
+  /// waits ride the IoService timer heap, so no worker is parked.
+  unsigned MaxIoRetries = 3;
+  uint64_t RetryBaseDelayMicros = 200;
+  uint64_t RetryCapDelayMicros = 5000;
   icilk::RuntimeConfig Rt{.NumWorkers = 8, .NumLevels = 4};
 };
 
@@ -56,6 +66,9 @@ struct ProxyReport {
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
   std::size_t CacheEntries = 0;
+  uint64_t Retries = 0;        ///< I/O retries performed
+  uint64_t FailedRequests = 0; ///< requests abandoned after max retries
+  uint64_t InjectedFaults = 0; ///< fault-plan decisions that were not None
 };
 
 /// Runs the proxy server under the given configuration (set

@@ -55,8 +55,11 @@ public:
     if (B - Tp > static_cast<int64_t>(Buf->Capacity) - 1)
       Buf = grow(Buf, Tp, B);
     Buf->put(B, Value);
-    std::atomic_thread_fence(std::memory_order_release);
-    Bottom.store(B + 1, std::memory_order_relaxed);
+    // Release *store* (the canonical Lê et al. form), not a release fence
+    // with a relaxed store: identical on x86, but ThreadSanitizer does not
+    // model fences, and the store is what carries the payload's
+    // happens-before edge to steal()'s acquire of Bottom.
+    Bottom.store(B + 1, std::memory_order_release);
   }
 
   /// Owner-only: pop at the bottom; empty optional when drained.

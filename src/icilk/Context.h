@@ -27,11 +27,15 @@
 #define REPRO_ICILK_CONTEXT_H
 
 #include "conc/Backoff.h"
+#include "icilk/Failure.h"
 #include "icilk/Future.h"
+#include "icilk/IoService.h"
 #include "icilk/Runtime.h"
 #include "icilk/Trace.h"
 
 #include <cassert>
+#include <exception>
+#include <optional>
 #include <type_traits>
 #include <utility>
 
@@ -57,11 +61,27 @@ inline void waitReady(Runtime &Rt, FutureStateBase &State) {
     B.pause();
 }
 
+/// Dispatches a completion's Wakeup: requeues every parked waiter and runs
+/// every registered one-shot callback (outside the state's spinlock).
+inline void dispatchWakeup(Wakeup W) {
+  for (Waiter &Wt : W.Waiters)
+    Wt.Rt->resumeTask(Wt.T);
+  for (std::function<void()> &Fn : W.Callbacks)
+    Fn();
+}
+
 /// Completes \p State with \p Value and requeues every parked waiter.
 template <typename T>
 void completeAndResume(FutureState<T> &State, T Value) {
-  for (Waiter &W : State.complete(std::move(Value)))
-    W.Rt->resumeTask(W.T);
+  dispatchWakeup(State.complete(std::move(Value)));
+}
+
+/// Completes \p State erroneously with \p E (unless a completion already
+/// happened — the defensive path for exceptions thrown mid-completion).
+inline void completeErrorAndResume(FutureStateBase &State,
+                                   std::exception_ptr E) {
+  if (auto W = State.tryCompleteError(std::move(E)))
+    dispatchWakeup(std::move(*W));
 }
 
 /// Trace bookkeeping shared by the spawn paths: registers the new task
@@ -118,11 +138,18 @@ auto fcreate(Runtime &Rt, Fn &&Body)
   auto State = std::make_shared<FutureState<V>>(ChildPrio::Level);
   auto Work = [&Rt, State, Body = std::forward<Fn>(Body)]() mutable {
     Context<ChildPrio> Ctx(Rt);
-    if constexpr (std::is_void_v<R>) {
-      Body(Ctx);
-      detail::completeAndResume(*State, Unit{});
-    } else {
-      detail::completeAndResume(*State, Body(Ctx));
+    // An exception escaping the body completes the future *erroneously*
+    // and rethrows at every touch site — it must never unwind into the
+    // fiber trampoline (which would take the worker down with it).
+    try {
+      if constexpr (std::is_void_v<R>) {
+        Body(Ctx);
+        detail::completeAndResume(*State, Unit{});
+      } else {
+        detail::completeAndResume(*State, Body(Ctx));
+      }
+    } catch (...) {
+      detail::completeErrorAndResume(*State, std::current_exception());
     }
   };
   auto NewTask = std::make_unique<Task>(std::move(Work), ChildPrio::Level);
@@ -146,7 +173,11 @@ Future<ChildPrio, T> fcreateSelf(Runtime &Rt, Fn &&Body) {
   Future<ChildPrio, T> Handle(State);
   auto Work = [&Rt, State, Handle, Body = std::forward<Fn>(Body)]() mutable {
     Context<ChildPrio> Ctx(Rt);
-    detail::completeAndResume(*State, Body(Ctx, Handle));
+    try {
+      detail::completeAndResume(*State, Body(Ctx, Handle));
+    } catch (...) {
+      detail::completeErrorAndResume(*State, std::current_exception());
+    }
   };
   auto NewTask = std::make_unique<Task>(std::move(Work), ChildPrio::Level);
   detail::traceSpawn(Rt, *State, *NewTask, ChildPrio::Level);
@@ -157,12 +188,59 @@ Future<ChildPrio, T> fcreateSelf(Runtime &Rt, Fn &&Body) {
 /// Joins a future from *outside* the runtime (benchmark drivers, main()).
 /// No priority check applies — the external thread is not a scheduled
 /// command — and no helping happens (the caller is not a worker).
+/// Rethrows an erroneous completion.
 template <typename Prio, typename T>
 const T &touchFromOutside(Runtime &Rt, const Future<Prio, T> &F) {
   assert(F.isAssociated() && "ftouch of an unassociated handle");
   detail::waitReady(Rt, *F.state());
   detail::traceTouch(Rt, *F.state());
   return F.state()->value();
+}
+
+namespace detail {
+
+/// The deadline-touch core shared by Context::ftouchFor and
+/// touchFromOutsideFor. Races the producer against an IoService timer via
+/// a one-shot *gate* future (true = value won, false = deadline won): the
+/// toucher parks only on the gate, so no task is ever on two waiter lists
+/// — the two completers race through tryComplete instead, which is safe.
+template <typename T>
+std::optional<T> touchWithDeadline(Runtime &Rt, IoService &Io,
+                                   FutureState<T> &State,
+                                   uint64_t TimeoutMicros) {
+  if (!State.isReady()) {
+    auto Gate = std::make_shared<FutureState<bool>>(State.level());
+    bool Registered = State.addCallback([Gate] {
+      if (auto W = Gate->tryComplete(true))
+        dispatchWakeup(std::move(*W));
+    });
+    // !Registered means the state turned ready while registering — fall
+    // through to the ready path with no gate at all.
+    if (Registered) {
+      Io.submitTimer(TimeoutMicros, [Gate] {
+        if (auto W = Gate->tryComplete(false))
+          dispatchWakeup(std::move(*W));
+      });
+      waitReady(Rt, *Gate);
+      if (!Gate->value())
+        return std::nullopt; // deadline: the producer keeps running
+    }
+  }
+  traceTouch(Rt, State);
+  return State.value(); // rethrows an erroneous completion
+}
+
+} // namespace detail
+
+/// touchFromOutside with a deadline: returns nullopt if \p F is still
+/// unready after \p TimeoutMicros (the producer keeps running); rethrows
+/// an erroneous completion. The timeout is tracked by \p Io's timer heap.
+template <typename Prio, typename T>
+std::optional<T> touchFromOutsideFor(Runtime &Rt, IoService &Io,
+                                     const Future<Prio, T> &F,
+                                     uint64_t TimeoutMicros) {
+  assert(F.isAssociated() && "ftouch of an unassociated handle");
+  return detail::touchWithDeadline(Rt, Io, *F.state(), TimeoutMicros);
 }
 
 /// Execution context of a running command at static priority \p Prio.
@@ -182,6 +260,7 @@ public:
 
   /// Wait for \p F and return its value. Compiles only when this context's
   /// priority is lower than or equal to the future's — the λ⁴ᵢ Touch rule.
+  /// Rethrows an erroneous completion (the producer's escaped exception).
   template <typename P2, typename T>
   const T &ftouch(const Future<P2, T> &F) const {
     ICILK_ASSERT_NO_INVERSION(Prio, P2);
@@ -192,6 +271,19 @@ public:
     detail::waitReady(Rt, *F.state());
     detail::traceTouch(Rt, *F.state());
     return F.state()->value();
+  }
+
+  /// ftouch with a deadline: waits at most \p TimeoutMicros (tracked by
+  /// \p Io's timer heap) and returns nullopt if \p F is still unready —
+  /// the producer keeps running and the handle stays touchable. Rethrows
+  /// an erroneous completion. Same priority rule as ftouch.
+  template <typename P2, typename T>
+  std::optional<T> ftouchFor(const Future<P2, T> &F, IoService &Io,
+                             uint64_t TimeoutMicros) const {
+    ICILK_ASSERT_NO_INVERSION(Prio, P2);
+    assert(F.isAssociated() &&
+           "ftouch of a handle never associated by fcreate (Sec. 4.2 rule 2)");
+    return detail::touchWithDeadline(Rt, Io, *F.state(), TimeoutMicros);
   }
 
   /// Non-blocking readiness probe (safe at any priority — no waiting).

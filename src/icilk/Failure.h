@@ -1,0 +1,118 @@
+//===- icilk/Failure.h - Failure-semantics primitives -----------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The failure vocabulary of the runtime (see DESIGN.md, "Failure
+// semantics"). The paper's responsiveness theorem is stated for fault-free
+// executions; a production server is not so lucky. Futures can complete
+// *erroneously* (carrying a std::exception_ptr that rethrows at the touch
+// site), I/O operations can fail or time out, and long-running tasks can be
+// asked to stop cooperatively. This header defines the exception types and
+// the cancellation flag those mechanisms share.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_ICILK_FAILURE_H
+#define REPRO_ICILK_FAILURE_H
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace repro::icilk {
+
+/// Why a simulated I/O operation completed erroneously.
+enum class IoErrc {
+  Reset,    ///< the peer reset the connection mid-operation
+  Timeout,  ///< the operation exceeded its deadline
+  Dropped,  ///< the operation vanished (packet loss; surfaces late, as an
+            ///< erroneous completion after the drop-detection latency)
+  Shutdown, ///< the service shut down with the operation still in flight
+};
+
+/// Human-readable name of \p Code ("reset", "timeout", ...).
+inline const char *ioErrcName(IoErrc Code) {
+  switch (Code) {
+  case IoErrc::Reset:
+    return "reset";
+  case IoErrc::Timeout:
+    return "timeout";
+  case IoErrc::Dropped:
+    return "dropped";
+  case IoErrc::Shutdown:
+    return "shutdown";
+  }
+  return "unknown";
+}
+
+/// Erroneous completion of a simulated I/O operation. Thrown by the touch
+/// of a failed io_future.
+class IoError : public std::runtime_error {
+public:
+  explicit IoError(IoErrc Code)
+      : std::runtime_error(std::string("io error: ") + ioErrcName(Code)),
+        Code(Code) {}
+
+  IoErrc code() const { return Code; }
+
+private:
+  IoErrc Code;
+};
+
+/// Thrown by a task that observed its cancellation flag and unwound; lands
+/// in the task's future as an erroneous completion, so touchers see the
+/// cancellation rather than a silent missing value.
+class CancelledError : public std::runtime_error {
+public:
+  CancelledError() : std::runtime_error("task cancelled") {}
+};
+
+/// Cooperative cancellation flag. A CancelSource owns the flag; tokens are
+/// cheap copies handed to tasks, which poll cancelled() at convenient
+/// points and unwind (typically by throwing CancelledError). Cancellation
+/// is advisory — the runtime never preempts a running fiber.
+class CancelSource {
+public:
+  CancelSource() : Flag(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation; idempotent, safe from any thread.
+  void requestCancel() { Flag->store(true, std::memory_order_release); }
+
+  bool cancelRequested() const {
+    return Flag->load(std::memory_order_acquire);
+  }
+
+  class Token {
+  public:
+    Token() = default; ///< unassociated token: never cancelled
+    bool cancelled() const {
+      return Flag && Flag->load(std::memory_order_acquire);
+    }
+    /// Throws CancelledError if cancellation was requested.
+    void throwIfCancelled() const {
+      if (cancelled())
+        throw CancelledError();
+    }
+
+  private:
+    friend class CancelSource;
+    explicit Token(std::shared_ptr<std::atomic<bool>> Flag)
+        : Flag(std::move(Flag)) {}
+    std::shared_ptr<std::atomic<bool>> Flag;
+  };
+
+  Token token() const { return Token(Flag); }
+
+private:
+  std::shared_ptr<std::atomic<bool>> Flag;
+};
+
+using CancelToken = CancelSource::Token;
+
+} // namespace repro::icilk
+
+#endif // REPRO_ICILK_FAILURE_H

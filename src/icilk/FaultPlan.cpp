@@ -1,0 +1,47 @@
+//===- icilk/FaultPlan.cpp - Deterministic I/O fault injection --------------===//
+
+#include "icilk/FaultPlan.h"
+
+#include <cassert>
+
+namespace repro::icilk {
+
+FaultPlan::FaultPlan(uint64_t Seed, FaultSpec S) : Rng(Seed), Spec(S) {
+  assert(Spec.FailProb >= 0 && Spec.DelayProb >= 0 && Spec.DropProb >= 0 &&
+         "fault probabilities must be non-negative");
+  assert(Spec.FailProb + Spec.DelayProb + Spec.DropProb <= 1.0 &&
+         "fault probabilities must sum to at most 1");
+}
+
+FaultPlan::Decision FaultPlan::next() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++NumDecisions;
+  Decision D;
+  double Roll = Rng.nextDouble();
+  if ((Roll -= Spec.FailProb) < 0) {
+    D.K = Kind::Fail;
+    D.Code = Spec.FailCode;
+  } else if ((Roll -= Spec.DelayProb) < 0) {
+    D.K = Kind::Delay;
+    D.ExtraLatencyMicros = Spec.DelayMicros;
+  } else if ((Roll -= Spec.DropProb) < 0) {
+    D.K = Kind::Drop;
+    D.DropAfterMicros = Spec.DropAfterMicros;
+    D.Code = IoErrc::Dropped;
+  }
+  if (D.K != Kind::None)
+    ++NumInjected;
+  return D;
+}
+
+uint64_t FaultPlan::decisions() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return NumDecisions;
+}
+
+uint64_t FaultPlan::injected() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return NumInjected;
+}
+
+} // namespace repro::icilk

@@ -1,0 +1,81 @@
+//===- icilk/FaultPlan.h - Deterministic I/O fault injection ----*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// A seeded plan of injected I/O faults. IoService consults the plan once
+// per submitted operation and applies the decision: fail the op (erroneous
+// completion after its normal latency), delay it (extra latency), or drop
+// it (erroneous completion only after a long drop-detection latency —
+// modelling a lost packet noticed by a lower-layer timeout). Decisions are
+// drawn from a private deterministic PRNG (support/Random's xoshiro256**)
+// in submission order, so a given seed yields the same fault sequence every
+// run — robustness behaviour is testable, not anecdotal.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_ICILK_FAULTPLAN_H
+#define REPRO_ICILK_FAULTPLAN_H
+
+#include "icilk/Failure.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <mutex>
+
+namespace repro::icilk {
+
+/// Fault probabilities and shapes. All probabilities default to zero, so a
+/// default FaultSpec is a no-op plan. Fail/Delay/Drop are mutually
+/// exclusive per operation (one roll decides); their probabilities must sum
+/// to at most 1.
+struct FaultSpec {
+  double FailProb = 0.0;  ///< P(erroneous completion with FailCode)
+  double DelayProb = 0.0; ///< P(extra DelayMicros of latency)
+  double DropProb = 0.0;  ///< P(drop: erroneous completion after DropAfterMicros)
+  uint64_t DelayMicros = 2000;      ///< added latency for a delayed op
+  uint64_t DropAfterMicros = 50000; ///< drop-detection latency
+  IoErrc FailCode = IoErrc::Reset;  ///< error carried by a failed op
+
+  bool enabled() const { return FailProb + DelayProb + DropProb > 0.0; }
+};
+
+/// The per-operation decision sequence (thread-safe; draws are serialized
+/// so the sequence depends only on the seed and the submission order).
+class FaultPlan {
+public:
+  enum class Kind { None, Fail, Delay, Drop };
+
+  struct Decision {
+    Kind K = Kind::None;
+    uint64_t ExtraLatencyMicros = 0; ///< Delay: added before completion
+    uint64_t DropAfterMicros = 0;    ///< Drop: replaces the op's latency
+    IoErrc Code = IoErrc::Reset;     ///< Fail/Drop: the injected error
+  };
+
+  FaultPlan(uint64_t Seed, FaultSpec Spec);
+
+  /// Draws the decision for the next submitted operation.
+  Decision next();
+
+  /// Number of decisions drawn so far.
+  uint64_t decisions() const;
+
+  /// Number of non-None decisions drawn so far.
+  uint64_t injected() const;
+
+  const FaultSpec &spec() const { return Spec; }
+
+private:
+  mutable std::mutex Mutex;
+  repro::Rng Rng;
+  FaultSpec Spec;
+  uint64_t NumDecisions = 0;
+  uint64_t NumInjected = 0;
+};
+
+} // namespace repro::icilk
+
+#endif // REPRO_ICILK_FAULTPLAN_H

@@ -15,15 +15,25 @@
 // an unready future parks here and is requeued by whoever completes the
 // future (a worker finishing the producing task, or the I/O timer thread).
 //
+// Completion is either *successful* (a value of type T) or *erroneous* (a
+// std::exception_ptr, rethrown at every touch site — see DESIGN.md,
+// "Failure semantics"). Completion also drains a list of one-shot
+// callbacks, which the deadline-touch machinery (Context::ftouchFor) uses
+// to race a producer against a timer without ever parking a task on two
+// waiter lists at once.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef REPRO_ICILK_FUTURE_H
 #define REPRO_ICILK_FUTURE_H
 
+#include "conc/Backoff.h"
 #include "icilk/Priority.h"
 
 #include <atomic>
 #include <cassert>
+#include <exception>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -40,6 +50,14 @@ struct Waiter {
   Task *T;
 };
 
+/// Everything a completion hands back for dispatch outside the state's
+/// spinlock: parked tasks to requeue (Runtime::resumeTask) and one-shot
+/// completion callbacks to invoke.
+struct Wakeup {
+  std::vector<Waiter> Waiters;
+  std::vector<std::function<void()>> Callbacks;
+};
+
 /// Type-erased completion state shared between the task and its handles.
 class FutureStateBase {
 public:
@@ -48,6 +66,26 @@ public:
 
   bool isReady() const { return Ready.load(std::memory_order_acquire); }
   unsigned level() const { return Level; }
+
+  /// True iff the future completed erroneously. Valid only after
+  /// isReady().
+  bool hasError() const {
+    assert(isReady() && "hasError() before completion");
+    return Error != nullptr;
+  }
+
+  /// Rethrows the erroneous completion, if any. Valid only after
+  /// isReady(); every touch path calls this before reading the value.
+  void rethrowIfError() const {
+    assert(isReady() && "rethrowIfError() before completion");
+    if (Error)
+      std::rethrow_exception(Error);
+  }
+
+  /// The raw erroneous-completion payload (null if none or not ready yet).
+  std::exception_ptr error() const {
+    return isReady() ? Error : std::exception_ptr();
+  }
 
   /// Trace identity of the producing task (0 = external, e.g. I/O).
   uint32_t producerTraceId() const { return ProducerTraceId; }
@@ -68,28 +106,81 @@ public:
     return true;
   }
 
-protected:
-  /// Publishes readiness and hands back every parked waiter; the caller
-  /// requeues them (Runtime::resumeTask).
-  [[nodiscard]] std::vector<Waiter> markReadyTakeWaiters() {
+  /// Registers a one-shot completion callback, or — if the future is
+  /// already ready — returns false without registering, in which case the
+  /// caller invokes \p Fn itself. Callbacks run on whichever thread
+  /// completes the future, outside the state's spinlock; keep them small
+  /// and non-blocking.
+  [[nodiscard]] bool addCallback(std::function<void()> Fn) {
     lock();
+    if (Ready.load(std::memory_order_relaxed)) {
+      unlock();
+      return false;
+    }
+    Callbacks.push_back(std::move(Fn));
+    unlock();
+    return true;
+  }
+
+  /// Completes the future erroneously with \p E. Exactly-once like
+  /// complete(); the caller dispatches the returned Wakeup.
+  [[nodiscard]] Wakeup completeError(std::exception_ptr E) {
+    assert(!isReady() && "future completed twice");
+    assert(E && "erroneous completion needs an exception");
+    Error = std::move(E);
+    return markReadyTakeWakeup();
+  }
+
+  /// Erroneous completion that tolerates losing a completion race: returns
+  /// nullopt (and changes nothing) if the future was already completed.
+  [[nodiscard]] std::optional<Wakeup>
+  tryCompleteError(std::exception_ptr E) {
+    assert(E && "erroneous completion needs an exception");
+    lock();
+    if (Ready.load(std::memory_order_relaxed)) {
+      unlock();
+      return std::nullopt;
+    }
+    Error = std::move(E);
+    return markReadyTakeWakeupLocked();
+  }
+
+protected:
+  /// Publishes readiness and hands back every parked waiter and callback;
+  /// the caller requeues/invokes them (see Wakeup).
+  [[nodiscard]] Wakeup markReadyTakeWakeup() {
+    lock();
+    return markReadyTakeWakeupLocked();
+  }
+
+  /// As markReadyTakeWakeup, but the caller already holds the spinlock
+  /// (which this releases).
+  [[nodiscard]] Wakeup markReadyTakeWakeupLocked() {
     Ready.store(true, std::memory_order_release);
-    std::vector<Waiter> Out = std::move(Waiters);
+    Wakeup Out{std::move(Waiters), std::move(Callbacks)};
     Waiters.clear();
+    Callbacks.clear();
     unlock();
     return Out;
   }
 
-private:
   void lock() {
-    while (Lock.test_and_set(std::memory_order_acquire)) {
-    }
+    conc::Backoff B;
+    while (Lock.test_and_set(std::memory_order_acquire))
+      B.pause();
   }
   void unlock() { Lock.clear(std::memory_order_release); }
 
+  /// True while the spinlock is held by the caller. The storage write in
+  /// FutureState<T>::tryComplete needs it.
+  bool readyLocked() const { return Ready.load(std::memory_order_relaxed); }
+
+private:
   std::atomic<bool> Ready{false};
   std::atomic_flag Lock = ATOMIC_FLAG_INIT;
   std::vector<Waiter> Waiters;
+  std::vector<std::function<void()>> Callbacks;
+  std::exception_ptr Error;
   unsigned Level;
   uint32_t ProducerTraceId = 0;
 };
@@ -99,17 +190,31 @@ template <typename T> class FutureState : public FutureStateBase {
 public:
   using FutureStateBase::FutureStateBase;
 
-  /// Called exactly once on completion; returns the waiters to requeue
-  /// (see Runtime::resumeTask / icilk::completeAndResume).
-  [[nodiscard]] std::vector<Waiter> complete(T Value) {
+  /// Called exactly once on completion; the caller dispatches the returned
+  /// Wakeup (see Runtime::resumeTask / icilk::completeAndResume).
+  [[nodiscard]] Wakeup complete(T Value) {
     assert(!isReady() && "future completed twice");
     Storage.emplace(std::move(Value));
-    return markReadyTakeWaiters();
+    return markReadyTakeWakeup();
   }
 
-  /// Valid only after isReady().
+  /// Completion that tolerates losing a race: returns nullopt (and changes
+  /// nothing) if the future was already completed. Used where two
+  /// completers legitimately race (e.g. the deadline gate of ftouchFor).
+  [[nodiscard]] std::optional<Wakeup> tryComplete(T Value) {
+    lock();
+    if (readyLocked()) {
+      unlock();
+      return std::nullopt;
+    }
+    Storage.emplace(std::move(Value));
+    return markReadyTakeWakeupLocked();
+  }
+
+  /// Valid only after isReady(); rethrows an erroneous completion.
   const T &value() const {
     assert(isReady() && "value() before completion");
+    rethrowIfError();
     return *Storage;
   }
 
@@ -135,6 +240,9 @@ public:
 
   /// True once the underlying thread finished.
   bool isReady() const { return State && State->isReady(); }
+
+  /// True once the underlying thread finished erroneously.
+  bool hasError() const { return isReady() && State->hasError(); }
 
   /// True if this handle was associated with a thread by fcreate.
   bool isAssociated() const { return State != nullptr; }

@@ -7,6 +7,19 @@
 
 namespace repro::icilk {
 
+namespace {
+
+/// Dispatches a completion outside the service lock: requeue parked
+/// waiters, run one-shot callbacks.
+void dispatch(Wakeup W) {
+  for (Waiter &Wt : W.Waiters)
+    Wt.Rt->resumeTask(Wt.T);
+  for (std::function<void()> &Fn : W.Callbacks)
+    Fn();
+}
+
+} // namespace
+
 IoService::IoService() : Timer([this] { timerLoop(); }) {}
 
 IoService::~IoService() {
@@ -17,21 +30,79 @@ IoService::~IoService() {
   Cv.notify_all();
   if (Timer.joinable())
     Timer.join();
-  // Complete anything still pending so touchers do not hang at teardown.
+  // Fire anything still pending (early) so touchers do not hang at
+  // teardown: successful ops complete with their value, injected faults
+  // with their error, timers just run.
   while (!Heap.empty()) {
-    for (Waiter &W : Heap.top().State->complete(Heap.top().Bytes))
-      W.Rt->resumeTask(W.T);
+    Op Due = Heap.top();
     Heap.pop();
+    Due.Fire();
+    if (Due.IsIo) {
+      ++Done;
+      --IoPending;
+    }
   }
 }
 
-void IoService::submit(uint64_t LatencyMicros,
-                       std::shared_ptr<FutureState<IoResult>> State,
-                       IoResult Bytes) {
+void IoService::setFaultPlan(std::shared_ptr<FaultPlan> Plan) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Faults = std::move(Plan);
+}
+
+void IoService::submitIo(uint64_t LatencyMicros,
+                         std::shared_ptr<FutureState<IoResult>> State,
+                         IoResult Bytes) {
+  std::shared_ptr<FaultPlan> Plan;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Plan = Faults;
+  }
+  std::exception_ptr Err;
+  if (Plan) {
+    FaultPlan::Decision D = Plan->next();
+    switch (D.K) {
+    case FaultPlan::Kind::None:
+      break;
+    case FaultPlan::Kind::Fail:
+      // The op still takes its normal latency before failing, like a
+      // connection reset observed mid-transfer.
+      Err = std::make_exception_ptr(IoError(D.Code));
+      break;
+    case FaultPlan::Kind::Delay:
+      LatencyMicros += D.ExtraLatencyMicros;
+      break;
+    case FaultPlan::Kind::Drop:
+      // A dropped op surfaces only when the drop-detection latency
+      // expires, regardless of how fast it would have been.
+      Err = std::make_exception_ptr(IoError(D.Code));
+      LatencyMicros = D.DropAfterMicros;
+      break;
+    }
+  }
+  push(LatencyMicros, /*IsIo=*/true,
+       [State = std::move(State), Bytes, Err] {
+         dispatch(Err ? State->completeError(Err) : State->complete(Bytes));
+       });
+}
+
+void IoService::submitTimer(uint64_t LatencyMicros, std::function<void()> Fn) {
+  push(LatencyMicros, /*IsIo=*/false, std::move(Fn));
+}
+
+void IoService::submitSleep(uint64_t LatencyMicros,
+                            std::shared_ptr<FutureState<Unit>> State) {
+  push(LatencyMicros, /*IsIo=*/false,
+       [State = std::move(State)] { dispatch(State->complete(Unit{})); });
+}
+
+void IoService::push(uint64_t LatencyMicros, bool IsIo,
+                     std::function<void()> Fire) {
   uint64_t Deadline = repro::nowNanos() + LatencyMicros * 1000;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    Heap.push(Op{Deadline, std::move(State), Bytes});
+    Heap.push(Op{Deadline, IsIo, std::move(Fire)});
+    if (IsIo)
+      ++IoPending;
   }
   Cv.notify_one();
 }
@@ -46,20 +117,21 @@ void IoService::timerLoop() {
       continue;
     }
     uint64_t Now = repro::nowNanos();
-    const Op &Next = Heap.top();
-    if (Next.DeadlineNanos <= Now) {
-      Op Due = Next;
+    if (Heap.top().DeadlineNanos <= Now) {
+      Op Due = Heap.top();
       Heap.pop();
       Lock.unlock();
-      // Completion (and waiter requeue) outside the service lock.
-      for (Waiter &W : Due.State->complete(Due.Bytes))
-        W.Rt->resumeTask(W.T);
+      // Completion (waiter requeue, callbacks) outside the service lock.
+      Due.Fire();
       Lock.lock();
-      ++Done;
+      if (Due.IsIo) {
+        ++Done;
+        --IoPending;
+      }
       continue;
     }
     Cv.wait_for(Lock,
-                std::chrono::nanoseconds(Next.DeadlineNanos - Now));
+                std::chrono::nanoseconds(Heap.top().DeadlineNanos - Now));
   }
 }
 
@@ -70,7 +142,7 @@ uint64_t IoService::completed() const {
 
 uint64_t IoService::inFlight() const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Heap.size();
+  return IoPending;
 }
 
 } // namespace repro::icilk

@@ -15,15 +15,24 @@
 // the latency differs. Latencies are supplied by the workload generators
 // (e.g. exponential network delays for the proxy).
 //
+// Failure semantics (see DESIGN.md): an attached FaultPlan is consulted
+// once per operation and can fail it (erroneous completion carrying an
+// IoError after the op's normal latency), delay it, or drop it (erroneous
+// completion only after the plan's drop-detection latency). The timer heap
+// also serves plain deadline callbacks (submitTimer), which back the
+// deadline-touch API (Context::ftouchFor).
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef REPRO_ICILK_IOSERVICE_H
 #define REPRO_ICILK_IOSERVICE_H
 
+#include "icilk/FaultPlan.h"
 #include "icilk/Future.h"
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -43,13 +52,14 @@ public:
   IoService(const IoService &) = delete;
   IoService &operator=(const IoService &) = delete;
 
-  /// Simulated read: completes with \p Bytes after \p LatencyMicros.
-  /// The returned io_future is touched like any other future; the priority
-  /// type parameter gives the level the toucher's check sees.
+  /// Simulated read: completes with \p Bytes after \p LatencyMicros (or
+  /// erroneously, per the attached fault plan). The returned io_future is
+  /// touched like any other future; the priority type parameter gives the
+  /// level the toucher's check sees.
   template <typename Prio>
   Future<Prio, IoResult> read(uint64_t LatencyMicros, IoResult Bytes) {
     auto State = std::make_shared<FutureState<IoResult>>(Prio::Level);
-    submit(LatencyMicros, State, Bytes);
+    submitIo(LatencyMicros, State, Bytes);
     return Future<Prio, IoResult>(std::move(State));
   }
 
@@ -59,31 +69,59 @@ public:
     return read<Prio>(LatencyMicros, Bytes);
   }
 
-  /// Number of operations completed so far.
+  /// Schedules \p Fn to run on the timer thread after \p LatencyMicros.
+  /// Not an I/O operation: it is excluded from completed()/inFlight() and
+  /// never fault-injected. Keep callbacks small and non-blocking. Pending
+  /// timers still fire (early) at service shutdown.
+  void submitTimer(uint64_t LatencyMicros, std::function<void()> Fn);
+
+  /// Pure timer future: completes with Unit after \p LatencyMicros. Never
+  /// fault-injected and excluded from the I/O counters — retry loops sleep
+  /// out their backoff on one of these so a worker is never parked (an
+  /// Io.read sleep would itself be subject to the fault plan).
+  template <typename Prio> Future<Prio, Unit> sleepFor(uint64_t LatencyMicros) {
+    auto State = std::make_shared<FutureState<Unit>>(Prio::Level);
+    submitSleep(LatencyMicros, State);
+    return Future<Prio, Unit>(std::move(State));
+  }
+
+  /// Attaches a fault plan consulted for every subsequent read/write (null
+  /// detaches). The plan is shared: several services may draw from one
+  /// plan, and the caller can inspect its counters afterwards.
+  void setFaultPlan(std::shared_ptr<FaultPlan> Plan);
+
+  /// Number of I/O operations completed so far (successfully or
+  /// erroneously; timers excluded).
   uint64_t completed() const;
 
-  /// Operations submitted but not yet completed.
+  /// I/O operations submitted but not yet completed (timers excluded).
   uint64_t inFlight() const;
 
 private:
+  /// One heap entry: at DeadlineNanos, run Fire (outside the lock).
   struct Op {
     uint64_t DeadlineNanos;
-    std::shared_ptr<FutureState<IoResult>> State;
-    IoResult Bytes;
+    bool IsIo; ///< counted in Done/inFlight (timers are not)
+    std::function<void()> Fire;
 
     bool operator>(const Op &O) const {
       return DeadlineNanos > O.DeadlineNanos;
     }
   };
 
-  void submit(uint64_t LatencyMicros,
-              std::shared_ptr<FutureState<IoResult>> State, IoResult Bytes);
+  void submitIo(uint64_t LatencyMicros,
+                std::shared_ptr<FutureState<IoResult>> State, IoResult Bytes);
+  void submitSleep(uint64_t LatencyMicros,
+                   std::shared_ptr<FutureState<Unit>> State);
+  void push(uint64_t LatencyMicros, bool IsIo, std::function<void()> Fire);
   void timerLoop();
 
   mutable std::mutex Mutex;
   std::condition_variable Cv;
   std::priority_queue<Op, std::vector<Op>, std::greater<Op>> Heap;
+  std::shared_ptr<FaultPlan> Faults;
   uint64_t Done = 0;
+  uint64_t IoPending = 0;
   bool Stop = false;
   std::thread Timer;
 };

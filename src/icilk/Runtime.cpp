@@ -3,10 +3,13 @@
 #include "icilk/Runtime.h"
 
 #include "conc/Backoff.h"
+#include "support/Logging.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <sstream>
 
 namespace repro::icilk {
 
@@ -172,6 +175,8 @@ void Runtime::masterLoop() {
   std::vector<double> Desire(Config.NumLevels, 1.0);
   std::vector<uint8_t> Satisfied(Config.NumLevels, 1);
   const double QuantumNanos = static_cast<double>(Config.QuantumMicros) * 1000.0;
+  uint64_t WatchdogLastExecuted = Executed.load(std::memory_order_relaxed);
+  unsigned QuantaSinceProgress = 0;
 
   while (true) {
     {
@@ -181,6 +186,34 @@ void Runtime::masterLoop() {
     }
     if (Stop.load())
       return;
+
+    // Stall watchdog: outstanding work but no completions across
+    // WatchdogQuanta consecutive quanta means something is wedged (lost
+    // wakeup, deadlocked future chain, I/O that never completes) — dump
+    // the queue state once per episode so the stall is diagnosable.
+    if (Config.WatchdogQuanta > 0) {
+      uint64_t Exec = Executed.load(std::memory_order_relaxed);
+      if (Outstanding.load(std::memory_order_relaxed) > 0 &&
+          Exec == WatchdogLastExecuted) {
+        if (++QuantaSinceProgress == Config.WatchdogQuanta) {
+          Stalls.fetch_add(1, std::memory_order_relaxed);
+          std::ostringstream Dump;
+          Dump << "runtime watchdog: no progress for " << QuantaSinceProgress
+               << " quanta; outstanding="
+               << Outstanding.load(std::memory_order_relaxed)
+               << " executed=" << Exec << "; per-level [pending/assigned]:";
+          auto Assigned = assignmentCounts();
+          for (unsigned L = Config.NumLevels; L-- > 0;)
+            Dump << " L" << L << "=["
+                 << Pending[L]->load(std::memory_order_relaxed) << "/"
+                 << Assigned[L] << "]";
+          repro::log(repro::LogLevel::Warn) << Dump.str();
+        }
+      } else {
+        QuantaSinceProgress = 0;
+        WatchdogLastExecuted = Exec;
+      }
+    }
 
     // Collect per-level utilization over the quantum.
     std::vector<uint64_t> Work(Config.NumLevels, 0);
@@ -258,7 +291,15 @@ void Runtime::masterLoop() {
 }
 
 void Runtime::drain() {
-  assert(!onWorkerThread() && "drain() would deadlock on a worker");
+  if (onWorkerThread()) {
+    // A worker draining spins on work only workers can run — a guaranteed
+    // deadlock at NumWorkers=1 and a latent one elsewhere. Fail fast.
+    repro::log(repro::LogLevel::Error)
+        << "Runtime::drain() called from a worker thread; drain() is for "
+           "external (driver) threads only — aborting";
+    assert(false && "drain() called from a worker thread");
+    std::abort();
+  }
   conc::Backoff B;
   while (Outstanding.load(std::memory_order_acquire) > 0)
     B.pause();

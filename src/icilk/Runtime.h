@@ -59,6 +59,12 @@ struct RuntimeConfig {
   uint64_t QuantumMicros = 500;       ///< master scheduling quantum
   double UtilizationThreshold = 0.9;  ///< 90%
   double Growth = 2.0;                ///< γ
+  /// Stall watchdog: if Outstanding > 0 with no Executed progress for this
+  /// many consecutive quanta, the master logs a diagnostic dump of the
+  /// per-level queue depths (once per stall episode). 0 disables. Runs on
+  /// the master thread, so it is active only in priority-aware multi-level
+  /// runtimes. Default: 2000 quanta ≈ 1 s at the default quantum.
+  unsigned WatchdogQuanta = 2000;
 };
 
 /// Per-priority-level measurement sinks (Figs. 13–14 report summaries of
@@ -88,7 +94,9 @@ public:
   void resumeTask(Task *T);
 
   /// Blocks the calling thread until every submitted task completed.
-  /// Callable from non-worker threads only.
+  /// Callable from non-worker threads only: a worker draining would spin
+  /// on work only it can run, so the call fails fast (logged error +
+  /// abort) instead of deadlocking silently.
   void drain();
 
   /// Stops workers and the master after the current tasks finish; called by
@@ -109,6 +117,18 @@ public:
   }
   int64_t outstanding() const {
     return Outstanding.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks queued (not yet running or suspended) at \p Level — the queue-
+  /// depth signal admission control sheds on (see apps/JobServer).
+  int64_t pendingAt(unsigned Level) const {
+    return Pending[Level]->load(std::memory_order_relaxed);
+  }
+
+  /// Stall episodes the watchdog has reported (see
+  /// RuntimeConfig::WatchdogQuanta).
+  uint64_t stallsDetected() const {
+    return Stalls.load(std::memory_order_relaxed);
   }
 
   /// Workers currently assigned per level (top-level scheduler state);
@@ -162,6 +182,7 @@ private:
 
   std::atomic<int64_t> Outstanding{0};
   std::atomic<uint64_t> Executed{0};
+  std::atomic<uint64_t> Stalls{0};
   std::atomic<uint64_t> TotalWorkNanos{0};
   std::atomic<class TraceRecorder *> Trace{nullptr};
   std::atomic<bool> Stop{false};

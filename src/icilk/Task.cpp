@@ -2,7 +2,19 @@
 
 #include "icilk/Task.h"
 
+#include "support/Logging.h"
+
 #include <cassert>
+#include <exception>
+
+// ThreadSanitizer cannot follow raw ucontext switches: it keeps per-stack
+// shadow state, so an unannotated swapcontext loses every happens-before
+// edge established on the fiber (and eventually crashes in the runtime's
+// stress tests). The fiber API below tells it about each switch.
+// ICILK_TSAN_FIBERS comes from Task.h (the stack-size bump lives there).
+#if ICILK_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
 
 namespace repro::icilk {
 
@@ -21,12 +33,41 @@ Task *Task::current() { return RunningTask; }
 void Task::trampoline() {
   Task *Self = LaunchingTask;
   LaunchingTask = nullptr;
-  Self->Body();
+  // The fcreate wrapper (Context.h) already converts body exceptions into
+  // erroneous future completions; this is the last-resort barrier for raw
+  // Task bodies — an exception unwinding past a makecontext trampoline
+  // would terminate the whole process, taking the worker pool with it.
+  try {
+    Self->Body();
+  } catch (const std::exception &E) {
+    repro::log(repro::LogLevel::Error)
+        << "task body escaped an exception past the future-completion "
+           "barrier (its future, if any, never completes): "
+        << E.what();
+  } catch (...) {
+    repro::log(repro::LogLevel::Error)
+        << "task body escaped a non-std exception past the "
+           "future-completion barrier (its future, if any, never completes)";
+  }
   Self->FinishNanos = repro::nowNanos();
   Self->Done = true;
-  // Back to whichever worker is dispatching us right now.
-  swapcontext(&Self->Ctx, &WorkerReturnCtx);
+  // Back to whichever worker is dispatching us right now. Through the
+  // Task's ReturnCtx, NOT &WorkerReturnCtx: Body() may have suspended and
+  // resumed on a different thread, and the compiler is allowed to have
+  // computed the TLS address once, on entry — the original thread's slot,
+  // which by now holds garbage.
+#if ICILK_TSAN_FIBERS
+  __tsan_switch_to_fiber(Self->DispatcherFiber, 0);
+#endif
+  swapcontext(&Self->Ctx, Self->ReturnCtx);
   assert(false && "resumed a finished task");
+}
+
+Task::~Task() {
+#if ICILK_TSAN_FIBERS
+  if (TsanFiber)
+    __tsan_destroy_fiber(TsanFiber);
+#endif
 }
 
 bool Task::startOrResume() {
@@ -42,10 +83,18 @@ bool Task::startOrResume() {
     Ctx.uc_link = nullptr; // trampoline swaps back explicitly
     makecontext(&Ctx, &Task::trampoline, 0);
     LaunchingTask = this;
+#if ICILK_TSAN_FIBERS
+    TsanFiber = __tsan_create_fiber(0);
+#endif
   }
   // Save the worker's return point; nested dispatch is impossible (workers
   // only dispatch from their scheduler context), so one slot suffices.
   ucontext_t SavedReturn = WorkerReturnCtx;
+  ReturnCtx = &WorkerReturnCtx; // this dispatch's home, taken fresh
+#if ICILK_TSAN_FIBERS
+  DispatcherFiber = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(TsanFiber, 0);
+#endif
   swapcontext(&WorkerReturnCtx, &Ctx);
   WorkerReturnCtx = SavedReturn;
   RunningTask = PrevRunning;
@@ -55,8 +104,13 @@ bool Task::startOrResume() {
 void Task::suspendOn(FutureStateBase &State) {
   assert(RunningTask == this && "suspend from outside the task fiber");
   WaitingOn = &State;
-  swapcontext(&Ctx, &WorkerReturnCtx);
-  // Resumed (possibly on a different worker thread).
+#if ICILK_TSAN_FIBERS
+  __tsan_switch_to_fiber(DispatcherFiber, 0);
+#endif
+  swapcontext(&Ctx, ReturnCtx);
+  // Resumed (possibly on a different worker thread; the resuming worker's
+  // startOrResume switched TSan back onto this task's fiber and refreshed
+  // ReturnCtx to its own return slot).
 }
 
 } // namespace repro::icilk

@@ -30,6 +30,18 @@
 #include <functional>
 #include <memory>
 
+// ThreadSanitizer needs two accommodations in the fiber layer: explicit
+// fiber-switch annotations (TSan cannot follow raw swapcontext, see
+// Task.cpp) and larger fiber stacks (instrumented frames are several times
+// bigger, and an overflow corrupts whatever the allocator placed below).
+#if defined(__SANITIZE_THREAD__)
+#define ICILK_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ICILK_TSAN_FIBERS 1
+#endif
+#endif
+
 namespace repro::icilk {
 
 class FutureStateBase;
@@ -38,10 +50,15 @@ class FutureStateBase;
 /// isDone()/waitingOn() afterwards.
 class Task {
 public:
+#if ICILK_TSAN_FIBERS
+  static constexpr std::size_t StackBytes = 1024 * 1024;
+#else
   static constexpr std::size_t StackBytes = 256 * 1024;
+#endif
 
   Task(std::function<void()> Body, unsigned Level)
       : Body(std::move(Body)), Level(Level), CreateNanos(repro::nowNanos()) {}
+  ~Task();
 
   Task(const Task &) = delete;
   Task &operator=(const Task &) = delete;
@@ -96,6 +113,17 @@ private:
   FutureStateBase *WaitingOn = nullptr;
   std::unique_ptr<char[]> Stack;
   ucontext_t Ctx{};
+  /// The dispatching worker's return context, refreshed on every dispatch.
+  /// Fiber code switches back through THIS pointer, never through the
+  /// thread_local directly: a task can suspend on one worker and finish on
+  /// another, and a TLS address the compiler cached before the migration
+  /// would belong to the wrong thread.
+  ucontext_t *ReturnCtx = nullptr;
+  /// ThreadSanitizer fiber handles (used only in -fsanitize=thread builds;
+  /// TSan cannot follow raw swapcontext without explicit fiber switches).
+  /// DispatcherFiber is per-dispatch for the same migration reason.
+  void *TsanFiber = nullptr;
+  void *DispatcherFiber = nullptr;
 };
 
 } // namespace repro::icilk

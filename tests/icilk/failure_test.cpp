@@ -1,0 +1,419 @@
+//===- tests/icilk/failure_test.cpp - Failure semantics --------------------===//
+//
+// The failure-aware layer (DESIGN.md, "Failure semantics"): erroneous
+// future completion and rethrow at touch sites, deadline touches
+// (ftouchFor), cooperative cancellation, deterministic fault injection,
+// the stall watchdog, and the drain-from-worker guard.
+//
+//===----------------------------------------------------------------------===//
+
+#include "icilk/Context.h"
+#include "icilk/FaultPlan.h"
+#include "icilk/IoService.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace repro::icilk {
+namespace {
+
+ICILK_PRIORITY(Low, BasePriority, 0);
+ICILK_PRIORITY(High, Low, 1);
+
+RuntimeConfig smallConfig() {
+  RuntimeConfig C;
+  C.NumWorkers = 2;
+  C.NumLevels = 2;
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Erroneous completion of futures
+//===----------------------------------------------------------------------===//
+
+TEST(FailureTest, BodyExceptionRethrowsAtExternalTouch) {
+  Runtime Rt(smallConfig());
+  auto F = fcreate<High>(Rt, [](Context<High> &) -> int {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(touchFromOutside(Rt, F), std::runtime_error);
+  EXPECT_TRUE(F.isReady());
+  EXPECT_TRUE(F.hasError());
+}
+
+TEST(FailureTest, BodyExceptionRethrowsAtFtouchSite) {
+  // The acceptance-criteria scenario: a task-body exception propagates to
+  // its ftouch site as a rethrown exception, not a worker crash.
+  Runtime Rt(smallConfig());
+  auto Inner = fcreate<High>(Rt, [](Context<High> &) -> int {
+    throw std::runtime_error("inner failure");
+  });
+  auto Outer = fcreate<Low>(Rt, [&Inner](Context<Low> &Ctx) {
+    try {
+      return Ctx.ftouch(Inner) + 1;
+    } catch (const std::runtime_error &E) {
+      return std::string(E.what()) == "inner failure" ? -1 : -2;
+    }
+  });
+  EXPECT_EQ(touchFromOutside(Rt, Outer), -1);
+}
+
+TEST(FailureTest, WorkersSurviveThrowingTasks) {
+  // A wave of throwing tasks must not take workers down: ordinary tasks
+  // submitted afterwards still run to completion.
+  Runtime Rt(smallConfig());
+  for (int I = 0; I < 50; ++I)
+    fcreate<Low>(Rt, [](Context<Low> &) -> int {
+      throw std::runtime_error("repeated failure");
+    });
+  Rt.drain();
+  auto F = fcreate<High>(Rt, [](Context<High> &) { return 99; });
+  EXPECT_EQ(touchFromOutside(Rt, F), 99);
+}
+
+TEST(FailureTest, UncaughtErrorPropagatesThroughChain) {
+  // An untouched erroneous future fails each consumer in turn.
+  Runtime Rt(smallConfig());
+  auto A = fcreate<High>(Rt, [](Context<High> &) -> int {
+    throw std::logic_error("root cause");
+  });
+  auto B = fcreate<High>(Rt,
+                         [&A](Context<High> &Ctx) { return Ctx.ftouch(A); });
+  EXPECT_THROW(touchFromOutside(Rt, B), std::logic_error);
+}
+
+TEST(FailureTest, ErrorCompletionWakesParkedWaiters) {
+  // A task already suspended on the future must be requeued by an
+  // erroneous completion exactly like a successful one.
+  Runtime Rt(smallConfig());
+  auto Gate = std::make_shared<std::atomic<bool>>(false);
+  auto Slow = fcreate<High>(Rt, [Gate](Context<High> &) -> int {
+    while (!Gate->load())
+      std::this_thread::yield();
+    throw std::runtime_error("late failure");
+  });
+  auto Toucher = fcreate<Low>(Rt, [&Slow](Context<Low> &Ctx) {
+    try {
+      return Ctx.ftouch(Slow);
+    } catch (const std::runtime_error &) {
+      return -7;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Gate->store(true);
+  EXPECT_EQ(touchFromOutside(Rt, Toucher), -7);
+}
+
+//===----------------------------------------------------------------------===//
+// Completion callbacks and racy completion (the ftouchFor substrate)
+//===----------------------------------------------------------------------===//
+
+TEST(FailureTest, CallbackRunsOnCompletion) {
+  FutureState<int> S(0);
+  int Fired = 0;
+  EXPECT_TRUE(S.addCallback([&Fired] { ++Fired; }));
+  EXPECT_EQ(Fired, 0);
+  Wakeup W = S.complete(5);
+  ASSERT_EQ(W.Callbacks.size(), 1u);
+  W.Callbacks.front()();
+  EXPECT_EQ(Fired, 1);
+}
+
+TEST(FailureTest, CallbackAfterReadyIsRejected) {
+  FutureState<int> S(0);
+  (void)S.complete(1);
+  EXPECT_FALSE(S.addCallback([] {}));
+}
+
+TEST(FailureTest, TryCompleteLosesGracefully) {
+  FutureState<bool> S(0);
+  EXPECT_TRUE(S.tryComplete(true).has_value());
+  EXPECT_FALSE(S.tryComplete(false).has_value());
+  EXPECT_FALSE(S.tryCompleteError(
+                    std::make_exception_ptr(std::runtime_error("late")))
+                   .has_value());
+  EXPECT_TRUE(S.value());
+}
+
+//===----------------------------------------------------------------------===//
+// Deadline touches
+//===----------------------------------------------------------------------===//
+
+TEST(FailureTest, FtouchForTimesOutAndProducerSurvives) {
+  Runtime Rt(smallConfig());
+  IoService Io;
+  auto Gate = std::make_shared<std::atomic<bool>>(false);
+  auto Slow = fcreate<High>(Rt, [Gate](Context<High> &) {
+    while (!Gate->load())
+      std::this_thread::yield();
+    return 42;
+  });
+  auto Waiter = fcreate<Low>(Rt, [&](Context<Low> &Ctx) {
+    auto R = Ctx.ftouchFor(Slow, Io, /*TimeoutMicros=*/2000);
+    return R.has_value() ? *R : -1;
+  });
+  EXPECT_EQ(touchFromOutside(Rt, Waiter), -1) << "deadline should win";
+  // The producer keeps running and the handle stays touchable.
+  Gate->store(true);
+  EXPECT_EQ(touchFromOutside(Rt, Slow), 42);
+}
+
+TEST(FailureTest, FtouchForReturnsValueBeforeDeadline) {
+  Runtime Rt(smallConfig());
+  IoService Io;
+  auto Fast = fcreate<High>(Rt, [](Context<High> &) { return 7; });
+  auto Waiter = fcreate<Low>(Rt, [&](Context<Low> &Ctx) {
+    auto R = Ctx.ftouchFor(Fast, Io, /*TimeoutMicros=*/500000);
+    return R.value_or(-1);
+  });
+  EXPECT_EQ(touchFromOutside(Rt, Waiter), 7);
+}
+
+TEST(FailureTest, FtouchForRethrowsProducerError) {
+  Runtime Rt(smallConfig());
+  IoService Io;
+  auto Bad = fcreate<High>(Rt, [](Context<High> &) -> int {
+    throw std::runtime_error("fails fast");
+  });
+  auto Waiter = fcreate<Low>(Rt, [&](Context<Low> &Ctx) {
+    try {
+      return Ctx.ftouchFor(Bad, Io, 500000).value_or(-1);
+    } catch (const std::runtime_error &) {
+      return -9;
+    }
+  });
+  EXPECT_EQ(touchFromOutside(Rt, Waiter), -9);
+}
+
+TEST(FailureTest, TouchFromOutsideForTimesOut) {
+  Runtime Rt(smallConfig());
+  IoService Io;
+  auto Gate = std::make_shared<std::atomic<bool>>(false);
+  auto Slow = fcreate<High>(Rt, [Gate](Context<High> &) {
+    while (!Gate->load())
+      std::this_thread::yield();
+    return 1;
+  });
+  EXPECT_EQ(touchFromOutsideFor(Rt, Io, Slow, 2000), std::nullopt);
+  Gate->store(true);
+  EXPECT_EQ(touchFromOutsideFor(Rt, Io, Slow, 1000000), std::optional<int>(1));
+}
+
+TEST(FailureTest, FtouchForOnIoFutureHidesLatency) {
+  // Deadline touch of a slow I/O op: the timeout fires, the op completes
+  // later on its own, and a second (long-deadline) touch sees the value.
+  Runtime Rt(smallConfig());
+  IoService Io;
+  auto F = Io.read<High>(/*LatencyMicros=*/30000, 11);
+  auto T = fcreate<Low>(Rt, [&](Context<Low> &Ctx) {
+    auto First = Ctx.ftouchFor(F, Io, 1000);
+    auto Second = Ctx.ftouchFor(F, Io, 1000000);
+    return (First.has_value() ? 100 : 0) + Second.value_or(-100);
+  });
+  EXPECT_EQ(touchFromOutside(Rt, T), 11);
+}
+
+//===----------------------------------------------------------------------===//
+// Cooperative cancellation
+//===----------------------------------------------------------------------===//
+
+TEST(FailureTest, CancellationObservedAndSurfacedAsError) {
+  Runtime Rt(smallConfig());
+  CancelSource Source;
+  CancelToken Token = Source.token();
+  std::atomic<bool> Entered{false};
+  auto F = fcreate<Low>(Rt, [&Entered, Token](Context<Low> &) -> int {
+    Entered.store(true);
+    while (true) {
+      Token.throwIfCancelled();
+      std::this_thread::yield();
+    }
+  });
+  while (!Entered.load())
+    std::this_thread::yield();
+  Source.requestCancel();
+  EXPECT_THROW(touchFromOutside(Rt, F), CancelledError);
+}
+
+TEST(FailureTest, UnassociatedTokenNeverCancelled) {
+  CancelToken Token;
+  EXPECT_FALSE(Token.cancelled());
+  EXPECT_NO_THROW(Token.throwIfCancelled());
+  CancelSource Source;
+  EXPECT_FALSE(Source.cancelRequested());
+  Source.requestCancel();
+  EXPECT_TRUE(Source.cancelRequested());
+  EXPECT_TRUE(Source.token().cancelled());
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection
+//===----------------------------------------------------------------------===//
+
+FaultSpec mixedSpec() {
+  FaultSpec S;
+  S.FailProb = 0.2;
+  S.DelayProb = 0.2;
+  S.DropProb = 0.2;
+  S.DelayMicros = 123;
+  S.DropAfterMicros = 456;
+  return S;
+}
+
+TEST(FaultPlanTest, SameSeedSameSequence) {
+  // The acceptance-criteria determinism property: one seed, one fault
+  // sequence, run-to-run.
+  FaultPlan A(/*Seed=*/1234, mixedSpec());
+  FaultPlan B(/*Seed=*/1234, mixedSpec());
+  for (int I = 0; I < 2000; ++I) {
+    FaultPlan::Decision Da = A.next();
+    FaultPlan::Decision Db = B.next();
+    ASSERT_EQ(static_cast<int>(Da.K), static_cast<int>(Db.K)) << "draw " << I;
+    ASSERT_EQ(Da.ExtraLatencyMicros, Db.ExtraLatencyMicros);
+    ASSERT_EQ(Da.DropAfterMicros, Db.DropAfterMicros);
+    ASSERT_EQ(static_cast<int>(Da.Code), static_cast<int>(Db.Code));
+  }
+  EXPECT_EQ(A.decisions(), 2000u);
+  EXPECT_EQ(A.injected(), B.injected());
+}
+
+TEST(FaultPlanTest, DifferentSeedsDiverge) {
+  FaultPlan A(1, mixedSpec());
+  FaultPlan B(2, mixedSpec());
+  int Differences = 0;
+  for (int I = 0; I < 500; ++I)
+    if (static_cast<int>(A.next().K) != static_cast<int>(B.next().K))
+      ++Differences;
+  EXPECT_GT(Differences, 0);
+}
+
+TEST(FaultPlanTest, AllKindsAppearAtConfiguredRates) {
+  FaultPlan P(99, mixedSpec());
+  int Counts[4] = {0, 0, 0, 0};
+  constexpr int N = 5000;
+  for (int I = 0; I < N; ++I)
+    ++Counts[static_cast<int>(P.next().K)];
+  // Each kind has probability 0.2; allow a wide tolerance.
+  for (int K = 1; K <= 3; ++K) {
+    EXPECT_GT(Counts[K], N / 10) << "kind " << K;
+    EXPECT_LT(Counts[K], N * 3 / 10) << "kind " << K;
+  }
+  EXPECT_EQ(P.injected(), static_cast<uint64_t>(Counts[1] + Counts[2] +
+                                                Counts[3]));
+}
+
+TEST(FaultPlanTest, ZeroSpecInjectsNothing) {
+  FaultPlan P(7, FaultSpec{});
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(static_cast<int>(P.next().K),
+              static_cast<int>(FaultPlan::Kind::None));
+  EXPECT_EQ(P.injected(), 0u);
+}
+
+TEST(FaultInjectionTest, FailedOpThrowsIoErrorAtToucher) {
+  Runtime Rt(smallConfig());
+  IoService Io;
+  FaultSpec Spec;
+  Spec.FailProb = 1.0;
+  Spec.FailCode = IoErrc::Reset;
+  Io.setFaultPlan(std::make_shared<FaultPlan>(1, Spec));
+  auto F = Io.read<High>(100, 64);
+  auto T = fcreate<Low>(Rt, [&](Context<Low> &Ctx) {
+    try {
+      return static_cast<int>(Ctx.ftouch(F));
+    } catch (const IoError &E) {
+      return E.code() == IoErrc::Reset ? -1 : -2;
+    }
+  });
+  EXPECT_EQ(touchFromOutside(Rt, T), -1);
+}
+
+TEST(FaultInjectionTest, DroppedOpSurfacesAfterDropLatency) {
+  Runtime Rt(smallConfig());
+  IoService Io;
+  FaultSpec Spec;
+  Spec.DropProb = 1.0;
+  Spec.DropAfterMicros = 3000;
+  Io.setFaultPlan(std::make_shared<FaultPlan>(1, Spec));
+  uint64_t Start = repro::nowMicros();
+  auto F = Io.read<High>(/*LatencyMicros=*/0, 64);
+  while (!F.isReady())
+    std::this_thread::yield();
+  EXPECT_GE(repro::nowMicros() - Start + 200, 3000u);
+  EXPECT_TRUE(F.hasError());
+  EXPECT_THROW(touchFromOutside(Rt, F), IoError);
+}
+
+TEST(FaultInjectionTest, DelayedOpStillSucceeds) {
+  IoService Io;
+  FaultSpec Spec;
+  Spec.DelayProb = 1.0;
+  Spec.DelayMicros = 5000;
+  Io.setFaultPlan(std::make_shared<FaultPlan>(1, Spec));
+  uint64_t Start = repro::nowMicros();
+  auto F = Io.read<Low>(1000, 32);
+  while (!F.isReady())
+    std::this_thread::yield();
+  EXPECT_GE(repro::nowMicros() - Start + 200, 6000u);
+  EXPECT_EQ(F.state()->value(), 32);
+}
+
+TEST(FaultInjectionTest, SleepForIsNeverInjected) {
+  Runtime Rt(smallConfig());
+  IoService Io;
+  FaultSpec Spec;
+  Spec.FailProb = 1.0;
+  Io.setFaultPlan(std::make_shared<FaultPlan>(1, Spec));
+  auto T = fcreate<Low>(Rt, [&](Context<Low> &Ctx) {
+    Ctx.ftouch(Io.sleepFor<Low>(500)); // must not throw
+    return 3;
+  });
+  EXPECT_EQ(touchFromOutside(Rt, T), 3);
+  EXPECT_EQ(Io.completed(), 0u) << "timers are not I/O ops";
+}
+
+//===----------------------------------------------------------------------===//
+// Watchdog and drain guard
+//===----------------------------------------------------------------------===//
+
+TEST(WatchdogTest, DetectsStallOnBlockedIo) {
+  RuntimeConfig C = smallConfig();
+  C.QuantumMicros = 500;
+  C.WatchdogQuanta = 20; // ~10 ms of no progress
+  Runtime Rt(C);
+  IoService Io;
+  auto F = Io.read<High>(/*LatencyMicros=*/150000, 1); // 150 ms stall
+  auto T = fcreate<High>(Rt, [&](Context<High> &Ctx) {
+    return static_cast<int>(Ctx.ftouch(F));
+  });
+  EXPECT_EQ(touchFromOutside(Rt, T), 1);
+  EXPECT_GE(Rt.stallsDetected(), 1u);
+}
+
+TEST(WatchdogTest, QuietWhileProgressing) {
+  RuntimeConfig C = smallConfig();
+  C.QuantumMicros = 500;
+  C.WatchdogQuanta = 200; // 100 ms — far beyond any scheduling hiccup here
+  Runtime Rt(C);
+  for (int I = 0; I < 200; ++I)
+    touchFromOutside(Rt, fcreate<Low>(Rt, [](Context<Low> &) { return 1; }));
+  EXPECT_EQ(Rt.stallsDetected(), 0u);
+}
+
+TEST(DrainGuardDeathTest, DrainFromWorkerAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Runtime Rt(smallConfig());
+        fcreate<Low>(Rt, [&Rt](Context<Low> &) { Rt.drain(); });
+        std::this_thread::sleep_for(std::chrono::seconds(5));
+      },
+      "drain");
+}
+
+} // namespace
+} // namespace repro::icilk

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 namespace repro::icilk {
 namespace {
@@ -89,6 +91,63 @@ TEST(IoServiceTest, DestructorCompletesPendingOps) {
   }
   EXPECT_TRUE(F.isReady());
   EXPECT_EQ(F.state()->value(), 5);
+}
+
+TEST(IoServiceTest, ShutdownWithManyInFlightOpsCompletesAll) {
+  // Shutdown with a mix of in-flight ops, including one a task is parked
+  // on: every future must be completed (no dangling waiters, no lost
+  // wakeups) and the toucher must come back with the value.
+  RuntimeConfig C;
+  C.NumWorkers = 2;
+  C.NumLevels = 2;
+  Runtime Rt(C);
+  std::vector<Future<Low, IoResult>> Fs;
+  Future<Low, int> Waiter;
+  {
+    IoService Io;
+    for (int I = 0; I < 32; ++I)
+      Fs.push_back(Io.read<Low>(5'000'000 + static_cast<uint64_t>(I), I));
+    auto Parked = Io.read<High>(5'000'000, 77);
+    Waiter = fcreate<Low>(Rt, [Parked](Context<Low> &Ctx) {
+      return static_cast<int>(Ctx.ftouch(Parked));
+    });
+    // Give the task a moment to actually park on the unready io_future.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  } // ~IoService fires everything early
+  for (int I = 0; I < 32; ++I) {
+    ASSERT_TRUE(Fs[static_cast<std::size_t>(I)].isReady());
+    EXPECT_EQ(Fs[static_cast<std::size_t>(I)].state()->value(), I);
+  }
+  EXPECT_EQ(touchFromOutside(Rt, Waiter), 77);
+}
+
+TEST(IoServiceTest, CountersConsistentUnderConcurrentSubmits) {
+  // inFlight()/completed() under concurrent submitters: completed is
+  // monotonic, completed + inFlight never exceeds what was submitted, and
+  // everything reconciles once the ops drain.
+  IoService Io;
+  constexpr int NumThreads = 4, OpsPerThread = 100;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&Io] {
+      for (int I = 0; I < OpsPerThread; ++I)
+        (void)Io.read<Low>(static_cast<uint64_t>(I % 5) * 200, I);
+    });
+  uint64_t LastCompleted = 0;
+  while (Io.completed() < NumThreads * OpsPerThread) {
+    uint64_t Done = Io.completed();
+    EXPECT_GE(Done, LastCompleted) << "completed() must be monotonic";
+    LastCompleted = Done;
+    // Neither counter can exceed the total the threads will ever submit,
+    // and their sum never exceeds it either (ops move pending → done).
+    EXPECT_LE(Io.completed() + Io.inFlight(),
+              static_cast<uint64_t>(NumThreads * OpsPerThread));
+    std::this_thread::yield();
+  }
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Io.completed(), static_cast<uint64_t>(NumThreads * OpsPerThread));
+  EXPECT_EQ(Io.inFlight(), 0u);
 }
 
 } // namespace
