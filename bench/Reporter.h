@@ -1,0 +1,144 @@
+//===- bench/Reporter.h - Unified benchmark reporting -----------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// One reporting surface for every benchmark binary: named table sections
+// plus free-form notes, printed as the human-readable figures the paper
+// shows AND written as machine-readable JSON to BENCH_<name>.json (in the
+// working directory, or $REPRO_BENCH_JSON_DIR when set — CI collects the
+// files from there). A MetricsRegistry (support/Metrics.h) can be attached
+// and rides along in the JSON under "metrics", so a bench run's scheduler
+// counters land next to its headline numbers.
+//
+// Shape of the JSON:
+//   {"name": "...", "sections": [{"title", "header": [...],
+//    "rows": [[...], ...]}], "notes": ["..."], "metrics": {...}?}
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_BENCH_REPORTER_H
+#define REPRO_BENCH_REPORTER_H
+
+#include "bench/BenchTable.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace repro::bench {
+
+/// Collects a benchmark's output, then emits both renderings in finish().
+class Reporter {
+public:
+  /// \p Name keys the JSON file (BENCH_<Name>.json); keep it
+  /// filename-safe (the binary's own name is the convention).
+  explicit Reporter(std::string Name) : Name(std::move(Name)) {}
+
+  /// Starts a new table section; subsequent addRow calls fill it.
+  void section(std::string Title, std::vector<std::string> Header) {
+    Sections.push_back({std::move(Title), std::move(Header), {}});
+  }
+
+  /// Appends a row to the current section (a section must be open).
+  void addRow(std::vector<std::string> Row) {
+    Sections.back().Rows.push_back(std::move(Row));
+  }
+
+  /// Free-form commentary (the "paper shape to check" lines); printed
+  /// after the tables and kept in the JSON.
+  void note(std::string Text) { Notes.push_back(std::move(Text)); }
+
+  /// Embeds \p M's current contents in the JSON output (copied now).
+  void attachMetrics(const MetricsRegistry &M) {
+    Metrics = M.toJson();
+    HaveMetrics = true;
+  }
+
+  /// Prints every section and note, then writes BENCH_<name>.json.
+  /// Returns the path written ("" if the file could not be opened).
+  std::string finish() const {
+    for (const SectionData &S : Sections) {
+      std::printf("\n== %s ==\n", S.Title.c_str());
+      Table T(S.Header);
+      for (const auto &Row : S.Rows)
+        T.addRow(Row);
+      T.print();
+    }
+    for (const std::string &N : Notes)
+      std::printf("\n%s\n", N.c_str());
+
+    std::string Path = jsonPath();
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::fprintf(stderr, "reporter: cannot write %s\n", Path.c_str());
+      return "";
+    }
+    Out << toJson().dump(2) << "\n";
+    std::printf("\n[reporter] wrote %s\n", Path.c_str());
+    return Path;
+  }
+
+  json::Value toJson() const {
+    json::Value Root = json::Value::object();
+    Root.set("name", json::Value(Name));
+    json::Value Secs = json::Value::array();
+    for (const SectionData &S : Sections) {
+      json::Value Sec = json::Value::object();
+      Sec.set("title", json::Value(S.Title));
+      json::Value Header = json::Value::array();
+      for (const std::string &H : S.Header)
+        Header.push(json::Value(H));
+      Sec.set("header", std::move(Header));
+      json::Value Rows = json::Value::array();
+      for (const auto &Row : S.Rows) {
+        json::Value R = json::Value::array();
+        for (const std::string &Cell : Row)
+          R.push(json::Value(Cell));
+        Rows.push(std::move(R));
+      }
+      Sec.set("rows", std::move(Rows));
+      Secs.push(std::move(Sec));
+    }
+    Root.set("sections", std::move(Secs));
+    json::Value Ns = json::Value::array();
+    for (const std::string &N : Notes)
+      Ns.push(json::Value(N));
+    Root.set("notes", std::move(Ns));
+    if (HaveMetrics)
+      Root.set("metrics", Metrics);
+    return Root;
+  }
+
+private:
+  struct SectionData {
+    std::string Title;
+    std::vector<std::string> Header;
+    std::vector<std::vector<std::string>> Rows;
+  };
+
+  std::string jsonPath() const {
+    std::string File = "BENCH_" + Name + ".json";
+    if (const char *Dir = std::getenv("REPRO_BENCH_JSON_DIR"))
+      if (*Dir)
+        return std::string(Dir) + "/" + File;
+    return File;
+  }
+
+  std::string Name;
+  std::vector<SectionData> Sections;
+  std::vector<std::string> Notes;
+  json::Value Metrics;
+  bool HaveMetrics = false;
+};
+
+} // namespace repro::bench
+
+#endif // REPRO_BENCH_REPORTER_H

@@ -9,7 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/Proxy.h"
-#include "bench/BenchTable.h"
+#include "bench/Reporter.h"
 #include "support/ArgParse.h"
 #include "support/StringUtils.h"
 
@@ -47,38 +47,31 @@ int main(int Argc, char **Argv) {
               "load as each\nSec. 4.3 knob moves off its paper default "
               "(quantum 500us, gamma=2, threshold 90%%).\n");
 
-  {
-    std::printf("\n-- scheduling quantum --\n");
-    bench::Table T({"quantum (us)", "avg resp (us)", "p95 resp (us)"});
-    for (uint64_t Q : {100ull, 500ull, 2000ull, 10000ull, 50000ull}) {
-      auto S = runWith(Q, 2.0, 0.9, Duration, Seed);
-      T.addRow({std::to_string(Q), formatFixed(S.Mean, 1),
-                formatFixed(S.P95, 1)});
-    }
-    T.print();
+  bench::Reporter R("ablation_scheduler");
+  R.section("scheduling quantum",
+            {"quantum (us)", "avg resp (us)", "p95 resp (us)"});
+  for (uint64_t Q : {100ull, 500ull, 2000ull, 10000ull, 50000ull}) {
+    auto S = runWith(Q, 2.0, 0.9, Duration, Seed);
+    R.addRow({std::to_string(Q), formatFixed(S.Mean, 1),
+              formatFixed(S.P95, 1)});
   }
-  {
-    std::printf("\n-- growth parameter gamma --\n");
-    bench::Table T({"gamma", "avg resp (us)", "p95 resp (us)"});
-    for (double G : {1.2, 1.5, 2.0, 4.0, 8.0}) {
-      auto S = runWith(500, G, 0.9, Duration, Seed);
-      T.addRow({formatFixed(G, 1), formatFixed(S.Mean, 1),
-                formatFixed(S.P95, 1)});
-    }
-    T.print();
+  R.section("growth parameter gamma",
+            {"gamma", "avg resp (us)", "p95 resp (us)"});
+  for (double G : {1.2, 1.5, 2.0, 4.0, 8.0}) {
+    auto S = runWith(500, G, 0.9, Duration, Seed);
+    R.addRow({formatFixed(G, 1), formatFixed(S.Mean, 1),
+              formatFixed(S.P95, 1)});
   }
-  {
-    std::printf("\n-- utilization threshold --\n");
-    bench::Table T({"threshold", "avg resp (us)", "p95 resp (us)"});
-    for (double Th : {0.5, 0.75, 0.9, 0.99}) {
-      auto S = runWith(500, 2.0, Th, Duration, Seed);
-      T.addRow({formatFixed(Th, 2), formatFixed(S.Mean, 1),
-                formatFixed(S.P95, 1)});
-    }
-    T.print();
+  R.section("utilization threshold",
+            {"threshold", "avg resp (us)", "p95 resp (us)"});
+  for (double Th : {0.5, 0.75, 0.9, 0.99}) {
+    auto S = runWith(500, 2.0, Th, Duration, Seed);
+    R.addRow({formatFixed(Th, 2), formatFixed(S.Mean, 1),
+              formatFixed(S.P95, 1)});
   }
-  std::printf("\nShape to check: response time degrades with very long "
-              "quanta (stale\nassignments) and with tiny gamma (slow "
-              "ramp-up); the paper defaults sit in the flat region.\n");
+  R.note("Shape to check: response time degrades with very long quanta "
+         "(stale\nassignments) and with tiny gamma (slow ramp-up); the "
+         "paper defaults sit in the flat region.");
+  R.finish();
   return 0;
 }

@@ -18,7 +18,7 @@
 
 #include "apps/JobServer.h"
 #include "apps/Proxy.h"
-#include "bench/BenchTable.h"
+#include "bench/Reporter.h"
 #include "support/ArgParse.h"
 #include "support/StringUtils.h"
 
@@ -29,11 +29,11 @@ namespace {
 using namespace repro;
 using namespace repro::apps;
 
-void runProxySweep(uint64_t DurationMillis, uint64_t Seed) {
-  std::printf("\n== proxy: injected I/O fault-rate sweep (retries mask "
-              "faults) ==\n");
-  bench::Table T({"fault rate", "requests", "injected", "retries", "failed",
-                  "e2e mean (us)", "e2e p95 (us)", "e2e p99 (us)"});
+void runProxySweep(bench::Reporter &Rep, uint64_t DurationMillis,
+                   uint64_t Seed) {
+  Rep.section("proxy: injected I/O fault-rate sweep (retries mask faults)",
+              {"fault rate", "requests", "injected", "retries", "failed",
+               "e2e mean (us)", "e2e p95 (us)", "e2e p99 (us)"});
   const double Rates[] = {0.0, 0.02, 0.05, 0.10};
   for (double Rate : Rates) {
     ProxyConfig C;
@@ -48,23 +48,25 @@ void runProxySweep(uint64_t DurationMillis, uint64_t Seed) {
     C.Faults.DropProb = 0.1 * Rate;
     C.Faults.DropAfterMicros = 20000;
     ProxyReport R = runProxy(C);
-    T.addRow({formatFixed(Rate * 100, 0) + "%", std::to_string(R.App.Requests),
-              std::to_string(R.InjectedFaults), std::to_string(R.Retries),
-              std::to_string(R.FailedRequests),
-              formatFixed(R.App.EndToEnd.Mean, 1),
-              formatFixed(R.App.EndToEnd.P95, 1),
-              formatFixed(R.App.EndToEnd.P99, 1)});
+    Rep.addRow({formatFixed(Rate * 100, 0) + "%",
+                std::to_string(R.App.Requests),
+                std::to_string(R.InjectedFaults), std::to_string(R.Retries),
+                std::to_string(R.FailedRequests),
+                formatFixed(R.App.EndToEnd.Mean, 1),
+                formatFixed(R.App.EndToEnd.P95, 1),
+                formatFixed(R.App.EndToEnd.P99, 1)});
   }
-  T.print();
-  std::printf("Shape to check: failed stays 0 until the rate overwhelms the "
-              "retry budget;\nlatency tails grow with the rate (each retry "
-              "adds a backoff wait + re-read).\n");
+  Rep.note("Shape to check (proxy): failed stays 0 until the rate "
+           "overwhelms the retry budget;\nlatency tails grow with the rate "
+           "(each retry adds a backoff wait + re-read).");
 }
 
-void runJobServerOverload(uint64_t DurationMillis, uint64_t Seed) {
-  std::printf("\n== jserver: ~2x overload, admission-control shedding off vs "
-              "on ==\n");
-  auto Run = [&](double ArrivalMicros, bool Shed) {
+void runJobServerOverload(bench::Reporter &Rep, uint64_t DurationMillis,
+                          uint64_t Seed) {
+  // The last (shed-on) run also dumps its scheduler/app metrics, which the
+  // reporter embeds in the JSON — the registry integration in one place.
+  MetricsRegistry Metrics;
+  auto Run = [&](double ArrivalMicros, bool Shed, bool Sample) {
     JobServerConfig C;
     C.DurationMillis = DurationMillis;
     C.ArrivalIntervalMicros = ArrivalMicros;
@@ -73,28 +75,31 @@ void runJobServerOverload(uint64_t DurationMillis, uint64_t Seed) {
     C.ShedMaxLevel = 2; // admit only matmul under pressure
     C.ShedQueueDepth = 8;
     C.Rt.NumWorkers = 4;
+    if (Sample)
+      C.Metrics = &Metrics;
     return runJobServer(C);
   };
-  bench::Table T({"config", "done", "shed", "matmul p99 (us)", "fib p99 (us)",
-                  "sw p99 (us)"});
+  Rep.section("jserver: ~2x overload, admission-control shedding off vs on",
+              {"config", "done", "shed", "matmul p99 (us)", "fib p99 (us)",
+               "sw p99 (us)"});
   auto AddRow = [&](const char *Name, const JobServerReport &R) {
     uint64_t Done = 0, Shed = 0;
     for (int I = 0; I < 4; ++I) {
       Done += R.JobsByType[static_cast<std::size_t>(I)];
       Shed += R.JobsShed[static_cast<std::size_t>(I)];
     }
-    T.addRow({Name, std::to_string(Done), std::to_string(Shed),
-              formatFixed(R.JobResponse[0].P99, 1),
-              formatFixed(R.JobResponse[1].P99, 1),
-              formatFixed(R.JobResponse[3].P99, 1)});
+    Rep.addRow({Name, std::to_string(Done), std::to_string(Shed),
+                formatFixed(R.JobResponse[0].P99, 1),
+                formatFixed(R.JobResponse[1].P99, 1),
+                formatFixed(R.JobResponse[3].P99, 1)});
   };
-  AddRow("uncontended", Run(20000, false));
-  AddRow("overload, shed off", Run(2500, false));
-  AddRow("overload, shed on", Run(2500, true));
-  T.print();
-  std::printf("Shape to check: overload inflates every p99; shedding pulls "
-              "matmul's p99 back\ntoward the uncontended row at the cost of "
-              "shed (counted) low-priority jobs.\n");
+  AddRow("uncontended", Run(20000, false, false));
+  AddRow("overload, shed off", Run(2500, false, false));
+  AddRow("overload, shed on", Run(2500, true, true));
+  Rep.note("Shape to check (jserver): overload inflates every p99; shedding "
+           "pulls matmul's p99 back\ntoward the uncontended row at the cost "
+           "of shed (counted) low-priority jobs.");
+  Rep.attachMetrics(Metrics);
 }
 
 } // namespace
@@ -106,7 +111,9 @@ int main(int Argc, char **Argv) {
 
   std::printf("Robustness benchmarks: deterministic fault injection and "
               "overload shedding.\n");
-  runProxySweep(Duration, Seed);
-  runJobServerOverload(Duration, Seed);
+  bench::Reporter Rep("fault_injection");
+  runProxySweep(Rep, Duration, Seed);
+  runJobServerOverload(Rep, Duration, Seed);
+  Rep.finish();
   return 0;
 }

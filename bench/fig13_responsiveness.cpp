@@ -17,7 +17,7 @@
 
 #include "apps/Email.h"
 #include "apps/Proxy.h"
-#include "bench/BenchTable.h"
+#include "bench/Reporter.h"
 #include "support/ArgParse.h"
 #include "support/StringUtils.h"
 
@@ -90,18 +90,18 @@ Point runEmailPoint(unsigned PaperConnections, double Scale,
   });
 }
 
-void printFigure(const char *Name, const std::vector<Point> &Points) {
-  std::printf("\n== Fig. 13 (%s): responsiveness ratio, Cilk-F / I-Cilk "
-              "(higher = I-Cilk more responsive) ==\n",
-              Name);
-  bench::Table T({"connections", "avg ratio", "p95 ratio", "I-Cilk avg (us)",
-                  "I-Cilk p95 (us)"});
+void reportFigure(bench::Reporter &R, const char *Name,
+                  const std::vector<Point> &Points) {
+  R.section(std::string("Fig. 13 (") + Name +
+                "): responsiveness ratio, Cilk-F / I-Cilk "
+                "(higher = I-Cilk more responsive)",
+            {"connections", "avg ratio", "p95 ratio", "I-Cilk avg (us)",
+             "I-Cilk p95 (us)"});
   for (const Point &P : Points)
-    T.addRow({std::to_string(P.PaperConnections),
+    R.addRow({std::to_string(P.PaperConnections),
               formatFixed(P.MeanRatio, 2), formatFixed(P.P95Ratio, 2),
               formatFixed(P.ICilkMeanMicros, 1),
               formatFixed(P.ICilkP95Micros, 1)});
-  T.print();
 }
 
 } // namespace
@@ -119,21 +119,23 @@ int main(int Argc, char **Argv) {
               "paper's connection counts).\n",
               Scale);
 
+  bench::Reporter R("fig13_responsiveness");
   const unsigned Loads[] = {90, 120, 150, 180};
   if (App == "proxy" || App == "both") {
     std::vector<Point> Points;
     for (unsigned L : Loads)
       Points.push_back(runProxyPoint(L, Scale, Duration, Seed));
-    printFigure("proxy", Points);
+    reportFigure(R, "proxy", Points);
   }
   if (App == "email" || App == "both") {
     std::vector<Point> Points;
     for (unsigned L : Loads)
       Points.push_back(runEmailPoint(L, Scale, Duration, Seed));
-    printFigure("email", Points);
+    reportFigure(R, "email", Points);
   }
-  std::printf("\nPaper shape to check: ratios > 1 throughout; email ratios "
-              "exceed proxy ratios\n(email is compute-heavier, so the "
-              "baseline delays its event loop more).\n");
+  R.note("Paper shape to check: ratios > 1 throughout; email ratios exceed "
+         "proxy ratios\n(email is compute-heavier, so the baseline delays "
+         "its event loop more).");
+  R.finish();
   return 0;
 }

@@ -18,7 +18,7 @@
 #include "apps/Email.h"
 #include "apps/JobServer.h"
 #include "apps/Proxy.h"
-#include "bench/BenchTable.h"
+#include "bench/Reporter.h"
 #include "support/ArgParse.h"
 #include "support/StringUtils.h"
 
@@ -50,19 +50,20 @@ std::string ratio(const std::vector<LatencySummary> &Base,
 /// Reps runs per load point.
 using RepRuns = std::vector<AppReport>;
 
-void printApp(const char *Name, const std::vector<std::string> &LoadLabels,
-              const std::vector<RepRuns> &AwareRuns,
-              const std::vector<RepRuns> &BaseRuns) {
-  std::printf("\n== Fig. 14 (%s): compute-time ratio Cilk-F / I-Cilk per "
-              "priority level (higher = I-Cilk faster) ==\n",
-              Name);
+void reportApp(bench::Reporter &Rep, const char *Name,
+               const std::vector<std::string> &LoadLabels,
+               const std::vector<RepRuns> &AwareRuns,
+               const std::vector<RepRuns> &BaseRuns) {
   const auto &Names = AwareRuns.front().front().LevelNames;
   std::vector<std::string> Header{"load"};
   for (auto It = Names.rbegin(); It != Names.rend(); ++It) {
     Header.push_back(*It + " avg");
     Header.push_back(*It + " p95");
   }
-  bench::Table T(Header);
+  Rep.section(std::string("Fig. 14 (") + Name +
+                  "): compute-time ratio Cilk-F / I-Cilk per priority "
+                  "level (higher = I-Cilk faster)",
+              Header);
   for (std::size_t I = 0; I < LoadLabels.size(); ++I) {
     std::vector<std::string> Row{LoadLabels[I]};
     for (std::size_t L = Names.size(); L-- > 0;) {
@@ -74,9 +75,8 @@ void printApp(const char *Name, const std::vector<std::string> &LoadLabels,
       Row.push_back(ratio(B, A, /*P95=*/false));
       Row.push_back(ratio(B, A, /*P95=*/true));
     }
-    T.addRow(std::move(Row));
+    Rep.addRow(std::move(Row));
   }
-  T.print();
 }
 
 } // namespace
@@ -90,6 +90,8 @@ int main(int Argc, char **Argv) {
 
   std::printf("Fig. 14 reproduction — per-level compute-time ratios, "
               "columns highest priority first.\n");
+
+  bench::Reporter Rep("fig14_compute");
 
   const unsigned Conns[] = {90, 120, 150, 180};
 
@@ -114,7 +116,7 @@ int main(int Argc, char **Argv) {
       Base.push_back(std::move(B));
       Labels.push_back(std::to_string(L));
     }
-    printApp("proxy", Labels, Aware, Base);
+    reportApp(Rep, "proxy", Labels, Aware, Base);
   }
 
   if (App == "email" || App == "all") {
@@ -138,7 +140,7 @@ int main(int Argc, char **Argv) {
       Base.push_back(std::move(B));
       Labels.push_back(std::to_string(L));
     }
-    printApp("email", Labels, Aware, Base);
+    reportApp(Rep, "email", Labels, Aware, Base);
   }
 
   if (App == "jserver" || App == "all") {
@@ -179,15 +181,15 @@ int main(int Argc, char **Argv) {
       Labels.push_back(P.Label);
     }
     // Whole-job compute times per type (not the inner subtask mixture).
-    std::printf("\n== Fig. 14 (jserver): whole-job time ratio "
-                "Cilk-F / I-Cilk per job type ==\n");
     const char *TypeNames[] = {"matmul", "fib", "sort", "sw"};
     std::vector<std::string> Header{"load"};
     for (const char *N : TypeNames) {
       Header.push_back(std::string(N) + " avg");
       Header.push_back(std::string(N) + " p95");
     }
-    bench::Table T(Header);
+    Rep.section("Fig. 14 (jserver): whole-job time ratio Cilk-F / I-Cilk "
+                "per job type",
+                Header);
     for (std::size_t I = 0; I < Labels.size(); ++I) {
       std::vector<std::string> Row{Labels[I]};
       for (std::size_t Ty = 0; Ty < 4; ++Ty) {
@@ -199,13 +201,13 @@ int main(int Argc, char **Argv) {
         Row.push_back(ratio(B, A, /*P95=*/false));
         Row.push_back(ratio(B, A, /*P95=*/true));
       }
-      T.addRow(std::move(Row));
+      Rep.addRow(std::move(Row));
     }
-    T.print();
   }
 
-  std::printf("\nPaper shape to check: highest-priority columns ≥ 1 and "
-              "growing with load;\nlowest-priority columns may drop below 1 "
-              "(I-Cilk sacrifices background work).\n");
+  Rep.note("Paper shape to check: highest-priority columns ≥ 1 and growing "
+           "with load;\nlowest-priority columns may drop below 1 (I-Cilk "
+           "sacrifices background work).");
+  Rep.finish();
   return 0;
 }

@@ -22,7 +22,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "bench/BenchTable.h"
+#include "bench/Reporter.h"
 #include "support/ArgParse.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
@@ -167,7 +167,10 @@ int main(int Argc, char **Argv) {
   const AppShape Apps[] = {
       {"proxy", 4, 36, 420}, {"email", 6, 48, 640}, {"jserver", 4, 40, 420}};
 
-  bench::Table T({"case study", "compile time (s)", "binary size (KB)"});
+  bench::Reporter Rep("table1_compile");
+  Rep.section("Table 1: compile time and binary size, without vs with "
+              "the priority type system",
+              {"case study", "compile time (s)", "binary size (KB)"});
   for (const AppShape &App : Apps) {
     CompileResult Without, With;
     // Max over repeats, like the paper ("maximum out of the three runs").
@@ -187,21 +190,20 @@ int main(int Argc, char **Argv) {
       With.Bytes = B.Bytes;
     }
     auto KB = [](long long B) { return static_cast<double>(B) / 1024.0; };
-    T.addRow({std::string(App.Name) + " (w/out)",
-              formatFixed(Without.Seconds, 2) + " (1.00x)",
-              formatFixed(KB(Without.Bytes), 1) + " (1.00x)"});
-    T.addRow({std::string(App.Name) + " (with)",
-              formatFixed(With.Seconds, 2) + " (" +
-                  formatFixed(With.Seconds / Without.Seconds, 2) + "x)",
-              formatFixed(KB(With.Bytes), 1) + " (" +
-                  formatFixed(static_cast<double>(With.Bytes) /
-                                  static_cast<double>(Without.Bytes),
-                              2) +
-                  "x)"});
+    Rep.addRow({std::string(App.Name) + " (w/out)",
+                formatFixed(Without.Seconds, 2) + " (1.00x)",
+                formatFixed(KB(Without.Bytes), 1) + " (1.00x)"});
+    Rep.addRow({std::string(App.Name) + " (with)",
+                formatFixed(With.Seconds, 2) + " (" +
+                    formatFixed(With.Seconds / Without.Seconds, 2) + "x)",
+                formatFixed(KB(With.Bytes), 1) + " (" +
+                    formatFixed(static_cast<double>(With.Bytes) /
+                                    static_cast<double>(Without.Bytes),
+                                2) +
+                    "x)"});
   }
-  T.print();
-  std::printf("\nPaper shape to check: 'with' overheads modest — Table 1 "
-              "reported 1.16-1.27x\ncompile time and 1.16-1.18x binary "
-              "size.\n");
+  Rep.note("Paper shape to check: 'with' overheads modest — Table 1 "
+           "reported 1.16-1.27x\ncompile time and 1.16-1.18x binary size.");
+  Rep.finish();
   return 0;
 }

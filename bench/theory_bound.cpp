@@ -10,7 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "bench/BenchTable.h"
+#include "bench/Reporter.h"
 #include "dag/PaperFigures.h"
 #include "dag/RandomDag.h"
 #include "dag/Schedule.h"
@@ -77,27 +77,26 @@ int main(int Argc, char **Argv) {
               "each).\n\n",
               Seeds, Vertices);
 
+  bench::Reporter Rep("theory_bound");
   for (bool WithState : {false, true}) {
-    std::printf("%s\n", WithState
-                            ? "-- futures + mutable state (weak edges) --"
-                            : "-- pure futures (no weak edges) --");
-    bench::Table T({"P", "graphs (prompt/total)", "threads checked",
-                    "violations", "tightness avg", "tightness p95"});
+    Rep.section(WithState ? "futures + mutable state (weak edges)"
+                          : "pure futures (no weak edges)",
+                {"P", "graphs (prompt/total)", "threads checked",
+                 "violations", "tightness avg", "tightness p95"});
     for (unsigned P : {1u, 2u, 4u, 8u, 16u}) {
       SweepResult R = sweep(P, Seeds, Vertices, WithState);
       auto Summary = summarize(R.Tightness);
-      T.addRow({std::to_string(P),
-                std::to_string(R.PromptSchedules) + "/" +
-                    std::to_string(R.Schedules),
-                std::to_string(R.Threads), std::to_string(R.Violations),
-                formatFixed(Summary.Mean, 3), formatFixed(Summary.P95, 3)});
+      Rep.addRow({std::to_string(P),
+                  std::to_string(R.PromptSchedules) + "/" +
+                      std::to_string(R.Schedules),
+                  std::to_string(R.Threads), std::to_string(R.Violations),
+                  formatFixed(Summary.Mean, 3), formatFixed(Summary.P95, 3)});
     }
-    T.print();
-    std::printf("\n");
   }
+  Rep.finish();
 
   // The paper's worked examples.
-  std::printf("-- Figs. 1-3 worked examples --\n");
+  std::printf("\n-- Figs. 1-3 worked examples --\n");
   {
     Fig1 C = makeFig1c();
     Schedule SIgnore = promptSchedule(C.G, 2, WeakEdgePolicy::Ignore);

@@ -6,14 +6,24 @@
 // under either scheduler.
 //
 // Usage: jobserver_demo [--interval-us=2500] [--duration-ms=1500]
-//                       [--workers=2] [--baseline]
+//                       [--workers=2] [--baseline] [--trace=FILE]
+//                       [--metrics]
+//
+// --trace=FILE records the scheduler event ring for the whole run and
+// writes it as Chrome-trace JSON — open the file in https://ui.perfetto.dev
+// (or chrome://tracing) to see per-worker timelines of task slices,
+// steals, suspensions and master reassignments. --metrics prints the
+// run's metrics-registry dump (the snapshot()/sampleMetrics surface).
 //
 //===----------------------------------------------------------------------===//
 
 #include "apps/JobServer.h"
+#include "icilk/EventRing.h"
 #include "support/ArgParse.h"
+#include "support/Metrics.h"
 
 #include <cstdio>
+#include <fstream>
 
 using namespace repro;
 using namespace repro::apps;
@@ -28,6 +38,15 @@ int main(int Argc, char **Argv) {
   Config.Rt.NumWorkers = static_cast<unsigned>(Args.getInt("workers", 2));
   Config.Rt.PriorityAware = !Args.getBool("baseline");
   Config.Seed = static_cast<uint64_t>(Args.getInt("seed", 1));
+
+  std::string TracePath = Args.getString("trace", "");
+  if (!TracePath.empty())
+    icilk::trace::enable();
+
+  MetricsRegistry Metrics;
+  bool WantMetrics = Args.getBool("metrics");
+  if (WantMetrics)
+    Config.Metrics = &Metrics;
 
   std::printf("job server: mean inter-arrival %.0f us, %llu ms, %u workers, "
               "%s scheduler\n",
@@ -54,5 +73,20 @@ int main(int Argc, char **Argv) {
   std::printf("\n(--baseline shows the FIFO-ish Cilk-F ordering: matmul "
               "loses its head start — that contrast is Fig. 14's right "
               "panel.)\n");
+
+  if (!TracePath.empty()) {
+    icilk::trace::disable();
+    std::ofstream Out(TracePath);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write trace to %s\n", TracePath.c_str());
+      return 1;
+    }
+    icilk::trace::writeChromeTrace(Out);
+    std::printf("\nwrote scheduler trace to %s (open in "
+                "https://ui.perfetto.dev)\n",
+                TracePath.c_str());
+  }
+  if (WantMetrics)
+    std::printf("\nmetrics registry:\n%s", Metrics.toString().c_str());
   return 0;
 }

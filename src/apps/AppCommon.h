@@ -17,6 +17,7 @@
 #define REPRO_APPS_APPCOMMON_H
 
 #include "icilk/Context.h"
+#include "support/Metrics.h"
 #include "support/Random.h"
 #include "support/Stats.h"
 
@@ -55,7 +56,8 @@ inline AppReport collectReport(icilk::Runtime &Rt,
     Report.Compute.push_back(S.Compute.summary());
     Report.QueueWait.push_back(S.QueueWait.summary());
   }
-  double BusyMicros = static_cast<double>(Rt.totalWorkNanos()) / 1000.0;
+  double BusyMicros =
+      static_cast<double>(Rt.snapshot().TotalWorkNanos) / 1000.0;
   // Worker-pool occupancy: slices are wall time on (possibly
   // oversubscribed) workers, so normalize by the pool size.
   double WallMicros = WallMillis * 1000.0;
@@ -63,6 +65,23 @@ inline AppReport collectReport(icilk::Runtime &Rt,
     Report.UtilizationApprox =
         BusyMicros / (WallMicros * Rt.config().NumWorkers);
   return Report;
+}
+
+/// Dumps a finished run's observable state into \p M (no-op when null):
+/// the runtime's and I/O service's standard metrics plus the app-level
+/// aggregates every case study shares. Apps layer their own counters on
+/// top under the same prefix.
+inline void sampleAppMetrics(repro::MetricsRegistry *M, icilk::Runtime &Rt,
+                             icilk::IoService *Io, const AppReport &Report,
+                             const std::string &Prefix) {
+  if (!M)
+    return;
+  Rt.sampleMetrics(*M, Prefix + ".runtime");
+  if (Io)
+    Io->sampleMetrics(*M, Prefix + ".io");
+  M->counter(Prefix + ".requests").set(Report.Requests);
+  M->setGauge(Prefix + ".wall_millis", Report.WallMillis);
+  M->setGauge(Prefix + ".utilization", Report.UtilizationApprox);
 }
 
 /// A merged Poisson arrival stream over \p Sources independent sources,

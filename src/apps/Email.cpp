@@ -309,6 +309,17 @@ EmailReport runEmail(const EmailConfig &Config) {
   Report.SendFailures = S.SendFailures.load();
   Report.PrintFailures = S.PrintFailures.load();
   Report.Retries = S.Retries.load();
+  if (repro::MetricsRegistry *M = Config.Metrics) {
+    sampleAppMetrics(M, S.Rt, &S.Io, Report.App, "email");
+    M->counter("email.sends").set(Report.Sends);
+    M->counter("email.sorts").set(Report.Sorts);
+    M->counter("email.prints").set(Report.Prints);
+    M->counter("email.compressions").set(Report.Compressions);
+    M->counter("email.slot_conflicts").set(Report.SlotConflicts);
+    M->counter("email.bytes_saved").set(Report.BytesSaved);
+    M->counter("email.send_failures").set(Report.SendFailures);
+    M->counter("email.retries").set(Report.Retries);
+  }
   return Report;
 }
 

@@ -64,6 +64,9 @@ struct EmailConfig {
   /// being surfaced as a SendFailure.
   unsigned SendRetries = 1;
   uint64_t RetryBaseDelayMicros = 300;
+  /// When non-null, the run dumps its final counters/gauges/histograms
+  /// here under "email.*" (see support/Metrics.h). Not owned.
+  repro::MetricsRegistry *Metrics = nullptr;
   icilk::RuntimeConfig Rt{.NumWorkers = 8, .NumLevels = 6};
 };
 

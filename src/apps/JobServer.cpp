@@ -33,10 +33,7 @@ struct JobServer {
     unsigned Level = 3 - static_cast<unsigned>(Type);
     if (Level > Config.ShedMaxLevel)
       return false;
-    int64_t Depth = 0;
-    for (unsigned L = 0; L < Rt.config().NumLevels; ++L)
-      Depth += Rt.pendingAt(L);
-    if (Depth <= Config.ShedQueueDepth)
+    if (Rt.snapshot().totalPending() <= Config.ShedQueueDepth)
       return false;
     Shed[Type].fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -156,6 +153,16 @@ JobServerReport runJobServer(const JobServerConfig &Config) {
     Total += Report.JobsByType[I];
   }
   Report.App.Requests = Total;
+  if (repro::MetricsRegistry *M = Config.Metrics) {
+    sampleAppMetrics(M, S.Rt, /*Io=*/nullptr, Report.App, "jobserver");
+    static const char *TypeNames[] = {"matmul", "fib", "sort", "sw"};
+    for (std::size_t I = 0; I < 4; ++I) {
+      M->counter(std::string("jobserver.jobs.") + TypeNames[I])
+          .set(Report.JobsByType[I]);
+      M->counter(std::string("jobserver.shed.") + TypeNames[I])
+          .set(Report.JobsShed[I]);
+    }
+  }
   return Report;
 }
 

@@ -49,6 +49,9 @@ struct JobServerConfig {
   bool Shedding = false;
   unsigned ShedMaxLevel = 1;    ///< shed sort (1) and sw (0); admit fib, matmul
   int64_t ShedQueueDepth = 24;  ///< queued-task threshold
+  /// When non-null, the run dumps its final counters/gauges/histograms
+  /// here under "jobserver.*" (see support/Metrics.h). Not owned.
+  repro::MetricsRegistry *Metrics = nullptr;
   icilk::RuntimeConfig Rt{.NumWorkers = 8, .NumLevels = 4};
 };
 

@@ -188,6 +188,14 @@ ProxyReport runProxy(const ProxyConfig &Config) {
   Report.Retries = S.Retries.load();
   Report.FailedRequests = S.Failed.load();
   Report.InjectedFaults = S.Faults ? S.Faults->injected() : 0;
+  if (repro::MetricsRegistry *M = Config.Metrics) {
+    sampleAppMetrics(M, S.Rt, &S.Io, Report.App, "proxy");
+    M->counter("proxy.cache_hits").set(Report.CacheHits);
+    M->counter("proxy.cache_misses").set(Report.CacheMisses);
+    M->counter("proxy.retries").set(Report.Retries);
+    M->counter("proxy.failed_requests").set(Report.FailedRequests);
+    M->counter("proxy.injected_faults").set(Report.InjectedFaults);
+  }
   return Report;
 }
 

@@ -58,6 +58,9 @@ struct ProxyConfig {
   unsigned MaxIoRetries = 3;
   uint64_t RetryBaseDelayMicros = 200;
   uint64_t RetryCapDelayMicros = 5000;
+  /// When non-null, the run dumps its final counters/gauges/histograms
+  /// here under "proxy.*" (see support/Metrics.h). Not owned.
+  repro::MetricsRegistry *Metrics = nullptr;
   icilk::RuntimeConfig Rt{.NumWorkers = 8, .NumLevels = 4};
 };
 

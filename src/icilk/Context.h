@@ -27,6 +27,7 @@
 #define REPRO_ICILK_CONTEXT_H
 
 #include "conc/Backoff.h"
+#include "icilk/EventRing.h"
 #include "icilk/Failure.h"
 #include "icilk/Future.h"
 #include "icilk/IoService.h"
@@ -50,12 +51,26 @@ namespace detail {
 /// scheduling loop (Cilk-F's proactive-stealing behaviour). External
 /// threads spin with backoff.
 inline void waitReady(Runtime &Rt, FutureStateBase &State) {
-  (void)Rt;
   if (Task *Self = Task::current()) {
-    while (!State.isReady())
+    while (!State.isReady()) {
+      trace::emit(trace::EventKind::FtouchBlock,
+                  static_cast<uint8_t>(Self->level()), Self->ringId(),
+                  static_cast<uint32_t>(State.level()));
+      // Bracket the actual suspension for the structural trace too: the
+      // recorder sees suspend/resume vertices in the waiter's chain
+      // (satisfying lift()'s program-order contract) while the event
+      // ring above sees timestamped instants.
+      if (TraceRecorder *Tr = Rt.trace())
+        Tr->recordSuspend(Self->traceId());
       Self->suspendOn(State);
+      // Re-read the recorder: the task may resume on another worker long
+      // after the pre-suspend attachment was swapped out.
+      if (TraceRecorder *Tr = Rt.trace())
+        Tr->recordResume(Self->traceId());
+    }
     return;
   }
+  (void)Rt;
   conc::Backoff B;
   while (!State.isReady())
     B.pause();

@@ -1,0 +1,237 @@
+//===- icilk/EventRing.cpp - Lock-free scheduler event tracing ---------------===//
+
+#include "icilk/EventRing.h"
+
+#include "support/Json.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace repro::icilk::trace {
+
+namespace {
+
+/// The calling thread's ring, cached after the first lookup. Rings are
+/// never deallocated (EventLog keeps them until process exit), so a
+/// cached pointer cannot dangle even across enable/disable cycles.
+thread_local EventRing *TlsRing = nullptr;
+
+/// Thread name set while the thread had no ring yet (tracing disabled):
+/// applied if and when the ring is created, so naming a thread costs no
+/// allocation unless tracing actually runs.
+thread_local std::string PendingName;
+
+std::size_t roundUpPow2(std::size_t N) {
+  std::size_t P = 1;
+  while (P < N && P < (std::size_t(1) << 24))
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+const char *eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::Spawn: return "spawn";
+  case EventKind::Steal: return "steal";
+  case EventKind::StealFail: return "steal-fail";
+  case EventKind::Suspend: return "suspend";
+  case EventKind::Resume: return "resume";
+  case EventKind::FtouchBlock: return "ftouch-block";
+  case EventKind::AssignChange: return "assign";
+  case EventKind::IoBegin: return "io-begin";
+  case EventKind::IoComplete: return "io-complete";
+  case EventKind::IoFault: return "io-fault";
+  case EventKind::RunSlice: return "run";
+  }
+  return "unknown";
+}
+
+EventRing::EventRing(std::size_t CapacityPow2, std::string Name)
+    : ThreadName(std::move(Name)), Mask(CapacityPow2 - 1),
+      Slots(new Slot[CapacityPow2]) {}
+
+uint64_t EventRing::snapshotInto(std::vector<Event> &Out) const {
+  uint64_t H = Head.load(std::memory_order_acquire);
+  std::size_t Cap = Mask + 1;
+  uint64_t Start = H > Cap ? H - Cap : 0;
+  std::size_t FirstKept = Out.size();
+  for (uint64_t I = Start; I < H; ++I) {
+    const Slot &S = Slots[I & Mask];
+    Event E;
+    E.TimeNanos = S.W0.load(std::memory_order_relaxed);
+    E.Arg = S.W1.load(std::memory_order_relaxed);
+    unpack(S.W2.load(std::memory_order_relaxed), E);
+    Out.push_back(E);
+  }
+  // Ring-granularity seqlock: anything the producer lapped while we were
+  // reading may be torn — drop it. (Entries below Start2 correspond to
+  // slots the producer has re-claimed.)
+  uint64_t H2 = Head.load(std::memory_order_acquire);
+  uint64_t Start2 = H2 > Cap ? H2 - Cap : 0;
+  uint64_t Torn = Start2 > Start ? std::min(Start2, H) - Start : 0;
+  if (Torn > 0)
+    Out.erase(Out.begin() + static_cast<std::ptrdiff_t>(FirstKept),
+              Out.begin() + static_cast<std::ptrdiff_t>(FirstKept + Torn));
+  return Torn;
+}
+
+EventLog &EventLog::instance() {
+  static EventLog Log;
+  return Log;
+}
+
+void EventLog::enable(std::size_t CapacityPerRing) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Capacity = roundUpPow2(std::max<std::size_t>(CapacityPerRing, 64));
+  }
+  detail::Enabled.store(true, std::memory_order_release);
+}
+
+void EventLog::disable() {
+  detail::Enabled.store(false, std::memory_order_release);
+}
+
+void EventLog::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &R : Rings)
+    R->reset();
+}
+
+EventRing &EventLog::ring() {
+  if (TlsRing)
+    return *TlsRing;
+  std::string Name = PendingName.empty()
+                         ? std::string()
+                         : std::exchange(PendingName, std::string());
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Name.empty())
+    Name = "thread " + std::to_string(Rings.size());
+  Rings.push_back(std::make_unique<EventRing>(Capacity, std::move(Name)));
+  TlsRing = Rings.back().get();
+  return *TlsRing;
+}
+
+void EventLog::setThreadName(const std::string &Name) {
+  if (TlsRing) {
+    TlsRing->setName(Name);
+    return;
+  }
+  if (enabled()) {
+    ring().setName(Name);
+    return;
+  }
+  // No ring and tracing off: a 400KB ring for a never-traced thread would
+  // defeat the zero-cost-when-disabled contract. Stash the name instead.
+  PendingName = Name;
+}
+
+std::size_t EventLog::numRings() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Rings.size();
+}
+
+std::vector<ThreadTrace> EventLog::snapshot() const {
+  std::vector<EventRing *> Rs;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const auto &R : Rings)
+      Rs.push_back(R.get());
+  }
+  std::vector<ThreadTrace> Out;
+  Out.reserve(Rs.size());
+  for (std::size_t I = 0; I < Rs.size(); ++I) {
+    ThreadTrace T;
+    T.Tid = static_cast<uint32_t>(I);
+    T.Name = Rs[I]->name();
+    T.Dropped = Rs[I]->snapshotInto(T.Events);
+    Out.push_back(std::move(T));
+  }
+  return Out;
+}
+
+namespace detail {
+
+void emitSlow(EventKind K, uint8_t Level, uint64_t Arg, uint32_t Arg2) {
+  Event E;
+  E.TimeNanos = repro::nowNanos();
+  E.Arg = Arg;
+  E.Arg2 = Arg2;
+  E.Kind = K;
+  E.Level = Level;
+  EventLog::instance().ring().push(E);
+}
+
+} // namespace detail
+
+void enable(std::size_t CapacityPerRing) {
+  EventLog::instance().enable(CapacityPerRing);
+}
+void disable() { EventLog::instance().disable(); }
+void clear() { EventLog::instance().clear(); }
+void setThreadName(const std::string &Name) {
+  EventLog::instance().setThreadName(Name);
+}
+
+namespace {
+
+/// One Chrome-trace event line. All required fields (name, ph, ts, pid,
+/// tid) always present; kind-specific payloads ride in "args".
+void writeEventJson(std::ostream &OS, const Event &E, uint32_t Tid,
+                    uint64_t EpochNanos, bool &First) {
+  double TsMicros =
+      static_cast<double>(E.TimeNanos - EpochNanos) / 1000.0;
+  const char *Name = eventKindName(E.Kind);
+  if (!First)
+    OS << ",\n";
+  First = false;
+  OS << "  {\"name\":\"" << Name << "\",";
+  if (E.Kind == EventKind::RunSlice) {
+    // Export run slices as complete spans so Perfetto draws occupancy.
+    double DurMicros = static_cast<double>(E.Arg2) / 1000.0;
+    OS << "\"ph\":\"X\",\"ts\":" << json::Value(TsMicros - DurMicros).dump()
+       << ",\"dur\":" << json::Value(DurMicros).dump() << ",";
+  } else {
+    OS << "\"ph\":\"i\",\"s\":\"t\",\"ts\":" << json::Value(TsMicros).dump()
+       << ",";
+  }
+  OS << "\"pid\":1,\"tid\":" << Tid << ",\"args\":{\"level\":"
+     << static_cast<unsigned>(E.Level) << ",\"arg\":" << E.Arg
+     << ",\"arg2\":" << E.Arg2 << "}}";
+}
+
+} // namespace
+
+void writeChromeTrace(std::ostream &OS,
+                      const std::vector<ThreadTrace> &Threads) {
+  uint64_t Epoch = UINT64_MAX;
+  for (const ThreadTrace &T : Threads)
+    for (const Event &E : T.Events)
+      Epoch = std::min(Epoch, E.TimeNanos);
+  if (Epoch == UINT64_MAX)
+    Epoch = 0;
+
+  OS << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool First = true;
+  for (const ThreadTrace &T : Threads) {
+    // Thread-name metadata record (ph "M"); ts is irrelevant but kept so
+    // every event carries the full required field set.
+    if (!First)
+      OS << ",\n";
+    First = false;
+    OS << "  {\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,"
+       << "\"tid\":" << T.Tid << ",\"args\":{\"name\":\""
+       << json::escapeString(T.Name) << "\"}}";
+    for (const Event &E : T.Events)
+      writeEventJson(OS, E, T.Tid, Epoch, First);
+  }
+  OS << "\n]}\n";
+}
+
+void writeChromeTrace(std::ostream &OS) {
+  writeChromeTrace(OS, EventLog::instance().snapshot());
+}
+
+} // namespace repro::icilk::trace

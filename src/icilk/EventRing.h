@@ -1,0 +1,254 @@
+//===- icilk/EventRing.h - Lock-free scheduler event tracing ----*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The tracing half of the observability layer (support/Metrics.h is the
+// other half): every scheduler-relevant event — task spawn, steal,
+// steal-fail, suspend, resume, ftouch-block, worker (re)assignment, and
+// IoService op begin/complete/fault — is recorded into a fixed-capacity
+// per-thread ring buffer and exported as Chrome-trace / Perfetto JSON
+// (trace::writeChromeTrace; open in https://ui.perfetto.dev or
+// chrome://tracing).
+//
+// Design constraints, in priority order:
+//
+//  1. *Zero overhead when disabled.* trace::emit() compiles to one relaxed
+//     atomic load and a predictable branch; no ring is even allocated
+//     until a thread records its first event while tracing is enabled.
+//
+//  2. *Lock-free when enabled.* Each thread owns its ring: pushes are
+//     plain (atomic, relaxed) stores plus one release store of the head
+//     counter — no CAS, no mutex, no cross-thread contention. Rings
+//     overwrite their oldest entries when full, so tracing never blocks
+//     or aborts the workload; you lose the distant past, not the present.
+//
+//  3. *Safe concurrent export.* snapshot() may run while producers keep
+//     recording: it acquires each ring's head, reads the slots (every
+//     field is a relaxed atomic, so this is race-free by construction),
+//     then re-reads the head and discards any entries that may have been
+//     overwritten mid-read (a ring-granularity seqlock).
+//
+// Relation to icilk::TraceRecorder (Trace.h): the TraceRecorder captures
+// *thread structure* (who spawned/touched whom) for lifting into cost
+// DAGs; the event ring captures *scheduler behaviour over time* (where a
+// task waited and which worker did what, with nanosecond timestamps).
+// They attach independently and may run together; see Trace.h.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_ICILK_EVENTRING_H
+#define REPRO_ICILK_EVENTRING_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace repro::icilk::trace {
+
+/// Scheduler event taxonomy (see DESIGN.md, "Observability").
+enum class EventKind : uint8_t {
+  Spawn,       ///< task submitted; Arg = task id
+  Steal,       ///< took a task from another worker's deque; Arg = task id,
+               ///< Arg2 = victim worker index
+  StealFail,   ///< a full scan (own deque, injection, all victims, all
+               ///< levels) found nothing; emitted once per idle episode
+  Suspend,     ///< task parked on an unready future; Arg = task id
+  Resume,      ///< parked task requeued by a completer; Arg = task id
+  FtouchBlock, ///< an ftouch found its future unready and is about to
+               ///< suspend; Arg = task id, Arg2 = touched future's level
+  AssignChange,///< master re-assigned workers; per level: Arg = workers
+               ///< granted, Arg2 = desire in millis (promotion/demotion)
+  IoBegin,     ///< IoService op submitted; Arg = op id, Arg2 = latency µs
+  IoComplete,  ///< IoService op completed successfully; Arg = op id
+  IoFault,     ///< IoService op completed erroneously; Arg = op id
+  RunSlice,    ///< one task execution slice ended; Arg = task id,
+               ///< Arg2 = slice duration in ns (exported as a span)
+};
+
+/// Decoded event, as returned by snapshot().
+struct Event {
+  uint64_t TimeNanos; ///< absolute repro::nowNanos() timestamp
+  uint64_t Arg;       ///< kind-specific (usually a task or op id)
+  uint32_t Arg2;      ///< kind-specific secondary payload
+  EventKind Kind;
+  uint8_t Level;      ///< priority level the event concerns
+};
+
+/// Human-readable name of \p K ("spawn", "steal-fail", ...).
+const char *eventKindName(EventKind K);
+
+namespace detail {
+/// The global enabled flag, inline so emit() is a load + branch with no
+/// function call when tracing is off.
+inline std::atomic<bool> Enabled{false};
+} // namespace detail
+
+/// Single-producer overwrite ring. One per recording thread, owned by the
+/// EventLog; producers push lock-free, the exporter reads concurrently.
+class EventRing {
+public:
+  EventRing(std::size_t CapacityPow2, std::string Name);
+
+  /// Name accessors are mutex-guarded (cold path): the owning thread may
+  /// rename its ring while the exporter is reading names concurrently.
+  std::string name() const {
+    std::lock_guard<std::mutex> Lock(NameMutex);
+    return ThreadName;
+  }
+  void setName(std::string N) {
+    std::lock_guard<std::mutex> Lock(NameMutex);
+    ThreadName = std::move(N);
+  }
+
+  /// Number of events ever pushed (>= capacity means the oldest were
+  /// overwritten).
+  uint64_t pushed() const { return Head.load(std::memory_order_acquire); }
+
+  /// Producer side; call only from the owning thread.
+  void push(const Event &E) {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    Slot &S = Slots[H & Mask];
+    S.W0.store(E.TimeNanos, std::memory_order_relaxed);
+    S.W1.store(E.Arg, std::memory_order_relaxed);
+    S.W2.store(pack(E), std::memory_order_relaxed);
+    Head.store(H + 1, std::memory_order_release);
+  }
+
+  /// Reader side: appends surviving events (oldest first) to \p Out.
+  /// Entries the producer may have overwritten during the read are
+  /// dropped; the return value is how many were dropped.
+  uint64_t snapshotInto(std::vector<Event> &Out) const;
+
+  /// Producer-visible reset; not synchronized with a concurrent producer
+  /// (callers quiesce first — see EventLog::clear()).
+  void reset() { Head.store(0, std::memory_order_release); }
+
+private:
+  struct Slot {
+    std::atomic<uint64_t> W0{0}; ///< TimeNanos
+    std::atomic<uint64_t> W1{0}; ///< Arg
+    std::atomic<uint64_t> W2{0}; ///< Arg2 | Kind | Level packed
+  };
+
+  static uint64_t pack(const Event &E) {
+    return static_cast<uint64_t>(E.Arg2) |
+           (static_cast<uint64_t>(static_cast<uint8_t>(E.Kind)) << 32) |
+           (static_cast<uint64_t>(E.Level) << 40);
+  }
+  static void unpack(uint64_t W2, Event &E) {
+    E.Arg2 = static_cast<uint32_t>(W2);
+    E.Kind = static_cast<EventKind>((W2 >> 32) & 0xFF);
+    E.Level = static_cast<uint8_t>((W2 >> 40) & 0xFF);
+  }
+
+  mutable std::mutex NameMutex;
+  std::string ThreadName;
+  std::size_t Mask;
+  std::unique_ptr<Slot[]> Slots;
+  std::atomic<uint64_t> Head{0};
+};
+
+/// Per-thread events from one snapshot, plus the ring's identity.
+struct ThreadTrace {
+  uint32_t Tid;             ///< stable ring index (Chrome-trace tid)
+  std::string Name;         ///< thread name ("worker 0", "io-timer", ...)
+  std::vector<Event> Events;
+  uint64_t Dropped = 0;     ///< entries lost to overwrite during snapshot
+};
+
+/// Process-wide registry of per-thread rings. Rings are created lazily on
+/// a thread's first recorded event and live until process exit, so raw
+/// ring pointers cached in thread-locals never dangle.
+class EventLog {
+public:
+  static EventLog &instance();
+
+  /// Turns recording on. \p CapacityPerRing (rounded up to a power of
+  /// two) applies to rings created after the call; existing rings keep
+  /// their capacity. Idempotent.
+  void enable(std::size_t CapacityPerRing = DefaultCapacity);
+
+  /// Turns recording off (rings and their contents are kept for export).
+  void disable();
+
+  bool enabled() const {
+    return detail::Enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Resets every ring's contents. Call while no instrumented thread is
+  /// recording (e.g. between workloads, with tracing disabled); a racing
+  /// producer is memory-safe but may interleave stale entries.
+  void clear();
+
+  /// Names the calling thread's ring (shown as the Chrome-trace thread
+  /// name). While tracing is disabled and the thread has no ring yet the
+  /// name is only stashed (no ring is allocated — threads of never-traced
+  /// runtimes must stay free); it is applied when the ring is created.
+  void setThreadName(const std::string &Name);
+
+  /// The calling thread's ring, creating and registering it on first use.
+  EventRing &ring();
+
+  std::size_t numRings() const;
+
+  /// Consistent-enough view of all rings (see EventRing::snapshotInto).
+  std::vector<ThreadTrace> snapshot() const;
+
+  static constexpr std::size_t DefaultCapacity = 1 << 14;
+
+private:
+  EventLog() = default;
+
+  mutable std::mutex Mutex;
+  std::vector<std::unique_ptr<EventRing>> Rings;
+  std::size_t Capacity = DefaultCapacity;
+};
+
+/// True while recording is on; the one check every instrumentation site
+/// performs before doing any work.
+inline bool enabled() {
+  return detail::Enabled.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+/// Out-of-line slow path: fetches (creating if needed) the calling
+/// thread's ring and pushes.
+void emitSlow(EventKind K, uint8_t Level, uint64_t Arg, uint32_t Arg2);
+} // namespace detail
+
+/// Records one event on the calling thread's ring. When tracing is
+/// disabled this is one relaxed load and a not-taken branch.
+inline void emit(EventKind K, uint8_t Level, uint64_t Arg,
+                 uint32_t Arg2 = 0) {
+  if (!enabled())
+    return;
+  detail::emitSlow(K, Level, Arg, Arg2);
+}
+
+/// Convenience forwarders to EventLog::instance().
+void enable(std::size_t CapacityPerRing = EventLog::DefaultCapacity);
+void disable();
+void clear();
+void setThreadName(const std::string &Name);
+
+/// Writes the current contents of every ring as Chrome-trace JSON (the
+/// "JSON Array with metadata" flavor: {"traceEvents": [...],
+/// "displayTimeUnit": "ms"}). Timestamps are microseconds relative to the
+/// earliest event. Safe to call while recording, at the cost of possibly
+/// dropping concurrently-overwritten entries.
+void writeChromeTrace(std::ostream &OS);
+
+/// As above, over an explicit snapshot (lets tests build one by hand).
+void writeChromeTrace(std::ostream &OS,
+                      const std::vector<ThreadTrace> &Threads);
+
+} // namespace repro::icilk::trace
+
+#endif // REPRO_ICILK_EVENTRING_H

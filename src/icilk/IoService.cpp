@@ -2,8 +2,12 @@
 
 #include "icilk/IoService.h"
 
+#include "icilk/EventRing.h"
 #include "icilk/Runtime.h"
+#include "support/Metrics.h"
 #include "support/Timer.h"
+
+#include <algorithm>
 
 namespace repro::icilk {
 
@@ -79,8 +83,18 @@ void IoService::submitIo(uint64_t LatencyMicros,
       break;
     }
   }
+  uint64_t OpId = NextOpId.fetch_add(1, std::memory_order_relaxed);
+  auto Level = static_cast<uint8_t>(State->level());
+  trace::emit(trace::EventKind::IoBegin, Level, OpId,
+              static_cast<uint32_t>(
+                  std::min<uint64_t>(LatencyMicros, UINT32_MAX)));
   push(LatencyMicros, /*IsIo=*/true,
-       [State = std::move(State), Bytes, Err] {
+       [this, State = std::move(State), Bytes, Err, OpId, Level] {
+         if (Err)
+           FaultedOps.fetch_add(1, std::memory_order_relaxed);
+         trace::emit(Err ? trace::EventKind::IoFault
+                         : trace::EventKind::IoComplete,
+                     Level, OpId);
          dispatch(Err ? State->completeError(Err) : State->complete(Bytes));
        });
 }
@@ -108,6 +122,7 @@ void IoService::push(uint64_t LatencyMicros, bool IsIo,
 }
 
 void IoService::timerLoop() {
+  trace::setThreadName("io-timer");
   std::unique_lock<std::mutex> Lock(Mutex);
   while (true) {
     if (Stop)
@@ -143,6 +158,15 @@ uint64_t IoService::completed() const {
 uint64_t IoService::inFlight() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return IoPending;
+}
+
+void IoService::sampleMetrics(repro::MetricsRegistry &M,
+                              const std::string &Prefix) const {
+  M.counter(Prefix + ".submitted")
+      .set(NextOpId.load(std::memory_order_relaxed) - 1);
+  M.counter(Prefix + ".completed").set(completed());
+  M.counter(Prefix + ".faulted").set(faulted());
+  M.setGauge(Prefix + ".in_flight", static_cast<double>(inFlight()));
 }
 
 } // namespace repro::icilk

@@ -30,14 +30,20 @@
 #include "icilk/FaultPlan.h"
 #include "icilk/Future.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
+
+namespace repro {
+class MetricsRegistry;
+} // namespace repro
 
 namespace repro::icilk {
 
@@ -97,6 +103,16 @@ public:
   /// I/O operations submitted but not yet completed (timers excluded).
   uint64_t inFlight() const;
 
+  /// I/O operations that completed erroneously (fault-injected or dropped).
+  uint64_t faulted() const {
+    return FaultedOps.load(std::memory_order_relaxed);
+  }
+
+  /// Dumps the service's counters into \p M as "<Prefix>.*" (submitted /
+  /// completed / faulted counters, in_flight gauge); see support/Metrics.h.
+  void sampleMetrics(repro::MetricsRegistry &M,
+                     const std::string &Prefix = "io") const;
+
 private:
   /// One heap entry: at DeadlineNanos, run Fire (outside the lock).
   struct Op {
@@ -120,6 +136,8 @@ private:
   std::condition_variable Cv;
   std::priority_queue<Op, std::vector<Op>, std::greater<Op>> Heap;
   std::shared_ptr<FaultPlan> Faults;
+  std::atomic<uint64_t> NextOpId{1};    ///< event-ring op ids
+  std::atomic<uint64_t> FaultedOps{0};  ///< erroneous completions
   uint64_t Done = 0;
   uint64_t IoPending = 0;
   bool Stop = false;

@@ -3,11 +3,15 @@
 #include "icilk/Runtime.h"
 
 #include "conc/Backoff.h"
+#include "icilk/EventRing.h"
+#include "icilk/Task.h"
 #include "support/Logging.h"
+#include "support/Metrics.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <cassert>
+#include <climits>
 #include <cstdlib>
 #include <sstream>
 
@@ -29,6 +33,7 @@ Runtime::Runtime(RuntimeConfig Cfg) : Config(Cfg) {
   for (unsigned L = 0; L < Config.NumLevels; ++L) {
     Stats.push_back(std::make_unique<LevelStats>());
     Pending.push_back(std::make_unique<std::atomic<int64_t>>(0));
+    DesireMirror.push_back(std::make_unique<std::atomic<double>>(1.0));
   }
   for (unsigned W = 0; W < Config.NumWorkers; ++W)
     Workers.push_back(std::make_unique<Worker>(QueueLevels));
@@ -76,11 +81,18 @@ bool Runtime::onWorkerThread() const { return CurrentRuntime == this; }
 void Runtime::submitTask(std::unique_ptr<Task> Owned) {
   assert(Owned->level() < Config.NumLevels && "task level out of range");
   Outstanding.fetch_add(1, std::memory_order_relaxed);
+  if (trace::enabled()) {
+    Owned->setRingId(NextTraceTaskId.fetch_add(1, std::memory_order_relaxed));
+    trace::emit(trace::EventKind::Spawn,
+                static_cast<uint8_t>(Owned->level()), Owned->ringId());
+  }
   enqueue(Owned.release());
 }
 
 void Runtime::resumeTask(Task *T) {
   // Still counted in Outstanding (it never completed); just requeue.
+  trace::emit(trace::EventKind::Resume, static_cast<uint8_t>(T->level()),
+              T->ringId());
   enqueue(T);
 }
 
@@ -106,11 +118,15 @@ Task *Runtime::findTaskAtLevel(unsigned QueueIdx, Worker *Self) {
       return *T;
   if (auto T = Injection[QueueIdx]->tryPop())
     return *T;
-  for (auto &W : Workers) {
-    if (W.get() == Self)
+  for (unsigned V = 0; V < Workers.size(); ++V) {
+    Worker *W = Workers[V].get();
+    if (W == Self)
       continue;
-    if (auto T = W->Deques[QueueIdx]->steal())
+    if (auto T = W->Deques[QueueIdx]->steal()) {
+      trace::emit(trace::EventKind::Steal, static_cast<uint8_t>(QueueIdx),
+                  (*T)->ringId(), V);
       return *T;
+    }
   }
   return nullptr;
 }
@@ -123,6 +139,15 @@ void Runtime::runTask(Task *T, Worker *Self) {
   if (Self)
     Self->WorkNanos.fetch_add(ElapsedNanos, std::memory_order_relaxed);
   TotalWorkNanos.fetch_add(ElapsedNanos, std::memory_order_relaxed);
+  if (trace::enabled()) {
+    trace::emit(trace::EventKind::RunSlice, static_cast<uint8_t>(T->level()),
+                T->ringId(),
+                static_cast<uint32_t>(std::min<uint64_t>(ElapsedNanos,
+                                                         UINT32_MAX)));
+    if (!Finished)
+      trace::emit(trace::EventKind::Suspend,
+                  static_cast<uint8_t>(T->level()), T->ringId());
+  }
 
   if (!Finished) {
     // The task suspended on a future: park it there. If the future turned
@@ -148,8 +173,10 @@ void Runtime::runTask(Task *T, Worker *Self) {
 void Runtime::workerLoop(unsigned Index) {
   CurrentRuntime = this;
   CurrentWorkerIndex = Index;
+  trace::setThreadName("worker " + std::to_string(Index));
   Worker &W = *Workers[Index];
   conc::Backoff B;
+  bool HadWork = true; // throttles steal-fail events to one per episode
   while (!Stop.load(std::memory_order_acquire)) {
     unsigned Q = Config.PriorityAware ? W.AssignedLevel.load() : 0u;
     Task *T = findTaskAtLevel(Q, &W);
@@ -164,7 +191,15 @@ void Runtime::workerLoop(unsigned Index) {
     if (T) {
       runTask(T, &W);
       B.reset();
+      HadWork = true;
       continue;
+    }
+    // Emit at the transition into idleness, not per spin iteration — an
+    // idle worker scans thousands of times per second and would flush the
+    // whole ring with steal-fail noise.
+    if (HadWork) {
+      trace::emit(trace::EventKind::StealFail, static_cast<uint8_t>(Q), 0);
+      HadWork = false;
     }
     B.pause();
   }
@@ -172,8 +207,10 @@ void Runtime::workerLoop(unsigned Index) {
 }
 
 void Runtime::masterLoop() {
+  trace::setThreadName("master");
   std::vector<double> Desire(Config.NumLevels, 1.0);
   std::vector<uint8_t> Satisfied(Config.NumLevels, 1);
+  std::vector<unsigned> PrevGrant(Config.NumLevels, UINT_MAX);
   const double QuantumNanos = static_cast<double>(Config.QuantumMicros) * 1000.0;
   uint64_t WatchdogLastExecuted = Executed.load(std::memory_order_relaxed);
   unsigned QuantaSinceProgress = 0;
@@ -202,7 +239,7 @@ void Runtime::masterLoop() {
                << " quanta; outstanding="
                << Outstanding.load(std::memory_order_relaxed)
                << " executed=" << Exec << "; per-level [pending/assigned]:";
-          auto Assigned = assignmentCounts();
+          auto Assigned = countAssignments();
           for (unsigned L = Config.NumLevels; L-- > 0;)
             Dump << " L" << L << "=["
                  << Pending[L]->load(std::memory_order_relaxed) << "/"
@@ -279,6 +316,19 @@ void Runtime::masterLoop() {
       }
     }
 
+    // Publish this quantum's desires for snapshot(), and record grant
+    // changes (a level gaining or losing workers is a promotion/demotion
+    // in the two-level scheduler — exactly what responsiveness debugging
+    // needs to see on the timeline).
+    for (unsigned L = 0; L < Config.NumLevels; ++L) {
+      DesireMirror[L]->store(Desire[L], std::memory_order_relaxed);
+      if (Grant[L] != PrevGrant[L]) {
+        trace::emit(trace::EventKind::AssignChange, static_cast<uint8_t>(L),
+                    Grant[L], static_cast<uint32_t>(Desire[L] * 1000.0));
+        PrevGrant[L] = Grant[L];
+      }
+    }
+
     // Apply: partition the worker array by level, highest levels first.
     unsigned Next = 0;
     for (unsigned L = Config.NumLevels; L-- > 0;)
@@ -305,21 +355,58 @@ void Runtime::drain() {
     B.pause();
 }
 
-std::vector<unsigned> Runtime::assignmentCounts() const {
+std::vector<unsigned> Runtime::countAssignments() const {
   std::vector<unsigned> Counts(Config.NumLevels, 0);
   for (const auto &W : Workers)
     ++Counts[W->AssignedLevel.load(std::memory_order_relaxed)];
   return Counts;
 }
 
-std::vector<double> Runtime::desires() const {
-  // Desire lives in the master loop; expose the observable proxy instead:
-  // current grant counts. (The ablation bench samples assignmentCounts.)
+std::vector<double> Runtime::currentDesires() const {
   std::vector<double> D(Config.NumLevels, 0.0);
-  auto Counts = assignmentCounts();
   for (unsigned L = 0; L < Config.NumLevels; ++L)
-    D[L] = Counts[L];
+    D[L] = DesireMirror[L]->load(std::memory_order_relaxed);
   return D;
+}
+
+RuntimeSnapshot Runtime::snapshot() const {
+  RuntimeSnapshot S;
+  S.TasksExecuted = Executed.load(std::memory_order_relaxed);
+  S.TotalWorkNanos = TotalWorkNanos.load(std::memory_order_relaxed);
+  S.Outstanding = Outstanding.load(std::memory_order_relaxed);
+  S.StallsDetected = Stalls.load(std::memory_order_relaxed);
+  S.Pending.reserve(Config.NumLevels);
+  for (unsigned L = 0; L < Config.NumLevels; ++L)
+    S.Pending.push_back(Pending[L]->load(std::memory_order_relaxed));
+  S.Assigned = countAssignments();
+  S.Desires = currentDesires();
+  return S;
+}
+
+void Runtime::sampleMetrics(repro::MetricsRegistry &M,
+                            const std::string &Prefix) const {
+  RuntimeSnapshot S = snapshot();
+  M.counter(Prefix + ".tasks_executed").set(S.TasksExecuted);
+  M.counter(Prefix + ".total_work_nanos").set(S.TotalWorkNanos);
+  M.counter(Prefix + ".stalls_detected").set(S.StallsDetected);
+  M.setGauge(Prefix + ".outstanding", static_cast<double>(S.Outstanding));
+  for (unsigned L = 0; L < Config.NumLevels; ++L) {
+    std::string LP = Prefix + ".level" + std::to_string(L);
+    M.setGauge(LP + ".pending", static_cast<double>(S.Pending[L]));
+    M.setGauge(LP + ".assigned", static_cast<double>(S.Assigned[L]));
+    M.setGauge(LP + ".desire", S.Desires[L]);
+    const LevelStats &LS = *Stats[L];
+    M.counter(LP + ".completed")
+        .set(LS.Completed.load(std::memory_order_relaxed));
+    // 0–100 ms linear histograms: wide enough for every app's ladder,
+    // fine enough (500 µs buckets) to show priority separation.
+    M.histogram(LP + ".response_micros", 0, 100000, 200)
+        .recordAll(LS.Response.samples());
+    M.histogram(LP + ".compute_micros", 0, 100000, 200)
+        .recordAll(LS.Compute.samples());
+    M.histogram(LP + ".queue_wait_micros", 0, 100000, 200)
+        .recordAll(LS.QueueWait.samples());
+  }
 }
 
 } // namespace repro::icilk

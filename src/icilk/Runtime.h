@@ -45,8 +45,13 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+namespace repro {
+class MetricsRegistry;
+} // namespace repro
 
 namespace repro::icilk {
 
@@ -74,6 +79,30 @@ struct LevelStats {
   repro::LatencyRecorder Compute;   ///< start → completion (µs)
   repro::LatencyRecorder QueueWait; ///< creation → start (µs)
   std::atomic<uint64_t> Completed{0};
+};
+
+/// One coherent sample of the runtime's observable state — the single
+/// stats surface (Runtime::snapshot()) that replaced seven ad-hoc getters.
+/// Fields are read individually with relaxed ordering, so across fields
+/// the snapshot is approximate while tasks are in flight and exact once
+/// the runtime is drained.
+struct RuntimeSnapshot {
+  uint64_t TasksExecuted = 0;  ///< tasks run to completion
+  uint64_t TotalWorkNanos = 0; ///< Σ executed-slice wall time (suspended
+                               ///< time excluded) — utilization numerator
+  int64_t Outstanding = 0;     ///< submitted, not yet completed
+  uint64_t StallsDetected = 0; ///< watchdog episodes (see WatchdogQuanta)
+  std::vector<int64_t> Pending;    ///< queued (not running/suspended), per level
+  std::vector<unsigned> Assigned;  ///< workers currently assigned, per level
+  std::vector<double> Desires;     ///< master's current desire, per level
+
+  /// Total queue depth — the admission-control signal (see apps/JobServer).
+  int64_t totalPending() const {
+    int64_t Sum = 0;
+    for (int64_t P : Pending)
+      Sum += P;
+    return Sum;
+  }
 };
 
 class Runtime {
@@ -106,44 +135,55 @@ public:
   LevelStats &levelStats(unsigned Level) { return *Stats[Level]; }
   const LevelStats &levelStats(unsigned Level) const { return *Stats[Level]; }
 
-  uint64_t tasksExecuted() const {
+  /// One coherent sample of every observable scheduler quantity — the
+  /// stats API. Replaces the deprecated per-field getters below.
+  RuntimeSnapshot snapshot() const;
+
+  /// Dumps the current snapshot plus per-level latency summaries into
+  /// \p M as "<Prefix>.*" counters/gauges/histograms (see
+  /// support/Metrics.h). Intended at run boundaries, not per task.
+  void sampleMetrics(repro::MetricsRegistry &M,
+                     const std::string &Prefix = "runtime") const;
+
+  // Deprecated pre-snapshot stats surface. Each is a strict subset of
+  // snapshot(); kept one deprecation cycle for out-of-tree callers.
+  [[deprecated("use snapshot().TasksExecuted")]] uint64_t
+  tasksExecuted() const {
     return Executed.load(std::memory_order_relaxed);
   }
-
-  /// Total nanoseconds workers spent executing task slices (suspended time
-  /// excluded) — the honest numerator for utilization.
-  uint64_t totalWorkNanos() const {
+  [[deprecated("use snapshot().TotalWorkNanos")]] uint64_t
+  totalWorkNanos() const {
     return TotalWorkNanos.load(std::memory_order_relaxed);
   }
-  int64_t outstanding() const {
+  [[deprecated("use snapshot().Outstanding")]] int64_t outstanding() const {
     return Outstanding.load(std::memory_order_relaxed);
   }
-
-  /// Tasks queued (not yet running or suspended) at \p Level — the queue-
-  /// depth signal admission control sheds on (see apps/JobServer).
-  int64_t pendingAt(unsigned Level) const {
+  [[deprecated("use snapshot().Pending[Level]")]] int64_t
+  pendingAt(unsigned Level) const {
     return Pending[Level]->load(std::memory_order_relaxed);
   }
-
-  /// Stall episodes the watchdog has reported (see
-  /// RuntimeConfig::WatchdogQuanta).
-  uint64_t stallsDetected() const {
+  [[deprecated("use snapshot().StallsDetected")]] uint64_t
+  stallsDetected() const {
     return Stalls.load(std::memory_order_relaxed);
   }
-
-  /// Workers currently assigned per level (top-level scheduler state);
-  /// meaningful in priority-aware mode.
-  std::vector<unsigned> assignmentCounts() const;
-
-  /// Current desire per level (for the scheduler ablation bench).
-  std::vector<double> desires() const;
+  [[deprecated("use snapshot().Assigned")]] std::vector<unsigned>
+  assignmentCounts() const {
+    return countAssignments();
+  }
+  [[deprecated("use snapshot().Desires")]] std::vector<double>
+  desires() const {
+    return currentDesires();
+  }
 
   /// True when the calling thread is one of this runtime's workers.
   bool onWorkerThread() const;
 
   /// Attaches (or detaches, with nullptr) an execution-trace recorder;
-  /// fcreate/ftouch record spawn/touch events while one is attached. The
-  /// recorder must outlive the attachment.
+  /// fcreate/ftouch record spawn/touch events — and every suspension/
+  /// resumption at a blocking ftouch — while one is attached. The recorder
+  /// must outlive the attachment. Structural tracing here is independent
+  /// of the scheduler event ring (trace::enable, EventRing.h); see Trace.h
+  /// for how the two relate.
   void setTrace(class TraceRecorder *T) {
     Trace.store(T, std::memory_order_release);
   }
@@ -173,17 +213,23 @@ private:
   void enqueue(Task *T);
   Task *findTaskAtLevel(unsigned QueueIdx, Worker *Self);
   void runTask(Task *T, Worker *Self);
+  std::vector<unsigned> countAssignments() const;
+  std::vector<double> currentDesires() const;
 
   RuntimeConfig Config;
   std::vector<std::unique_ptr<Worker>> Workers;
   std::vector<std::unique_ptr<conc::MpmcQueue<Task *>>> Injection;
   std::vector<std::unique_ptr<LevelStats>> Stats;
   std::vector<std::unique_ptr<std::atomic<int64_t>>> Pending; ///< queued, per level
+  /// Master-published mirror of each level's desire, for snapshot()
+  /// (the desire itself lives in the master loop's locals).
+  std::vector<std::unique_ptr<std::atomic<double>>> DesireMirror;
 
   std::atomic<int64_t> Outstanding{0};
   std::atomic<uint64_t> Executed{0};
   std::atomic<uint64_t> Stalls{0};
   std::atomic<uint64_t> TotalWorkNanos{0};
+  std::atomic<uint32_t> NextTraceTaskId{1}; ///< event-ring task ids
   std::atomic<class TraceRecorder *> Trace{nullptr};
   std::atomic<bool> Stop{false};
 

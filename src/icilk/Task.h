@@ -98,6 +98,12 @@ public:
   uint32_t traceId() const { return TraceId; }
   void setTraceId(uint32_t Id) { TraceId = Id; }
 
+  /// Event-ring identity (EventRing.h), assigned by the runtime at submit
+  /// when scheduler tracing is enabled; 0 otherwise. Distinct from
+  /// traceId(): the two tracing systems attach independently.
+  uint32_t ringId() const { return RingId; }
+  void setRingId(uint32_t Id) { RingId = Id; }
+
 private:
   static void trampoline();
 
@@ -110,6 +116,7 @@ private:
   bool Started = false;
   bool Done = false;
   uint32_t TraceId = 0;
+  uint32_t RingId = 0;
   FutureStateBase *WaitingOn = nullptr;
   std::unique_ptr<char[]> Stack;
   ucontext_t Ctx{};

@@ -19,6 +19,16 @@ void TraceRecorder::recordTouch(TraceTaskId Waiter, TraceTaskId Producer) {
   Events.push_back({Kind::Touch, Waiter, Producer});
 }
 
+void TraceRecorder::recordSuspend(TraceTaskId Task) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back({Kind::Suspend, Task, Task});
+}
+
+void TraceRecorder::recordResume(TraceTaskId Task) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back({Kind::Resume, Task, Task});
+}
+
 void TraceRecorder::noteHappensBefore(TraceTaskId Writer, TraceTaskId Reader) {
   std::lock_guard<std::mutex> Lock(Mutex);
   // The event happens at the reader (the read observes the write), so the
@@ -61,6 +71,11 @@ dag::Graph TraceRecorder::lift(unsigned NumLevels) const {
     case Kind::Weak:
       G.addWeakEdge(LastVertex[E.Other], V);
       break;
+    case Kind::Suspend:
+    case Kind::Resume:
+      // Pure program-order vertices: the suspension itself creates no
+      // dependence (the touch edge after resumption carries it).
+      break;
     }
     LastVertex[E.Actor] = V;
   }
@@ -77,6 +92,14 @@ std::size_t TraceRecorder::numTouches() const {
   std::size_t N = 0;
   for (const Event &E : Events)
     N += E.K == Kind::Touch ? 1 : 0;
+  return N;
+}
+
+std::size_t TraceRecorder::numSuspends() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::size_t N = 0;
+  for (const Event &E : Events)
+    N += E.K == Kind::Suspend ? 1 : 0;
   return N;
 }
 

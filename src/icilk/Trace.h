@@ -11,12 +11,26 @@
 // λ⁴ᵢ machine runs: the soundness tests check that programs written
 // against the statically-checked API produce strongly well-formed DAGs.
 //
-// What the trace captures: fcreate edges (who spawned whom) and ftouch
-// edges (who waited on whose future), in per-task program order. What it
-// does not capture: reads/writes of application state — a handle that
-// travels through untracked shared state will (correctly) fail the
-// knows-about condition unless the program also calls noteHappensBefore to
-// reify that flow, the runtime analogue of the calculus's weak edges.
+// What the trace captures: fcreate edges (who spawned whom), ftouch
+// edges (who waited on whose future), and the suspension/resumption a
+// blocking ftouch causes (vertices in the waiter's chain, no extra
+// edges), in per-task program order. What it does not capture:
+// reads/writes of application state — a handle that travels through
+// untracked shared state will (correctly) fail the knows-about condition
+// unless the program also calls noteHappensBefore to reify that flow, the
+// runtime analogue of the calculus's weak edges.
+//
+// Relation to the scheduler event ring (icilk/EventRing.h): the two
+// tracing systems are independent and may run together. TraceRecorder is
+// attached per-Runtime (Runtime::setTrace), records *thread structure*
+// (spawn/touch identity, no timestamps), and lifts into dag::Graph for
+// the Section 2 analyses. The event ring is process-global
+// (trace::enable), records *scheduler behaviour over time* (steals,
+// suspensions, worker reassignment, I/O ops, with nanosecond timestamps),
+// and exports Chrome-trace JSON for Perfetto. A suspension at a blocking
+// ftouch therefore shows up in both: here as a suspend/resume vertex pair
+// in the waiter's chain, there as FtouchBlock/Suspend/Resume instants on
+// the worker's timeline.
 //
 //===----------------------------------------------------------------------===//
 
@@ -46,6 +60,15 @@ public:
   /// Records that \p Waiter ftouched the future produced by \p Producer.
   void recordTouch(TraceTaskId Waiter, TraceTaskId Producer);
 
+  /// Records that \p Task suspended at a blocking ftouch (the future was
+  /// unready). Lifts to a vertex in the task's chain — program order is
+  /// preserved, no edge is added (the dependence edge comes from the
+  /// recordTouch that follows the eventual resumption).
+  void recordSuspend(TraceTaskId Task);
+
+  /// Records that \p Task was resumed after a suspension.
+  void recordResume(TraceTaskId Task);
+
   /// Records a happens-before through application state: \p Writer's
   /// current point precedes \p Reader's (a weak edge in the lift).
   void noteHappensBefore(TraceTaskId Writer, TraceTaskId Reader);
@@ -59,9 +82,10 @@ public:
 
   std::size_t numTasks() const;
   std::size_t numTouches() const;
+  std::size_t numSuspends() const;
 
 private:
-  enum class Kind : uint8_t { Spawn, Touch, Weak };
+  enum class Kind : uint8_t { Spawn, Touch, Weak, Suspend, Resume };
   struct Event {
     Kind K;
     TraceTaskId Actor;  ///< the task performing the event

@@ -1,0 +1,435 @@
+//===- support/Json.cpp - Minimal JSON value, parser, writer -----------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace repro::json {
+
+namespace {
+
+constexpr int MaxDepth = 64;
+
+void appendUtf8(std::string &Out, uint32_t Cp) {
+  if (Cp < 0x80) {
+    Out.push_back(static_cast<char>(Cp));
+  } else if (Cp < 0x800) {
+    Out.push_back(static_cast<char>(0xC0 | (Cp >> 6)));
+    Out.push_back(static_cast<char>(0x80 | (Cp & 0x3F)));
+  } else if (Cp < 0x10000) {
+    Out.push_back(static_cast<char>(0xE0 | (Cp >> 12)));
+    Out.push_back(static_cast<char>(0x80 | ((Cp >> 6) & 0x3F)));
+    Out.push_back(static_cast<char>(0x80 | (Cp & 0x3F)));
+  } else {
+    Out.push_back(static_cast<char>(0xF0 | (Cp >> 18)));
+    Out.push_back(static_cast<char>(0x80 | ((Cp >> 12) & 0x3F)));
+    Out.push_back(static_cast<char>(0x80 | ((Cp >> 6) & 0x3F)));
+    Out.push_back(static_cast<char>(0x80 | (Cp & 0x3F)));
+  }
+}
+
+class Parser {
+public:
+  Parser(std::string_view Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  std::optional<Value> run() {
+    skipWs();
+    Value V;
+    if (!parseValue(V, 0))
+      return std::nullopt;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after JSON value");
+    return V;
+  }
+
+private:
+  std::optional<Value> fail(const char *Msg) {
+    if (Error)
+      *Error = std::string(Msg) + " at offset " + std::to_string(Pos);
+    Failed = true;
+    return std::nullopt;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Lit) {
+    std::size_t N = std::strlen(Lit);
+    if (Text.substr(Pos, N) != Lit)
+      return false;
+    Pos += N;
+    return true;
+  }
+
+  bool parseValue(Value &Out, int Depth) {
+    if (Depth > MaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    char C = Text[Pos];
+    switch (C) {
+    case 'n':
+      if (!literal("null")) {
+        fail("bad literal");
+        return false;
+      }
+      Out = Value();
+      return true;
+    case 't':
+      if (!literal("true")) {
+        fail("bad literal");
+        return false;
+      }
+      Out = Value(true);
+      return true;
+    case 'f':
+      if (!literal("false")) {
+        fail("bad literal");
+        return false;
+      }
+      Out = Value(false);
+      return true;
+    case '"':
+      return parseString(Out);
+    case '[':
+      return parseArray(Out, Depth);
+    case '{':
+      return parseObject(Out, Depth);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseNumber(Value &Out) {
+    std::size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start) {
+      fail("expected a value");
+      return false;
+    }
+    std::string Num(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double V = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size()) {
+      Pos = Start;
+      fail("malformed number");
+      return false;
+    }
+    Out = Value(V);
+    return true;
+  }
+
+  bool parseHex4(uint32_t &Out) {
+    if (Pos + 4 > Text.size()) {
+      fail("truncated \\u escape");
+      return false;
+    }
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos++];
+      Out <<= 4;
+      if (C >= '0' && C <= '9')
+        Out |= static_cast<uint32_t>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Out |= static_cast<uint32_t>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Out |= static_cast<uint32_t>(C - 'A' + 10);
+      else {
+        fail("bad hex digit in \\u escape");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool parseString(Value &Out) {
+    std::string S;
+    if (!parseRawString(S))
+      return false;
+    Out = Value(std::move(S));
+    return true;
+  }
+
+  bool parseRawString(std::string &S) {
+    ++Pos; // opening quote
+    while (true) {
+      if (Pos >= Text.size()) {
+        fail("unterminated string");
+        return false;
+      }
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= Text.size()) {
+          fail("unterminated escape");
+          return false;
+        }
+        char E = Text[Pos++];
+        switch (E) {
+        case '"': S.push_back('"'); break;
+        case '\\': S.push_back('\\'); break;
+        case '/': S.push_back('/'); break;
+        case 'b': S.push_back('\b'); break;
+        case 'f': S.push_back('\f'); break;
+        case 'n': S.push_back('\n'); break;
+        case 'r': S.push_back('\r'); break;
+        case 't': S.push_back('\t'); break;
+        case 'u': {
+          uint32_t Cp = 0;
+          if (!parseHex4(Cp))
+            return false;
+          // Surrogate pair: a high surrogate must be followed by \uDC00..
+          if (Cp >= 0xD800 && Cp <= 0xDBFF && Pos + 1 < Text.size() &&
+              Text[Pos] == '\\' && Text[Pos + 1] == 'u') {
+            std::size_t Save = Pos;
+            Pos += 2;
+            uint32_t Lo = 0;
+            if (!parseHex4(Lo))
+              return false;
+            if (Lo >= 0xDC00 && Lo <= 0xDFFF)
+              Cp = 0x10000 + ((Cp - 0xD800) << 10) + (Lo - 0xDC00);
+            else
+              Pos = Save; // lone surrogate; emit as-is
+          }
+          appendUtf8(S, Cp);
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return false;
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(C) < 0x20) {
+        fail("raw control character in string");
+        return false;
+      }
+      S.push_back(C);
+      ++Pos;
+    }
+  }
+
+  bool parseArray(Value &Out, int Depth) {
+    ++Pos; // '['
+    Out = Value::array();
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      Value Elem;
+      skipWs();
+      if (!parseValue(Elem, Depth + 1))
+        return false;
+      Out.push(std::move(Elem));
+      skipWs();
+      if (Pos >= Text.size()) {
+        fail("unterminated array");
+        return false;
+      }
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      fail("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  bool parseObject(Value &Out, int Depth) {
+    ++Pos; // '{'
+    Out = Value::object();
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"') {
+        fail("expected object key");
+        return false;
+      }
+      std::string Key;
+      if (!parseRawString(Key))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':') {
+        fail("expected ':' after object key");
+        return false;
+      }
+      ++Pos;
+      skipWs();
+      Value V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Out.set(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos >= Text.size()) {
+        fail("unterminated object");
+        return false;
+      }
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      fail("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  std::string_view Text;
+  std::string *Error;
+  std::size_t Pos = 0;
+  bool Failed = false;
+};
+
+void appendNumber(std::string &Out, double N) {
+  if (!std::isfinite(N)) {
+    Out += "null"; // JSON has no Inf/NaN; null is the least-surprising spelling
+    return;
+  }
+  // Integers (the common case for counters/timestamps) print without a
+  // fractional part so files diff cleanly.
+  if (N == std::floor(N) && std::fabs(N) < 9.0e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(N));
+    Out += Buf;
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", N);
+  Out += Buf;
+}
+
+} // namespace
+
+std::string escapeString(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\b': Out += "\\b"; break;
+    case '\f': Out += "\\f"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  return Out;
+}
+
+void Value::dumpTo(std::string &Out, int Indent, int Depth) const {
+  auto Newline = [&](int D) {
+    if (Indent < 0)
+      return;
+    Out.push_back('\n');
+    Out.append(static_cast<std::size_t>(Indent * D), ' ');
+  };
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += BoolV ? "true" : "false";
+    break;
+  case Kind::Number:
+    appendNumber(Out, NumV);
+    break;
+  case Kind::String:
+    Out.push_back('"');
+    Out += escapeString(StrV);
+    Out.push_back('"');
+    break;
+  case Kind::Array: {
+    if (Arr.empty()) {
+      Out += "[]";
+      break;
+    }
+    Out.push_back('[');
+    for (std::size_t I = 0; I < Arr.size(); ++I) {
+      if (I)
+        Out.push_back(',');
+      Newline(Depth + 1);
+      Arr[I].dumpTo(Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out.push_back(']');
+    break;
+  }
+  case Kind::Object: {
+    if (Members.empty()) {
+      Out += "{}";
+      break;
+    }
+    Out.push_back('{');
+    for (std::size_t I = 0; I < Members.size(); ++I) {
+      if (I)
+        Out.push_back(',');
+      Newline(Depth + 1);
+      Out.push_back('"');
+      Out += escapeString(Members[I].first);
+      Out += Indent < 0 ? "\":" : "\": ";
+      Members[I].second.dumpTo(Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out.push_back('}');
+    break;
+  }
+  }
+}
+
+std::string Value::dump(int Indent) const {
+  std::string Out;
+  dumpTo(Out, Indent, 0);
+  return Out;
+}
+
+std::optional<Value> parse(std::string_view Text, std::string *Error) {
+  return Parser(Text, Error).run();
+}
+
+} // namespace repro::json

@@ -1,0 +1,115 @@
+//===- support/Json.h - Minimal JSON value, parser, writer ------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// A small self-contained JSON layer for the observability surface: the
+// metrics registry serializes through it, the bench Reporter writes its
+// BENCH_<name>.json files with it, and the trace tests parse emitted
+// Chrome-trace files back to validate their schema. Objects preserve
+// insertion order so emitted files diff cleanly across runs.
+//
+// Not a general-purpose library: numbers are doubles, duplicate object
+// keys keep the last value on lookup, and parse depth is bounded.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_SUPPORT_JSON_H
+#define REPRO_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace repro::json {
+
+/// One JSON value; a tagged union over the six JSON kinds.
+class Value {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+  using Member = std::pair<std::string, Value>;
+
+  Value() : K(Kind::Null) {}
+  Value(std::nullptr_t) : K(Kind::Null) {}
+  Value(bool B) : K(Kind::Bool), BoolV(B) {}
+  Value(double N) : K(Kind::Number), NumV(N) {}
+  Value(int N) : K(Kind::Number), NumV(N) {}
+  Value(int64_t N) : K(Kind::Number), NumV(static_cast<double>(N)) {}
+  Value(uint64_t N) : K(Kind::Number), NumV(static_cast<double>(N)) {}
+  Value(const char *S) : K(Kind::String), StrV(S) {}
+  Value(std::string S) : K(Kind::String), StrV(std::move(S)) {}
+
+  static Value array() {
+    Value V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static Value object() {
+    Value V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return BoolV; }
+  double asNumber() const { return NumV; }
+  const std::string &asString() const { return StrV; }
+
+  /// Array interface.
+  std::size_t size() const {
+    return K == Kind::Array ? Arr.size() : Members.size();
+  }
+  const Value &at(std::size_t I) const { return Arr[I]; }
+  std::vector<Value> &elements() { return Arr; }
+  const std::vector<Value> &elements() const { return Arr; }
+  void push(Value V) { Arr.push_back(std::move(V)); }
+
+  /// Object interface: last binding wins on lookup; insertion order kept.
+  bool contains(std::string_view Key) const { return find(Key) != nullptr; }
+  const Value *find(std::string_view Key) const {
+    for (auto It = Members.rbegin(); It != Members.rend(); ++It)
+      if (It->first == Key)
+        return &It->second;
+    return nullptr;
+  }
+  void set(std::string Key, Value V) {
+    Members.emplace_back(std::move(Key), std::move(V));
+  }
+  const std::vector<Member> &members() const { return Members; }
+
+  /// Serializes; \p Indent < 0 means compact one-line output.
+  std::string dump(int Indent = -1) const;
+
+private:
+  void dumpTo(std::string &Out, int Indent, int Depth) const;
+
+  Kind K;
+  bool BoolV = false;
+  double NumV = 0;
+  std::string StrV;
+  std::vector<Value> Arr;
+  std::vector<Member> Members;
+};
+
+/// Escapes \p S as the body of a JSON string literal (no quotes).
+std::string escapeString(std::string_view S);
+
+/// Parses \p Text; on failure returns nullopt and, when \p Error is given,
+/// fills it with a message carrying the byte offset.
+std::optional<Value> parse(std::string_view Text, std::string *Error = nullptr);
+
+} // namespace repro::json
+
+#endif // REPRO_SUPPORT_JSON_H

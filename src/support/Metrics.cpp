@@ -1,0 +1,112 @@
+//===- support/Metrics.cpp - Named counters and latency histograms -----------===//
+
+#include "support/Metrics.h"
+
+#include "support/StringUtils.h"
+
+#include <sstream>
+
+namespace repro {
+
+json::Value MetricsRegistry::LatencyHistogram::toJson() const {
+  std::lock_guard<std::mutex> Lock(M);
+  json::Value Out = json::Value::object();
+  Out.set("count", json::Value(H.total()));
+  if (H.total() > 0) {
+    Out.set("min", json::Value(Min));
+    Out.set("max", json::Value(Max));
+    Out.set("mean", json::Value(Sum / static_cast<double>(H.total())));
+  }
+  Out.set("lo", json::Value(H.bucketLowerEdge(0)));
+  json::Value Buckets = json::Value::array();
+  for (std::size_t I = 0; I < H.numBuckets(); ++I)
+    Buckets.push(json::Value(H.bucketCount(I)));
+  Out.set("buckets", std::move(Buckets));
+  Out.set("underflow", json::Value(H.underflow()));
+  Out.set("overflow", json::Value(H.overflow()));
+  return Out;
+}
+
+MetricsRegistry::Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+void MetricsRegistry::setGauge(const std::string &Name, double Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Gauges[Name] = Value;
+}
+
+MetricsRegistry::LatencyHistogram &
+MetricsRegistry::histogram(const std::string &Name, double Lo, double Hi,
+                           std::size_t Buckets) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<LatencyHistogram>(Lo, Hi, Buckets);
+  return *Slot;
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::map<std::string, uint64_t> Out;
+  for (const auto &[Name, C] : Counters)
+    Out[Name] = C->value();
+  return Out;
+}
+
+std::map<std::string, double> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Gauges;
+}
+
+json::Value MetricsRegistry::toJson() const {
+  // Take stable copies first; histogram serialization takes per-histogram
+  // locks and must not run under the registry mutex in a fixed order with
+  // recorders (they lock only the histogram, so ordering is safe — this is
+  // just tidier).
+  std::map<std::string, uint64_t> Cs = counters();
+  std::map<std::string, double> Gs = gauges();
+  std::vector<std::pair<std::string, LatencyHistogram *>> Hs;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const auto &[Name, H] : Histograms)
+      Hs.emplace_back(Name, H.get());
+  }
+  json::Value Out = json::Value::object();
+  json::Value C = json::Value::object();
+  for (const auto &[Name, V] : Cs)
+    C.set(Name, json::Value(V));
+  Out.set("counters", std::move(C));
+  json::Value G = json::Value::object();
+  for (const auto &[Name, V] : Gs)
+    G.set(Name, json::Value(V));
+  Out.set("gauges", std::move(G));
+  json::Value H = json::Value::object();
+  for (const auto &[Name, Histo] : Hs)
+    H.set(Name, Histo->toJson());
+  Out.set("histograms", std::move(H));
+  return Out;
+}
+
+std::string MetricsRegistry::toString() const {
+  std::ostringstream OS;
+  for (const auto &[Name, V] : counters())
+    OS << Name << " = " << V << "\n";
+  for (const auto &[Name, V] : gauges())
+    OS << Name << " = " << formatFixed(V, 3) << "\n";
+  std::vector<std::pair<std::string, LatencyHistogram *>> Hs;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const auto &[Name, H] : Histograms)
+      Hs.emplace_back(Name, H.get());
+  }
+  for (const auto &[Name, H] : Hs)
+    OS << Name << ": n=" << H->count() << "\n";
+  return OS.str();
+}
+
+} // namespace repro

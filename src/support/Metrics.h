@@ -1,0 +1,127 @@
+//===- support/Metrics.h - Named counters and latency histograms *- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The metrics half of the observability layer (the event ring in
+// icilk/EventRing.h is the other half): a registry of named monotonic
+// counters, point-in-time gauges, and latency histograms (backed by
+// support/Histogram) that Runtime, IoService, and the case-study apps dump
+// into at the end of a run — one shared vocabulary instead of each bench
+// hand-rolling its own reporting struct.
+//
+// Counter increments are lock-free (a relaxed atomic add on a handle the
+// caller looked up once); registration and histogram recording take a
+// mutex and belong on sampling paths, not per-task hot paths. The
+// registry serializes to JSON (bench::Reporter embeds it in
+// BENCH_<name>.json) and to a human-readable listing.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_SUPPORT_METRICS_H
+#define REPRO_SUPPORT_METRICS_H
+
+#include "support/Histogram.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// Registry of named counters / gauges / histograms. Handles returned by
+/// counter() and histogram() stay valid for the registry's lifetime.
+class MetricsRegistry {
+public:
+  /// Monotonic counter; add() is lock-free and thread-safe.
+  class Counter {
+  public:
+    void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+    /// For sampling an externally-maintained total into the registry.
+    void set(uint64_t N) { V.store(N, std::memory_order_relaxed); }
+    uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> V{0};
+  };
+
+  /// Mutex-guarded latency histogram (support/Histogram is not itself
+  /// thread-safe) plus running min/max/sum for a cheap summary.
+  class LatencyHistogram {
+  public:
+    LatencyHistogram(double Lo, double Hi, std::size_t Buckets)
+        : H(Lo, Hi, Buckets) {}
+
+    void record(double Value) {
+      std::lock_guard<std::mutex> Lock(M);
+      H.add(Value);
+      Sum += Value;
+      Min = H.total() == 1 ? Value : std::min(Min, Value);
+      Max = std::max(Max, Value);
+    }
+    void recordAll(const std::vector<double> &Values) {
+      for (double V : Values)
+        record(V);
+    }
+
+    uint64_t count() const {
+      std::lock_guard<std::mutex> Lock(M);
+      return H.total();
+    }
+    /// Copy of the underlying histogram (for rendering / assertions).
+    Histogram snapshot() const {
+      std::lock_guard<std::mutex> Lock(M);
+      return H;
+    }
+    json::Value toJson() const;
+
+  private:
+    mutable std::mutex M;
+    Histogram H;
+    double Sum = 0, Min = 0, Max = 0;
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  /// Returns the counter named \p Name, creating it on first use.
+  Counter &counter(const std::string &Name);
+
+  /// Sets the point-in-time gauge \p Name to \p Value.
+  void setGauge(const std::string &Name, double Value);
+
+  /// Returns the histogram named \p Name, creating it with the given shape
+  /// on first use (later calls ignore the shape parameters).
+  LatencyHistogram &histogram(const std::string &Name, double Lo, double Hi,
+                              std::size_t Buckets);
+
+  /// Snapshot views (copies; safe while writers keep writing to counters).
+  std::map<std::string, uint64_t> counters() const;
+  std::map<std::string, double> gauges() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// min, max, mean, buckets: [...]}}}
+  json::Value toJson() const;
+
+  /// Human-readable multi-line listing, sorted by name.
+  std::string toString() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, double> Gauges;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> Histograms;
+};
+
+} // namespace repro
+
+#endif // REPRO_SUPPORT_METRICS_H

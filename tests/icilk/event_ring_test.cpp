@@ -1,0 +1,235 @@
+//===- tests/icilk/event_ring_test.cpp - Scheduler event tracing -----------===//
+//
+// Exercises the lock-free event ring: ring mechanics (overwrite, pack/
+// unpack), the global enable gate, concurrent emit + export, real runtime
+// workloads producing the expected event kinds, and the Chrome-trace JSON
+// writer's schema.
+//
+// EventLog is process-global state shared with every other test in this
+// binary: each test here starts with enable()/clear() (or disable()/
+// clear()) and leaves tracing disabled on exit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "icilk/Context.h"
+#include "icilk/EventRing.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+namespace repro::icilk::trace {
+namespace {
+
+ICILK_PRIORITY(Lo, BasePriority, 0);
+
+uint64_t countKind(const std::vector<ThreadTrace> &Threads, EventKind K) {
+  uint64_t N = 0;
+  for (const ThreadTrace &T : Threads)
+    for (const Event &E : T.Events)
+      N += E.Kind == K;
+  return N;
+}
+
+const ThreadTrace *findByName(const std::vector<ThreadTrace> &Threads,
+                              const std::string &Name) {
+  for (const ThreadTrace &T : Threads)
+    if (T.Name == Name)
+      return &T;
+  return nullptr;
+}
+
+TEST(EventRingTest, RingOverwritesOldestAndPreservesFields) {
+  EventRing R(8, "unit");
+  for (uint64_t I = 0; I < 19; ++I)
+    R.push({/*TimeNanos=*/1000 + I, /*Arg=*/I, /*Arg2=*/0, EventKind::Spawn,
+            /*Level=*/0});
+  R.push({/*TimeNanos=*/9999, /*Arg=*/77, /*Arg2=*/0xABCD, EventKind::IoFault,
+          /*Level=*/3});
+  EXPECT_EQ(R.pushed(), 20u);
+
+  std::vector<Event> Out;
+  uint64_t Dropped = R.snapshotInto(Out);
+  EXPECT_EQ(Dropped, 0u); // no concurrent producer, nothing torn
+  ASSERT_EQ(Out.size(), 8u);
+  // Oldest surviving entry is push #12; the newest is the IoFault.
+  EXPECT_EQ(Out.front().Arg, 12u);
+  const Event &Last = Out.back();
+  EXPECT_EQ(Last.Kind, EventKind::IoFault);
+  EXPECT_EQ(Last.TimeNanos, 9999u);
+  EXPECT_EQ(Last.Arg, 77u);
+  EXPECT_EQ(Last.Arg2, 0xABCDu);
+  EXPECT_EQ(Last.Level, 3u);
+}
+
+TEST(EventRingTest, EveryKindHasAName) {
+  for (uint8_t K = 0; K <= static_cast<uint8_t>(EventKind::RunSlice); ++K) {
+    const char *Name = eventKindName(static_cast<EventKind>(K));
+    ASSERT_NE(Name, nullptr);
+    EXPECT_NE(Name[0], '\0');
+  }
+}
+
+TEST(EventRingTest, DisabledEmitsNothing) {
+  disable();
+  clear();
+  EventRing &Ring = EventLog::instance().ring();
+  uint64_t Before = Ring.pushed();
+  emit(EventKind::Spawn, 0, 1);
+  emit(EventKind::Steal, 1, 2, 3);
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(Ring.pushed(), Before);
+}
+
+TEST(EventRingTest, EnabledEmitsToCallingThreadsRing) {
+  enable();
+  clear();
+  setThreadName("ring-test-main");
+  emit(EventKind::Spawn, 1, 42);
+  emit(EventKind::IoBegin, 0, 7, 1500);
+  disable();
+
+  auto Threads = EventLog::instance().snapshot();
+  const ThreadTrace *Mine = findByName(Threads, "ring-test-main");
+  ASSERT_NE(Mine, nullptr);
+  ASSERT_EQ(Mine->Events.size(), 2u);
+  EXPECT_EQ(Mine->Events[0].Kind, EventKind::Spawn);
+  EXPECT_EQ(Mine->Events[0].Level, 1u);
+  EXPECT_EQ(Mine->Events[0].Arg, 42u);
+  EXPECT_GT(Mine->Events[0].TimeNanos, 0u);
+  EXPECT_EQ(Mine->Events[1].Kind, EventKind::IoBegin);
+  EXPECT_EQ(Mine->Events[1].Arg2, 1500u);
+  EXPECT_LE(Mine->Events[0].TimeNanos, Mine->Events[1].TimeNanos);
+}
+
+TEST(EventRingTest, RuntimeWorkloadEmitsSchedulerEvents) {
+  enable();
+  clear();
+  {
+    // One worker forces the outer task to suspend at the inner touch — the
+    // same deterministic idiom as bench BM_NestedTouchWithSuspension.
+    RuntimeConfig C;
+    C.NumWorkers = 1;
+    C.NumLevels = 1;
+    Runtime Rt(C);
+    auto F = fcreate<Lo>(Rt, [](Context<Lo> &Ctx) {
+      auto Inner = Ctx.fcreate<Lo>([](Context<Lo> &) { return 2; });
+      return Ctx.ftouch(Inner);
+    });
+    EXPECT_EQ(touchFromOutside(Rt, F), 2);
+    Rt.drain();
+  }
+  disable();
+
+  auto Threads = EventLog::instance().snapshot();
+  EXPECT_GE(countKind(Threads, EventKind::Spawn), 2u);
+  EXPECT_GE(countKind(Threads, EventKind::RunSlice), 2u);
+  EXPECT_GE(countKind(Threads, EventKind::FtouchBlock), 1u);
+  EXPECT_GE(countKind(Threads, EventKind::Suspend), 1u);
+  EXPECT_GE(countKind(Threads, EventKind::Resume), 1u);
+  // The worker named its own ring.
+  EXPECT_NE(findByName(Threads, "worker 0"), nullptr);
+}
+
+TEST(EventRingTest, ConcurrentEmitWithConcurrentExport) {
+  enable(/*CapacityPerRing=*/1 << 10);
+  clear();
+
+  constexpr int NumThreads = 4;
+  constexpr uint64_t PerThread = 20000;
+  std::atomic<bool> Stop{false};
+  std::thread Reader([&Stop] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      std::ostringstream OS;
+      writeChromeTrace(OS); // must be safe against live producers
+    }
+  });
+  std::vector<std::thread> Producers;
+  for (int T = 0; T < NumThreads; ++T)
+    Producers.emplace_back([T] {
+      setThreadName("stress " + std::to_string(T));
+      for (uint64_t I = 0; I < PerThread; ++I)
+        emit(EventKind::Steal, 0, I, static_cast<uint32_t>(T));
+    });
+  for (auto &P : Producers)
+    P.join();
+  Stop.store(true);
+  Reader.join();
+  disable();
+
+  auto Threads = EventLog::instance().snapshot();
+  for (int T = 0; T < NumThreads; ++T) {
+    const ThreadTrace *Ring =
+        findByName(Threads, "stress " + std::to_string(T));
+    ASSERT_NE(Ring, nullptr);
+    ASSERT_FALSE(Ring->Events.empty());
+    EXPECT_LE(Ring->Events.size(), static_cast<std::size_t>(1) << 10);
+    // The ring keeps the newest entries, in order, tagged for this thread.
+    uint64_t Prev = Ring->Events.front().Arg;
+    for (std::size_t I = 1; I < Ring->Events.size(); ++I) {
+      EXPECT_EQ(Ring->Events[I].Arg, Prev + 1);
+      Prev = Ring->Events[I].Arg;
+    }
+    EXPECT_EQ(Ring->Events.back().Arg, PerThread - 1);
+    for (const Event &E : Ring->Events)
+      EXPECT_EQ(E.Arg2, static_cast<uint32_t>(T));
+  }
+}
+
+TEST(EventRingTest, ChromeTraceJsonSchema) {
+  // Hand-built snapshot: one instant, one span, known timestamps.
+  std::vector<ThreadTrace> Threads(1);
+  Threads[0].Tid = 3;
+  Threads[0].Name = "worker 3";
+  Threads[0].Events.push_back(
+      {/*TimeNanos=*/1000, /*Arg=*/1, /*Arg2=*/0, EventKind::Spawn, 0});
+  Threads[0].Events.push_back(
+      {/*TimeNanos=*/5000, /*Arg=*/1, /*Arg2=*/3000, EventKind::RunSlice, 0});
+
+  std::ostringstream OS;
+  writeChromeTrace(OS, Threads);
+  std::string Err;
+  auto V = json::parse(OS.str(), &Err);
+  ASSERT_TRUE(V.has_value()) << Err;
+  EXPECT_EQ(V->find("displayTimeUnit")->asString(), "ms");
+  const json::Value *Events = V->find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+
+  const json::Value *Meta = nullptr, *Instant = nullptr, *Span = nullptr;
+  for (const json::Value &E : Events->elements()) {
+    ASSERT_TRUE(E.isObject());
+    // Required Chrome-trace fields on every record.
+    for (const char *Key : {"name", "ph", "ts", "pid", "tid"})
+      ASSERT_TRUE(E.contains(Key)) << "missing " << Key;
+    EXPECT_EQ(E.find("pid")->asNumber(), 1.0);
+    const std::string &Ph = E.find("ph")->asString();
+    if (Ph == "M")
+      Meta = &E;
+    else if (Ph == "i")
+      Instant = &E;
+    else if (Ph == "X")
+      Span = &E;
+  }
+  ASSERT_NE(Meta, nullptr);
+  EXPECT_EQ(Meta->find("name")->asString(), "thread_name");
+  EXPECT_EQ(Meta->find("args")->find("name")->asString(), "worker 3");
+
+  ASSERT_NE(Instant, nullptr);
+  EXPECT_EQ(Instant->find("name")->asString(), "spawn");
+  EXPECT_EQ(Instant->find("tid")->asNumber(), 3.0);
+  EXPECT_EQ(Instant->find("ts")->asNumber(), 0.0); // epoch-relative
+
+  ASSERT_NE(Span, nullptr);
+  EXPECT_EQ(Span->find("name")->asString(), "run");
+  ASSERT_TRUE(Span->contains("dur"));
+  EXPECT_EQ(Span->find("dur")->asNumber(), 3.0); // 3000 ns
+  // Span start = end (4 us after epoch) minus duration.
+  EXPECT_EQ(Span->find("ts")->asNumber(), 1.0);
+}
+
+} // namespace
+} // namespace repro::icilk::trace

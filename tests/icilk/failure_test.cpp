@@ -391,7 +391,7 @@ TEST(WatchdogTest, DetectsStallOnBlockedIo) {
     return static_cast<int>(Ctx.ftouch(F));
   });
   EXPECT_EQ(touchFromOutside(Rt, T), 1);
-  EXPECT_GE(Rt.stallsDetected(), 1u);
+  EXPECT_GE(Rt.snapshot().StallsDetected, 1u);
 }
 
 TEST(WatchdogTest, QuietWhileProgressing) {
@@ -401,7 +401,7 @@ TEST(WatchdogTest, QuietWhileProgressing) {
   Runtime Rt(C);
   for (int I = 0; I < 200; ++I)
     touchFromOutside(Rt, fcreate<Low>(Rt, [](Context<Low> &) { return 1; }));
-  EXPECT_EQ(Rt.stallsDetected(), 0u);
+  EXPECT_EQ(Rt.snapshot().StallsDetected, 0u);
 }
 
 TEST(DrainGuardDeathTest, DrainFromWorkerAborts) {

@@ -70,8 +70,9 @@ TEST(RuntimeTest, ManyTasksAllComplete) {
     Sum += touchFromOutside(Rt, Futures[I]);
   EXPECT_EQ(Sum, static_cast<long long>(N) * (N - 1) / 2);
   Rt.drain();
-  EXPECT_EQ(Rt.outstanding(), 0);
-  EXPECT_GE(Rt.tasksExecuted(), static_cast<uint64_t>(N));
+  RuntimeSnapshot S = Rt.snapshot();
+  EXPECT_EQ(S.Outstanding, 0);
+  EXPECT_GE(S.TasksExecuted, static_cast<uint64_t>(N));
 }
 
 TEST(RuntimeTest, RecursiveDivideAndConquer) {
@@ -142,13 +143,36 @@ TEST(RuntimeTest, DrainWaitsForDetachedWork) {
     fcreate<Bg>(Rt, [&](Context<Bg> &) { Done.fetch_add(1); });
   Rt.drain();
   EXPECT_EQ(Done.load(), 100);
-  EXPECT_EQ(Rt.outstanding(), 0);
+  EXPECT_EQ(Rt.snapshot().Outstanding, 0);
 }
 
 TEST(RuntimeTest, AssignmentCountsCoverAllWorkers) {
   Runtime Rt(smallConfig());
-  auto Counts = Rt.assignmentCounts();
+  auto Counts = Rt.snapshot().Assigned;
   EXPECT_EQ(std::accumulate(Counts.begin(), Counts.end(), 0u), 4u);
+}
+
+TEST(RuntimeTest, SnapshotIsCoherentAfterDrain) {
+  Runtime Rt(smallConfig());
+  constexpr int N = 50;
+  for (int I = 0; I < N; ++I)
+    fcreate<Norm>(Rt, [](Context<Norm> &) {});
+  Rt.drain();
+  RuntimeSnapshot S = Rt.snapshot();
+  EXPECT_EQ(S.Outstanding, 0);
+  EXPECT_EQ(S.TasksExecuted, static_cast<uint64_t>(N));
+  EXPECT_GT(S.TotalWorkNanos, 0u);
+  EXPECT_EQ(S.StallsDetected, 0u);
+  ASSERT_EQ(S.Pending.size(), Rt.config().NumLevels);
+  ASSERT_EQ(S.Assigned.size(), Rt.config().NumLevels);
+  ASSERT_EQ(S.Desires.size(), Rt.config().NumLevels);
+  EXPECT_EQ(S.totalPending(), 0);
+  // Every worker is assigned somewhere; desires are the master-published
+  // values (non-negative by construction).
+  EXPECT_EQ(std::accumulate(S.Assigned.begin(), S.Assigned.end(), 0u),
+            Rt.config().NumWorkers);
+  for (double D : S.Desires)
+    EXPECT_GE(D, 0.0);
 }
 
 TEST(RuntimeTest, ShutdownIsIdempotent) {

@@ -77,7 +77,7 @@ TEST(SchedulerTest, MasterReassignsCoresTowardDemand) {
   uint64_t Deadline = repro::nowMicros() + 200000;
   unsigned MaxHigh = 0;
   while (repro::nowMicros() < Deadline) {
-    MaxHigh = std::max(MaxHigh, Rt.assignmentCounts()[High::Level]);
+    MaxHigh = std::max(MaxHigh, Rt.snapshot().Assigned[High::Level]);
     if (MaxHigh == C.NumWorkers)
       break;
     std::this_thread::yield();

@@ -128,6 +128,63 @@ TEST(TraceTest, HandleThroughStateNeedsHappensBeforeNote) {
   }
 }
 
+TEST(TraceTest, SuspendResumeRecordedAtBlockingFtouch) {
+  // One worker forces the outer task to suspend at the inner touch; the
+  // recorder must see the suspend/resume pair (this was silently dropped
+  // before Context::waitReady learned to record them) and the lifted graph
+  // must stay strongly well-formed with the new event kinds present.
+  RuntimeConfig C;
+  C.NumWorkers = 1;
+  C.NumLevels = 1;
+  Runtime Rt(C);
+  TraceRecorder Tr;
+  Rt.setTrace(&Tr);
+  auto F = fcreate<Lo>(Rt, [](Context<Lo> &Ctx) {
+    auto Inner = Ctx.fcreate<Lo>([](Context<Lo> &) { return 2; });
+    return Ctx.ftouch(Inner);
+  });
+  EXPECT_EQ(touchFromOutside(Rt, F), 2);
+  Rt.drain();
+  Rt.setTrace(nullptr);
+
+  EXPECT_GE(Tr.numSuspends(), 1u);
+  dag::Graph G = Tr.lift(1);
+  EXPECT_TRUE(G.isAcyclic());
+  auto Strong = dag::checkStronglyWellFormed(G);
+  EXPECT_TRUE(Strong.Ok) << Strong.Reason;
+}
+
+TEST(TraceTest, ConcurrentRecordingLiftsWellFormed) {
+  // Many tasks recording into one TraceRecorder from four workers at once;
+  // the event log must stay internally consistent and liftable.
+  RuntimeConfig C;
+  C.NumWorkers = 4;
+  C.NumLevels = 2;
+  Runtime Rt(C);
+  TraceRecorder Tr;
+  Rt.setTrace(&Tr);
+  std::vector<Future<Lo, int>> Roots;
+  for (int I = 0; I < 16; ++I)
+    Roots.push_back(fcreate<Lo>(Rt, [](Context<Lo> &Ctx) {
+      int Sum = 0;
+      for (int J = 0; J < 4; ++J) {
+        auto H = Ctx.fcreate<Hi>([J](Context<Hi> &) { return J; });
+        Sum += Ctx.ftouch(H);
+      }
+      return Sum;
+    }));
+  for (auto &F : Roots)
+    EXPECT_EQ(touchFromOutside(Rt, F), 6);
+  Rt.drain();
+  Rt.setTrace(nullptr);
+
+  EXPECT_EQ(Tr.numTasks(), 16u + 64u);
+  dag::Graph G = Tr.lift(2);
+  EXPECT_TRUE(G.isAcyclic());
+  auto Strong = dag::checkStronglyWellFormed(G);
+  EXPECT_TRUE(Strong.Ok) << Strong.Reason;
+}
+
 TEST(TraceTest, LiftWithoutEventsIsJustTheDriver) {
   TraceRecorder Tr;
   dag::Graph G = Tr.lift(3);

@@ -1,0 +1,104 @@
+//===- tests/support/json_test.cpp - JSON value/parser/writer --------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::json {
+namespace {
+
+TEST(JsonTest, BuildAndDumpCompact) {
+  Value Root = Value::object();
+  Root.set("name", Value("bench"));
+  Root.set("count", Value(3));
+  Root.set("ok", Value(true));
+  Value Arr = Value::array();
+  Arr.push(Value(1));
+  Arr.push(Value(2.5));
+  Arr.push(Value(nullptr));
+  Root.set("xs", std::move(Arr));
+  EXPECT_EQ(Root.dump(),
+            R"({"name":"bench","count":3,"ok":true,"xs":[1,2.5,null]})");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Value O = Value::object();
+  O.set("z", Value(1));
+  O.set("a", Value(2));
+  O.set("m", Value(3));
+  ASSERT_EQ(O.members().size(), 3u);
+  EXPECT_EQ(O.members()[0].first, "z");
+  EXPECT_EQ(O.members()[1].first, "a");
+  EXPECT_EQ(O.members()[2].first, "m");
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  const char *Text =
+      R"({"a": [1, 2, 3], "b": {"c": "hi\nthere", "d": -4.5e2}, "e": false})";
+  std::string Err;
+  auto V = parse(Text, &Err);
+  ASSERT_TRUE(V.has_value()) << Err;
+  ASSERT_TRUE(V->isObject());
+  const Value *A = V->find("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_TRUE(A->isArray());
+  ASSERT_EQ(A->size(), 3u);
+  EXPECT_EQ(A->at(1).asNumber(), 2.0);
+  const Value *B = V->find("b");
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->find("c")->asString(), "hi\nthere");
+  EXPECT_EQ(B->find("d")->asNumber(), -450.0);
+  EXPECT_FALSE(V->find("e")->asBool());
+
+  // Dump → reparse is stable.
+  auto V2 = parse(V->dump(), &Err);
+  ASSERT_TRUE(V2.has_value()) << Err;
+  EXPECT_EQ(V2->dump(), V->dump());
+}
+
+TEST(JsonTest, ParseUnicodeEscapes) {
+  auto V = parse(R"("aéb")");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->asString(), "a\xc3\xa9" "b"); // é in UTF-8
+  // Surrogate pair: U+1F600.
+  auto W = parse(R"("😀")");
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ(W->asString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, ParseErrors) {
+  std::string Err;
+  EXPECT_FALSE(parse("", &Err).has_value());
+  EXPECT_FALSE(parse("{", &Err).has_value());
+  EXPECT_FALSE(parse("[1,]", &Err).has_value());
+  EXPECT_FALSE(parse("{\"a\":1} trailing", &Err).has_value());
+  EXPECT_FALSE(parse("\"unterminated", &Err).has_value());
+  EXPECT_FALSE(parse("nul", &Err).has_value());
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(JsonTest, EscapeString) {
+  EXPECT_EQ(escapeString("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(escapeString(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonTest, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(static_cast<uint64_t>(1) << 40).dump(), "1099511627776");
+  EXPECT_EQ(Value(0.5).dump(), "0.5");
+}
+
+TEST(JsonTest, IndentedDumpParses) {
+  Value Root = Value::object();
+  Value Inner = Value::object();
+  Inner.set("k", Value("v"));
+  Root.set("o", std::move(Inner));
+  std::string Pretty = Root.dump(2);
+  EXPECT_NE(Pretty.find('\n'), std::string::npos);
+  auto Back = parse(Pretty);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->find("o")->find("k")->asString(), "v");
+}
+
+} // namespace
+} // namespace repro::json
