@@ -6,13 +6,21 @@
 // in mutable state, and the Huffman savings.
 //
 // Usage: email_demo [--users=12] [--duration-ms=1500] [--baseline]
+//                   [--trace=FILE] [--metrics]
+//
+// --trace=FILE records the scheduler event ring for the whole run and
+// writes it as Chrome-trace JSON (open in https://ui.perfetto.dev).
+// --metrics prints the run's metrics-registry dump.
 //
 //===----------------------------------------------------------------------===//
 
 #include "apps/Email.h"
+#include "icilk/EventRing.h"
 #include "support/ArgParse.h"
+#include "support/Metrics.h"
 
 #include <cstdio>
+#include <fstream>
 
 using namespace repro;
 using namespace repro::apps;
@@ -27,6 +35,15 @@ int main(int Argc, char **Argv) {
   Config.RequestIntervalMicros = Args.getDouble("interval-us", 7000);
   Config.Rt.PriorityAware = !Args.getBool("baseline");
   Config.Seed = static_cast<uint64_t>(Args.getInt("seed", 1));
+
+  std::string TracePath = Args.getString("trace", "");
+  if (!TracePath.empty())
+    icilk::trace::enable();
+
+  MetricsRegistry Metrics;
+  bool WantMetrics = Args.getBool("metrics");
+  if (WantMetrics)
+    Config.Metrics = &Metrics;
 
   std::printf("email server: %u users, %llu ms, %s scheduler\n",
               Config.Users,
@@ -60,5 +77,20 @@ int main(int Argc, char **Argv) {
   }
   std::printf("\n(run again with --baseline and compare the 'loop' row — "
               "that difference is Fig. 13.)\n");
+
+  if (!TracePath.empty()) {
+    icilk::trace::disable();
+    std::ofstream Out(TracePath);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write trace to %s\n", TracePath.c_str());
+      return 1;
+    }
+    icilk::trace::writeChromeTrace(Out);
+    std::printf("\nwrote scheduler trace to %s (open in "
+                "https://ui.perfetto.dev)\n",
+                TracePath.c_str());
+  }
+  if (WantMetrics)
+    std::printf("\nmetrics registry:\n%s", Metrics.toString().c_str());
   return 0;
 }

@@ -7,7 +7,8 @@
 //
 // Usage: jobserver_demo [--interval-us=2500] [--duration-ms=1500]
 //                       [--workers=2] [--baseline] [--trace=FILE]
-//                       [--metrics]
+//                       [--metrics] [--profile=FILE]
+//                       [--inject-inversions=N]
 //
 // --trace=FILE records the scheduler event ring for the whole run and
 // writes it as Chrome-trace JSON — open the file in https://ui.perfetto.dev
@@ -15,10 +16,20 @@
 // steals, suspensions and master reassignments. --metrics prints the
 // run's metrics-registry dump (the snapshot()/sampleMetrics surface).
 //
+// --profile=FILE runs the response-time attribution profiler
+// (icilk/Profiler.h): both tracing planes are attached for the run, then
+// correlated into a per-level latency breakdown (running / ready /
+// ftouch-blocked / I/O), a named priority-inversion report, and the
+// Theorem 2.3 measured-vs-bound check on the lifted DAG — summary on
+// stdout, full JSON report to FILE. --inject-inversions=N plants N
+// deliberate inversions (a matmul-level task joining an sw-level
+// producer) so the detector has something to find.
+//
 //===----------------------------------------------------------------------===//
 
 #include "apps/JobServer.h"
 #include "icilk/EventRing.h"
+#include "icilk/Profiler.h"
 #include "support/ArgParse.h"
 #include "support/Metrics.h"
 
@@ -40,8 +51,20 @@ int main(int Argc, char **Argv) {
   Config.Seed = static_cast<uint64_t>(Args.getInt("seed", 1));
 
   std::string TracePath = Args.getString("trace", "");
-  if (!TracePath.empty())
+  std::string ProfilePath = Args.getString("profile", "");
+  Config.InjectInversions =
+      static_cast<unsigned>(Args.getInt("inject-inversions", 0));
+
+  icilk::TraceRecorder Recorder;
+  if (!ProfilePath.empty()) {
+    // Profiling needs the *whole* run on the ring (overwrite would lose
+    // early spawns) and the structural recorder attached before the first
+    // task so the two planes share ids.
+    Config.Trace = &Recorder;
+    icilk::trace::enable(1 << 18);
+  } else if (!TracePath.empty()) {
     icilk::trace::enable();
+  }
 
   MetricsRegistry Metrics;
   bool WantMetrics = Args.getBool("metrics");
@@ -74,8 +97,9 @@ int main(int Argc, char **Argv) {
               "loses its head start — that contrast is Fig. 14's right "
               "panel.)\n");
 
-  if (!TracePath.empty()) {
+  if (!TracePath.empty() || !ProfilePath.empty())
     icilk::trace::disable();
+  if (!TracePath.empty()) {
     std::ofstream Out(TracePath);
     if (!Out) {
       std::fprintf(stderr, "cannot write trace to %s\n", TracePath.c_str());
@@ -85,6 +109,22 @@ int main(int Argc, char **Argv) {
     std::printf("\nwrote scheduler trace to %s (open in "
                 "https://ui.perfetto.dev)\n",
                 TracePath.c_str());
+  }
+  if (!ProfilePath.empty()) {
+    icilk::ProfilerOptions Opts;
+    Opts.NumLevels = Config.Rt.NumLevels;
+    Opts.NumWorkers = Config.Rt.NumWorkers;
+    icilk::ProfileReport Profile = icilk::Profiler::analyze(
+        icilk::trace::EventLog::instance().snapshot(), Recorder, Opts);
+    std::printf("\n%s", Profile.summary().c_str());
+    std::ofstream Out(ProfilePath);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write profile to %s\n",
+                   ProfilePath.c_str());
+      return 1;
+    }
+    Out << Profile.toJson().dump(2) << "\n";
+    std::printf("wrote profile report to %s\n", ProfilePath.c_str());
   }
   if (WantMetrics)
     std::printf("\nmetrics registry:\n%s", Metrics.toString().c_str());

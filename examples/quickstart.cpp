@@ -7,13 +7,21 @@
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
 //
+// Flags: [--trace=FILE] records the scheduler event ring and writes it as
+// Chrome-trace JSON (open in https://ui.perfetto.dev); [--metrics] prints
+// the runtime's metrics-registry dump at the end.
+//
 //===----------------------------------------------------------------------===//
 
 #include "icilk/Context.h"
+#include "icilk/EventRing.h"
 #include "icilk/IoService.h"
+#include "support/ArgParse.h"
+#include "support/Metrics.h"
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 
 using namespace repro::icilk;
 
@@ -22,7 +30,13 @@ using namespace repro::icilk;
 ICILK_PRIORITY(Background, BasePriority, 0);
 ICILK_PRIORITY(Interactive, Background, 1);
 
-int main() {
+int main(int Argc, char **Argv) {
+  repro::ArgMap Args = repro::ArgMap::parse(Argc, Argv);
+  std::string TracePath = Args.getString("trace", "");
+  if (!TracePath.empty())
+    trace::enable();
+  bool WantMetrics = Args.getBool("metrics");
+
   RuntimeConfig Config;
   Config.NumWorkers = 4;
   Config.NumLevels = 2; // one scheduler pool per priority level
@@ -73,5 +87,25 @@ int main() {
   auto S = Rt.levelStats(Interactive::Level).Response.summary();
   std::printf("5. %zu Interactive tasks, mean response %.1f us\n", S.Count,
               S.Mean);
+
+  // 6. The observability surface, on request: --trace for the Perfetto
+  //    timeline, --metrics for the counters behind Rt.snapshot().
+  if (!TracePath.empty()) {
+    trace::disable();
+    std::ofstream Out(TracePath);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write trace to %s\n", TracePath.c_str());
+      return 1;
+    }
+    trace::writeChromeTrace(Out);
+    std::printf("6. wrote scheduler trace to %s (open in "
+                "https://ui.perfetto.dev)\n",
+                TracePath.c_str());
+  }
+  if (WantMetrics) {
+    repro::MetricsRegistry Metrics;
+    Rt.sampleMetrics(Metrics);
+    std::printf("\nmetrics registry:\n%s", Metrics.toString().c_str());
+  }
   return 0;
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Small-scale benchmark pass: build, then run the runtime microbenchmarks
+# and the fig. 13 responsiveness study at reduced scale, leaving machine-
+# readable BENCH_*.json files in the repo root. Numbers from this scale are
+# for trend-watching, not the paper's figures — run the binaries by hand at
+# full scale for those. CI runs this and uploads the JSON as artifacts.
+set -euo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== build =="
+cmake -B "$REPO/build" -S "$REPO" >/dev/null
+cmake --build "$REPO/build" -j "$JOBS" --target micro_runtime fig13_responsiveness
+
+echo
+echo "== micro_runtime (short) =="
+# Google-benchmark JSON; 0.05s per benchmark keeps the whole sweep brief.
+"$REPO/build/bench/micro_runtime" \
+  --benchmark_min_time=0.05 \
+  --benchmark_out="$REPO/BENCH_micro_runtime.json" \
+  --benchmark_out_format=json
+
+echo
+echo "== fig13_responsiveness (small scale) =="
+# Reporter writes BENCH_fig13_responsiveness.json into $REPRO_BENCH_JSON_DIR.
+# The profiled leg runs regardless of scale, so the JSON carries measured
+# response times AND the Theorem 2.3 bound columns even on this quick pass.
+REPRO_BENCH_JSON_DIR="$REPO" "$REPO/build/bench/fig13_responsiveness" \
+  --scale=0.05 --duration-ms=250 --app=both
+
+echo
+echo "bench.sh: wrote"
+ls -l "$REPO"/BENCH_*.json

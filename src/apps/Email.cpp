@@ -49,6 +49,7 @@ struct EmailServer {
                                                   Config.Faults);
       Io.setFaultPlan(Faults);
     }
+    Rt.setTrace(Config.Trace); // before the first spawn, so ids line up
   }
 
   const EmailConfig &Config;
@@ -70,6 +71,15 @@ int touchSlotPrev(EmailServer &S, Context<EmailWork> &Ctx, Email &E,
                   const WorkStatePtr &Prev) {
   if (!Prev->isReady())
     S.SlotConflicts.fetch_add(1, std::memory_order_relaxed);
+  // The handle reached us through the slot — untracked mutable state — so
+  // the structural trace cannot see how we came to know about its
+  // producer. Reify the flow as a happens-before note (the runtime
+  // analogue of the calculus's weak edges, see Trace.h) or the lifted
+  // graph fails the knows-about condition of Definition 4.
+  if (icilk::TraceRecorder *Tr = Ctx.runtime().trace())
+    if (Prev->producerTraceId() != 0)
+      if (icilk::Task *Cur = icilk::Task::current())
+        Tr->noteHappensBefore(Prev->producerTraceId(), Cur->traceId());
   try {
     return Ctx.ftouch(icilk::Future<EmailWork, int>(Prev));
   } catch (const icilk::IoError &) {

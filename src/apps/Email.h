@@ -67,6 +67,10 @@ struct EmailConfig {
   /// When non-null, the run dumps its final counters/gauges/histograms
   /// here under "email.*" (see support/Metrics.h). Not owned.
   repro::MetricsRegistry *Metrics = nullptr;
+  /// When non-null, attached to the runtime for the whole run so the
+  /// structural trace can be lifted/profiled afterwards (see
+  /// icilk/Profiler.h). Not owned; must outlive the call.
+  icilk::TraceRecorder *Trace = nullptr;
   icilk::RuntimeConfig Rt{.NumWorkers = 8, .NumLevels = 6};
 };
 

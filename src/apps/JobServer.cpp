@@ -3,6 +3,7 @@
 #include "apps/JobServer.h"
 
 #include "apps/Kernels.h"
+#include "icilk/Trace.h"
 #include "support/Timer.h"
 
 #include <atomic>
@@ -15,7 +16,9 @@ using icilk::Context;
 
 struct JobServer {
   explicit JobServer(const JobServerConfig &Config)
-      : Config(Config), Rt(Config.Rt) {}
+      : Config(Config), Rt(Config.Rt) {
+    Rt.setTrace(Config.Trace); // before the first spawn, so ids line up
+  }
 
   const JobServerConfig &Config;
   icilk::Runtime Rt;
@@ -103,6 +106,23 @@ void submitSw(JobServer &S, repro::Rng &R) {
   });
 }
 
+/// Injects one deliberate priority inversion: a matmul-level (highest)
+/// task joins an sw-level (lowest) busy producer. Context::ftouch rejects
+/// this at compile time — that is the Sec. 4.2 point — so the join goes
+/// through touchFromOutside, the unchecked escape hatch, which still
+/// suspends properly when called from a task fiber. The producer spins
+/// long enough that the toucher reliably blocks, giving the profiler a
+/// named FtouchOnLower instance to find.
+void submitInversionPair(JobServer &S) {
+  auto Producer = icilk::fcreate<JobSw>(S.Rt, [](Context<JobSw> &) {
+    repro::spinFor(400);
+    return 1;
+  });
+  icilk::fcreate<JobMatmul>(S.Rt, [&S, Producer](Context<JobMatmul> &) {
+    return icilk::touchFromOutside(S.Rt, Producer);
+  });
+}
+
 } // namespace
 
 JobServerReport runJobServer(const JobServerConfig &Config) {
@@ -116,7 +136,14 @@ JobServerReport runJobServer(const JobServerConfig &Config) {
   uint64_t Epoch = repro::nowMicros();
   uint64_t Horizon = Config.DurationMillis * 1000;
   uint64_t NextAt = 0;
+  unsigned Injected = 0;
   while (true) {
+    // Spread the requested inversion injections evenly over the horizon.
+    while (Injected < Config.InjectInversions &&
+           NextAt * (Config.InjectInversions + 1) >= Horizon * (Injected + 1)) {
+      submitInversionPair(S);
+      ++Injected;
+    }
     NextAt += static_cast<uint64_t>(
                   DriverRng.nextExponential(1.0 / Config.ArrivalIntervalMicros)) +
               1;
@@ -138,6 +165,10 @@ JobServerReport runJobServer(const JobServerConfig &Config) {
         submitSw(S, DriverRng);
     }
   }
+  // A coarse arrival step can overshoot the remaining injection marks;
+  // make good on the requested count before draining.
+  for (; Injected < Config.InjectInversions; ++Injected)
+    submitInversionPair(S);
   S.Rt.drain();
 
   double WallMillis = static_cast<double>(repro::nowMicros() - Epoch) / 1000.0;

@@ -42,8 +42,8 @@ struct JobServerConfig {
   uint64_t Seed = 1;
   /// Admission control: when enabled, an arriving job whose priority level
   /// is at most ShedMaxLevel is *shed* (rejected, counted, never submitted)
-  /// while the runtime's total queue depth (Σ pendingAt) exceeds
-  /// ShedQueueDepth. High-priority jobs are always admitted, so their
+  /// while the runtime's total queue depth (snapshot().totalPending())
+  /// exceeds ShedQueueDepth. High-priority jobs are always admitted, so their
   /// response times survive overload — the paper's responsiveness
   /// guarantee, preserved by sacrificing low-priority throughput.
   bool Shedding = false;
@@ -52,6 +52,16 @@ struct JobServerConfig {
   /// When non-null, the run dumps its final counters/gauges/histograms
   /// here under "jobserver.*" (see support/Metrics.h). Not owned.
   repro::MetricsRegistry *Metrics = nullptr;
+  /// When non-null, attached to the runtime for the whole run so the
+  /// structural trace can be lifted/profiled afterwards (see
+  /// icilk/Profiler.h). Not owned; must outlive the call.
+  icilk::TraceRecorder *Trace = nullptr;
+  /// Deliberate priority inversions to inject, spread across the run: each
+  /// is a matmul-level task joining an sw-level busy producer through the
+  /// unchecked external-join escape hatch — the known-bad workload the
+  /// profiler's inversion detector is validated against. 0 in any real
+  /// measurement.
+  unsigned InjectInversions = 0;
   icilk::RuntimeConfig Rt{.NumWorkers = 8, .NumLevels = 4};
 };
 

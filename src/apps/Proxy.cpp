@@ -24,6 +24,7 @@ struct ProxyServer {
                                                   Config.Faults);
       Io.setFaultPlan(Faults);
     }
+    Rt.setTrace(Config.Trace); // before the first spawn, so ids line up
   }
 
   const ProxyConfig &Config;

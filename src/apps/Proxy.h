@@ -61,6 +61,10 @@ struct ProxyConfig {
   /// When non-null, the run dumps its final counters/gauges/histograms
   /// here under "proxy.*" (see support/Metrics.h). Not owned.
   repro::MetricsRegistry *Metrics = nullptr;
+  /// When non-null, attached to the runtime for the whole run so the
+  /// structural trace can be lifted/profiled afterwards (see
+  /// icilk/Profiler.h). Not owned; must outlive the call.
+  icilk::TraceRecorder *Trace = nullptr;
   icilk::RuntimeConfig Rt{.NumWorkers = 8, .NumLevels = 4};
 };
 

@@ -53,9 +53,18 @@ namespace detail {
 inline void waitReady(Runtime &Rt, FutureStateBase &State) {
   if (Task *Self = Task::current()) {
     while (!State.isReady()) {
+      // Arg2 names what the suspension waits on, so the profiler can put a
+      // face on every blocked interval: the producer task's id, or — for
+      // I/O- and timer-backed futures — the op id with IoProducerBit set.
+      uint32_t Producer =
+          State.ioOpId() != 0
+              ? (static_cast<uint32_t>(State.ioOpId()) &
+                 ~trace::IoProducerBit) |
+                    trace::IoProducerBit
+              : State.producerTraceId();
       trace::emit(trace::EventKind::FtouchBlock,
                   static_cast<uint8_t>(Self->level()), Self->ringId(),
-                  static_cast<uint32_t>(State.level()));
+                  Producer);
       // Bracket the actual suspension for the structural trace too: the
       // recorder sees suspend/resume vertices in the waiter's chain
       // (satisfying lift()'s program-order contract) while the event
@@ -113,8 +122,14 @@ void traceSpawn(Runtime &Rt, FutureState<V> &State, Task &NewTask,
   }
 }
 
-/// Trace bookkeeping for a completed touch.
+/// Trace bookkeeping for a completed touch. I/O- and timer-backed futures
+/// are skipped: their completion comes from the outside world, not from
+/// any recorded thread, so there is no structural dependence to record —
+/// lifting one as a touch of the lowest-priority external driver would
+/// manufacture a priority inversion that never happened.
 inline void traceTouch(Runtime &Rt, const FutureStateBase &State) {
+  if (State.ioOpId() != 0)
+    return;
   if (TraceRecorder *Tr = Rt.trace()) {
     Task *Cur = Task::current();
     Tr->recordTouch(Cur ? Cur->traceId() : TraceExternal,
@@ -196,6 +211,14 @@ Future<ChildPrio, T> fcreateSelf(Runtime &Rt, Fn &&Body) {
   };
   auto NewTask = std::make_unique<Task>(std::move(Work), ChildPrio::Level);
   detail::traceSpawn(Rt, *State, *NewTask, ChildPrio::Level);
+  // Handing the body its own handle is a *publish*: record it so a touch
+  // that later learns the handle through state the body wrote still has a
+  // knows-about path from the creation (see TraceRecorder::notePublish).
+  if (TraceRecorder *Tr = Rt.trace()) {
+    Task *Cur = Task::current();
+    Tr->notePublish(Cur ? Cur->traceId() : TraceExternal,
+                    State->producerTraceId());
+  }
   Rt.submitTask(std::move(NewTask));
   return Handle;
 }

@@ -62,7 +62,10 @@ enum class EventKind : uint8_t {
   Suspend,     ///< task parked on an unready future; Arg = task id
   Resume,      ///< parked task requeued by a completer; Arg = task id
   FtouchBlock, ///< an ftouch found its future unready and is about to
-               ///< suspend; Arg = task id, Arg2 = touched future's level
+               ///< suspend; Arg = task id, Arg2 = what it waits on: the
+               ///< producer task's id (0 = unknown/external), or an
+               ///< IoService op id with IoProducerBit set for I/O- and
+               ///< timer-backed futures
   AssignChange,///< master re-assigned workers; per level: Arg = workers
                ///< granted, Arg2 = desire in millis (promotion/demotion)
   IoBegin,     ///< IoService op submitted; Arg = op id, Arg2 = latency µs
@@ -83,6 +86,11 @@ struct Event {
 
 /// Human-readable name of \p K ("spawn", "steal-fail", ...).
 const char *eventKindName(EventKind K);
+
+/// High bit of a FtouchBlock Arg2: set when the awaited future is backed by
+/// an IoService operation (the low 31 bits then carry the op id) rather
+/// than a producer task.
+inline constexpr uint32_t IoProducerBit = 1u << 31;
 
 namespace detail {
 /// The global enabled flag, inline so emit() is a load + branch with no

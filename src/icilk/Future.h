@@ -91,6 +91,14 @@ public:
   uint32_t producerTraceId() const { return ProducerTraceId; }
   void setProducerTraceId(uint32_t Id) { ProducerTraceId = Id; }
 
+  /// IoService op id backing this future (0 = not an I/O future). Lets a
+  /// blocking ftouch of an io_future be attributed to I/O rather than to a
+  /// producer task (see icilk/Profiler.h); kept separate from
+  /// producerTraceId so the structural trace still lifts I/O producers as
+  /// the external driver.
+  uint64_t ioOpId() const { return IoOpId; }
+  void setIoOpId(uint64_t Id) { IoOpId = Id; }
+
   /// Registers \p W unless the future is already ready; returns false (and
   /// registers nothing) in the ready case, in which case the caller keeps
   /// ownership of the task and requeues it itself. Runs under the state's
@@ -183,6 +191,7 @@ private:
   std::exception_ptr Error;
   unsigned Level;
   uint32_t ProducerTraceId = 0;
+  uint64_t IoOpId = 0;
 };
 
 /// Completion state carrying a value of type T.

@@ -84,6 +84,7 @@ void IoService::submitIo(uint64_t LatencyMicros,
     }
   }
   uint64_t OpId = NextOpId.fetch_add(1, std::memory_order_relaxed);
+  State->setIoOpId(OpId);
   auto Level = static_cast<uint8_t>(State->level());
   trace::emit(trace::EventKind::IoBegin, Level, OpId,
               static_cast<uint32_t>(
@@ -105,6 +106,10 @@ void IoService::submitTimer(uint64_t LatencyMicros, std::function<void()> Fn) {
 
 void IoService::submitSleep(uint64_t LatencyMicros,
                             std::shared_ptr<FutureState<Unit>> State) {
+  // Timer-backed, not a counted I/O op: mark with the sentinel so a
+  // blocking ftouch of a sleep future still attributes as I/O/timer wait
+  // rather than as an unknown producer (see Profiler.h).
+  State->setIoOpId(UINT64_MAX);
   push(LatencyMicros, /*IsIo=*/false,
        [State = std::move(State)] { dispatch(State->complete(Unit{})); });
 }

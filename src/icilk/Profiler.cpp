@@ -1,0 +1,510 @@
+//===- icilk/Profiler.cpp - Response-time attribution profiler ---------------===//
+
+#include "icilk/Profiler.h"
+
+#include "dag/Analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+namespace repro::icilk {
+
+namespace {
+
+/// A closed time interval tagged with the task it belongs to.
+struct Interval {
+  uint64_t Begin = 0;
+  uint64_t End = 0;
+  uint32_t Task = 0;
+  unsigned Level = 0;
+};
+
+/// A blocking-ftouch episode with its named producer (never an I/O op).
+struct BlockEpisode {
+  Interval I;
+  uint32_t Producer = 0;
+};
+
+/// Per-task replay state beyond what lands in the TaskProfile.
+struct TaskState {
+  uint64_t LastReadyNanos = 0;
+  uint64_t SuspendStartNanos = 0;
+  uint64_t LastSliceBeginNanos = 0;
+  uint64_t PendingBlockNanos = 0;
+  uint32_t PendingBlockArg2 = 0;
+  bool HasPending = false;
+  bool InSuspension = false;
+  bool SuspendIsIo = false;
+  uint32_t SuspendProducer = 0;
+  bool SawSpawn = false;
+  bool Ready = false; ///< runnable and waiting for a core right now
+};
+
+double toMicros(uint64_t Nanos) { return static_cast<double>(Nanos) / 1000.0; }
+
+std::string fmtMillis(uint64_t Nanos) {
+  std::ostringstream OS;
+  OS.precision(2);
+  OS << std::fixed << static_cast<double>(Nanos) / 1e6 << "ms";
+  return OS.str();
+}
+
+} // namespace
+
+unsigned Profiler::effectiveParallelism(unsigned Workers) {
+  unsigned Hw = std::thread::hardware_concurrency();
+  if (Hw == 0)
+    Hw = 1;
+  return std::max(1u, std::min(Workers, Hw));
+}
+
+ProfileReport Profiler::analyze(const std::vector<trace::ThreadTrace> &Threads,
+                                const TraceRecorder &Trace,
+                                const ProfilerOptions &Opts) {
+  ProfileReport R;
+
+  // Merge every ring into one timeline. Each ring is already in push order
+  // with monotone timestamps (one clock, one producer); a stable sort
+  // keeps that order for same-timestamp events of one ring while
+  // interleaving rings correctly.
+  std::vector<trace::Event> Timeline;
+  for (const trace::ThreadTrace &T : Threads) {
+    R.DroppedEvents += T.Dropped;
+    Timeline.insert(Timeline.end(), T.Events.begin(), T.Events.end());
+  }
+  std::stable_sort(Timeline.begin(), Timeline.end(),
+                   [](const trace::Event &A, const trace::Event &B) {
+                     return A.TimeNanos < B.TimeNanos;
+                   });
+
+  // Replay through the per-task state machine (see EventRing.h for what
+  // each kind means and Runtime.cpp/Context.h for where it is emitted; the
+  // per-ring order FtouchBlock < RunSlice < Suspend of one suspension
+  // episode is what the classification below leans on).
+  std::unordered_map<uint32_t, std::size_t> Index;
+  std::vector<TaskState> States;
+  std::vector<Interval> RunSlices;
+  std::vector<Interval> ReadyIntervals;
+  std::vector<BlockEpisode> Blocks;
+
+  auto taskAt = [&](uint32_t Id, unsigned Level) -> std::size_t {
+    auto It = Index.find(Id);
+    if (It != Index.end())
+      return It->second;
+    std::size_t I = R.Tasks.size();
+    Index.emplace(Id, I);
+    TaskProfile P;
+    P.Id = Id;
+    P.Level = Level;
+    R.Tasks.push_back(P);
+    States.emplace_back();
+    return I;
+  };
+
+  for (const trace::Event &E : Timeline) {
+    switch (E.Kind) {
+    case trace::EventKind::Spawn: {
+      std::size_t I = taskAt(static_cast<uint32_t>(E.Arg), E.Level);
+      TaskProfile &P = R.Tasks[I];
+      TaskState &S = States[I];
+      P.SpawnNanos = E.TimeNanos;
+      P.Level = E.Level;
+      S.SawSpawn = true;
+      S.Ready = true;
+      S.LastReadyNanos = E.TimeNanos;
+      break;
+    }
+    case trace::EventKind::RunSlice: {
+      std::size_t I = taskAt(static_cast<uint32_t>(E.Arg), E.Level);
+      TaskProfile &P = R.Tasks[I];
+      TaskState &S = States[I];
+      uint64_t Dur = E.Arg2;
+      uint64_t Begin = E.TimeNanos > Dur ? E.TimeNanos - Dur : 0;
+      if (S.Ready && Begin > S.LastReadyNanos) {
+        uint64_t Wait = Begin - S.LastReadyNanos;
+        P.ReadyNanos += Wait;
+        if (Wait >= Opts.MinInversionNanos)
+          ReadyIntervals.push_back({S.LastReadyNanos, Begin, P.Id, P.Level});
+      }
+      S.Ready = false;
+      S.LastSliceBeginNanos = Begin;
+      P.RunNanos += Dur;
+      ++P.Slices;
+      P.DoneNanos = E.TimeNanos;
+      P.Complete = true; // provisional: a following Suspend retracts it
+      RunSlices.push_back({Begin, E.TimeNanos, P.Id, P.Level});
+      break;
+    }
+    case trace::EventKind::FtouchBlock: {
+      std::size_t I = taskAt(static_cast<uint32_t>(E.Arg), E.Level);
+      States[I].PendingBlockArg2 = E.Arg2;
+      States[I].PendingBlockNanos = E.TimeNanos;
+      States[I].HasPending = true;
+      break;
+    }
+    case trace::EventKind::Suspend: {
+      std::size_t I = taskAt(static_cast<uint32_t>(E.Arg), E.Level);
+      TaskProfile &P = R.Tasks[I];
+      TaskState &S = States[I];
+      S.InSuspension = true;
+      S.SuspendStartNanos = E.TimeNanos;
+      P.Complete = false;
+      ++P.Suspensions;
+      if (S.HasPending) {
+        S.SuspendIsIo = (S.PendingBlockArg2 & trace::IoProducerBit) != 0;
+        S.SuspendProducer = S.PendingBlockArg2 & ~trace::IoProducerBit;
+        // The task stopped progressing at the ftouch, not when the worker
+        // finished saving its context: the block→switch window sits at the
+        // tail of the just-ended run slice (ring order is FtouchBlock <
+        // RunSlice < Suspend within one episode), so reclassify it from run
+        // time to the blocked interval. The producer can even complete
+        // inside this window — the Suspend→Resume gap is then near zero
+        // while the real wait started at the block.
+        if (S.PendingBlockNanos >= S.LastSliceBeginNanos &&
+            S.PendingBlockNanos < P.DoneNanos) {
+          uint64_t Overlap = P.DoneNanos - S.PendingBlockNanos;
+          P.RunNanos -= std::min(P.RunNanos, Overlap);
+          S.SuspendStartNanos = S.PendingBlockNanos;
+        }
+        S.HasPending = false;
+      } else {
+        S.SuspendIsIo = false;
+        S.SuspendProducer = 0;
+      }
+      break;
+    }
+    case trace::EventKind::Resume: {
+      std::size_t I = taskAt(static_cast<uint32_t>(E.Arg), E.Level);
+      TaskProfile &P = R.Tasks[I];
+      TaskState &S = States[I];
+      if (S.InSuspension && E.TimeNanos > S.SuspendStartNanos) {
+        uint64_t Wait = E.TimeNanos - S.SuspendStartNanos;
+        if (S.SuspendIsIo)
+          P.IoNanos += Wait;
+        else {
+          P.FtouchNanos += Wait;
+          if (S.SuspendProducer != 0)
+            Blocks.push_back({{S.SuspendStartNanos, E.TimeNanos, P.Id,
+                               P.Level},
+                              S.SuspendProducer});
+        }
+      }
+      S.InSuspension = false;
+      S.Ready = true;
+      S.LastReadyNanos = E.TimeNanos;
+      break;
+    }
+    default:
+      break; // steals, assignment changes, I/O ops: not per-task time
+    }
+  }
+
+  // Close out: a task still suspended (or whose Spawn the ring overwrote)
+  // has no trustworthy response window.
+  for (std::size_t I = 0; I < R.Tasks.size(); ++I) {
+    if (!States[I].SawSpawn)
+      R.Tasks[I].Complete = false;
+    if (!R.Tasks[I].Complete)
+      ++R.IncompleteTasks;
+  }
+
+  // Cold start: nothing ran anywhere before the first slice began (workers
+  // still spawning, master's first grant pending). Ready time a task spent
+  // in that window is machine start-up, not scheduling — split it out so
+  // modelResponseNanos() can exclude it.
+  uint64_t MachineStartNanos = UINT64_MAX;
+  for (const Interval &S : RunSlices)
+    MachineStartNanos = std::min(MachineStartNanos, S.Begin);
+  if (MachineStartNanos != UINT64_MAX)
+    for (TaskProfile &P : R.Tasks)
+      if (P.SpawnNanos != 0 && P.SpawnNanos < MachineStartNanos)
+        P.ColdWaitNanos =
+            std::min(MachineStartNanos - P.SpawnNanos, P.ReadyNanos);
+  std::sort(R.Tasks.begin(), R.Tasks.end(),
+            [](const TaskProfile &A, const TaskProfile &B) {
+              return A.Id < B.Id;
+            });
+
+  // Per-level blame aggregates over complete tasks.
+  R.Levels.resize(Opts.NumLevels);
+  for (unsigned L = 0; L < Opts.NumLevels; ++L)
+    R.Levels[L].Level = L;
+  uint64_t TotalRunNanos = 0;
+  for (const TaskProfile &P : R.Tasks) {
+    TotalRunNanos += P.RunNanos;
+    unsigned L = std::min<unsigned>(P.Level, Opts.NumLevels - 1);
+    LevelBlame &B = R.Levels[L];
+    ++B.Tasks;
+    if (!P.Complete)
+      continue;
+    ++B.Completed;
+    B.RunNanos += P.RunNanos;
+    B.ReadyNanos += P.ReadyNanos;
+    B.FtouchNanos += P.FtouchNanos;
+    B.IoNanos += P.IoNanos;
+    B.ResponseNanos += P.responseNanos();
+    B.WorstResponseNanos = std::max(B.WorstResponseNanos, P.responseNanos());
+  }
+
+  // Inversion detector (a): suspended on a strictly lower-level producer.
+  std::vector<Inversion> Found;
+  for (const BlockEpisode &B : Blocks) {
+    if (B.I.End - B.I.Begin < Opts.MinInversionNanos)
+      continue;
+    unsigned CulpritLevel = Trace.taskLevel(B.Producer);
+    if (CulpritLevel >= B.I.Level)
+      continue;
+    Found.push_back({Inversion::Kind::FtouchOnLower, B.I.Task, B.I.Level,
+                     B.Producer, CulpritLevel, B.I.Begin, B.I.End});
+  }
+
+  // Inversion detector (b): ready while a lower-level slice held a core.
+  // Slices sorted by end time; for each long ready interval, scan only the
+  // slices that can overlap it.
+  std::sort(RunSlices.begin(), RunSlices.end(),
+            [](const Interval &A, const Interval &B) { return A.End < B.End; });
+  for (const Interval &W : ReadyIntervals) {
+    auto It = std::lower_bound(
+        RunSlices.begin(), RunSlices.end(), W.Begin,
+        [](const Interval &S, uint64_t T) { return S.End <= T; });
+    const Interval *Best = nullptr;
+    uint64_t BestOverlap = 0;
+    for (; It != RunSlices.end(); ++It) {
+      if (It->Begin >= W.End)
+        continue; // ends later but starts after the window; keep scanning
+      if (It->Level >= W.Level || It->Task == W.Task)
+        continue;
+      uint64_t Overlap =
+          std::min(It->End, W.End) - std::max(It->Begin, W.Begin);
+      if (Overlap > BestOverlap) {
+        BestOverlap = Overlap;
+        Best = &*It;
+      }
+    }
+    if (Best && BestOverlap >= Opts.MinInversionNanos)
+      Found.push_back({Inversion::Kind::ReadyBehindLower, W.Task, W.Level,
+                       Best->Task, Best->Level,
+                       std::max(Best->Begin, W.Begin),
+                       std::min(Best->End, W.End)});
+  }
+  std::sort(Found.begin(), Found.end(),
+            [](const Inversion &A, const Inversion &B) {
+              return A.EndNanos - A.BeginNanos > B.EndNanos - B.BeginNanos;
+            });
+  if (Found.size() > Opts.MaxInversions)
+    Found.resize(Opts.MaxInversions);
+  R.Inversions = std::move(Found);
+
+  // Bound check: lift the structural trace and evaluate Theorem 2.3 on
+  // the worst-response tasks of each level.
+  R.EffectiveParallelism = effectiveParallelism(Opts.NumWorkers);
+  R.Bounds.resize(Opts.NumLevels);
+  for (unsigned L = 0; L < Opts.NumLevels; ++L)
+    R.Bounds[L].Level = L;
+
+  dag::Graph G = Trace.lift(Opts.NumLevels);
+  if (G.numVertices() == 0 || G.numVertices() > Opts.MaxBoundVertices) {
+    R.WellFormedNote =
+        G.numVertices() == 0
+            ? "empty lifted graph (no recorder attached?)"
+            : "lifted graph has " + std::to_string(G.numVertices()) +
+                  " vertices, over the " +
+                  std::to_string(Opts.MaxBoundVertices) +
+                  "-vertex analysis cap";
+    return R;
+  }
+  dag::CheckResult WF = dag::checkStronglyWellFormed(G);
+  R.StronglyWellFormed = WF.Ok;
+  R.WellFormedNote = WF.Reason;
+  if (!WF.Ok)
+    return R; // the theorem presumes well-formedness; claim nothing
+
+  if (TotalRunNanos == 0)
+    return R;
+  R.VertexCostNanos =
+      static_cast<double>(TotalRunNanos) / static_cast<double>(G.numVertices());
+  R.BoundEvaluated = true;
+
+  // Graph ThreadId == trace task id (lift() adds threads in id order, the
+  // external driver as thread 0) — the id join again, on the DAG side.
+  std::size_t NumThreads = G.numThreads();
+  std::vector<std::vector<const TaskProfile *>> ByLevel(Opts.NumLevels);
+  for (const TaskProfile &P : R.Tasks)
+    if (P.Complete && P.Id < NumThreads)
+      ByLevel[std::min<unsigned>(P.Level, Opts.NumLevels - 1)].push_back(&P);
+
+  for (unsigned L = 0; L < Opts.NumLevels; ++L) {
+    auto &Cands = ByLevel[L];
+    std::sort(Cands.begin(), Cands.end(),
+              [](const TaskProfile *A, const TaskProfile *B) {
+                return A->modelResponseNanos() > B->modelResponseNanos();
+              });
+    if (Cands.size() > Opts.MaxBoundThreadsPerLevel)
+      Cands.resize(Opts.MaxBoundThreadsPerLevel);
+    LevelBound &LB = R.Bounds[L];
+    LB.ThreadsEvaluated = Cands.size();
+    for (std::size_t C = 0; C < Cands.size(); ++C) {
+      const TaskProfile &P = *Cands[C];
+      dag::ResponseBound RB = G.numVertices() ? dag::responseBound(G, P.Id)
+                                              : dag::ResponseBound{};
+      double Steps = RB.bound(R.EffectiveParallelism);
+      // Calibration floor: the bound's step count includes this thread's
+      // own vertices, so converting at a mean cost below the thread's own
+      // measured per-vertex cost would set the bound under the thread's
+      // own run time. Grant slack covers the master's quantum-granular
+      // approximation of promptness (see ProfilerOptions).
+      std::size_t OwnVertices = G.threadVertices(P.Id).size();
+      double CostNanos = R.VertexCostNanos;
+      if (OwnVertices > 0)
+        CostNanos = std::max(CostNanos, static_cast<double>(P.RunNanos) /
+                                            static_cast<double>(OwnVertices));
+      double Micros = Steps * CostNanos / 1000.0 +
+                      toMicros(Opts.GrantSlackNanos);
+      double Measured = toMicros(P.modelResponseNanos());
+      if (Measured > Micros)
+        LB.Holds = false;
+      if (C == 0) { // worst-response thread: the headline row
+        LB.WorstMeasuredMicros = Measured;
+        LB.CompetitorWork = RB.CompetitorWork;
+        LB.SpanVertices = RB.Span;
+        LB.BoundSteps = Steps;
+        LB.BoundMicros = Micros;
+      }
+    }
+  }
+  return R;
+}
+
+json::Value ProfileReport::toJson() const {
+  json::Value Root = json::Value::object();
+  Root.set("schema", json::Value("icilk-profile-v1"));
+  Root.set("effective_parallelism", json::Value(uint64_t(EffectiveParallelism)));
+  Root.set("strongly_well_formed", json::Value(StronglyWellFormed));
+  Root.set("well_formed_note", json::Value(WellFormedNote));
+  Root.set("bound_evaluated", json::Value(BoundEvaluated));
+  Root.set("vertex_cost_nanos", json::Value(VertexCostNanos));
+  Root.set("incomplete_tasks", json::Value(IncompleteTasks));
+  Root.set("dropped_events", json::Value(DroppedEvents));
+
+  json::Value Lvls = json::Value::array();
+  for (const LevelBlame &B : Levels) {
+    json::Value L = json::Value::object();
+    L.set("level", json::Value(uint64_t(B.Level)));
+    L.set("tasks", json::Value(B.Tasks));
+    L.set("completed", json::Value(B.Completed));
+    L.set("run_micros", json::Value(toMicros(B.RunNanos)));
+    L.set("ready_micros", json::Value(toMicros(B.ReadyNanos)));
+    L.set("ftouch_micros", json::Value(toMicros(B.FtouchNanos)));
+    L.set("io_micros", json::Value(toMicros(B.IoNanos)));
+    L.set("response_micros", json::Value(toMicros(B.ResponseNanos)));
+    L.set("worst_response_micros", json::Value(toMicros(B.WorstResponseNanos)));
+    Lvls.push(std::move(L));
+  }
+  Root.set("levels", std::move(Lvls));
+
+  json::Value Invs = json::Value::array();
+  for (const Inversion &I : Inversions) {
+    json::Value V = json::Value::object();
+    V.set("kind", json::Value(I.K == Inversion::Kind::FtouchOnLower
+                                  ? "ftouch-on-lower"
+                                  : "ready-behind-lower"));
+    V.set("victim", json::Value(uint64_t(I.Victim)));
+    V.set("victim_level", json::Value(uint64_t(I.VictimLevel)));
+    V.set("culprit", json::Value(uint64_t(I.Culprit)));
+    V.set("culprit_level", json::Value(uint64_t(I.CulpritLevel)));
+    V.set("duration_micros", json::Value(toMicros(I.EndNanos - I.BeginNanos)));
+    Invs.push(std::move(V));
+  }
+  Root.set("inversions", std::move(Invs));
+
+  json::Value Bnds = json::Value::array();
+  for (const LevelBound &B : Bounds) {
+    json::Value V = json::Value::object();
+    V.set("level", json::Value(uint64_t(B.Level)));
+    V.set("threads_evaluated", json::Value(uint64_t(B.ThreadsEvaluated)));
+    V.set("worst_measured_micros", json::Value(B.WorstMeasuredMicros));
+    V.set("competitor_work", json::Value(B.CompetitorWork));
+    V.set("span_vertices", json::Value(B.SpanVertices));
+    V.set("bound_steps", json::Value(B.BoundSteps));
+    V.set("bound_micros", json::Value(B.BoundMicros));
+    V.set("holds", json::Value(B.Holds));
+    Bnds.push(std::move(V));
+  }
+  Root.set("bounds", std::move(Bnds));
+
+  // The slowest tasks, fully broken down — enough to see *why* each was
+  // slow without shipping every task of a long run.
+  std::vector<const TaskProfile *> Slowest;
+  for (const TaskProfile &P : Tasks)
+    if (P.Complete)
+      Slowest.push_back(&P);
+  std::sort(Slowest.begin(), Slowest.end(),
+            [](const TaskProfile *A, const TaskProfile *B) {
+              return A->responseNanos() > B->responseNanos();
+            });
+  if (Slowest.size() > 20)
+    Slowest.resize(20);
+  json::Value Tsk = json::Value::array();
+  for (const TaskProfile *P : Slowest) {
+    json::Value V = json::Value::object();
+    V.set("id", json::Value(uint64_t(P->Id)));
+    V.set("level", json::Value(uint64_t(P->Level)));
+    V.set("response_micros", json::Value(toMicros(P->responseNanos())));
+    V.set("run_micros", json::Value(toMicros(P->RunNanos)));
+    V.set("ready_micros", json::Value(toMicros(P->ReadyNanos)));
+    V.set("ftouch_micros", json::Value(toMicros(P->FtouchNanos)));
+    V.set("io_micros", json::Value(toMicros(P->IoNanos)));
+    V.set("slices", json::Value(uint64_t(P->Slices)));
+    V.set("suspensions", json::Value(uint64_t(P->Suspensions)));
+    Tsk.push(std::move(V));
+  }
+  Root.set("slowest_tasks", std::move(Tsk));
+  return Root;
+}
+
+std::string ProfileReport::summary() const {
+  std::ostringstream OS;
+  OS << "profile: " << Tasks.size() << " tasks (" << IncompleteTasks
+     << " incomplete), " << DroppedEvents << " dropped events, P="
+     << EffectiveParallelism << "\n";
+  for (const LevelBlame &B : Levels) {
+    if (B.Tasks == 0)
+      continue;
+    OS << "  level " << B.Level << ": " << B.Completed << "/" << B.Tasks
+       << " tasks | run " << fmtMillis(B.RunNanos) << " ready "
+       << fmtMillis(B.ReadyNanos) << " ftouch " << fmtMillis(B.FtouchNanos)
+       << " io " << fmtMillis(B.IoNanos) << " | worst response "
+       << fmtMillis(B.WorstResponseNanos) << "\n";
+  }
+  OS << "inversions: " << Inversions.size() << " detected\n";
+  for (const Inversion &I : Inversions)
+    OS << "  " << (I.K == Inversion::Kind::FtouchOnLower ? "ftouch-on-lower"
+                                                         : "ready-behind-lower")
+       << ": task " << I.Victim << " (level " << I.VictimLevel << ") "
+       << (I.K == Inversion::Kind::FtouchOnLower ? "waited" : "sat ready")
+       << " " << fmtMillis(I.EndNanos - I.BeginNanos) << " behind task "
+       << I.Culprit << " (level " << I.CulpritLevel << ")\n";
+  if (!BoundEvaluated) {
+    OS << "bound: not evaluated"
+       << (WellFormedNote.empty() ? "" : " — " + WellFormedNote) << "\n";
+    return OS.str();
+  }
+  OS << "bound: strongly well-formed lift, vertex cost "
+     << static_cast<uint64_t>(VertexCostNanos) << " ns\n";
+  for (const LevelBound &B : Bounds) {
+    if (B.ThreadsEvaluated == 0)
+      continue;
+    OS.precision(1);
+    OS << std::fixed << "  level " << B.Level << ": measured "
+       << B.WorstMeasuredMicros / 1000.0 << "ms "
+       << (B.Holds ? "<=" : ">") << " bound " << B.BoundMicros / 1000.0
+       << "ms (W=" << B.CompetitorWork << " S=" << B.SpanVertices << ") "
+       << (B.Holds ? "OK" : "VIOLATED") << "\n";
+  }
+  return OS.str();
+}
+
+} // namespace repro::icilk

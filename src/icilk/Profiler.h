@@ -1,0 +1,229 @@
+//===- icilk/Profiler.h - Response-time attribution profiler ----*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The join of the two observability planes. The event ring (EventRing.h)
+// knows *when* everything happened but not how tasks relate; the
+// TraceRecorder (Trace.h) knows *how* tasks relate but (until it grew
+// timestamps for this) not when. Both key their records by the same task
+// id — Runtime::submitTask reuses the recorder's trace id as the ring id
+// when a recorder is attached — so the profiler can correlate them and
+// answer the question the paper's theory is about: *where did an
+// interactive thread's response time go, and was it within the Theorem
+// 2.3 bound?*
+//
+// Three products per run:
+//
+//  1. Latency breakdown. Replaying the merged ring timeline through a
+//     per-task state machine partitions every task's response window into
+//     running (RunSlice spans), ready-but-not-scheduled (spawn/resume →
+//     next slice start), suspended at a blocking ftouch (FtouchBlock →
+//     Resume, with the awaited producer *named* — the FtouchBlock event
+//     carries its id and the recorder its priority; the wait starts at
+//     the block, since the context-save window until the worker's Suspend
+//     event is not task progress), and blocked on I/O or a timer (same,
+//     when the FtouchBlock names an IoService op instead).
+//     The components are computed independently of the response time, so
+//     their sum being ≈ the measured response is a real consistency
+//     check, not an identity.
+//
+//  2. Priority-inversion report. Two detectors: a task suspended at an
+//     ftouch whose named producer runs at a strictly lower level
+//     (FtouchOnLower — the situation the Sec. 4.2 static checks exist to
+//     prevent, observable here only via the unchecked external-join
+//     escape hatch), and a task sitting ready while a strictly
+//     lower-level task held a core (ReadyBehindLower — scheduler lag, the
+//     thing the master's priority-ordered grants bound).
+//
+//  3. Bound check. The recorder's trace lifts to a dag::Graph
+//     (TraceRecorder::lift); per priority level the profiler evaluates
+//     the Theorem 2.3 bound (W_{⊀ρ} + (P−1)·S_a)/P via dag::responseBound
+//     on the worst-response tasks and compares measured against
+//     predicted. The bound counts abstract unit-work vertices, so it is
+//     converted to time by calibrating one vertex at the run's mean
+//     cost (total measured run time / total vertices), floored per
+//     thread at the thread's own measured cost per vertex (a thread
+//     whose vertices are costlier than average would otherwise be held
+//     to a bound below its own run time); P is the *effective*
+//     parallelism min(workers, hardware cores) — granting 8 workers on
+//     a 1-core box does not make 8 of them run. GrantSlackNanos is
+//     added on top, and the measured side excludes the task's own I/O
+//     waits and pre-machine-start cold wait (modelResponseNanos) — see
+//     the option and field comments for why each adjustment is honest.
+//
+// Everything here is offline post-processing of snapshots: no
+// instrumentation beyond what EventRing/TraceRecorder already do, no
+// cost while not profiling.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_ICILK_PROFILER_H
+#define REPRO_ICILK_PROFILER_H
+
+#include "icilk/EventRing.h"
+#include "icilk/Trace.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repro::icilk {
+
+/// Tunables for Profiler::analyze.
+struct ProfilerOptions {
+  /// Priority levels of the profiled runtime (sizes the per-level tables
+  /// and the lifted graph's order).
+  unsigned NumLevels = 4;
+  /// The runtime's configured worker count; clamped to the machine's
+  /// hardware concurrency for the bound's P (see effectiveParallelism).
+  unsigned NumWorkers = 8;
+  /// Inversions shorter than this are noise (a ready task is *always*
+  /// momentarily behind whatever the cores were finishing).
+  uint64_t MinInversionNanos = 50000;
+  /// Cap on reported inversions (the report names each one).
+  std::size_t MaxInversions = 64;
+  /// Theorem 2.3 is evaluated on the worst-response threads per level, at
+  /// most this many (responseBound is O(V+E) per thread).
+  std::size_t MaxBoundThreadsPerLevel = 3;
+  /// Lifted graphs beyond this vertex count skip the bound check (the
+  /// strong-well-formedness check alone is a BFS per touch edge); the
+  /// report says so instead of silently stalling.
+  std::size_t MaxBoundVertices = 50000;
+  /// Scheduling slack added to every converted bound. Theorem 2.3 holds
+  /// for *prompt* schedules; the A-STEAL master approximates promptness
+  /// only at grant-quantum granularity (cores move between levels once
+  /// per quantum, 500 µs by default), so a measured response may lag the
+  /// prompt bound by a couple of quanta without refuting anything.
+  uint64_t GrantSlackNanos = 1000000;
+};
+
+/// Where one task's response time went. All components are measured
+/// independently from ring events; accountedNanos() ≈ responseNanos() is
+/// the cross-check (small gaps between adjacent ring events are real).
+struct TaskProfile {
+  uint32_t Id = 0;           ///< shared trace/ring task id
+  unsigned Level = 0;        ///< priority level (higher = more urgent)
+  uint64_t SpawnNanos = 0;   ///< submission timestamp
+  uint64_t DoneNanos = 0;    ///< final slice end (0 while incomplete)
+  uint64_t RunNanos = 0;     ///< Σ execution slices
+  uint64_t ReadyNanos = 0;   ///< runnable but no core ran it
+  uint64_t FtouchNanos = 0;  ///< suspended on another task's future
+  uint64_t IoNanos = 0;      ///< suspended on an IoService op / timer
+  /// Ready time spent before the first run slice of the *whole run* — the
+  /// machine was still starting (workers spawning, master's first grant
+  /// pending), so the model's clock had not begun. Set by analyze().
+  uint64_t ColdWaitNanos = 0;
+  uint32_t Slices = 0;
+  uint32_t Suspensions = 0;
+  bool Complete = false;     ///< saw a final slice not followed by suspend
+
+  uint64_t responseNanos() const {
+    return Complete && DoneNanos > SpawnNanos ? DoneNanos - SpawnNanos : 0;
+  }
+  uint64_t accountedNanos() const {
+    return RunNanos + ReadyNanos + FtouchNanos + IoNanos;
+  }
+  /// Response with the task's own I/O/timer waits and pre-machine-start
+  /// cold wait taken out — the quantity the Theorem 2.3 bound speaks
+  /// about. The model's only source of delay is competing work on P
+  /// cores: time parked on an external device is invisible to it (the
+  /// paper's DAGs have no I/O vertices), and its time 0 presumes the P
+  /// processors already exist — so comparing the raw wall response
+  /// against a work bound would charge the scheduler for the device and
+  /// for thread-pool spin-up.
+  uint64_t modelResponseNanos() const {
+    uint64_t R = responseNanos();
+    uint64_t Excluded = IoNanos + ColdWaitNanos;
+    return R > Excluded ? R - Excluded : 0;
+  }
+};
+
+/// Latency components aggregated over every complete task of one level.
+struct LevelBlame {
+  unsigned Level = 0;
+  uint64_t Tasks = 0;        ///< tasks spawned at this level
+  uint64_t Completed = 0;
+  uint64_t RunNanos = 0;
+  uint64_t ReadyNanos = 0;
+  uint64_t FtouchNanos = 0;
+  uint64_t IoNanos = 0;
+  uint64_t ResponseNanos = 0;      ///< Σ measured responses
+  uint64_t WorstResponseNanos = 0;
+};
+
+/// One detected priority inversion, with both parties named.
+struct Inversion {
+  enum class Kind : uint8_t {
+    FtouchOnLower,   ///< victim suspended on a lower-level producer
+    ReadyBehindLower ///< victim ready while a lower-level task held a core
+  };
+  Kind K = Kind::FtouchOnLower;
+  uint32_t Victim = 0;       ///< higher-priority task id
+  unsigned VictimLevel = 0;
+  uint32_t Culprit = 0;      ///< lower-priority task id
+  unsigned CulpritLevel = 0;
+  uint64_t BeginNanos = 0;   ///< inverted interval (duration = End - Begin)
+  uint64_t EndNanos = 0;
+};
+
+/// Measured-vs-predicted response for one priority level.
+struct LevelBound {
+  unsigned Level = 0;
+  std::size_t ThreadsEvaluated = 0; ///< 0 = no complete tasks at the level
+  double WorstMeasuredMicros = 0;   ///< worst modelResponseNanos evaluated
+  uint64_t CompetitorWork = 0;      ///< W_{⊀ρ} of the worst evaluated thread
+  uint64_t SpanVertices = 0;        ///< S_a of the worst evaluated thread
+  double BoundSteps = 0;            ///< Theorem 2.3 RHS, in vertices
+  double BoundMicros = 0;           ///< calibrated to time, + grant slack
+  bool Holds = true;                ///< measured ≤ bound for every evaluated
+};
+
+/// Everything Profiler::analyze produces.
+struct ProfileReport {
+  std::vector<TaskProfile> Tasks;   ///< complete + incomplete, by id order
+  std::vector<LevelBlame> Levels;   ///< index = level
+  std::vector<Inversion> Inversions;
+  std::vector<LevelBound> Bounds;   ///< index = level
+
+  /// Lifted-graph verdicts. The bound is only claimed on admissible runs:
+  /// strongly well-formed lift and a graph small enough to analyze.
+  bool StronglyWellFormed = false;
+  std::string WellFormedNote;       ///< reason when not (or when skipped)
+  bool BoundEvaluated = false;
+  double VertexCostNanos = 0;       ///< calibration: run time per vertex
+  unsigned EffectiveParallelism = 0;
+
+  /// Data-quality flags: tasks whose Spawn the ring overwrote (profile
+  /// with a larger capacity if nonzero) and entries lost mid-snapshot.
+  uint64_t IncompleteTasks = 0;
+  uint64_t DroppedEvents = 0;
+
+  /// Machine-readable rendering (schema documented in EXPERIMENTS.md).
+  json::Value toJson() const;
+  /// Human-readable multi-line summary (the --profile console output).
+  std::string summary() const;
+};
+
+/// The profiler. Stateless: analyze() post-processes one run's snapshots.
+class Profiler {
+public:
+  /// Correlates \p Threads (a trace::EventLog snapshot taken after the
+  /// run) with \p Trace (the recorder that was attached to the runtime
+  /// during it) and produces the full report. The two must come from the
+  /// same run with both attached before the first task, or ids will not
+  /// line up (see Runtime::submitTask).
+  static ProfileReport analyze(const std::vector<trace::ThreadTrace> &Threads,
+                               const TraceRecorder &Trace,
+                               const ProfilerOptions &Opts = {});
+
+  /// min(Workers, hardware cores): the P a bound can honestly claim.
+  static unsigned effectiveParallelism(unsigned Workers);
+};
+
+} // namespace repro::icilk
+
+#endif // REPRO_ICILK_PROFILER_H

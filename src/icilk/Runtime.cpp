@@ -82,7 +82,16 @@ void Runtime::submitTask(std::unique_ptr<Task> Owned) {
   assert(Owned->level() < Config.NumLevels && "task level out of range");
   Outstanding.fetch_add(1, std::memory_order_relaxed);
   if (trace::enabled()) {
-    Owned->setRingId(NextTraceTaskId.fetch_add(1, std::memory_order_relaxed));
+    // When a TraceRecorder is attached the task already has a structural
+    // trace id — reuse it as the ring id, so the profiler can join the
+    // timestamped scheduler timeline with the lifted DAG on one key. The
+    // private counter serves ring-only runs (ids may collide with recorder
+    // ids if a recorder attaches mid-run; profiling attaches both up
+    // front).
+    Owned->setRingId(Owned->traceId() != 0
+                         ? Owned->traceId()
+                         : NextTraceTaskId.fetch_add(
+                               1, std::memory_order_relaxed));
     trace::emit(trace::EventKind::Spawn,
                 static_cast<uint8_t>(Owned->level()), Owned->ringId());
   }

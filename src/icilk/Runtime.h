@@ -145,36 +145,6 @@ public:
   void sampleMetrics(repro::MetricsRegistry &M,
                      const std::string &Prefix = "runtime") const;
 
-  // Deprecated pre-snapshot stats surface. Each is a strict subset of
-  // snapshot(); kept one deprecation cycle for out-of-tree callers.
-  [[deprecated("use snapshot().TasksExecuted")]] uint64_t
-  tasksExecuted() const {
-    return Executed.load(std::memory_order_relaxed);
-  }
-  [[deprecated("use snapshot().TotalWorkNanos")]] uint64_t
-  totalWorkNanos() const {
-    return TotalWorkNanos.load(std::memory_order_relaxed);
-  }
-  [[deprecated("use snapshot().Outstanding")]] int64_t outstanding() const {
-    return Outstanding.load(std::memory_order_relaxed);
-  }
-  [[deprecated("use snapshot().Pending[Level]")]] int64_t
-  pendingAt(unsigned Level) const {
-    return Pending[Level]->load(std::memory_order_relaxed);
-  }
-  [[deprecated("use snapshot().StallsDetected")]] uint64_t
-  stallsDetected() const {
-    return Stalls.load(std::memory_order_relaxed);
-  }
-  [[deprecated("use snapshot().Assigned")]] std::vector<unsigned>
-  assignmentCounts() const {
-    return countAssignments();
-  }
-  [[deprecated("use snapshot().Desires")]] std::vector<double>
-  desires() const {
-    return currentDesires();
-  }
-
   /// True when the calling thread is one of this runtime's workers.
   bool onWorkerThread() const;
 

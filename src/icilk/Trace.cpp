@@ -2,6 +2,8 @@
 
 #include "icilk/Trace.h"
 
+#include "support/Timer.h"
+
 #include <cassert>
 
 namespace repro::icilk {
@@ -10,23 +12,23 @@ TraceTaskId TraceRecorder::recordSpawn(TraceTaskId Parent, unsigned Level) {
   std::lock_guard<std::mutex> Lock(Mutex);
   auto Child = static_cast<TraceTaskId>(TaskLevels.size());
   TaskLevels.push_back(Level);
-  Events.push_back({Kind::Spawn, Parent, Child});
+  Events.push_back({EventKind::Spawn, Parent, Child, repro::nowNanos()});
   return Child;
 }
 
 void TraceRecorder::recordTouch(TraceTaskId Waiter, TraceTaskId Producer) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  Events.push_back({Kind::Touch, Waiter, Producer});
+  Events.push_back({EventKind::Touch, Waiter, Producer, repro::nowNanos()});
 }
 
 void TraceRecorder::recordSuspend(TraceTaskId Task) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  Events.push_back({Kind::Suspend, Task, Task});
+  Events.push_back({EventKind::Suspend, Task, Task, repro::nowNanos()});
 }
 
 void TraceRecorder::recordResume(TraceTaskId Task) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  Events.push_back({Kind::Resume, Task, Task});
+  Events.push_back({EventKind::Resume, Task, Task, repro::nowNanos()});
 }
 
 void TraceRecorder::noteHappensBefore(TraceTaskId Writer, TraceTaskId Reader) {
@@ -34,7 +36,12 @@ void TraceRecorder::noteHappensBefore(TraceTaskId Writer, TraceTaskId Reader) {
   // The event happens at the reader (the read observes the write), so the
   // reader is the actor and the weak edge comes from the writer's last
   // vertex.
-  Events.push_back({Kind::Weak, Reader, Writer});
+  Events.push_back({EventKind::Weak, Reader, Writer, repro::nowNanos()});
+}
+
+void TraceRecorder::notePublish(TraceTaskId Publisher, TraceTaskId Handle) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back({EventKind::Publish, Publisher, Handle, repro::nowNanos()});
 }
 
 dag::Graph TraceRecorder::lift(unsigned NumLevels) const {
@@ -60,19 +67,25 @@ dag::Graph TraceRecorder::lift(unsigned NumLevels) const {
   for (const Event &E : Events) {
     dag::VertexId V = G.addVertex(Threads[E.Actor]);
     switch (E.K) {
-    case Kind::Spawn:
+    case EventKind::Spawn:
       G.addCreateEdge(V, Threads[E.Other]);
       break;
-    case Kind::Touch:
+    case EventKind::Touch:
       // Recorded after the wait completed: the producer has finished, so
       // the resolved edge (its final vertex → V) is the true dependence.
       G.addTouchEdge(Threads[E.Other], V);
       break;
-    case Kind::Weak:
+    case EventKind::Weak:
       G.addWeakEdge(LastVertex[E.Other], V);
       break;
-    case Kind::Suspend:
-    case Kind::Resume:
+    case EventKind::Publish:
+      // The publisher's continuation carries the handle; the edge targets
+      // the handle task's *first* vertex so every later vertex of that
+      // task (and every weak edge out of it) is reachable from here.
+      G.addWeakEdge(V, G.threadVertices(Threads[E.Other]).front());
+      break;
+    case EventKind::Suspend:
+    case EventKind::Resume:
       // Pure program-order vertices: the suspension itself creates no
       // dependence (the touch edge after resumption carries it).
       break;
@@ -91,7 +104,7 @@ std::size_t TraceRecorder::numTouches() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   std::size_t N = 0;
   for (const Event &E : Events)
-    N += E.K == Kind::Touch ? 1 : 0;
+    N += E.K == EventKind::Touch ? 1 : 0;
   return N;
 }
 
@@ -99,8 +112,18 @@ std::size_t TraceRecorder::numSuspends() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   std::size_t N = 0;
   for (const Event &E : Events)
-    N += E.K == Kind::Suspend ? 1 : 0;
+    N += E.K == EventKind::Suspend ? 1 : 0;
   return N;
+}
+
+unsigned TraceRecorder::taskLevel(TraceTaskId Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Id < TaskLevels.size() ? TaskLevels[Id] : 0;
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Events;
 }
 
 } // namespace repro::icilk

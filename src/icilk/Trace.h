@@ -54,6 +54,20 @@ constexpr TraceTaskId TraceExternal = 0;
 /// or record manually.
 class TraceRecorder {
 public:
+  /// Event taxonomy, exposed so the profiler (Profiler.h) can replay the
+  /// recorded structure next to the event ring's timeline.
+  enum class EventKind : uint8_t { Spawn, Touch, Weak, Publish, Suspend, Resume };
+
+  /// One recorded event. Every event is stamped with repro::nowNanos() at
+  /// record time — the same clock the event ring uses — so the structural
+  /// trace and the scheduler timeline can be cross-checked directly.
+  struct Event {
+    EventKind K;
+    TraceTaskId Actor; ///< the task performing the event
+    TraceTaskId Other; ///< spawned child / touched producer / writer
+    uint64_t TimeNanos;
+  };
+
   /// Registers a new task at \p Level spawned by \p Parent; returns its id.
   TraceTaskId recordSpawn(TraceTaskId Parent, unsigned Level);
 
@@ -73,6 +87,16 @@ public:
   /// current point precedes \p Reader's (a weak edge in the lift).
   void noteHappensBefore(TraceTaskId Writer, TraceTaskId Reader);
 
+  /// Records that \p Publisher, at its current point, made \p Handle's
+  /// task known (published its handle). Lifts to a vertex in the
+  /// *publisher's* chain with a weak edge to the handle task's first
+  /// vertex, so a knows-about path (Definition 4) from the task's creation
+  /// can start with a continuation edge even when creating the task was
+  /// the creator's last recorded action. fcreateSelf calls this
+  /// automatically: handing a thread its own handle at birth *is* a
+  /// publish in the calculus's terms.
+  void notePublish(TraceTaskId Publisher, TraceTaskId Handle);
+
   /// Lifts the trace into a cost DAG over totalOrder(NumLevels)
   /// priorities. Tasks become threads; each recorded event appends a
   /// vertex to its task in program order; spawns/touches/notes become
@@ -84,14 +108,14 @@ public:
   std::size_t numTouches() const;
   std::size_t numSuspends() const;
 
-private:
-  enum class Kind : uint8_t { Spawn, Touch, Weak, Suspend, Resume };
-  struct Event {
-    Kind K;
-    TraceTaskId Actor;  ///< the task performing the event
-    TraceTaskId Other;  ///< spawned child / touched producer / reader
-  };
+  /// Priority level \p Id was spawned at (the external driver is level 0).
+  unsigned taskLevel(TraceTaskId Id) const;
 
+  /// Copy of the recorded events, in global record order (timestamps are
+  /// monotone non-decreasing — every record takes the same mutex).
+  std::vector<Event> events() const;
+
+private:
   mutable std::mutex Mutex;
   std::vector<unsigned> TaskLevels{0}; ///< index 0: external driver, top level
   std::vector<Event> Events;

@@ -10,6 +10,7 @@
 
 #include "apps/JobServer.h"
 #include "icilk/EventRing.h"
+#include "icilk/Profiler.h"
 #include "support/Json.h"
 #include "support/Metrics.h"
 
@@ -92,6 +93,65 @@ TEST(ObservabilityTest, JobServerPopulatesMetricsRegistry) {
                 ? Counters.at(std::string("jobserver.jobs.") + T)
                 : 0;
   EXPECT_GT(Jobs, 0u);
+}
+
+TEST(ObservabilityTest, ProfiledJobServerRunAttributesAndDetects) {
+  // The full pipeline on the case-study app: both observability planes
+  // attached, inversions injected. The profiler must (a) account the
+  // per-level responses to within 5% with its independently-measured
+  // components, (b) detect and name the injected matmul-on-sw joins, and
+  // (c) refuse to claim the Theorem 2.3 bound for the tainted run.
+  icilk::TraceRecorder Recorder;
+  icilk::trace::clear();
+  icilk::trace::enable(1 << 16);
+
+  JobServerConfig Config;
+  Config.DurationMillis = 150;
+  Config.ArrivalIntervalMicros = 3000;
+  Config.Rt.NumWorkers = 2;
+  Config.Seed = 11;
+  Config.Trace = &Recorder;
+  Config.InjectInversions = 2;
+  JobServerReport Report = runJobServer(Config);
+  icilk::trace::disable();
+  ASSERT_GT(Report.App.Requests, 0u);
+
+  icilk::ProfilerOptions Opts;
+  Opts.NumLevels = Config.Rt.NumLevels;
+  Opts.NumWorkers = Config.Rt.NumWorkers;
+  icilk::ProfileReport R = icilk::Profiler::analyze(
+      icilk::trace::EventLog::instance().snapshot(), Recorder, Opts);
+
+  // (a) Attribution: summed components track summed responses per level.
+  uint64_t SumResp = 0, SumAccounted = 0;
+  for (const icilk::LevelBlame &L : R.Levels) {
+    SumResp += L.ResponseNanos;
+    SumAccounted += L.RunNanos + L.ReadyNanos + L.FtouchNanos + L.IoNanos;
+  }
+  ASSERT_GT(SumResp, 0u);
+  uint64_t Gap = SumResp > SumAccounted ? SumResp - SumAccounted
+                                        : SumAccounted - SumResp;
+  EXPECT_LT(static_cast<double>(Gap), 0.05 * static_cast<double>(SumResp));
+
+  // (b) Detection: the injected pairs are matmul (level 3) victims joined
+  // to sw (level 0) culprits.
+  unsigned Found = 0;
+  for (const icilk::Inversion &I : R.Inversions)
+    if (I.K == icilk::Inversion::Kind::FtouchOnLower && I.VictimLevel == 3 &&
+        I.CulpritLevel == 0)
+      ++Found;
+  EXPECT_GE(Found, 1u) << "no injected ftouch-on-lower inversion detected";
+
+  // (c) Admissibility: an inverted touch edge makes the lift fail strong
+  // well-formedness, so the bound must not be claimed.
+  EXPECT_FALSE(R.StronglyWellFormed);
+  EXPECT_FALSE(R.BoundEvaluated);
+
+  // The JSON rendering round-trips through the parser.
+  std::string Err;
+  auto V = json::parse(R.toJson().dump(), &Err);
+  ASSERT_TRUE(V.has_value()) << Err;
+  EXPECT_EQ(V->find("schema")->asString(), "icilk-profile-v1");
 }
 
 } // namespace

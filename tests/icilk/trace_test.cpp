@@ -13,6 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
 namespace repro::icilk {
 namespace {
 
@@ -126,6 +131,70 @@ TEST(TraceTest, HandleThroughStateNeedsHappensBeforeNote) {
     // interleaving (the driver's spawn of the consumer can itself carry
     // the path); the WithNote case must always pass.
   }
+}
+
+TEST(TraceTest, NoteHappensBeforeLiftsToWeakEdge) {
+  // The structural claim behind HandleThroughStateNeedsHappensBeforeNote:
+  // the note becomes exactly one weak edge, from the writer's current
+  // vertex to a new vertex in the reader's chain.
+  TraceRecorder Tr;
+  TraceTaskId Writer = Tr.recordSpawn(TraceExternal, 1);
+  TraceTaskId Reader = Tr.recordSpawn(TraceExternal, 0);
+  Tr.noteHappensBefore(Writer, Reader);
+  dag::Graph G = Tr.lift(2);
+  ASSERT_EQ(G.weakEdges().size(), 1u);
+  auto [Src, Dst] = G.weakEdges().front();
+  EXPECT_EQ(G.vertexThread(Src), static_cast<dag::ThreadId>(Writer));
+  EXPECT_EQ(G.vertexThread(Dst), static_cast<dag::ThreadId>(Reader));
+  EXPECT_TRUE(G.isAcyclic());
+}
+
+TEST(TraceTest, SelfHandleThroughSlotStaysStronglyWellFormed) {
+  // Regression for the email slot protocol. A task made with fcreateSelf
+  // publishes its *own* handle into shared state, and creating it is the
+  // creator's last traced action — so without the automatic notePublish
+  // at fcreateSelf the creator has no post-create vertex for the
+  // knows-about path (Definition 4) to start from, and every touch that
+  // learned the handle from the slot fails strong well-formedness.
+  Runtime Rt(traceConfig());
+  TraceRecorder Tr;
+  Rt.setTrace(&Tr);
+
+  std::mutex SlotMutex;
+  std::shared_ptr<FutureState<int>> Slot;
+  auto Creator = fcreate<Hi>(Rt, [&](Context<Hi> &) {
+    fcreateSelf<Hi, int>(
+        Rt, [&](Context<Hi> &, const Future<Hi, int> &Self) {
+          std::lock_guard<std::mutex> Lock(SlotMutex);
+          Slot = Self.state();
+          return 9;
+        });
+    return 0; // creating the worker is the creator's last traced action
+  });
+  auto Consumer = fcreate<Hi>(Rt, [&](Context<Hi> &Ctx) {
+    std::shared_ptr<FutureState<int>> Prev;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> Lock(SlotMutex);
+        Prev = Slot;
+      }
+      if (Prev)
+        break;
+      std::this_thread::yield();
+    }
+    Tr.noteHappensBefore(Prev->producerTraceId(), Task::current()->traceId());
+    return Ctx.ftouch(Future<Hi, int>(Prev));
+  });
+  EXPECT_EQ(touchFromOutside(Rt, Creator), 0);
+  EXPECT_EQ(touchFromOutside(Rt, Consumer), 9);
+  Rt.drain();
+  Rt.setTrace(nullptr);
+
+  dag::Graph G = Tr.lift(2);
+  EXPECT_TRUE(G.isAcyclic());
+  EXPECT_GE(G.weakEdges().size(), 2u); // the publish + the reader's note
+  auto Strong = dag::checkStronglyWellFormed(G);
+  EXPECT_TRUE(Strong.Ok) << Strong.Reason;
 }
 
 TEST(TraceTest, SuspendResumeRecordedAtBlockingFtouch) {
