@@ -6,11 +6,16 @@
 // in mutable state, and the Huffman savings.
 //
 // Usage: email_demo [--users=12] [--duration-ms=1500] [--baseline]
-//                   [--trace=FILE] [--metrics]
+//                   [--trace=FILE] [--metrics] [--telemetry-port=P]
 //
 // --trace=FILE records the scheduler event ring for the whole run and
 // writes it as Chrome-trace JSON (open in https://ui.perfetto.dev).
 // --metrics prints the run's metrics-registry dump.
+//
+// --telemetry-port=P serves live telemetry for the whole run:
+// `curl localhost:P/metrics` (Prometheus), /snapshot.json, /latency.json,
+// and /trace?ms=500 (needs --trace so events are recorded). P=0 picks a
+// free port (printed at startup).
 //
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +49,17 @@ int main(int Argc, char **Argv) {
   bool WantMetrics = Args.getBool("metrics");
   if (WantMetrics)
     Config.Metrics = &Metrics;
+
+  Config.TelemetryPort = static_cast<int>(Args.getInt("telemetry-port", -1));
+  if (Config.TelemetryPort >= 0) {
+    Config.Metrics = &Metrics; // /metrics should include the app counters
+    if (Config.TelemetryPort > 0)
+      std::printf("telemetry: curl http://localhost:%d/metrics while the "
+                  "run is live\n",
+                  Config.TelemetryPort);
+    else
+      setLogThreshold(LogLevel::Info); // surface the bound-port log line
+  }
 
   std::printf("email server: %u users, %llu ms, %s scheduler\n",
               Config.Users,

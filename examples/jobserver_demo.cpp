@@ -8,7 +8,7 @@
 // Usage: jobserver_demo [--interval-us=2500] [--duration-ms=1500]
 //                       [--workers=2] [--baseline] [--trace=FILE]
 //                       [--metrics] [--profile=FILE]
-//                       [--inject-inversions=N]
+//                       [--inject-inversions=N] [--telemetry-port=P]
 //
 // --trace=FILE records the scheduler event ring for the whole run and
 // writes it as Chrome-trace JSON — open the file in https://ui.perfetto.dev
@@ -24,6 +24,12 @@
 // stdout, full JSON report to FILE. --inject-inversions=N plants N
 // deliberate inversions (a matmul-level task joining an sw-level
 // producer) so the detector has something to find.
+//
+// --telemetry-port=P serves live telemetry for the whole run:
+// `curl localhost:P/metrics` (Prometheus), /snapshot.json, /latency.json
+// (windowed per-level quantiles), and /trace?ms=500 (a Chrome-trace slice
+// of the last 500 ms; needs --trace or --profile so events are recorded).
+// P=0 picks a free port (printed at startup).
 //
 //===----------------------------------------------------------------------===//
 
@@ -70,6 +76,21 @@ int main(int Argc, char **Argv) {
   bool WantMetrics = Args.getBool("metrics");
   if (WantMetrics)
     Config.Metrics = &Metrics;
+
+  Config.TelemetryPort = static_cast<int>(Args.getInt("telemetry-port", -1));
+  if (Config.TelemetryPort >= 0) {
+    // Always attach the registry when serving telemetry, so /metrics has
+    // the app counters too.
+    Config.Metrics = &Metrics;
+    if (Config.TelemetryPort > 0)
+      std::printf("telemetry: curl http://localhost:%d/metrics while the "
+                  "run is live\n",
+                  Config.TelemetryPort);
+    else
+      // Ephemeral port: the bound port is only known once the run starts;
+      // surface the "telemetry serving on ..." Info log line.
+      setLogThreshold(LogLevel::Info);
+  }
 
   std::printf("job server: mean inter-arrival %.0f us, %llu ms, %u workers, "
               "%s scheduler\n",

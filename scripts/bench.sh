@@ -3,11 +3,23 @@
 # and the fig. 13 responsiveness study at reduced scale, leaving machine-
 # readable BENCH_*.json files in the repo root. Numbers from this scale are
 # for trend-watching, not the paper's figures — run the binaries by hand at
-# full scale for those. CI runs this and uploads the JSON as artifacts.
+# full scale for those. CI runs this and uploads the JSON as artifacts,
+# then diffs it against bench/baselines/ with scripts/bench_compare.py.
+#
+# --update-baselines: after the run, copy the fresh JSON into
+# bench/baselines/ (commit the result to bless a new performance floor).
 set -euo pipefail
 
 REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+UPDATE_BASELINES=0
+for Arg in "$@"; do
+  case "$Arg" in
+    --update-baselines) UPDATE_BASELINES=1 ;;
+    *) echo "bench.sh: unknown argument $Arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== build =="
 cmake -B "$REPO/build" -S "$REPO" >/dev/null
@@ -32,3 +44,10 @@ REPRO_BENCH_JSON_DIR="$REPO" "$REPO/build/bench/fig13_responsiveness" \
 echo
 echo "bench.sh: wrote"
 ls -l "$REPO"/BENCH_*.json
+
+if [ "$UPDATE_BASELINES" = 1 ]; then
+  mkdir -p "$REPO/bench/baselines"
+  cp "$REPO"/BENCH_*.json "$REPO/bench/baselines/"
+  echo
+  echo "bench.sh: refreshed baselines under bench/baselines/"
+fi

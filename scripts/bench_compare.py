@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json files against committed baselines.
+
+The perf-regression half of the observability surface: scripts/bench.sh
+leaves BENCH_<name>.json files in the repo root, and bench/baselines/
+holds committed copies from a known-good run. This script flattens both
+into named scalar metrics, compares them with per-metric tolerance bands,
+prints a trajectory table (optionally to a markdown file for CI
+artifacts), and exits nonzero when any metric degraded beyond tolerance.
+
+Two input shapes are understood:
+
+  * google-benchmark JSON ({"context": ..., "benchmarks": [...]}) —
+    real_time / cpu_time per benchmark, lower is better;
+  * bench::Reporter JSON ({"name", "sections": [{"title", "header",
+    "rows"}], "notes"}) — numeric table cells, direction classified from
+    the column header ("ratio" up, "(us)"/"worst" down, "yes/no" up).
+
+Tolerances default to generous factors because these runs are short and
+the machines noisy; bench/baselines/tolerances.json can override both the
+defaults and individual metrics (fnmatch patterns over metric keys).
+
+Usage:
+  bench_compare.py [--current-dir DIR] [--baseline-dir DIR]
+                   [--tolerances FILE] [--table-out FILE] [--quiet]
+
+Exit codes: 0 all within tolerance, 1 regression (or baseline metric
+missing from the current run), 2 setup problems (no baselines, bad JSON).
+"""
+
+import argparse
+import fnmatch
+import glob
+import json
+import os
+import re
+import sys
+
+# Default multiplicative tolerance bands. A lower-is-better metric
+# regresses when current > baseline * tolerance; a higher-is-better one
+# when current < baseline / tolerance. Wall-clock microbenchmarks on
+# shared CI runners jitter hard, hence the wide default.
+DEFAULT_TOLERANCE = 3.0
+# Values this small (in whatever unit) are dominated by noise; below the
+# floor a metric is reported but never failed.
+ABS_FLOOR = 1e-9
+
+# Reporter-table column classification, first match wins (checked against
+# the lower-cased header cell).
+HIGHER_BETTER_HEADERS = ("ratio", "throughput", "ops/s", "holds")
+LOWER_BETTER_HEADERS = ("(us)", "(ns)", "(ms)", "time", "worst",
+                        "measured/bound", "latency")
+# Identity / configuration columns: never performance.
+SKIP_HEADERS = ("connections", "level", "tasks", "workers", "bound (us)")
+
+
+def slug(text, maxlen=48):
+    s = re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-")
+    return s[:maxlen].rstrip("-")
+
+
+def parse_cell(cell):
+    """Numeric value of a table cell, mapping yes/no to 1/0; None if NaN."""
+    if isinstance(cell, (int, float)):
+        return float(cell)
+    text = str(cell).strip().lower()
+    if text == "yes":
+        return 1.0
+    if text == "no":
+        return 0.0
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def classify(header):
+    h = header.lower()
+    for key in SKIP_HEADERS:
+        if key in h:
+            return None
+    for key in HIGHER_BETTER_HEADERS:
+        if key in h:
+            return "up"
+    for key in LOWER_BETTER_HEADERS:
+        if key in h:
+            return "down"
+    return None
+
+
+def flatten(path):
+    """{metric_key: (value, direction)} for one BENCH_*.json file."""
+    with open(path) as f:
+        data = json.load(f)
+    stem = os.path.basename(path)
+    stem = re.sub(r"^BENCH_|\.json$", "", stem)
+    out = {}
+    if "benchmarks" in data:  # google-benchmark
+        for bm in data["benchmarks"]:
+            if bm.get("run_type") == "aggregate":
+                continue
+            base = f"{stem}/{bm['name']}"
+            for field in ("real_time", "cpu_time"):
+                if field in bm:
+                    out[f"{base}/{field}"] = (float(bm[field]), "down")
+        return out
+    if "sections" in data:  # bench::Reporter
+        for sec in data["sections"]:
+            header = sec.get("header", [])
+            sslug = slug(sec.get("title", "section"))
+            for row in sec.get("rows", []):
+                if not row:
+                    continue
+                key_cell = slug(str(row[0]), 24)
+                for idx, cell in enumerate(row[1:], start=1):
+                    if idx >= len(header):
+                        break
+                    direction = classify(header[idx])
+                    if direction is None:
+                        continue
+                    value = parse_cell(cell)
+                    if value is None:
+                        continue
+                    col = slug(header[idx], 24)
+                    out[f"{stem}/{sslug}/{key_cell}/{col}"] = (value,
+                                                               direction)
+        return out
+    raise ValueError(f"{path}: neither google-benchmark nor Reporter JSON")
+
+
+def load_tolerances(path):
+    if not path or not os.path.exists(path):
+        return DEFAULT_TOLERANCE, []
+    with open(path) as f:
+        spec = json.load(f)
+    default = float(spec.get("default", DEFAULT_TOLERANCE))
+    overrides = sorted(spec.get("overrides", {}).items())
+    return default, overrides
+
+
+def tolerance_for(key, default, overrides):
+    # Most specific (longest) matching pattern wins.
+    best, best_len = default, -1
+    for pattern, tol in overrides:
+        if fnmatch.fnmatch(key, pattern) and len(pattern) > best_len:
+            best, best_len = float(tol), len(pattern)
+    return best
+
+
+def compare(key, baseline, current, direction, tol):
+    """(status, ratio). Ratio is current/baseline; status one of
+    ok / improved / REGRESSED."""
+    ratio = current / baseline if baseline > ABS_FLOOR else float("inf")
+    if max(abs(baseline), abs(current)) <= ABS_FLOOR:
+        return "ok", 1.0
+    if direction == "down":
+        if current > baseline * tol:
+            return "REGRESSED", ratio
+        if current < baseline / tol:
+            return "improved", ratio
+    else:
+        if current < baseline / tol:
+            return "REGRESSED", ratio
+        if current > baseline * tol:
+            return "improved", ratio
+    return "ok", ratio
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    ap.add_argument("--current-dir", default=repo,
+                    help="directory holding fresh BENCH_*.json (repo root)")
+    ap.add_argument("--baseline-dir",
+                    default=os.path.join(repo, "bench", "baselines"))
+    ap.add_argument("--tolerances", default=None,
+                    help="tolerance spec (default: "
+                         "<baseline-dir>/tolerances.json)")
+    ap.add_argument("--table-out", default=None,
+                    help="also write the trajectory table as markdown here")
+    ap.add_argument("--quiet", action="store_true",
+                    help="only print regressions and the verdict")
+    args = ap.parse_args()
+
+    tol_path = args.tolerances or os.path.join(args.baseline_dir,
+                                               "tolerances.json")
+    default_tol, overrides = load_tolerances(tol_path)
+
+    baseline_files = sorted(glob.glob(
+        os.path.join(args.baseline_dir, "BENCH_*.json")))
+    if not baseline_files:
+        print(f"bench_compare: no baselines under {args.baseline_dir} "
+              f"(seed them with scripts/bench.sh --update-baselines)",
+              file=sys.stderr)
+        return 2
+
+    rows = []         # (key, base, cur, ratio, direction, tol, status)
+    regressions = []
+    for bpath in baseline_files:
+        cpath = os.path.join(args.current_dir, os.path.basename(bpath))
+        if not os.path.exists(cpath):
+            print(f"bench_compare: current run missing {cpath} "
+                  f"(run scripts/bench.sh first)", file=sys.stderr)
+            return 2
+        try:
+            base = flatten(bpath)
+            cur = flatten(cpath)
+        except (ValueError, KeyError, json.JSONDecodeError) as e:
+            print(f"bench_compare: {e}", file=sys.stderr)
+            return 2
+        for key, (bval, direction) in sorted(base.items()):
+            tol = tolerance_for(key, default_tol, overrides)
+            if key not in cur:
+                rows.append((key, bval, None, None, direction, tol,
+                             "MISSING"))
+                regressions.append(key)
+                continue
+            cval, _ = cur[key]
+            status, ratio = compare(key, bval, cval, direction, tol)
+            rows.append((key, bval, cval, ratio, direction, tol, status))
+            if status == "REGRESSED":
+                regressions.append(key)
+        for key, (cval, direction) in sorted(cur.items()):
+            if key not in base:
+                rows.append((key, None, cval, None, direction,
+                             default_tol, "new"))
+
+    def fmt(v):
+        return "-" if v is None else f"{v:.4g}"
+
+    header = (f"{'metric':<64} {'baseline':>12} {'current':>12} "
+              f"{'ratio':>7} {'dir':>4} {'tol':>5}  status")
+    lines = [header, "-" * len(header)]
+    for key, bval, cval, ratio, direction, tol, status in rows:
+        if args.quiet and status in ("ok", "new", "improved"):
+            continue
+        lines.append(f"{key:<64} {fmt(bval):>12} {fmt(cval):>12} "
+                     f"{fmt(ratio):>7} {direction:>4} {tol:>5.2g}  {status}")
+    print("\n".join(lines))
+
+    if args.table_out:
+        with open(args.table_out, "w") as f:
+            f.write("| metric | baseline | current | ratio | dir | tol "
+                    "| status |\n|---|---|---|---|---|---|---|\n")
+            for key, bval, cval, ratio, direction, tol, status in rows:
+                f.write(f"| `{key}` | {fmt(bval)} | {fmt(cval)} "
+                        f"| {fmt(ratio)} | {direction} | {tol:.2g} "
+                        f"| {status} |\n")
+        print(f"\nbench_compare: wrote trajectory table to {args.table_out}")
+
+    checked = sum(1 for r in rows if r[6] != "new")
+    if regressions:
+        print(f"\nbench_compare: {len(regressions)}/{checked} metrics "
+              f"regressed beyond tolerance:", file=sys.stderr)
+        for key in regressions:
+            print(f"  {key}", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: {checked} metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

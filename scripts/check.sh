@@ -13,13 +13,17 @@ cmake --build "$REPO/build" -j "$JOBS"
 ctest --test-dir "$REPO/build" --output-on-failure -j "$JOBS"
 
 echo
-echo "== tsan: icilk + conc suites =="
+echo "== tsan: icilk + conc + telemetry suites =="
 cmake -B "$REPO/build-tsan" -S "$REPO" -DREPRO_SANITIZE=thread >/dev/null
-cmake --build "$REPO/build-tsan" -j "$JOBS" --target icilk_tests conc_tests
+cmake --build "$REPO/build-tsan" -j "$JOBS" \
+  --target icilk_tests conc_tests telemetry_tests
 # halt_on_error: a single data race fails the check rather than scrolling by.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 "$REPO/build-tsan/tests/conc_tests"
 "$REPO/build-tsan/tests/icilk_tests"
+# The telemetry suite scrapes a live job-server run over HTTP: exactly the
+# scheduler-vs-exporter concurrency a race detector should sweep.
+"$REPO/build-tsan/tests/telemetry_tests"
 
 echo
 echo "check.sh: all passes green"

@@ -17,11 +17,15 @@
 #define REPRO_APPS_APPCOMMON_H
 
 #include "icilk/Context.h"
+#include "icilk/Telemetry.h"
+#include "support/Logging.h"
 #include "support/Metrics.h"
 #include "support/Random.h"
 #include "support/Stats.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -83,6 +87,42 @@ inline void sampleAppMetrics(repro::MetricsRegistry *M, icilk::Runtime &Rt,
   M->setGauge(Prefix + ".wall_millis", Report.WallMillis);
   M->setGauge(Prefix + ".utilization", Report.UtilizationApprox);
 }
+
+/// RAII wiring of the live-telemetry surface (icilk/Telemetry.h) into an
+/// app run: started when the config asks for it (\p Port >= 0; 0 requests
+/// an ephemeral port), stopped when the run returns. The actually-bound
+/// port is published through \p PortOut so drivers using Port=0 can find
+/// where to poll. A failed bind logs a warning and degrades to running
+/// without telemetry — the workload must not die because a port was taken.
+class TelemetryScope {
+public:
+  TelemetryScope(icilk::Runtime &Rt, int Port, std::atomic<int> *PortOut,
+                 repro::MetricsRegistry *Registry) {
+    if (Port < 0)
+      return;
+    icilk::TelemetryConfig TC;
+    TC.Port = static_cast<uint16_t>(Port);
+    T = std::make_unique<icilk::Telemetry>(Rt, TC, Registry);
+    std::string Error;
+    if (!T->start(&Error)) {
+      repro::log(LogLevel::Warn) << "telemetry disabled: " << Error;
+      T.reset();
+      if (PortOut)
+        PortOut->store(-1, std::memory_order_release);
+      return;
+    }
+    repro::log(LogLevel::Info)
+        << "telemetry serving on http://localhost:" << T->port()
+        << "/metrics";
+    if (PortOut)
+      PortOut->store(static_cast<int>(T->port()), std::memory_order_release);
+  }
+
+  icilk::Telemetry *get() const { return T.get(); }
+
+private:
+  std::unique_ptr<icilk::Telemetry> T;
+};
 
 /// A merged Poisson arrival stream over \p Sources independent sources,
 /// each with mean inter-arrival \p MeanMicros. next() returns the absolute

@@ -249,6 +249,8 @@ void handleRequest(EmailServer &S, Context<EmailLoop> &Ctx, std::size_t User,
 
 EmailReport runEmail(const EmailConfig &Config) {
   EmailServer S(Config);
+  TelemetryScope Telemetry(S.Rt, Config.TelemetryPort, Config.TelemetryPortOut,
+                           Config.Metrics);
   repro::Rng DriverRng(Config.Seed);
 
   // Populate mailboxes (EmailMain would do this at startup).

@@ -18,6 +18,8 @@ struct JobServer {
   explicit JobServer(const JobServerConfig &Config)
       : Config(Config), Rt(Config.Rt) {
     Rt.setTrace(Config.Trace); // before the first spawn, so ids line up
+    if (Config.Metrics)
+      LiveShed = &Config.Metrics->counter("jobserver.shed.live");
   }
 
   const JobServerConfig &Config;
@@ -26,6 +28,11 @@ struct JobServer {
   std::array<std::atomic<uint64_t>, 4> Shed{};
   std::array<repro::LatencyRecorder, 4> JobResponse;
   std::array<repro::LatencyRecorder, 4> JobCompute;
+  /// Live shed count, bumped as arrivals are rejected (the per-type
+  /// "jobserver.shed.*" counters are only set() at the end of the run, too
+  /// late for a live /metrics scrape). Handle cached once: counter lookup
+  /// takes the registry mutex and this is on the driver's arrival path.
+  repro::MetricsRegistry::Counter *LiveShed = nullptr;
 
   /// Admission control: true = reject this arrival. Type index 0..3 maps
   /// to level 3..0 (matmul highest). Only low-priority types are ever
@@ -39,6 +46,8 @@ struct JobServer {
     if (Rt.snapshot().totalPending() <= Config.ShedQueueDepth)
       return false;
     Shed[Type].fetch_add(1, std::memory_order_relaxed);
+    if (LiveShed)
+      LiveShed->add();
     return true;
   }
 
@@ -127,6 +136,8 @@ void submitInversionPair(JobServer &S) {
 
 JobServerReport runJobServer(const JobServerConfig &Config) {
   JobServer S(Config);
+  TelemetryScope Telemetry(S.Rt, Config.TelemetryPort, Config.TelemetryPortOut,
+                           Config.Metrics);
   repro::Rng DriverRng(Config.Seed);
 
   double MixTotal = 0;

@@ -52,6 +52,14 @@ struct JobServerConfig {
   /// When non-null, the run dumps its final counters/gauges/histograms
   /// here under "jobserver.*" (see support/Metrics.h). Not owned.
   repro::MetricsRegistry *Metrics = nullptr;
+  /// Live telemetry (icilk/Telemetry.h): >= 0 serves /metrics,
+  /// /snapshot.json, /latency.json and /trace on this port for the whole
+  /// run (0 = let the kernel pick); -1 disables.
+  int TelemetryPort = -1;
+  /// When non-null, receives the actually-bound telemetry port once the
+  /// server is up (-1 if the bind failed); lets TelemetryPort=0 callers
+  /// discover where to poll. Not owned.
+  std::atomic<int> *TelemetryPortOut = nullptr;
   /// When non-null, attached to the runtime for the whole run so the
   /// structural trace can be lifted/profiled afterwards (see
   /// icilk/Profiler.h). Not owned; must outlive the call.

@@ -52,6 +52,13 @@ namespace detail {
 /// threads spin with backoff.
 inline void waitReady(Runtime &Rt, FutureStateBase &State) {
   if (Task *Self = Task::current()) {
+    // Live inversion counter: a task about to *block* on a strictly
+    // lower-priority future is a priority inversion happening right now
+    // (the unchecked external-join escape hatch is the only way here —
+    // Context::ftouch rejects it statically). Counted once per blocking
+    // episode, not per suspend-resume lap.
+    if (!State.isReady() && State.level() < Self->level())
+      Rt.noteInversionBlock();
     while (!State.isReady()) {
       // Arg2 names what the suspension waits on, so the profiler can put a
       // face on every blocked interval: the producer task's id, or — for
@@ -260,8 +267,10 @@ std::optional<T> touchWithDeadline(Runtime &Rt, IoService &Io,
           dispatchWakeup(std::move(*W));
       });
       waitReady(Rt, *Gate);
-      if (!Gate->value())
+      if (!Gate->value()) {
+        Rt.noteDeadlineMiss();
         return std::nullopt; // deadline: the producer keeps running
+      }
     }
   }
   traceTouch(Rt, State);

@@ -147,8 +147,26 @@ std::vector<ThreadTrace> EventLog::snapshot() const {
     T.Tid = static_cast<uint32_t>(I);
     T.Name = Rs[I]->name();
     T.Dropped = Rs[I]->snapshotInto(T.Events);
+    T.Overwritten = Rs[I]->overwritten();
     Out.push_back(std::move(T));
   }
+  return Out;
+}
+
+uint64_t EventLog::droppedTotal() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  uint64_t Sum = 0;
+  for (const auto &R : Rings)
+    Sum += R->overwritten();
+  return Sum;
+}
+
+std::vector<EventLog::RingStats> EventLog::ringStats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<RingStats> Out;
+  Out.reserve(Rings.size());
+  for (const auto &R : Rings)
+    Out.push_back({R->name(), R->pushed(), R->overwritten(), R->capacity()});
   return Out;
 }
 
@@ -215,6 +233,7 @@ void writeChromeTrace(std::ostream &OS,
 
   OS << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool First = true;
+  uint64_t TotalLost = 0;
   for (const ThreadTrace &T : Threads) {
     // Thread-name metadata record (ph "M"); ts is irrelevant but kept so
     // every event carries the full required field set.
@@ -224,10 +243,20 @@ void writeChromeTrace(std::ostream &OS,
     OS << "  {\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,"
        << "\"tid\":" << T.Tid << ",\"args\":{\"name\":\""
        << json::escapeString(T.Name) << "\"}}";
+    // Ring overflow is otherwise invisible in the exported slice: say per
+    // thread how many events were lost (wrap before + overwrite during
+    // the snapshot), so a truncated timeline reads as truncated.
+    uint64_t Lost = T.Overwritten + T.Dropped;
+    TotalLost += Lost;
+    if (Lost > 0) {
+      OS << ",\n  {\"name\":\"events_dropped\",\"ph\":\"M\",\"ts\":0,"
+         << "\"pid\":1,\"tid\":" << T.Tid << ",\"args\":{\"dropped\":"
+         << Lost << "}}";
+    }
     for (const Event &E : T.Events)
       writeEventJson(OS, E, T.Tid, Epoch, First);
   }
-  OS << "\n]}\n";
+  OS << "\n],\"otherData\":{\"events_dropped\":" << TotalLost << "}}\n";
 }
 
 void writeChromeTrace(std::ostream &OS) {

@@ -119,6 +119,16 @@ public:
   /// overwritten).
   uint64_t pushed() const { return Head.load(std::memory_order_acquire); }
 
+  std::size_t capacity() const { return Mask + 1; }
+
+  /// Events lost to ring wrap so far: the silent-overflow count that
+  /// /metrics and the Chrome-trace metadata surface (a full ring keeps
+  /// only the most recent `capacity()` events).
+  uint64_t overwritten() const {
+    uint64_t H = pushed();
+    return H > capacity() ? H - capacity() : 0;
+  }
+
   /// Producer side; call only from the owning thread.
   void push(const Event &E) {
     uint64_t H = Head.load(std::memory_order_relaxed);
@@ -169,6 +179,7 @@ struct ThreadTrace {
   std::string Name;         ///< thread name ("worker 0", "io-timer", ...)
   std::vector<Event> Events;
   uint64_t Dropped = 0;     ///< entries lost to overwrite during snapshot
+  uint64_t Overwritten = 0; ///< entries lost to ring wrap before snapshot
 };
 
 /// Process-wide registry of per-thread rings. Rings are created lazily on
@@ -208,6 +219,21 @@ public:
 
   /// Consistent-enough view of all rings (see EventRing::snapshotInto).
   std::vector<ThreadTrace> snapshot() const;
+
+  /// Total events lost to ring wrap across every ring — the per-worker
+  /// `events_dropped` aggregate Runtime::snapshot() reports. Cheap (one
+  /// relaxed load per ring).
+  uint64_t droppedTotal() const;
+
+  /// Per-ring occupancy summary without draining any events — what the
+  /// telemetry /snapshot.json endpoint reports per worker.
+  struct RingStats {
+    std::string Name;
+    uint64_t Pushed = 0;
+    uint64_t Overwritten = 0;
+    std::size_t Capacity = 0;
+  };
+  std::vector<RingStats> ringStats() const;
 
   static constexpr std::size_t DefaultCapacity = 1 << 14;
 

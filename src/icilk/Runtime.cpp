@@ -384,6 +384,9 @@ RuntimeSnapshot Runtime::snapshot() const {
   S.TotalWorkNanos = TotalWorkNanos.load(std::memory_order_relaxed);
   S.Outstanding = Outstanding.load(std::memory_order_relaxed);
   S.StallsDetected = Stalls.load(std::memory_order_relaxed);
+  S.EventsDropped = trace::EventLog::instance().droppedTotal();
+  S.FtouchInversions = FtouchInversions.load(std::memory_order_relaxed);
+  S.DeadlineMisses = DeadlineMisses.load(std::memory_order_relaxed);
   S.Pending.reserve(Config.NumLevels);
   for (unsigned L = 0; L < Config.NumLevels; ++L)
     S.Pending.push_back(Pending[L]->load(std::memory_order_relaxed));
@@ -398,6 +401,9 @@ void Runtime::sampleMetrics(repro::MetricsRegistry &M,
   M.counter(Prefix + ".tasks_executed").set(S.TasksExecuted);
   M.counter(Prefix + ".total_work_nanos").set(S.TotalWorkNanos);
   M.counter(Prefix + ".stalls_detected").set(S.StallsDetected);
+  M.counter(Prefix + ".events_dropped").set(S.EventsDropped);
+  M.counter(Prefix + ".ftouch_inversions").set(S.FtouchInversions);
+  M.counter(Prefix + ".deadline_misses").set(S.DeadlineMisses);
   M.setGauge(Prefix + ".outstanding", static_cast<double>(S.Outstanding));
   for (unsigned L = 0; L < Config.NumLevels; ++L) {
     std::string LP = Prefix + ".level" + std::to_string(L);

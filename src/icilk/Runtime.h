@@ -92,6 +92,12 @@ struct RuntimeSnapshot {
                                ///< time excluded) — utilization numerator
   int64_t Outstanding = 0;     ///< submitted, not yet completed
   uint64_t StallsDetected = 0; ///< watchdog episodes (see WatchdogQuanta)
+  uint64_t EventsDropped = 0;  ///< trace events lost to ring wrap, summed
+                               ///< over every per-thread event ring
+  uint64_t FtouchInversions = 0; ///< blocking ftouches of a lower-priority
+                                 ///< future (live count; the profiler's
+                                 ///< FtouchOnLower, seen as it happens)
+  uint64_t DeadlineMisses = 0; ///< ftouchFor deadlines that beat the value
   std::vector<int64_t> Pending;    ///< queued (not running/suspended), per level
   std::vector<unsigned> Assigned;  ///< workers currently assigned, per level
   std::vector<double> Desires;     ///< master's current desire, per level
@@ -148,6 +154,17 @@ public:
   /// True when the calling thread is one of this runtime's workers.
   bool onWorkerThread() const;
 
+  /// Live-counter hooks, fed by the touch paths (Context.h): a blocking
+  /// ftouch on a lower-priority future (a priority inversion at the moment
+  /// it bites) and a deadline touch that timed out. Lock-free; snapshot()
+  /// reports both.
+  void noteInversionBlock() {
+    FtouchInversions.fetch_add(1, std::memory_order_relaxed);
+  }
+  void noteDeadlineMiss() {
+    DeadlineMisses.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Attaches (or detaches, with nullptr) an execution-trace recorder;
   /// fcreate/ftouch record spawn/touch events — and every suspension/
   /// resumption at a blocking ftouch — while one is attached. The recorder
@@ -198,6 +215,8 @@ private:
   std::atomic<int64_t> Outstanding{0};
   std::atomic<uint64_t> Executed{0};
   std::atomic<uint64_t> Stalls{0};
+  std::atomic<uint64_t> FtouchInversions{0};
+  std::atomic<uint64_t> DeadlineMisses{0};
   std::atomic<uint64_t> TotalWorkNanos{0};
   std::atomic<uint32_t> NextTraceTaskId{1}; ///< event-ring task ids
   std::atomic<class TraceRecorder *> Trace{nullptr};

@@ -1,0 +1,390 @@
+//===- icilk/Telemetry.cpp - Live telemetry over a running Runtime ----------===//
+
+#include "icilk/Telemetry.h"
+
+#include "icilk/EventRing.h"
+#include "support/Metrics.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace repro::icilk {
+
+namespace {
+
+constexpr const char *PrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/// Prometheus sample values: plain shortest-round-trip formatting (the
+/// format accepts scientific notation, so default ostream rules are fine).
+std::string num(double V) {
+  std::ostringstream OS;
+  OS << V;
+  return OS.str();
+}
+
+std::string num(uint64_t V) { return std::to_string(V); }
+
+/// One exposition family: HELP + TYPE, then the samples the caller adds.
+void family(std::string &Out, const std::string &Name, const char *Type,
+            const std::string &Help) {
+  Out += "# HELP " + Name + " " + Telemetry::escapeHelpText(Help) + "\n";
+  Out += "# TYPE " + Name + " " + Type + "\n";
+}
+
+void sample(std::string &Out, const std::string &Name,
+            const std::string &Labels, const std::string &Value) {
+  Out += Name;
+  if (!Labels.empty())
+    Out += "{" + Labels + "}";
+  Out += " " + Value + "\n";
+}
+
+std::string levelLabel(unsigned L) {
+  return "level=\"" + std::to_string(L) + "\"";
+}
+
+} // namespace
+
+std::string Telemetry::sanitizeMetricName(const std::string &Name) {
+  std::string Out;
+  Out.reserve(Name.size());
+  for (char C : Name) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Out.push_back(Ok ? C : '_');
+  }
+  if (Out.empty() || (Out[0] >= '0' && Out[0] <= '9'))
+    Out.insert(Out.begin(), '_');
+  return Out;
+}
+
+std::string Telemetry::escapeLabelValue(const std::string &Value) {
+  std::string Out;
+  Out.reserve(Value.size());
+  for (char C : Value) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out.push_back(C);
+  }
+  return Out;
+}
+
+std::string Telemetry::escapeHelpText(const std::string &Value) {
+  std::string Out;
+  Out.reserve(Value.size());
+  for (char C : Value) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out.push_back(C);
+  }
+  return Out;
+}
+
+Telemetry::Telemetry(Runtime &Rt, TelemetryConfig Cfg,
+                     repro::MetricsRegistry *Registry)
+    : Rt(Rt), Config(std::move(Cfg)), Registry(Registry) {
+  Harvested.assign(Rt.config().NumLevels, 0);
+  for (unsigned L = 0; L < Rt.config().NumLevels; ++L)
+    Windows.push_back(std::make_unique<repro::WindowedHistogram>(
+        Config.LatencyLoMicros, Config.LatencyHiMicros, Config.LatencyBuckets,
+        std::max(1u, Config.WindowEpochs)));
+
+  Server.route("/", [this](const http::Request &) {
+    http::Response R;
+    R.Body = "icilk live telemetry\n\n"
+             "  /metrics        Prometheus text exposition\n"
+             "  /snapshot.json  Runtime::snapshot() + event-ring stats\n"
+             "  /latency.json   windowed per-level latency quantiles\n"
+             "  /trace?ms=500   Chrome-trace slice of the last N ms\n";
+    return R;
+  });
+  Server.route("/metrics", [this](const http::Request &) {
+    return http::Response{200, PrometheusContentType, renderPrometheus()};
+  });
+  Server.route("/snapshot.json", [this](const http::Request &) {
+    return http::Response{200, "application/json",
+                          snapshotJson().dump(2) + "\n"};
+  });
+  Server.route("/latency.json", [this](const http::Request &) {
+    return http::Response{200, "application/json",
+                          latencyJson().dump(2) + "\n"};
+  });
+  Server.route("/trace", [this](const http::Request &Req) {
+    int64_t Ms = Req.queryInt("ms", 500);
+    Ms = std::clamp<int64_t>(Ms, 1, 60000);
+    return http::Response{200, "application/json",
+                          traceSlice(static_cast<uint64_t>(Ms))};
+  });
+}
+
+Telemetry::~Telemetry() { stop(); }
+
+bool Telemetry::start(std::string *Error) {
+  if (Started) {
+    if (Error)
+      *Error = "telemetry already started";
+    return false;
+  }
+  if (!Server.start(Config.Port, Error))
+    return false;
+  {
+    std::lock_guard<std::mutex> Lock(SamplerMutex);
+    StopSampler = false;
+  }
+  Sampler = std::thread([this] { samplerLoop(); });
+  Started = true;
+  return true;
+}
+
+void Telemetry::stop() {
+  if (!Started)
+    return;
+  Server.stop();
+  {
+    std::lock_guard<std::mutex> Lock(SamplerMutex);
+    StopSampler = true;
+  }
+  SamplerCv.notify_all();
+  if (Sampler.joinable())
+    Sampler.join();
+  Started = false;
+}
+
+void Telemetry::samplerLoop() {
+  trace::setThreadName("telemetry");
+  uint64_t LastRotateNanos = repro::nowNanos();
+  const uint64_t EpochNanos = Config.EpochMillis * 1000000;
+  std::unique_lock<std::mutex> Lock(SamplerMutex);
+  while (!StopSampler) {
+    SamplerCv.wait_for(Lock,
+                       std::chrono::milliseconds(Config.SampleIntervalMillis),
+                       [this] { return StopSampler; });
+    if (StopSampler)
+      return;
+    Lock.unlock();
+    harvestLatencies();
+    uint64_t Now = repro::nowNanos();
+    // Catch up missed epochs one by one so a delayed tick still expires
+    // exactly the epochs whose time passed.
+    while (Now - LastRotateNanos >= EpochNanos) {
+      for (auto &W : Windows)
+        W->rotate();
+      LastRotateNanos += EpochNanos;
+    }
+    Lock.lock();
+  }
+}
+
+void Telemetry::harvestLatencies() {
+  for (unsigned L = 0; L < Rt.config().NumLevels; ++L) {
+    std::vector<double> Fresh =
+        Rt.levelStats(L).Response.samplesSince(Harvested[L]);
+    Harvested[L] += Fresh.size();
+    for (double V : Fresh)
+      Windows[L]->record(V);
+  }
+}
+
+std::string Telemetry::renderPrometheus() const {
+  const std::string &P = Config.Prefix;
+  RuntimeSnapshot S = Rt.snapshot();
+  std::string Out;
+  Out.reserve(4096);
+
+  family(Out, P + "_tasks_executed_total", "counter",
+         "Tasks run to completion since runtime start.");
+  sample(Out, P + "_tasks_executed_total", "", num(S.TasksExecuted));
+
+  family(Out, P + "_work_nanos_total", "counter",
+         "Total executed-slice wall time in nanoseconds (suspended time "
+         "excluded).");
+  sample(Out, P + "_work_nanos_total", "", num(S.TotalWorkNanos));
+
+  family(Out, P + "_stalls_total", "counter",
+         "Watchdog stall episodes (outstanding work, no progress).");
+  sample(Out, P + "_stalls_total", "", num(S.StallsDetected));
+
+  family(Out, P + "_events_dropped_total", "counter",
+         "Trace events lost to event-ring wrap, summed over all rings.");
+  sample(Out, P + "_events_dropped_total", "", num(S.EventsDropped));
+
+  family(Out, P + "_ftouch_inversions_total", "counter",
+         "Blocking ftouches of a strictly lower-priority future (live "
+         "priority-inversion count).");
+  sample(Out, P + "_ftouch_inversions_total", "", num(S.FtouchInversions));
+
+  family(Out, P + "_deadline_misses_total", "counter",
+         "Deadline touches (ftouchFor) whose timeout beat the value.");
+  sample(Out, P + "_deadline_misses_total", "", num(S.DeadlineMisses));
+
+  family(Out, P + "_outstanding_tasks", "gauge",
+         "Tasks submitted but not yet completed.");
+  sample(Out, P + "_outstanding_tasks", "",
+         num(static_cast<double>(S.Outstanding)));
+
+  family(Out, P + "_ready_depth", "gauge",
+         "Queued (not running or suspended) tasks per priority level.");
+  for (unsigned L = 0; L < S.Pending.size(); ++L)
+    sample(Out, P + "_ready_depth", levelLabel(L),
+           num(static_cast<double>(S.Pending[L])));
+
+  family(Out, P + "_assigned_workers", "gauge",
+         "Workers currently assigned to each priority level.");
+  for (unsigned L = 0; L < S.Assigned.size(); ++L)
+    sample(Out, P + "_assigned_workers", levelLabel(L),
+           num(static_cast<uint64_t>(S.Assigned[L])));
+
+  family(Out, P + "_level_desire", "gauge",
+         "The master's current A-STEAL desire per priority level.");
+  for (unsigned L = 0; L < S.Desires.size(); ++L)
+    sample(Out, P + "_level_desire", levelLabel(L), num(S.Desires[L]));
+
+  family(Out, P + "_level_completed_total", "counter",
+         "Tasks completed per priority level.");
+  for (unsigned L = 0; L < Rt.config().NumLevels; ++L)
+    sample(Out, P + "_level_completed_total", levelLabel(L),
+           num(Rt.levelStats(L).Completed.load(std::memory_order_relaxed)));
+
+  family(Out, P + "_response_latency_micros", "gauge",
+         "Windowed response-time quantiles per priority level "
+         "(creation to completion, microseconds, over the last window).");
+  const double Quantiles[] = {0.5, 0.99, 0.999};
+  const char *QuantileNames[] = {"0.5", "0.99", "0.999"};
+  std::vector<uint64_t> WindowCounts;
+  for (unsigned L = 0; L < Windows.size(); ++L) {
+    repro::Histogram H = Windows[L]->merged();
+    WindowCounts.push_back(H.total());
+    for (std::size_t Q = 0; Q < 3; ++Q)
+      sample(Out, P + "_response_latency_micros",
+             levelLabel(L) + ",quantile=\"" + QuantileNames[Q] + "\"",
+             num(H.quantile(Quantiles[Q])));
+  }
+
+  family(Out, P + "_response_window_count", "gauge",
+         "Response samples inside the current latency window, per level.");
+  for (unsigned L = 0; L < WindowCounts.size(); ++L)
+    sample(Out, P + "_response_window_count", levelLabel(L),
+           num(WindowCounts[L]));
+
+  family(Out, P + "_ring_events_total", "counter",
+         "Events ever pushed to each per-thread trace ring.");
+  std::vector<trace::EventLog::RingStats> Rings =
+      trace::EventLog::instance().ringStats();
+  for (const auto &R : Rings)
+    sample(Out, P + "_ring_events_total",
+           "ring=\"" + escapeLabelValue(R.Name) + "\"", num(R.Pushed));
+
+  family(Out, P + "_ring_events_dropped_total", "counter",
+         "Events lost to ring wrap, per per-thread trace ring.");
+  for (const auto &R : Rings)
+    sample(Out, P + "_ring_events_dropped_total",
+           "ring=\"" + escapeLabelValue(R.Name) + "\"", num(R.Overwritten));
+
+  if (Registry) {
+    for (const auto &[Name, V] : Registry->counters()) {
+      std::string MN = sanitizeMetricName(Name);
+      family(Out, MN, "counter", "MetricsRegistry counter " + Name + ".");
+      sample(Out, MN, "", num(V));
+    }
+    for (const auto &[Name, V] : Registry->gauges()) {
+      std::string MN = sanitizeMetricName(Name);
+      family(Out, MN, "gauge", "MetricsRegistry gauge " + Name + ".");
+      sample(Out, MN, "", num(V));
+    }
+  }
+  return Out;
+}
+
+json::Value Telemetry::snapshotJson() const {
+  RuntimeSnapshot S = Rt.snapshot();
+  json::Value Out = json::Value::object();
+  Out.set("schema", json::Value("icilk-telemetry-snapshot-v1"));
+  Out.set("time_micros", json::Value(repro::nowMicros()));
+  Out.set("tasks_executed", json::Value(S.TasksExecuted));
+  Out.set("total_work_nanos", json::Value(S.TotalWorkNanos));
+  Out.set("outstanding", json::Value(S.Outstanding));
+  Out.set("stalls_detected", json::Value(S.StallsDetected));
+  Out.set("events_dropped", json::Value(S.EventsDropped));
+  Out.set("ftouch_inversions", json::Value(S.FtouchInversions));
+  Out.set("deadline_misses", json::Value(S.DeadlineMisses));
+
+  json::Value Levels = json::Value::array();
+  for (unsigned L = 0; L < S.Pending.size(); ++L) {
+    json::Value LV = json::Value::object();
+    LV.set("level", json::Value(static_cast<uint64_t>(L)));
+    LV.set("pending", json::Value(S.Pending[L]));
+    LV.set("assigned", json::Value(static_cast<uint64_t>(S.Assigned[L])));
+    LV.set("desire", json::Value(S.Desires[L]));
+    LV.set("completed",
+           json::Value(Rt.levelStats(L).Completed.load(
+               std::memory_order_relaxed)));
+    Levels.push(std::move(LV));
+  }
+  Out.set("levels", std::move(Levels));
+
+  json::Value Rings = json::Value::array();
+  for (const auto &R : trace::EventLog::instance().ringStats()) {
+    json::Value RV = json::Value::object();
+    RV.set("name", json::Value(R.Name));
+    RV.set("pushed", json::Value(R.Pushed));
+    RV.set("events_dropped", json::Value(R.Overwritten));
+    RV.set("capacity", json::Value(static_cast<uint64_t>(R.Capacity)));
+    Rings.push(std::move(RV));
+  }
+  Out.set("rings", std::move(Rings));
+  return Out;
+}
+
+json::Value Telemetry::latencyJson() const {
+  json::Value Out = json::Value::object();
+  Out.set("schema", json::Value("icilk-telemetry-latency-v1"));
+  Out.set("window_millis",
+          json::Value(static_cast<uint64_t>(Config.WindowEpochs) *
+                      Config.EpochMillis));
+  Out.set("epoch_millis", json::Value(Config.EpochMillis));
+  json::Value Levels = json::Value::array();
+  for (unsigned L = 0; L < Windows.size(); ++L) {
+    repro::Histogram H = Windows[L]->merged();
+    json::Value LV = json::Value::object();
+    LV.set("level", json::Value(static_cast<uint64_t>(L)));
+    LV.set("window_count", json::Value(H.total()));
+    LV.set("p50", json::Value(H.quantile(0.5)));
+    LV.set("p99", json::Value(H.quantile(0.99)));
+    LV.set("p999", json::Value(H.quantile(0.999)));
+    LV.set("overflow", json::Value(H.overflow()));
+    Levels.push(std::move(LV));
+  }
+  Out.set("levels", std::move(Levels));
+  return Out;
+}
+
+std::string Telemetry::traceSlice(uint64_t Millis) const {
+  uint64_t Now = repro::nowNanos();
+  uint64_t Cutoff = Millis * 1000000 <= Now ? Now - Millis * 1000000 : 0;
+  std::vector<trace::ThreadTrace> Threads =
+      trace::EventLog::instance().snapshot();
+  for (trace::ThreadTrace &T : Threads) {
+    // Events within a ring are pushed in time order, so the slice is the
+    // tail past the cutoff; anything sliced away was *reported*, not lost,
+    // so it does not count as dropped.
+    auto It = std::find_if(
+        T.Events.begin(), T.Events.end(),
+        [Cutoff](const trace::Event &E) { return E.TimeNanos >= Cutoff; });
+    T.Events.erase(T.Events.begin(), It);
+  }
+  std::ostringstream OS;
+  trace::writeChromeTrace(OS, Threads);
+  return OS.str();
+}
+
+} // namespace repro::icilk

@@ -1,0 +1,130 @@
+//===- icilk/Telemetry.h - Live telemetry over a running Runtime *- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The live half of the observability layer. The event ring (EventRing.h),
+// metrics registry (support/Metrics.h), and profiler (Profiler.h) are all
+// post-mortem: they produce files after the run. Telemetry turns the same
+// state into something you can point `curl` (or a Prometheus scraper) at
+// *while the scheduler serves traffic*:
+//
+//   GET /metrics        Prometheus text exposition: scheduler counters
+//                       (tasks executed, stalls, inversions, deadline
+//                       misses, events dropped), per-level gauges (ready
+//                       depth, assigned workers, desire), windowed latency
+//                       quantiles, and everything in the attached
+//                       MetricsRegistry.
+//   GET /snapshot.json  Runtime::snapshot() as JSON, plus per-ring event
+//                       counts and drop totals.
+//   GET /latency.json   Windowed per-priority-level response-latency
+//                       histograms: p50/p99/p999 over the last
+//                       WindowEpochs × EpochMillis, not cumulatively.
+//   GET /trace?ms=500   The last `ms` milliseconds of the live event rings
+//                       as a Chrome-trace JSON slice — without stopping
+//                       the run (tracing must be enabled for events to be
+//                       on the rings at all).
+//
+// Mechanics: an HttpServer (support/HttpServer.h) answers on its own
+// thread against thread-safe surfaces only, and a background sampler
+// thread harvests each level's new response samples into a per-level
+// WindowedHistogram every SampleIntervalMillis, rotating the window ring
+// every EpochMillis. Overhead while nobody polls is one small thread
+// copying latency tails ~10×/s; the hot scheduler paths are untouched.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_ICILK_TELEMETRY_H
+#define REPRO_ICILK_TELEMETRY_H
+
+#include "icilk/Runtime.h"
+#include "support/Histogram.h"
+#include "support/HttpServer.h"
+#include "support/Json.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace repro::icilk {
+
+struct TelemetryConfig {
+  /// TCP port to serve on; 0 asks the kernel for an ephemeral port (read
+  /// it back with Telemetry::port()).
+  uint16_t Port = 0;
+  /// Sampler cadence: how often new latency samples are harvested into
+  /// the current window epoch.
+  uint64_t SampleIntervalMillis = 100;
+  /// Window granularity: the epoch ring rotates at this period...
+  uint64_t EpochMillis = 1000;
+  /// ...and keeps this many epochs, so quantiles cover the last
+  /// WindowEpochs × EpochMillis milliseconds.
+  unsigned WindowEpochs = 10;
+  /// Shape of the per-level latency histograms (µs).
+  double LatencyLoMicros = 0;
+  double LatencyHiMicros = 100000; ///< quantiles saturate here (100 ms)
+  std::size_t LatencyBuckets = 1000;
+  /// Prometheus metric namespace ("icilk" → icilk_tasks_executed_total).
+  std::string Prefix = "icilk";
+};
+
+/// Serves a running Runtime's observable state over HTTP. The Runtime
+/// (and the registry, when given) must outlive this object.
+class Telemetry {
+public:
+  explicit Telemetry(Runtime &Rt, TelemetryConfig Config = {},
+                     repro::MetricsRegistry *Registry = nullptr);
+  ~Telemetry();
+
+  Telemetry(const Telemetry &) = delete;
+  Telemetry &operator=(const Telemetry &) = delete;
+
+  /// Binds the port and starts the HTTP + sampler threads. False (with
+  /// \p Error filled) if the port cannot be bound.
+  bool start(std::string *Error = nullptr);
+
+  /// Stops both threads; idempotent, and called by the destructor.
+  void stop();
+
+  /// The actually-bound port (resolves Port=0); 0 before start().
+  uint16_t port() const { return Server.port(); }
+
+  /// Endpoint renderers, public so tests can call them without sockets.
+  std::string renderPrometheus() const;
+  json::Value snapshotJson() const;
+  json::Value latencyJson() const;
+  std::string traceSlice(uint64_t Millis) const;
+
+  /// Prometheus text-format helpers (exposed for tests).
+  static std::string sanitizeMetricName(const std::string &Name);
+  static std::string escapeLabelValue(const std::string &Value);
+  static std::string escapeHelpText(const std::string &Value);
+
+private:
+  void samplerLoop();
+  void harvestLatencies();
+
+  Runtime &Rt;
+  TelemetryConfig Config;
+  repro::MetricsRegistry *Registry;
+  http::HttpServer Server;
+
+  /// One response-latency window per priority level, fed by the sampler.
+  std::vector<std::unique_ptr<repro::WindowedHistogram>> Windows;
+  std::vector<std::size_t> Harvested; ///< per-level consumed sample count
+
+  std::thread Sampler;
+  std::mutex SamplerMutex;
+  std::condition_variable SamplerCv;
+  bool StopSampler = false;
+  bool Started = false;
+};
+
+} // namespace repro::icilk
+
+#endif // REPRO_ICILK_TELEMETRY_H

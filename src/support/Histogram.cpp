@@ -30,6 +30,41 @@ void Histogram::add(double Value) {
   ++Buckets[Index];
 }
 
+bool Histogram::merge(const Histogram &Other) {
+  if (Other.Lo != Lo || Other.Hi != Hi ||
+      Other.Buckets.size() != Buckets.size())
+    return false;
+  for (std::size_t I = 0; I < Buckets.size(); ++I)
+    Buckets[I] += Other.Buckets[I];
+  Under += Other.Under;
+  Over += Other.Over;
+  Total += Other.Total;
+  return true;
+}
+
+void Histogram::reset() {
+  std::fill(Buckets.begin(), Buckets.end(), 0);
+  Under = Over = Total = 0;
+}
+
+double Histogram::quantile(double Q) const {
+  if (Total == 0)
+    return 0.0;
+  Q = std::min(std::max(Q, 0.0), 1.0);
+  double Rank = Q * static_cast<double>(Total);
+  double Cum = static_cast<double>(Under);
+  if (Rank <= Cum)
+    return Lo;
+  double Width = (Hi - Lo) / static_cast<double>(Buckets.size());
+  for (std::size_t I = 0; I < Buckets.size(); ++I) {
+    double C = static_cast<double>(Buckets[I]);
+    if (C > 0 && Rank <= Cum + C)
+      return bucketLowerEdge(I) + Width * ((Rank - Cum) / C);
+    Cum += C;
+  }
+  return Hi; // rank falls in the overflow bucket
+}
+
 double Histogram::bucketLowerEdge(std::size_t Index) const {
   return Lo + (Hi - Lo) * static_cast<double>(Index) /
                   static_cast<double>(Buckets.size());
@@ -52,6 +87,42 @@ std::string Histogram::render(std::size_t Width) const {
   if (Over)
     OS << "(overflow " << Over << ")\n";
   return OS.str();
+}
+
+WindowedHistogram::WindowedHistogram(double Lo, double Hi,
+                                     std::size_t NumBuckets,
+                                     std::size_t NumEpochs) {
+  assert(NumEpochs > 0 && "window needs at least one epoch");
+  Epochs.reserve(NumEpochs);
+  for (std::size_t I = 0; I < NumEpochs; ++I)
+    Epochs.emplace_back(Lo, Hi, NumBuckets);
+}
+
+void WindowedHistogram::record(double Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Epochs[Current].add(Value);
+}
+
+void WindowedHistogram::rotate() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Current = (Current + 1) % Epochs.size();
+  Epochs[Current].reset(); // the reused slot was the oldest epoch
+}
+
+Histogram WindowedHistogram::merged() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Histogram Out = Epochs[0];
+  for (std::size_t I = 1; I < Epochs.size(); ++I)
+    Out.merge(Epochs[I]);
+  return Out;
+}
+
+uint64_t WindowedHistogram::windowTotal() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  uint64_t Sum = 0;
+  for (const Histogram &H : Epochs)
+    Sum += H.total();
+  return Sum;
 }
 
 } // namespace repro

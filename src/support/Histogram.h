@@ -10,6 +10,12 @@
 // distribution shapes (e.g., exponential inter-arrival times for the
 // jserver Poisson workload).
 //
+// WindowedHistogram layers time-windowing on top: a ring of per-epoch
+// histograms, rotated on a tick, whose merge reports quantiles over the
+// last N epochs instead of cumulatively — the shape the live-telemetry
+// surface (icilk/Telemetry.h) exposes as /latency.json. It is the one
+// thread-safe type here: a sampler records while the HTTP thread reads.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef REPRO_SUPPORT_HISTOGRAM_H
@@ -17,6 +23,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,8 +38,24 @@ public:
   /// Adds one observation.
   void add(double Value);
 
+  /// Adds \p Other's counts bucket-for-bucket. Requires an identical shape
+  /// (same range and bucket count); returns false and changes nothing on a
+  /// mismatch.
+  bool merge(const Histogram &Other);
+
+  /// Drops every observation; the shape is kept.
+  void reset();
+
+  /// Estimated \p Q quantile (0..1) by linear interpolation inside the
+  /// containing bucket. Underflow counts report Lo, overflow counts Hi
+  /// (the histogram cannot see past its range). 0 when empty.
+  double quantile(double Q) const;
+
   /// Total number of observations, including out-of-range ones.
   uint64_t total() const { return Total; }
+
+  double lo() const { return Lo; }
+  double hi() const { return Hi; }
 
   /// Count in bucket \p Index (0..numBuckets()-1).
   uint64_t bucketCount(std::size_t Index) const { return Buckets[Index]; }
@@ -50,6 +73,36 @@ private:
   double Lo, Hi;
   std::vector<uint64_t> Buckets;
   uint64_t Under = 0, Over = 0, Total = 0;
+};
+
+/// A ring of per-epoch histograms: record() fills the current epoch,
+/// rotate() advances the ring (clearing the slot it reuses, which expires
+/// the oldest epoch), and merged() reports the union of every live epoch.
+/// With NumEpochs epochs rotated every T seconds, merged() covers the last
+/// NumEpochs×T seconds — never the whole run. Thread-safe.
+class WindowedHistogram {
+public:
+  WindowedHistogram(double Lo, double Hi, std::size_t NumBuckets,
+                    std::size_t NumEpochs);
+
+  /// Records one observation into the current epoch.
+  void record(double Value);
+
+  /// Advances to the next epoch, expiring the oldest one.
+  void rotate();
+
+  /// Merge of all live epochs (a copy; safe while recording continues).
+  Histogram merged() const;
+
+  /// Observations currently inside the window.
+  uint64_t windowTotal() const;
+
+  std::size_t numEpochs() const { return Epochs.size(); }
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<Histogram> Epochs;
+  std::size_t Current = 0;
 };
 
 } // namespace repro

@@ -1,0 +1,360 @@
+//===- support/HttpServer.cpp - Minimal blocking HTTP/1.1 server -----------===//
+
+#include "support/HttpServer.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <string_view>
+
+namespace repro::http {
+
+namespace {
+
+constexpr std::size_t MaxRequestBytes = 16 * 1024;
+
+/// %xx-decodes \p S (query components only; '+' becomes space).
+std::string urlDecode(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (std::size_t I = 0; I < S.size(); ++I) {
+    char C = S[I];
+    if (C == '+') {
+      Out.push_back(' ');
+    } else if (C == '%' && I + 2 < S.size()) {
+      auto Hex = [](char H) -> int {
+        if (H >= '0' && H <= '9')
+          return H - '0';
+        if (H >= 'a' && H <= 'f')
+          return H - 'a' + 10;
+        if (H >= 'A' && H <= 'F')
+          return H - 'A' + 10;
+        return -1;
+      };
+      int Hi = Hex(S[I + 1]), Lo = Hex(S[I + 2]);
+      if (Hi >= 0 && Lo >= 0) {
+        Out.push_back(static_cast<char>(Hi * 16 + Lo));
+        I += 2;
+      } else {
+        Out.push_back(C);
+      }
+    } else {
+      Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+void parseQuery(std::string_view Q, std::map<std::string, std::string> &Out) {
+  while (!Q.empty()) {
+    std::size_t Amp = Q.find('&');
+    std::string_view Pair = Q.substr(0, Amp);
+    if (!Pair.empty()) {
+      std::size_t Eq = Pair.find('=');
+      if (Eq == std::string_view::npos)
+        Out[urlDecode(Pair)] = "";
+      else
+        Out[urlDecode(Pair.substr(0, Eq))] = urlDecode(Pair.substr(Eq + 1));
+    }
+    if (Amp == std::string_view::npos)
+      break;
+    Q.remove_prefix(Amp + 1);
+  }
+}
+
+/// Parses the request line "METHOD target HTTP/1.x". Returns false on a
+/// malformed line (the 400 path).
+bool parseRequestLine(std::string_view Line, Request &R) {
+  std::size_t Sp1 = Line.find(' ');
+  if (Sp1 == std::string_view::npos || Sp1 == 0)
+    return false;
+  std::size_t Sp2 = Line.find(' ', Sp1 + 1);
+  if (Sp2 == std::string_view::npos || Sp2 == Sp1 + 1)
+    return false;
+  std::string_view Version = Line.substr(Sp2 + 1);
+  if (Version.substr(0, 5) != "HTTP/")
+    return false;
+  R.Method = std::string(Line.substr(0, Sp1));
+  std::string_view Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  std::size_t Q = Target.find('?');
+  R.Path = std::string(Target.substr(0, Q));
+  if (Q != std::string_view::npos)
+    parseQuery(Target.substr(Q + 1), R.Query);
+  return true;
+}
+
+void writeAll(int Fd, const std::string &Data) {
+  std::size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+    if (N <= 0)
+      return; // peer gone; nothing sensible to do
+    Off += static_cast<std::size_t>(N);
+  }
+}
+
+std::string serialize(const Response &R) {
+  std::ostringstream OS;
+  OS << "HTTP/1.1 " << R.Status << " " << statusReason(R.Status) << "\r\n"
+     << "Content-Type: " << R.ContentType << "\r\n"
+     << "Content-Length: " << R.Body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << R.Body;
+  return OS.str();
+}
+
+void setRecvTimeout(int Fd, uint64_t Millis) {
+  timeval Tv{};
+  Tv.tv_sec = static_cast<time_t>(Millis / 1000);
+  Tv.tv_usec = static_cast<suseconds_t>((Millis % 1000) * 1000);
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+}
+
+} // namespace
+
+int64_t Request::queryInt(const std::string &Key, int64_t Default) const {
+  auto It = Query.find(Key);
+  if (It == Query.end() || It->second.empty())
+    return Default;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(It->second.c_str(), &End, 10);
+  if (errno != 0 || End == It->second.c_str() || *End != '\0')
+    return Default;
+  return static_cast<int64_t>(V);
+}
+
+const char *statusReason(int Status) {
+  switch (Status) {
+  case 200: return "OK";
+  case 400: return "Bad Request";
+  case 404: return "Not Found";
+  case 405: return "Method Not Allowed";
+  case 500: return "Internal Server Error";
+  default: return "Unknown";
+  }
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::route(std::string Path, Handler H) {
+  Routes.emplace_back(std::move(Path), std::move(H));
+}
+
+bool HttpServer::start(uint16_t Port, std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    return false;
+  };
+
+  if (running())
+    return Fail("server already running");
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return Fail(std::string("socket: ") + std::strerror(errno));
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  Addr.sin_port = htons(Port);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0)
+    return Fail("bind port " + std::to_string(Port) + ": " +
+                std::strerror(errno));
+  if (::listen(ListenFd, 16) < 0)
+    return Fail(std::string("listen: ") + std::strerror(errno));
+
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) < 0)
+    return Fail(std::string("getsockname: ") + std::strerror(errno));
+  BoundPort.store(ntohs(Addr.sin_port), std::memory_order_release);
+
+  StopFlag.store(false, std::memory_order_release);
+  Running.store(true, std::memory_order_release);
+  Thread = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!Running.exchange(false, std::memory_order_acq_rel)) {
+    if (Thread.joinable())
+      Thread.join();
+    return;
+  }
+  StopFlag.store(true, std::memory_order_release);
+  if (Thread.joinable())
+    Thread.join();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  BoundPort.store(0, std::memory_order_release);
+}
+
+void HttpServer::acceptLoop() {
+  while (!StopFlag.load(std::memory_order_acquire)) {
+    // Poll with a timeout so stop() never waits on a blocked accept.
+    pollfd Pfd{ListenFd, POLLIN, 0};
+    int R = ::poll(&Pfd, 1, /*timeout ms=*/100);
+    if (R <= 0)
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    setRecvTimeout(Fd, 2000);
+    handleConnection(Fd);
+    ::close(Fd);
+  }
+}
+
+void HttpServer::handleConnection(int Fd) {
+  // Read until the end of the header block (we never accept bodies).
+  std::string Buf;
+  char Chunk[2048];
+  while (Buf.find("\r\n\r\n") == std::string::npos &&
+         Buf.find("\n\n") == std::string::npos) {
+    if (Buf.size() > MaxRequestBytes) {
+      writeAll(Fd, serialize({400, "text/plain; charset=utf-8",
+                              "request too large\n"}));
+      return;
+    }
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0)
+      break; // timeout / close mid-request: fall through to the parser
+    Buf.append(Chunk, static_cast<std::size_t>(N));
+  }
+
+  std::size_t Eol = Buf.find('\n');
+  std::string_view Line =
+      Eol == std::string::npos
+          ? std::string_view(Buf)
+          : std::string_view(Buf).substr(0, Eol > 0 && Buf[Eol - 1] == '\r'
+                                                ? Eol - 1
+                                                : Eol);
+  Request Req;
+  if (Line.empty() || !parseRequestLine(Line, Req)) {
+    writeAll(Fd, serialize({400, "text/plain; charset=utf-8",
+                            "malformed request\n"}));
+    return;
+  }
+  if (Req.Method != "GET" && Req.Method != "HEAD") {
+    writeAll(Fd, serialize({405, "text/plain; charset=utf-8",
+                            "only GET is supported\n"}));
+    return;
+  }
+
+  for (const auto &[Path, H] : Routes) {
+    if (Path != Req.Path)
+      continue;
+    Response Resp;
+    try {
+      Resp = H(Req);
+    } catch (const std::exception &E) {
+      Resp = {500, "text/plain; charset=utf-8",
+              std::string("handler error: ") + E.what() + "\n"};
+    }
+    if (Req.Method == "HEAD")
+      Resp.Body.clear();
+    writeAll(Fd, serialize(Resp));
+    return;
+  }
+  writeAll(Fd, serialize({404, "text/plain; charset=utf-8",
+                          "no such endpoint: " + Req.Path + "\n"}));
+}
+
+namespace {
+
+int connectLocal(uint16_t Port, uint64_t TimeoutMillis) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  setRecvTimeout(Fd, TimeoutMillis);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+std::string readAll(int Fd) {
+  std::string Out;
+  char Chunk[4096];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0)
+      break;
+    Out.append(Chunk, static_cast<std::size_t>(N));
+  }
+  return Out;
+}
+
+} // namespace
+
+std::optional<Response> get(uint16_t Port, const std::string &Target,
+                            uint64_t TimeoutMillis) {
+  int Fd = connectLocal(Port, TimeoutMillis);
+  if (Fd < 0)
+    return std::nullopt;
+  writeAll(Fd, "GET " + Target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+               "Connection: close\r\n\r\n");
+  std::string Raw = readAll(Fd);
+  ::close(Fd);
+
+  Response R;
+  // "HTTP/1.1 200 OK\r\n..."
+  std::size_t Sp = Raw.find(' ');
+  if (Sp == std::string::npos)
+    return std::nullopt;
+  R.Status = std::atoi(Raw.c_str() + Sp + 1);
+  std::size_t HeaderEnd = Raw.find("\r\n\r\n");
+  if (HeaderEnd != std::string::npos)
+    R.Body = Raw.substr(HeaderEnd + 4);
+  // Surface the Content-Type header so callers can assert on it.
+  std::string_view Headers =
+      std::string_view(Raw).substr(0, HeaderEnd == std::string::npos
+                                          ? Raw.size()
+                                          : HeaderEnd);
+  std::size_t Ct = Headers.find("Content-Type: ");
+  if (Ct != std::string_view::npos) {
+    std::size_t End = Headers.find("\r\n", Ct);
+    R.ContentType = std::string(
+        Headers.substr(Ct + 14, End == std::string_view::npos
+                                    ? std::string_view::npos
+                                    : End - Ct - 14));
+  }
+  return R;
+}
+
+std::string rawRequest(uint16_t Port, const std::string &Raw,
+                       uint64_t TimeoutMillis) {
+  int Fd = connectLocal(Port, TimeoutMillis);
+  if (Fd < 0)
+    return "";
+  writeAll(Fd, Raw);
+  ::shutdown(Fd, SHUT_WR);
+  std::string Out = readAll(Fd);
+  ::close(Fd);
+  return Out;
+}
+
+} // namespace repro::http

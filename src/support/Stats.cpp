@@ -69,6 +69,15 @@ std::vector<double> LatencyRecorder::samples() const {
   return Samples;
 }
 
+std::vector<double> LatencyRecorder::samplesSince(std::size_t Start) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Start >= Samples.size())
+    return {};
+  return std::vector<double>(Samples.begin() +
+                                 static_cast<std::ptrdiff_t>(Start),
+                             Samples.end());
+}
+
 LatencySummary LatencyRecorder::summary() const { return summarize(samples()); }
 
 void LatencyRecorder::clear() {

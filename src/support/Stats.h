@@ -61,6 +61,12 @@ public:
   /// Snapshot of all samples.
   std::vector<double> samples() const;
 
+  /// Samples recorded at index \p Start and later (the recorder only ever
+  /// appends, so a caller tracking its consumed count gets exactly the new
+  /// samples) — the incremental harvest the telemetry sampler uses instead
+  /// of copying the whole history every tick.
+  std::vector<double> samplesSince(std::size_t Start) const;
+
   /// Computes the summary over a snapshot of current samples.
   LatencySummary summary() const;
 

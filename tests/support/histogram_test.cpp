@@ -48,5 +48,95 @@ TEST(HistogramTest, RenderShowsBars) {
   EXPECT_NE(Out.find("##########"), std::string::npos); // full-width bar
 }
 
+TEST(HistogramTest, MergeAddsBucketForBucket) {
+  Histogram A(0, 10, 10), B(0, 10, 10);
+  A.add(0.5);
+  A.add(-1);
+  B.add(0.5);
+  B.add(9.5);
+  B.add(100);
+  ASSERT_TRUE(A.merge(B));
+  EXPECT_EQ(A.bucketCount(0), 2u);
+  EXPECT_EQ(A.bucketCount(9), 1u);
+  EXPECT_EQ(A.underflow(), 1u);
+  EXPECT_EQ(A.overflow(), 1u);
+  EXPECT_EQ(A.total(), 5u);
+}
+
+TEST(HistogramTest, MergeRejectsShapeMismatch) {
+  Histogram A(0, 10, 10);
+  Histogram DifferentRange(0, 20, 10), DifferentBuckets(0, 10, 5);
+  A.add(1);
+  EXPECT_FALSE(A.merge(DifferentRange));
+  EXPECT_FALSE(A.merge(DifferentBuckets));
+  EXPECT_EQ(A.total(), 1u); // unchanged on rejection
+}
+
+TEST(HistogramTest, QuantileInterpolatesAndSaturates) {
+  Histogram H(0, 100, 100);
+  for (int I = 0; I < 100; ++I)
+    H.add(I + 0.5); // one observation per bucket
+  // Uniform data: quantiles track the range linearly (within a bucket).
+  EXPECT_NEAR(H.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(H.quantile(0.99), 99.0, 1.5);
+  EXPECT_LE(H.quantile(1.0), 100.0);
+
+  Histogram Sat(0, 10, 10);
+  Sat.add(1e9); // pure overflow
+  EXPECT_DOUBLE_EQ(Sat.quantile(0.5), 10.0); // saturates at Hi
+  Histogram Empty(0, 10, 10);
+  EXPECT_DOUBLE_EQ(Empty.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ResetKeepsShapeDropsCounts) {
+  Histogram H(0, 10, 10);
+  H.add(5);
+  H.add(-1);
+  H.reset();
+  EXPECT_EQ(H.total(), 0u);
+  EXPECT_EQ(H.underflow(), 0u);
+  H.add(5);
+  EXPECT_EQ(H.bucketCount(5), 1u);
+}
+
+TEST(WindowedHistogramTest, MergedCoversAllLiveEpochs) {
+  WindowedHistogram W(0, 100, 100, 3);
+  W.record(10);
+  W.rotate();
+  W.record(20);
+  W.rotate();
+  W.record(30);
+  EXPECT_EQ(W.windowTotal(), 3u);
+  Histogram M = W.merged();
+  EXPECT_EQ(M.total(), 3u);
+  EXPECT_GT(M.quantile(0.99), 25.0); // the newest sample is in there
+}
+
+TEST(WindowedHistogramTest, RotationExpiresOldestEpoch) {
+  WindowedHistogram W(0, 100, 100, 2);
+  W.record(10); // epoch A
+  W.rotate();
+  W.record(20); // epoch B; window = {A, B}
+  EXPECT_EQ(W.windowTotal(), 2u);
+  W.rotate(); // reuses (clears) A's slot; window = {B, fresh}
+  EXPECT_EQ(W.windowTotal(), 1u);
+  W.rotate(); // expires B too
+  EXPECT_EQ(W.windowTotal(), 0u);
+  EXPECT_DOUBLE_EQ(W.merged().quantile(0.5), 0.0);
+}
+
+TEST(WindowedHistogramTest, QuantilesFollowTheWindowNotTheRun) {
+  WindowedHistogram W(0, 1000, 1000, 2);
+  for (int I = 0; I < 100; ++I)
+    W.record(10.0); // old regime: fast
+  W.rotate();
+  W.rotate(); // old regime fully expired
+  for (int I = 0; I < 100; ++I)
+    W.record(900.0); // new regime: slow
+  // A cumulative histogram would report p50 ~ 10 or a mix; the window
+  // reports only the current regime.
+  EXPECT_GT(W.merged().quantile(0.5), 800.0);
+}
+
 } // namespace
 } // namespace repro

@@ -1,0 +1,108 @@
+//===- tests/support/http_server_test.cpp - Minimal HTTP server ------------===//
+
+#include "support/HttpServer.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace repro::http {
+namespace {
+
+/// A server with one echo-ish route on an ephemeral port, started in the
+/// fixture so every test exercises the real socket path.
+class HttpServerTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Server.route("/hello", [](const Request &) {
+      Response R;
+      R.Body = "hi";
+      return R;
+    });
+    Server.route("/query", [](const Request &Req) {
+      Response R;
+      R.Body = "ms=" + std::to_string(Req.queryInt("ms", 42));
+      return R;
+    });
+    Server.route("/boom", [](const Request &) -> Response {
+      throw std::runtime_error("handler exploded");
+    });
+    std::string Error;
+    ASSERT_TRUE(Server.start(0, &Error)) << Error;
+    ASSERT_NE(Server.port(), 0); // ephemeral port resolved
+  }
+
+  HttpServer Server;
+};
+
+TEST_F(HttpServerTest, ServesRegisteredRoute) {
+  auto R = get(Server.port(), "/hello");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Status, 200);
+  EXPECT_EQ(R->Body, "hi");
+}
+
+TEST_F(HttpServerTest, UnknownPathIs404) {
+  auto R = get(Server.port(), "/nope");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Status, 404);
+}
+
+TEST_F(HttpServerTest, QueryParametersReachTheHandler) {
+  auto R = get(Server.port(), "/query?ms=500");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Body, "ms=500");
+  // Absent and non-numeric parameters fall back to the default.
+  EXPECT_EQ(get(Server.port(), "/query")->Body, "ms=42");
+  EXPECT_EQ(get(Server.port(), "/query?ms=banana")->Body, "ms=42");
+}
+
+TEST_F(HttpServerTest, NonGetMethodIs405) {
+  std::string Raw = rawRequest(
+      Server.port(), "POST /hello HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(Raw.find("405"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, MalformedRequestLineIs400) {
+  std::string Raw = rawRequest(Server.port(), "NOT-HTTP\r\n\r\n");
+  EXPECT_NE(Raw.find("400"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, HandlerExceptionIs500NotACrash) {
+  auto R = get(Server.port(), "/boom");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Status, 500);
+  // The server survives the throwing handler.
+  EXPECT_EQ(get(Server.port(), "/hello")->Status, 200);
+}
+
+TEST_F(HttpServerTest, PortInUseFailsWithError) {
+  HttpServer Second;
+  Second.route("/", [](const Request &) { return Response{}; });
+  std::string Error;
+  EXPECT_FALSE(Second.start(Server.port(), &Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(Second.running());
+  // The failed server is reusable on a free port.
+  ASSERT_TRUE(Second.start(0, &Error)) << Error;
+  EXPECT_NE(Second.port(), Server.port());
+  Second.stop();
+}
+
+TEST_F(HttpServerTest, StopIsIdempotentAndJoins) {
+  Server.stop();
+  Server.stop();
+  EXPECT_FALSE(Server.running());
+  EXPECT_FALSE(get(Server.port(), "/hello").has_value());
+}
+
+TEST(HttpResponseTest, StatusReasons) {
+  EXPECT_STREQ(statusReason(200), "OK");
+  EXPECT_STREQ(statusReason(404), "Not Found");
+  EXPECT_STREQ(statusReason(400), "Bad Request");
+  EXPECT_STREQ(statusReason(405), "Method Not Allowed");
+  EXPECT_STREQ(statusReason(500), "Internal Server Error");
+}
+
+} // namespace
+} // namespace repro::http
