@@ -29,7 +29,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -112,9 +114,36 @@ public:
     for (const std::string &N : Notes)
       Ns.push(json::Value(N));
     Root.set("notes", std::move(Ns));
+    // Machine identity, so a BENCH_*.json is interpretable away from the
+    // box that produced it (and a baseline mismatch across machines is
+    // visible in the artifact instead of a mystery regression).
+    json::Value Machine = json::Value::object();
+    Machine.set("cpu_model", json::Value(cpuModel()));
+    Machine.set("hardware_threads",
+                json::Value(static_cast<uint64_t>(
+                    std::thread::hardware_concurrency())));
+    Root.set("machine", std::move(Machine));
     if (HaveMetrics)
       Root.set("metrics", Metrics);
     return Root;
+  }
+
+  /// First "model name" from /proc/cpuinfo; "unknown" where that file or
+  /// field is absent (non-Linux, some ARM parts).
+  static std::string cpuModel() {
+    std::ifstream In("/proc/cpuinfo");
+    std::string Line;
+    while (std::getline(In, Line)) {
+      auto Colon = Line.find(':');
+      if (Colon == std::string::npos)
+        continue;
+      if (Line.compare(0, 10, "model name") == 0) {
+        std::string V = Line.substr(Colon + 1);
+        auto Begin = V.find_first_not_of(" \t");
+        return Begin == std::string::npos ? "unknown" : V.substr(Begin);
+      }
+    }
+    return "unknown";
   }
 
 private:

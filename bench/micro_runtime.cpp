@@ -18,6 +18,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 namespace {
 
 using namespace repro;
@@ -67,6 +69,51 @@ void BM_SpawnBurst(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * Burst);
 }
 BENCHMARK(BM_SpawnBurst)->Arg(64)->Arg(512);
+
+// The slab path in isolation: one worker spawning from inside the runtime
+// (worker-local Task cache + stack pool, no injection queue), a burst
+// sized so every object beyond the first lap is a recycled one. Watches
+// the cost of allocTask + reset + pooled-stack dispatch, which is what
+// the pooled-hot-path work optimizes.
+void BM_TaskPoolSpawn(benchmark::State &State) {
+  icilk::RuntimeConfig C;
+  C.NumWorkers = 1;
+  C.NumLevels = 1;
+  icilk::Runtime Rt(C);
+  constexpr int Burst = 32;
+  for (auto _ : State) {
+    auto F = icilk::fcreate<Lo>(Rt, [](icilk::Context<Lo> &Ctx) {
+      for (int I = 0; I < Burst; ++I)
+        Ctx.fcreate<Lo>([](icilk::Context<Lo> &) {});
+    });
+    icilk::touchFromOutside(Rt, F);
+    Rt.drain();
+  }
+  State.SetItemsProcessed(State.iterations() * (Burst + 1));
+}
+BENCHMARK(BM_TaskPoolSpawn);
+
+// Wakeup latency of a parked runtime: both workers are asleep on the idle
+// event count when each submission arrives, so every iteration pays the
+// full futex-wake + reschedule path that replaced the old always-spinning
+// workers. The parked precondition is established outside the timed
+// region.
+void BM_ParkedWakeup(benchmark::State &State) {
+  icilk::RuntimeConfig C;
+  C.NumWorkers = 2;
+  C.NumLevels = 1;
+  C.IdleScansBeforePark = 4; // park almost immediately once idle
+  icilk::Runtime Rt(C);
+  for (auto _ : State) {
+    State.PauseTiming();
+    while (Rt.snapshot().WorkersParked < C.NumWorkers)
+      std::this_thread::yield();
+    State.ResumeTiming();
+    auto F = icilk::fcreate<Lo>(Rt, [](icilk::Context<Lo> &) { return 1; });
+    benchmark::DoNotOptimize(icilk::touchFromOutside(Rt, F));
+  }
+}
+BENCHMARK(BM_ParkedWakeup);
 
 void BM_DequePushPop(benchmark::State &State) {
   conc::ChaseLevDeque<int> D;

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 check: configure + build + full ctest, then a ThreadSanitizer pass
-# over the concurrency-sensitive suites (icilk + conc). Run from anywhere;
-# trees land in <repo>/build and <repo>/build-tsan.
+# over the concurrency-sensitive suites (icilk + conc), then an
+# AddressSanitizer pass over the same (pooled fiber stacks poison their
+# free lists — ASan is what proves no recycled stack is touched while
+# free-listed). Run from anywhere; trees land in <repo>/build,
+# <repo>/build-tsan, and <repo>/build-asan.
 set -euo pipefail
 
 REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -24,6 +27,16 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 # The telemetry suite scrapes a live job-server run over HTTP: exactly the
 # scheduler-vs-exporter concurrency a race detector should sweep.
 "$REPO/build-tsan/tests/telemetry_tests"
+
+echo
+echo "== asan: icilk + conc suites =="
+cmake -B "$REPO/build-asan" -S "$REPO" -DREPRO_SANITIZE=address >/dev/null
+cmake --build "$REPO/build-asan" -j "$JOBS" --target icilk_tests conc_tests
+# The fiber churn here runs tasks on recycled, ASan-poisoned-while-free
+# stacks; any dangling pointer into a free-listed stack fails the check.
+export ASAN_OPTIONS="halt_on_error=1 detect_stack_use_after_return=0 ${ASAN_OPTIONS:-}"
+"$REPO/build-asan/tests/conc_tests"
+"$REPO/build-asan/tests/icilk_tests"
 
 echo
 echo "check.sh: all passes green"

@@ -1,0 +1,60 @@
+//===- conc/CacheLine.h - Cache-line padding helpers ------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The scheduler hot path reads and writes a handful of shared counters per
+// task (pending depth per level, per-worker work accounting, assignment
+// mirrors). When those live as `unique_ptr<atomic<T>>` elements the
+// allocator is free to pack several onto one cache line, so a worker
+// bumping its own counter invalidates its neighbours' lines — classic
+// false sharing. These helpers give every hot word its own line.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_CONC_CACHELINE_H
+#define REPRO_CONC_CACHELINE_H
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+namespace repro::conc {
+
+/// Destructive-interference distance. std::hardware_destructive_
+/// interference_size exists but is unreliable across the toolchains this
+/// tree targets (and triggers -Winterference-size on GCC); 64 bytes is
+/// right for every x86-64 and most AArch64 parts.
+inline constexpr std::size_t CacheLineBytes = 64;
+
+/// One value alone on its cache line.
+template <typename T> struct alignas(CacheLineBytes) Padded {
+  T V{};
+};
+
+/// A fixed-size array of atomics, one per cache line, sized at runtime.
+/// Replaces the vector<unique_ptr<atomic<T>>> pattern: one contiguous
+/// allocation, no pointer chase per access, no allocator-decided packing.
+template <typename T> class PaddedAtomicArray {
+public:
+  PaddedAtomicArray() = default;
+  explicit PaddedAtomicArray(std::size_t N, T Init = T{})
+      : Elems(std::make_unique<Padded<std::atomic<T>>[]>(N)), Count(N) {
+    for (std::size_t I = 0; I < N; ++I)
+      Elems[I].V.store(Init, std::memory_order_relaxed);
+  }
+
+  std::atomic<T> &operator[](std::size_t I) { return Elems[I].V; }
+  const std::atomic<T> &operator[](std::size_t I) const { return Elems[I].V; }
+  std::size_t size() const { return Count; }
+
+private:
+  std::unique_ptr<Padded<std::atomic<T>>[]> Elems;
+  std::size_t Count = 0;
+};
+
+} // namespace repro::conc
+
+#endif // REPRO_CONC_CACHELINE_H

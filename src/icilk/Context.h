@@ -26,7 +26,6 @@
 #ifndef REPRO_ICILK_CONTEXT_H
 #define REPRO_ICILK_CONTEXT_H
 
-#include "conc/Backoff.h"
 #include "icilk/EventRing.h"
 #include "icilk/Failure.h"
 #include "icilk/Future.h"
@@ -35,7 +34,10 @@
 #include "icilk/Trace.h"
 
 #include <cassert>
+#include <condition_variable>
 #include <exception>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <type_traits>
 #include <utility>
@@ -49,7 +51,10 @@ namespace detail {
 /// Blocks until \p State completes. On a task fiber this *suspends*: the
 /// task parks on the future's waiter list and the worker returns to its
 /// scheduling loop (Cilk-F's proactive-stealing behaviour). External
-/// threads spin with backoff.
+/// threads park on a one-shot completion gate — spinning there would
+/// fight the workers for cycles exactly when the caller wants them
+/// producing the value (on few-core machines the old spin-yield loop
+/// dominated the whole external round trip).
 inline void waitReady(Runtime &Rt, FutureStateBase &State) {
   if (Task *Self = Task::current()) {
     // Live inversion counter: a task about to *block* on a strictly
@@ -87,9 +92,30 @@ inline void waitReady(Runtime &Rt, FutureStateBase &State) {
     return;
   }
   (void)Rt;
-  conc::Backoff B;
-  while (!State.isReady())
-    B.pause();
+  if (State.isReady())
+    return;
+  // Mutex + condvar (not a bare flag spin): the completer's callback and
+  // this wait hand off through the lock, so no wakeup can be lost, and the
+  // external thread truly sleeps. The gate is shared_ptr-held because the
+  // callback may still be touching it (the post-unlock notify) after the
+  // waiter has already seen Ready and moved on.
+  struct Gate {
+    std::mutex M;
+    std::condition_variable Cv;
+    bool Ready = false;
+  };
+  auto G = std::make_shared<Gate>();
+  bool Registered = State.addCallback([G] {
+    {
+      std::lock_guard<std::mutex> Lock(G->M);
+      G->Ready = true;
+    }
+    G->Cv.notify_all();
+  });
+  if (!Registered)
+    return; // turned ready during registration
+  std::unique_lock<std::mutex> Lock(G->M);
+  G->Cv.wait(Lock, [&] { return G->Ready; });
 }
 
 /// Dispatches a completion's Wakeup: requeues every parked waiter and runs
@@ -189,9 +215,11 @@ auto fcreate(Runtime &Rt, Fn &&Body)
       detail::completeErrorAndResume(*State, std::current_exception());
     }
   };
-  auto NewTask = std::make_unique<Task>(std::move(Work), ChildPrio::Level);
+  // The Task comes from the runtime's slab (recycled object + pooled
+  // fiber stack) rather than a fresh allocation per spawn.
+  Task *NewTask = Rt.allocTask(std::move(Work), ChildPrio::Level);
   detail::traceSpawn(Rt, *State, *NewTask, ChildPrio::Level);
-  Rt.submitTask(std::move(NewTask));
+  Rt.submitTask(NewTask);
   return Future<ChildPrio, V>(std::move(State));
 }
 
@@ -216,7 +244,7 @@ Future<ChildPrio, T> fcreateSelf(Runtime &Rt, Fn &&Body) {
       detail::completeErrorAndResume(*State, std::current_exception());
     }
   };
-  auto NewTask = std::make_unique<Task>(std::move(Work), ChildPrio::Level);
+  Task *NewTask = Rt.allocTask(std::move(Work), ChildPrio::Level);
   detail::traceSpawn(Rt, *State, *NewTask, ChildPrio::Level);
   // Handing the body its own handle is a *publish*: record it so a touch
   // that later learns the handle through state the body wrote still has a
@@ -226,7 +254,7 @@ Future<ChildPrio, T> fcreateSelf(Runtime &Rt, Fn &&Body) {
     Tr->notePublish(Cur ? Cur->traceId() : TraceExternal,
                     State->producerTraceId());
   }
-  Rt.submitTask(std::move(NewTask));
+  Rt.submitTask(NewTask);
   return Handle;
 }
 

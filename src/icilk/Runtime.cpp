@@ -23,20 +23,35 @@ namespace {
 thread_local Runtime *CurrentRuntime = nullptr;
 thread_local unsigned CurrentWorkerIndex = 0;
 
+/// Recycled-Task objects cached per worker before spilling to the global
+/// free list (same shape as StackPool's LocalCapacity; a Task is ~1 KiB
+/// with its ucontext, so 32 caps the per-worker slab at ~32 KiB).
+constexpr std::size_t TaskCacheCap = 32;
+
+/// External-submission attempts on a full injection ring before giving up
+/// and taking the overflow mutex. A full ring means consumers are behind
+/// by InjectionCapacity tasks; a short bounded wait catches the transient
+/// case, and anything longer must not stall the producer (the old code
+/// spun here unboundedly).
+constexpr unsigned MaxInjectionSpins = 64;
+
 } // namespace
 
 Runtime::Runtime(RuntimeConfig Cfg) : Config(Cfg) {
   assert(Config.NumWorkers >= 1 && Config.NumLevels >= 1);
   unsigned QueueLevels = Config.PriorityAware ? Config.NumLevels : 1;
-  for (unsigned L = 0; L < QueueLevels; ++L)
-    Injection.push_back(std::make_unique<conc::MpmcQueue<Task *>>(1 << 16));
-  for (unsigned L = 0; L < Config.NumLevels; ++L) {
-    Stats.push_back(std::make_unique<LevelStats>());
-    Pending.push_back(std::make_unique<std::atomic<int64_t>>(0));
-    DesireMirror.push_back(std::make_unique<std::atomic<double>>(1.0));
+  for (unsigned L = 0; L < QueueLevels; ++L) {
+    Injection.push_back(
+        std::make_unique<conc::MpmcQueue<Task *>>(Config.InjectionCapacity));
+    Overflow.push_back(std::make_unique<LevelOverflow>());
   }
+  for (unsigned L = 0; L < Config.NumLevels; ++L)
+    Stats.push_back(std::make_unique<LevelStats>(Config.NumWorkers));
+  Pending = conc::PaddedAtomicArray<int64_t>(Config.NumLevels, 0);
+  OverflowSize = conc::PaddedAtomicArray<int64_t>(QueueLevels, 0);
+  DesireMirror = conc::PaddedAtomicArray<double>(Config.NumLevels, 1.0);
   for (unsigned W = 0; W < Config.NumWorkers; ++W)
-    Workers.push_back(std::make_unique<Worker>(QueueLevels));
+    Workers.push_back(std::make_unique<Worker>(QueueLevels, W));
 
   // Initial assignment: spread workers across levels, highest first, so the
   // first quantum is not blind.
@@ -61,25 +76,60 @@ void Runtime::shutdown() {
     std::lock_guard<std::mutex> Lock(MasterMutex);
   }
   MasterCv.notify_all();
+  IdleEc.notifyAll(); // parked workers re-check Stop and exit
   for (auto &W : Workers)
     if (W->Thread.joinable())
       W->Thread.join();
   if (Master.joinable())
     Master.join();
-  // Drain anything left unexecuted (shutdown during pending work).
+  // Drain anything left unexecuted (shutdown during pending work). Tasks
+  // die here rather than through the slab; a still-attached fiber stack is
+  // freed by ~Task directly.
   for (auto &Q : Injection)
     while (auto T = Q->tryPop())
       delete *T;
+  for (auto &O : Overflow) {
+    for (Task *T : O->Q)
+      delete T;
+    O->Q.clear();
+  }
   for (auto &W : Workers)
     for (auto &D : W->Deques)
       while (auto T = D->pop())
         delete *T;
+  // Tear down the slab: recycled Task objects and every worker's caches.
+  // (Worker threads are joined, so their caches are safe to touch.)
+  Task *T = nullptr;
+  while (FreeTasks.tryPop(T))
+    delete T;
+  for (auto &W : Workers) {
+    for (Task *Cached : W->TaskCache)
+      delete Cached;
+    W->TaskCache.clear();
+    FiberStacks.drainLocal(W->StackCache); // ~StackPool frees the rest
+  }
 }
 
 bool Runtime::onWorkerThread() const { return CurrentRuntime == this; }
 
-void Runtime::submitTask(std::unique_ptr<Task> Owned) {
-  assert(Owned->level() < Config.NumLevels && "task level out of range");
+Task *Runtime::allocTask(std::function<void()> Body, unsigned Level) {
+  assert(Level < Config.NumLevels && "task level out of range");
+  Task *T = nullptr;
+  if (CurrentRuntime == this) {
+    auto &Cache = Workers[CurrentWorkerIndex]->TaskCache;
+    if (!Cache.empty()) {
+      T = Cache.back();
+      Cache.pop_back();
+    }
+  }
+  if (!T && !FreeTasks.tryPop(T))
+    return new Task(std::move(Body), Level);
+  T->reset(std::move(Body), Level);
+  return T;
+}
+
+void Runtime::submitTask(Task *T) {
+  assert(T->level() < Config.NumLevels && "task level out of range");
   Outstanding.fetch_add(1, std::memory_order_relaxed);
   if (trace::enabled()) {
     // When a TraceRecorder is attached the task already has a structural
@@ -88,14 +138,13 @@ void Runtime::submitTask(std::unique_ptr<Task> Owned) {
     // private counter serves ring-only runs (ids may collide with recorder
     // ids if a recorder attaches mid-run; profiling attaches both up
     // front).
-    Owned->setRingId(Owned->traceId() != 0
-                         ? Owned->traceId()
-                         : NextTraceTaskId.fetch_add(
-                               1, std::memory_order_relaxed));
-    trace::emit(trace::EventKind::Spawn,
-                static_cast<uint8_t>(Owned->level()), Owned->ringId());
+    T->setRingId(T->traceId() != 0
+                     ? T->traceId()
+                     : NextTraceTaskId.fetch_add(1, std::memory_order_relaxed));
+    trace::emit(trace::EventKind::Spawn, static_cast<uint8_t>(T->level()),
+                T->ringId());
   }
-  enqueue(Owned.release());
+  enqueue(T);
 }
 
 void Runtime::resumeTask(Task *T) {
@@ -107,30 +156,85 @@ void Runtime::resumeTask(Task *T) {
 
 void Runtime::enqueue(Task *T) {
   unsigned Q = queueIndex(T->level());
-  Pending[T->level()]->fetch_add(1, std::memory_order_relaxed);
+  // seq_cst, not relaxed: this is the producer half of the parking Dekker
+  // protocol. A worker about to park registers on IdleEc (seq_cst RMW) and
+  // re-checks these counters; with both sides seq_cst, either the worker
+  // sees this increment and stands down, or notifyOne's load sees the
+  // registered waiter and wakes it. Relaxed here could lose the wakeup.
+  Pending[T->level()].fetch_add(1, std::memory_order_seq_cst);
 
   // Worker spawns/resumes go to the worker's own per-level deque (work-
   // first locality; thieves and fall-through serving cover other levels).
   // External submissions go through the level's injection queue.
   if (CurrentRuntime == this) {
     Workers[CurrentWorkerIndex]->Deques[Q]->push(T);
+    IdleEc.notifyOne();
     return;
   }
   conc::Backoff B;
-  while (!Injection[Q]->tryPush(T))
+  for (unsigned Attempt = 0; Attempt < MaxInjectionSpins; ++Attempt) {
+    if (Injection[Q]->tryPush(T)) {
+      IdleEc.notifyOne();
+      return;
+    }
     B.pause();
+  }
+  // Ring still full after the bounded wait: spill to the overflow list so
+  // the producer never stalls unboundedly. Counted (snapshot/metrics) and
+  // logged once per runtime — a sustained overflow means the injection
+  // capacity is undersized for the submission rate.
+  InjectionFullSpins.fetch_add(MaxInjectionSpins, std::memory_order_relaxed);
+  if (!InjectionFullLogged.exchange(true, std::memory_order_relaxed))
+    repro::log(repro::LogLevel::Warn)
+        << "runtime: injection queue full (capacity "
+        << Config.InjectionCapacity << ", level " << T->level()
+        << "); spilling to the overflow list — consider a larger "
+           "InjectionCapacity for this submission rate";
+  {
+    std::lock_guard<std::mutex> Lock(Overflow[Q]->M);
+    Overflow[Q]->Q.push_back(T);
+  }
+  OverflowSize[Q].fetch_add(1, std::memory_order_release);
+  IdleEc.notifyOne();
 }
 
-Task *Runtime::findTaskAtLevel(unsigned QueueIdx, Worker *Self) {
-  if (Self)
+Task *Runtime::popOverflow(unsigned QueueIdx) {
+  LevelOverflow &O = *Overflow[QueueIdx];
+  std::lock_guard<std::mutex> Lock(O.M);
+  if (O.Q.empty())
+    return nullptr;
+  Task *T = O.Q.front();
+  O.Q.pop_front();
+  OverflowSize[QueueIdx].fetch_sub(1, std::memory_order_relaxed);
+  return T;
+}
+
+Task *Runtime::findTaskAtLevel(unsigned QueueIdx, Worker *Self, bool PopSelf) {
+  // PopSelf distinguishes the worker's assigned level (pop the own deque's
+  // hot end first — work-first order) from fall-through scans of other
+  // levels, where the own deque holds only this worker's *cross-level*
+  // spawns: those are reached through the steal loop below (Self included)
+  // instead of paying an extra empty-pop per level per scan.
+  if (Self && PopSelf)
     if (auto T = Self->Deques[QueueIdx]->pop())
       return *T;
   if (auto T = Injection[QueueIdx]->tryPop())
     return *T;
-  for (unsigned V = 0; V < Workers.size(); ++V) {
+  if (OverflowSize[QueueIdx].load(std::memory_order_acquire) > 0)
+    if (Task *T = popOverflow(QueueIdx))
+      return T;
+  // Victim scan from a per-thief random start, so concurrent thieves fan
+  // out across victims instead of all hammering worker 0's deque first.
+  unsigned N = static_cast<unsigned>(Workers.size());
+  unsigned Start =
+      Self ? static_cast<unsigned>(Self->StealRng.nextBelow(N)) : 0;
+  for (unsigned I = 0; I < N; ++I) {
+    unsigned V = Start + I;
+    if (V >= N)
+      V -= N;
     Worker *W = Workers[V].get();
-    if (W == Self)
-      continue;
+    if (W == Self && PopSelf)
+      continue; // own deque already popped above
     if (auto T = W->Deques[QueueIdx]->steal()) {
       trace::emit(trace::EventKind::Steal, static_cast<uint8_t>(QueueIdx),
                   (*T)->ringId(), V);
@@ -141,9 +245,10 @@ Task *Runtime::findTaskAtLevel(unsigned QueueIdx, Worker *Self) {
 }
 
 void Runtime::runTask(Task *T, Worker *Self) {
-  Pending[T->level()]->fetch_sub(1, std::memory_order_relaxed);
+  Pending[T->level()].fetch_sub(1, std::memory_order_relaxed);
   uint64_t Begin = repro::nowNanos();
-  bool Finished = T->startOrResume();
+  bool Finished =
+      T->startOrResume(FiberStacks, Self ? &Self->StackCache : nullptr);
   uint64_t ElapsedNanos = repro::nowNanos() - Begin;
   if (Self)
     Self->WorkNanos.fetch_add(ElapsedNanos, std::memory_order_relaxed);
@@ -170,13 +275,31 @@ void Runtime::runTask(Task *T, Worker *Self) {
   }
 
   LevelStats &S = levelStats(T->level());
-  S.Response.record(T->responseMicros());
-  S.Compute.record(T->computeMicros());
-  S.QueueWait.record(T->queueWaitMicros());
+  unsigned Shard = Self ? Self->Index : 0;
+  S.Response.record(Shard, T->responseMicros());
+  S.Compute.record(Shard, T->computeMicros());
+  S.QueueWait.record(Shard, T->queueWaitMicros());
   S.Completed.fetch_add(1, std::memory_order_relaxed);
   Executed.fetch_add(1, std::memory_order_relaxed);
   Outstanding.fetch_sub(1, std::memory_order_release);
-  delete T;
+  recycleTask(T, Self);
+}
+
+void Runtime::recycleTask(Task *T, Worker *Self) {
+  T->releaseRunResources(FiberStacks, Self ? &Self->StackCache : nullptr);
+  TasksRecycledCount.fetch_add(1, std::memory_order_relaxed);
+  if (Self && Self->TaskCache.size() < TaskCacheCap) {
+    Self->TaskCache.push_back(T);
+    return;
+  }
+  FreeTasks.push(T);
+}
+
+bool Runtime::anyPendingSeqCst() const {
+  for (std::size_t L = 0; L < Pending.size(); ++L)
+    if (Pending[L].load(std::memory_order_seq_cst) > 0)
+      return true;
+  return false;
 }
 
 void Runtime::workerLoop(unsigned Index) {
@@ -186,21 +309,23 @@ void Runtime::workerLoop(unsigned Index) {
   Worker &W = *Workers[Index];
   conc::Backoff B;
   bool HadWork = true; // throttles steal-fail events to one per episode
+  unsigned IdleScans = 0;
   while (!Stop.load(std::memory_order_acquire)) {
     unsigned Q = Config.PriorityAware ? W.AssignedLevel.load() : 0u;
-    Task *T = findTaskAtLevel(Q, &W);
+    Task *T = findTaskAtLevel(Q, &W, /*PopSelf=*/true);
     if (!T && Config.PriorityAware) {
       // Work conservation: the assignment is a preference, not a cage — an
       // idle worker serves other levels, highest priority first, rather
       // than spin while work queues elsewhere.
       for (unsigned L = Config.NumLevels; L-- > 0 && !T;)
         if (L != Q)
-          T = findTaskAtLevel(L, &W);
+          T = findTaskAtLevel(L, &W, /*PopSelf=*/false);
     }
     if (T) {
       runTask(T, &W);
       B.reset();
       HadWork = true;
+      IdleScans = 0;
       continue;
     }
     // Emit at the transition into idleness, not per spin iteration — an
@@ -210,7 +335,28 @@ void Runtime::workerLoop(unsigned Index) {
       trace::emit(trace::EventKind::StealFail, static_cast<uint8_t>(Q), 0);
       HadWork = false;
     }
-    B.pause();
+    if (++IdleScans < Config.IdleScansBeforePark) {
+      B.pause();
+      continue;
+    }
+    // Enough fruitless scans: park until an enqueue (or shutdown) rings
+    // the event count. The registration/re-check order is the consumer
+    // half of the Dekker pairing described at enqueue — a submission
+    // between the last scan and the futex sleep cannot be missed, because
+    // its Pending increment either lands before the re-check (we stand
+    // down) or after our seq_cst registration (its notify sees us).
+    conc::EventCount::Key Key = IdleEc.prepareWait();
+    if (Stop.load(std::memory_order_seq_cst) || anyPendingSeqCst()) {
+      IdleEc.cancelWait();
+      IdleScans = 0;
+      B.reset();
+      continue;
+    }
+    ParkedCount.fetch_add(1, std::memory_order_relaxed);
+    IdleEc.commitWait(Key);
+    ParkedCount.fetch_sub(1, std::memory_order_relaxed);
+    IdleScans = 0;
+    B.reset();
   }
   CurrentRuntime = nullptr;
 }
@@ -251,7 +397,7 @@ void Runtime::masterLoop() {
           auto Assigned = countAssignments();
           for (unsigned L = Config.NumLevels; L-- > 0;)
             Dump << " L" << L << "=["
-                 << Pending[L]->load(std::memory_order_relaxed) << "/"
+                 << Pending[L].load(std::memory_order_relaxed) << "/"
                  << Assigned[L] << "]";
           repro::log(repro::LogLevel::Warn) << Dump.str();
         }
@@ -276,7 +422,7 @@ void Runtime::masterLoop() {
     // single-worker runtime would grant the idle top level its minimum
     // desire forever and starve everything below it.
     for (unsigned L = 0; L < Config.NumLevels; ++L) {
-      bool HasWork = Pending[L]->load(std::memory_order_relaxed) > 0;
+      bool HasWork = Pending[L].load(std::memory_order_relaxed) > 0;
       if (HasWork && Desire[L] < 1.0)
         Desire[L] = 1.0;
       if (Assigned[L] == 0) {
@@ -314,7 +460,7 @@ void Runtime::masterLoop() {
     while (Remaining > 0) {
       bool Given = false;
       for (unsigned L = Config.NumLevels; L-- > 0 && Remaining > 0;)
-        if (Pending[L]->load(std::memory_order_relaxed) > 0) {
+        if (Pending[L].load(std::memory_order_relaxed) > 0) {
           ++Grant[L];
           --Remaining;
           Given = true;
@@ -329,9 +475,11 @@ void Runtime::masterLoop() {
     // changes (a level gaining or losing workers is a promotion/demotion
     // in the two-level scheduler — exactly what responsiveness debugging
     // needs to see on the timeline).
+    bool GrantChanged = false;
     for (unsigned L = 0; L < Config.NumLevels; ++L) {
-      DesireMirror[L]->store(Desire[L], std::memory_order_relaxed);
+      DesireMirror[L].store(Desire[L], std::memory_order_relaxed);
       if (Grant[L] != PrevGrant[L]) {
+        GrantChanged = true;
         trace::emit(trace::EventKind::AssignChange, static_cast<uint8_t>(L),
                     Grant[L], static_cast<uint32_t>(Desire[L] * 1000.0));
         PrevGrant[L] = Grant[L];
@@ -346,6 +494,12 @@ void Runtime::masterLoop() {
     while (Next < Config.NumWorkers)
       Workers[Next++]->AssignedLevel.store(Config.NumLevels - 1,
                                            std::memory_order_relaxed);
+    // A reassignment can point a parked worker at work it last saw as
+    // someone else's; ring everyone so the new partition takes effect this
+    // quantum. (Workers never park while any Pending counter is positive,
+    // so this is belt-and-braces, and free when no one is parked.)
+    if (GrantChanged && anyPendingSeqCst())
+      IdleEc.notifyAll();
   }
 }
 
@@ -374,7 +528,7 @@ std::vector<unsigned> Runtime::countAssignments() const {
 std::vector<double> Runtime::currentDesires() const {
   std::vector<double> D(Config.NumLevels, 0.0);
   for (unsigned L = 0; L < Config.NumLevels; ++L)
-    D[L] = DesireMirror[L]->load(std::memory_order_relaxed);
+    D[L] = DesireMirror[L].load(std::memory_order_relaxed);
   return D;
 }
 
@@ -387,9 +541,14 @@ RuntimeSnapshot Runtime::snapshot() const {
   S.EventsDropped = trace::EventLog::instance().droppedTotal();
   S.FtouchInversions = FtouchInversions.load(std::memory_order_relaxed);
   S.DeadlineMisses = DeadlineMisses.load(std::memory_order_relaxed);
+  S.WorkersParked = ParkedCount.load(std::memory_order_relaxed);
+  S.InjectionFullSpins = InjectionFullSpins.load(std::memory_order_relaxed);
+  S.PoolStacksCreated = FiberStacks.created();
+  S.PoolStacksReused = FiberStacks.reused();
+  S.TasksRecycled = TasksRecycledCount.load(std::memory_order_relaxed);
   S.Pending.reserve(Config.NumLevels);
   for (unsigned L = 0; L < Config.NumLevels; ++L)
-    S.Pending.push_back(Pending[L]->load(std::memory_order_relaxed));
+    S.Pending.push_back(Pending[L].load(std::memory_order_relaxed));
   S.Assigned = countAssignments();
   S.Desires = currentDesires();
   return S;
@@ -404,7 +563,22 @@ void Runtime::sampleMetrics(repro::MetricsRegistry &M,
   M.counter(Prefix + ".events_dropped").set(S.EventsDropped);
   M.counter(Prefix + ".ftouch_inversions").set(S.FtouchInversions);
   M.counter(Prefix + ".deadline_misses").set(S.DeadlineMisses);
+  M.counter(Prefix + ".injection_full_spins").set(S.InjectionFullSpins);
+  M.counter(Prefix + ".pool_stacks_created").set(S.PoolStacksCreated);
+  M.counter(Prefix + ".pool_stacks_reused").set(S.PoolStacksReused);
+  M.counter(Prefix + ".tasks_recycled").set(S.TasksRecycled);
   M.setGauge(Prefix + ".outstanding", static_cast<double>(S.Outstanding));
+  M.setGauge(Prefix + ".workers_parked", static_cast<double>(S.WorkersParked));
+
+  // Latency histograms are fed *incrementally*: a cursor per registry
+  // remembers how much of each recorder this registry has consumed, so a
+  // telemetry loop calling this every tick pays for the fresh samples
+  // only — and repeated calls no longer double-count the whole history
+  // into the histogram.
+  std::lock_guard<std::mutex> CursorLock(MetricsCursorMutex);
+  auto &Cursors = MetricsCursors[&M];
+  if (Cursors.empty())
+    Cursors.resize(Config.NumLevels);
   for (unsigned L = 0; L < Config.NumLevels; ++L) {
     std::string LP = Prefix + ".level" + std::to_string(L);
     M.setGauge(LP + ".pending", static_cast<double>(S.Pending[L]));
@@ -413,14 +587,18 @@ void Runtime::sampleMetrics(repro::MetricsRegistry &M,
     const LevelStats &LS = *Stats[L];
     M.counter(LP + ".completed")
         .set(LS.Completed.load(std::memory_order_relaxed));
+    LevelCursor &Cur = Cursors[L];
     // 0–100 ms linear histograms: wide enough for every app's ladder,
     // fine enough (500 µs buckets) to show priority separation.
-    M.histogram(LP + ".response_micros", 0, 100000, 200)
-        .recordAll(LS.Response.samples());
-    M.histogram(LP + ".compute_micros", 0, 100000, 200)
-        .recordAll(LS.Compute.samples());
-    M.histogram(LP + ".queue_wait_micros", 0, 100000, 200)
-        .recordAll(LS.QueueWait.samples());
+    auto Fresh = LS.Response.samplesSince(Cur.Response);
+    Cur.Response += Fresh.size();
+    M.histogram(LP + ".response_micros", 0, 100000, 200).recordAll(Fresh);
+    Fresh = LS.Compute.samplesSince(Cur.Compute);
+    Cur.Compute += Fresh.size();
+    M.histogram(LP + ".compute_micros", 0, 100000, 200).recordAll(Fresh);
+    Fresh = LS.QueueWait.samplesSince(Cur.QueueWait);
+    Cur.QueueWait += Fresh.size();
+    M.histogram(LP + ".queue_wait_micros", 0, 100000, 200).recordAll(Fresh);
   }
 }
 

@@ -30,19 +30,36 @@
 // baseline, Cilk-F: a single work-stealing pool that ignores priorities
 // (levels are still recorded for measurement).
 //
+// Hot-path design (see DESIGN.md, "Hot-path costs"): Task objects and
+// fiber stacks are slab-recycled (per-worker caches over Treiber-stack
+// global free lists) instead of new/deleted per spawn; per-completion
+// latency samples go to per-worker shards merged lock-free at harvest;
+// workers that find nothing after a bounded number of full scans *park*
+// on a futex event count instead of spinning, woken by enqueue/resume;
+// shared per-level counters each own a cache line and thieves start their
+// victim scan at a per-worker random offset.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef REPRO_ICILK_RUNTIME_H
 #define REPRO_ICILK_RUNTIME_H
 
+#include "conc/CacheLine.h"
 #include "conc/ChaseLevDeque.h"
+#include "conc/EventCount.h"
 #include "conc/MpmcQueue.h"
+#include "conc/StackPool.h"
+#include "conc/TreiberStack.h"
 #include "icilk/Future.h"
 #include "icilk/Task.h"
+#include "support/Random.h"
 #include "support/Stats.h"
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -70,14 +87,27 @@ struct RuntimeConfig {
   /// the master thread, so it is active only in priority-aware multi-level
   /// runtimes. Default: 2000 quanta ≈ 1 s at the default quantum.
   unsigned WatchdogQuanta = 2000;
+  /// Full no-work scans a worker performs (with exponential backoff)
+  /// before parking on the idle event count. Low enough that a quiescent
+  /// runtime goes to sleep in well under a quantum; high enough that the
+  /// park/unpark syscalls stay off the busy-system path.
+  unsigned IdleScansBeforePark = 64;
+  /// Capacity of each per-level external-injection ring. Overruns spill to
+  /// an unbounded mutex-guarded overflow list (counted in snapshot()).
+  /// Small values are for tests; the default never overflows in practice.
+  std::size_t InjectionCapacity = 1 << 16;
 };
 
 /// Per-priority-level measurement sinks (Figs. 13–14 report summaries of
-/// these).
+/// these). The recorders are sharded per worker — recording a completion
+/// is lock-free on the worker's own shard — but read exactly like the old
+/// mutex-guarded LatencyRecorder (count/samples/samplesSince/summary).
 struct LevelStats {
-  repro::LatencyRecorder Response;  ///< creation → completion (µs)
-  repro::LatencyRecorder Compute;   ///< start → completion (µs)
-  repro::LatencyRecorder QueueWait; ///< creation → start (µs)
+  explicit LevelStats(unsigned Shards)
+      : Response(Shards), Compute(Shards), QueueWait(Shards) {}
+  repro::ShardedLatencyRecorder Response;  ///< creation → completion (µs)
+  repro::ShardedLatencyRecorder Compute;   ///< start → completion (µs)
+  repro::ShardedLatencyRecorder QueueWait; ///< creation → start (µs)
   std::atomic<uint64_t> Completed{0};
 };
 
@@ -98,6 +128,14 @@ struct RuntimeSnapshot {
                                  ///< future (live count; the profiler's
                                  ///< FtouchOnLower, seen as it happens)
   uint64_t DeadlineMisses = 0; ///< ftouchFor deadlines that beat the value
+  uint32_t WorkersParked = 0;  ///< workers asleep on the idle event count
+  uint64_t InjectionFullSpins = 0; ///< failed external tryPush attempts on
+                                   ///< a full injection ring (each burst
+                                   ///< ends in the overflow list, so the
+                                   ///< submission still lands)
+  uint64_t PoolStacksCreated = 0;  ///< fiber stacks allocated fresh
+  uint64_t PoolStacksReused = 0;   ///< fiber stacks served from free lists
+  uint64_t TasksRecycled = 0;      ///< Task objects returned to the slab
   std::vector<int64_t> Pending;    ///< queued (not running/suspended), per level
   std::vector<unsigned> Assigned;  ///< workers currently assigned, per level
   std::vector<double> Desires;     ///< master's current desire, per level
@@ -121,8 +159,14 @@ public:
 
   const RuntimeConfig &config() const { return Config; }
 
-  /// Schedules \p T (takes ownership). Internal: use fcreate (Context.h).
-  void submitTask(std::unique_ptr<Task> T);
+  /// Makes a ready-to-submit Task for \p Body at \p Level, recycled from
+  /// the slab when possible (worker-local cache, then global free list),
+  /// freshly allocated otherwise. Internal: use fcreate (Context.h).
+  Task *allocTask(std::function<void()> Body, unsigned Level);
+
+  /// Schedules \p T (takes ownership; \p T must come from allocTask).
+  /// Internal: use fcreate (Context.h).
+  void submitTask(Task *T);
 
   /// Requeues a task that suspended on a future and is ready to continue.
   /// Called by whoever completes the future (workers, the I/O timer).
@@ -147,7 +191,10 @@ public:
 
   /// Dumps the current snapshot plus per-level latency summaries into
   /// \p M as "<Prefix>.*" counters/gauges/histograms (see
-  /// support/Metrics.h). Intended at run boundaries, not per task.
+  /// support/Metrics.h). Incremental per registry: each call feeds only
+  /// the latency samples recorded since the previous call with the same
+  /// \p M into the histograms, so sampling cost tracks fresh work, not
+  /// total history. Intended at run boundaries, not per task.
   void sampleMetrics(repro::MetricsRegistry &M,
                      const std::string &Prefix = "runtime") const;
 
@@ -180,15 +227,35 @@ public:
 
 private:
   struct Worker {
-    explicit Worker(unsigned NumLevels) {
-      Deques.reserve(NumLevels);
-      for (unsigned L = 0; L < NumLevels; ++L)
+    Worker(unsigned QueueLevels, unsigned Index)
+        : Index(Index), StealRng(0x51ab5000 + Index) {
+      Deques.reserve(QueueLevels);
+      for (unsigned L = 0; L < QueueLevels; ++L)
         Deques.push_back(std::make_unique<conc::ChaseLevDeque<Task *>>());
     }
+    const unsigned Index; ///< position in Workers; latency-shard id
     std::vector<std::unique_ptr<conc::ChaseLevDeque<Task *>>> Deques;
-    std::atomic<unsigned> AssignedLevel{0};
-    std::atomic<uint64_t> WorkNanos{0};
+    /// The two cross-thread-hot atomics each own a cache line:
+    /// AssignedLevel is master-written and polled by the worker every
+    /// scan; WorkNanos is worker-written per task and harvested by the
+    /// master every quantum. Packed together (or with the cold fields)
+    /// they false-share.
+    alignas(conc::CacheLineBytes) std::atomic<unsigned> AssignedLevel{0};
+    alignas(conc::CacheLineBytes) std::atomic<uint64_t> WorkNanos{0};
+    /// Scheduler-loop-private state, no synchronization: where this
+    /// worker's victim scans start, and its stack-/task-slab caches.
+    alignas(conc::CacheLineBytes) repro::Rng StealRng;
+    conc::StackPool::LocalCache StackCache;
+    std::vector<Task *> TaskCache;
     std::thread Thread;
+  };
+
+  /// Unbounded spill list behind an injection ring that filled up. Cold by
+  /// construction — it only exists so a burst past InjectionCapacity
+  /// degrades to a mutex instead of an unbounded producer spin.
+  struct LevelOverflow {
+    std::mutex M;
+    std::deque<Task *> Q;
   };
 
   unsigned queueIndex(unsigned Level) const {
@@ -198,19 +265,31 @@ private:
   void workerLoop(unsigned Index);
   void masterLoop();
   void enqueue(Task *T);
-  Task *findTaskAtLevel(unsigned QueueIdx, Worker *Self);
+  Task *findTaskAtLevel(unsigned QueueIdx, Worker *Self, bool PopSelf);
+  Task *popOverflow(unsigned QueueIdx);
   void runTask(Task *T, Worker *Self);
+  void recycleTask(Task *T, Worker *Self);
+  bool anyPendingSeqCst() const;
   std::vector<unsigned> countAssignments() const;
   std::vector<double> currentDesires() const;
 
   RuntimeConfig Config;
+  conc::StackPool FiberStacks{Task::StackBytes};
+  conc::TreiberStack<Task *> FreeTasks; ///< slab overflow, any thread
   std::vector<std::unique_ptr<Worker>> Workers;
   std::vector<std::unique_ptr<conc::MpmcQueue<Task *>>> Injection;
+  std::vector<std::unique_ptr<LevelOverflow>> Overflow;
   std::vector<std::unique_ptr<LevelStats>> Stats;
-  std::vector<std::unique_ptr<std::atomic<int64_t>>> Pending; ///< queued, per level
+  conc::PaddedAtomicArray<int64_t> Pending;      ///< queued, per level
+  conc::PaddedAtomicArray<int64_t> OverflowSize; ///< spill depth, per level
   /// Master-published mirror of each level's desire, for snapshot()
   /// (the desire itself lives in the master loop's locals).
-  std::vector<std::unique_ptr<std::atomic<double>>> DesireMirror;
+  conc::PaddedAtomicArray<double> DesireMirror;
+
+  /// Where idle workers sleep. The Dekker pairing: enqueue bumps Pending
+  /// seq_cst then notifies; a parking worker registers seq_cst then
+  /// re-checks Pending — see EventCount.h for why no wakeup can be lost.
+  conc::EventCount IdleEc;
 
   std::atomic<int64_t> Outstanding{0};
   std::atomic<uint64_t> Executed{0};
@@ -218,9 +297,22 @@ private:
   std::atomic<uint64_t> FtouchInversions{0};
   std::atomic<uint64_t> DeadlineMisses{0};
   std::atomic<uint64_t> TotalWorkNanos{0};
+  std::atomic<uint32_t> ParkedCount{0};
+  std::atomic<uint64_t> InjectionFullSpins{0};
+  std::atomic<uint64_t> TasksRecycledCount{0};
+  std::atomic<bool> InjectionFullLogged{false};
   std::atomic<uint32_t> NextTraceTaskId{1}; ///< event-ring task ids
   std::atomic<class TraceRecorder *> Trace{nullptr};
   std::atomic<bool> Stop{false};
+
+  /// Per-registry consumed counts for sampleMetrics (so repeated calls
+  /// feed each histogram every sample exactly once).
+  struct LevelCursor {
+    std::size_t Response = 0, Compute = 0, QueueWait = 0;
+  };
+  mutable std::mutex MetricsCursorMutex;
+  mutable std::map<const repro::MetricsRegistry *, std::vector<LevelCursor>>
+      MetricsCursors;
 
   std::thread Master;
   std::mutex MasterMutex;

@@ -68,18 +68,63 @@ Task::~Task() {
   if (TsanFiber)
     __tsan_destroy_fiber(TsanFiber);
 #endif
+  // A task torn down with its stack still attached (shutdown draining a
+  // started-then-suspended task, or one that simply never got recycled)
+  // frees the memory directly: the pool's free lists are being torn down
+  // too, so there is nothing to hand the stack back to.
+  delete[] Stack;
 }
 
-bool Task::startOrResume() {
+void Task::reset(std::function<void()> NewBody, unsigned NewLevel) {
+  assert(!Stack && !Body && "reset of a task still holding run resources");
+  Body = std::move(NewBody);
+  Level = NewLevel;
+  CreateNanos = repro::nowNanos();
+  StartNanos = 0;
+  FinishNanos = 0;
+  Started = false;
+  Done = false;
+  TraceId = 0;
+  RingId = 0;
+  WaitingOn = nullptr;
+  ReturnCtx = nullptr;
+#if ICILK_TSAN_FIBERS
+  assert(!TsanFiber && "reset with a live TSan fiber handle");
+#endif
+}
+
+void Task::releaseRunResources(conc::StackPool &Pool,
+                               conc::StackPool::LocalCache *Cache) {
+#if ICILK_TSAN_FIBERS
+  // The fiber handle dies with the task's run, NOT with the stack: the
+  // next task to reuse this stack creates a fresh fiber, so TSan never
+  // conflates two tasks' histories on one handle.
+  if (TsanFiber) {
+    __tsan_destroy_fiber(TsanFiber);
+    TsanFiber = nullptr;
+  }
+#endif
+  if (Stack) {
+    Pool.release(Cache, Stack);
+    Stack = nullptr;
+  }
+  // Dropping the body here (not at reuse) releases the captured future
+  // state as soon as the task completes — same lifetime the old
+  // delete-per-task path gave it.
+  Body = nullptr;
+}
+
+bool Task::startOrResume(conc::StackPool &Pool,
+                         conc::StackPool::LocalCache *Cache) {
   Task *PrevRunning = RunningTask;
   RunningTask = this;
   if (!Started) {
     Started = true;
     StartNanos = repro::nowNanos();
-    Stack = std::make_unique<char[]>(StackBytes);
+    Stack = Pool.acquire(Cache);
     getcontext(&Ctx);
-    Ctx.uc_stack.ss_sp = Stack.get();
-    Ctx.uc_stack.ss_size = StackBytes;
+    Ctx.uc_stack.ss_sp = Stack;
+    Ctx.uc_stack.ss_size = Pool.stackBytes();
     Ctx.uc_link = nullptr; // trampoline swaps back explicitly
     makecontext(&Ctx, &Task::trampoline, 0);
     LaunchingTask = this;

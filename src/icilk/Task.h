@@ -13,15 +13,20 @@
 // blocking would deadlock on future graphs where a task waits on a
 // non-descendant (e.g. the email app's print/compress slot chains).
 //
-// The fiber stack is allocated lazily at first dispatch, so queued-but-
-// unstarted tasks are cheap. A suspended task's context is fully saved
-// before it becomes visible to resumers, so it may resume on any worker.
+// The fiber stack is acquired lazily at first dispatch from the runtime's
+// StackPool (conc/StackPool.h), so queued-but-unstarted tasks are cheap
+// and stacks are recycled across tasks instead of allocated-and-zeroed
+// per spawn. A suspended task's context is fully saved before it becomes
+// visible to resumers, so it may resume on any worker. Task objects
+// themselves are slab-recycled by the runtime (reset/releaseRunResources)
+// rather than new/deleted per spawn.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef REPRO_ICILK_TASK_H
 #define REPRO_ICILK_TASK_H
 
+#include "conc/StackPool.h"
 #include "support/Timer.h"
 
 #include <ucontext.h>
@@ -63,6 +68,20 @@ public:
   Task(const Task &) = delete;
   Task &operator=(const Task &) = delete;
 
+  /// Re-arms a recycled Task for a fresh spawn (the runtime's slab
+  /// recycler calls this instead of constructing a new object). Valid only
+  /// after releaseRunResources(): the task must hold no stack, no TSan
+  /// fiber, and no body.
+  void reset(std::function<void()> NewBody, unsigned NewLevel);
+
+  /// Hands the run-time resources back after the task finished: returns
+  /// the fiber stack to \p Pool (through \p Cache when the caller is a
+  /// worker), destroys the TSan fiber handle so a reused stack gets a
+  /// fresh one, and drops the body (releasing its captured future state).
+  /// Idempotent; also safe on a never-started task.
+  void releaseRunResources(conc::StackPool &Pool,
+                           conc::StackPool::LocalCache *Cache);
+
   unsigned level() const { return Level; }
   bool isDone() const { return Done; }
 
@@ -71,8 +90,11 @@ public:
   void clearWaitingOn() { WaitingOn = nullptr; }
 
   /// Runs or resumes the task on the calling worker thread until it
-  /// completes or suspends. Returns true when the task finished.
-  bool startOrResume();
+  /// completes or suspends. Returns true when the task finished. A first
+  /// dispatch draws its fiber stack from \p Pool (via \p Cache when the
+  /// caller is a worker thread).
+  bool startOrResume(conc::StackPool &Pool,
+                     conc::StackPool::LocalCache *Cache);
 
   /// Called from inside the fiber: saves the context and switches back to
   /// the dispatching worker, recording the awaited future.
@@ -118,7 +140,11 @@ private:
   uint32_t TraceId = 0;
   uint32_t RingId = 0;
   FutureStateBase *WaitingOn = nullptr;
-  std::unique_ptr<char[]> Stack;
+  /// Pool-owned while free-listed, task-owned while attached. Acquired at
+  /// first dispatch, returned in releaseRunResources; the destructor frees
+  /// a still-attached stack directly (shutdown tears tasks down after the
+  /// pool's accounting no longer matters).
+  char *Stack = nullptr;
   ucontext_t Ctx{};
   /// The dispatching worker's return context, refreshed on every dispatch.
   /// Fiber code switches back through THIS pointer, never through the

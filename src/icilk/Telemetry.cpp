@@ -232,6 +232,31 @@ std::string Telemetry::renderPrometheus() const {
   sample(Out, P + "_outstanding_tasks", "",
          num(static_cast<double>(S.Outstanding)));
 
+  family(Out, P + "_workers_parked", "gauge",
+         "Workers asleep on the idle event count (zero on a busy system; "
+         "NumWorkers on a quiescent one).");
+  sample(Out, P + "_workers_parked", "",
+         num(static_cast<double>(S.WorkersParked)));
+
+  family(Out, P + "_injection_full_spins_total", "counter",
+         "Failed external-submission attempts on a full injection ring "
+         "(bursts end in the overflow list; sustained growth means "
+         "InjectionCapacity is undersized).");
+  sample(Out, P + "_injection_full_spins_total", "",
+         num(S.InjectionFullSpins));
+
+  family(Out, P + "_pool_stacks_created_total", "counter",
+         "Fiber stacks allocated fresh by the stack pool.");
+  sample(Out, P + "_pool_stacks_created_total", "", num(S.PoolStacksCreated));
+
+  family(Out, P + "_pool_stacks_reused_total", "counter",
+         "Fiber stacks served from the pool's free lists.");
+  sample(Out, P + "_pool_stacks_reused_total", "", num(S.PoolStacksReused));
+
+  family(Out, P + "_tasks_recycled_total", "counter",
+         "Completed Task objects returned to the slab for reuse.");
+  sample(Out, P + "_tasks_recycled_total", "", num(S.TasksRecycled));
+
   family(Out, P + "_ready_depth", "gauge",
          "Queued (not running or suspended) tasks per priority level.");
   for (unsigned L = 0; L < S.Pending.size(); ++L)
@@ -317,6 +342,11 @@ json::Value Telemetry::snapshotJson() const {
   Out.set("events_dropped", json::Value(S.EventsDropped));
   Out.set("ftouch_inversions", json::Value(S.FtouchInversions));
   Out.set("deadline_misses", json::Value(S.DeadlineMisses));
+  Out.set("workers_parked", json::Value(static_cast<uint64_t>(S.WorkersParked)));
+  Out.set("injection_full_spins", json::Value(S.InjectionFullSpins));
+  Out.set("pool_stacks_created", json::Value(S.PoolStacksCreated));
+  Out.set("pool_stacks_reused", json::Value(S.PoolStacksReused));
+  Out.set("tasks_recycled", json::Value(S.TasksRecycled));
 
   json::Value Levels = json::Value::array();
   for (unsigned L = 0; L < S.Pending.size(); ++L) {

@@ -15,7 +15,9 @@
 #ifndef REPRO_SUPPORT_STATS_H
 #define REPRO_SUPPORT_STATS_H
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -76,6 +78,65 @@ public:
 private:
   mutable std::mutex Mutex;
   std::vector<double> Samples;
+};
+
+/// Latency accumulator sharded for write-side scalability: recording is a
+/// couple of plain stores plus one release publish on the caller's own
+/// shard — no lock and no shared cache line — while the read side merges
+/// shards on demand. This replaced the mutex-per-completion LatencyRecorder
+/// in the scheduler's task-completion hot path.
+///
+/// Contract per shard: ONE writer thread (the I-Cilk runtime maps worker i
+/// to shard i). Readers may run concurrently with writers.
+///
+/// The merged view preserves LatencyRecorder's append-only semantics:
+/// samples(), count(), and samplesSince(Start) observe a single stable
+/// sequence that only ever grows, so consumers tracking a consumed count
+/// (the telemetry sampler, incremental metrics sampling) keep working
+/// unchanged. Merge order interleaves shards by harvest, not by record
+/// time — summaries and quantiles are order-blind, so nothing downstream
+/// cares.
+class ShardedLatencyRecorder {
+public:
+  explicit ShardedLatencyRecorder(unsigned NumShards);
+
+  /// Records one sample on \p Shard. Wait-free for the shard's single
+  /// writer except when a fresh chunk must be allocated (every
+  /// ChunkSize-th sample on that shard).
+  void record(unsigned Shard, double Value);
+
+  unsigned shards() const { return static_cast<unsigned>(NumShards); }
+
+  /// Merged views — same semantics as LatencyRecorder.
+  std::size_t count() const;
+  std::vector<double> samples() const;
+  std::vector<double> samplesSince(std::size_t Start) const;
+  LatencySummary summary() const;
+
+private:
+  static constexpr std::size_t ChunkSize = 512;
+
+  /// One writer, many readers. The writer publishes a sample by storing
+  /// the value into the current chunk and then release-incrementing Count;
+  /// readers acquire Count and only touch slots below it. The chunk table
+  /// itself is guarded by ChunkMutex, which the writer takes only to grow
+  /// it and readers take for the duration of a copy.
+  struct alignas(64) Shard {
+    std::atomic<std::size_t> Count{0};
+    mutable std::mutex ChunkMutex;
+    std::vector<std::unique_ptr<double[]>> Chunks;
+  };
+
+  /// Appends every shard's unmerged tail to Merged (caller holds
+  /// MergeMutex).
+  void harvestLocked() const;
+
+  std::size_t NumShards;
+  std::unique_ptr<Shard[]> Shards;
+
+  mutable std::mutex MergeMutex;
+  mutable std::vector<double> Merged;
+  mutable std::vector<std::size_t> Harvested; ///< per shard, consumed count
 };
 
 /// Renders a summary as a short human-readable string.
