@@ -23,7 +23,7 @@ done
 
 echo "== build =="
 cmake -B "$REPO/build" -S "$REPO" >/dev/null
-cmake --build "$REPO/build" -j "$JOBS" --target micro_runtime fig13_responsiveness
+cmake --build "$REPO/build" -j "$JOBS" --target micro_runtime fig13_responsiveness loadgen
 
 echo
 echo "== micro_runtime (short) =="
@@ -40,6 +40,14 @@ echo "== fig13_responsiveness (small scale) =="
 # response times AND the Theorem 2.3 bound columns even on this quick pass.
 REPRO_BENCH_JSON_DIR="$REPO" "$REPO/build/bench/fig13_responsiveness" \
   --scale=0.05 --duration-ms=250 --app=both
+
+echo
+echo "== loadgen (open-loop overload, short) =="
+# Four open-loop legs (poisson 1x/10x, bursty 5x, diurnal 5x) against the
+# admission-controlled job-server engine; the verdict table's yes/no rows
+# are the gate's stable overload signal (counts and quantiles are
+# deliberately unclassified — see bench_compare.py).
+REPRO_BENCH_JSON_DIR="$REPO" "$REPO/build/bench/loadgen" --duration-ms=400
 
 echo
 echo "bench.sh: wrote"

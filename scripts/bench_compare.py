@@ -24,8 +24,14 @@ Usage:
   bench_compare.py [--current-dir DIR] [--baseline-dir DIR]
                    [--tolerances FILE] [--table-out FILE] [--quiet]
 
+A fresh bench with no committed baseline, or a baseline whose JSON the
+current (possibly partial) run did not produce, is warned about and
+skipped — never a crash or a spurious failure — so a new BENCH_*.json can
+land in the same PR as its baseline. A *metric* vanishing from a file the
+run did produce still fails (that is a real regression signal).
+
 Exit codes: 0 all within tolerance, 1 regression (or baseline metric
-missing from the current run), 2 setup problems (no baselines, bad JSON).
+missing from a produced file), 2 setup problems (no baselines, bad JSON).
 """
 
 import argparse
@@ -194,14 +200,41 @@ def main():
               file=sys.stderr)
         return 2
 
+    # A freshly added bench has no committed baseline yet (its baseline
+    # typically lands in the same PR): warn and report its metrics as
+    # "new" instead of crashing or failing, so the PR can carry both.
+    baseline_names = {os.path.basename(b) for b in baseline_files}
+    current_only = sorted(
+        p for p in glob.glob(os.path.join(args.current_dir, "BENCH_*.json"))
+        if os.path.basename(p) not in baseline_names)
+
     rows = []         # (key, base, cur, ratio, direction, tol, status)
     regressions = []
+    for cpath in current_only:
+        print(f"bench_compare: warning: {os.path.basename(cpath)} has no "
+              f"committed baseline — skipping comparison (bless one with "
+              f"scripts/bench.sh --update-baselines)", file=sys.stderr)
+        try:
+            for key, (cval, direction) in sorted(flatten(cpath).items()):
+                rows.append((key, None, cval, None, direction,
+                             default_tol, "new"))
+        except (ValueError, KeyError, json.JSONDecodeError) as e:
+            print(f"bench_compare: warning: {e} — ignored (no baseline)",
+                  file=sys.stderr)
     for bpath in baseline_files:
         cpath = os.path.join(args.current_dir, os.path.basename(bpath))
         if not os.path.exists(cpath):
-            print(f"bench_compare: current run missing {cpath} "
-                  f"(run scripts/bench.sh first)", file=sys.stderr)
-            return 2
+            # The current run produced no JSON for this baseline — a
+            # partial bench pass (subset leg, filtered run), not a
+            # regression. Warn and skip instead of spuriously failing.
+            print(f"bench_compare: warning: current run missing "
+                  f"{os.path.basename(bpath)} — skipping its comparison "
+                  f"(run scripts/bench.sh for full coverage)",
+                  file=sys.stderr)
+            for key, (bval, direction) in sorted(flatten(bpath).items()):
+                rows.append((key, bval, None, None, direction,
+                             default_tol, "skipped"))
+            continue
         try:
             base = flatten(bpath)
             cur = flatten(cpath)
@@ -232,7 +265,7 @@ def main():
               f"{'ratio':>7} {'dir':>4} {'tol':>5}  status")
     lines = [header, "-" * len(header)]
     for key, bval, cval, ratio, direction, tol, status in rows:
-        if args.quiet and status in ("ok", "new", "improved"):
+        if args.quiet and status in ("ok", "new", "improved", "skipped"):
             continue
         lines.append(f"{key:<64} {fmt(bval):>12} {fmt(cval):>12} "
                      f"{fmt(ratio):>7} {direction:>4} {tol:>5.2g}  {status}")
@@ -248,7 +281,7 @@ def main():
                         f"| {status} |\n")
         print(f"\nbench_compare: wrote trajectory table to {args.table_out}")
 
-    checked = sum(1 for r in rows if r[6] != "new")
+    checked = sum(1 for r in rows if r[6] not in ("new", "skipped"))
     if regressions:
         print(f"\nbench_compare: {len(regressions)}/{checked} metrics "
               f"regressed beyond tolerance:", file=sys.stderr)

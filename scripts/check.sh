@@ -29,14 +29,19 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 "$REPO/build-tsan/tests/telemetry_tests"
 
 echo
-echo "== asan: icilk + conc suites =="
+echo "== asan: icilk + conc + telemetry suites =="
 cmake -B "$REPO/build-asan" -S "$REPO" -DREPRO_SANITIZE=address >/dev/null
-cmake --build "$REPO/build-asan" -j "$JOBS" --target icilk_tests conc_tests
+cmake --build "$REPO/build-asan" -j "$JOBS" \
+  --target icilk_tests conc_tests telemetry_tests
 # The fiber churn here runs tasks on recycled, ASan-poisoned-while-free
 # stacks; any dangling pointer into a free-listed stack fails the check.
 export ASAN_OPTIONS="halt_on_error=1 detect_stack_use_after_return=0 ${ASAN_OPTIONS:-}"
 "$REPO/build-asan/tests/conc_tests"
 "$REPO/build-asan/tests/icilk_tests"
+# Overload scrape under ASan: the admission controller's timer-thread
+# sweeps and controller-thread dispatch churn through heap-allocated
+# queue entries while HTTP scrapes read the counters.
+"$REPO/build-asan/tests/telemetry_tests"
 
 echo
 echo "check.sh: all passes green"

@@ -50,6 +50,9 @@ struct EmailServer {
       Io.setFaultPlan(Faults);
     }
     Rt.setTrace(Config.Trace); // before the first spawn, so ids line up
+    if (Config.AdmissionControl)
+      Admission = std::make_unique<icilk::AdmissionController>(
+          Rt, Config.Admission, &Io);
   }
 
   const EmailConfig &Config;
@@ -62,6 +65,8 @@ struct EmailServer {
   std::atomic<uint64_t> SlotConflicts{0}, BytesSaved{0}, Requests{0};
   std::atomic<uint64_t> SendFailures{0}, PrintFailures{0}, Retries{0};
   std::atomic<bool> StopCheck{false};
+  /// Declared last: destroyed before Rt and Io, while both still live.
+  std::unique_ptr<icilk::AdmissionController> Admission;
 };
 
 /// Touches the previous slot occupant's future, tolerating an erroneous
@@ -211,8 +216,12 @@ void checkLoop(EmailServer &S, Context<EmailCheck> &Ctx, repro::Rng Rng) {
     });
 }
 
-/// Event loop (EmailLoop): dispatches one user request.
-void handleRequest(EmailServer &S, Context<EmailLoop> &Ctx, std::size_t User,
+/// Event loop: dispatches one user request. Normally runs at EmailLoop;
+/// an admission-degraded arrival runs the same body at EmailSend (its
+/// send delegate is then a same-level fcreate, which the Touch rule
+/// allows — only waiting *upward* is an inversion).
+template <typename Prio>
+void handleRequest(EmailServer &S, Context<Prio> &Ctx, std::size_t User,
                    unsigned Kind, std::size_t EmailIndex,
                    uint64_t ArrivalMicros) {
   S.Requests.fetch_add(1, std::memory_order_relaxed);
@@ -220,15 +229,16 @@ void handleRequest(EmailServer &S, Context<EmailLoop> &Ctx, std::size_t User,
   Mailbox &Box = S.Boxes[User];
   switch (Kind % 3) {
   case 0: // send
-    Ctx.fcreate<EmailSend>(
+    Ctx.template fcreate<EmailSend>(
         [&S, &Box, EmailIndex, ArrivalMicros](Context<EmailSend> &C) {
           sendEmail(S, C, Box, EmailIndex, ArrivalMicros);
         });
     break;
   case 1: // sort
-    Ctx.fcreate<EmailSort>([&S, &Box, ArrivalMicros](Context<EmailSort> &C) {
-      sortMailbox(S, C, Box, ArrivalMicros);
-    });
+    Ctx.template fcreate<EmailSort>(
+        [&S, &Box, ArrivalMicros](Context<EmailSort> &C) {
+          sortMailbox(S, C, Box, ArrivalMicros);
+        });
     break;
   default: { // print
     Email &E = *Box.Emails[EmailIndex];
@@ -290,13 +300,31 @@ EmailReport runEmail(const EmailConfig &Config) {
     auto Kind = static_cast<unsigned>(PickRng.nextBelow(3));
     std::size_t EmailIndex = PickRng.nextBelow(Config.EmailsPerUser);
     uint64_t Arrival = repro::nowMicros();
-    icilk::fcreate<EmailLoop>(
-        S.Rt, [&S, User, Kind, EmailIndex, Arrival](Context<EmailLoop> &C) {
-          handleRequest(S, C, User, Kind, EmailIndex, Arrival);
-        });
+    auto SubmitLoop = [&S, User, Kind, EmailIndex, Arrival](unsigned Level) {
+      // Level 5 (requested) runs the event loop proper; any degraded
+      // level runs the same body at send urgency.
+      if (Level >= 5)
+        icilk::fcreate<EmailLoop>(
+            S.Rt,
+            [&S, User, Kind, EmailIndex, Arrival](Context<EmailLoop> &C) {
+              handleRequest(S, C, User, Kind, EmailIndex, Arrival);
+            });
+      else
+        icilk::fcreate<EmailSend>(
+            S.Rt,
+            [&S, User, Kind, EmailIndex, Arrival](Context<EmailSend> &C) {
+              handleRequest(S, C, User, Kind, EmailIndex, Arrival);
+            });
+    };
+    if (S.Admission)
+      S.Admission->offer(5, SubmitLoop);
+    else
+      SubmitLoop(5);
   }
 
   S.StopCheck.store(true, std::memory_order_release);
+  if (S.Admission)
+    S.Admission->quiesce();
   S.Rt.drain();
   // EmailMain: shutdown pass.
   auto Shutdown = icilk::fcreate<EmailMain>(S.Rt, [&S](Context<EmailMain> &) {
@@ -321,8 +349,11 @@ EmailReport runEmail(const EmailConfig &Config) {
   Report.SendFailures = S.SendFailures.load();
   Report.PrintFailures = S.PrintFailures.load();
   Report.Retries = S.Retries.load();
+  if (S.Admission)
+    Report.Admission = S.Admission->sampleAdmission();
   if (repro::MetricsRegistry *M = Config.Metrics) {
     sampleAppMetrics(M, S.Rt, &S.Io, Report.App, "email");
+    M->counter("email.admission.shed").set(Report.Admission.Shed);
     M->counter("email.sends").set(Report.Sends);
     M->counter("email.sorts").set(Report.Sorts);
     M->counter("email.prints").set(Report.Prints);

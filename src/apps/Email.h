@@ -30,6 +30,7 @@
 #define REPRO_APPS_EMAIL_H
 
 #include "apps/AppCommon.h"
+#include "icilk/Admission.h"
 
 namespace repro::apps {
 
@@ -64,6 +65,12 @@ struct EmailConfig {
   /// being surfaced as a SendFailure.
   unsigned SendRetries = 1;
   uint64_t RetryBaseDelayMicros = 300;
+  /// Closed-loop admission control (icilk/Admission.h) in front of the
+  /// user-request arrival path. A degraded arrival is handled at the
+  /// send level instead of the event-loop level; a shed one never enters
+  /// the runtime.
+  bool AdmissionControl = false;
+  icilk::AdmissionConfig Admission{};
   /// When non-null, the run dumps its final counters/gauges/histograms
   /// here under "email.*" (see support/Metrics.h). Not owned.
   repro::MetricsRegistry *Metrics = nullptr;
@@ -89,6 +96,8 @@ struct EmailReport {
   uint64_t SendFailures = 0;   ///< sends abandoned after retries (surfaced)
   uint64_t PrintFailures = 0;  ///< printer writes that failed
   uint64_t Retries = 0;        ///< send retries performed
+  /// Final admission counters (Attached only when AdmissionControl ran).
+  icilk::AdmissionSample Admission;
 };
 
 /// Runs the email server (Config.Rt.PriorityAware=false for the baseline).

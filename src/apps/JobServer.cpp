@@ -10,33 +10,134 @@
 
 namespace repro::apps {
 
-namespace {
-
 using icilk::Context;
 
-struct JobServer {
-  explicit JobServer(const JobServerConfig &Config)
-      : Config(Config), Rt(Config.Rt) {
+/// The engine internals. Level↔type mapping: type index 0..3 (matmul, fib,
+/// sort, sw) runs at level 3-Type, matmul highest — smallest work first.
+struct JobServerEngine::Impl {
+  explicit Impl(const JobServerConfig &ConfigIn)
+      : Config(ConfigIn), Rt(Config.Rt) {
     Rt.setTrace(Config.Trace); // before the first spawn, so ids line up
     if (Config.Metrics)
       LiveShed = &Config.Metrics->counter("jobserver.shed.live");
+    if (Config.AdmissionControl)
+      Admission =
+          std::make_unique<icilk::AdmissionController>(Rt, Config.Admission);
   }
 
-  const JobServerConfig &Config;
+  JobServerConfig Config;
   icilk::Runtime Rt;
+  /// Destroyed before Rt (declared after it): the controller detaches and
+  /// joins its thread while the runtime is still alive.
+  std::unique_ptr<icilk::AdmissionController> Admission;
   std::array<std::atomic<uint64_t>, 4> Counts{};
   std::array<std::atomic<uint64_t>, 4> Shed{};
+  std::array<std::atomic<uint64_t>, 4> Degraded{};
   std::array<repro::LatencyRecorder, 4> JobResponse;
   std::array<repro::LatencyRecorder, 4> JobCompute;
+  /// Seeds for per-job RNGs: drawn on the offering thread so a submit
+  /// callback deferred to the controller thread needs no shared Rng.
+  std::atomic<uint64_t> SeedTick{0};
   /// Live shed count, bumped as arrivals are rejected (the per-type
   /// "jobserver.shed.*" counters are only set() at the end of the run, too
   /// late for a live /metrics scrape). Handle cached once: counter lookup
   /// takes the registry mutex and this is on the driver's arrival path.
   repro::MetricsRegistry::Counter *LiveShed = nullptr;
 
-  /// Admission control: true = reject this arrival. Type index 0..3 maps
-  /// to level 3..0 (matmul highest). Only low-priority types are ever
-  /// shed, and only while the aggregate queue depth is over the limit.
+  uint64_t nextSeed() {
+    // splitmix64 over a private counter: deterministic per (Seed, arrival
+    // index), race-free from any offering thread.
+    uint64_t Z = Config.Seed + 0x9e3779b97f4a7c15ULL *
+                                   (SeedTick.fetch_add(1) + 1);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Records whole-job latencies for type \p Type.
+  void recordJob(std::size_t Type, uint64_t ArrivalMicros,
+                 uint64_t StartMicros) {
+    uint64_t Now = repro::nowMicros();
+    Counts[Type].fetch_add(1, std::memory_order_relaxed);
+    JobResponse[Type].record(static_cast<double>(Now - ArrivalMicros));
+    JobCompute[Type].record(static_cast<double>(Now - StartMicros));
+  }
+
+  /// Submits the type-\p Type job body at priority \p Prio. The kernels
+  /// are templates over the priority level, which is what makes
+  /// degrade-to-lower-level possible at all: the same job simply
+  /// re-instantiates lower.
+  template <typename Prio>
+  void submitTyped(std::size_t Type, uint64_t Seed, uint64_t Arrival) {
+    switch (Type) {
+    case 0:
+      icilk::fcreate<Prio>(Rt, [this, Seed, Arrival](Context<Prio> &Ctx) {
+        uint64_t Start = repro::nowMicros();
+        repro::Rng Local(Seed);
+        Matrix A = randomMatrix(Config.MatmulN, Local);
+        Matrix B = randomMatrix(Config.MatmulN, Local);
+        Matrix C(Config.MatmulN);
+        matmulPar(Ctx, A, B, C, /*Cutoff=*/16);
+        recordJob(0, Arrival, Start);
+        return C.at(0, 0);
+      });
+      break;
+    case 1:
+      icilk::fcreate<Prio>(Rt, [this, Arrival](Context<Prio> &Ctx) {
+        uint64_t Start = repro::nowMicros();
+        uint64_t V = fibPar(Ctx, Config.FibN, /*Cutoff=*/16);
+        recordJob(1, Arrival, Start);
+        return V;
+      });
+      break;
+    case 2:
+      icilk::fcreate<Prio>(Rt, [this, Seed, Arrival](Context<Prio> &Ctx) {
+        uint64_t Start = repro::nowMicros();
+        repro::Rng Local(Seed);
+        std::vector<int64_t> Data(Config.SortN);
+        for (auto &V : Data)
+          V = static_cast<int64_t>(Local.next());
+        msortPar(Ctx, Data, /*Cutoff=*/8192);
+        recordJob(2, Arrival, Start);
+        return Data.front();
+      });
+      break;
+    default:
+      icilk::fcreate<Prio>(Rt, [this, Seed, Arrival](Context<Prio> &Ctx) {
+        uint64_t Start = repro::nowMicros();
+        repro::Rng Local(Seed);
+        std::string A = randomSequence(Config.SwN, Local);
+        std::string B = randomSequence(Config.SwN, Local);
+        int Best = smithWatermanPar(Ctx, A, B, /*Tile=*/64);
+        recordJob(3, Arrival, Start);
+        return Best;
+      });
+      break;
+    }
+  }
+
+  /// Runtime-level dispatch over the static priority types.
+  void submitAt(std::size_t Type, unsigned Level, uint64_t Seed,
+                uint64_t Arrival) {
+    switch (Level) {
+    case 3:
+      submitTyped<JobMatmul>(Type, Seed, Arrival);
+      break;
+    case 2:
+      submitTyped<JobFib>(Type, Seed, Arrival);
+      break;
+    case 1:
+      submitTyped<JobSort>(Type, Seed, Arrival);
+      break;
+    default:
+      submitTyped<JobSw>(Type, Seed, Arrival);
+      break;
+    }
+  }
+
+  /// Admission control: true = reject this arrival. Only low-priority
+  /// types are ever shed, and only while the aggregate queue depth is
+  /// over the limit.
   bool shouldShed(std::size_t Type) {
     if (!Config.Shedding)
       return false;
@@ -51,68 +152,49 @@ struct JobServer {
     return true;
   }
 
-  /// Records whole-job latencies for type \p Type.
-  void recordJob(std::size_t Type, uint64_t ArrivalMicros,
-                 uint64_t StartMicros) {
-    uint64_t Now = repro::nowMicros();
-    Counts[Type].fetch_add(1, std::memory_order_relaxed);
-    JobResponse[Type].record(static_cast<double>(Now - ArrivalMicros));
-    JobCompute[Type].record(static_cast<double>(Now - StartMicros));
+  bool offer(std::size_t Type) {
+    uint64_t Arrival = repro::nowMicros();
+    uint64_t Seed = nextSeed();
+    unsigned Level = 3 - static_cast<unsigned>(Type);
+    if (Admission) {
+      icilk::AdmitResult R = Admission->offer(
+          Level, [this, Type, Seed, Arrival](unsigned AdmittedLevel) {
+            submitAt(Type, AdmittedLevel, Seed, Arrival);
+          });
+      if (R == icilk::AdmitResult::Degraded)
+        Degraded[Type].fetch_add(1, std::memory_order_relaxed);
+      if (R == icilk::AdmitResult::Rejected) {
+        Shed[Type].fetch_add(1, std::memory_order_relaxed);
+        if (LiveShed)
+          LiveShed->add();
+        return false;
+      }
+      return true;
+    }
+    if (shouldShed(Type))
+      return false;
+    submitAt(Type, Level, Seed, Arrival);
+    return true;
   }
 };
 
-void submitMatmul(JobServer &S, repro::Rng &R) {
-  uint64_t Seed = R.next();
-  uint64_t Arrival = repro::nowMicros();
-  icilk::fcreate<JobMatmul>(S.Rt, [&S, Seed, Arrival](Context<JobMatmul> &Ctx) {
-    uint64_t Start = repro::nowMicros();
-    repro::Rng Local(Seed);
-    Matrix A = randomMatrix(S.Config.MatmulN, Local);
-    Matrix B = randomMatrix(S.Config.MatmulN, Local);
-    Matrix C(S.Config.MatmulN);
-    matmulPar(Ctx, A, B, C, /*Cutoff=*/16);
-    S.recordJob(0, Arrival, Start);
-    return C.at(0, 0);
-  });
+JobServerEngine::JobServerEngine(const JobServerConfig &Config)
+    : P(std::make_unique<Impl>(Config)) {}
+
+JobServerEngine::~JobServerEngine() = default;
+
+bool JobServerEngine::offer(std::size_t Type) { return P->offer(Type); }
+
+bool JobServerEngine::shouldShed(std::size_t Type) {
+  return P->shouldShed(Type);
 }
 
-void submitFib(JobServer &S) {
-  uint64_t Arrival = repro::nowMicros();
-  icilk::fcreate<JobFib>(S.Rt, [&S, Arrival](Context<JobFib> &Ctx) {
-    uint64_t Start = repro::nowMicros();
-    uint64_t V = fibPar(Ctx, S.Config.FibN, /*Cutoff=*/16);
-    S.recordJob(1, Arrival, Start);
-    return V;
-  });
-}
+icilk::Runtime &JobServerEngine::runtime() { return P->Rt; }
 
-void submitSort(JobServer &S, repro::Rng &R) {
-  uint64_t Seed = R.next();
-  uint64_t Arrival = repro::nowMicros();
-  icilk::fcreate<JobSort>(S.Rt, [&S, Seed, Arrival](Context<JobSort> &Ctx) {
-    uint64_t Start = repro::nowMicros();
-    repro::Rng Local(Seed);
-    std::vector<int64_t> Data(S.Config.SortN);
-    for (auto &V : Data)
-      V = static_cast<int64_t>(Local.next());
-    msortPar(Ctx, Data, /*Cutoff=*/8192);
-    S.recordJob(2, Arrival, Start);
-    return Data.front();
-  });
-}
-
-void submitSw(JobServer &S, repro::Rng &R) {
-  uint64_t Seed = R.next();
-  uint64_t Arrival = repro::nowMicros();
-  icilk::fcreate<JobSw>(S.Rt, [&S, Seed, Arrival](Context<JobSw> &Ctx) {
-    uint64_t Start = repro::nowMicros();
-    repro::Rng Local(Seed);
-    std::string A = randomSequence(S.Config.SwN, Local);
-    std::string B = randomSequence(S.Config.SwN, Local);
-    int Best = smithWatermanPar(Ctx, A, B, /*Tile=*/64);
-    S.recordJob(3, Arrival, Start);
-    return Best;
-  });
+void JobServerEngine::drain() {
+  if (P->Admission)
+    P->Admission->quiesce();
+  P->Rt.drain();
 }
 
 /// Injects one deliberate priority inversion: a matmul-level (highest)
@@ -122,22 +204,57 @@ void submitSw(JobServer &S, repro::Rng &R) {
 /// suspends properly when called from a task fiber. The producer spins
 /// long enough that the toucher reliably blocks, giving the profiler a
 /// named FtouchOnLower instance to find.
-void submitInversionPair(JobServer &S) {
-  auto Producer = icilk::fcreate<JobSw>(S.Rt, [](Context<JobSw> &) {
+void JobServerEngine::submitInversionPair() {
+  icilk::Runtime &Rt = P->Rt;
+  auto Producer = icilk::fcreate<JobSw>(Rt, [](Context<JobSw> &) {
     repro::spinFor(400);
     return 1;
   });
-  icilk::fcreate<JobMatmul>(S.Rt, [&S, Producer](Context<JobMatmul> &) {
-    return icilk::touchFromOutside(S.Rt, Producer);
+  icilk::fcreate<JobMatmul>(Rt, [&Rt, Producer](Context<JobMatmul> &) {
+    return icilk::touchFromOutside(Rt, Producer);
   });
 }
 
-} // namespace
+JobServerReport JobServerEngine::report(double WallMillis) {
+  JobServerReport Report;
+  Report.App =
+      collectReport(P->Rt, {"sw", "sort", "fib", "matmul"}, WallMillis);
+  uint64_t Total = 0;
+  for (std::size_t I = 0; I < 4; ++I) {
+    Report.JobsByType[I] = P->Counts[I].load();
+    Report.JobsShed[I] = P->Shed[I].load();
+    Report.JobsDegraded[I] = P->Degraded[I].load();
+    Report.JobResponse[I] = P->JobResponse[I].summary();
+    Report.JobCompute[I] = P->JobCompute[I].summary();
+    Total += Report.JobsByType[I];
+  }
+  Report.App.Requests = Total;
+  if (P->Admission) {
+    Report.Admission = P->Admission->sampleAdmission();
+    // Queue timeouts shed after offer() returned; fold them into the
+    // report's per-type shed view (admission levels map back to types).
+    for (unsigned L = 0; L < Report.Admission.Levels.size() && L < 4; ++L)
+      Report.JobsShed[3 - L] += Report.Admission.Levels[L].TimedOut;
+  }
+  if (repro::MetricsRegistry *M = P->Config.Metrics) {
+    sampleAppMetrics(M, P->Rt, /*Io=*/nullptr, Report.App, "jobserver");
+    static const char *TypeNames[] = {"matmul", "fib", "sort", "sw"};
+    for (std::size_t I = 0; I < 4; ++I) {
+      M->counter(std::string("jobserver.jobs.") + TypeNames[I])
+          .set(Report.JobsByType[I]);
+      M->counter(std::string("jobserver.shed.") + TypeNames[I])
+          .set(Report.JobsShed[I]);
+      M->counter(std::string("jobserver.degraded.") + TypeNames[I])
+          .set(Report.JobsDegraded[I]);
+    }
+  }
+  return Report;
+}
 
 JobServerReport runJobServer(const JobServerConfig &Config) {
-  JobServer S(Config);
-  TelemetryScope Telemetry(S.Rt, Config.TelemetryPort, Config.TelemetryPortOut,
-                           Config.Metrics);
+  JobServerEngine Engine(Config);
+  TelemetryScope Telemetry(Engine.runtime(), Config.TelemetryPort,
+                           Config.TelemetryPortOut, Config.Metrics);
   repro::Rng DriverRng(Config.Seed);
 
   double MixTotal = 0;
@@ -152,7 +269,7 @@ JobServerReport runJobServer(const JobServerConfig &Config) {
     // Spread the requested inversion injections evenly over the horizon.
     while (Injected < Config.InjectInversions &&
            NextAt * (Config.InjectInversions + 1) >= Horizon * (Injected + 1)) {
-      submitInversionPair(S);
+      Engine.submitInversionPair();
       ++Injected;
     }
     NextAt += static_cast<uint64_t>(
@@ -162,50 +279,23 @@ JobServerReport runJobServer(const JobServerConfig &Config) {
       break;
     sleepUntilMicros(Epoch, NextAt);
     double Roll = DriverRng.nextDouble() * MixTotal;
-    if ((Roll -= Config.Mix[0]) < 0) {
-      if (!S.shouldShed(0))
-        submitMatmul(S, DriverRng);
-    } else if ((Roll -= Config.Mix[1]) < 0) {
-      if (!S.shouldShed(1))
-        submitFib(S);
-    } else if ((Roll -= Config.Mix[2]) < 0) {
-      if (!S.shouldShed(2))
-        submitSort(S, DriverRng);
-    } else {
-      if (!S.shouldShed(3))
-        submitSw(S, DriverRng);
-    }
+    std::size_t Type = 3;
+    if ((Roll -= Config.Mix[0]) < 0)
+      Type = 0;
+    else if ((Roll -= Config.Mix[1]) < 0)
+      Type = 1;
+    else if ((Roll -= Config.Mix[2]) < 0)
+      Type = 2;
+    Engine.offer(Type);
   }
   // A coarse arrival step can overshoot the remaining injection marks;
   // make good on the requested count before draining.
   for (; Injected < Config.InjectInversions; ++Injected)
-    submitInversionPair(S);
-  S.Rt.drain();
+    Engine.submitInversionPair();
+  Engine.drain();
 
   double WallMillis = static_cast<double>(repro::nowMicros() - Epoch) / 1000.0;
-  JobServerReport Report;
-  Report.App =
-      collectReport(S.Rt, {"sw", "sort", "fib", "matmul"}, WallMillis);
-  uint64_t Total = 0;
-  for (std::size_t I = 0; I < 4; ++I) {
-    Report.JobsByType[I] = S.Counts[I].load();
-    Report.JobsShed[I] = S.Shed[I].load();
-    Report.JobResponse[I] = S.JobResponse[I].summary();
-    Report.JobCompute[I] = S.JobCompute[I].summary();
-    Total += Report.JobsByType[I];
-  }
-  Report.App.Requests = Total;
-  if (repro::MetricsRegistry *M = Config.Metrics) {
-    sampleAppMetrics(M, S.Rt, /*Io=*/nullptr, Report.App, "jobserver");
-    static const char *TypeNames[] = {"matmul", "fib", "sort", "sw"};
-    for (std::size_t I = 0; I < 4; ++I) {
-      M->counter(std::string("jobserver.jobs.") + TypeNames[I])
-          .set(Report.JobsByType[I]);
-      M->counter(std::string("jobserver.shed.") + TypeNames[I])
-          .set(Report.JobsShed[I]);
-    }
-  }
-  return Report;
+  return Engine.report(WallMillis);
 }
 
 } // namespace repro::apps

@@ -17,8 +17,10 @@
 #define REPRO_APPS_JOBSERVER_H
 
 #include "apps/AppCommon.h"
+#include "icilk/Admission.h"
 
 #include <array>
+#include <memory>
 
 namespace repro::apps {
 
@@ -49,6 +51,14 @@ struct JobServerConfig {
   bool Shedding = false;
   unsigned ShedMaxLevel = 1;    ///< shed sort (1) and sw (0); admit fib, matmul
   int64_t ShedQueueDepth = 24;  ///< queued-task threshold
+  /// Closed-loop admission control (icilk/Admission.h): per-level queues,
+  /// token buckets, and a feedback controller replace the static Shedding
+  /// knobs above. An arrival may be admitted, queued, *degraded* to a
+  /// lower job level (the job still runs, at background urgency), or shed
+  /// (rejected / timed out in queue). Mutually exclusive with Shedding —
+  /// when both are set, admission control wins.
+  bool AdmissionControl = false;
+  icilk::AdmissionConfig Admission{};
   /// When non-null, the run dumps its final counters/gauges/histograms
   /// here under "jobserver.*" (see support/Metrics.h). Not owned.
   repro::MetricsRegistry *Metrics = nullptr;
@@ -77,11 +87,53 @@ struct JobServerReport {
   AppReport App;
   std::array<uint64_t, 4> JobsByType{}; ///< matmul, fib, sort, sw (level 3..0)
   std::array<uint64_t, 4> JobsShed{};   ///< same index; nonzero only when shedding
+  std::array<uint64_t, 4> JobsDegraded{}; ///< admitted below requested level
   /// Whole-job latencies (top-level job task only, not its inner parallel
   /// subtasks): Response = arrival → completion, Compute = first dispatch →
   /// completion. Index: 0 matmul, 1 fib, 2 sort, 3 sw.
   std::array<repro::LatencySummary, 4> JobResponse{};
   std::array<repro::LatencySummary, 4> JobCompute{};
+  /// Final admission counters (Attached only when AdmissionControl ran).
+  icilk::AdmissionSample Admission;
+};
+
+/// The job server's submission machinery, factored out of runJobServer so
+/// open-loop drivers (bench/loadgen) can push arrivals on their own
+/// schedules instead of the built-in Poisson loop. Owns the Runtime and,
+/// when configured, the AdmissionController in front of it.
+class JobServerEngine {
+public:
+  explicit JobServerEngine(const JobServerConfig &Config);
+  ~JobServerEngine();
+
+  JobServerEngine(const JobServerEngine &) = delete;
+  JobServerEngine &operator=(const JobServerEngine &) = delete;
+
+  /// Offers one job of type \p Type (0 matmul … 3 sw) — through admission
+  /// control when enabled, directly otherwise. Thread-safe. Returns false
+  /// when the arrival was shed at the door (it may still be shed later by
+  /// a queue timeout; final numbers live in report()).
+  bool offer(std::size_t Type);
+
+  /// The static-shedding predicate of the first robustness pass (only
+  /// consulted by offer() when Shedding is set without AdmissionControl).
+  bool shouldShed(std::size_t Type);
+
+  /// Submits one deliberate priority inversion (profiler validation).
+  void submitInversionPair();
+
+  icilk::Runtime &runtime();
+
+  /// Waits for the admission queues to empty, then drains the runtime.
+  void drain();
+
+  /// Collects the end-of-run report; \p WallMillis is the driver's
+  /// measured wall time (throughput denominator).
+  JobServerReport report(double WallMillis);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
 };
 
 /// Runs the job server (Config.Rt.PriorityAware=false for the baseline).

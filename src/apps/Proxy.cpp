@@ -25,6 +25,11 @@ struct ProxyServer {
       Io.setFaultPlan(Faults);
     }
     Rt.setTrace(Config.Trace); // before the first spawn, so ids line up
+    if (Config.AdmissionControl)
+      // Sweeps ride the app's own timer heap (plain timers are never
+      // fault-injected, so a fault plan cannot break admission).
+      Admission = std::make_unique<icilk::AdmissionController>(
+          Rt, Config.Admission, &Io);
   }
 
   const ProxyConfig &Config;
@@ -35,28 +40,62 @@ struct ProxyServer {
   repro::LatencyRecorder EndToEnd;
   std::atomic<uint64_t> Hits{0}, Misses{0}, Requests{0};
   std::atomic<uint64_t> Retries{0}, Failed{0};
+  std::atomic<uint64_t> DeadlineAbandoned{0};
   std::atomic<bool> StopStats{false};
+  /// Declared last: destroyed before Rt and Io, while both still live.
+  std::unique_ptr<icilk::AdmissionController> Admission;
 };
 
 /// Issues one simulated I/O op and touches it, retrying erroneous
 /// completions with capped exponential backoff + jitter. Returns nullopt
 /// when the op still fails after MaxIoRetries retries. Backoff sleeps ride
 /// the timer heap (IoService::sleepFor), so the worker keeps scheduling.
+///
+/// \p DeadlineAbsMicros (0 = none) is the request's *overall* deadline:
+/// an op is never submitted once it has passed, an in-flight wait is
+/// bounded by the remaining budget (ftouchFor), and a backoff sleep that
+/// would end past it abandons the request instead — retries must not
+/// outlive the deadline and waste admitted slots under overload.
 template <typename Prio>
 std::optional<long> ioWithRetry(ProxyServer &S, Context<Prio> &Ctx,
                                 uint64_t LatencyMicros, long Bytes,
-                                uint64_t JitterSeed) {
+                                uint64_t JitterSeed,
+                                uint64_t DeadlineAbsMicros = 0) {
   conc::RetryBackoff Backoff(S.Config.RetryBaseDelayMicros,
                              S.Config.RetryCapDelayMicros, JitterSeed);
   for (unsigned Attempt = 0;; ++Attempt) {
+    uint64_t Remaining = 0;
+    if (DeadlineAbsMicros) {
+      uint64_t Now = repro::nowMicros();
+      if (Now >= DeadlineAbsMicros) {
+        S.DeadlineAbandoned.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt; // expired: do not (re-)submit
+      }
+      Remaining = DeadlineAbsMicros - Now;
+    }
     auto Op = S.Io.read<Prio>(LatencyMicros, Bytes);
     try {
-      return Ctx.ftouch(Op);
+      if (!DeadlineAbsMicros)
+        return Ctx.ftouch(Op);
+      auto V = Ctx.ftouchFor(Op, S.Io, Remaining);
+      if (!V) {
+        // Deadline beat the value; the op keeps running but this request
+        // is done waiting for it.
+        S.DeadlineAbandoned.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      return *V;
     } catch (const icilk::IoError &) {
       if (Attempt >= S.Config.MaxIoRetries)
         return std::nullopt;
+      uint64_t Delay = Backoff.nextDelayMicros();
+      if (DeadlineAbsMicros &&
+          repro::nowMicros() + Delay >= DeadlineAbsMicros) {
+        S.DeadlineAbandoned.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt; // the retry could only finish too late
+      }
       S.Retries.fetch_add(1, std::memory_order_relaxed);
-      Ctx.ftouch(S.Io.sleepFor<Prio>(Backoff.nextDelayMicros()));
+      Ctx.ftouch(S.Io.sleepFor<Prio>(Delay));
     }
   }
 }
@@ -66,10 +105,12 @@ std::optional<long> ioWithRetry(ProxyServer &S, Context<Prio> &Ctx,
 /// counted in Failed but still gets an end-to-end sample (the client heard
 /// *something* — an error page — and the latency of hearing it matters).
 void fetchAndReply(ProxyServer &S, Context<ProxyFetch> &Ctx, std::size_t Url,
-                   uint64_t FetchLatency, uint64_t ArrivalMicros) {
+                   uint64_t FetchLatency, uint64_t ArrivalMicros,
+                   uint64_t DeadlineMicros) {
   auto Bytes = ioWithRetry(S, Ctx, FetchLatency,
                            static_cast<long>(Url % 1500 + 200),
-                           /*JitterSeed=*/ArrivalMicros ^ Url);
+                           /*JitterSeed=*/ArrivalMicros ^ Url,
+                           DeadlineMicros);
   if (!Bytes) {
     S.Failed.fetch_add(1, std::memory_order_relaxed);
     S.EndToEnd.record(static_cast<double>(repro::nowMicros() - ArrivalMicros));
@@ -80,30 +121,36 @@ void fetchAndReply(ProxyServer &S, Context<ProxyFetch> &Ctx, std::size_t Url,
   Body[0] = static_cast<char>('a' + Url % 26);
   S.Cache.put(Url, std::move(Body));
   if (!ioWithRetry(S, Ctx, S.Config.ReplyLatencyMicros, *Bytes,
-                   ArrivalMicros ^ (Url + 1)))
+                   ArrivalMicros ^ (Url + 1), DeadlineMicros))
     S.Failed.fetch_add(1, std::memory_order_relaxed);
   S.EndToEnd.record(static_cast<double>(repro::nowMicros() - ArrivalMicros));
 }
 
-/// Event loop component (ProxyClient): one task per incoming request.
-void handleRequest(ProxyServer &S, Context<ProxyClient> &Ctx, std::size_t Url,
-                   uint64_t FetchLatency, uint64_t ArrivalMicros) {
+/// Event loop component: one task per incoming request. Normally runs at
+/// ProxyClient; an admission-degraded arrival runs the same body at
+/// ProxyFetch (the delegate below is then a same-level fcreate, which the
+/// Touch rule allows — only waiting *upward* is an inversion).
+template <typename Prio>
+void handleRequest(ProxyServer &S, Context<Prio> &Ctx, std::size_t Url,
+                   uint64_t FetchLatency, uint64_t ArrivalMicros,
+                   uint64_t DeadlineMicros) {
   S.Requests.fetch_add(1, std::memory_order_relaxed);
   repro::spinFor(S.Config.HandleComputeMicros); // parse request, route
   if (auto Cached = S.Cache.get(Url)) {
     S.Hits.fetch_add(1, std::memory_order_relaxed);
     if (!ioWithRetry(S, Ctx, S.Config.ReplyLatencyMicros,
                      static_cast<long>(Cached->size()),
-                     ArrivalMicros ^ (Url + 2)))
+                     ArrivalMicros ^ (Url + 2), DeadlineMicros))
       S.Failed.fetch_add(1, std::memory_order_relaxed);
     S.EndToEnd.record(static_cast<double>(repro::nowMicros() - ArrivalMicros));
     return;
   }
   S.Misses.fetch_add(1, std::memory_order_relaxed);
   // Delegate downward — never wait on lower-priority work (Touch rule).
-  Ctx.fcreate<ProxyFetch>(
-      [&S, Url, FetchLatency, ArrivalMicros](Context<ProxyFetch> &C) {
-        fetchAndReply(S, C, Url, FetchLatency, ArrivalMicros);
+  Ctx.template fcreate<ProxyFetch>(
+      [&S, Url, FetchLatency, ArrivalMicros,
+       DeadlineMicros](Context<ProxyFetch> &C) {
+        fetchAndReply(S, C, Url, FetchLatency, ArrivalMicros, DeadlineMicros);
       });
 }
 
@@ -162,14 +209,36 @@ ProxyReport runProxy(const ProxyConfig &Config) {
         LatencyRng.nextExponential(1.0 / static_cast<double>(
                                              Config.FetchLatencyMeanMicros)));
     uint64_t Arrival = repro::nowMicros();
-    icilk::fcreate<ProxyClient>(
-        S.Rt, [&S, Url, FetchLatency, Arrival](Context<ProxyClient> &C) {
-          handleRequest(S, C, Url, FetchLatency, Arrival);
-        });
+    uint64_t Deadline = Config.RequestDeadlineMicros
+                            ? Arrival + Config.RequestDeadlineMicros
+                            : 0;
+    auto SubmitClient = [&S, Url, FetchLatency, Arrival,
+                         Deadline](unsigned Level) {
+      // Levels 3 (requested) and 2.. (degraded) map onto the two static
+      // priorities a request can run at.
+      if (Level >= 3)
+        icilk::fcreate<ProxyClient>(
+            S.Rt, [&S, Url, FetchLatency, Arrival,
+                   Deadline](Context<ProxyClient> &C) {
+              handleRequest(S, C, Url, FetchLatency, Arrival, Deadline);
+            });
+      else
+        icilk::fcreate<ProxyFetch>(
+            S.Rt, [&S, Url, FetchLatency, Arrival,
+                   Deadline](Context<ProxyFetch> &C) {
+              handleRequest(S, C, Url, FetchLatency, Arrival, Deadline);
+            });
+    };
+    if (S.Admission)
+      S.Admission->offer(3, SubmitClient);
+    else
+      SubmitClient(3);
   }
 
   // ProxyMain: shutdown — stop the logger, drain, aggregate.
   S.StopStats.store(true, std::memory_order_release);
+  if (S.Admission)
+    S.Admission->quiesce();
   S.Rt.drain();
   auto Shutdown = icilk::fcreate<ProxyMain>(S.Rt, [&S](Context<ProxyMain> &) {
     repro::spinFor(200);
@@ -191,6 +260,9 @@ ProxyReport runProxy(const ProxyConfig &Config) {
   Report.Retries = S.Retries.load();
   Report.FailedRequests = S.Failed.load();
   Report.InjectedFaults = S.Faults ? S.Faults->injected() : 0;
+  Report.DeadlineAbandoned = S.DeadlineAbandoned.load();
+  if (S.Admission)
+    Report.Admission = S.Admission->sampleAdmission();
   if (repro::MetricsRegistry *M = Config.Metrics) {
     sampleAppMetrics(M, S.Rt, &S.Io, Report.App, "proxy");
     M->counter("proxy.cache_hits").set(Report.CacheHits);
@@ -198,6 +270,8 @@ ProxyReport runProxy(const ProxyConfig &Config) {
     M->counter("proxy.retries").set(Report.Retries);
     M->counter("proxy.failed_requests").set(Report.FailedRequests);
     M->counter("proxy.injected_faults").set(Report.InjectedFaults);
+    M->counter("proxy.deadline_abandoned").set(Report.DeadlineAbandoned);
+    M->counter("proxy.admission.shed").set(Report.Admission.Shed);
   }
   return Report;
 }

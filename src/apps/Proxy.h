@@ -25,6 +25,7 @@
 #define REPRO_APPS_PROXY_H
 
 #include "apps/AppCommon.h"
+#include "icilk/Admission.h"
 
 #include <cstdint>
 
@@ -58,6 +59,17 @@ struct ProxyConfig {
   unsigned MaxIoRetries = 3;
   uint64_t RetryBaseDelayMicros = 200;
   uint64_t RetryCapDelayMicros = 5000;
+  /// Overall per-request deadline (0 = none): once a request has been in
+  /// flight this long past its arrival, its I/O waits switch to ftouchFor
+  /// with the remaining budget and its retry loop stops re-submitting —
+  /// an expired request must not waste admitted slots under overload.
+  uint64_t RequestDeadlineMicros = 0;
+  /// Closed-loop admission control (icilk/Admission.h) in front of the
+  /// client-arrival path. A degraded arrival is handled at the fetch
+  /// level instead of the event-loop level; a shed one never enters the
+  /// runtime.
+  bool AdmissionControl = false;
+  icilk::AdmissionConfig Admission{};
   /// When non-null, the run dumps its final counters/gauges/histograms
   /// here under "proxy.*" (see support/Metrics.h). Not owned.
   repro::MetricsRegistry *Metrics = nullptr;
@@ -83,6 +95,10 @@ struct ProxyReport {
   uint64_t Retries = 0;        ///< I/O retries performed
   uint64_t FailedRequests = 0; ///< requests abandoned after max retries
   uint64_t InjectedFaults = 0; ///< fault-plan decisions that were not None
+  uint64_t DeadlineAbandoned = 0; ///< I/O waits given up at the request
+                                  ///< deadline (never re-submitted)
+  /// Final admission counters (Attached only when AdmissionControl ran).
+  icilk::AdmissionSample Admission;
 };
 
 /// Runs the proxy server under the given configuration (set

@@ -33,6 +33,12 @@ public:
       delete N;
       N = Next;
     }
+    N = Retired.load(std::memory_order_relaxed);
+    while (N) {
+      Node *Next = N->FreeNext;
+      delete N;
+      N = Next;
+    }
   }
 
   /// Pushes a value (multi-producer safe).
@@ -43,15 +49,17 @@ public:
     }
   }
 
-  /// Pops one value; false when empty. Safe only when no concurrent popAll
-  /// (the runtime uses either one-at-a-time or drain, never both).
+  /// Pops one value; false when empty. A losing popper may still be
+  /// dereferencing the node a winner just unlinked, so nodes are retired to
+  /// the free list (never reused, reclaimed in the destructor) rather than
+  /// deleted here — that also rules out ABA on the head CAS.
   bool tryPop(T &Out) {
     Node *N = Head.load(std::memory_order_acquire);
     while (N) {
       if (Head.compare_exchange_weak(N, N->Next, std::memory_order_acquire,
                                      std::memory_order_acquire)) {
         Out = std::move(N->Value);
-        delete N;
+        retire(N);
         return true;
       }
     }
@@ -65,7 +73,7 @@ public:
     while (N) {
       Out.push_back(std::move(N->Value));
       Node *Next = N->Next;
-      delete N;
+      retire(N);
       N = Next;
     }
     return Out;
@@ -79,9 +87,20 @@ private:
   struct Node {
     T Value;
     Node *Next;
+    Node *FreeNext = nullptr; // retired-list link; distinct from Next so a
+                              // racing reader of Next never sees our write
   };
 
+  void retire(Node *N) {
+    N->FreeNext = Retired.load(std::memory_order_relaxed);
+    while (!Retired.compare_exchange_weak(N->FreeNext, N,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
   std::atomic<Node *> Head{nullptr};
+  std::atomic<Node *> Retired{nullptr};
 };
 
 } // namespace repro::conc

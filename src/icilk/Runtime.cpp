@@ -551,6 +551,8 @@ RuntimeSnapshot Runtime::snapshot() const {
     S.Pending.push_back(Pending[L].load(std::memory_order_relaxed));
   S.Assigned = countAssignments();
   S.Desires = currentDesires();
+  if (const AdmissionView *A = AdmissionStats.load(std::memory_order_acquire))
+    S.Admission = A->sampleAdmission();
   return S;
 }
 
@@ -569,6 +571,27 @@ void Runtime::sampleMetrics(repro::MetricsRegistry &M,
   M.counter(Prefix + ".tasks_recycled").set(S.TasksRecycled);
   M.setGauge(Prefix + ".outstanding", static_cast<double>(S.Outstanding));
   M.setGauge(Prefix + ".workers_parked", static_cast<double>(S.WorkersParked));
+
+  if (S.Admission.Attached) {
+    M.counter(Prefix + ".admission.shed").set(S.Admission.Shed);
+    M.counter(Prefix + ".admission.queue_delay_count")
+        .set(S.Admission.QueueDelayCount);
+    M.setGauge(Prefix + ".admission.queue_delay_p99_micros",
+               S.Admission.QueueDelayP99Micros);
+    M.setGauge(Prefix + ".admission.clamped_levels",
+               static_cast<double>(S.Admission.ClampedLevels));
+    for (unsigned L = 0; L < S.Admission.Levels.size(); ++L) {
+      const AdmissionLevelSample &AL = S.Admission.Levels[L];
+      std::string AP = Prefix + ".admission.level" + std::to_string(L);
+      M.counter(AP + ".offered").set(AL.Offered);
+      M.counter(AP + ".admitted").set(AL.Admitted);
+      M.counter(AP + ".degraded").set(AL.Degraded);
+      M.counter(AP + ".rejected").set(AL.Rejected);
+      M.counter(AP + ".timed_out").set(AL.TimedOut);
+      M.setGauge(AP + ".queued", static_cast<double>(AL.Queued));
+      M.setGauge(AP + ".rate_per_sec", AL.RatePerSec);
+    }
+  }
 
   // Latency histograms are fed *incrementally*: a cursor per registry
   // remembers how much of each recorder this registry has consumed, so a

@@ -111,6 +111,41 @@ struct LevelStats {
   std::atomic<uint64_t> Completed{0};
 };
 
+/// Per-priority-level admission counters, as sampled from an attached
+/// overload controller (icilk/Admission.h). All counters are cumulative
+/// since the controller started.
+struct AdmissionLevelSample {
+  uint64_t Offered = 0;   ///< arrivals presented to the controller
+  uint64_t Admitted = 0;  ///< submitted to the runtime at this level
+  uint64_t Degraded = 0;  ///< arrivals at this level re-admitted lower
+  uint64_t Rejected = 0;  ///< shed outright (queue full, no degrade path)
+  uint64_t TimedOut = 0;  ///< shed by queue-timeout (deadline heap)
+  int64_t Queued = 0;     ///< entries waiting in the admission queue now
+  double RatePerSec = 0;  ///< live token-bucket rate (0 = unlimited)
+  double WindowP99Micros = 0; ///< controller's windowed response p99 input
+};
+
+/// One sample of an attached admission controller's observable state;
+/// rides inside RuntimeSnapshot so /metrics and /snapshot.json tell the
+/// shed/admit/queue-delay story during overload.
+struct AdmissionSample {
+  bool Attached = false;
+  uint64_t Shed = 0;             ///< rejected + timed out, all levels
+  uint64_t QueueDelayCount = 0;  ///< dispatched-after-queuing admissions
+  double QueueDelayP99Micros = 0; ///< enqueue → dispatch delay p99
+  unsigned ClampedLevels = 0;    ///< levels currently rate-limited
+  std::vector<AdmissionLevelSample> Levels;
+};
+
+/// Implemented by the admission controller so the runtime's stats surface
+/// can embed its counters without a dependency cycle (Runtime.h must not
+/// include Admission.h).
+class AdmissionView {
+public:
+  virtual ~AdmissionView() = default;
+  virtual AdmissionSample sampleAdmission() const = 0;
+};
+
 /// One coherent sample of the runtime's observable state — the single
 /// stats surface (Runtime::snapshot()) that replaced seven ad-hoc getters.
 /// Fields are read individually with relaxed ordering, so across fields
@@ -139,6 +174,8 @@ struct RuntimeSnapshot {
   std::vector<int64_t> Pending;    ///< queued (not running/suspended), per level
   std::vector<unsigned> Assigned;  ///< workers currently assigned, per level
   std::vector<double> Desires;     ///< master's current desire, per level
+  AdmissionSample Admission;       ///< attached-controller counters (see
+                                   ///< Attached; empty when none attached)
 
   /// Total queue depth — the admission-control signal (see apps/JobServer).
   int64_t totalPending() const {
@@ -210,6 +247,18 @@ public:
   }
   void noteDeadlineMiss() {
     DeadlineMisses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Attaches (or detaches, with nullptr) an admission controller's stats
+  /// view; snapshot() embeds its counters while attached (which is how
+  /// telemetry's /metrics and /snapshot.json surface the shed story). The
+  /// view must outlive the attachment — the controller detaches itself in
+  /// its destructor.
+  void setAdmission(const AdmissionView *A) {
+    AdmissionStats.store(A, std::memory_order_release);
+  }
+  const AdmissionView *admission() const {
+    return AdmissionStats.load(std::memory_order_acquire);
   }
 
   /// Attaches (or detaches, with nullptr) an execution-trace recorder;
@@ -303,6 +352,7 @@ private:
   std::atomic<bool> InjectionFullLogged{false};
   std::atomic<uint32_t> NextTraceTaskId{1}; ///< event-ring task ids
   std::atomic<class TraceRecorder *> Trace{nullptr};
+  std::atomic<const AdmissionView *> AdmissionStats{nullptr};
   std::atomic<bool> Stop{false};
 
   /// Per-registry consumed counts for sampleMetrics (so repeated calls

@@ -301,6 +301,67 @@ std::string Telemetry::renderPrometheus() const {
     sample(Out, P + "_response_window_count", levelLabel(L),
            num(WindowCounts[L]));
 
+  if (S.Admission.Attached) {
+    const AdmissionSample &A = S.Admission;
+    family(Out, P + "_admission_shed_total", "counter",
+           "Arrivals shed by the admission controller (rejected + "
+           "timed out in queue), summed over levels.");
+    sample(Out, P + "_admission_shed_total", "", num(A.Shed));
+
+    family(Out, P + "_admission_clamped_levels", "gauge",
+           "Priority levels currently under a token-bucket clamp.");
+    sample(Out, P + "_admission_clamped_levels", "",
+           num(static_cast<uint64_t>(A.ClampedLevels)));
+
+    family(Out, P + "_admission_queue_delay_p99_micros", "gauge",
+           "p99 of admission-queue delay (enqueue to dispatch).");
+    sample(Out, P + "_admission_queue_delay_p99_micros", "",
+           num(A.QueueDelayP99Micros));
+
+    family(Out, P + "_admission_offered_total", "counter",
+           "Arrivals offered to the admission controller, per level.");
+    for (unsigned L = 0; L < A.Levels.size(); ++L)
+      sample(Out, P + "_admission_offered_total", levelLabel(L),
+             num(A.Levels[L].Offered));
+
+    family(Out, P + "_admission_admitted_total", "counter",
+           "Arrivals admitted into the runtime, per level.");
+    for (unsigned L = 0; L < A.Levels.size(); ++L)
+      sample(Out, P + "_admission_admitted_total", levelLabel(L),
+             num(A.Levels[L].Admitted));
+
+    family(Out, P + "_admission_degraded_total", "counter",
+           "Arrivals re-admitted at a lower priority level, per "
+           "originally requested level.");
+    for (unsigned L = 0; L < A.Levels.size(); ++L)
+      sample(Out, P + "_admission_degraded_total", levelLabel(L),
+             num(A.Levels[L].Degraded));
+
+    family(Out, P + "_admission_rejected_total", "counter",
+           "Arrivals rejected outright, per level.");
+    for (unsigned L = 0; L < A.Levels.size(); ++L)
+      sample(Out, P + "_admission_rejected_total", levelLabel(L),
+             num(A.Levels[L].Rejected));
+
+    family(Out, P + "_admission_timed_out_total", "counter",
+           "Arrivals that expired in the admission queue, per level.");
+    for (unsigned L = 0; L < A.Levels.size(); ++L)
+      sample(Out, P + "_admission_timed_out_total", levelLabel(L),
+             num(A.Levels[L].TimedOut));
+
+    family(Out, P + "_admission_queued", "gauge",
+           "Entries waiting in the admission queue, per level.");
+    for (unsigned L = 0; L < A.Levels.size(); ++L)
+      sample(Out, P + "_admission_queued", levelLabel(L),
+             num(static_cast<double>(A.Levels[L].Queued)));
+
+    family(Out, P + "_admission_rate_per_sec", "gauge",
+           "Live token-bucket rate per level (0 = unlimited).");
+    for (unsigned L = 0; L < A.Levels.size(); ++L)
+      sample(Out, P + "_admission_rate_per_sec", levelLabel(L),
+             num(A.Levels[L].RatePerSec));
+  }
+
   family(Out, P + "_ring_events_total", "counter",
          "Events ever pushed to each per-thread trace ring.");
   std::vector<trace::EventLog::RingStats> Rings =
@@ -361,6 +422,34 @@ json::Value Telemetry::snapshotJson() const {
     Levels.push(std::move(LV));
   }
   Out.set("levels", std::move(Levels));
+
+  if (S.Admission.Attached) {
+    const AdmissionSample &A = S.Admission;
+    json::Value AV = json::Value::object();
+    AV.set("shed", json::Value(A.Shed));
+    AV.set("clamped_levels",
+           json::Value(static_cast<uint64_t>(A.ClampedLevels)));
+    AV.set("queue_delay_count", json::Value(A.QueueDelayCount));
+    AV.set("queue_delay_p99_micros", json::Value(A.QueueDelayP99Micros));
+    json::Value ALs = json::Value::array();
+    for (unsigned L = 0; L < A.Levels.size(); ++L) {
+      const AdmissionLevelSample &LS = A.Levels[L];
+      json::Value LV = json::Value::object();
+      LV.set("level", json::Value(static_cast<uint64_t>(L)));
+      LV.set("offered", json::Value(LS.Offered));
+      LV.set("admitted", json::Value(LS.Admitted));
+      LV.set("degraded", json::Value(LS.Degraded));
+      LV.set("rejected", json::Value(LS.Rejected));
+      LV.set("timed_out", json::Value(LS.TimedOut));
+      LV.set("queued", json::Value(static_cast<uint64_t>(
+                           LS.Queued < 0 ? 0 : LS.Queued)));
+      LV.set("rate_per_sec", json::Value(LS.RatePerSec));
+      LV.set("window_p99_micros", json::Value(LS.WindowP99Micros));
+      ALs.push(std::move(LV));
+    }
+    AV.set("levels", std::move(ALs));
+    Out.set("admission", std::move(AV));
+  }
 
   json::Value Rings = json::Value::array();
   for (const auto &R : trace::EventLog::instance().ringStats()) {

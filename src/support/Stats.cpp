@@ -46,6 +46,7 @@ LatencySummary summarize(std::vector<double> Samples) {
   S.P50 = quantileSorted(Samples, 0.50);
   S.P95 = quantileSorted(Samples, 0.95);
   S.P99 = quantileSorted(Samples, 0.99);
+  S.P999 = quantileSorted(Samples, 0.999);
   return S;
 }
 
@@ -148,7 +149,8 @@ LatencySummary ShardedLatencyRecorder::summary() const {
 std::string toString(const LatencySummary &S) {
   std::ostringstream OS;
   OS << "n=" << S.Count << " mean=" << S.Mean << " p50=" << S.P50
-     << " p95=" << S.P95 << " p99=" << S.P99 << " min=" << S.Min
+     << " p95=" << S.P95 << " p99=" << S.P99 << " p999=" << S.P999
+     << " min=" << S.Min
      << " max=" << S.Max;
   return OS.str();
 }

@@ -33,6 +33,7 @@ struct LatencySummary {
   double P50 = 0.0;
   double P95 = 0.0;
   double P99 = 0.0;
+  double P999 = 0.0;
   double StdDev = 0.0;
 };
 

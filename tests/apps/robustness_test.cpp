@@ -87,6 +87,58 @@ TEST(ProxyRobustnessTest, FaultPlanSeedIsReproducible) {
 }
 
 //===----------------------------------------------------------------------===//
+// Proxy request deadlines (overall per-request budget)
+//===----------------------------------------------------------------------===//
+
+TEST(ProxyRobustnessTest, DeadlineBoundsSlowFetchWaits) {
+  // Fault-free but slow origin: fetches take ~10x the request deadline, so
+  // most requests are abandoned by the deadline touch (ftouchFor returns
+  // nullopt) rather than waiting out the full fetch. Every request is
+  // still counted and still gets an end-to-end latency sample.
+  ProxyConfig C;
+  C.Connections = 8;
+  C.DurationMillis = 250;
+  C.RequestIntervalMicros = 4000;
+  C.FetchLatencyMeanMicros = 20000;
+  C.RequestDeadlineMicros = 2000;
+  C.Rt.NumWorkers = 4;
+  ProxyReport R = runProxy(C);
+  EXPECT_GT(R.App.Requests, 10u);
+  EXPECT_GT(R.DeadlineAbandoned, 0u) << "no wait was ever cut short";
+  EXPECT_GT(R.FailedRequests, 0u) << "abandoned requests must be counted";
+  EXPECT_EQ(R.App.EndToEnd.Count, R.App.Requests);
+}
+
+TEST(ProxyRobustnessTest, ExpiredDeadlineNeverResubmits) {
+  // The retry-vs-deadline interaction: every op fails, retries are
+  // allowed, but the backoff delay (jittered into [base/2, base], base
+  // 20 ms) always lands past the 1.5 ms request deadline — so after the
+  // first failure the request must be abandoned, never re-submitted. A
+  // single retry happening is a regression (a retry scheduled past the
+  // deadline wastes an admitted slot under overload, exactly what the
+  // deadline exists to prevent).
+  ProxyConfig C;
+  C.Connections = 8;
+  C.DurationMillis = 200;
+  C.RequestIntervalMicros = 4000;
+  C.FetchLatencyMeanMicros = 500;
+  C.Faults.FailProb = 1.0;
+  C.FaultSeed = 7;
+  C.MaxIoRetries = 5;
+  C.RetryBaseDelayMicros = 20000;
+  C.RetryCapDelayMicros = 20000;
+  C.RequestDeadlineMicros = 1500;
+  C.Rt.NumWorkers = 4;
+  ProxyReport R = runProxy(C);
+  EXPECT_GT(R.App.Requests, 5u);
+  EXPECT_GT(R.InjectedFaults, 0u) << "the plan never fired — test is vacuous";
+  EXPECT_EQ(R.Retries, 0u)
+      << "a retry was scheduled past the request deadline";
+  EXPECT_GT(R.DeadlineAbandoned, 0u);
+  EXPECT_EQ(R.App.EndToEnd.Count, R.App.Requests);
+}
+
+//===----------------------------------------------------------------------===//
 // Job server under overload with admission control
 //===----------------------------------------------------------------------===//
 

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
@@ -248,6 +249,110 @@ TEST(FailureTest, UnassociatedTokenNeverCancelled) {
   Source.requestCancel();
   EXPECT_TRUE(Source.cancelRequested());
   EXPECT_TRUE(Source.token().cancelled());
+}
+
+//===----------------------------------------------------------------------===//
+// Deadline touches racing cooperative cancellation (both orders)
+//===----------------------------------------------------------------------===//
+
+/// A task that only ever exits by observing its cancellation token.
+template <typename Prio>
+Future<Prio, int> spinUntilCancelled(Runtime &Rt, CancelToken Token,
+                                     std::atomic<bool> &Entered) {
+  return fcreate<Prio>(Rt, [&Entered, Token](Context<Prio> &) -> int {
+    Entered.store(true);
+    while (true) {
+      Token.throwIfCancelled();
+      std::this_thread::yield();
+    }
+  });
+}
+
+TEST(FailureTest, CancellationBeatsFtouchForDeadline) {
+  // Cancel-first order: the cancel lands while the deadline touch is
+  // parked. The producer unwinds with CancelledError, completing the
+  // future erroneously, and ftouchFor rethrows that — it must not sit out
+  // the (absurdly long) deadline or report nullopt.
+  Runtime Rt(smallConfig());
+  IoService Io;
+  CancelSource Source;
+  std::atomic<bool> Entered{false};
+  auto Victim = spinUntilCancelled<High>(Rt, Source.token(), Entered);
+  auto Waiter = fcreate<Low>(Rt, [&](Context<Low> &Ctx) {
+    try {
+      auto R = Ctx.ftouchFor(Victim, Io, /*TimeoutMicros=*/60000000);
+      return R.has_value() ? -1 : -2; // value / deadline: both wrong here
+    } catch (const CancelledError &) {
+      return 1;
+    }
+  });
+  while (!Entered.load())
+    std::this_thread::yield();
+  Source.requestCancel();
+  EXPECT_EQ(touchFromOutside(Rt, Waiter), 1);
+}
+
+TEST(FailureTest, FtouchForDeadlineBeatsCancellation) {
+  // Deadline-first order: the touch times out (nullopt) with the producer
+  // still running and still cancellable — the deadline must not complete
+  // or poison the future. A cancellation requested *after* the timeout
+  // then surfaces as CancelledError at the next touch.
+  Runtime Rt(smallConfig());
+  IoService Io;
+  CancelSource Source;
+  std::atomic<bool> Entered{false};
+  auto Victim = spinUntilCancelled<High>(Rt, Source.token(), Entered);
+  while (!Entered.load())
+    std::this_thread::yield();
+  EXPECT_EQ(touchFromOutsideFor(Rt, Io, Victim, /*TimeoutMicros=*/2000),
+            std::nullopt);
+  EXPECT_FALSE(Victim.isReady())
+      << "an expired deadline must leave the future untouched";
+  Source.requestCancel();
+  EXPECT_THROW((void)touchFromOutsideFor(Rt, Io, Victim, 60000000),
+               CancelledError);
+}
+
+TEST(FailureTest, FtouchForDeadlineVsCancellationRaceHammer) {
+  // The race proper: deadline expiry and cancellation land as close to
+  // simultaneously as the clock allows, repeatedly. Each round must end
+  // in exactly one of the two legal outcomes — nullopt (deadline won, the
+  // cancellation then surfaces at a later touch) or CancelledError
+  // (cancel won) — with workers healthy throughout. This is the TSan
+  // target: the timer thread, the unwinding producer, and the external
+  // toucher all hit the same future state.
+  Runtime Rt(smallConfig());
+  IoService Io;
+  for (int Round = 0; Round < 40; ++Round) {
+    CancelSource Source;
+    std::atomic<bool> Entered{false};
+    auto Victim = spinUntilCancelled<High>(Rt, Source.token(), Entered);
+    while (!Entered.load())
+      std::this_thread::yield();
+    std::thread Canceller([&Source] {
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+      Source.requestCancel();
+    });
+    bool DeadlineWon = false, CancelWon = false;
+    try {
+      DeadlineWon =
+          !touchFromOutsideFor(Rt, Io, Victim, /*TimeoutMicros=*/500)
+               .has_value();
+    } catch (const CancelledError &) {
+      CancelWon = true;
+    }
+    Canceller.join();
+    ASSERT_TRUE(DeadlineWon || CancelWon);
+    if (DeadlineWon) {
+      // Cancellation was requested by now, so the victim unwinds and the
+      // blocking touch sees the erroneous completion.
+      EXPECT_THROW((void)touchFromOutside(Rt, Victim), CancelledError);
+    }
+  }
+  Rt.drain();
+  // A follow-up task proves the workers survived every round.
+  auto After = fcreate<High>(Rt, [](Context<High> &) { return 5; });
+  EXPECT_EQ(touchFromOutside(Rt, After), 5);
 }
 
 //===----------------------------------------------------------------------===//
