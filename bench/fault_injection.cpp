@@ -4,7 +4,7 @@
 //
 //  1. The proxy under a sweep of injected I/O fault rates (seeded
 //     FaultPlan; mix of fail/delay/drop). Shows that retries with
-//     IoService-timed backoff mask faults — FailedRequests stays zero at
+//     SimIo-timed backoff mask faults — FailedRequests stays zero at
 //     realistic rates — and what the masking costs in end-to-end latency.
 //
 //  2. The job server at ~2x overload with admission-control shedding off

@@ -139,21 +139,21 @@ JobServerConfig legConfig(uint64_t Seed) {
   // between a top-level task and workers running low-level ones, which
   // no admission policy can claw back.
   C.Rt.NumWorkers = 2;
-  C.AdmissionControl = true;
+  C.Admission.Enabled = true;
   // Tuned for sub-second legs on a small machine: a fast controller tick
   // and short windows so clamps land within the leg, small burst
   // allowance and low watermark so they land early, short queue
   // timeouts so queued entries can expire visibly.
-  C.Admission.ControlIntervalMillis = 10;
-  C.Admission.QueueCap = 64;
-  C.Admission.QueueTimeoutMicros = 120000;
-  C.Admission.TargetP99Micros = 30000;
-  C.Admission.PendingHighWatermark = 48;
-  C.Admission.BurstTokens = 8;
-  C.Admission.Decrease = 0.4;
-  C.Admission.MinRatePerSec = 5;
-  C.Admission.EpochMillis = 100;
-  C.Admission.WindowEpochs = 3;
+  C.Admission.Config.ControlIntervalMillis = 10;
+  C.Admission.Config.QueueCap = 64;
+  C.Admission.Config.QueueTimeoutMicros = 120000;
+  C.Admission.Config.TargetP99Micros = 30000;
+  C.Admission.Config.PendingHighWatermark = 48;
+  C.Admission.Config.BurstTokens = 8;
+  C.Admission.Config.Decrease = 0.4;
+  C.Admission.Config.MinRatePerSec = 5;
+  C.Admission.Config.EpochMillis = 100;
+  C.Admission.Config.WindowEpochs = 3;
   return C;
 }
 
@@ -197,7 +197,7 @@ struct LegResult {
 /// anchor every open-loop leg is a multiple of.
 double calibrateSaturation(uint64_t Seed, unsigned Jobs) {
   JobServerConfig C = legConfig(Seed);
-  C.AdmissionControl = false;
+  C.Admission.Enabled = false;
   JobServerEngine Engine(C);
   repro::Rng Mix(Seed + 17);
   uint64_t Start = repro::nowMicros();

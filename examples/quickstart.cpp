@@ -15,7 +15,7 @@
 
 #include "icilk/Context.h"
 #include "icilk/EventRing.h"
-#include "icilk/IoService.h"
+#include "icilk/SimIo.h"
 #include "support/ArgParse.h"
 #include "support/Metrics.h"
 
@@ -41,7 +41,7 @@ int main(int Argc, char **Argv) {
   Config.NumWorkers = 4;
   Config.NumLevels = 2; // one scheduler pool per priority level
   Runtime Rt(Config);
-  IoService Io;
+  SimIo Io{"io"};
 
   // 1. A basic future: spawn at Interactive, join from outside.
   auto Answer = fcreate<Interactive>(
@@ -76,7 +76,7 @@ int main(int Argc, char **Argv) {
   // 4. Latency-hiding I/O: the worker suspends the waiting task and keeps
   //    running other work while the (simulated) read is in flight.
   auto WithIo = fcreate<Interactive>(Rt, [&Io](Context<Interactive> &Ctx) {
-    auto Read = Io.read<Interactive>(/*LatencyMicros=*/2000, /*Bytes=*/512);
+    auto Read = Io.simRead<Interactive>(/*LatencyMicros=*/2000, /*Bytes=*/512);
     long Bytes = Ctx.ftouch(Read);
     return static_cast<int>(Bytes);
   });

@@ -23,7 +23,7 @@ done
 
 echo "== build =="
 cmake -B "$REPO/build" -S "$REPO" >/dev/null
-cmake --build "$REPO/build" -j "$JOBS" --target micro_runtime fig13_responsiveness loadgen
+cmake --build "$REPO/build" -j "$JOBS" --target micro_runtime fig13_responsiveness loadgen reactor_latency
 
 echo
 echo "== micro_runtime (short) =="
@@ -48,6 +48,12 @@ echo "== loadgen (open-loop overload, short) =="
 # are the gate's stable overload signal (counts and quantiles are
 # deliberately unclassified — see bench_compare.py).
 REPRO_BENCH_JSON_DIR="$REPO" "$REPO/build/bench/loadgen" --duration-ms=400
+
+echo
+echo "== reactor_latency (loopback) =="
+# Loopback epoll-reactor latency: readiness-to-completion, timer
+# overshoot, and the ftouch ping-pong RTT through a real socket.
+REPRO_BENCH_JSON_DIR="$REPO" "$REPO/build/bench/reactor_latency"
 
 echo
 echo "bench.sh: wrote"

@@ -72,17 +72,18 @@ inline AppReport collectReport(icilk::Runtime &Rt,
 }
 
 /// Dumps a finished run's observable state into \p M (no-op when null):
-/// the runtime's and I/O service's standard metrics plus the app-level
+/// the runtime's and I/O backend's standard metrics plus the app-level
 /// aggregates every case study shares. Apps layer their own counters on
-/// top under the same prefix.
+/// top under the same prefix. The backend dumps under its own
+/// construction-time prefix (apps construct theirs as "<prefix>.io").
 inline void sampleAppMetrics(repro::MetricsRegistry *M, icilk::Runtime &Rt,
-                             icilk::IoService *Io, const AppReport &Report,
+                             const icilk::Io *Io, const AppReport &Report,
                              const std::string &Prefix) {
   if (!M)
     return;
   Rt.sampleMetrics(*M, Prefix + ".runtime");
   if (Io)
-    Io->sampleMetrics(*M, Prefix + ".io");
+    Io->sampleMetrics(*M);
   M->counter(Prefix + ".requests").set(Report.Requests);
   M->setGauge(Prefix + ".wall_millis", Report.WallMillis);
   M->setGauge(Prefix + ".utilization", Report.UtilizationApprox);
@@ -96,13 +97,18 @@ inline void sampleAppMetrics(repro::MetricsRegistry *M, icilk::Runtime &Rt,
 /// without telemetry — the workload must not die because a port was taken.
 class TelemetryScope {
 public:
+  /// \p TrackIo (optional): an I/O backend whose live counters /metrics
+  /// should expose with a backend="<prefix>" label.
   TelemetryScope(icilk::Runtime &Rt, int Port, std::atomic<int> *PortOut,
-                 repro::MetricsRegistry *Registry) {
+                 repro::MetricsRegistry *Registry,
+                 const icilk::Io *TrackIo = nullptr) {
     if (Port < 0)
       return;
     icilk::TelemetryConfig TC;
     TC.Port = static_cast<uint16_t>(Port);
     T = std::make_unique<icilk::Telemetry>(Rt, TC, Registry);
+    if (TrackIo)
+      T->trackIo(TrackIo);
     std::string Error;
     if (!T->start(&Error)) {
       repro::log(LogLevel::Warn) << "telemetry disabled: " << Error;

@@ -4,7 +4,7 @@
 
 #include "apps/Huffman.h"
 #include "conc/Backoff.h"
-#include "icilk/IoService.h"
+#include "icilk/SimIo.h"
 #include "support/Logging.h"
 #include "support/Timer.h"
 
@@ -50,14 +50,14 @@ struct EmailServer {
       Io.setFaultPlan(Faults);
     }
     Rt.setTrace(Config.Trace); // before the first spawn, so ids line up
-    if (Config.AdmissionControl)
+    if (Config.Admission.Enabled)
       Admission = std::make_unique<icilk::AdmissionController>(
-          Rt, Config.Admission, &Io);
+          Rt, Config.Admission.Config, &Io);
   }
 
   const EmailConfig &Config;
   icilk::Runtime Rt;
-  icilk::IoService Io;
+  icilk::SimIo Io{"email.io"};
   std::shared_ptr<icilk::FaultPlan> Faults;
   std::vector<Mailbox> Boxes;
   repro::LatencyRecorder EndToEnd;
@@ -126,7 +126,7 @@ int printEmail(EmailServer &S, Context<EmailWork> &Ctx, Email &E,
   } else {
     PageData = E.Body;
   }
-  auto Printer = S.Io.write<EmailWork>(S.Config.PrinterLatencyMicros,
+  auto Printer = S.Io.simWrite<EmailWork>(S.Config.PrinterLatencyMicros,
                                        static_cast<long>(PageData.size()));
   try {
     Ctx.ftouch(Printer);
@@ -148,7 +148,7 @@ void sendEmail(EmailServer &S, Context<EmailSend> &Ctx, Mailbox &Box,
                              /*CapMicros=*/S.Config.SendLatencyMicros * 4,
                              /*Seed=*/ArrivalMicros ^ Index);
   for (unsigned Attempt = 0;; ++Attempt) {
-    auto Wire = S.Io.write<EmailSend>(S.Config.SendLatencyMicros,
+    auto Wire = S.Io.simWrite<EmailSend>(S.Config.SendLatencyMicros,
                                       static_cast<long>(E.OriginalBytes));
     try {
       Ctx.ftouch(Wire);
@@ -260,7 +260,7 @@ void handleRequest(EmailServer &S, Context<Prio> &Ctx, std::size_t User,
 EmailReport runEmail(const EmailConfig &Config) {
   EmailServer S(Config);
   TelemetryScope Telemetry(S.Rt, Config.TelemetryPort, Config.TelemetryPortOut,
-                           Config.Metrics);
+                           Config.Metrics, &S.Io);
   repro::Rng DriverRng(Config.Seed);
 
   // Populate mailboxes (EmailMain would do this at startup).

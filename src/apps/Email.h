@@ -69,8 +69,7 @@ struct EmailConfig {
   /// user-request arrival path. A degraded arrival is handled at the
   /// send level instead of the event-loop level; a shed one never enters
   /// the runtime.
-  bool AdmissionControl = false;
-  icilk::AdmissionConfig Admission{};
+  icilk::AdmissionSettings Admission{};
   /// When non-null, the run dumps its final counters/gauges/histograms
   /// here under "email.*" (see support/Metrics.h). Not owned.
   repro::MetricsRegistry *Metrics = nullptr;
@@ -96,7 +95,7 @@ struct EmailReport {
   uint64_t SendFailures = 0;   ///< sends abandoned after retries (surfaced)
   uint64_t PrintFailures = 0;  ///< printer writes that failed
   uint64_t Retries = 0;        ///< send retries performed
-  /// Final admission counters (Attached only when AdmissionControl ran).
+  /// Final admission counters (attached only when Admission.Enabled ran).
   icilk::AdmissionSample Admission;
 };
 

@@ -20,9 +20,9 @@ struct JobServerEngine::Impl {
     Rt.setTrace(Config.Trace); // before the first spawn, so ids line up
     if (Config.Metrics)
       LiveShed = &Config.Metrics->counter("jobserver.shed.live");
-    if (Config.AdmissionControl)
-      Admission =
-          std::make_unique<icilk::AdmissionController>(Rt, Config.Admission);
+    if (Config.Admission.Enabled)
+      Admission = std::make_unique<icilk::AdmissionController>(
+          Rt, Config.Admission.Config);
   }
 
   JobServerConfig Config;

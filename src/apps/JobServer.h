@@ -57,8 +57,7 @@ struct JobServerConfig {
   /// lower job level (the job still runs, at background urgency), or shed
   /// (rejected / timed out in queue). Mutually exclusive with Shedding —
   /// when both are set, admission control wins.
-  bool AdmissionControl = false;
-  icilk::AdmissionConfig Admission{};
+  icilk::AdmissionSettings Admission{};
   /// When non-null, the run dumps its final counters/gauges/histograms
   /// here under "jobserver.*" (see support/Metrics.h). Not owned.
   repro::MetricsRegistry *Metrics = nullptr;
@@ -93,7 +92,7 @@ struct JobServerReport {
   /// completion. Index: 0 matmul, 1 fib, 2 sort, 3 sw.
   std::array<repro::LatencySummary, 4> JobResponse{};
   std::array<repro::LatencySummary, 4> JobCompute{};
-  /// Final admission counters (Attached only when AdmissionControl ran).
+  /// Final admission counters (attached only when Admission.Enabled ran).
   icilk::AdmissionSample Admission;
 };
 
@@ -116,7 +115,7 @@ public:
   bool offer(std::size_t Type);
 
   /// The static-shedding predicate of the first robustness pass (only
-  /// consulted by offer() when Shedding is set without AdmissionControl).
+  /// consulted by offer() when Shedding is set without Admission.Enabled).
   bool shouldShed(std::size_t Type);
 
   /// Submits one deliberate priority inversion (profiler validation).

@@ -4,7 +4,7 @@
 
 #include "conc/Backoff.h"
 #include "conc/ConcurrentHashMap.h"
-#include "icilk/IoService.h"
+#include "icilk/SimIo.h"
 #include "support/Timer.h"
 
 #include <atomic>
@@ -25,16 +25,16 @@ struct ProxyServer {
       Io.setFaultPlan(Faults);
     }
     Rt.setTrace(Config.Trace); // before the first spawn, so ids line up
-    if (Config.AdmissionControl)
+    if (Config.Admission.Enabled)
       // Sweeps ride the app's own timer heap (plain timers are never
       // fault-injected, so a fault plan cannot break admission).
       Admission = std::make_unique<icilk::AdmissionController>(
-          Rt, Config.Admission, &Io);
+          Rt, Config.Admission.Config, &Io);
   }
 
   const ProxyConfig &Config;
   icilk::Runtime Rt;
-  icilk::IoService Io;
+  icilk::SimIo Io{"proxy.io"};
   std::shared_ptr<icilk::FaultPlan> Faults;
   conc::ConcurrentHashMap<std::size_t, std::string> Cache;
   repro::LatencyRecorder EndToEnd;
@@ -46,10 +46,11 @@ struct ProxyServer {
   std::unique_ptr<icilk::AdmissionController> Admission;
 };
 
-/// Issues one simulated I/O op and touches it, retrying erroneous
-/// completions with capped exponential backoff + jitter. Returns nullopt
-/// when the op still fails after MaxIoRetries retries. Backoff sleeps ride
-/// the timer heap (IoService::sleepFor), so the worker keeps scheduling.
+/// Issues one simulated I/O op (a read for fetches, a write for client
+/// replies) and touches it, retrying erroneous completions with capped
+/// exponential backoff + jitter. Returns nullopt when the op still fails
+/// after MaxIoRetries retries. Backoff sleeps ride the timer heap
+/// (Io::sleepFor), so the worker keeps scheduling.
 ///
 /// \p DeadlineAbsMicros (0 = none) is the request's *overall* deadline:
 /// an op is never submitted once it has passed, an in-flight wait is
@@ -60,7 +61,8 @@ template <typename Prio>
 std::optional<long> ioWithRetry(ProxyServer &S, Context<Prio> &Ctx,
                                 uint64_t LatencyMicros, long Bytes,
                                 uint64_t JitterSeed,
-                                uint64_t DeadlineAbsMicros = 0) {
+                                uint64_t DeadlineAbsMicros = 0,
+                                bool IsWrite = false) {
   conc::RetryBackoff Backoff(S.Config.RetryBaseDelayMicros,
                              S.Config.RetryCapDelayMicros, JitterSeed);
   for (unsigned Attempt = 0;; ++Attempt) {
@@ -73,7 +75,8 @@ std::optional<long> ioWithRetry(ProxyServer &S, Context<Prio> &Ctx,
       }
       Remaining = DeadlineAbsMicros - Now;
     }
-    auto Op = S.Io.read<Prio>(LatencyMicros, Bytes);
+    auto Op = IsWrite ? S.Io.simWrite<Prio>(LatencyMicros, Bytes)
+                      : S.Io.simRead<Prio>(LatencyMicros, Bytes);
     try {
       if (!DeadlineAbsMicros)
         return Ctx.ftouch(Op);
@@ -121,7 +124,8 @@ void fetchAndReply(ProxyServer &S, Context<ProxyFetch> &Ctx, std::size_t Url,
   Body[0] = static_cast<char>('a' + Url % 26);
   S.Cache.put(Url, std::move(Body));
   if (!ioWithRetry(S, Ctx, S.Config.ReplyLatencyMicros, *Bytes,
-                   ArrivalMicros ^ (Url + 1), DeadlineMicros))
+                   ArrivalMicros ^ (Url + 1), DeadlineMicros,
+                   /*IsWrite=*/true))
     S.Failed.fetch_add(1, std::memory_order_relaxed);
   S.EndToEnd.record(static_cast<double>(repro::nowMicros() - ArrivalMicros));
 }
@@ -140,7 +144,8 @@ void handleRequest(ProxyServer &S, Context<Prio> &Ctx, std::size_t Url,
     S.Hits.fetch_add(1, std::memory_order_relaxed);
     if (!ioWithRetry(S, Ctx, S.Config.ReplyLatencyMicros,
                      static_cast<long>(Cached->size()),
-                     ArrivalMicros ^ (Url + 2), DeadlineMicros))
+                     ArrivalMicros ^ (Url + 2), DeadlineMicros,
+                     /*IsWrite=*/true))
       S.Failed.fetch_add(1, std::memory_order_relaxed);
     S.EndToEnd.record(static_cast<double>(repro::nowMicros() - ArrivalMicros));
     return;
@@ -176,7 +181,7 @@ void statsLoop(ProxyServer &S, Context<ProxyStats> &Ctx) {
 ProxyReport runProxy(const ProxyConfig &Config) {
   ProxyServer S(Config);
   TelemetryScope Telemetry(S.Rt, Config.TelemetryPort, Config.TelemetryPortOut,
-                           Config.Metrics);
+                           Config.Metrics, &S.Io);
   repro::Rng DriverRng(Config.Seed);
   repro::ZipfSampler Urls(Config.NumSites, Config.ZipfSkew);
 

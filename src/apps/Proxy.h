@@ -16,8 +16,9 @@
 //
 // The event loop never waits on a fetch (that would be a priority
 // inversion the type system rejects); on a miss it *delegates*: the fetch
-// task itself completes the client's reply. The paper's real sockets are
-// replaced by the simulated latency-hiding IoService (see DESIGN.md).
+// task itself completes the client's reply. This variant runs on the
+// simulated latency-hiding SimIo backend (see DESIGN.md); the real-socket
+// rendering of the same case study is apps/RealProxy.h (EpollReactor).
 //
 //===----------------------------------------------------------------------===//
 
@@ -55,7 +56,7 @@ struct ProxyConfig {
   uint64_t FaultSeed = 42;
   /// Failed upstream reads/replies are retried this many times with
   /// capped exponential backoff + jitter (conc::RetryBackoff); backoff
-  /// waits ride the IoService timer heap, so no worker is parked.
+  /// waits ride the Io backend's timer heap, so no worker is parked.
   unsigned MaxIoRetries = 3;
   uint64_t RetryBaseDelayMicros = 200;
   uint64_t RetryCapDelayMicros = 5000;
@@ -68,8 +69,7 @@ struct ProxyConfig {
   /// client-arrival path. A degraded arrival is handled at the fetch
   /// level instead of the event-loop level; a shed one never enters the
   /// runtime.
-  bool AdmissionControl = false;
-  icilk::AdmissionConfig Admission{};
+  icilk::AdmissionSettings Admission{};
   /// When non-null, the run dumps its final counters/gauges/histograms
   /// here under "proxy.*" (see support/Metrics.h). Not owned.
   repro::MetricsRegistry *Metrics = nullptr;
@@ -97,7 +97,7 @@ struct ProxyReport {
   uint64_t InjectedFaults = 0; ///< fault-plan decisions that were not None
   uint64_t DeadlineAbandoned = 0; ///< I/O waits given up at the request
                                   ///< deadline (never re-submitted)
-  /// Final admission counters (Attached only when AdmissionControl ran).
+  /// Final admission counters (attached only when Admission.Enabled ran).
   icilk::AdmissionSample Admission;
 };
 

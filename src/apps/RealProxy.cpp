@@ -1,0 +1,516 @@
+//===- apps/RealProxy.cpp - The proxy case study on real sockets ------------===//
+
+#include "apps/RealProxy.h"
+
+#include "icilk/Admission.h"
+#include "icilk/EpollReactor.h"
+#include "support/HttpServer.h" // http::statusReason
+#include "support/Logging.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace repro::apps {
+
+namespace {
+
+using icilk::Context;
+
+/// One client connection. Owned by shared_ptr so the fd closes exactly
+/// when the last task touching the connection unwinds — including the
+/// shutdown path, where the reactor erroneously-completes a parked read
+/// and the resumed task drops its reference.
+struct Connection {
+  explicit Connection(int Fd) : Fd(Fd) {}
+  ~Connection() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+  Connection(const Connection &) = delete;
+  Connection &operator=(const Connection &) = delete;
+
+  int Fd;
+  std::string Buf;   ///< bytes read but not yet consumed (pipelining)
+  char Chunk[4096];  ///< reactor read destination; outlives each op
+                     ///< because the reading task holds the Connection
+};
+
+using ConnPtr = std::shared_ptr<Connection>;
+
+struct ParsedRequest {
+  std::string Method;
+  std::string Target;
+  bool KeepAlive = true;
+  std::size_t HeaderEnd = 0; ///< bytes to consume (through "\r\n\r\n")
+};
+
+/// Parses the first complete request-header block in \p Buf (the caller
+/// has already verified "\r\n\r\n" is present). nullopt = malformed.
+std::optional<ParsedRequest> parseRequest(const std::string &Buf) {
+  std::size_t End = Buf.find("\r\n\r\n");
+  if (End == std::string::npos)
+    return std::nullopt;
+  ParsedRequest R;
+  R.HeaderEnd = End + 4;
+  std::size_t LineEnd = Buf.find("\r\n");
+  std::size_t Sp1 = Buf.find(' ');
+  if (Sp1 == std::string::npos || Sp1 > LineEnd)
+    return std::nullopt;
+  std::size_t Sp2 = Buf.find(' ', Sp1 + 1);
+  if (Sp2 == std::string::npos || Sp2 > LineEnd)
+    return std::nullopt;
+  R.Method = Buf.substr(0, Sp1);
+  R.Target = Buf.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  if (R.Method.empty() || R.Target.empty() || R.Target[0] != '/')
+    return std::nullopt;
+  std::string Version = Buf.substr(Sp2 + 1, LineEnd - Sp2 - 1);
+  R.KeepAlive = Version != "HTTP/1.0"; // 1.1 default: persistent
+  // Scan headers for an explicit Connection preference.
+  std::size_t Pos = LineEnd + 2;
+  while (Pos < End) {
+    std::size_t Next = Buf.find("\r\n", Pos);
+    std::string Line = Buf.substr(Pos, Next - Pos);
+    std::size_t Colon = Line.find(':');
+    if (Colon != std::string::npos) {
+      std::string Key = Line.substr(0, Colon);
+      for (char &C : Key)
+        C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+      if (Key == "connection") {
+        std::string Val = Line.substr(Colon + 1);
+        for (char &C : Val)
+          C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+        if (Val.find("close") != std::string::npos)
+          R.KeepAlive = false;
+        else if (Val.find("keep-alive") != std::string::npos)
+          R.KeepAlive = true;
+      }
+    }
+    Pos = Next + 2;
+  }
+  return R;
+}
+
+struct OriginResponse {
+  int Status = 0;
+  std::string ContentType = "text/plain; charset=utf-8";
+  std::string Body;
+};
+
+/// Parses a whole origin response (read to EOF — the proxy speaks
+/// "Connection: close" upstream, so EOF delimits the body).
+std::optional<OriginResponse> parseOriginResponse(const std::string &Raw) {
+  std::size_t End = Raw.find("\r\n\r\n");
+  if (End == std::string::npos)
+    return std::nullopt;
+  OriginResponse R;
+  // "HTTP/1.1 200 OK"
+  std::size_t Sp = Raw.find(' ');
+  if (Sp == std::string::npos || Sp + 4 > End)
+    return std::nullopt;
+  R.Status = std::atoi(Raw.c_str() + Sp + 1);
+  if (R.Status < 100 || R.Status > 599)
+    return std::nullopt;
+  std::size_t Pos = Raw.find("\r\n") + 2;
+  while (Pos < End) {
+    std::size_t Next = Raw.find("\r\n", Pos);
+    std::string Line = Raw.substr(Pos, Next - Pos);
+    std::size_t Colon = Line.find(':');
+    if (Colon != std::string::npos) {
+      std::string Key = Line.substr(0, Colon);
+      for (char &C : Key)
+        C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+      if (Key == "content-type") {
+        std::size_t V = Colon + 1;
+        while (V < Line.size() && Line[V] == ' ')
+          ++V;
+        R.ContentType = Line.substr(V);
+      }
+    }
+    Pos = Next + 2;
+  }
+  R.Body = Raw.substr(End + 4);
+  return R;
+}
+
+/// Serializes one response. HEAD requests get headers only, but the
+/// Content-Length of the body they did not receive.
+std::string makeResponse(int Status, const std::string &ContentType,
+                         const std::string &Body, bool KeepAlive,
+                         bool HeadOnly) {
+  std::string Out = "HTTP/1.1 " + std::to_string(Status) + " " +
+                    http::statusReason(Status) + "\r\n";
+  Out += "Content-Type: " + ContentType + "\r\n";
+  Out += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
+  Out += KeepAlive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  Out += "\r\n";
+  if (!HeadOnly)
+    Out += Body;
+  return Out;
+}
+
+/// RAII fd for the origin leg.
+struct OwnedFd {
+  explicit OwnedFd(int Fd) : Fd(Fd) {}
+  ~OwnedFd() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+  OwnedFd(const OwnedFd &) = delete;
+  OwnedFd &operator=(const OwnedFd &) = delete;
+  int Fd;
+};
+
+struct CacheEntry {
+  std::string ContentType;
+  std::string Body;
+};
+
+} // namespace
+
+struct RealProxy::Impl {
+  explicit Impl(const RealProxyConfig &Config) : Config(Config), Rt(Config.Rt) {
+    if (Config.Faults.enabled()) {
+      Faults =
+          std::make_shared<icilk::FaultPlan>(Config.FaultSeed, Config.Faults);
+      Io.setFaultPlan(Faults);
+    }
+    if (Config.Admission.Enabled)
+      Admission = std::make_unique<icilk::AdmissionController>(
+          Rt, Config.Admission.Config, &Io);
+  }
+
+  RealProxyConfig Config;
+  icilk::Runtime Rt;
+  icilk::EpollReactor Io{"proxy.io"};
+  std::shared_ptr<icilk::FaultPlan> Faults;
+
+  std::mutex CacheMutex;
+  std::unordered_map<std::string, CacheEntry> Cache;
+
+  std::atomic<uint64_t> Accepted{0}, Requests{0}, Hits{0}, Misses{0};
+  std::atomic<uint64_t> Rejected{0}, Degraded{0}, OriginErrors{0},
+      BadRequests{0};
+
+  int ListenFd = -1;
+  std::atomic<uint16_t> BoundPort{0};
+  std::atomic<bool> Stopping{false};
+  std::atomic<bool> Stopped{false};
+
+  std::unique_ptr<TelemetryScope> Telemetry;
+  /// Declared last: destroyed before Rt and Io, while both still live.
+  std::unique_ptr<icilk::AdmissionController> Admission;
+};
+
+namespace {
+
+/// Writes \p Data fully to the connection; false when the write fails
+/// (reset peer, shutdown) and the connection should be dropped.
+template <typename Prio>
+bool writeAll(RealProxy::Impl &S, Context<Prio> &Ctx, const ConnPtr &Conn,
+              const std::string &Data) {
+  try {
+    Ctx.ftouch(S.Io.write<Prio>(Conn->Fd, Data.data(), Data.size()));
+    return true;
+  } catch (const icilk::IoError &) {
+    return false;
+  }
+}
+
+/// The origin leg (always at ProxyFetch): nonblocking connect, request,
+/// read to EOF. nullopt on any socket failure.
+std::optional<OriginResponse> fetchOrigin(RealProxy::Impl &S,
+                                          Context<ProxyFetch> &Ctx,
+                                          const std::string &Target) {
+  OwnedFd Fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (Fd.Fd < 0)
+    return std::nullopt;
+  struct sockaddr_in Addr {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(S.Config.OriginPort);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  try {
+    Ctx.ftouch(S.Io.connect<ProxyFetch>(
+        Fd.Fd, reinterpret_cast<struct sockaddr *>(&Addr), sizeof Addr));
+    std::string Request = "GET " + Target +
+                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                          "Connection: close\r\n\r\n";
+    Ctx.ftouch(S.Io.write<ProxyFetch>(Fd.Fd, Request.data(), Request.size()));
+    std::string Raw;
+    char Chunk[4096];
+    for (;;) {
+      long N = Ctx.ftouch(S.Io.read<ProxyFetch>(Fd.Fd, Chunk, sizeof Chunk));
+      if (N == 0)
+        break; // EOF: the close-delimited response is complete
+      Raw.append(Chunk, static_cast<std::size_t>(N));
+      if (Raw.size() > (1u << 22))
+        return std::nullopt; // runaway origin
+    }
+    return parseOriginResponse(Raw);
+  } catch (const icilk::IoError &) {
+    return std::nullopt;
+  }
+}
+
+template <typename Prio>
+void requestLoop(RealProxy::Impl &S, Context<Prio> &Ctx, ConnPtr Conn);
+
+/// Cache-miss path, always at ProxyFetch: fetch from the origin, fill the
+/// cache, reply, then — if the connection persists — *resume* the request
+/// loop with a fresh task at the connection's own priority. The client
+/// loop never waited: it delegated and returned (the Touch rule forbids
+/// the inverse).
+template <typename ConnPrio>
+void fetchAndServe(RealProxy::Impl &S, Context<ProxyFetch> &Ctx, ConnPtr Conn,
+                   std::string Target, bool KeepAlive, bool HeadOnly) {
+  auto Origin = fetchOrigin(S, Ctx, Target);
+  std::string Reply;
+  if (!Origin) {
+    S.OriginErrors.fetch_add(1, std::memory_order_relaxed);
+    Reply = makeResponse(502, "text/plain; charset=utf-8",
+                         "502 bad gateway\n", KeepAlive, HeadOnly);
+  } else {
+    if (Origin->Status == 200) {
+      std::lock_guard<std::mutex> Lock(S.CacheMutex);
+      S.Cache[Target] = CacheEntry{Origin->ContentType, Origin->Body};
+    }
+    Reply = makeResponse(Origin->Status, Origin->ContentType, Origin->Body,
+                         KeepAlive, HeadOnly);
+  }
+  if (!writeAll(S, Ctx, Conn, Reply) || !KeepAlive)
+    return;
+  // Task chaining: the next request of this connection gets its own task
+  // back at the connection's priority.
+  Ctx.template fcreate<ConnPrio>(
+      [&S, Conn = std::move(Conn)](Context<ConnPrio> &C) mutable {
+        requestLoop<ConnPrio>(S, C, std::move(Conn));
+      });
+}
+
+/// Per-connection request loop at priority \p Prio (ProxyClient normally,
+/// ProxyFetch when admission degraded the connection). Returns — dropping
+/// the connection — on EOF, parse errors, write failures, or shutdown.
+template <typename Prio>
+void requestLoop(RealProxy::Impl &S, Context<Prio> &Ctx, ConnPtr Conn) {
+  for (;;) {
+    // Accumulate one full header block (pipelined bytes may already be
+    // buffered from the previous lap).
+    while (Conn->Buf.find("\r\n\r\n") == std::string::npos) {
+      if (Conn->Buf.size() > S.Config.MaxHeaderBytes) {
+        S.BadRequests.fetch_add(1, std::memory_order_relaxed);
+        writeAll(S, Ctx, Conn,
+                 makeResponse(400, "text/plain; charset=utf-8",
+                              "400 bad request\n", false, false));
+        return;
+      }
+      long N;
+      try {
+        N = Ctx.ftouch(
+            S.Io.read<Prio>(Conn->Fd, Conn->Chunk, sizeof Conn->Chunk));
+      } catch (const icilk::IoError &) {
+        return; // reset / shutdown: drop the connection
+      }
+      if (N == 0)
+        return; // peer closed between requests
+      Conn->Buf.append(Conn->Chunk, static_cast<std::size_t>(N));
+    }
+    auto Req = parseRequest(Conn->Buf);
+    if (!Req) {
+      S.BadRequests.fetch_add(1, std::memory_order_relaxed);
+      writeAll(S, Ctx, Conn,
+               makeResponse(400, "text/plain; charset=utf-8",
+                            "400 bad request\n", false, false));
+      return;
+    }
+    Conn->Buf.erase(0, Req->HeaderEnd);
+    if (Req->Method != "GET" && Req->Method != "HEAD") {
+      writeAll(S, Ctx, Conn,
+               makeResponse(405, "text/plain; charset=utf-8",
+                            "405 method not allowed\n", false, false));
+      return;
+    }
+    S.Requests.fetch_add(1, std::memory_order_relaxed);
+    bool HeadOnly = Req->Method == "HEAD";
+
+    std::optional<CacheEntry> Cached;
+    {
+      std::lock_guard<std::mutex> Lock(S.CacheMutex);
+      auto It = S.Cache.find(Req->Target);
+      if (It != S.Cache.end())
+        Cached = It->second;
+    }
+    if (Cached) {
+      S.Hits.fetch_add(1, std::memory_order_relaxed);
+      if (!writeAll(S, Ctx, Conn,
+                    makeResponse(200, Cached->ContentType, Cached->Body,
+                                 Req->KeepAlive, HeadOnly)))
+        return;
+      if (!Req->KeepAlive)
+        return;
+      continue; // next request, same task
+    }
+    S.Misses.fetch_add(1, std::memory_order_relaxed);
+    // Delegate downward; the fetch task replies and (on keep-alive)
+    // chains the loop's continuation. This task is done either way.
+    Ctx.template fcreate<ProxyFetch>(
+        [&S, Conn = std::move(Conn), Target = Req->Target,
+         KeepAlive = Req->KeepAlive, HeadOnly](Context<ProxyFetch> &C) mutable {
+          fetchAndServe<Prio>(S, C, std::move(Conn), std::move(Target),
+                              KeepAlive, HeadOnly);
+        });
+    return;
+  }
+}
+
+/// Admission outcome → connection fate. Runs inline on the accept task
+/// (fast path) or on the controller thread (queued dispatch).
+void dispatchConnection(RealProxy::Impl &S, ConnPtr Conn, unsigned Level) {
+  if (Level >= 3) {
+    icilk::fcreate<ProxyClient>(
+        S.Rt, [&S, Conn = std::move(Conn)](Context<ProxyClient> &C) mutable {
+          requestLoop<ProxyClient>(S, C, std::move(Conn));
+        });
+    return;
+  }
+  S.Degraded.fetch_add(1, std::memory_order_relaxed);
+  icilk::fcreate<ProxyFetch>(
+      S.Rt, [&S, Conn = std::move(Conn)](Context<ProxyFetch> &C) mutable {
+        requestLoop<ProxyFetch>(S, C, std::move(Conn));
+      });
+}
+
+/// The accept loop (ProxyClient): park on accept, decide admission, spawn
+/// the connection's first task. Ends when the reactor shuts down (the
+/// parked accept completes erroneously).
+void acceptLoop(RealProxy::Impl &S, Context<ProxyClient> &Ctx) {
+  for (;;) {
+    long ClientFd;
+    try {
+      ClientFd = Ctx.ftouch(S.Io.accept<ProxyClient>(S.ListenFd));
+    } catch (const icilk::IoError &) {
+      return; // shutdown (or listen socket gone)
+    }
+    S.Accepted.fetch_add(1, std::memory_order_relaxed);
+    auto Conn = std::make_shared<Connection>(static_cast<int>(ClientFd));
+    if (!S.Admission) {
+      dispatchConnection(S, std::move(Conn), 3);
+      continue;
+    }
+    auto Result = S.Admission->offer(3, [&S, Conn](unsigned Level) {
+      dispatchConnection(S, Conn, Level);
+    });
+    if (Result == icilk::AdmitResult::Rejected) {
+      S.Rejected.fetch_add(1, std::memory_order_relaxed);
+      // Shed at the door: a tiny fetch-level task says 503 and hangs up.
+      icilk::fcreate<ProxyFetch>(
+          S.Rt, [&S, Conn = std::move(Conn)](Context<ProxyFetch> &C) mutable {
+            writeAll(S, C, Conn,
+                     makeResponse(503, "text/plain; charset=utf-8",
+                                  "503 service unavailable\n", false, false));
+          });
+    }
+  }
+}
+
+} // namespace
+
+RealProxy::RealProxy(const RealProxyConfig &Config)
+    : P(std::make_unique<Impl>(Config)) {}
+
+RealProxy::~RealProxy() { stop(); }
+
+bool RealProxy::start(std::string *Error) {
+  Impl &S = *P;
+  int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = "socket() failed";
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof One);
+  struct sockaddr_in Addr {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(S.Config.ListenPort);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(Fd, reinterpret_cast<struct sockaddr *>(&Addr), sizeof Addr) <
+          0 ||
+      ::listen(Fd, 128) < 0) {
+    if (Error)
+      *Error = "bind/listen failed on port " +
+               std::to_string(S.Config.ListenPort);
+    ::close(Fd);
+    return false;
+  }
+  socklen_t Len = sizeof Addr;
+  ::getsockname(Fd, reinterpret_cast<struct sockaddr *>(&Addr), &Len);
+  S.BoundPort.store(ntohs(Addr.sin_port), std::memory_order_release);
+  S.ListenFd = Fd;
+
+  S.Telemetry = std::make_unique<TelemetryScope>(
+      S.Rt, S.Config.TelemetryPort, S.Config.TelemetryPortOut,
+      S.Config.Metrics, &S.Io);
+
+  icilk::fcreate<ProxyClient>(
+      S.Rt, [&S](Context<ProxyClient> &C) { acceptLoop(S, C); });
+  repro::log(LogLevel::Info) << "real proxy listening on 127.0.0.1:"
+                             << S.BoundPort.load() << " (origin 127.0.0.1:"
+                             << S.Config.OriginPort << ")";
+  return true;
+}
+
+void RealProxy::stop() {
+  Impl &S = *P;
+  if (S.Stopped.exchange(true, std::memory_order_acq_rel))
+    return;
+  S.Stopping.store(true, std::memory_order_release);
+  // Order matters: shed queued arrivals first (their submits must not
+  // land after the runtime drains), then fail every parked socket future
+  // so connection tasks unwind, then wait for them.
+  if (S.Admission)
+    S.Admission->stop();
+  S.Io.shutdown();
+  S.Rt.drain();
+  if (S.ListenFd >= 0) {
+    ::close(S.ListenFd);
+    S.ListenFd = -1;
+  }
+  if (repro::MetricsRegistry *M = S.Config.Metrics) {
+    S.Io.sampleMetrics(*M);
+    S.Rt.sampleMetrics(*M, "realproxy.runtime");
+    M->counter("realproxy.accepted").set(S.Accepted.load());
+    M->counter("realproxy.requests").set(S.Requests.load());
+    M->counter("realproxy.cache_hits").set(S.Hits.load());
+    M->counter("realproxy.cache_misses").set(S.Misses.load());
+    M->counter("realproxy.rejected_503").set(S.Rejected.load());
+    M->counter("realproxy.degraded").set(S.Degraded.load());
+    M->counter("realproxy.origin_errors").set(S.OriginErrors.load());
+    M->counter("realproxy.bad_requests").set(S.BadRequests.load());
+  }
+}
+
+uint16_t RealProxy::port() const {
+  return P->BoundPort.load(std::memory_order_acquire);
+}
+
+RealProxyStats RealProxy::stats() const {
+  const Impl &S = *P;
+  RealProxyStats St;
+  St.Accepted = S.Accepted.load(std::memory_order_relaxed);
+  St.Requests = S.Requests.load(std::memory_order_relaxed);
+  St.CacheHits = S.Hits.load(std::memory_order_relaxed);
+  St.CacheMisses = S.Misses.load(std::memory_order_relaxed);
+  St.Rejected503 = S.Rejected.load(std::memory_order_relaxed);
+  St.Degraded = S.Degraded.load(std::memory_order_relaxed);
+  St.OriginErrors = S.OriginErrors.load(std::memory_order_relaxed);
+  St.BadRequests = S.BadRequests.load(std::memory_order_relaxed);
+  return St;
+}
+
+} // namespace repro::apps

@@ -1,0 +1,111 @@
+//===- apps/RealProxy.h - The proxy case study on real sockets --*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The Sec. 5.1 proxy server with the simulation stripped out: a real
+// HTTP/1.1 caching proxy whose every socket operation is an io_future
+// completed by the EpollReactor from kernel readiness events. Same
+// priority hierarchy as apps/Proxy.h (reused from that header):
+//
+//   ProxyClient — nonblocking accept loop + per-connection request loops;
+//   ProxyFetch  — origin fetches on cache misses (and degraded clients);
+//   ProxyStats / ProxyMain — as in the sim proxy.
+//
+// The structure the paper cares about survives the move to real fds: the
+// client loop never waits on a fetch (it delegates downward and the fetch
+// task resumes the connection when the reply is out), a parked I/O wait
+// occupies no worker, and admission decisions happen on accept — a
+// rejected connection gets "503 Service Unavailable" and a close before
+// it ever owns a task; a degraded one runs its request loop at
+// ProxyFetch urgency instead of ProxyClient.
+//
+// The origin is any blocking HTTP server on localhost —
+// support/HttpServer is the one the tests and the quickstart use.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_APPS_REALPROXY_H
+#define REPRO_APPS_REALPROXY_H
+
+#include "apps/Proxy.h" // priority hierarchy + AppCommon
+#include "icilk/FaultPlan.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace repro::apps {
+
+struct RealProxyConfig {
+  /// Port to listen on (0 = ephemeral; read back with RealProxy::port()).
+  uint16_t ListenPort = 0;
+  /// The origin server's localhost port (required).
+  uint16_t OriginPort = 0;
+  /// A request whose header block exceeds this is answered 400 and the
+  /// connection closed.
+  std::size_t MaxHeaderBytes = 8192;
+  /// Closed-loop admission control on the *accept* path: a rejected
+  /// connection is answered 503 and closed; a degraded one is served at
+  /// fetch (not client) priority.
+  icilk::AdmissionSettings Admission{};
+  /// Fault injection over the reactor's socket ops (default: disabled).
+  icilk::FaultSpec Faults{};
+  uint64_t FaultSeed = 42;
+  /// When non-null, stop() dumps final counters here under "realproxy.*".
+  repro::MetricsRegistry *Metrics = nullptr;
+  /// Live telemetry port (>= 0 serves /metrics — including the reactor's
+  /// backend="proxy.io" counters — for the server's lifetime; 0 =
+  /// ephemeral; -1 disables).
+  int TelemetryPort = -1;
+  /// Receives the actually-bound telemetry port (-1 = bind failed).
+  std::atomic<int> *TelemetryPortOut = nullptr;
+  icilk::RuntimeConfig Rt{.NumWorkers = 4, .NumLevels = 4};
+};
+
+struct RealProxyStats {
+  uint64_t Accepted = 0;      ///< connections accepted
+  uint64_t Requests = 0;      ///< requests parsed and served
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t Rejected503 = 0;   ///< connections shed by admission control
+  uint64_t Degraded = 0;      ///< connections served at fetch priority
+  uint64_t OriginErrors = 0;  ///< origin connect/read failures (502s sent)
+  uint64_t BadRequests = 0;   ///< unparsable/oversized requests (400s sent)
+};
+
+/// A running real-socket proxy. start() binds and begins accepting;
+/// stop() (also the destructor) shuts the reactor down — erroneously
+/// completing every parked socket future, so every connection task
+/// unwinds and closes — and drains the runtime.
+class RealProxy {
+public:
+  explicit RealProxy(const RealProxyConfig &Config);
+  ~RealProxy();
+
+  RealProxy(const RealProxy &) = delete;
+  RealProxy &operator=(const RealProxy &) = delete;
+
+  /// Binds the listen socket and spawns the accept loop. False (with
+  /// \p Error filled) if the bind fails.
+  bool start(std::string *Error = nullptr);
+
+  /// Graceful shutdown: stops accepting, fails in-flight socket futures,
+  /// drains the runtime. Idempotent.
+  void stop();
+
+  /// The bound listen port (resolves ListenPort=0); 0 before start().
+  uint16_t port() const;
+
+  RealProxyStats stats() const;
+
+  struct Impl; // public so the .cpp's task functions can name it
+
+private:
+  std::unique_ptr<Impl> P;
+};
+
+} // namespace repro::apps
+
+#endif // REPRO_APPS_REALPROXY_H

@@ -2,6 +2,7 @@
 
 #include "icilk/Admission.h"
 
+#include "icilk/SimIo.h"
 #include "support/Logging.h"
 #include "support/Timer.h"
 
@@ -10,10 +11,12 @@
 namespace repro::icilk {
 
 AdmissionController::AdmissionController(Runtime &Rt, AdmissionConfig Cfg,
-                                         IoService *IoIn)
+                                         icilk::Io *IoIn)
     : Rt(Rt), Config(std::move(Cfg)), Io(IoIn) {
   if (!Io) {
-    OwnedIo = std::make_unique<IoService>();
+    // A private timer backend just for queue-timeout sweeps; the sim
+    // backend is the cheapest thing with a deadline heap.
+    OwnedIo = std::make_unique<SimIo>("admission.io");
     Io = OwnedIo.get();
   }
   const unsigned NumLevels = Rt.config().NumLevels;

@@ -19,7 +19,7 @@
 //   * shed decisions are reject (queue full, no way down), degrade
 //     (re-admit at a lower priority level, so the request is still served
 //     at background urgency), or timeout-in-queue (an entry that waited
-//     past its deadline is expired by the IoService deadline heap without
+//     past its deadline is expired by the Io backend's deadline heap without
 //     ever touching the scheduler);
 //   * a feedback controller drives the per-level token rates from the
 //     runtime's own symptoms: windowed response-time p99 per level (the
@@ -34,7 +34,7 @@
 //
 // Threading: offer() may be called from any thread (it is the arrival
 // path); dispatch and adaptation run on one controller thread every
-// ControlIntervalMillis; queue timeouts fire from the IoService timer
+// ControlIntervalMillis; queue timeouts fire from the Io backend's timer
 // thread. One mutex guards the queues and buckets — this is the per-
 // *request* admission path (thousands per second), not the per-*task*
 // spawn path (millions), so a mutex is the right tool.
@@ -44,7 +44,7 @@
 #ifndef REPRO_ICILK_ADMISSION_H
 #define REPRO_ICILK_ADMISSION_H
 
-#include "icilk/IoService.h"
+#include "icilk/Io.h"
 #include "icilk/Runtime.h"
 #include "support/Histogram.h"
 #include "support/Stats.h"
@@ -60,6 +60,8 @@
 
 namespace repro::icilk {
 
+class SimIo;
+
 /// Knobs of the overload controller. Defaults suit the app case studies
 /// (requests measured in milliseconds); benchmarks override freely.
 struct AdmissionConfig {
@@ -71,7 +73,7 @@ struct AdmissionConfig {
   /// construction (NumLevels × QueueCap entries at worst).
   std::size_t QueueCap = 512;
   /// An entry still queued after this long is shed (TimedOut) by a sweep
-  /// scheduled on the IoService deadline heap. 0 disables timeouts.
+  /// scheduled on the Io backend's deadline heap. 0 disables timeouts.
   uint64_t QueueTimeoutMicros = 100000;
   /// Full queues try the next lower level before rejecting (the request is
   /// served late rather than never). The top level never degrades *into*
@@ -107,6 +109,17 @@ struct AdmissionConfig {
   std::size_t LatencyBuckets = 500;
 };
 
+/// The admission knobs every server app embeds (proxy, email, job server):
+/// one switch plus the controller config, so app configs stop growing
+/// parallel `bool AdmissionControl` / `AdmissionConfig Admission` pairs
+/// that drift apart.
+struct AdmissionSettings {
+  /// Attach an AdmissionController in front of the app's arrival path.
+  bool Enabled = false;
+  /// Controller knobs, used only when Enabled.
+  AdmissionConfig Config{};
+};
+
 /// Outcome of one offer() call, from the *caller's* point of view.
 enum class AdmitResult {
   Admitted, ///< submitted inline (token available, queue empty)
@@ -120,11 +133,12 @@ enum class AdmitResult {
 /// runtime's AdmissionView and detaches on destruction.
 class AdmissionController : public AdmissionView {
 public:
-  /// \p Io backs queue timeouts (its deadline heap); when null the
-  /// controller owns a private IoService. \p Rt and \p Io (when given)
-  /// must outlive the controller.
+  /// \p Io backs queue timeouts (its deadline heap — any Io backend
+  /// works, only submitTimer is used); when null the controller owns a
+  /// private SimIo. \p Rt and \p Io (when given) must outlive the
+  /// controller.
   AdmissionController(Runtime &Rt, AdmissionConfig Config = {},
-                      IoService *Io = nullptr);
+                      Io *Io = nullptr);
   ~AdmissionController() override;
 
   AdmissionController(const AdmissionController &) = delete;
@@ -203,9 +217,9 @@ private:
 
   Runtime &Rt;
   AdmissionConfig Config;
-  IoService *Io;                        ///< timeout backing (never null
+  icilk::Io *Io;                        ///< timeout backing (never null
                                         ///< after construction)
-  std::unique_ptr<IoService> OwnedIo;   ///< set when no Io was supplied
+  std::unique_ptr<SimIo> OwnedIo;       ///< set when no Io was supplied
 
   /// Timer callbacks (queue-timeout sweeps) outlive any single object's
   /// lifetime guarantees — a sweep may still sit on the deadline heap when

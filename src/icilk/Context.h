@@ -29,7 +29,7 @@
 #include "icilk/EventRing.h"
 #include "icilk/Failure.h"
 #include "icilk/Future.h"
-#include "icilk/IoService.h"
+#include "icilk/Io.h"
 #include "icilk/Runtime.h"
 #include "icilk/Trace.h"
 
@@ -273,12 +273,14 @@ const T &touchFromOutside(Runtime &Rt, const Future<Prio, T> &F) {
 namespace detail {
 
 /// The deadline-touch core shared by Context::ftouchFor and
-/// touchFromOutsideFor. Races the producer against an IoService timer via
+/// touchFromOutsideFor. Races the producer against an Io-backend timer via
 /// a one-shot *gate* future (true = value won, false = deadline won): the
 /// toucher parks only on the gate, so no task is ever on two waiter lists
 /// — the two completers race through tryComplete instead, which is safe.
+/// Only Io::submitTimer is used, so any backend (SimIo, EpollReactor)
+/// serves deadlines identically.
 template <typename T>
-std::optional<T> touchWithDeadline(Runtime &Rt, IoService &Io,
+std::optional<T> touchWithDeadline(Runtime &Rt, Io &Io,
                                    FutureState<T> &State,
                                    uint64_t TimeoutMicros) {
   if (!State.isReady()) {
@@ -311,7 +313,7 @@ std::optional<T> touchWithDeadline(Runtime &Rt, IoService &Io,
 /// unready after \p TimeoutMicros (the producer keeps running); rethrows
 /// an erroneous completion. The timeout is tracked by \p Io's timer heap.
 template <typename Prio, typename T>
-std::optional<T> touchFromOutsideFor(Runtime &Rt, IoService &Io,
+std::optional<T> touchFromOutsideFor(Runtime &Rt, Io &Io,
                                      const Future<Prio, T> &F,
                                      uint64_t TimeoutMicros) {
   assert(F.isAssociated() && "ftouch of an unassociated handle");
@@ -353,7 +355,7 @@ public:
   /// the producer keeps running and the handle stays touchable. Rethrows
   /// an erroneous completion. Same priority rule as ftouch.
   template <typename P2, typename T>
-  std::optional<T> ftouchFor(const Future<P2, T> &F, IoService &Io,
+  std::optional<T> ftouchFor(const Future<P2, T> &F, Io &Io,
                              uint64_t TimeoutMicros) const {
     ICILK_ASSERT_NO_INVERSION(Prio, P2);
     assert(F.isAssociated() &&

@@ -25,13 +25,17 @@
 
 namespace repro::icilk {
 
-/// Why a simulated I/O operation completed erroneously.
+/// Why an I/O operation completed erroneously.
 enum class IoErrc {
-  Reset,    ///< the peer reset the connection mid-operation
-  Timeout,  ///< the operation exceeded its deadline
-  Dropped,  ///< the operation vanished (packet loss; surfaces late, as an
-            ///< erroneous completion after the drop-detection latency)
-  Shutdown, ///< the service shut down with the operation still in flight
+  Reset,       ///< the peer reset the connection mid-operation
+  Timeout,     ///< the operation exceeded its deadline
+  Dropped,     ///< the operation vanished (packet loss; surfaces late, as an
+               ///< erroneous completion after the drop-detection latency)
+  Shutdown,    ///< the backend shut down with the operation still in flight
+  Cancelled,   ///< the operation was cancelled (EpollReactor::cancelFd)
+  Unsupported, ///< the backend cannot perform this operation at all
+               ///< (fd-based I/O on the simulation backend)
+  OsError,     ///< a real syscall failed; errnoValue() carries errno
 };
 
 /// Human-readable name of \p Code ("reset", "timeout", ...).
@@ -45,22 +49,37 @@ inline const char *ioErrcName(IoErrc Code) {
     return "dropped";
   case IoErrc::Shutdown:
     return "shutdown";
+  case IoErrc::Cancelled:
+    return "cancelled";
+  case IoErrc::Unsupported:
+    return "unsupported";
+  case IoErrc::OsError:
+    return "os error";
   }
   return "unknown";
 }
 
-/// Erroneous completion of a simulated I/O operation. Thrown by the touch
-/// of a failed io_future.
+/// Erroneous completion of an I/O operation. Thrown by the touch of a
+/// failed io_future. Real backends (EpollReactor) map well-known errnos to
+/// specific codes (ECONNRESET/EPIPE → Reset, ETIMEDOUT → Timeout) and
+/// carry everything else as OsError with the errno attached.
 class IoError : public std::runtime_error {
 public:
-  explicit IoError(IoErrc Code)
-      : std::runtime_error(std::string("io error: ") + ioErrcName(Code)),
-        Code(Code) {}
+  explicit IoError(IoErrc Code, int ErrnoValue = 0)
+      : std::runtime_error(std::string("io error: ") + ioErrcName(Code) +
+                           (ErrnoValue ? " (errno " +
+                                             std::to_string(ErrnoValue) + ")"
+                                       : "")),
+        Code(Code), Errno(ErrnoValue) {}
 
   IoErrc code() const { return Code; }
 
+  /// The failing syscall's errno (0 when not backed by a syscall).
+  int errnoValue() const { return Errno; }
+
 private:
   IoErrc Code;
+  int Errno;
 };
 
 /// Thrown by a task that observed its cancellation flag and unwound; lands

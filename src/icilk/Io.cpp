@@ -1,0 +1,20 @@
+//===- icilk/Io.cpp - Backend-neutral asynchronous I/O interface ------------===//
+
+#include "icilk/Io.h"
+
+#include "support/Metrics.h"
+
+namespace repro::icilk {
+
+void Io::sampleMetrics(repro::MetricsRegistry &M) const {
+  M.counter(Prefix + ".submitted").set(submitted());
+  M.counter(Prefix + ".completed").set(completed());
+  M.counter(Prefix + ".faulted").set(faulted());
+  M.setGauge(Prefix + ".in_flight", static_cast<double>(inFlight()));
+  sampleBackendMetrics(M, Prefix);
+}
+
+void Io::sampleBackendMetrics(repro::MetricsRegistry &,
+                              const std::string &) const {}
+
+} // namespace repro::icilk

@@ -1,0 +1,199 @@
+//===- icilk/SimIo.cpp - Latency-hiding simulated I/O backend ---------------===//
+
+#include "icilk/SimIo.h"
+
+#include "icilk/EventRing.h"
+#include "icilk/Runtime.h"
+#include "support/Metrics.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+
+namespace repro::icilk {
+
+namespace {
+
+/// Dispatches a completion outside the service lock: requeue parked
+/// waiters, run one-shot callbacks.
+void dispatch(Wakeup W) {
+  for (Waiter &Wt : W.Waiters)
+    Wt.Rt->resumeTask(Wt.T);
+  for (std::function<void()> &Fn : W.Callbacks)
+    Fn();
+}
+
+} // namespace
+
+SimIo::SimIo(std::string MetricsPrefix)
+    : Io(std::move(MetricsPrefix)), Timer([this] { timerLoop(); }) {}
+
+SimIo::~SimIo() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stop = true;
+  }
+  Cv.notify_all();
+  if (Timer.joinable())
+    Timer.join();
+  // Fire anything still pending (early) so touchers do not hang at
+  // teardown: successful ops complete with their value, injected faults
+  // with their error, timers just run.
+  while (!Heap.empty()) {
+    Op Due = Heap.top();
+    Heap.pop();
+    Due.Fire();
+    if (Due.IsIo) {
+      ++Done;
+      --IoPending;
+    }
+  }
+}
+
+void SimIo::submitSim(uint64_t LatencyMicros,
+                      std::shared_ptr<FutureState<IoResult>> State,
+                      IoResult Bytes, bool IsWrite) {
+  (IsWrite ? SimWriteOps : SimReadOps).fetch_add(1, std::memory_order_relaxed);
+  std::exception_ptr Err;
+  FaultPlan::Decision D = drawFault();
+  switch (D.K) {
+  case FaultPlan::Kind::None:
+    break;
+  case FaultPlan::Kind::Fail:
+    // The op still takes its normal latency before failing, like a
+    // connection reset observed mid-transfer.
+    Err = std::make_exception_ptr(IoError(D.Code));
+    break;
+  case FaultPlan::Kind::Delay:
+    LatencyMicros += D.ExtraLatencyMicros;
+    break;
+  case FaultPlan::Kind::Drop:
+    // A dropped op surfaces only when the drop-detection latency
+    // expires, regardless of how fast it would have been.
+    Err = std::make_exception_ptr(IoError(D.Code));
+    LatencyMicros = D.DropAfterMicros;
+    break;
+  }
+  uint64_t OpId = nextOpId();
+  State->setIoOpId(OpId);
+  auto Level = static_cast<uint8_t>(State->level());
+  trace::emit(trace::EventKind::IoBegin, Level, OpId,
+              static_cast<uint32_t>(
+                  std::min<uint64_t>(LatencyMicros, UINT32_MAX)));
+  push(LatencyMicros, /*IsIo=*/true,
+       [this, State = std::move(State), Bytes, Err, OpId, Level] {
+         if (Err)
+           noteFault();
+         trace::emit(Err ? trace::EventKind::IoFault
+                         : trace::EventKind::IoComplete,
+                     Level, OpId);
+         dispatch(Err ? State->completeError(Err) : State->complete(Bytes));
+       });
+}
+
+void SimIo::submitUnsupported(std::shared_ptr<FutureState<IoResult>> State) {
+  // The simulation backend has no kernel behind it: an fd-based op fails
+  // loudly and immediately rather than pretending a socket exists. Counted
+  // as a (faulted) I/O op so the metrics show the misuse.
+  uint64_t OpId = nextOpId();
+  State->setIoOpId(OpId);
+  auto Level = static_cast<uint8_t>(State->level());
+  trace::emit(trace::EventKind::IoBegin, Level, OpId, 0);
+  push(0, /*IsIo=*/true, [this, State = std::move(State), OpId, Level] {
+    noteFault();
+    trace::emit(trace::EventKind::IoFault, Level, OpId);
+    dispatch(State->completeError(
+        std::make_exception_ptr(IoError(IoErrc::Unsupported))));
+  });
+}
+
+void SimIo::submitRead(int, void *, std::size_t,
+                       std::shared_ptr<FutureState<IoResult>> State) {
+  submitUnsupported(std::move(State));
+}
+
+void SimIo::submitWrite(int, const void *, std::size_t,
+                        std::shared_ptr<FutureState<IoResult>> State) {
+  submitUnsupported(std::move(State));
+}
+
+void SimIo::submitAccept(int, std::shared_ptr<FutureState<IoResult>> State) {
+  submitUnsupported(std::move(State));
+}
+
+void SimIo::submitConnect(int, const struct sockaddr *, socklen_t,
+                          std::shared_ptr<FutureState<IoResult>> State) {
+  submitUnsupported(std::move(State));
+}
+
+void SimIo::submitTimer(uint64_t LatencyMicros, std::function<void()> Fn) {
+  push(LatencyMicros, /*IsIo=*/false, std::move(Fn));
+}
+
+void SimIo::submitSleep(uint64_t LatencyMicros,
+                        std::shared_ptr<FutureState<Unit>> State) {
+  // Timer-backed, not a counted I/O op: mark with the sentinel so a
+  // blocking ftouch of a sleep future still attributes as I/O/timer wait
+  // rather than as an unknown producer (see Profiler.h).
+  State->setIoOpId(UINT64_MAX);
+  push(LatencyMicros, /*IsIo=*/false,
+       [State = std::move(State)] { dispatch(State->complete(Unit{})); });
+}
+
+void SimIo::push(uint64_t LatencyMicros, bool IsIo,
+                 std::function<void()> Fire) {
+  uint64_t Deadline = repro::nowNanos() + LatencyMicros * 1000;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Heap.push(Op{Deadline, IsIo, std::move(Fire)});
+    if (IsIo)
+      ++IoPending;
+  }
+  Cv.notify_one();
+}
+
+void SimIo::timerLoop() {
+  trace::setThreadName("io-timer");
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (true) {
+    if (Stop)
+      return;
+    if (Heap.empty()) {
+      Cv.wait(Lock, [this] { return Stop || !Heap.empty(); });
+      continue;
+    }
+    uint64_t Now = repro::nowNanos();
+    if (Heap.top().DeadlineNanos <= Now) {
+      Op Due = Heap.top();
+      Heap.pop();
+      Lock.unlock();
+      // Completion (waiter requeue, callbacks) outside the service lock.
+      Due.Fire();
+      Lock.lock();
+      if (Due.IsIo) {
+        ++Done;
+        --IoPending;
+      }
+      continue;
+    }
+    Cv.wait_for(Lock,
+                std::chrono::nanoseconds(Heap.top().DeadlineNanos - Now));
+  }
+}
+
+uint64_t SimIo::completed() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Done;
+}
+
+uint64_t SimIo::inFlight() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return IoPending;
+}
+
+void SimIo::sampleBackendMetrics(repro::MetricsRegistry &M,
+                                 const std::string &Prefix) const {
+  M.counter(Prefix + ".sim_reads").set(simReads());
+  M.counter(Prefix + ".sim_writes").set(simWrites());
+}
+
+} // namespace repro::icilk

@@ -3,6 +3,7 @@
 #include "icilk/Telemetry.h"
 
 #include "icilk/EventRing.h"
+#include "icilk/Io.h"
 #include "support/Metrics.h"
 #include "support/Timer.h"
 
@@ -46,6 +47,15 @@ std::string levelLabel(unsigned L) {
 }
 
 } // namespace
+
+void Telemetry::trackIo(const Io *Backend) {
+  std::lock_guard<std::mutex> Lock(IoMutex);
+  if (!Backend) {
+    IoBackends.clear();
+    return;
+  }
+  IoBackends.push_back(Backend);
+}
 
 std::string Telemetry::sanitizeMetricName(const std::string &Name) {
   std::string Out;
@@ -360,6 +370,42 @@ std::string Telemetry::renderPrometheus() const {
     for (unsigned L = 0; L < A.Levels.size(); ++L)
       sample(Out, P + "_admission_rate_per_sec", levelLabel(L),
              num(A.Levels[L].RatePerSec));
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(IoMutex);
+    if (!IoBackends.empty()) {
+      family(Out, P + "_io_submitted_total", "counter",
+             "I/O operations ever submitted, per tracked backend.");
+      for (const Io *B : IoBackends)
+        sample(Out, P + "_io_submitted_total",
+               "backend=\"" + escapeLabelValue(B->metricsPrefix()) + "\"",
+               num(B->submitted()));
+
+      family(Out, P + "_io_completed_total", "counter",
+             "I/O operations completed (successfully or erroneously), per "
+             "tracked backend.");
+      for (const Io *B : IoBackends)
+        sample(Out, P + "_io_completed_total",
+               "backend=\"" + escapeLabelValue(B->metricsPrefix()) + "\"",
+               num(B->completed()));
+
+      family(Out, P + "_io_faulted_total", "counter",
+             "I/O operations completed erroneously (injected faults, "
+             "failed syscalls, shutdown), per tracked backend.");
+      for (const Io *B : IoBackends)
+        sample(Out, P + "_io_faulted_total",
+               "backend=\"" + escapeLabelValue(B->metricsPrefix()) + "\"",
+               num(B->faulted()));
+
+      family(Out, P + "_io_in_flight", "gauge",
+             "I/O operations submitted but not yet completed, per tracked "
+             "backend.");
+      for (const Io *B : IoBackends)
+        sample(Out, P + "_io_in_flight",
+               "backend=\"" + escapeLabelValue(B->metricsPrefix()) + "\"",
+               num(static_cast<double>(B->inFlight())));
+    }
   }
 
   family(Out, P + "_ring_events_total", "counter",

@@ -53,6 +53,8 @@
 
 namespace repro::icilk {
 
+class Io;
+
 struct TelemetryConfig {
   /// TCP port to serve on; 0 asks the kernel for an ephemeral port (read
   /// it back with Telemetry::port()).
@@ -91,6 +93,14 @@ public:
   /// Stops both threads; idempotent, and called by the destructor.
   void stop();
 
+  /// Registers an I/O backend whose live counters /metrics should expose
+  /// (submitted/completed/faulted/in-flight, labeled
+  /// backend="<metricsPrefix>"). Several backends may be tracked — their
+  /// construction-time prefixes keep the series apart. \p Backend must
+  /// outlive this object (or be removed with trackIo(nullptr) removing
+  /// all). Thread-safe.
+  void trackIo(const Io *Backend);
+
   /// The actually-bound port (resolves Port=0); 0 before start().
   uint16_t port() const { return Server.port(); }
 
@@ -117,6 +127,11 @@ private:
   /// One response-latency window per priority level, fed by the sampler.
   std::vector<std::unique_ptr<repro::WindowedHistogram>> Windows;
   std::vector<std::size_t> Harvested; ///< per-level consumed sample count
+
+  /// I/O backends surfaced in /metrics (see trackIo). Guarded by IoMutex
+  /// — registration and the render path may race.
+  mutable std::mutex IoMutex;
+  std::vector<const Io *> IoBackends;
 
   std::thread Sampler;
   std::mutex SamplerMutex;

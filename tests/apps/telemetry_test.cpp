@@ -285,14 +285,14 @@ TEST(TelemetryLiveTest, OverloadScrapeShowsAdmissionShedding) {
                                       // past saturation on this machine
   Config.Rt.NumWorkers = 2;
   Config.Seed = 23;
-  Config.AdmissionControl = true;
-  Config.Admission.ControlIntervalMillis = 5;
-  Config.Admission.QueueCap = 16;
-  Config.Admission.QueueTimeoutMicros = 30000;
-  Config.Admission.PendingHighWatermark = 16;
-  Config.Admission.TargetP99Micros = 20000;
-  Config.Admission.EpochMillis = 50;
-  Config.Admission.WindowEpochs = 3;
+  Config.Admission.Enabled = true;
+  Config.Admission.Config.ControlIntervalMillis = 5;
+  Config.Admission.Config.QueueCap = 16;
+  Config.Admission.Config.QueueTimeoutMicros = 30000;
+  Config.Admission.Config.PendingHighWatermark = 16;
+  Config.Admission.Config.TargetP99Micros = 20000;
+  Config.Admission.Config.EpochMillis = 50;
+  Config.Admission.Config.WindowEpochs = 3;
   Config.TelemetryPort = 0;
   std::atomic<int> Port{-2};
   Config.TelemetryPortOut = &Port;

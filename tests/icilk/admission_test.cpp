@@ -2,7 +2,7 @@
 //
 // The closed-loop admission layer (DESIGN.md, "Overload and admission
 // control"): token-bucket fast path, queueing and dispatch, cascade
-// degradation, rejection, queue timeouts on the IoService deadline heap,
+// degradation, rejection, queue timeouts on the SimIo deadline heap,
 // quiesce/stop semantics, the feedback clamps, and the stats surface the
 // telemetry exporter reads (Runtime::snapshot().Admission).
 //
@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "icilk/Admission.h"
+#include "icilk/SimIo.h"
 #include "icilk/Context.h"
 
 #include <gtest/gtest.h>
@@ -141,7 +142,7 @@ TEST(AdmissionTest, RejectsAtBottomWithNoWayDown) {
 
 TEST(AdmissionTest, QueueTimeoutShedsViaDeadlineHeap) {
   Runtime Rt(threeLevels());
-  IoService Io;
+  SimIo Io{"io"};
   AdmissionConfig C = fastConfig();
   C.InitialRatePerSec = 0.001;
   C.BurstTokens = 0; // nothing ever admits inline; everything queues

@@ -9,7 +9,7 @@
 
 #include "icilk/Context.h"
 #include "icilk/FaultPlan.h"
-#include "icilk/IoService.h"
+#include "icilk/SimIo.h"
 #include "support/Timer.h"
 
 #include <gtest/gtest.h>
@@ -146,7 +146,7 @@ TEST(FailureTest, TryCompleteLosesGracefully) {
 
 TEST(FailureTest, FtouchForTimesOutAndProducerSurvives) {
   Runtime Rt(smallConfig());
-  IoService Io;
+  SimIo Io{"io"};
   auto Gate = std::make_shared<std::atomic<bool>>(false);
   auto Slow = fcreate<High>(Rt, [Gate](Context<High> &) {
     while (!Gate->load())
@@ -165,7 +165,7 @@ TEST(FailureTest, FtouchForTimesOutAndProducerSurvives) {
 
 TEST(FailureTest, FtouchForReturnsValueBeforeDeadline) {
   Runtime Rt(smallConfig());
-  IoService Io;
+  SimIo Io{"io"};
   auto Fast = fcreate<High>(Rt, [](Context<High> &) { return 7; });
   auto Waiter = fcreate<Low>(Rt, [&](Context<Low> &Ctx) {
     auto R = Ctx.ftouchFor(Fast, Io, /*TimeoutMicros=*/500000);
@@ -176,7 +176,7 @@ TEST(FailureTest, FtouchForReturnsValueBeforeDeadline) {
 
 TEST(FailureTest, FtouchForRethrowsProducerError) {
   Runtime Rt(smallConfig());
-  IoService Io;
+  SimIo Io{"io"};
   auto Bad = fcreate<High>(Rt, [](Context<High> &) -> int {
     throw std::runtime_error("fails fast");
   });
@@ -192,7 +192,7 @@ TEST(FailureTest, FtouchForRethrowsProducerError) {
 
 TEST(FailureTest, TouchFromOutsideForTimesOut) {
   Runtime Rt(smallConfig());
-  IoService Io;
+  SimIo Io{"io"};
   auto Gate = std::make_shared<std::atomic<bool>>(false);
   auto Slow = fcreate<High>(Rt, [Gate](Context<High> &) {
     while (!Gate->load())
@@ -208,8 +208,8 @@ TEST(FailureTest, FtouchForOnIoFutureHidesLatency) {
   // Deadline touch of a slow I/O op: the timeout fires, the op completes
   // later on its own, and a second (long-deadline) touch sees the value.
   Runtime Rt(smallConfig());
-  IoService Io;
-  auto F = Io.read<High>(/*LatencyMicros=*/30000, 11);
+  SimIo Io{"io"};
+  auto F = Io.simRead<High>(/*LatencyMicros=*/30000, 11);
   auto T = fcreate<Low>(Rt, [&](Context<Low> &Ctx) {
     auto First = Ctx.ftouchFor(F, Io, 1000);
     auto Second = Ctx.ftouchFor(F, Io, 1000000);
@@ -274,7 +274,7 @@ TEST(FailureTest, CancellationBeatsFtouchForDeadline) {
   // future erroneously, and ftouchFor rethrows that — it must not sit out
   // the (absurdly long) deadline or report nullopt.
   Runtime Rt(smallConfig());
-  IoService Io;
+  SimIo Io{"io"};
   CancelSource Source;
   std::atomic<bool> Entered{false};
   auto Victim = spinUntilCancelled<High>(Rt, Source.token(), Entered);
@@ -298,7 +298,7 @@ TEST(FailureTest, FtouchForDeadlineBeatsCancellation) {
   // or poison the future. A cancellation requested *after* the timeout
   // then surfaces as CancelledError at the next touch.
   Runtime Rt(smallConfig());
-  IoService Io;
+  SimIo Io{"io"};
   CancelSource Source;
   std::atomic<bool> Entered{false};
   auto Victim = spinUntilCancelled<High>(Rt, Source.token(), Entered);
@@ -322,7 +322,7 @@ TEST(FailureTest, FtouchForDeadlineVsCancellationRaceHammer) {
   // target: the timer thread, the unwinding producer, and the external
   // toucher all hit the same future state.
   Runtime Rt(smallConfig());
-  IoService Io;
+  SimIo Io{"io"};
   for (int Round = 0; Round < 40; ++Round) {
     CancelSource Source;
     std::atomic<bool> Entered{false};
@@ -421,12 +421,12 @@ TEST(FaultPlanTest, ZeroSpecInjectsNothing) {
 
 TEST(FaultInjectionTest, FailedOpThrowsIoErrorAtToucher) {
   Runtime Rt(smallConfig());
-  IoService Io;
+  SimIo Io{"io"};
   FaultSpec Spec;
   Spec.FailProb = 1.0;
   Spec.FailCode = IoErrc::Reset;
   Io.setFaultPlan(std::make_shared<FaultPlan>(1, Spec));
-  auto F = Io.read<High>(100, 64);
+  auto F = Io.simRead<High>(100, 64);
   auto T = fcreate<Low>(Rt, [&](Context<Low> &Ctx) {
     try {
       return static_cast<int>(Ctx.ftouch(F));
@@ -439,13 +439,13 @@ TEST(FaultInjectionTest, FailedOpThrowsIoErrorAtToucher) {
 
 TEST(FaultInjectionTest, DroppedOpSurfacesAfterDropLatency) {
   Runtime Rt(smallConfig());
-  IoService Io;
+  SimIo Io{"io"};
   FaultSpec Spec;
   Spec.DropProb = 1.0;
   Spec.DropAfterMicros = 3000;
   Io.setFaultPlan(std::make_shared<FaultPlan>(1, Spec));
   uint64_t Start = repro::nowMicros();
-  auto F = Io.read<High>(/*LatencyMicros=*/0, 64);
+  auto F = Io.simRead<High>(/*LatencyMicros=*/0, 64);
   while (!F.isReady())
     std::this_thread::yield();
   EXPECT_GE(repro::nowMicros() - Start + 200, 3000u);
@@ -454,13 +454,13 @@ TEST(FaultInjectionTest, DroppedOpSurfacesAfterDropLatency) {
 }
 
 TEST(FaultInjectionTest, DelayedOpStillSucceeds) {
-  IoService Io;
+  SimIo Io{"io"};
   FaultSpec Spec;
   Spec.DelayProb = 1.0;
   Spec.DelayMicros = 5000;
   Io.setFaultPlan(std::make_shared<FaultPlan>(1, Spec));
   uint64_t Start = repro::nowMicros();
-  auto F = Io.read<Low>(1000, 32);
+  auto F = Io.simRead<Low>(1000, 32);
   while (!F.isReady())
     std::this_thread::yield();
   EXPECT_GE(repro::nowMicros() - Start + 200, 6000u);
@@ -469,7 +469,7 @@ TEST(FaultInjectionTest, DelayedOpStillSucceeds) {
 
 TEST(FaultInjectionTest, SleepForIsNeverInjected) {
   Runtime Rt(smallConfig());
-  IoService Io;
+  SimIo Io{"io"};
   FaultSpec Spec;
   Spec.FailProb = 1.0;
   Io.setFaultPlan(std::make_shared<FaultPlan>(1, Spec));
@@ -490,8 +490,8 @@ TEST(WatchdogTest, DetectsStallOnBlockedIo) {
   C.QuantumMicros = 500;
   C.WatchdogQuanta = 20; // ~10 ms of no progress
   Runtime Rt(C);
-  IoService Io;
-  auto F = Io.read<High>(/*LatencyMicros=*/150000, 1); // 150 ms stall
+  SimIo Io{"io"};
+  auto F = Io.simRead<High>(/*LatencyMicros=*/150000, 1); // 150 ms stall
   auto T = fcreate<High>(Rt, [&](Context<High> &Ctx) {
     return static_cast<int>(Ctx.ftouch(F));
   });

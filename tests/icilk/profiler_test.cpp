@@ -9,7 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "icilk/Context.h"
-#include "icilk/IoService.h"
+#include "icilk/SimIo.h"
 #include "icilk/Profiler.h"
 #include "support/Timer.h"
 
@@ -126,17 +126,17 @@ TEST(ProfilerTest, DetectsAndNamesInjectedInversion) {
 }
 
 TEST(ProfilerTest, IoWaitsClassifiedSeparatelyFromFtouchWaits) {
-  // A blocked ftouch on an IoService-backed future is device wait, not a
+  // A blocked ftouch on an SimIo-backed future is device wait, not a
   // dependence on another task: it must land in IoNanos (and be excluded
   // from the model response the bound is compared against).
   Runtime Rt(twoLevelConfig());
-  IoService Io;
+  SimIo Io{"io"};
   TraceRecorder Tr;
   Rt.setTrace(&Tr);
   trace::clear();
   trace::enable(1 << 16);
   auto F = fcreate<Ui>(Rt, [&Io](Context<Ui> &Ctx) {
-    auto Op = Io.read<Ui>(/*LatencyMicros=*/3000, /*Bytes=*/64);
+    auto Op = Io.simRead<Ui>(/*LatencyMicros=*/3000, /*Bytes=*/64);
     return static_cast<int>(Ctx.ftouch(Op));
   });
   uint32_t Id = F.state()->producerTraceId();

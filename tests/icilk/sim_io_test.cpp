@@ -1,7 +1,8 @@
-//===- tests/icilk/io_service_test.cpp - Latency-hiding I/O ----------------===//
+//===- tests/icilk/sim_io_test.cpp - Simulated latency-hiding I/O ----------===//
 
 #include "icilk/Context.h"
-#include "icilk/IoService.h"
+#include "icilk/SimIo.h"
+#include "support/Metrics.h"
 #include "support/Timer.h"
 
 #include <gtest/gtest.h>
@@ -16,9 +17,9 @@ namespace {
 ICILK_PRIORITY(Low, BasePriority, 0);
 ICILK_PRIORITY(High, Low, 1);
 
-TEST(IoServiceTest, CompletesAfterLatency) {
-  IoService Io;
-  auto F = Io.read<High>(/*LatencyMicros=*/2000, /*Bytes=*/128);
+TEST(SimIoTest, CompletesAfterLatency) {
+  SimIo Io{"io"};
+  auto F = Io.simRead<High>(/*LatencyMicros=*/2000, /*Bytes=*/128);
   EXPECT_FALSE(F.isReady());
   uint64_t Start = repro::nowMicros();
   while (!F.isReady())
@@ -28,10 +29,10 @@ TEST(IoServiceTest, CompletesAfterLatency) {
   EXPECT_EQ(F.state()->value(), 128);
 }
 
-TEST(IoServiceTest, CompletesInDeadlineOrder) {
-  IoService Io;
-  auto Slow = Io.read<High>(20000, 1);
-  auto Fast = Io.read<High>(1000, 2);
+TEST(SimIoTest, CompletesInDeadlineOrder) {
+  SimIo Io{"io"};
+  auto Slow = Io.simRead<High>(20000, 1);
+  auto Fast = Io.simRead<High>(1000, 2);
   while (!Fast.isReady())
     std::this_thread::yield();
   EXPECT_FALSE(Slow.isReady());
@@ -40,19 +41,19 @@ TEST(IoServiceTest, CompletesInDeadlineOrder) {
   EXPECT_EQ(Io.completed(), 2u);
 }
 
-TEST(IoServiceTest, ZeroLatencyCompletesPromptly) {
-  IoService Io;
-  auto F = Io.write<Low>(0, 64);
+TEST(SimIoTest, ZeroLatencyCompletesPromptly) {
+  SimIo Io{"io"};
+  auto F = Io.simWrite<Low>(0, 64);
   while (!F.isReady())
     std::this_thread::yield();
   EXPECT_EQ(F.state()->value(), 64);
 }
 
-TEST(IoServiceTest, ManyConcurrentOps) {
-  IoService Io;
+TEST(SimIoTest, ManyConcurrentOps) {
+  SimIo Io{"io"};
   std::vector<Future<Low, IoResult>> Fs;
   for (int I = 0; I < 200; ++I)
-    Fs.push_back(Io.read<Low>(static_cast<uint64_t>(I % 7) * 300, I));
+    Fs.push_back(Io.simRead<Low>(static_cast<uint64_t>(I % 7) * 300, I));
   for (int I = 0; I < 200; ++I) {
     while (!Fs[I].isReady())
       std::this_thread::yield();
@@ -62,18 +63,18 @@ TEST(IoServiceTest, ManyConcurrentOps) {
   EXPECT_EQ(Io.inFlight(), 0u);
 }
 
-TEST(IoServiceTest, WorkersRunTasksWhileIoPends) {
+TEST(SimIoTest, WorkersRunTasksWhileIoPends) {
   // The latency-hiding property: an ftouch on an io_future must not stop
   // other tasks from running on the touching worker.
   RuntimeConfig C;
   C.NumWorkers = 1;
   C.NumLevels = 2;
   Runtime Rt(C);
-  IoService Io;
+  SimIo Io{"io"};
   std::atomic<int> Background{0};
 
   auto Waiter = fcreate<Low>(Rt, [&](Context<Low> &Ctx) {
-    auto IoF = Io.read<High>(/*LatencyMicros=*/30000, 7);
+    auto IoF = Io.simRead<High>(/*LatencyMicros=*/30000, 7);
     for (int I = 0; I < 10; ++I)
       Ctx.fcreate<Low>([&](Context<Low> &) { Background.fetch_add(1); });
     long Bytes = Ctx.ftouch(IoF); // helping runs the 10 tasks meanwhile
@@ -83,17 +84,17 @@ TEST(IoServiceTest, WorkersRunTasksWhileIoPends) {
   EXPECT_EQ(Result, 17) << "background tasks should finish during the I/O";
 }
 
-TEST(IoServiceTest, DestructorCompletesPendingOps) {
+TEST(SimIoTest, DestructorCompletesPendingOps) {
   Future<Low, IoResult> F;
   {
-    IoService Io;
-    F = Io.read<Low>(10'000'000, 5); // 10 s — far beyond the test
+    SimIo Io{"io"};
+    F = Io.simRead<Low>(10'000'000, 5); // 10 s — far beyond the test
   }
   EXPECT_TRUE(F.isReady());
   EXPECT_EQ(F.state()->value(), 5);
 }
 
-TEST(IoServiceTest, ShutdownWithManyInFlightOpsCompletesAll) {
+TEST(SimIoTest, ShutdownWithManyInFlightOpsCompletesAll) {
   // Shutdown with a mix of in-flight ops, including one a task is parked
   // on: every future must be completed (no dangling waiters, no lost
   // wakeups) and the toucher must come back with the value.
@@ -104,16 +105,16 @@ TEST(IoServiceTest, ShutdownWithManyInFlightOpsCompletesAll) {
   std::vector<Future<Low, IoResult>> Fs;
   Future<Low, int> Waiter;
   {
-    IoService Io;
+    SimIo Io{"io"};
     for (int I = 0; I < 32; ++I)
-      Fs.push_back(Io.read<Low>(5'000'000 + static_cast<uint64_t>(I), I));
-    auto Parked = Io.read<High>(5'000'000, 77);
+      Fs.push_back(Io.simRead<Low>(5'000'000 + static_cast<uint64_t>(I), I));
+    auto Parked = Io.simRead<High>(5'000'000, 77);
     Waiter = fcreate<Low>(Rt, [Parked](Context<Low> &Ctx) {
       return static_cast<int>(Ctx.ftouch(Parked));
     });
     // Give the task a moment to actually park on the unready io_future.
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  } // ~IoService fires everything early
+  } // ~SimIo fires everything early
   for (int I = 0; I < 32; ++I) {
     ASSERT_TRUE(Fs[static_cast<std::size_t>(I)].isReady());
     EXPECT_EQ(Fs[static_cast<std::size_t>(I)].state()->value(), I);
@@ -121,17 +122,62 @@ TEST(IoServiceTest, ShutdownWithManyInFlightOpsCompletesAll) {
   EXPECT_EQ(touchFromOutside(Rt, Waiter), 77);
 }
 
-TEST(IoServiceTest, CountersConsistentUnderConcurrentSubmits) {
+TEST(SimIoTest, ReadsAndWritesCountedSeparately) {
+  SimIo Io{"io"};
+  std::vector<Future<Low, IoResult>> Fs;
+  for (int I = 0; I < 5; ++I)
+    Fs.push_back(Io.simRead<Low>(100, I));
+  for (int I = 0; I < 3; ++I)
+    Fs.push_back(Io.simWrite<Low>(100, I));
+  for (auto &F : Fs)
+    while (!F.isReady())
+      std::this_thread::yield();
+  EXPECT_EQ(Io.simReads(), 5u);
+  EXPECT_EQ(Io.simWrites(), 3u);
+  EXPECT_EQ(Io.completed(), 8u);
+}
+
+TEST(SimIoTest, FdOpsCompleteErroneouslyAsUnsupported) {
+  // The fd-based half of the Io interface has no meaning in simulation:
+  // SimIo must answer promptly with IoErrc::Unsupported, not hang.
+  SimIo Io{"io"};
+  char Buf[8];
+  auto F = Io.read<Low>(/*Fd=*/42, Buf, sizeof Buf);
+  while (!F.isReady())
+    std::this_thread::yield();
+  try {
+    (void)F.state()->value();
+    FAIL() << "fd read on SimIo must complete erroneously";
+  } catch (const IoError &E) {
+    EXPECT_EQ(E.code(), IoErrc::Unsupported);
+  }
+  EXPECT_EQ(Io.faulted(), 1u);
+}
+
+TEST(SimIoTest, MetricsUseConstructionPrefix) {
+  SimIo Io{"myio"};
+  auto F = Io.simRead<Low>(0, 1);
+  while (!F.isReady())
+    std::this_thread::yield();
+  repro::MetricsRegistry M;
+  Io.sampleMetrics(M);
+  EXPECT_EQ(Io.metricsPrefix(), "myio");
+  EXPECT_EQ(M.counter("myio.completed").value(), 1u);
+  EXPECT_EQ(M.counter("myio.sim_reads").value(), 1u);
+  EXPECT_EQ(M.counter("myio.sim_writes").value(), 0u);
+}
+
+TEST(SimIoTest, CountersConsistentUnderConcurrentSubmits) {
   // inFlight()/completed() under concurrent submitters: completed is
   // monotonic, completed + inFlight never exceeds what was submitted, and
   // everything reconciles once the ops drain.
-  IoService Io;
+  SimIo Io{"io"};
   constexpr int NumThreads = 4, OpsPerThread = 100;
   std::vector<std::thread> Threads;
   for (int T = 0; T < NumThreads; ++T)
     Threads.emplace_back([&Io] {
       for (int I = 0; I < OpsPerThread; ++I)
-        (void)Io.read<Low>(static_cast<uint64_t>(I % 5) * 200, I);
+        (void)Io.simRead<Low>(static_cast<uint64_t>(I % 5) * 200, I);
     });
   uint64_t LastCompleted = 0;
   while (Io.completed() < NumThreads * OpsPerThread) {
