@@ -163,6 +163,11 @@ struct LegResult {
   uint64_t OfferedTotal = 0;
   double WallMillis = 0;
   JobServerReport R;
+  /// Request-tracing tallies (zero unless the leg ran with Tracing on):
+  /// the smoke check asserts the tail sampler kept every shed job's trace
+  /// despite the 1% head-sampling rate.
+  repro::icilk::SpanStore::Stats Spans{};
+  uint64_t ShedTracesRetained = 0;
 
   uint64_t completed() const {
     uint64_t T = 0;
@@ -222,10 +227,15 @@ double calibrateSaturation(uint64_t Seed, unsigned Jobs) {
 
 LegResult runLeg(const std::string &Name, ScheduleGen::Kind Kind,
                  double RatePerSec, uint64_t DurationMillis, uint64_t Clients,
-                 uint64_t Seed) {
+                 uint64_t Seed, bool Tracing = false) {
   LegResult Out;
   Out.Name = Name;
   JobServerConfig C = legConfig(Seed);
+  if (Tracing) {
+    C.Tracing.Enabled = true;
+    C.Tracing.Config.HeadSampleRate = 0.01; // tail retention does the work
+    C.Tracing.Config.MaxRetainedTraces = 4096;
+  }
   JobServerEngine Engine(C);
   uint64_t Horizon = DurationMillis * 1000;
   ScheduleGen G(Kind, RatePerSec, Horizon, Seed + 101);
@@ -258,6 +268,12 @@ LegResult runLeg(const std::string &Name, ScheduleGen::Kind Kind,
   Engine.drain();
   Out.WallMillis = static_cast<double>(repro::nowMicros() - Epoch) / 1000.0;
   Out.R = Engine.report(Out.WallMillis);
+  if (repro::icilk::SpanStore *S = Engine.spans()) {
+    Out.Spans = S->stats();
+    for (const auto &T : S->retained())
+      if (T.Flags & repro::icilk::TfShed)
+        ++Out.ShedTracesRetained;
+  }
   return Out;
 }
 
@@ -267,10 +283,16 @@ int runSmoke(uint64_t Seed, uint64_t DurationMillis, uint64_t Clients) {
   double Sat = calibrateSaturation(Seed, 32);
   std::printf("  calibrated saturation: %.1f jobs/s\n", Sat);
   LegResult L = runLeg("bursty 5x", ScheduleGen::Bursty, 5.0 * Sat,
-                       DurationMillis, Clients, Seed);
+                       DurationMillis, Clients, Seed, /*Tracing=*/true);
   double TopP999 = L.R.JobResponse[0].P999;
   bool ShedNonzero = L.shed() > 0;
   bool P999Finite = std::isfinite(TopP999) && TopP999 > 0;
+  // Every shed arrival must have a retained trace: the tail sampler keeps
+  // shed/expired traces regardless of the 1% head rate. Full coverage is
+  // only checkable while the retained ring hasn't evicted anything.
+  bool ShedTraced = L.Spans.RetainedDropped == 0
+                        ? L.ShedTracesRetained >= L.shed()
+                        : L.ShedTracesRetained > 0;
   std::printf("  offered=%llu completed=%llu shed=%llu degraded=%llu "
               "expired=%llu\n",
               static_cast<unsigned long long>(L.OfferedTotal),
@@ -278,6 +300,12 @@ int runSmoke(uint64_t Seed, uint64_t DurationMillis, uint64_t Clients) {
               static_cast<unsigned long long>(L.shed()),
               static_cast<unsigned long long>(L.degraded()),
               static_cast<unsigned long long>(L.expired()));
+  std::printf("  traces: started=%llu finished=%llu retained=%llu "
+              "shed-retained=%llu\n",
+              static_cast<unsigned long long>(L.Spans.Started),
+              static_cast<unsigned long long>(L.Spans.Finished),
+              static_cast<unsigned long long>(L.Spans.Retained),
+              static_cast<unsigned long long>(L.ShedTracesRetained));
   std::printf("  matmul p999 = %.1f us\n", TopP999);
 
   bench::Reporter Rep("loadgen_smoke");
@@ -292,6 +320,14 @@ int runSmoke(uint64_t Seed, uint64_t DurationMillis, uint64_t Clients) {
   }
   if (!P999Finite) {
     std::fprintf(stderr, "SMOKE FAIL: top-level p999 not finite/positive\n");
+    return 1;
+  }
+  if (!ShedTraced) {
+    std::fprintf(stderr,
+                 "SMOKE FAIL: shed=%llu but only %llu shed traces retained "
+                 "(tail sampler must keep every shed job's trace)\n",
+                 static_cast<unsigned long long>(L.shed()),
+                 static_cast<unsigned long long>(L.ShedTracesRetained));
     return 1;
   }
   std::printf("SMOKE PASS\n");

@@ -13,11 +13,13 @@
 #include "conc/ConcurrentHashMap.h"
 #include "conc/MpmcQueue.h"
 #include "icilk/Context.h"
+#include "icilk/SpanStore.h"
 #include "lambda4i/Machine.h"
 #include "lambda4i/Parser.h"
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <thread>
 
 namespace {
@@ -92,6 +94,40 @@ void BM_TaskPoolSpawn(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * (Burst + 1));
 }
 BENCHMARK(BM_TaskPoolSpawn);
+
+// Request-tracing overhead on the spawn path. Arg 0: no SpanStore
+// attached — the per-spawn cost is one relaxed atomic load returning
+// null (this must stay inside BM_SpawnBurst's tolerance band). Arg 1: a
+// store attached with a 1% head-sampling rate and an active root span,
+// so every fcreate copies the 32-byte context and each iteration pays
+// one startTrace/finishTrace — the per-request, not per-task, cost.
+void BM_SpanOverhead(benchmark::State &State) {
+  icilk::RuntimeConfig C;
+  C.NumWorkers = 4;
+  C.NumLevels = 1;
+  icilk::Runtime Rt(C);
+  std::unique_ptr<icilk::SpanStore> Store;
+  if (State.range(0)) {
+    icilk::SpanStoreConfig SC;
+    SC.HeadSampleRate = 0.01;
+    Store = std::make_unique<icilk::SpanStore>(SC);
+    Rt.setSpans(Store.get());
+  }
+  const int Burst = 64;
+  for (auto _ : State) {
+    icilk::SpanContext Root;
+    if (Store)
+      Root = Store->startTrace("request", 0);
+    icilk::span::Scope Sc(Root);
+    for (int I = 0; I < Burst; ++I)
+      icilk::fcreate<Lo>(Rt, [](icilk::Context<Lo> &) {});
+    Rt.drain();
+    if (Store)
+      Store->finishTrace(Root);
+  }
+  State.SetItemsProcessed(State.iterations() * Burst);
+}
+BENCHMARK(BM_SpanOverhead)->Arg(0)->Arg(1);
 
 // Wakeup latency of a parked runtime: both workers are asleep on the idle
 // event count when each submission arrives, so every iteration pays the

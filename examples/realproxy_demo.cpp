@@ -8,19 +8,30 @@
 //
 // Usage: realproxy_demo [--requests=200] [--port=0] [--admission]
 //                       [--telemetry-port=P] [--keep-alive-ms=0]
+//                       [--tracing] [--rate=N] [--burst=B] [--trace-smoke]
 //
 // --port=P listens on a fixed port (default: ephemeral, printed).
 // --admission enables closed-loop admission control on the accept path.
+// --tracing enables request-scoped spans (scrape /spans.json); --rate=N
+// with --burst=B pins the admission bucket to N req/s so a hand-driven
+// burst sheds visibly (see EXPERIMENTS.md's tracing walkthrough).
 // --telemetry-port=P serves /metrics live — including the reactor's
 // backend="proxy.io" counters; P=0 picks a free port (printed).
 // --keep-alive-ms=N keeps the proxy up for N ms after the scripted
 // workload so you can curl it yourself.
+// --trace-smoke runs the CI tracing check instead of the demo workload:
+// request tracing on at a 1% head-sampling rate, a starved admission
+// controller shedding a burst, then /spans.json scraped and checked —
+// every 503 must have a retained trace, every span must nest inside its
+// parent, and a client traceparent must come back out as the exported
+// trace id. Exits nonzero on any violation.
 //
 //===----------------------------------------------------------------------===//
 
 #include "apps/RealProxy.h"
 #include "support/ArgParse.h"
 #include "support/HttpServer.h"
+#include "support/Json.h"
 #include "support/Metrics.h"
 
 #include <chrono>
@@ -30,8 +41,168 @@
 using namespace repro;
 using namespace repro::apps;
 
+namespace {
+
+/// The CI tracing smoke: boots origin + traced proxy with a starved
+/// admission controller, drives one remote-traced request and a shedding
+/// burst, scrapes /spans.json, and checks the tail-sampling and nesting
+/// invariants end to end.
+int runTraceSmoke() {
+  http::HttpServer Origin;
+  Origin.route("/page", [](const http::Request &) {
+    return http::Response{200, "text/plain; charset=utf-8", "origin body\n"};
+  });
+  std::string Error;
+  if (!Origin.start(0, &Error)) {
+    std::fprintf(stderr, "trace-smoke: origin failed: %s\n", Error.c_str());
+    return 1;
+  }
+
+  MetricsRegistry Metrics;
+  std::atomic<int> TelemetryPort{-1};
+  RealProxyConfig Config;
+  Config.OriginPort = Origin.port();
+  Config.Metrics = &Metrics;
+  Config.TelemetryPort = 0;
+  Config.TelemetryPortOut = &TelemetryPort;
+  Config.Tracing.Enabled = true;
+  Config.Tracing.Config.HeadSampleRate = 0.01; // tail retention must carry
+  Config.Tracing.Config.MaxRetainedTraces = 1024;
+  // A couple of burst tokens admit the traced request; everything after
+  // is shed at the door (no queue, no degrade path).
+  Config.Admission.Enabled = true;
+  Config.Admission.Config.InitialRatePerSec = 1;
+  Config.Admission.Config.MinRatePerSec = 1;
+  Config.Admission.Config.BurstTokens = 2;
+  Config.Admission.Config.QueueCap = 0;
+  Config.Admission.Config.AllowDegrade = false;
+
+  RealProxy Proxy(Config);
+  if (!Proxy.start(&Error)) {
+    std::fprintf(stderr, "trace-smoke: proxy failed: %s\n", Error.c_str());
+    return 1;
+  }
+
+  // One remote-traced request through a cache miss while tokens remain...
+  const std::string RemoteTrace = "4bf92f3577b34da6a3ce929d0e0e4736";
+  (void)http::rawRequest(Proxy.port(),
+                         "GET /page HTTP/1.1\r\nHost: x\r\n"
+                         "traceparent: 00-" + RemoteTrace +
+                             "-00f067aa0ba902b7-01\r\n"
+                         "Connection: close\r\n\r\n",
+                         3000);
+  // ...then a burst the starved controller must shed.
+  int Saw503 = 0;
+  for (int I = 0; I < 24; ++I)
+    if (auto R = http::get(Proxy.port(), "/page", 2000); R && R->Status == 503)
+      ++Saw503;
+  // Traces finish when connections unwind; give the 503 tasks a moment.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  auto Spans = http::get(static_cast<uint16_t>(TelemetryPort.load()),
+                         "/spans.json", 2000);
+  Proxy.stop();
+  Origin.stop();
+  if (!Spans || Spans->Status != 200) {
+    std::fprintf(stderr, "trace-smoke: /spans.json scrape failed\n");
+    return 1;
+  }
+  auto Doc = json::parse(Spans->Body, &Error);
+  if (!Doc) {
+    std::fprintf(stderr, "trace-smoke: bad JSON: %s\n", Error.c_str());
+    return 1;
+  }
+
+  const json::Value *Traces = Doc->find("traces");
+  if (!Traces || !Traces->isArray() || Traces->size() == 0) {
+    std::fprintf(stderr, "trace-smoke: no traces exported\n");
+    return 1;
+  }
+  uint64_t ShedTraces = 0;
+  bool SawRemote = false;
+  for (const json::Value &T : Traces->elements()) {
+    const json::Value *Flags = T.find("flag_names");
+    if (Flags)
+      for (const json::Value &F : Flags->elements())
+        if (F.isString() && F.asString() == "shed")
+          ++ShedTraces;
+    if (const json::Value *Id = T.find("trace_id");
+        Id && Id->isString() && Id->asString() == RemoteTrace)
+      SawRemote = true;
+
+    // Nesting: every span's parent must exist in the trace, and the
+    // child's [start, end] must lie inside the parent's.
+    const json::Value *SpanList = T.find("spans");
+    double Dropped =
+        T.find("spans_dropped") ? T.find("spans_dropped")->asNumber() : 0;
+    if (!SpanList)
+      continue;
+    for (const json::Value &S : SpanList->elements()) {
+      const std::string &Parent = S.find("parent_span_id")->asString();
+      if (Parent.empty())
+        continue; // the root
+      const json::Value *P = nullptr;
+      for (const json::Value &Cand : SpanList->elements())
+        if (Cand.find("span_id")->asString() == Parent) {
+          P = &Cand;
+          break;
+        }
+      if (!P) {
+        if (Dropped > 0)
+          continue; // parent record was capped away; link is unverifiable
+        std::fprintf(stderr, "trace-smoke: span %s has unknown parent %s\n",
+                     S.find("span_id")->asString().c_str(), Parent.c_str());
+        return 1;
+      }
+      double CS = S.find("start_micros")->asNumber();
+      double CE = CS + S.find("duration_micros")->asNumber();
+      double PS = P->find("start_micros")->asNumber();
+      double PE = PS + P->find("duration_micros")->asNumber();
+      if (CS + 1e-6 < PS || CE > PE + 1e-6) {
+        std::fprintf(stderr,
+                     "trace-smoke: span %s [%f, %f] escapes parent %s "
+                     "[%f, %f]\n",
+                     S.find("span_id")->asString().c_str(), CS, CE,
+                     Parent.c_str(), PS, PE);
+        return 1;
+      }
+    }
+  }
+
+  RealProxyStats St = Proxy.stats();
+  std::printf("trace-smoke: rejected=%llu shed-traces=%llu traces=%zu "
+              "remote-seen=%d\n",
+              (unsigned long long)St.Rejected503,
+              (unsigned long long)ShedTraces, Traces->size(), (int)SawRemote);
+  if (St.Rejected503 == 0) {
+    std::fprintf(stderr, "trace-smoke: the starved controller shed nothing\n");
+    return 1;
+  }
+  if (ShedTraces < St.Rejected503) {
+    std::fprintf(stderr,
+                 "trace-smoke: %llu connections shed but only %llu shed "
+                 "traces retained\n",
+                 (unsigned long long)St.Rejected503,
+                 (unsigned long long)ShedTraces);
+    return 1;
+  }
+  if (!SawRemote) {
+    std::fprintf(stderr,
+                 "trace-smoke: client traceparent %s not adopted as an "
+                 "exported trace id\n",
+                 RemoteTrace.c_str());
+    return 1;
+  }
+  std::printf("trace-smoke: PASS\n");
+  return 0;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   ArgMap Args = ArgMap::parse(Argc, Argv);
+  if (Args.getBool("trace-smoke"))
+    return runTraceSmoke();
   int Requests = static_cast<int>(Args.getInt("requests", 200));
 
   // The origin: a plain blocking HTTP server, one connection at a time.
@@ -57,6 +228,24 @@ int main(int Argc, char **Argv) {
   Config.Metrics = &Metrics;
   Config.TelemetryPort = static_cast<int>(Args.getInt("telemetry-port", -1));
   Config.Admission.Enabled = Args.getBool("admission");
+  // --tracing turns on the request-span plane (1% head sampling; shed/
+  // slow/errored traces are tail-retained regardless). --rate/--burst
+  // shrink the admission token bucket so a hand-driven curl burst is
+  // enough to overload the proxy and populate /spans.json with shed
+  // traces (EXPERIMENTS.md § Following one request through an overload).
+  if (Args.getBool("tracing")) {
+    Config.Tracing.Enabled = true;
+    Config.Tracing.Config.MaxRetainedTraces = 1024;
+  }
+  if (int64_t Rate = Args.getInt("rate", 0); Rate > 0) {
+    Config.Admission.Enabled = true;
+    Config.Admission.Config.InitialRatePerSec = static_cast<double>(Rate);
+    Config.Admission.Config.MinRatePerSec = static_cast<double>(Rate);
+    Config.Admission.Config.BurstTokens =
+        static_cast<double>(Args.getInt("burst", 2));
+    Config.Admission.Config.QueueCap = 0;
+    Config.Admission.Config.AllowDegrade = false;
+  }
 
   RealProxy Proxy(Config);
   if (!Proxy.start(&Error)) {

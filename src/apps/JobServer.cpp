@@ -12,12 +12,46 @@ namespace repro::apps {
 
 using icilk::Context;
 
+namespace {
+
+/// Per-job trace handle, shared between the offer path and the submit
+/// callback. finishTrace runs exactly once: explicitly when the job body
+/// completes, or from the destructor of the last reference when the
+/// callback is dropped without running (admission queue timeout, stop) —
+/// so every started trace is finished and the tail sampler can judge it.
+struct JobTrace {
+  icilk::SpanStore &Spans;
+  icilk::SpanContext Root;
+  std::atomic<bool> Finished{false};
+
+  JobTrace(icilk::SpanStore &S, icilk::SpanContext R) : Spans(S), Root(R) {}
+  JobTrace(const JobTrace &) = delete;
+  JobTrace &operator=(const JobTrace &) = delete;
+  ~JobTrace() {
+    if (!Finished.load(std::memory_order_relaxed))
+      Spans.finishTrace(Root);
+  }
+
+  void done() {
+    Finished.store(true, std::memory_order_relaxed);
+    Spans.finishTrace(Root);
+  }
+};
+
+} // namespace
+
 /// The engine internals. Level↔type mapping: type index 0..3 (matmul, fib,
 /// sort, sw) runs at level 3-Type, matmul highest — smallest work first.
 struct JobServerEngine::Impl {
   explicit Impl(const JobServerConfig &ConfigIn)
-      : Config(ConfigIn), Rt(Config.Rt) {
+      : Config(ConfigIn),
+        Spans(Config.Tracing.Enabled
+                  ? std::make_unique<icilk::SpanStore>(Config.Tracing.Config)
+                  : nullptr),
+        Rt(Config.Rt) {
     Rt.setTrace(Config.Trace); // before the first spawn, so ids line up
+    if (Spans)
+      Rt.setSpans(Spans.get());
     if (Config.Metrics)
       LiveShed = &Config.Metrics->counter("jobserver.shed.live");
     if (Config.Admission.Enabled)
@@ -26,6 +60,9 @@ struct JobServerEngine::Impl {
   }
 
   JobServerConfig Config;
+  /// Declared before Rt: destroyed after the runtime, so tasks may touch
+  /// the store right up to drain.
+  std::unique_ptr<icilk::SpanStore> Spans;
   icilk::Runtime Rt;
   /// Destroyed before Rt (declared after it): the controller detaches and
   /// joins its thread while the runtime is still alive.
@@ -68,10 +105,12 @@ struct JobServerEngine::Impl {
   /// degrade-to-lower-level possible at all: the same job simply
   /// re-instantiates lower.
   template <typename Prio>
-  void submitTyped(std::size_t Type, uint64_t Seed, uint64_t Arrival) {
+  void submitTyped(std::size_t Type, uint64_t Seed, uint64_t Arrival,
+                   const std::shared_ptr<JobTrace> &Trace) {
     switch (Type) {
     case 0:
-      icilk::fcreate<Prio>(Rt, [this, Seed, Arrival](Context<Prio> &Ctx) {
+      icilk::fcreate<Prio>(Rt, [this, Seed, Arrival,
+                                Trace](Context<Prio> &Ctx) {
         uint64_t Start = repro::nowMicros();
         repro::Rng Local(Seed);
         Matrix A = randomMatrix(Config.MatmulN, Local);
@@ -79,19 +118,24 @@ struct JobServerEngine::Impl {
         Matrix C(Config.MatmulN);
         matmulPar(Ctx, A, B, C, /*Cutoff=*/16);
         recordJob(0, Arrival, Start);
+        if (Trace)
+          Trace->done();
         return C.at(0, 0);
       });
       break;
     case 1:
-      icilk::fcreate<Prio>(Rt, [this, Arrival](Context<Prio> &Ctx) {
+      icilk::fcreate<Prio>(Rt, [this, Arrival, Trace](Context<Prio> &Ctx) {
         uint64_t Start = repro::nowMicros();
         uint64_t V = fibPar(Ctx, Config.FibN, /*Cutoff=*/16);
         recordJob(1, Arrival, Start);
+        if (Trace)
+          Trace->done();
         return V;
       });
       break;
     case 2:
-      icilk::fcreate<Prio>(Rt, [this, Seed, Arrival](Context<Prio> &Ctx) {
+      icilk::fcreate<Prio>(Rt, [this, Seed, Arrival,
+                                Trace](Context<Prio> &Ctx) {
         uint64_t Start = repro::nowMicros();
         repro::Rng Local(Seed);
         std::vector<int64_t> Data(Config.SortN);
@@ -99,17 +143,22 @@ struct JobServerEngine::Impl {
           V = static_cast<int64_t>(Local.next());
         msortPar(Ctx, Data, /*Cutoff=*/8192);
         recordJob(2, Arrival, Start);
+        if (Trace)
+          Trace->done();
         return Data.front();
       });
       break;
     default:
-      icilk::fcreate<Prio>(Rt, [this, Seed, Arrival](Context<Prio> &Ctx) {
+      icilk::fcreate<Prio>(Rt, [this, Seed, Arrival,
+                                Trace](Context<Prio> &Ctx) {
         uint64_t Start = repro::nowMicros();
         repro::Rng Local(Seed);
         std::string A = randomSequence(Config.SwN, Local);
         std::string B = randomSequence(Config.SwN, Local);
         int Best = smithWatermanPar(Ctx, A, B, /*Tile=*/64);
         recordJob(3, Arrival, Start);
+        if (Trace)
+          Trace->done();
         return Best;
       });
       break;
@@ -118,19 +167,19 @@ struct JobServerEngine::Impl {
 
   /// Runtime-level dispatch over the static priority types.
   void submitAt(std::size_t Type, unsigned Level, uint64_t Seed,
-                uint64_t Arrival) {
+                uint64_t Arrival, const std::shared_ptr<JobTrace> &Trace) {
     switch (Level) {
     case 3:
-      submitTyped<JobMatmul>(Type, Seed, Arrival);
+      submitTyped<JobMatmul>(Type, Seed, Arrival, Trace);
       break;
     case 2:
-      submitTyped<JobFib>(Type, Seed, Arrival);
+      submitTyped<JobFib>(Type, Seed, Arrival, Trace);
       break;
     case 1:
-      submitTyped<JobSort>(Type, Seed, Arrival);
+      submitTyped<JobSort>(Type, Seed, Arrival, Trace);
       break;
     default:
-      submitTyped<JobSw>(Type, Seed, Arrival);
+      submitTyped<JobSw>(Type, Seed, Arrival, Trace);
       break;
     }
   }
@@ -156,10 +205,24 @@ struct JobServerEngine::Impl {
     uint64_t Arrival = repro::nowMicros();
     uint64_t Seed = nextSeed();
     unsigned Level = 3 - static_cast<unsigned>(Type);
+    std::shared_ptr<JobTrace> Trace;
+    if (Spans) {
+      static const char *TraceNames[] = {"job.matmul", "job.fib", "job.sort",
+                                         "job.sw"};
+      Trace = std::make_shared<JobTrace>(
+          *Spans, Spans->startTrace(TraceNames[Type], Level));
+    }
+    // Scope the root span over the offer so the admission controller's
+    // decision events land on this job's trace.
+    icilk::span::Scope TraceScope(Trace ? Trace->Root : icilk::span::current());
     if (Admission) {
       icilk::AdmitResult R = Admission->offer(
-          Level, [this, Type, Seed, Arrival](unsigned AdmittedLevel) {
-            submitAt(Type, AdmittedLevel, Seed, Arrival);
+          Level, [this, Type, Seed, Arrival, Trace](unsigned AdmittedLevel) {
+            // Queued entries dispatch on the controller thread; re-enter
+            // the trace so the spawned task inherits the root span.
+            icilk::span::Scope Sc(Trace ? Trace->Root
+                                        : icilk::span::current());
+            submitAt(Type, AdmittedLevel, Seed, Arrival, Trace);
           });
       if (R == icilk::AdmitResult::Degraded)
         Degraded[Type].fetch_add(1, std::memory_order_relaxed);
@@ -171,9 +234,17 @@ struct JobServerEngine::Impl {
       }
       return true;
     }
-    if (shouldShed(Type))
+    if (shouldShed(Type)) {
+      // The static predicate bypasses the admission controller, so record
+      // the shed on the trace ourselves.
+      if (Trace) {
+        Spans->addEvent(Trace->Root, icilk::SpanEventKind::Reject, Level,
+                        Level);
+        Spans->noteFlags(Trace->Root, icilk::TfShed);
+      }
       return false;
-    submitAt(Type, Level, Seed, Arrival);
+    }
+    submitAt(Type, Level, Seed, Arrival, Trace);
     return true;
   }
 };
@@ -190,6 +261,8 @@ bool JobServerEngine::shouldShed(std::size_t Type) {
 }
 
 icilk::Runtime &JobServerEngine::runtime() { return P->Rt; }
+
+icilk::SpanStore *JobServerEngine::spans() { return P->Spans.get(); }
 
 void JobServerEngine::drain() {
   if (P->Admission)
@@ -247,6 +320,13 @@ JobServerReport JobServerEngine::report(double WallMillis) {
       M->counter(std::string("jobserver.degraded.") + TypeNames[I])
           .set(Report.JobsDegraded[I]);
     }
+    if (P->Spans) {
+      icilk::SpanStore::Stats S = P->Spans->stats();
+      M->counter("jobserver.traces_started").set(S.Started);
+      M->counter("jobserver.traces_finished").set(S.Finished);
+      M->counter("jobserver.traces_retained").set(S.Retained);
+      M->counter("jobserver.traces_tail_kept").set(S.TailKept);
+    }
   }
   return Report;
 }
@@ -255,6 +335,8 @@ JobServerReport runJobServer(const JobServerConfig &Config) {
   JobServerEngine Engine(Config);
   TelemetryScope Telemetry(Engine.runtime(), Config.TelemetryPort,
                            Config.TelemetryPortOut, Config.Metrics);
+  if (Telemetry.get() && Engine.spans())
+    Telemetry.get()->trackSpans(Engine.spans());
   repro::Rng DriverRng(Config.Seed);
 
   double MixTotal = 0;

@@ -18,6 +18,7 @@
 
 #include "apps/AppCommon.h"
 #include "icilk/Admission.h"
+#include "icilk/SpanStore.h"
 
 #include <array>
 #include <memory>
@@ -58,6 +59,13 @@ struct JobServerConfig {
   /// (rejected / timed out in queue). Mutually exclusive with Shedding —
   /// when both are set, admission control wins.
   icilk::AdmissionSettings Admission{};
+  /// Request-scoped tracing: every offered job becomes a trace rooted at
+  /// the offer, so admission decisions (admit/queue/degrade/shed, with the
+  /// level before and after) are attributable to the job that suffered
+  /// them. The trace finishes when the job completes — or when its queue
+  /// entry is dropped by a timeout, which the tail sampler always retains.
+  /// Exported at /spans.json when telemetry is on.
+  icilk::SpanSettings Tracing{};
   /// When non-null, the run dumps its final counters/gauges/histograms
   /// here under "jobserver.*" (see support/Metrics.h). Not owned.
   repro::MetricsRegistry *Metrics = nullptr;
@@ -122,6 +130,10 @@ public:
   void submitInversionPair();
 
   icilk::Runtime &runtime();
+
+  /// The engine's span store when Tracing.Enabled, else null — for
+  /// drivers that want to attach telemetry (Telemetry::trackSpans).
+  icilk::SpanStore *spans();
 
   /// Waits for the admission queues to empty, then drains the runtime.
   void drain();

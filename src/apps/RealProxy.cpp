@@ -6,12 +6,14 @@
 #include "icilk/EpollReactor.h"
 #include "support/HttpServer.h" // http::statusReason
 #include "support/Logging.h"
+#include "support/Timer.h"
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
 #include <mutex>
 #include <optional>
@@ -32,6 +34,13 @@ struct Connection {
   ~Connection() {
     if (Fd >= 0)
       ::close(Fd);
+    // The trace finishes exactly when the last reference drops — the RAII
+    // mirror of the fd close. This covers every exit: a served keep-alive
+    // chain, a reset peer, a 503 shed at the door, and an admission queue
+    // timeout that silently destroys the submit lambda (and with it this
+    // connection) without ever dispatching.
+    if (Spans)
+      Spans->finishTrace(Root);
   }
   Connection(const Connection &) = delete;
   Connection &operator=(const Connection &) = delete;
@@ -40,6 +49,13 @@ struct Connection {
   std::string Buf;   ///< bytes read but not yet consumed (pipelining)
   char Chunk[4096];  ///< reactor read destination; outlives each op
                      ///< because the reading task holds the Connection
+
+  icilk::SpanStore *Spans = nullptr; ///< null = tracing disabled
+  icilk::SpanContext Root;           ///< root "request" span, opened at accept
+  icilk::SpanContext AdmissionSpan;  ///< open from offer() until dispatch;
+                                     ///< a shed entry leaves it for
+                                     ///< finishTrace to close
+  bool RemoteAdopted = false;        ///< a client traceparent was recorded
 };
 
 using ConnPtr = std::shared_ptr<Connection>;
@@ -48,7 +64,9 @@ struct ParsedRequest {
   std::string Method;
   std::string Target;
   bool KeepAlive = true;
-  std::size_t HeaderEnd = 0; ///< bytes to consume (through "\r\n\r\n")
+  std::size_t HeaderEnd = 0;  ///< bytes to consume (through "\r\n\r\n")
+  std::string Traceparent;    ///< client traceparent header, verbatim
+  std::string RequestId;      ///< client X-Request-Id header, verbatim
 };
 
 /// Parses the first complete request-header block in \p Buf (the caller
@@ -82,6 +100,14 @@ std::optional<ParsedRequest> parseRequest(const std::string &Buf) {
       std::string Key = Line.substr(0, Colon);
       for (char &C : Key)
         C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+      auto Trimmed = [&Line, Colon] {
+        std::size_t B = Colon + 1, E = Line.size();
+        while (B < E && (Line[B] == ' ' || Line[B] == '\t'))
+          ++B;
+        while (E > B && (Line[E - 1] == ' ' || Line[E - 1] == '\t'))
+          --E;
+        return Line.substr(B, E - B);
+      };
       if (Key == "connection") {
         std::string Val = Line.substr(Colon + 1);
         for (char &C : Val)
@@ -90,11 +116,32 @@ std::optional<ParsedRequest> parseRequest(const std::string &Buf) {
           R.KeepAlive = false;
         else if (Val.find("keep-alive") != std::string::npos)
           R.KeepAlive = true;
+      } else if (Key == "traceparent") {
+        R.Traceparent = Trimmed();
+      } else if (Key == "x-request-id") {
+        R.RequestId = Trimmed();
       }
     }
     Pos = Next + 2;
   }
   return R;
+}
+
+/// A fresh X-Request-Id for clients that did not send one: 16 lowercase
+/// hex digits, unique per process (counter ⊕ clock through a 64-bit mix).
+std::string makeRequestId() {
+  static std::atomic<uint64_t> Counter{1};
+  uint64_t X = repro::nowNanos() ^
+               (Counter.fetch_add(1, std::memory_order_relaxed) << 40);
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  char Buf[17];
+  std::snprintf(Buf, sizeof Buf, "%016llx",
+                static_cast<unsigned long long>(X));
+  return std::string(Buf, 16);
 }
 
 struct OriginResponse {
@@ -140,15 +187,18 @@ std::optional<OriginResponse> parseOriginResponse(const std::string &Raw) {
 }
 
 /// Serializes one response. HEAD requests get headers only, but the
-/// Content-Length of the body they did not receive.
+/// Content-Length of the body they did not receive. \p ExtraHeaders is
+/// pre-rendered "Key: value\r\n" lines (the X-Request-Id echo).
 std::string makeResponse(int Status, const std::string &ContentType,
                          const std::string &Body, bool KeepAlive,
-                         bool HeadOnly) {
+                         bool HeadOnly,
+                         const std::string &ExtraHeaders = std::string()) {
   std::string Out = "HTTP/1.1 " + std::to_string(Status) + " " +
                     http::statusReason(Status) + "\r\n";
   Out += "Content-Type: " + ContentType + "\r\n";
   Out += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
   Out += KeepAlive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  Out += ExtraHeaders;
   Out += "\r\n";
   if (!HeadOnly)
     Out += Body;
@@ -175,7 +225,16 @@ struct CacheEntry {
 } // namespace
 
 struct RealProxy::Impl {
-  explicit Impl(const RealProxyConfig &Config) : Config(Config), Rt(Config.Rt) {
+  explicit Impl(const RealProxyConfig &Config)
+      : Config(Config),
+        Spans(Config.Tracing.Enabled
+                  ? std::make_unique<icilk::SpanStore>(Config.Tracing.Config)
+                  : nullptr),
+        Rt(Config.Rt) {
+    if (Spans) {
+      Rt.setSpans(Spans.get());
+      Io.setSpans(Spans.get());
+    }
     if (Config.Faults.enabled()) {
       Faults =
           std::make_shared<icilk::FaultPlan>(Config.FaultSeed, Config.Faults);
@@ -187,6 +246,9 @@ struct RealProxy::Impl {
   }
 
   RealProxyConfig Config;
+  /// Declared before Rt and Io: destroyed after both, so every span
+  /// recorded during runtime drain / reactor shutdown still has a store.
+  std::unique_ptr<icilk::SpanStore> Spans;
   icilk::Runtime Rt;
   icilk::EpollReactor Io{"proxy.io"};
   std::shared_ptr<icilk::FaultPlan> Faults;
@@ -224,10 +286,13 @@ bool writeAll(RealProxy::Impl &S, Context<Prio> &Ctx, const ConnPtr &Conn,
 }
 
 /// The origin leg (always at ProxyFetch): nonblocking connect, request,
-/// read to EOF. nullopt on any socket failure.
+/// read to EOF. nullopt on any socket failure. \p ExtraHeaders is
+/// pre-rendered "Key: value\r\n" lines forwarded upstream (X-Request-Id
+/// and, when tracing, the outbound traceparent).
 std::optional<OriginResponse> fetchOrigin(RealProxy::Impl &S,
                                           Context<ProxyFetch> &Ctx,
-                                          const std::string &Target) {
+                                          const std::string &Target,
+                                          const std::string &ExtraHeaders) {
   OwnedFd Fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
   if (Fd.Fd < 0)
     return std::nullopt;
@@ -239,7 +304,7 @@ std::optional<OriginResponse> fetchOrigin(RealProxy::Impl &S,
     Ctx.ftouch(S.Io.connect<ProxyFetch>(
         Fd.Fd, reinterpret_cast<struct sockaddr *>(&Addr), sizeof Addr));
     std::string Request = "GET " + Target +
-                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n" + ExtraHeaders +
                           "Connection: close\r\n\r\n";
     Ctx.ftouch(S.Io.write<ProxyFetch>(Fd.Fd, Request.data(), Request.size()));
     std::string Raw;
@@ -268,25 +333,57 @@ void requestLoop(RealProxy::Impl &S, Context<Prio> &Ctx, ConnPtr Conn);
 /// the inverse).
 template <typename ConnPrio>
 void fetchAndServe(RealProxy::Impl &S, Context<ProxyFetch> &Ctx, ConnPtr Conn,
-                   std::string Target, bool KeepAlive, bool HeadOnly) {
-  auto Origin = fetchOrigin(S, Ctx, Target);
+                   std::string Target, bool KeepAlive, bool HeadOnly,
+                   std::string RequestId) {
+  // This task runs under the request's "handler" span (stamped at spawn);
+  // the connect/write/read futures below become its io.* children.
+  icilk::SpanContext Handler = icilk::span::current();
+  std::string OriginHeaders = "X-Request-Id: " + RequestId + "\r\n";
+  if (Conn->Spans) {
+    std::string Tp = Conn->Spans->traceparentFor(Handler);
+    if (!Tp.empty())
+      OriginHeaders += "traceparent: " + Tp + "\r\n";
+  }
+  auto Origin = fetchOrigin(S, Ctx, Target, OriginHeaders);
+  std::string Echo = "X-Request-Id: " + RequestId + "\r\n";
   std::string Reply;
   if (!Origin) {
     S.OriginErrors.fetch_add(1, std::memory_order_relaxed);
+    if (Conn->Spans && Handler.valid())
+      Conn->Spans->noteFlags(Handler, icilk::TfError);
     Reply = makeResponse(502, "text/plain; charset=utf-8",
-                         "502 bad gateway\n", KeepAlive, HeadOnly);
+                         "502 bad gateway\n", KeepAlive, HeadOnly, Echo);
   } else {
     if (Origin->Status == 200) {
       std::lock_guard<std::mutex> Lock(S.CacheMutex);
       S.Cache[Target] = CacheEntry{Origin->ContentType, Origin->Body};
     }
+    if (Conn->Spans && Handler.valid() && Origin->Status >= 500)
+      Conn->Spans->noteFlags(Handler, icilk::TfError);
     Reply = makeResponse(Origin->Status, Origin->ContentType, Origin->Body,
-                         KeepAlive, HeadOnly);
+                         KeepAlive, HeadOnly, Echo);
   }
-  if (!writeAll(S, Ctx, Conn, Reply) || !KeepAlive)
+  icilk::SpanContext Resp{};
+  if (Conn->Spans && Handler.valid())
+    Resp = Conn->Spans->startSpan(Handler, "response", ProxyFetch::Level);
+  bool Ok;
+  {
+    icilk::span::Scope Sc(Resp.valid() ? Resp : Handler);
+    Ok = writeAll(S, Ctx, Conn, Reply);
+  }
+  if (Conn->Spans) {
+    if (Resp.valid())
+      Conn->Spans->endSpan(Resp);
+    // End the handler span — but never the root, which this task runs
+    // under when the handler span was dropped (span-cap overflow).
+    if (Handler.valid() && Handler.SpanId != Conn->Root.SpanId)
+      Conn->Spans->endSpan(Handler);
+  }
+  if (!Ok || !KeepAlive)
     return;
   // Task chaining: the next request of this connection gets its own task
-  // back at the connection's priority.
+  // back at the connection's priority, parented at the trace root again.
+  icilk::span::Scope Sc(Conn->Root);
   Ctx.template fcreate<ConnPrio>(
       [&S, Conn = std::move(Conn)](Context<ConnPrio> &C) mutable {
         requestLoop<ConnPrio>(S, C, std::move(Conn));
@@ -329,14 +426,35 @@ void requestLoop(RealProxy::Impl &S, Context<Prio> &Ctx, ConnPtr Conn) {
       return;
     }
     Conn->Buf.erase(0, Req->HeaderEnd);
+    // X-Request-Id rides every response and origin call whether or not
+    // tracing (or sampling) is on: generated here when the client sent
+    // none, echoed below, forwarded upstream by fetchAndServe.
+    std::string RequestId =
+        Req->RequestId.empty() ? makeRequestId() : Req->RequestId;
+    std::string Echo = "X-Request-Id: " + RequestId + "\r\n";
     if (Req->Method != "GET" && Req->Method != "HEAD") {
       writeAll(S, Ctx, Conn,
                makeResponse(405, "text/plain; charset=utf-8",
-                            "405 method not allowed\n", false, false));
+                            "405 method not allowed\n", false, false, Echo));
       return;
     }
     S.Requests.fetch_add(1, std::memory_order_relaxed);
     bool HeadOnly = Req->Method == "HEAD";
+
+    // One "handler" span per request on the connection's trace. A client
+    // traceparent re-roots the trace under the caller's ids (first one
+    // wins; sampled=01 forces retention).
+    icilk::SpanContext Handler{};
+    if (Conn->Spans) {
+      if (!Req->Traceparent.empty() && !Conn->RemoteAdopted)
+        if (auto Remote = icilk::parseTraceparent(Req->Traceparent)) {
+          Conn->Spans->adoptRemote(Conn->Root, *Remote);
+          Conn->RemoteAdopted = true;
+        }
+      Handler = Conn->Spans->startSpan(Conn->Root, "handler", Prio::Level);
+    }
+    icilk::span::Scope HandlerScope(Handler.valid() ? Handler
+                                                    : icilk::span::current());
 
     std::optional<CacheEntry> Cached;
     {
@@ -347,22 +465,35 @@ void requestLoop(RealProxy::Impl &S, Context<Prio> &Ctx, ConnPtr Conn) {
     }
     if (Cached) {
       S.Hits.fetch_add(1, std::memory_order_relaxed);
-      if (!writeAll(S, Ctx, Conn,
-                    makeResponse(200, Cached->ContentType, Cached->Body,
-                                 Req->KeepAlive, HeadOnly)))
-        return;
-      if (!Req->KeepAlive)
+      icilk::SpanContext Resp{};
+      if (Handler.valid())
+        Resp = Conn->Spans->startSpan(Handler, "response", Prio::Level);
+      bool Ok;
+      {
+        icilk::span::Scope Sc(Resp.valid() ? Resp : icilk::span::current());
+        Ok = writeAll(S, Ctx, Conn,
+                      makeResponse(200, Cached->ContentType, Cached->Body,
+                                   Req->KeepAlive, HeadOnly, Echo));
+      }
+      if (Resp.valid())
+        Conn->Spans->endSpan(Resp);
+      if (Handler.valid())
+        Conn->Spans->endSpan(Handler);
+      if (!Ok || !Req->KeepAlive)
         return;
       continue; // next request, same task
     }
     S.Misses.fetch_add(1, std::memory_order_relaxed);
     // Delegate downward; the fetch task replies and (on keep-alive)
-    // chains the loop's continuation. This task is done either way.
+    // chains the loop's continuation. This task is done either way. It
+    // spawns under the handler span, so the origin-leg io.* futures stay
+    // children of this request; the fetch task ends the handler span.
     Ctx.template fcreate<ProxyFetch>(
         [&S, Conn = std::move(Conn), Target = Req->Target,
-         KeepAlive = Req->KeepAlive, HeadOnly](Context<ProxyFetch> &C) mutable {
+         KeepAlive = Req->KeepAlive, HeadOnly,
+         RequestId = std::move(RequestId)](Context<ProxyFetch> &C) mutable {
           fetchAndServe<Prio>(S, C, std::move(Conn), std::move(Target),
-                              KeepAlive, HeadOnly);
+                              KeepAlive, HeadOnly, std::move(RequestId));
         });
     return;
   }
@@ -371,6 +502,15 @@ void requestLoop(RealProxy::Impl &S, Context<Prio> &Ctx, ConnPtr Conn) {
 /// Admission outcome → connection fate. Runs inline on the accept task
 /// (fast path) or on the controller thread (queued dispatch).
 void dispatchConnection(RealProxy::Impl &S, ConnPtr Conn, unsigned Level) {
+  // Dispatch closes the admission span (a shed entry never gets here —
+  // finishTrace closes it instead, leaving the open span as the tell).
+  if (Conn->Spans && Conn->AdmissionSpan.valid()) {
+    Conn->Spans->endSpan(Conn->AdmissionSpan);
+    Conn->AdmissionSpan = {};
+  }
+  // The request loop spawns under the trace root, whichever thread runs
+  // this dispatch.
+  icilk::span::Scope Sc(Conn->Root);
   if (Level >= 3) {
     icilk::fcreate<ProxyClient>(
         S.Rt, [&S, Conn = std::move(Conn)](Context<ProxyClient> &C) mutable {
@@ -398,16 +538,42 @@ void acceptLoop(RealProxy::Impl &S, Context<ProxyClient> &Ctx) {
     }
     S.Accepted.fetch_add(1, std::memory_order_relaxed);
     auto Conn = std::make_shared<Connection>(static_cast<int>(ClientFd));
+    if (S.Spans) {
+      // One trace per connection, rooted here. The instant "accept" child
+      // marks arrival time in the export.
+      Conn->Spans = S.Spans.get();
+      Conn->Root = S.Spans->startTrace("request", /*Level=*/3);
+      icilk::SpanContext Accept =
+          S.Spans->startSpan(Conn->Root, "accept", /*Level=*/3);
+      if (Accept.valid())
+        S.Spans->endSpan(Accept);
+    }
     if (!S.Admission) {
       dispatchConnection(S, std::move(Conn), 3);
       continue;
     }
-    auto Result = S.Admission->offer(3, [&S, Conn](unsigned Level) {
-      dispatchConnection(S, Conn, Level);
-    });
+    if (S.Spans)
+      Conn->AdmissionSpan =
+          S.Spans->startSpan(Conn->Root, "admission", /*Level=*/3);
+    auto Result = [&] {
+      // offer() records its decision on the active span — point it at the
+      // admission span so admit/enqueue/degrade/reject events land there.
+      icilk::span::Scope Sc(Conn->AdmissionSpan.valid() ? Conn->AdmissionSpan
+                                                        : Conn->Root);
+      return S.Admission->offer(3, [&S, Conn](unsigned Level) {
+        dispatchConnection(S, Conn, Level);
+      });
+    }();
     if (Result == icilk::AdmitResult::Rejected) {
       S.Rejected.fetch_add(1, std::memory_order_relaxed);
+      if (S.Spans && Conn->AdmissionSpan.valid()) {
+        S.Spans->endSpan(Conn->AdmissionSpan);
+        Conn->AdmissionSpan = {};
+      }
       // Shed at the door: a tiny fetch-level task says 503 and hangs up.
+      // (The trace already carries TfShed from the admission controller,
+      // so the tail sampler always retains it.)
+      icilk::span::Scope Sc(Conn->Root);
       icilk::fcreate<ProxyFetch>(
           S.Rt, [&S, Conn = std::move(Conn)](Context<ProxyFetch> &C) mutable {
             writeAll(S, C, Conn,
@@ -456,6 +622,8 @@ bool RealProxy::start(std::string *Error) {
   S.Telemetry = std::make_unique<TelemetryScope>(
       S.Rt, S.Config.TelemetryPort, S.Config.TelemetryPortOut,
       S.Config.Metrics, &S.Io);
+  if (S.Spans && S.Telemetry->get())
+    S.Telemetry->get()->trackSpans(S.Spans.get());
 
   icilk::fcreate<ProxyClient>(
       S.Rt, [&S](Context<ProxyClient> &C) { acceptLoop(S, C); });
@@ -492,6 +660,13 @@ void RealProxy::stop() {
     M->counter("realproxy.degraded").set(S.Degraded.load());
     M->counter("realproxy.origin_errors").set(S.OriginErrors.load());
     M->counter("realproxy.bad_requests").set(S.BadRequests.load());
+    if (S.Spans) {
+      icilk::SpanStore::Stats St = S.Spans->stats();
+      M->counter("realproxy.traces_started").set(St.Started);
+      M->counter("realproxy.traces_finished").set(St.Finished);
+      M->counter("realproxy.traces_retained").set(St.Retained);
+      M->counter("realproxy.traces_tail_kept").set(St.TailKept);
+    }
   }
 }
 

@@ -32,6 +32,7 @@
 
 #include "apps/Proxy.h" // priority hierarchy + AppCommon
 #include "icilk/FaultPlan.h"
+#include "icilk/SpanStore.h"
 
 #include <cstdint>
 #include <memory>
@@ -50,6 +51,13 @@ struct RealProxyConfig {
   /// connection is answered 503 and closed; a degraded one is served at
   /// fetch (not client) priority.
   icilk::AdmissionSettings Admission{};
+  /// Request-scoped tracing: one trace per connection, rooted at accept.
+  /// Every admission decision, handler, and reactor socket op becomes a
+  /// span; the tail sampler always retains shed/degraded/errored traces
+  /// regardless of the head-sampling rate. Exported at /spans.json when
+  /// telemetry is on. Client `traceparent` headers are adopted and a
+  /// traceparent is emitted on the origin leg.
+  icilk::SpanSettings Tracing{};
   /// Fault injection over the reactor's socket ops (default: disabled).
   icilk::FaultSpec Faults{};
   uint64_t FaultSeed = 42;

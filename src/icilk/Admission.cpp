@@ -3,6 +3,7 @@
 #include "icilk/Admission.h"
 
 #include "icilk/SimIo.h"
+#include "icilk/SpanStore.h"
 #include "support/Logging.h"
 #include "support/Timer.h"
 
@@ -69,8 +70,16 @@ void AdmissionController::stop() {
   // Shed whatever is still queued: the submit callbacks must never run
   // once the controller stopped (their captures may be going away).
   std::lock_guard<std::mutex> Lock(Mutex);
+  SpanStore *Spans = Rt.spans();
   for (Level &L : Levels) {
     L.Rejected += L.Queue.size();
+    if (Spans)
+      for (const Entry &E : L.Queue)
+        if (E.Span.valid()) {
+          Spans->addEvent(E.Span, SpanEventKind::Reject, E.OriginalLevel,
+                          E.Level);
+          Spans->noteFlags(E.Span, TfShed);
+        }
     L.Queue.clear();
   }
   QuiesceCv.notify_all();
@@ -90,6 +99,10 @@ AdmitResult AdmissionController::offer(unsigned LevelIdx, SubmitFn Submit) {
   if (LevelIdx >= Levels.size())
     LevelIdx = static_cast<unsigned>(Levels.size()) - 1;
   uint64_t Now = repro::nowMicros();
+  // The offering thread's active span, if any: every decision below is
+  // recorded on it (Arg0 = offered level, Arg1 = level it runs at).
+  SpanContext Span = span::current();
+  SpanStore *Spans = Span.valid() ? Rt.spans() : nullptr;
   bool Stopped;
   {
     std::lock_guard<std::mutex> Lock(ControllerMutex);
@@ -111,6 +124,8 @@ AdmitResult AdmissionController::offer(unsigned LevelIdx, SubmitFn Submit) {
   if (L.Queue.empty() && takeTokenLocked(L)) {
     ++L.Admitted;
     Lock.unlock();
+    if (Spans)
+      Spans->addEvent(Span, SpanEventKind::Admit, LevelIdx, LevelIdx);
     Submit(LevelIdx);
     return AdmitResult::Admitted;
   }
@@ -123,12 +138,16 @@ AdmitResult AdmissionController::offer(unsigned LevelIdx, SubmitFn Submit) {
     E.EnqueuedMicros = Now;
     E.DeadlineMicros =
         Config.QueueTimeoutMicros ? Now + Config.QueueTimeoutMicros : 0;
+    E.Span = Span;
     Levels[At].Queue.push_back(std::move(E));
     armTimeoutSweepLocked(Now);
   };
 
   if (L.Queue.size() < Config.QueueCap) {
     enqueueAt(LevelIdx, LevelIdx);
+    Lock.unlock();
+    if (Spans)
+      Spans->addEvent(Span, SpanEventKind::Enqueue, LevelIdx, LevelIdx);
     return AdmitResult::Enqueued;
   }
 
@@ -143,15 +162,29 @@ AdmitResult AdmissionController::offer(unsigned LevelIdx, SubmitFn Submit) {
         if (Levels[Down].Queue.empty() && takeTokenLocked(Levels[Down])) {
           ++Levels[Down].Admitted;
           Lock.unlock();
+          if (Spans) {
+            Spans->addEvent(Span, SpanEventKind::Degrade, LevelIdx, Down);
+            Spans->noteFlags(Span, TfDegraded);
+          }
           Submit(Down);
           return AdmitResult::Degraded;
         }
         enqueueAt(Down, LevelIdx);
+        Lock.unlock();
+        if (Spans) {
+          Spans->addEvent(Span, SpanEventKind::Degrade, LevelIdx, Down);
+          Spans->noteFlags(Span, TfDegraded);
+        }
         return AdmitResult::Degraded;
       }
     }
   }
   ++L.Rejected;
+  Lock.unlock();
+  if (Spans) {
+    Spans->addEvent(Span, SpanEventKind::Reject, LevelIdx, LevelIdx);
+    Spans->noteFlags(Span, TfShed);
+  }
   return AdmitResult::Rejected;
 }
 
@@ -199,11 +232,18 @@ void AdmissionController::onSweepTimer() {
 
 std::size_t AdmissionController::sweepTimeoutsLocked(uint64_t NowMicros) {
   std::size_t Expired = 0;
+  SpanStore *Spans = Rt.spans();
   for (Level &L : Levels) {
     while (!L.Queue.empty() && L.Queue.front().DeadlineMicros &&
            L.Queue.front().DeadlineMicros <= NowMicros) {
       ++L.TimedOut;
       ++Expired;
+      const Entry &E = L.Queue.front();
+      if (Spans && E.Span.valid()) {
+        Spans->addEvent(E.Span, SpanEventKind::QueueTimeout, E.OriginalLevel,
+                        E.Level);
+        Spans->noteFlags(E.Span, TfShed);
+      }
       L.Queue.pop_front();
     }
   }
@@ -220,6 +260,12 @@ AdmissionController::drainLocked(uint64_t NowMicros) {
       L.Queue.pop_front();
       if (E.DeadlineMicros && E.DeadlineMicros <= NowMicros) {
         ++L.TimedOut; // expired between sweeps; shed, do not submit
+        if (E.Span.valid())
+          if (SpanStore *Spans = Rt.spans()) {
+            Spans->addEvent(E.Span, SpanEventKind::QueueTimeout,
+                            E.OriginalLevel, E.Level);
+            Spans->noteFlags(E.Span, TfShed);
+          }
         continue;
       }
       ++L.Admitted;
@@ -350,6 +396,10 @@ void AdmissionController::tick() {
   }
   for (Entry &E : Ready) {
     QueueDelay.record(static_cast<double>(Now - E.EnqueuedMicros));
+    if (E.Span.valid())
+      if (SpanStore *Spans = Rt.spans())
+        Spans->addEvent(E.Span, SpanEventKind::Admit, E.OriginalLevel,
+                        E.Level);
     E.Submit(E.Level);
   }
   if (AllEmpty)

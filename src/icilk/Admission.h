@@ -177,6 +177,7 @@ private:
     unsigned OriginalLevel;    ///< level the caller asked for
     uint64_t EnqueuedMicros;
     uint64_t DeadlineMicros;   ///< 0 = no queue timeout
+    SpanContext Span;          ///< offering thread's span (invalid = none)
   };
 
   /// Per-level queue + token bucket + counters. Counters are plain

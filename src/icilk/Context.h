@@ -31,6 +31,7 @@
 #include "icilk/Future.h"
 #include "icilk/Io.h"
 #include "icilk/Runtime.h"
+#include "icilk/SpanStore.h"
 #include "icilk/Trace.h"
 
 #include <cassert>
@@ -152,6 +153,16 @@ void traceSpawn(Runtime &Rt, FutureState<V> &State, Task &NewTask,
         Tr->recordSpawn(Cur ? Cur->traceId() : TraceExternal, Level);
     State.setProducerTraceId(Id);
     NewTask.setTraceId(Id);
+  }
+  // Request tracing (Span.h): the child inherits the creator's active
+  // span, and the state carries it so touchers at any priority level stay
+  // linked to the request. One atomic load when no store is attached.
+  if (Rt.spans() != nullptr) {
+    SpanContext Span = span::current();
+    if (Span.valid()) {
+      NewTask.setSpan(Span);
+      State.setSpan(Span);
+    }
   }
 }
 
@@ -299,6 +310,17 @@ std::optional<T> touchWithDeadline(Runtime &Rt, Io &Io,
       waitReady(Rt, *Gate);
       if (!Gate->value()) {
         Rt.noteDeadlineMiss();
+        // The expiry belongs to the *toucher's* request: mark its trace so
+        // the tail sampler always retains it.
+        if (SpanStore *Spans = Rt.spans()) {
+          SpanContext Cur = span::current();
+          if (Cur.valid()) {
+            Spans->addEvent(Cur, SpanEventKind::DeadlineExpired,
+                            State.level(),
+                            static_cast<uint32_t>(TimeoutMicros));
+            Spans->noteFlags(Cur, TfDeadlineExpired);
+          }
+        }
         return std::nullopt; // deadline: the producer keeps running
       }
     }

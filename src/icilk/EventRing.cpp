@@ -173,6 +173,9 @@ std::vector<EventLog::RingStats> EventLog::ringStats() const {
 namespace detail {
 
 void emitSlow(EventKind K, uint8_t Level, uint64_t Arg, uint32_t Arg2) {
+  // Latch the shared export epoch no later than the first event, so this
+  // event's timestamp can never precede the zero exports subtract.
+  (void)repro::traceEpochNanos();
   Event E;
   E.TimeNanos = repro::nowNanos();
   E.Arg = Arg;
@@ -200,7 +203,9 @@ namespace {
 void writeEventJson(std::ostream &OS, const Event &E, uint32_t Tid,
                     uint64_t EpochNanos, bool &First) {
   double TsMicros =
-      static_cast<double>(E.TimeNanos - EpochNanos) / 1000.0;
+      E.TimeNanos >= EpochNanos
+          ? static_cast<double>(E.TimeNanos - EpochNanos) / 1000.0
+          : 0.0;
   const char *Name = eventKindName(E.Kind);
   if (!First)
     OS << ",\n";
@@ -222,14 +227,11 @@ void writeEventJson(std::ostream &OS, const Event &E, uint32_t Tid,
 
 } // namespace
 
-void writeChromeTrace(std::ostream &OS,
-                      const std::vector<ThreadTrace> &Threads) {
-  uint64_t Epoch = UINT64_MAX;
-  for (const ThreadTrace &T : Threads)
-    for (const Event &E : T.Events)
-      Epoch = std::min(Epoch, E.TimeNanos);
-  if (Epoch == UINT64_MAX)
-    Epoch = 0;
+void writeChromeTrace(std::ostream &OS, const std::vector<ThreadTrace> &Threads,
+                      const std::string &ExtraEventsJson) {
+  // One zero for every exporter: the shared process epoch, not this
+  // snapshot's earliest event (which would skew each export differently).
+  uint64_t Epoch = repro::traceEpochNanos();
 
   OS << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool First = true;
@@ -255,6 +257,12 @@ void writeChromeTrace(std::ostream &OS,
     }
     for (const Event &E : T.Events)
       writeEventJson(OS, E, T.Tid, Epoch, First);
+  }
+  if (!ExtraEventsJson.empty()) {
+    if (!First)
+      OS << ",\n";
+    First = false;
+    OS << ExtraEventsJson;
   }
   OS << "\n],\"otherData\":{\"events_dropped\":" << TotalLost << "}}\n";
 }

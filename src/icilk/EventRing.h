@@ -275,13 +275,20 @@ void setThreadName(const std::string &Name);
 /// Writes the current contents of every ring as Chrome-trace JSON (the
 /// "JSON Array with metadata" flavor: {"traceEvents": [...],
 /// "displayTimeUnit": "ms"}). Timestamps are microseconds relative to the
-/// earliest event. Safe to call while recording, at the cost of possibly
-/// dropping concurrently-overwritten entries.
+/// process-wide export epoch (repro::traceEpochNanos()), the same zero
+/// every other timeline exporter subtracts — slices from different
+/// endpoints of one run line up without per-exporter skew. Safe to call
+/// while recording, at the cost of possibly dropping
+/// concurrently-overwritten entries.
 void writeChromeTrace(std::ostream &OS);
 
 /// As above, over an explicit snapshot (lets tests build one by hand).
-void writeChromeTrace(std::ostream &OS,
-                      const std::vector<ThreadTrace> &Threads);
+/// \p ExtraEventsJson, when non-empty, is a comma-separated sequence of
+/// pre-rendered Chrome-trace event objects (no trailing comma) spliced
+/// into the traceEvents array — how Telemetry overlays retained request
+/// spans onto the scheduler timeline.
+void writeChromeTrace(std::ostream &OS, const std::vector<ThreadTrace> &Threads,
+                      const std::string &ExtraEventsJson = std::string());
 
 } // namespace repro::icilk::trace
 

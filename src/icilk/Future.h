@@ -29,6 +29,7 @@
 
 #include "conc/Backoff.h"
 #include "icilk/Priority.h"
+#include "icilk/Span.h"
 
 #include <atomic>
 #include <cassert>
@@ -98,6 +99,15 @@ public:
   /// the external driver.
   uint64_t ioOpId() const { return IoOpId; }
   void setIoOpId(uint64_t Id) { IoOpId = Id; }
+
+  /// Request-tracing context stamped at creation (Span.h): the producing
+  /// side's span — for fcreate'd futures the creator's active span, for
+  /// I/O futures the op's own child span. Touchers at any priority level
+  /// link through this to the request the producer belonged to; the I/O
+  /// backends' completion callbacks use it to end the op span. Invalid
+  /// (all-zero) when no trace was active at creation.
+  const SpanContext &span() const { return Span; }
+  void setSpan(const SpanContext &C) { Span = C; }
 
   /// Registers \p W unless the future is already ready; returns false (and
   /// registers nothing) in the ready case, in which case the caller keeps
@@ -192,6 +202,7 @@ private:
   unsigned Level;
   uint32_t ProducerTraceId = 0;
   uint64_t IoOpId = 0;
+  SpanContext Span{};
 };
 
 /// Completion state carrying a value of type T.

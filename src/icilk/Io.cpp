@@ -2,9 +2,35 @@
 
 #include "icilk/Io.h"
 
+#include "icilk/SpanStore.h"
 #include "support/Metrics.h"
 
 namespace repro::icilk {
+
+void Io::startOpSpan(FutureStateBase &State, const char *OpName) {
+  SpanStore *S = spans();
+  if (!S) {
+    // No store: still stamp the submitter's context so touchers can link.
+    SpanContext Cur = span::current();
+    if (Cur.valid())
+      State.setSpan(Cur);
+    return;
+  }
+  SpanContext Cur = span::current();
+  if (!Cur.valid())
+    return;
+  SpanContext Op = S->startSpan(Cur, OpName, State.level());
+  if (!Op.valid()) {
+    State.setSpan(Cur);
+    return;
+  }
+  State.setSpan(Op);
+  // The state is not yet visible to any backend, so registration cannot
+  // lose a completion race; addCallback still reports an already-ready
+  // state defensively, in which case the span ends here.
+  if (!State.addCallback([S, Op] { S->endSpan(Op); }))
+    S->endSpan(Op);
+}
 
 void Io::sampleMetrics(repro::MetricsRegistry &M) const {
   M.counter(Prefix + ".submitted").set(submitted());

@@ -59,6 +59,8 @@ class MetricsRegistry;
 
 namespace repro::icilk {
 
+class SpanStore;
+
 /// Completed-I/O payload: byte count (as read()/write() return), the
 /// accepted fd for accept(), 0 for a finished connect().
 using IoResult = long;
@@ -85,6 +87,7 @@ public:
   template <typename Prio>
   Future<Prio, IoResult> read(int Fd, void *Buf, std::size_t Len) {
     auto State = std::make_shared<FutureState<IoResult>>(Prio::Level);
+    startOpSpan(*State, "io.read");
     submitRead(Fd, Buf, Len, State);
     return Future<Prio, IoResult>(std::move(State));
   }
@@ -95,6 +98,7 @@ public:
   template <typename Prio>
   Future<Prio, IoResult> write(int Fd, const void *Buf, std::size_t Len) {
     auto State = std::make_shared<FutureState<IoResult>>(Prio::Level);
+    startOpSpan(*State, "io.write");
     submitWrite(Fd, Buf, Len, State);
     return Future<Prio, IoResult>(std::move(State));
   }
@@ -103,6 +107,7 @@ public:
   /// (nonblocking, cloexec) fd.
   template <typename Prio> Future<Prio, IoResult> accept(int Fd) {
     auto State = std::make_shared<FutureState<IoResult>>(Prio::Level);
+    startOpSpan(*State, "io.accept");
     submitAccept(Fd, State);
     return Future<Prio, IoResult>(std::move(State));
   }
@@ -113,6 +118,7 @@ public:
   Future<Prio, IoResult> connect(int Fd, const struct sockaddr *Addr,
                                  socklen_t AddrLen) {
     auto State = std::make_shared<FutureState<IoResult>>(Prio::Level);
+    startOpSpan(*State, "io.connect");
     submitConnect(Fd, Addr, AddrLen, State);
     return Future<Prio, IoResult>(std::move(State));
   }
@@ -123,6 +129,7 @@ public:
   template <typename Prio>
   Future<Prio, Unit> sleepFor(uint64_t LatencyMicros) {
     auto State = std::make_shared<FutureState<Unit>>(Prio::Level);
+    startOpSpan(*State, "io.sleep");
     submitSleep(LatencyMicros, State);
     return Future<Prio, Unit>(std::move(State));
   }
@@ -140,6 +147,19 @@ public:
   void setFaultPlan(std::shared_ptr<FaultPlan> Plan) {
     std::lock_guard<std::mutex> Lock(FaultMutex);
     Faults = std::move(Plan);
+  }
+
+  /// Attaches (or detaches, with nullptr) a request-tracing span store.
+  /// While attached, every submission made under an active span becomes a
+  /// timed child span of it ("io.read", "io.connect", ...), ended by the
+  /// future's completion callback — on ANY backend, including erroneous
+  /// completions and shutdown. The store must outlive every in-flight
+  /// operation (in practice: outlive the backend's shutdown/destructor).
+  void setSpans(SpanStore *S) {
+    Spans.store(S, std::memory_order_release);
+  }
+  SpanStore *spans() const {
+    return Spans.load(std::memory_order_acquire);
   }
 
   /// Number of I/O operations completed so far (successfully or
@@ -206,6 +226,15 @@ protected:
     return NextOpId.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Request-tracing hook shared by every public op template (backends
+  /// with their own entry points — SimIo::simRead/simWrite — call it too):
+  /// stamps the submitter's active span on \p State and, when a store is
+  /// attached and a span is active, opens a timed child op span whose end
+  /// is a one-shot completion callback. Registered before the backend sees
+  /// the state, so no completion can be missed; callbacks drain on both
+  /// successful and erroneous completion (shutdown included).
+  void startOpSpan(FutureStateBase &State, const char *OpName);
+
   /// Counts one erroneous completion.
   void noteFault() { FaultedOps.fetch_add(1, std::memory_order_relaxed); }
 
@@ -215,6 +244,7 @@ private:
   std::shared_ptr<FaultPlan> Faults;
   std::atomic<uint64_t> NextOpId{1};   ///< event-ring op ids
   std::atomic<uint64_t> FaultedOps{0}; ///< erroneous completions
+  std::atomic<SpanStore *> Spans{nullptr};
 };
 
 } // namespace repro::icilk

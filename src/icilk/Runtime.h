@@ -274,6 +274,18 @@ public:
     return Trace.load(std::memory_order_acquire);
   }
 
+  /// Attaches (or detaches, with nullptr) a request-tracing span store
+  /// (SpanStore.h). While attached, fcreate propagates the creator's
+  /// active span onto new tasks/states, deadline expiries mark the
+  /// toucher's trace, and the admission controller records its decisions
+  /// as span events. The store must outlive the attachment.
+  void setSpans(class SpanStore *S) {
+    Spans.store(S, std::memory_order_release);
+  }
+  class SpanStore *spans() const {
+    return Spans.load(std::memory_order_acquire);
+  }
+
 private:
   struct Worker {
     Worker(unsigned QueueLevels, unsigned Index)
@@ -352,6 +364,7 @@ private:
   std::atomic<bool> InjectionFullLogged{false};
   std::atomic<uint32_t> NextTraceTaskId{1}; ///< event-ring task ids
   std::atomic<class TraceRecorder *> Trace{nullptr};
+  std::atomic<class SpanStore *> Spans{nullptr};
   std::atomic<const AdmissionView *> AdmissionStats{nullptr};
   std::atomic<bool> Stop{false};
 

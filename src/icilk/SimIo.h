@@ -54,6 +54,7 @@ public:
   template <typename Prio>
   Future<Prio, IoResult> simRead(uint64_t LatencyMicros, IoResult Bytes) {
     auto State = std::make_shared<FutureState<IoResult>>(Prio::Level);
+    startOpSpan(*State, "io.sim_read");
     submitSim(LatencyMicros, State, Bytes, /*IsWrite=*/false);
     return Future<Prio, IoResult>(std::move(State));
   }
@@ -64,6 +65,7 @@ public:
   template <typename Prio>
   Future<Prio, IoResult> simWrite(uint64_t LatencyMicros, IoResult Bytes) {
     auto State = std::make_shared<FutureState<IoResult>>(Prio::Level);
+    startOpSpan(*State, "io.sim_write");
     submitSim(LatencyMicros, State, Bytes, /*IsWrite=*/true);
     return Future<Prio, IoResult>(std::move(State));
   }

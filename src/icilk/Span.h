@@ -1,0 +1,116 @@
+//===- icilk/Span.h - Request-scoped trace contexts -------------*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The identity half of the request-tracing subsystem: a SpanContext is a
+// W3C-Trace-Context-shaped (trace id, span id, flags) triple that rides
+// implicitly on every task. fcreate/fcreateSelf copy the creator's
+// current context onto the new task and stamp it on the FutureState, so
+// a request's causal chain — futures spawned at any priority level, I/O
+// ops parked in the reactor, admission queue entries — stays linked to
+// the request no matter which worker or level runs each piece.
+//
+// This header is deliberately dependency-free (Task.h includes it for the
+// per-task slot). The recording side — where spans start, end, and get
+// retained or dropped — is SpanStore.h.
+//
+// Wire format: `traceparent` per W3C Trace Context level 1,
+//   00-<32 hex trace id>-<16 hex parent span id>-<2 hex flags>
+// parseTraceparent rejects anything malformed (wrong version, short or
+// non-hex fields, all-zero ids) rather than guessing.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_ICILK_SPAN_H
+#define REPRO_ICILK_SPAN_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace repro::icilk {
+
+/// Identity of one span within one trace. 32 bytes, trivially copyable:
+/// cheap enough to copy per fcreate. A default-constructed context is
+/// invalid ("no active trace") and every tracing hook no-ops on it.
+struct SpanContext {
+  uint64_t TraceHi = 0; ///< 128-bit trace id, high half
+  uint64_t TraceLo = 0; ///< 128-bit trace id, low half
+  uint64_t SpanId = 0;
+  uint8_t Flags = 0; ///< bit 0 = sampled (W3C trace-flags)
+
+  bool valid() const { return (TraceHi | TraceLo) != 0; }
+  bool sampled() const { return (Flags & 1) != 0; }
+};
+
+/// Trace-level outcome flags, OR-ed onto the owning trace as the request
+/// crosses shed/degrade/deadline paths. The tail sampler retains any
+/// trace carrying one of the "bad outcome" bits regardless of the head
+/// sampling draw — under overload those are exactly the traces uniform
+/// sampling loses.
+enum TraceFlag : uint32_t {
+  TfShed = 1u << 0,            ///< rejected or queue-timed-out by admission
+  TfDegraded = 1u << 1,        ///< served at a lower static priority
+  TfDeadlineExpired = 1u << 2, ///< an ftouchFor deadline fired
+  TfError = 1u << 3,           ///< request failed (I/O error, bad origin…)
+  TfSlow = 1u << 4,            ///< duration above the windowed p99
+  TfHeadSampled = 1u << 5,     ///< won the head-sampling draw at start
+  TfRemoteSampled = 1u << 6,   ///< client traceparent carried sampled=01
+};
+
+/// Point events recorded inside a span (admission decisions, deadline
+/// expiries). Arg0/Arg1 are kind-specific (for admission: the level
+/// before and after the decision).
+enum class SpanEventKind : uint8_t {
+  Admit,           ///< admission inline submit (Arg0=offered, Arg1=run level)
+  Enqueue,         ///< parked in an admission queue (Arg0=offered, Arg1=queue)
+  Degrade,         ///< cascade-degraded (Arg0=offered, Arg1=admitted level)
+  Reject,          ///< shed at offer time (Arg0=offered level)
+  QueueTimeout,    ///< shed after queueing (Arg0=level, Arg1=wait micros)
+  DeadlineExpired, ///< ftouchFor lost to its deadline (Arg1=timeout micros)
+  Note,            ///< free-form marker
+};
+
+const char *spanEventKindName(SpanEventKind K);
+
+/// Parses a W3C `traceparent` header value. Returns nullopt for anything
+/// malformed: wrong length, version != 00, non-hex digits, all-zero trace
+/// or span id. Flags are preserved as sent (00 means "upstream did not
+/// sample" and propagates as such).
+std::optional<SpanContext> parseTraceparent(std::string_view Value);
+
+/// Formats \p C as a `traceparent` header value (version 00).
+std::string traceparentValue(const SpanContext &C);
+
+namespace span {
+
+/// The calling task's (or, off-task, the calling thread's) active span.
+/// Invalid when no trace is active. Stored on the Task so it survives
+/// suspend/steal/resume; a plain thread_local backs non-task threads
+/// (drivers, the admission controller thread).
+SpanContext current();
+
+/// Replaces the active span for the calling task/thread.
+void setCurrent(const SpanContext &C);
+
+/// RAII save/set/restore of the active span.
+class Scope {
+public:
+  explicit Scope(const SpanContext &C) : Saved(current()) { setCurrent(C); }
+  ~Scope() { setCurrent(Saved); }
+  Scope(const Scope &) = delete;
+  Scope &operator=(const Scope &) = delete;
+
+private:
+  SpanContext Saved;
+};
+
+} // namespace span
+
+} // namespace repro::icilk
+
+#endif // REPRO_ICILK_SPAN_H

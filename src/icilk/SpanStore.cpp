@@ -1,0 +1,387 @@
+//===- icilk/SpanStore.cpp - Span recording + tail-based sampling ------------===//
+
+#include "icilk/SpanStore.h"
+
+#include "icilk/Task.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+namespace repro::icilk {
+
+namespace {
+
+uint64_t splitmix64(uint64_t Z) {
+  Z += 0x9e3779b97f4a7c15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Span ids are carved from one global counter in per-thread blocks: a
+/// refill is one relaxed fetch_add per 1024 spans, everything else is a
+/// thread-local increment — unique under concurrent request loops with
+/// no per-span atomic. Block 0 is never handed out, so id 0 stays free
+/// to mean "no parent".
+constexpr uint64_t SpanIdBlockSize = 1024;
+std::atomic<uint64_t> SpanIdBlocks{1};
+thread_local uint64_t TlsSpanIdNext = 0;
+thread_local uint64_t TlsSpanIdEnd = 0;
+
+uint64_t nextSpanId() {
+  if (TlsSpanIdNext == TlsSpanIdEnd) {
+    uint64_t B = SpanIdBlocks.fetch_add(1, std::memory_order_relaxed);
+    TlsSpanIdNext = B * SpanIdBlockSize;
+    TlsSpanIdEnd = (B + 1) * SpanIdBlockSize;
+  }
+  return TlsSpanIdNext++;
+}
+
+bool parseHexField(std::string_view S, uint64_t &Out) {
+  uint64_t V = 0;
+  for (char C : S) {
+    V <<= 4;
+    if (C >= '0' && C <= '9')
+      V |= static_cast<uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      V |= static_cast<uint64_t>(C - 'a' + 10);
+    else
+      return false; // uppercase included: the W3C wire form is lowercase
+  }
+  Out = V;
+  return true;
+}
+
+void appendHex(std::string &Out, uint64_t V, int Digits) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%0*llx", Digits,
+                static_cast<unsigned long long>(V));
+  Out += Buf;
+}
+
+/// Active span of a non-task thread (drivers, the admission controller
+/// thread). Tasks carry theirs on the Task object instead, so the span
+/// follows the task across workers.
+thread_local SpanContext TlsSpan{};
+
+} // namespace
+
+const char *spanEventKindName(SpanEventKind K) {
+  switch (K) {
+  case SpanEventKind::Admit: return "admit";
+  case SpanEventKind::Enqueue: return "enqueue";
+  case SpanEventKind::Degrade: return "degrade";
+  case SpanEventKind::Reject: return "reject";
+  case SpanEventKind::QueueTimeout: return "queue-timeout";
+  case SpanEventKind::DeadlineExpired: return "deadline-expired";
+  case SpanEventKind::Note: return "note";
+  }
+  return "unknown";
+}
+
+std::optional<SpanContext> parseTraceparent(std::string_view Value) {
+  // 00-<32 hex>-<16 hex>-<2 hex>, dashes fixed, lowercase hex only.
+  if (Value.size() != 55)
+    return std::nullopt;
+  if (Value[2] != '-' || Value[35] != '-' || Value[52] != '-')
+    return std::nullopt;
+  if (Value.substr(0, 2) != "00")
+    return std::nullopt;
+  SpanContext C;
+  uint64_t Flags = 0;
+  if (!parseHexField(Value.substr(3, 16), C.TraceHi) ||
+      !parseHexField(Value.substr(19, 16), C.TraceLo) ||
+      !parseHexField(Value.substr(36, 16), C.SpanId) ||
+      !parseHexField(Value.substr(53, 2), Flags))
+    return std::nullopt;
+  C.Flags = static_cast<uint8_t>(Flags);
+  if (!C.valid() || C.SpanId == 0)
+    return std::nullopt;
+  return C;
+}
+
+std::string traceparentValue(const SpanContext &C) {
+  std::string Out = "00-";
+  Out.reserve(55);
+  appendHex(Out, C.TraceHi, 16);
+  appendHex(Out, C.TraceLo, 16);
+  Out += '-';
+  appendHex(Out, C.SpanId, 16);
+  Out += '-';
+  appendHex(Out, C.Flags, 2);
+  return Out;
+}
+
+namespace span {
+
+SpanContext current() {
+  if (Task *T = Task::current())
+    return T->span();
+  return TlsSpan;
+}
+
+void setCurrent(const SpanContext &C) {
+  if (Task *T = Task::current()) {
+    T->setSpan(C);
+    return;
+  }
+  TlsSpan = C;
+}
+
+} // namespace span
+
+SpanStore::SpanStore(SpanStoreConfig Config)
+    : Cfg(Config),
+      Seed(splitmix64(repro::nowNanos() ^
+                      reinterpret_cast<uintptr_t>(this))) {
+  // Latch the shared export epoch no later than the first span, so span
+  // timestamps and event-ring timestamps subtract the same zero.
+  (void)repro::traceEpochNanos();
+}
+
+bool SpanStore::headSampleDraw(uint64_t TraceLo) const {
+  if (Cfg.HeadSampleRate >= 1.0)
+    return true;
+  if (Cfg.HeadSampleRate <= 0.0)
+    return false;
+  double U = static_cast<double>(splitmix64(TraceLo ^ Seed) >> 11) *
+             0x1.0p-53;
+  return U < Cfg.HeadSampleRate;
+}
+
+SpanStore::TracePtr SpanStore::find(const SpanContext &C) const {
+  if (!C.valid())
+    return nullptr;
+  Shard &S = shardFor(C.TraceLo);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Active.find(C.TraceLo);
+  if (It == S.Active.end() || It->second->Rec.TraceHi != C.TraceHi)
+    return nullptr;
+  return It->second;
+}
+
+SpanContext SpanStore::startTrace(const char *RootName, unsigned Level) {
+  StatStarted.fetch_add(1, std::memory_order_relaxed);
+  static std::atomic<uint64_t> TraceTick{0};
+  // splitmix64 is a bijection, so distinct ticks give distinct TraceLo
+  // values per store — the active-table key never collides.
+  uint64_t Tick = TraceTick.fetch_add(1, std::memory_order_relaxed);
+  SpanContext Root;
+  Root.TraceLo = splitmix64(Seed + Tick * 0x9e3779b97f4a7c15ULL);
+  Root.TraceHi = splitmix64(Root.TraceLo ^ Seed);
+  if (Root.TraceLo == 0)
+    Root.TraceLo = 1;
+  if (Root.TraceHi == 0)
+    Root.TraceHi = 1;
+  Root.SpanId = nextSpanId();
+  bool Head = headSampleDraw(Root.TraceLo);
+  if (Head) {
+    Root.Flags = 1;
+    StatHeadSampled.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::size_t Active = ActiveCount.load(std::memory_order_relaxed);
+  if (Active >= Cfg.MaxActiveTraces) {
+    // Hand out a working context but record nothing: propagation keeps
+    // functioning, the table stays bounded, and the miss is counted.
+    StatActiveOverflow.fetch_add(1, std::memory_order_relaxed);
+    return Root;
+  }
+  ActiveCount.fetch_add(1, std::memory_order_relaxed);
+
+  auto Data = std::make_shared<TraceData>();
+  Data->Rec.TraceHi = Root.TraceHi;
+  Data->Rec.TraceLo = Root.TraceLo;
+  Data->Rec.RootSpanId = Root.SpanId;
+  Data->Rec.Flags = Head ? TfHeadSampled : 0;
+  Data->Rec.StartNanos = repro::nowNanos();
+  SpanRecord RootSpan;
+  RootSpan.SpanId = Root.SpanId;
+  RootSpan.StartNanos = Data->Rec.StartNanos;
+  RootSpan.Name = RootName ? RootName : "trace";
+  RootSpan.Level = static_cast<uint8_t>(Level);
+  if (Task *T = Task::current())
+    RootSpan.TaskRingId = T->ringId();
+  Data->Rec.Spans.push_back(std::move(RootSpan));
+
+  Shard &S = shardFor(Root.TraceLo);
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Active.emplace(Root.TraceLo, std::move(Data));
+  return Root;
+}
+
+void SpanStore::adoptRemote(const SpanContext &Root,
+                            const SpanContext &Remote) {
+  if (!Remote.valid())
+    return;
+  TracePtr T = find(Root);
+  if (!T)
+    return;
+  std::lock_guard<std::mutex> Lock(T->M);
+  if (T->Finished || T->Rec.HasRemote)
+    return;
+  T->Rec.HasRemote = true;
+  T->Rec.RemoteTraceHi = Remote.TraceHi;
+  T->Rec.RemoteTraceLo = Remote.TraceLo;
+  T->Rec.RemoteParentSpanId = Remote.SpanId;
+  if (Remote.sampled())
+    T->Rec.Flags |= TfRemoteSampled;
+}
+
+SpanContext SpanStore::startSpan(const SpanContext &Parent, const char *Name,
+                                 unsigned Level) {
+  TracePtr T = find(Parent);
+  if (!T)
+    return SpanContext{};
+  SpanContext Child = Parent;
+  Child.SpanId = nextSpanId();
+  SpanRecord R;
+  R.SpanId = Child.SpanId;
+  R.ParentSpanId = Parent.SpanId;
+  R.StartNanos = repro::nowNanos();
+  R.Name = Name ? Name : "span";
+  R.Level = static_cast<uint8_t>(Level);
+  if (Task *Cur = Task::current())
+    R.TaskRingId = Cur->ringId();
+  std::lock_guard<std::mutex> Lock(T->M);
+  if (T->Finished)
+    return SpanContext{};
+  if (T->Rec.Spans.size() >= Cfg.MaxSpansPerTrace) {
+    ++T->Rec.SpansDropped;
+    return Child; // propagation continues; the record is lost and counted
+  }
+  T->Rec.Spans.push_back(std::move(R));
+  return Child;
+}
+
+void SpanStore::endSpan(const SpanContext &Span) {
+  TracePtr T = find(Span);
+  if (!T)
+    return;
+  std::lock_guard<std::mutex> Lock(T->M);
+  if (T->Finished)
+    return;
+  // Back-to-front: the span being ended is almost always recent.
+  for (auto It = T->Rec.Spans.rbegin(); It != T->Rec.Spans.rend(); ++It) {
+    if (It->SpanId == Span.SpanId) {
+      if (It->EndNanos == 0)
+        It->EndNanos = repro::nowNanos();
+      return;
+    }
+  }
+}
+
+void SpanStore::addEvent(const SpanContext &Span, SpanEventKind Kind,
+                         uint32_t Arg0, uint32_t Arg1) {
+  TracePtr T = find(Span);
+  if (!T)
+    return;
+  SpanEvent E;
+  E.TimeNanos = repro::nowNanos();
+  E.Kind = Kind;
+  E.Arg0 = Arg0;
+  E.Arg1 = Arg1;
+  std::lock_guard<std::mutex> Lock(T->M);
+  if (T->Finished)
+    return;
+  for (auto It = T->Rec.Spans.rbegin(); It != T->Rec.Spans.rend(); ++It) {
+    if (It->SpanId == Span.SpanId) {
+      It->Events.push_back(E);
+      return;
+    }
+  }
+}
+
+void SpanStore::noteFlags(const SpanContext &Span, uint32_t TraceFlags) {
+  TracePtr T = find(Span);
+  if (!T)
+    return;
+  std::lock_guard<std::mutex> Lock(T->M);
+  T->Rec.Flags |= TraceFlags;
+}
+
+void SpanStore::finishTrace(const SpanContext &Root) {
+  if (!Root.valid())
+    return;
+  TracePtr T;
+  {
+    Shard &S = shardFor(Root.TraceLo);
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Active.find(Root.TraceLo);
+    if (It == S.Active.end() || It->second->Rec.TraceHi != Root.TraceHi)
+      return;
+    T = std::move(It->second);
+    S.Active.erase(It);
+  }
+  ActiveCount.fetch_sub(1, std::memory_order_relaxed);
+  StatFinished.fetch_add(1, std::memory_order_relaxed);
+
+  TraceRecord Rec;
+  {
+    std::lock_guard<std::mutex> Lock(T->M);
+    T->Finished = true;
+    uint64_t Now = repro::nowNanos();
+    T->Rec.EndNanos = Now;
+    // Close anything still open — a shed request's admission span never
+    // sees its dispatch, but exported traces must still nest.
+    for (SpanRecord &S : T->Rec.Spans)
+      if (S.EndNanos == 0)
+        S.EndNanos = Now;
+    double DurMicros =
+        static_cast<double>(T->Rec.EndNanos - T->Rec.StartNanos) / 1000.0;
+    double Slow = SlowThresholdMicros.load(std::memory_order_relaxed);
+    if (Slow > 0 && DurMicros >= Slow)
+      T->Rec.Flags |= TfSlow;
+    constexpr uint32_t SampledBits = TfHeadSampled | TfRemoteSampled;
+    constexpr uint32_t TailBits =
+        TfShed | TfDegraded | TfDeadlineExpired | TfError | TfSlow;
+    if ((T->Rec.Flags & (SampledBits | TailBits)) == 0)
+      return; // lost the head draw, nothing interesting at the tail: drop
+    if ((T->Rec.Flags & SampledBits) == 0)
+      StatTailKept.fetch_add(1, std::memory_order_relaxed);
+    Rec = std::move(T->Rec);
+  }
+
+  std::lock_guard<std::mutex> Lock(RetainedMutex);
+  Retained.push_back(std::move(Rec));
+  while (Retained.size() > Cfg.MaxRetainedTraces) {
+    Retained.pop_front();
+    StatRetainedDropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::string SpanStore::traceparentFor(const SpanContext &C) const {
+  SpanContext Out = C;
+  if (TracePtr T = find(C)) {
+    std::lock_guard<std::mutex> Lock(T->M);
+    if (T->Rec.HasRemote) {
+      Out.TraceHi = T->Rec.RemoteTraceHi;
+      Out.TraceLo = T->Rec.RemoteTraceLo;
+    }
+    Out.Flags =
+        (T->Rec.Flags & (TfHeadSampled | TfRemoteSampled)) != 0 ? 1 : 0;
+  }
+  return traceparentValue(Out);
+}
+
+std::vector<TraceRecord> SpanStore::retained() const {
+  std::lock_guard<std::mutex> Lock(RetainedMutex);
+  return {Retained.begin(), Retained.end()};
+}
+
+SpanStore::Stats SpanStore::stats() const {
+  Stats S;
+  S.Started = StatStarted.load(std::memory_order_relaxed);
+  S.Finished = StatFinished.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(RetainedMutex);
+    S.Retained = Retained.size();
+  }
+  S.RetainedDropped = StatRetainedDropped.load(std::memory_order_relaxed);
+  S.ActiveOverflow = StatActiveOverflow.load(std::memory_order_relaxed);
+  S.HeadSampled = StatHeadSampled.load(std::memory_order_relaxed);
+  S.TailKept = StatTailKept.load(std::memory_order_relaxed);
+  return S;
+}
+
+} // namespace repro::icilk

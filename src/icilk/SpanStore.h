@@ -1,0 +1,220 @@
+//===- icilk/SpanStore.h - Span recording + tail-based sampling -*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The recording half of request tracing (identity lives in Span.h). A
+// SpanStore assembles spans into per-request traces and decides, when a
+// trace finishes, whether to keep it:
+//
+//   * head sampling — a deterministic draw on the trace id keeps a
+//     configurable fraction of all traces (the "normal requests" view);
+//   * tail retention — a finished trace is ALWAYS kept when it was shed,
+//     degraded, deadline-expired, errored, carried a remote sampled=01
+//     flag, or ran longer than the current slow threshold (fed from the
+//     telemetry sampler's windowed p99). Under overload these are the
+//     requests that matter, and uniform sampling loses exactly them.
+//
+// Recording happens for every trace (tail decisions need the spans of
+// traces that only turn out to be interesting at the end); retention is
+// bounded (drop-oldest ring of MaxRetainedTraces, with a counter so a
+// truncated export reads as truncated).
+//
+// Costs, honestly: span-id allocation is lock-free (per-thread blocks
+// carved from one global counter — ids stay unique under concurrent
+// request loops without an atomic per span), and context *propagation*
+// through fcreate is a 32-byte copy with no store involvement at all.
+// Starting/ending spans and recording events take a per-shard mutex plus
+// a per-trace mutex — per-request-path operations (a handful per request),
+// not per-task hot-path ones. The scheduler's own per-event path remains
+// the lock-free EventRing.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_ICILK_SPANSTORE_H
+#define REPRO_ICILK_SPANSTORE_H
+
+#include "icilk/Span.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace repro::icilk {
+
+struct SpanStoreConfig {
+  /// Fraction of traces retained by the head-sampling draw (0 disables,
+  /// 1 keeps everything). Tail retention is independent of this rate.
+  double HeadSampleRate = 0.01;
+  /// Bound on the retained ring; oldest retained traces are dropped
+  /// (and counted) past it.
+  std::size_t MaxRetainedTraces = 256;
+  /// Bound on concurrently-active (started, not finished) traces. Past
+  /// it startTrace hands out an unregistered context: propagation still
+  /// works, nothing is recorded, and ActiveOverflow counts the miss.
+  std::size_t MaxActiveTraces = 4096;
+  /// Bound on spans recorded per trace (first-N kept; SpansDropped
+  /// counts the rest).
+  std::size_t MaxSpansPerTrace = 512;
+};
+
+/// Config-embedding knob mirroring AdmissionSettings, for app configs.
+struct SpanSettings {
+  bool Enabled = false;
+  SpanStoreConfig Config;
+};
+
+/// A point event inside a recorded span.
+struct SpanEvent {
+  uint64_t TimeNanos = 0;
+  uint32_t Arg0 = 0;
+  uint32_t Arg1 = 0;
+  SpanEventKind Kind = SpanEventKind::Note;
+};
+
+/// One recorded span. EndNanos == 0 while open; finishTrace closes any
+/// span still open (a shed request's admission span never sees its
+/// dispatch) so exported traces always nest.
+struct SpanRecord {
+  uint64_t SpanId = 0;
+  uint64_t ParentSpanId = 0; ///< 0 = root (or the remote parent)
+  uint64_t StartNanos = 0;
+  uint64_t EndNanos = 0;
+  std::string Name;
+  uint32_t TaskRingId = 0; ///< event-ring id of the starting task (0 = none)
+  uint8_t Level = 0;
+  std::vector<SpanEvent> Events;
+};
+
+/// One assembled trace. TraceHi/Lo are the locally-allocated ids that
+/// contexts carry; when a client `traceparent` was adopted the remote ids
+/// ride alongside and exporters display those (the W3C join), keyed back
+/// to the local ids.
+struct TraceRecord {
+  uint64_t TraceHi = 0;
+  uint64_t TraceLo = 0;
+  bool HasRemote = false;
+  uint64_t RemoteTraceHi = 0;
+  uint64_t RemoteTraceLo = 0;
+  uint64_t RemoteParentSpanId = 0;
+  uint64_t RootSpanId = 0;
+  uint32_t Flags = 0; ///< TraceFlag bits
+  uint64_t StartNanos = 0;
+  uint64_t EndNanos = 0;
+  uint64_t SpansDropped = 0;
+  std::vector<SpanRecord> Spans; ///< Spans[0] is the root span
+};
+
+class SpanStore {
+public:
+  struct Stats {
+    uint64_t Started = 0;
+    uint64_t Finished = 0;
+    uint64_t Retained = 0;        ///< currently exportable
+    uint64_t RetainedDropped = 0; ///< evicted from the retained ring
+    uint64_t ActiveOverflow = 0;  ///< startTrace past MaxActiveTraces
+    uint64_t HeadSampled = 0;
+    uint64_t TailKept = 0; ///< retained only because of tail flags
+  };
+
+  explicit SpanStore(SpanStoreConfig Config = {});
+
+  const SpanStoreConfig &config() const { return Cfg; }
+
+  /// Starts a new trace; the returned context is its root span (already
+  /// open). The head-sampling draw happens here.
+  SpanContext startTrace(const char *RootName, unsigned Level);
+
+  /// Records a client-sent traceparent on \p Root's trace: exporters
+  /// display the remote trace id, the root span re-parents under the
+  /// remote span id, and sampled=01 forces retention. First adoption
+  /// wins; later calls on the same trace no-op.
+  void adoptRemote(const SpanContext &Root, const SpanContext &Remote);
+
+  /// Opens a child span under \p Parent. Returns an invalid context when
+  /// the parent's trace is unknown (propagation continues, recording
+  /// stops).
+  SpanContext startSpan(const SpanContext &Parent, const char *Name,
+                        unsigned Level);
+
+  void endSpan(const SpanContext &Span);
+
+  void addEvent(const SpanContext &Span, SpanEventKind Kind, uint32_t Arg0,
+                uint32_t Arg1);
+
+  /// OR-s TraceFlag bits onto the trace owning \p Span.
+  void noteFlags(const SpanContext &Span, uint32_t TraceFlags);
+
+  /// Finishes the trace owning \p Root: closes open spans, applies the
+  /// retention policy, and removes it from the active table. Idempotent.
+  void finishTrace(const SpanContext &Root);
+
+  /// The outbound `traceparent` value for the current position \p C in
+  /// its trace: remote trace id when one was adopted, sampled flag from
+  /// the trace's head/remote sampling state.
+  std::string traceparentFor(const SpanContext &C) const;
+
+  /// Duration threshold (µs) above which a finished trace is retained as
+  /// slow; 0 disables. Fed by the telemetry sampler from the windowed
+  /// per-level p99 so "slow" tracks the live workload.
+  void setSlowThresholdMicros(double Micros) {
+    SlowThresholdMicros.store(Micros, std::memory_order_relaxed);
+  }
+  double slowThresholdMicros() const {
+    return SlowThresholdMicros.load(std::memory_order_relaxed);
+  }
+
+  /// Copies the retained traces, oldest first.
+  std::vector<TraceRecord> retained() const;
+
+  Stats stats() const;
+
+private:
+  struct TraceData {
+    std::mutex M;
+    TraceRecord Rec;
+    bool Finished = false;
+  };
+  using TracePtr = std::shared_ptr<TraceData>;
+
+  static constexpr std::size_t NumShards = 16;
+  struct Shard {
+    std::mutex M;
+    std::unordered_map<uint64_t, TracePtr> Active;
+  };
+
+  Shard &shardFor(uint64_t TraceLo) const {
+    return Shards[TraceLo % NumShards];
+  }
+  /// Looks up the active trace a context belongs to (nullptr if unknown
+  /// or already finished).
+  TracePtr find(const SpanContext &C) const;
+  bool headSampleDraw(uint64_t TraceLo) const;
+
+  SpanStoreConfig Cfg;
+  uint64_t Seed; ///< mixed into trace ids (store-unique)
+  mutable std::array<Shard, NumShards> Shards;
+  std::atomic<std::size_t> ActiveCount{0};
+  std::atomic<double> SlowThresholdMicros{0.0};
+
+  mutable std::mutex RetainedMutex;
+  std::deque<TraceRecord> Retained;
+
+  std::atomic<uint64_t> StatStarted{0};
+  std::atomic<uint64_t> StatFinished{0};
+  std::atomic<uint64_t> StatRetainedDropped{0};
+  std::atomic<uint64_t> StatActiveOverflow{0};
+  std::atomic<uint64_t> StatHeadSampled{0};
+  std::atomic<uint64_t> StatTailKept{0};
+};
+
+} // namespace repro::icilk
+
+#endif // REPRO_ICILK_SPANSTORE_H

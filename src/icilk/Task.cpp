@@ -86,6 +86,7 @@ void Task::reset(std::function<void()> NewBody, unsigned NewLevel) {
   Done = false;
   TraceId = 0;
   RingId = 0;
+  Span = SpanContext{};
   WaitingOn = nullptr;
   ReturnCtx = nullptr;
 #if ICILK_TSAN_FIBERS

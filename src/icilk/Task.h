@@ -27,6 +27,7 @@
 #define REPRO_ICILK_TASK_H
 
 #include "conc/StackPool.h"
+#include "icilk/Span.h"
 #include "support/Timer.h"
 
 #include <ucontext.h>
@@ -126,6 +127,12 @@ public:
   uint32_t ringId() const { return RingId; }
   void setRingId(uint32_t Id) { RingId = Id; }
 
+  /// Request-tracing context (Span.h): the active span this task runs
+  /// under, copied from the creator at fcreate. Survives suspend/steal/
+  /// resume with the task; invalid (all-zero) when no trace is active.
+  const SpanContext &span() const { return Span; }
+  void setSpan(const SpanContext &C) { Span = C; }
+
 private:
   static void trampoline();
 
@@ -139,6 +146,7 @@ private:
   bool Done = false;
   uint32_t TraceId = 0;
   uint32_t RingId = 0;
+  SpanContext Span{};
   FutureStateBase *WaitingOn = nullptr;
   /// Pool-owned while free-listed, task-owned while attached. Acquired at
   /// first dispatch, returned in releaseRunResources; the destructor frees

@@ -4,10 +4,12 @@
 
 #include "icilk/EventRing.h"
 #include "icilk/Io.h"
+#include "icilk/SpanStore.h"
 #include "support/Metrics.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 namespace repro::icilk {
@@ -46,6 +48,42 @@ std::string levelLabel(unsigned L) {
   return "level=\"" + std::to_string(L) + "\"";
 }
 
+std::string hex16(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof Buf, "%016llx", static_cast<unsigned long long>(V));
+  return std::string(Buf, 16);
+}
+
+std::string hex32(uint64_t Hi, uint64_t Lo) { return hex16(Hi) + hex16(Lo); }
+
+/// Microseconds after the process trace epoch, clamped at 0 (timestamps
+/// taken before the epoch latched).
+double epochMicros(uint64_t TimeNanos, uint64_t EpochNanos) {
+  return TimeNanos > EpochNanos
+             ? static_cast<double>(TimeNanos - EpochNanos) / 1000.0
+             : 0.0;
+}
+
+json::Value traceFlagNames(uint32_t Flags) {
+  static constexpr struct {
+    uint32_t Bit;
+    const char *Name;
+  } Names[] = {
+      {TfShed, "shed"},
+      {TfDegraded, "degraded"},
+      {TfDeadlineExpired, "deadline-expired"},
+      {TfError, "error"},
+      {TfSlow, "slow"},
+      {TfHeadSampled, "head-sampled"},
+      {TfRemoteSampled, "remote-sampled"},
+  };
+  json::Value Out = json::Value::array();
+  for (const auto &N : Names)
+    if (Flags & N.Bit)
+      Out.push(json::Value(N.Name));
+  return Out;
+}
+
 } // namespace
 
 void Telemetry::trackIo(const Io *Backend) {
@@ -55,6 +93,10 @@ void Telemetry::trackIo(const Io *Backend) {
     return;
   }
   IoBackends.push_back(Backend);
+}
+
+void Telemetry::trackSpans(SpanStore *Store) {
+  Spans.store(Store, std::memory_order_release);
 }
 
 std::string Telemetry::sanitizeMetricName(const std::string &Name) {
@@ -115,6 +157,7 @@ Telemetry::Telemetry(Runtime &Rt, TelemetryConfig Cfg,
              "  /metrics        Prometheus text exposition\n"
              "  /snapshot.json  Runtime::snapshot() + event-ring stats\n"
              "  /latency.json   windowed per-level latency quantiles\n"
+             "  /spans.json     retained request traces (tail-sampled)\n"
              "  /trace?ms=500   Chrome-trace slice of the last N ms\n";
     return R;
   });
@@ -128,6 +171,10 @@ Telemetry::Telemetry(Runtime &Rt, TelemetryConfig Cfg,
   Server.route("/latency.json", [this](const http::Request &) {
     return http::Response{200, "application/json",
                           latencyJson().dump(2) + "\n"};
+  });
+  Server.route("/spans.json", [this](const http::Request &) {
+    return http::Response{200, "application/json",
+                          spansJson().dump(2) + "\n"};
   });
   Server.route("/trace", [this](const http::Request &Req) {
     int64_t Ms = Req.queryInt("ms", 500);
@@ -190,6 +237,18 @@ void Telemetry::samplerLoop() {
       for (auto &W : Windows)
         W->rotate();
       LastRotateNanos += EpochNanos;
+    }
+    // Feed the tail sampler's slow threshold from the live windows: a
+    // trace slower than the worst per-level p99 is always retained.
+    if (SpanStore *SS = Spans.load(std::memory_order_acquire)) {
+      double MaxP99 = 0;
+      for (auto &W : Windows) {
+        repro::Histogram H = W->merged();
+        if (H.total())
+          MaxP99 = std::max(MaxP99, H.quantile(0.99));
+      }
+      if (MaxP99 > 0)
+        SS->setSlowThresholdMicros(MaxP99);
     }
     Lock.lock();
   }
@@ -533,6 +592,128 @@ json::Value Telemetry::latencyJson() const {
   return Out;
 }
 
+json::Value Telemetry::spansJson() const {
+  json::Value Out = json::Value::object();
+  Out.set("schema", json::Value("icilk-telemetry-spans-v1"));
+  SpanStore *SS = Spans.load(std::memory_order_acquire);
+  Out.set("enabled", json::Value(SS != nullptr));
+  Out.set("traces", json::Value::array());
+  if (!SS)
+    return Out;
+
+  const uint64_t Epoch = repro::traceEpochNanos();
+  SpanStore::Stats St = SS->stats();
+  json::Value SV = json::Value::object();
+  SV.set("started", json::Value(St.Started));
+  SV.set("finished", json::Value(St.Finished));
+  SV.set("retained", json::Value(St.Retained));
+  SV.set("retained_dropped", json::Value(St.RetainedDropped));
+  SV.set("active_overflow", json::Value(St.ActiveOverflow));
+  SV.set("head_sampled", json::Value(St.HeadSampled));
+  SV.set("tail_kept", json::Value(St.TailKept));
+  Out.set("stats", std::move(SV));
+  Out.set("head_sample_rate", json::Value(SS->config().HeadSampleRate));
+  Out.set("slow_threshold_micros", json::Value(SS->slowThresholdMicros()));
+
+  json::Value Traces = json::Value::array();
+  for (const TraceRecord &T : SS->retained()) {
+    json::Value TV = json::Value::object();
+    // Exporters join on the wire-visible id: the client's trace id when a
+    // traceparent was adopted, the locally allocated one otherwise.
+    TV.set("trace_id", json::Value(T.HasRemote
+                                       ? hex32(T.RemoteTraceHi, T.RemoteTraceLo)
+                                       : hex32(T.TraceHi, T.TraceLo)));
+    TV.set("local_trace_id", json::Value(hex32(T.TraceHi, T.TraceLo)));
+    if (T.HasRemote)
+      TV.set("remote_parent_span_id",
+             json::Value(hex16(T.RemoteParentSpanId)));
+    TV.set("root_span_id", json::Value(hex16(T.RootSpanId)));
+    TV.set("flags", json::Value(static_cast<uint64_t>(T.Flags)));
+    TV.set("flag_names", traceFlagNames(T.Flags));
+    TV.set("start_micros", json::Value(epochMicros(T.StartNanos, Epoch)));
+    TV.set("duration_micros",
+           json::Value(T.EndNanos > T.StartNanos
+                           ? static_cast<double>(T.EndNanos - T.StartNanos) /
+                                 1000.0
+                           : 0.0));
+    TV.set("spans_dropped", json::Value(T.SpansDropped));
+    json::Value Spans = json::Value::array();
+    for (const SpanRecord &S : T.Spans) {
+      json::Value SpanV = json::Value::object();
+      SpanV.set("span_id", json::Value(hex16(S.SpanId)));
+      SpanV.set("parent_span_id",
+                json::Value(S.ParentSpanId ? hex16(S.ParentSpanId)
+                                           : std::string()));
+      SpanV.set("name", json::Value(S.Name));
+      SpanV.set("level", json::Value(static_cast<uint64_t>(S.Level)));
+      SpanV.set("start_micros", json::Value(epochMicros(S.StartNanos, Epoch)));
+      SpanV.set("duration_micros",
+                json::Value(S.EndNanos > S.StartNanos
+                                ? static_cast<double>(S.EndNanos -
+                                                      S.StartNanos) /
+                                      1000.0
+                                : 0.0));
+      if (S.TaskRingId)
+        SpanV.set("ring_id", json::Value(static_cast<uint64_t>(S.TaskRingId)));
+      if (!S.Events.empty()) {
+        json::Value Events = json::Value::array();
+        for (const SpanEvent &E : S.Events) {
+          json::Value EV = json::Value::object();
+          EV.set("kind", json::Value(spanEventKindName(E.Kind)));
+          EV.set("time_micros", json::Value(epochMicros(E.TimeNanos, Epoch)));
+          EV.set("arg0", json::Value(static_cast<uint64_t>(E.Arg0)));
+          EV.set("arg1", json::Value(static_cast<uint64_t>(E.Arg1)));
+          Events.push(std::move(EV));
+        }
+        SpanV.set("events", std::move(Events));
+      }
+      Spans.push(std::move(SpanV));
+    }
+    TV.set("spans", std::move(Spans));
+    Traces.push(std::move(TV));
+  }
+  Out.set("traces", std::move(Traces));
+  return Out;
+}
+
+std::string Telemetry::spanOverlay(uint64_t CutoffNanos) const {
+  SpanStore *SS = Spans.load(std::memory_order_acquire);
+  if (!SS)
+    return std::string();
+  const uint64_t Epoch = repro::traceEpochNanos();
+  std::string Out;
+  uint64_t Row = 0;
+  for (const TraceRecord &T : SS->retained()) {
+    ++Row;
+    if (T.EndNanos < CutoffNanos)
+      continue;
+    // Each retained trace gets its own display row (tid) far above any
+    // real thread id, named after the wire-visible trace id.
+    uint64_t Tid = 1000000 + Row;
+    std::string Id = T.HasRemote ? hex32(T.RemoteTraceHi, T.RemoteTraceLo)
+                                 : hex32(T.TraceHi, T.TraceLo);
+    if (!Out.empty())
+      Out += ",\n";
+    Out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":" +
+           std::to_string(Tid) + ",\"args\":{\"name\":\"trace " + Id + "\"}}";
+    for (const SpanRecord &S : T.Spans) {
+      double Ts = epochMicros(S.StartNanos, Epoch);
+      double Dur = S.EndNanos > S.StartNanos
+                       ? static_cast<double>(S.EndNanos - S.StartNanos) /
+                             1000.0
+                       : 0.0;
+      std::ostringstream E;
+      E << ",\n{\"name\":\"" << S.Name << "\",\"ph\":\"X\",\"ts\":" << Ts
+        << ",\"dur\":" << Dur << ",\"pid\":1,\"tid\":" << Tid
+        << ",\"args\":{\"trace\":\"" << Id << "\",\"span\":\""
+        << hex16(S.SpanId) << "\",\"parent\":\"" << hex16(S.ParentSpanId)
+        << "\",\"level\":" << static_cast<unsigned>(S.Level) << "}}";
+      Out += E.str();
+    }
+  }
+  return Out;
+}
+
 std::string Telemetry::traceSlice(uint64_t Millis) const {
   uint64_t Now = repro::nowNanos();
   uint64_t Cutoff = Millis * 1000000 <= Now ? Now - Millis * 1000000 : 0;
@@ -548,7 +729,10 @@ std::string Telemetry::traceSlice(uint64_t Millis) const {
     T.Events.erase(T.Events.begin(), It);
   }
   std::ostringstream OS;
-  trace::writeChromeTrace(OS, Threads);
+  // Retained request spans ride the same export (and the same epoch), so
+  // one Chrome-trace load shows scheduler slices and request spans on a
+  // shared clock.
+  trace::writeChromeTrace(OS, Threads, spanOverlay(Cutoff));
   return OS.str();
 }
 

@@ -54,6 +54,7 @@
 namespace repro::icilk {
 
 class Io;
+class SpanStore;
 
 struct TelemetryConfig {
   /// TCP port to serve on; 0 asks the kernel for an ephemeral port (read
@@ -101,6 +102,13 @@ public:
   /// all). Thread-safe.
   void trackIo(const Io *Backend);
 
+  /// Registers a request-tracing span store: /spans.json starts serving
+  /// its retained traces, /trace overlays them on the scheduler slice,
+  /// and the sampler feeds the store's slow-trace threshold from the
+  /// windowed per-level p99. \p Store must outlive this object (nullptr
+  /// detaches). Thread-safe.
+  void trackSpans(SpanStore *Store);
+
   /// The actually-bound port (resolves Port=0); 0 before start().
   uint16_t port() const { return Server.port(); }
 
@@ -108,6 +116,7 @@ public:
   std::string renderPrometheus() const;
   json::Value snapshotJson() const;
   json::Value latencyJson() const;
+  json::Value spansJson() const;
   std::string traceSlice(uint64_t Millis) const;
 
   /// Prometheus text-format helpers (exposed for tests).
@@ -118,6 +127,9 @@ public:
 private:
   void samplerLoop();
   void harvestLatencies();
+  /// Pre-rendered Chrome-trace events for retained request spans ending
+  /// at or after \p CutoffNanos (the /trace overlay).
+  std::string spanOverlay(uint64_t CutoffNanos) const;
 
   Runtime &Rt;
   TelemetryConfig Config;
@@ -132,6 +144,9 @@ private:
   /// — registration and the render path may race.
   mutable std::mutex IoMutex;
   std::vector<const Io *> IoBackends;
+
+  /// Request-tracing store surfaced at /spans.json (see trackSpans).
+  std::atomic<SpanStore *> Spans{nullptr};
 
   std::thread Sampler;
   std::mutex SamplerMutex;

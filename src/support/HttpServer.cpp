@@ -3,6 +3,7 @@
 #include "support/HttpServer.h"
 
 #include <arpa/inet.h>
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -91,6 +92,35 @@ bool parseRequestLine(std::string_view Line, Request &R) {
   return true;
 }
 
+/// Parses the header block after the request line into \p Out, keys
+/// lowercased, values trimmed. Malformed lines (no colon) are skipped —
+/// the routes this server exposes never depend on them.
+void parseHeaders(std::string_view Block,
+                  std::map<std::string, std::string> &Out) {
+  while (!Block.empty()) {
+    std::size_t Eol = Block.find('\n');
+    std::string_view Line =
+        Block.substr(0, Eol == std::string_view::npos ? Block.size() : Eol);
+    Block.remove_prefix(Eol == std::string_view::npos ? Block.size() : Eol + 1);
+    if (!Line.empty() && Line.back() == '\r')
+      Line.remove_suffix(1);
+    if (Line.empty())
+      break; // blank line = end of headers
+    std::size_t Colon = Line.find(':');
+    if (Colon == std::string_view::npos || Colon == 0)
+      continue;
+    std::string Key(Line.substr(0, Colon));
+    for (char &C : Key)
+      C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    std::string_view Val = Line.substr(Colon + 1);
+    while (!Val.empty() && (Val.front() == ' ' || Val.front() == '\t'))
+      Val.remove_prefix(1);
+    while (!Val.empty() && (Val.back() == ' ' || Val.back() == '\t'))
+      Val.remove_suffix(1);
+    Out[std::move(Key)] = std::string(Val);
+  }
+}
+
 void writeAll(int Fd, const std::string &Data) {
   std::size_t Off = 0;
   while (Off < Data.size()) {
@@ -131,6 +161,11 @@ int64_t Request::queryInt(const std::string &Key, int64_t Default) const {
   if (errno != 0 || End == It->second.c_str() || *End != '\0')
     return Default;
   return static_cast<int64_t>(V);
+}
+
+std::string Request::header(const std::string &Key) const {
+  auto It = Headers.find(Key);
+  return It == Headers.end() ? std::string() : It->second;
 }
 
 const char *statusReason(int Status) {
@@ -248,6 +283,8 @@ void HttpServer::handleConnection(int Fd) {
                                                 ? Eol - 1
                                                 : Eol);
   Request Req;
+  if (Eol != std::string::npos)
+    parseHeaders(std::string_view(Buf).substr(Eol + 1), Req.Headers);
   if (Line.empty() || !parseRequestLine(Line, Req)) {
     writeAll(Fd, serialize({400, "text/plain; charset=utf-8",
                             "malformed request\n"}));

@@ -39,10 +39,15 @@ struct Request {
   std::string Method;                         ///< "GET"
   std::string Path;                           ///< target before '?'
   std::map<std::string, std::string> Query;   ///< decoded query parameters
+  std::map<std::string, std::string> Headers; ///< keys lowercased
 
   /// Query parameter \p Key as an integer, or \p Default when absent or
   /// non-numeric.
   int64_t queryInt(const std::string &Key, int64_t Default) const;
+
+  /// Header \p Key (lowercase), or "" when absent. Values are trimmed of
+  /// surrounding whitespace but otherwise verbatim.
+  std::string header(const std::string &Key) const;
 };
 
 /// A response to serialize: status line + Content-Type + body.

@@ -13,6 +13,12 @@ uint64_t nowNanos() {
 
 uint64_t nowMicros() { return nowNanos() / 1000; }
 
+uint64_t traceEpochNanos() {
+  // Magic-static: latched once, thread-safe, constant for process life.
+  static const uint64_t Epoch = nowNanos();
+  return Epoch;
+}
+
 void spinFor(uint64_t Micros) {
   uint64_t Deadline = nowNanos() + Micros * 1000;
   // Volatile sink keeps the loop from being optimized away.

@@ -19,6 +19,14 @@ uint64_t nowNanos();
 /// Monotonic timestamp in microseconds.
 uint64_t nowMicros();
 
+/// The process-wide export epoch: a nowNanos() value latched on the first
+/// call and constant afterwards. Every timeline exporter (the event ring's
+/// Chrome trace, the execution-trace recorder, span JSON) subtracts THIS
+/// zero rather than a per-export minimum, so separately exported timelines
+/// of one run align without skew fudging. Producers latch it at or before
+/// their first timestamp, so exported times never go negative.
+uint64_t traceEpochNanos();
+
 /// Busy-spins for approximately \p Micros microseconds of CPU work; used by
 /// synthetic workloads where sleep() would free the core and distort the
 /// scheduler measurements.

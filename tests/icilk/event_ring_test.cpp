@@ -14,6 +14,7 @@
 #include "icilk/Context.h"
 #include "icilk/EventRing.h"
 #include "support/Json.h"
+#include "support/Timer.h"
 
 #include <gtest/gtest.h>
 
@@ -180,17 +181,22 @@ TEST(EventRingTest, ConcurrentEmitWithConcurrentExport) {
 }
 
 TEST(EventRingTest, ChromeTraceJsonSchema) {
-  // Hand-built snapshot: one instant, one span, known timestamps.
+  // Hand-built snapshot: one instant, one span, known offsets from the
+  // process-wide trace epoch (the writer exports epoch-relative times so
+  // scheduler slices and request spans share one clock).
+  const uint64_t Epoch = repro::traceEpochNanos();
   std::vector<ThreadTrace> Threads(1);
   Threads[0].Tid = 3;
   Threads[0].Name = "worker 3";
   Threads[0].Events.push_back(
-      {/*TimeNanos=*/1000, /*Arg=*/1, /*Arg2=*/0, EventKind::Spawn, 0});
-  Threads[0].Events.push_back(
-      {/*TimeNanos=*/5000, /*Arg=*/1, /*Arg2=*/3000, EventKind::RunSlice, 0});
+      {/*TimeNanos=*/Epoch + 1000, /*Arg=*/1, /*Arg2=*/0, EventKind::Spawn, 0});
+  Threads[0].Events.push_back({/*TimeNanos=*/Epoch + 5000, /*Arg=*/1,
+                               /*Arg2=*/3000, EventKind::RunSlice, 0});
 
   std::ostringstream OS;
-  writeChromeTrace(OS, Threads);
+  writeChromeTrace(OS, Threads,
+                   "{\"name\":\"request\",\"ph\":\"X\",\"ts\":0,\"dur\":1,"
+                   "\"pid\":1,\"tid\":9000}");
   std::string Err;
   auto V = json::parse(OS.str(), &Err);
   ASSERT_TRUE(V.has_value()) << Err;
@@ -199,13 +205,18 @@ TEST(EventRingTest, ChromeTraceJsonSchema) {
   ASSERT_NE(Events, nullptr);
   ASSERT_TRUE(Events->isArray());
 
-  const json::Value *Meta = nullptr, *Instant = nullptr, *Span = nullptr;
+  const json::Value *Meta = nullptr, *Instant = nullptr, *Span = nullptr,
+                    *Extra = nullptr;
   for (const json::Value &E : Events->elements()) {
     ASSERT_TRUE(E.isObject());
     // Required Chrome-trace fields on every record.
     for (const char *Key : {"name", "ph", "ts", "pid", "tid"})
       ASSERT_TRUE(E.contains(Key)) << "missing " << Key;
     EXPECT_EQ(E.find("pid")->asNumber(), 1.0);
+    if (E.find("tid")->asNumber() == 9000.0) {
+      Extra = &E;
+      continue;
+    }
     const std::string &Ph = E.find("ph")->asString();
     if (Ph == "M")
       Meta = &E;
@@ -221,14 +232,20 @@ TEST(EventRingTest, ChromeTraceJsonSchema) {
   ASSERT_NE(Instant, nullptr);
   EXPECT_EQ(Instant->find("name")->asString(), "spawn");
   EXPECT_EQ(Instant->find("tid")->asNumber(), 3.0);
-  EXPECT_EQ(Instant->find("ts")->asNumber(), 0.0); // epoch-relative
+  EXPECT_EQ(Instant->find("ts")->asNumber(), 1.0); // 1000 ns after epoch
 
   ASSERT_NE(Span, nullptr);
   EXPECT_EQ(Span->find("name")->asString(), "run");
   ASSERT_TRUE(Span->contains("dur"));
   EXPECT_EQ(Span->find("dur")->asNumber(), 3.0); // 3000 ns
-  // Span start = end (4 us after epoch) minus duration.
-  EXPECT_EQ(Span->find("ts")->asNumber(), 1.0);
+  // Span start = end (5 us after epoch) minus duration.
+  EXPECT_EQ(Span->find("ts")->asNumber(), 2.0);
+
+  // Pre-rendered extra events (the telemetry span overlay) are spliced
+  // into the same traceEvents array verbatim.
+  ASSERT_NE(Extra, nullptr);
+  EXPECT_EQ(Extra->find("name")->asString(), "request");
+  EXPECT_EQ(Extra->find("ph")->asString(), "X");
 }
 
 } // namespace

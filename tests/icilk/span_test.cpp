@@ -1,0 +1,360 @@
+//===- tests/icilk/span_test.cpp - Request tracing: identity + store --------===//
+//
+// Covers the identity layer (W3C traceparent parsing/emission, the
+// active-span scope) and the SpanStore's recording and tail-based
+// retention policy, including span-id uniqueness under concurrent
+// request loops — the suite scripts/check.sh runs under TSan and ASan.
+//
+//===----------------------------------------------------------------------===//
+
+#include "icilk/SpanStore.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace repro::icilk {
+namespace {
+
+//===----------------------------------------------------------------------===//
+// traceparent wire format
+//===----------------------------------------------------------------------===//
+
+TEST(TraceparentTest, ParsesWellFormedHeader) {
+  auto C = parseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01");
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(C->TraceHi, 0x4bf92f3577b34da6ULL);
+  EXPECT_EQ(C->TraceLo, 0xa3ce929d0e0e4736ULL);
+  EXPECT_EQ(C->SpanId, 0x00f067aa0ba902b7ULL);
+  EXPECT_TRUE(C->sampled());
+}
+
+TEST(TraceparentTest, ZeroFlagPropagatesAsNotSampled) {
+  auto C = parseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00");
+  ASSERT_TRUE(C.has_value());
+  EXPECT_FALSE(C->sampled());
+  // ...and survives a round trip through the emitter unchanged.
+  EXPECT_EQ(traceparentValue(*C),
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00");
+}
+
+TEST(TraceparentTest, RejectsMalformedHeaders) {
+  // Wrong version.
+  EXPECT_FALSE(parseTraceparent(
+      "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"));
+  EXPECT_FALSE(parseTraceparent(
+      "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"));
+  // Short / long fields.
+  EXPECT_FALSE(parseTraceparent("00-4bf92f35-00f067aa0ba902b7-01"));
+  EXPECT_FALSE(parseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa-01"));
+  EXPECT_FALSE(parseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e47360-00f067aa0ba902b7-01"));
+  EXPECT_FALSE(parseTraceparent(""));
+  // Non-hex digits (the wire form is lowercase; uppercase is rejected).
+  EXPECT_FALSE(parseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e473X-00f067aa0ba902b7-01"));
+  EXPECT_FALSE(parseTraceparent(
+      "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01"));
+  // All-zero trace or span id.
+  EXPECT_FALSE(parseTraceparent(
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01"));
+  EXPECT_FALSE(parseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01"));
+  // Misplaced separators.
+  EXPECT_FALSE(parseTraceparent(
+      "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"));
+  EXPECT_FALSE(parseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7-01"));
+}
+
+TEST(TraceparentTest, EmitsCanonicalLowercaseForm) {
+  SpanContext C;
+  C.TraceHi = 0x0123456789abcdefULL;
+  C.TraceLo = 0xfedcba9876543210ULL;
+  C.SpanId = 0x00000000000000abULL;
+  C.Flags = 1;
+  std::string V = traceparentValue(C);
+  EXPECT_EQ(V, "00-0123456789abcdeffedcba9876543210-00000000000000ab-01");
+  // The emitted form must parse back to the same context.
+  auto Back = parseTraceparent(V);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->TraceHi, C.TraceHi);
+  EXPECT_EQ(Back->TraceLo, C.TraceLo);
+  EXPECT_EQ(Back->SpanId, C.SpanId);
+}
+
+//===----------------------------------------------------------------------===//
+// Active-span scope (off-task: the thread_local path)
+//===----------------------------------------------------------------------===//
+
+TEST(SpanScopeTest, ScopeSetsAndRestores) {
+  EXPECT_FALSE(span::current().valid());
+  SpanContext A;
+  A.TraceHi = 1;
+  A.TraceLo = 2;
+  A.SpanId = 3;
+  {
+    span::Scope S(A);
+    EXPECT_EQ(span::current().SpanId, 3u);
+    SpanContext B = A;
+    B.SpanId = 4;
+    {
+      span::Scope Inner(B);
+      EXPECT_EQ(span::current().SpanId, 4u);
+    }
+    EXPECT_EQ(span::current().SpanId, 3u);
+  }
+  EXPECT_FALSE(span::current().valid());
+}
+
+//===----------------------------------------------------------------------===//
+// SpanStore recording + retention
+//===----------------------------------------------------------------------===//
+
+SpanStoreConfig keepAll() {
+  SpanStoreConfig C;
+  C.HeadSampleRate = 1.0;
+  return C;
+}
+
+SpanStoreConfig keepNone() {
+  SpanStoreConfig C;
+  C.HeadSampleRate = 0.0;
+  return C;
+}
+
+TEST(SpanStoreTest, RecordsNestedSpansAndEvents) {
+  SpanStore Store(keepAll());
+  SpanContext Root = Store.startTrace("request", 3);
+  ASSERT_TRUE(Root.valid());
+  SpanContext Child = Store.startSpan(Root, "handler", 2);
+  ASSERT_TRUE(Child.valid());
+  EXPECT_EQ(Child.TraceLo, Root.TraceLo);
+  EXPECT_NE(Child.SpanId, Root.SpanId);
+  Store.addEvent(Child, SpanEventKind::Admit, 3, 2);
+  Store.endSpan(Child);
+  Store.finishTrace(Root);
+
+  auto Traces = Store.retained();
+  ASSERT_EQ(Traces.size(), 1u);
+  const TraceRecord &T = Traces[0];
+  EXPECT_EQ(T.RootSpanId, Root.SpanId);
+  ASSERT_EQ(T.Spans.size(), 2u);
+  EXPECT_EQ(T.Spans[0].Name, "request");
+  EXPECT_EQ(T.Spans[0].ParentSpanId, 0u);
+  EXPECT_EQ(T.Spans[1].Name, "handler");
+  EXPECT_EQ(T.Spans[1].ParentSpanId, Root.SpanId);
+  ASSERT_EQ(T.Spans[1].Events.size(), 1u);
+  EXPECT_EQ(T.Spans[1].Events[0].Kind, SpanEventKind::Admit);
+  EXPECT_EQ(T.Spans[1].Events[0].Arg0, 3u);
+  EXPECT_EQ(T.Spans[1].Events[0].Arg1, 2u);
+  // Both spans must be closed, child within parent.
+  EXPECT_GE(T.Spans[1].StartNanos, T.Spans[0].StartNanos);
+  EXPECT_NE(T.Spans[0].EndNanos, 0u);
+  EXPECT_NE(T.Spans[1].EndNanos, 0u);
+  EXPECT_LE(T.Spans[1].EndNanos, T.Spans[0].EndNanos);
+}
+
+TEST(SpanStoreTest, HeadSampleZeroDropsUnflaggedTraces) {
+  SpanStore Store(keepNone());
+  for (int I = 0; I < 20; ++I) {
+    SpanContext Root = Store.startTrace("request", 0);
+    Store.finishTrace(Root);
+  }
+  EXPECT_EQ(Store.retained().size(), 0u);
+  SpanStore::Stats S = Store.stats();
+  EXPECT_EQ(S.Started, 20u);
+  EXPECT_EQ(S.Finished, 20u);
+  EXPECT_EQ(S.TailKept, 0u);
+}
+
+TEST(SpanStoreTest, TailRetentionKeepsBadOutcomesDespiteZeroHeadRate) {
+  SpanStore Store(keepNone());
+  for (uint32_t Flag :
+       {TfShed, TfDegraded, TfDeadlineExpired, TfError}) {
+    SpanContext Root = Store.startTrace("request", 0);
+    Store.noteFlags(Root, Flag);
+    Store.finishTrace(Root);
+  }
+  auto Traces = Store.retained();
+  ASSERT_EQ(Traces.size(), 4u);
+  EXPECT_TRUE(Traces[0].Flags & TfShed);
+  EXPECT_TRUE(Traces[1].Flags & TfDegraded);
+  EXPECT_TRUE(Traces[2].Flags & TfDeadlineExpired);
+  EXPECT_TRUE(Traces[3].Flags & TfError);
+  EXPECT_EQ(Store.stats().TailKept, 4u);
+}
+
+TEST(SpanStoreTest, SlowThresholdRetainsLongTraces) {
+  SpanStore Store(keepNone());
+  Store.setSlowThresholdMicros(1.0); // anything over 1 us is "slow"
+  SpanContext Root = Store.startTrace("request", 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  Store.finishTrace(Root);
+  auto Traces = Store.retained();
+  ASSERT_EQ(Traces.size(), 1u);
+  EXPECT_TRUE(Traces[0].Flags & TfSlow);
+}
+
+TEST(SpanStoreTest, AdoptRemoteForcesRetentionAndRidesAlongside) {
+  SpanStore Store(keepNone());
+  SpanContext Root = Store.startTrace("request", 3);
+  auto Remote = parseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01");
+  ASSERT_TRUE(Remote.has_value());
+  Store.adoptRemote(Root, *Remote);
+  // The outbound traceparent must carry the REMOTE trace id and the
+  // sampled flag, but a fresh local span id.
+  std::string Out = Store.traceparentFor(Root);
+  EXPECT_EQ(Out.substr(0, 36), "00-4bf92f3577b34da6a3ce929d0e0e4736-");
+  EXPECT_EQ(Out.substr(53), "01");
+  Store.finishTrace(Root);
+  auto Traces = Store.retained();
+  ASSERT_EQ(Traces.size(), 1u); // sampled=01 forces retention
+  EXPECT_TRUE(Traces[0].HasRemote);
+  EXPECT_EQ(Traces[0].RemoteTraceHi, 0x4bf92f3577b34da6ULL);
+  EXPECT_EQ(Traces[0].RemoteParentSpanId, 0x00f067aa0ba902b7ULL);
+  EXPECT_TRUE(Traces[0].Flags & TfRemoteSampled);
+}
+
+TEST(SpanStoreTest, UnsampledRemoteDoesNotForceRetention) {
+  SpanStore Store(keepNone());
+  SpanContext Root = Store.startTrace("request", 3);
+  auto Remote = parseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00");
+  ASSERT_TRUE(Remote.has_value());
+  Store.adoptRemote(Root, *Remote);
+  // Outbound flags mirror "not sampled".
+  EXPECT_EQ(Store.traceparentFor(Root).substr(53), "00");
+  Store.finishTrace(Root);
+  EXPECT_EQ(Store.retained().size(), 0u);
+}
+
+TEST(SpanStoreTest, RetainedRingEvictsOldestAndCounts) {
+  SpanStoreConfig Cfg = keepAll();
+  Cfg.MaxRetainedTraces = 4;
+  SpanStore Store(Cfg);
+  std::vector<uint64_t> Ids;
+  for (int I = 0; I < 10; ++I) {
+    SpanContext Root = Store.startTrace("request", 0);
+    Ids.push_back(Root.TraceLo);
+    Store.finishTrace(Root);
+  }
+  auto Traces = Store.retained();
+  ASSERT_EQ(Traces.size(), 4u);
+  // Oldest-first export of the newest four.
+  for (std::size_t I = 0; I < 4; ++I)
+    EXPECT_EQ(Traces[I].TraceLo, Ids[6 + I]);
+  EXPECT_EQ(Store.stats().RetainedDropped, 6u);
+}
+
+TEST(SpanStoreTest, SpanCapDropsAndCounts) {
+  SpanStoreConfig Cfg = keepAll();
+  Cfg.MaxSpansPerTrace = 3; // root + 2 children
+  SpanStore Store(Cfg);
+  SpanContext Root = Store.startTrace("request", 0);
+  for (int I = 0; I < 5; ++I) {
+    SpanContext C = Store.startSpan(Root, "child", 0);
+    EXPECT_TRUE(C.valid()) << "propagation must survive the cap";
+    Store.endSpan(C);
+  }
+  Store.finishTrace(Root);
+  auto Traces = Store.retained();
+  ASSERT_EQ(Traces.size(), 1u);
+  EXPECT_EQ(Traces[0].Spans.size(), 3u);
+  EXPECT_EQ(Traces[0].SpansDropped, 3u);
+}
+
+TEST(SpanStoreTest, FinishClosesOpenSpans) {
+  SpanStore Store(keepAll());
+  SpanContext Root = Store.startTrace("request", 0);
+  SpanContext Never = Store.startSpan(Root, "admission", 0);
+  ASSERT_TRUE(Never.valid());
+  Store.finishTrace(Root); // "admission" never saw its endSpan
+  auto Traces = Store.retained();
+  ASSERT_EQ(Traces.size(), 1u);
+  for (const SpanRecord &S : Traces[0].Spans) {
+    EXPECT_NE(S.EndNanos, 0u) << S.Name << " left open in the export";
+    EXPECT_LE(S.EndNanos, Traces[0].EndNanos);
+  }
+}
+
+TEST(SpanStoreTest, OperationsOnUnknownContextsAreNoOps) {
+  SpanStore Store(keepAll());
+  SpanContext Bogus;
+  Bogus.TraceHi = 123;
+  Bogus.TraceLo = 456;
+  Bogus.SpanId = 789;
+  EXPECT_FALSE(Store.startSpan(Bogus, "x", 0).valid());
+  Store.endSpan(Bogus);
+  Store.addEvent(Bogus, SpanEventKind::Note, 0, 0);
+  Store.noteFlags(Bogus, TfError);
+  Store.finishTrace(Bogus);
+  EXPECT_EQ(Store.retained().size(), 0u);
+  EXPECT_FALSE(Store.startSpan(SpanContext{}, "x", 0).valid());
+  Store.finishTrace(SpanContext{});
+}
+
+TEST(SpanStoreTest, FinishTraceIsIdempotent) {
+  SpanStore Store(keepAll());
+  SpanContext Root = Store.startTrace("request", 0);
+  Store.finishTrace(Root);
+  Store.finishTrace(Root);
+  EXPECT_EQ(Store.retained().size(), 1u);
+  EXPECT_EQ(Store.stats().Finished, 1u);
+}
+
+TEST(SpanStoreTest, SpanIdsUniqueUnderConcurrentRequestLoops) {
+  // Concurrent request loops: each thread runs whole small traces. Every
+  // span id handed out anywhere must be process-unique (per-thread id
+  // blocks carved from one global counter) and every trace id
+  // store-unique. TSan/ASan run this via scripts/check.sh.
+  SpanStore Store(keepAll());
+  constexpr int NumThreads = 8;
+  constexpr int TracesPerThread = 200;
+  std::vector<std::vector<uint64_t>> SpanIds(NumThreads);
+  std::vector<std::vector<uint64_t>> TraceIds(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I < TracesPerThread; ++I) {
+        SpanContext Root = Store.startTrace("request", 0);
+        TraceIds[T].push_back(Root.TraceLo);
+        SpanIds[T].push_back(Root.SpanId);
+        for (int C = 0; C < 3; ++C) {
+          SpanContext Child = Store.startSpan(Root, "child", 0);
+          SpanIds[T].push_back(Child.SpanId);
+          Store.endSpan(Child);
+        }
+        Store.finishTrace(Root);
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  std::set<uint64_t> SeenSpans, SeenTraces;
+  std::size_t TotalSpans = 0, TotalTraces = 0;
+  for (int T = 0; T < NumThreads; ++T) {
+    for (uint64_t Id : SpanIds[T]) {
+      SeenSpans.insert(Id);
+      ++TotalSpans;
+    }
+    for (uint64_t Id : TraceIds[T]) {
+      SeenTraces.insert(Id);
+      ++TotalTraces;
+    }
+  }
+  EXPECT_EQ(SeenSpans.size(), TotalSpans) << "span ids must never collide";
+  EXPECT_EQ(SeenTraces.size(), TotalTraces) << "trace ids must never collide";
+  EXPECT_EQ(Store.stats().Finished,
+            static_cast<uint64_t>(NumThreads) * TracesPerThread);
+}
+
+} // namespace
+} // namespace repro::icilk

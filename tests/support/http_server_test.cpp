@@ -96,6 +96,25 @@ TEST_F(HttpServerTest, StopIsIdempotentAndJoins) {
   EXPECT_FALSE(get(Server.port(), "/hello").has_value());
 }
 
+TEST_F(HttpServerTest, RequestHeadersReachTheHandler) {
+  // Keys are lowercased, values trimmed; junk lines are skipped.
+  Server.route("/headers", [](const Request &Req) {
+    Response R;
+    R.Body = Req.header("x-request-id") + "|" + Req.header("traceparent") +
+             "|" + Req.header("absent");
+    return R;
+  });
+  std::string Reply = rawRequest(Server.port(),
+                                 "GET /headers HTTP/1.1\r\n"
+                                 "Host: x\r\n"
+                                 "X-Request-ID:   abc123\t\r\n"
+                                 "TRACEPARENT: 00-ab-cd-01\r\n"
+                                 "not-a-header-line\r\n"
+                                 ": empty-key\r\n"
+                                 "\r\n");
+  EXPECT_NE(Reply.find("abc123|00-ab-cd-01|"), std::string::npos) << Reply;
+}
+
 TEST(HttpResponseTest, StatusReasons) {
   EXPECT_STREQ(statusReason(200), "OK");
   EXPECT_STREQ(statusReason(404), "Not Found");
