@@ -13,6 +13,7 @@
 #include "conc/ConcurrentHashMap.h"
 #include "conc/MpmcQueue.h"
 #include "icilk/Context.h"
+#include "icilk/Health.h"
 #include "icilk/SpanStore.h"
 #include "lambda4i/Machine.h"
 #include "lambda4i/Parser.h"
@@ -128,6 +129,46 @@ void BM_SpanOverhead(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * Burst);
 }
 BENCHMARK(BM_SpanOverhead)->Arg(0)->Arg(1);
+
+// Health-plane overhead on the scheduling hot path. Arg 0: no watcher —
+// the workers still publish their seqlock status lines at every state
+// transition, so this measures the always-on publication cost against
+// BM_SpawnBurst/512's shape. Arg 1: the 97 Hz watcher thread running
+// with a SpanStore attached (1% head rate, one trace per iteration), so
+// worker status sampling, folded-profile aggregation, and the doctor all
+// run concurrently with the burst. The acceptance bar is Arg 1 within 3%
+// of Arg 0.
+void BM_HealthOverhead(benchmark::State &State) {
+  icilk::RuntimeConfig C;
+  C.NumWorkers = 4;
+  C.NumLevels = 1;
+  icilk::Runtime Rt(C);
+  std::unique_ptr<icilk::SpanStore> Store;
+  std::unique_ptr<icilk::Health> Plane;
+  if (State.range(0)) {
+    icilk::SpanStoreConfig SC;
+    SC.HeadSampleRate = 0.01;
+    Store = std::make_unique<icilk::SpanStore>(SC);
+    Rt.setSpans(Store.get());
+    Plane = std::make_unique<icilk::Health>(Rt);
+    Plane->trackSpans(Store.get());
+    Plane->start();
+  }
+  const int Burst = 512;
+  for (auto _ : State) {
+    icilk::SpanContext Root;
+    if (Store)
+      Root = Store->startTrace("request", 0);
+    icilk::span::Scope Sc(Root);
+    for (int I = 0; I < Burst; ++I)
+      icilk::fcreate<Lo>(Rt, [](icilk::Context<Lo> &) {});
+    Rt.drain();
+    if (Store)
+      Store->finishTrace(Root);
+  }
+  State.SetItemsProcessed(State.iterations() * Burst);
+}
+BENCHMARK(BM_HealthOverhead)->Arg(0)->Arg(1);
 
 // Wakeup latency of a parked runtime: both workers are asleep on the idle
 // event count when each submission arrives, so every iteration pays the

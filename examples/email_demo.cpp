@@ -7,6 +7,7 @@
 //
 // Usage: email_demo [--users=12] [--duration-ms=1500] [--baseline]
 //                   [--trace=FILE] [--metrics] [--telemetry-port=P]
+//                   [--slo=LEVEL:P99_US[:OBJECTIVE],...]
 //
 // --trace=FILE records the scheduler event ring for the whole run and
 // writes it as Chrome-trace JSON (open in https://ui.perfetto.dev).
@@ -49,6 +50,8 @@ int main(int Argc, char **Argv) {
   bool WantMetrics = Args.getBool("metrics");
   if (WantMetrics)
     Config.Metrics = &Metrics;
+
+  Config.Slos = parseSloList(Args.getString("slo", ""));
 
   Config.TelemetryPort = static_cast<int>(Args.getInt("telemetry-port", -1));
   if (Config.TelemetryPort >= 0) {

@@ -9,6 +9,8 @@
 //                       [--workers=2] [--baseline] [--trace=FILE]
 //                       [--metrics] [--profile=FILE]
 //                       [--inject-inversions=N] [--telemetry-port=P]
+//                       [--admission] [--tracing]
+//                       [--slo=LEVEL:P99_US[:OBJECTIVE],...]
 //
 // --trace=FILE records the scheduler event ring for the whole run and
 // writes it as Chrome-trace JSON — open the file in https://ui.perfetto.dev
@@ -27,9 +29,17 @@
 //
 // --telemetry-port=P serves live telemetry for the whole run:
 // `curl localhost:P/metrics` (Prometheus), /snapshot.json, /latency.json
-// (windowed per-level quantiles), and /trace?ms=500 (a Chrome-trace slice
-// of the last 500 ms; needs --trace or --profile so events are recorded).
-// P=0 picks a free port (printed at startup).
+// (windowed per-level quantiles), /trace?ms=500 (a Chrome-trace slice of
+// the last 500 ms; needs --trace or --profile so events are recorded),
+// plus the health plane: /health.json (doctor verdicts + SLO burn),
+// /profile.json + /profile.folded (wall-clock sampling profile) and
+// /healthz. P=0 picks a free port (printed at startup).
+//
+// --admission puts the closed-loop admission controller in front of the
+// job queue (shed/degrade under overload); --tracing turns on request
+// spans so /spans.json has traces and /metrics exemplars resolve;
+// --slo=LEVEL:P99_US[:OBJECTIVE] declares latency objectives for the SLO
+// burn-rate engine (repeatable, comma-separated).
 //
 //===----------------------------------------------------------------------===//
 
@@ -76,6 +86,14 @@ int main(int Argc, char **Argv) {
   bool WantMetrics = Args.getBool("metrics");
   if (WantMetrics)
     Config.Metrics = &Metrics;
+
+  if (Args.getBool("admission"))
+    Config.Admission.Enabled = true;
+  if (Args.getBool("tracing")) {
+    Config.Tracing.Enabled = true;
+    Config.Tracing.Config.MaxRetainedTraces = 1024;
+  }
+  Config.Slos = parseSloList(Args.getString("slo", ""));
 
   Config.TelemetryPort = static_cast<int>(Args.getInt("telemetry-port", -1));
   if (Config.TelemetryPort >= 0) {

@@ -9,19 +9,26 @@
 //
 // Flags: [--trace=FILE] records the scheduler event ring and writes it as
 // Chrome-trace JSON (open in https://ui.perfetto.dev); [--metrics] prints
-// the runtime's metrics-registry dump at the end.
+// the runtime's metrics-registry dump at the end; [--telemetry-port=P]
+// serves the live observability surface (/metrics, /health.json,
+// /profile.folded, ...) for the run, with
+// [--slo=LEVEL:P99_US[:OBJECTIVE],...] declaring latency objectives for
+// the health plane's SLO burn-rate engine.
 //
 //===----------------------------------------------------------------------===//
 
 #include "icilk/Context.h"
 #include "icilk/EventRing.h"
 #include "icilk/SimIo.h"
+#include "icilk/Telemetry.h"
 #include "support/ArgParse.h"
 #include "support/Metrics.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 using namespace repro::icilk;
 
@@ -42,6 +49,34 @@ int main(int Argc, char **Argv) {
   Config.NumLevels = 2; // one scheduler pool per priority level
   Runtime Rt(Config);
   SimIo Io{"io"};
+
+  // 0. (Optional) the live observability surface, health plane included:
+  //    curl /health.json for doctor verdicts, /profile.folded for a
+  //    flamegraph, /metrics for Prometheus counters with exemplars.
+  std::unique_ptr<Telemetry> Live;
+  if (int Port = static_cast<int>(Args.getInt("telemetry-port", -1));
+      Port >= 0) {
+    TelemetryConfig TC;
+    TC.Port = static_cast<uint16_t>(Port);
+    std::string Spec = Args.getString("slo", "");
+    for (std::size_t Pos = 0; Pos < Spec.size();) {
+      std::size_t End = std::min(Spec.find(',', Pos), Spec.size());
+      SloConfig S;
+      int Got = std::sscanf(Spec.substr(Pos, End - Pos).c_str(), "%d:%lf:%lf",
+                            &S.Level, &S.P99TargetMicros, &S.Objective);
+      if (Got >= 2 && S.Level >= 0 && S.P99TargetMicros > 0)
+        TC.Health.Slos.push_back(S);
+      Pos = End + 1;
+    }
+    Live = std::make_unique<Telemetry>(Rt, TC);
+    std::string Error;
+    if (Live->start(&Error))
+      std::printf("0. telemetry live on http://localhost:%u (try "
+                  "/health.json)\n",
+                  Live->port());
+    else
+      std::printf("0. telemetry disabled: %s\n", Error.c_str());
+  }
 
   // 1. A basic future: spawn at Interactive, join from outside.
   auto Answer = fcreate<Interactive>(
@@ -88,7 +123,16 @@ int main(int Argc, char **Argv) {
   std::printf("5. %zu Interactive tasks, mean response %.1f us\n", S.Count,
               S.Mean);
 
-  // 6. The observability surface, on request: --trace for the Perfetto
+  // 6. The health plane's verdict on the run (always on when telemetry
+  //    is; the watcher sampled every worker ~97 times a second).
+  if (Live) {
+    HealthReport HR = Live->health().report();
+    std::printf("6. health: status=%s, %zu verdicts, %llu watcher samples\n",
+                HR.Status.c_str(), HR.Verdicts.size(),
+                static_cast<unsigned long long>(HR.Samples));
+  }
+
+  // 7. The post-mortem surface, on request: --trace for the Perfetto
   //    timeline, --metrics for the counters behind Rt.snapshot().
   if (!TracePath.empty()) {
     trace::disable();
@@ -98,7 +142,7 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     trace::writeChromeTrace(Out);
-    std::printf("6. wrote scheduler trace to %s (open in "
+    std::printf("7. wrote scheduler trace to %s (open in "
                 "https://ui.perfetto.dev)\n",
                 TracePath.c_str());
   }

@@ -8,6 +8,7 @@
 //
 // Usage: realproxy_demo [--requests=200] [--port=0] [--admission]
 //                       [--telemetry-port=P] [--keep-alive-ms=0]
+//                       [--slo=LEVEL:P99_US[:OBJECTIVE],...]
 //                       [--tracing] [--rate=N] [--burst=B] [--trace-smoke]
 //
 // --port=P listens on a fixed port (default: ephemeral, printed).
@@ -227,6 +228,7 @@ int main(int Argc, char **Argv) {
   Config.OriginPort = Origin.port();
   Config.Metrics = &Metrics;
   Config.TelemetryPort = static_cast<int>(Args.getInt("telemetry-port", -1));
+  Config.Slos = parseSloList(Args.getString("slo", ""));
   Config.Admission.Enabled = Args.getBool("admission");
   // --tracing turns on the request-span plane (1% head sampling; shed/
   // slow/errored traces are tail-retained regardless). --rate/--burst

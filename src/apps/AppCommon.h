@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
@@ -89,6 +90,40 @@ inline void sampleAppMetrics(repro::MetricsRegistry *M, icilk::Runtime &Rt,
   M->setGauge(Prefix + ".utilization", Report.UtilizationApprox);
 }
 
+/// Parses a --slo flag value ("LEVEL:P99_US[:OBJECTIVE],...") into SLO
+/// configs for the health plane's burn-rate engine. Malformed entries are
+/// skipped with a warning rather than killing the run.
+inline std::vector<icilk::SloConfig> parseSloList(const std::string &Spec) {
+  std::vector<icilk::SloConfig> Out;
+  std::size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    std::size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Entry = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Entry.empty())
+      continue;
+    icilk::SloConfig S;
+    int Level = -1;
+    double Target = 0, Objective = 0.99;
+    int Fields = std::sscanf(Entry.c_str(), "%d:%lf:%lf", &Level, &Target,
+                             &Objective);
+    if (Fields < 2 || Level < 0 || Target <= 0 || Objective <= 0 ||
+        Objective >= 1) {
+      repro::log(LogLevel::Warn)
+          << "ignoring malformed --slo entry '" << Entry
+          << "' (want LEVEL:P99_US[:OBJECTIVE])";
+      continue;
+    }
+    S.Level = Level;
+    S.P99TargetMicros = Target;
+    S.Objective = Objective;
+    Out.push_back(S);
+  }
+  return Out;
+}
+
 /// RAII wiring of the live-telemetry surface (icilk/Telemetry.h) into an
 /// app run: started when the config asks for it (\p Port >= 0; 0 requests
 /// an ephemeral port), stopped when the run returns. The actually-bound
@@ -98,14 +133,17 @@ inline void sampleAppMetrics(repro::MetricsRegistry *M, icilk::Runtime &Rt,
 class TelemetryScope {
 public:
   /// \p TrackIo (optional): an I/O backend whose live counters /metrics
-  /// should expose with a backend="<prefix>" label.
+  /// should expose with a backend="<prefix>" label. \p Slos (optional):
+  /// latency objectives for the health plane's SLO burn-rate engine.
   TelemetryScope(icilk::Runtime &Rt, int Port, std::atomic<int> *PortOut,
                  repro::MetricsRegistry *Registry,
-                 const icilk::Io *TrackIo = nullptr) {
+                 const icilk::Io *TrackIo = nullptr,
+                 std::vector<icilk::SloConfig> Slos = {}) {
     if (Port < 0)
       return;
     icilk::TelemetryConfig TC;
     TC.Port = static_cast<uint16_t>(Port);
+    TC.Health.Slos = std::move(Slos);
     T = std::make_unique<icilk::Telemetry>(Rt, TC, Registry);
     if (TrackIo)
       T->trackIo(TrackIo);

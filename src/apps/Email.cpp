@@ -260,7 +260,7 @@ void handleRequest(EmailServer &S, Context<Prio> &Ctx, std::size_t User,
 EmailReport runEmail(const EmailConfig &Config) {
   EmailServer S(Config);
   TelemetryScope Telemetry(S.Rt, Config.TelemetryPort, Config.TelemetryPortOut,
-                           Config.Metrics, &S.Io);
+                           Config.Metrics, &S.Io, Config.Slos);
   repro::Rng DriverRng(Config.Seed);
 
   // Populate mailboxes (EmailMain would do this at startup).

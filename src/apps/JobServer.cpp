@@ -334,7 +334,8 @@ JobServerReport JobServerEngine::report(double WallMillis) {
 JobServerReport runJobServer(const JobServerConfig &Config) {
   JobServerEngine Engine(Config);
   TelemetryScope Telemetry(Engine.runtime(), Config.TelemetryPort,
-                           Config.TelemetryPortOut, Config.Metrics);
+                           Config.TelemetryPortOut, Config.Metrics,
+                           /*TrackIo=*/nullptr, Config.Slos);
   if (Telemetry.get() && Engine.spans())
     Telemetry.get()->trackSpans(Engine.spans());
   repro::Rng DriverRng(Config.Seed);

@@ -77,6 +77,9 @@ struct JobServerConfig {
   /// server is up (-1 if the bind failed); lets TelemetryPort=0 callers
   /// discover where to poll. Not owned.
   std::atomic<int> *TelemetryPortOut = nullptr;
+  /// Latency objectives for the health plane's SLO burn-rate engine
+  /// (served at /health.json when telemetry is on); empty = engine idle.
+  std::vector<icilk::SloConfig> Slos;
   /// When non-null, attached to the runtime for the whole run so the
   /// structural trace can be lifted/profiled afterwards (see
   /// icilk/Profiler.h). Not owned; must outlive the call.

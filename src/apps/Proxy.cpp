@@ -181,7 +181,7 @@ void statsLoop(ProxyServer &S, Context<ProxyStats> &Ctx) {
 ProxyReport runProxy(const ProxyConfig &Config) {
   ProxyServer S(Config);
   TelemetryScope Telemetry(S.Rt, Config.TelemetryPort, Config.TelemetryPortOut,
-                           Config.Metrics, &S.Io);
+                           Config.Metrics, &S.Io, Config.Slos);
   repro::Rng DriverRng(Config.Seed);
   repro::ZipfSampler Urls(Config.NumSites, Config.ZipfSkew);
 

@@ -621,7 +621,7 @@ bool RealProxy::start(std::string *Error) {
 
   S.Telemetry = std::make_unique<TelemetryScope>(
       S.Rt, S.Config.TelemetryPort, S.Config.TelemetryPortOut,
-      S.Config.Metrics, &S.Io);
+      S.Config.Metrics, &S.Io, S.Config.Slos);
   if (S.Spans && S.Telemetry->get())
     S.Telemetry->get()->trackSpans(S.Spans.get());
 

@@ -69,6 +69,9 @@ struct RealProxyConfig {
   int TelemetryPort = -1;
   /// Receives the actually-bound telemetry port (-1 = bind failed).
   std::atomic<int> *TelemetryPortOut = nullptr;
+  /// Latency objectives for the health plane's SLO burn-rate engine
+  /// (served at /health.json when telemetry is on); empty = engine idle.
+  std::vector<icilk::SloConfig> Slos;
   icilk::RuntimeConfig Rt{.NumWorkers = 4, .NumLevels = 4};
 };
 

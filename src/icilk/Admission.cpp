@@ -300,7 +300,8 @@ void AdmissionController::harvestWindows() {
 }
 
 void AdmissionController::adaptLocked(uint64_t InjectionDelta,
-                                      int64_t TotalPending) {
+                                      int64_t TotalPending,
+                                      uint64_t NowMicros) {
   // The protected level: the highest level currently seeing traffic. The
   // controller never clamps it — its responsiveness is what everything
   // below is sacrificed for.
@@ -328,7 +329,12 @@ void AdmissionController::adaptLocked(uint64_t InjectionDelta,
         Lv.RatePerSec =
             std::max(Config.MinRatePerSec, Anchor * Config.FirstClampFactor);
         Lv.Tokens = std::min(Lv.Tokens, Config.BurstTokens);
+        Lv.ClampedSinceMicros = NowMicros;
       } else {
+        if (Lv.ClampedSinceMicros == 0)
+          Lv.ClampedSinceMicros = NowMicros; // config-seeded rate tightened
+                                             // by the controller: the clamp
+                                             // episode starts now
         Lv.RatePerSec =
             std::max(Config.MinRatePerSec, Lv.RatePerSec * Config.Decrease);
       }
@@ -353,6 +359,7 @@ void AdmissionController::adaptLocked(uint64_t InjectionDelta,
                                        Config.MinRatePerSec))
       break;
     Lv.RatePerSec = Config.InitialRatePerSec;
+    Lv.ClampedSinceMicros = 0;
     --ClampDepth;
   }
 }
@@ -382,7 +389,7 @@ void AdmissionController::tick() {
                                : 0.0;
       L.ObservedOfferRate = 0.7 * L.ObservedOfferRate + 0.3 * TickRate;
     }
-    adaptLocked(InjectionDelta, S.totalPending());
+    adaptLocked(InjectionDelta, S.totalPending(), Now);
     // Reset only after adaptation: OfferedThisTick is one of its
     // top-level-detection signals.
     for (Level &L : Levels)
@@ -436,6 +443,7 @@ AdmissionSample AdmissionController::sampleAdmission() const {
   repro::LatencySummary QD = QueueDelay.summary();
   S.QueueDelayCount = QD.Count;
   S.QueueDelayP99Micros = QD.P99;
+  uint64_t Now = repro::nowMicros();
   std::lock_guard<std::mutex> Lock(Mutex);
   S.Levels.reserve(Levels.size());
   for (unsigned L = 0; L < Levels.size(); ++L) {
@@ -449,6 +457,11 @@ AdmissionSample AdmissionController::sampleAdmission() const {
     LS.Queued = static_cast<int64_t>(Lv.Queue.size());
     LS.RatePerSec = Lv.RatePerSec;
     LS.WindowP99Micros = WindowP99[L];
+    LS.ObservedOfferRatePerSec = Lv.ObservedOfferRate;
+    LS.ClampedForMicros =
+        Lv.ClampedSinceMicros > 0 && Now > Lv.ClampedSinceMicros
+            ? Now - Lv.ClampedSinceMicros
+            : 0;
     S.Shed += Lv.Rejected + Lv.TimedOut;
     if (Lv.RatePerSec > 0)
       ++S.ClampedLevels;

@@ -189,6 +189,9 @@ private:
     double RatePerSec = 0;        ///< 0 = unlimited
     double ObservedOfferRate = 0; ///< EMA of offers/sec; anchors the first
                                   ///< clamp and the unclamp condition
+    uint64_t ClampedSinceMicros = 0; ///< when the controller first clamped
+                                     ///< this level (0 = unclamped) — the
+                                     ///< doctor's clamp-duration input
     uint64_t OfferedThisTick = 0;
     uint64_t Offered = 0, Admitted = 0, Degraded = 0, Rejected = 0,
              TimedOut = 0;
@@ -203,8 +206,9 @@ private:
   void harvestWindows();
   /// Clamp/recover the per-level rates from the current symptoms.
   /// Caller holds Mutex; \p InjectionDelta and \p TotalPending were read
-  /// outside the lock.
-  void adaptLocked(uint64_t InjectionDelta, int64_t TotalPending);
+  /// outside the lock. \p NowMicros stamps clamp-start times.
+  void adaptLocked(uint64_t InjectionDelta, int64_t TotalPending,
+                   uint64_t NowMicros);
   /// Admits queued entries (highest level first) while tokens last;
   /// returns the submissions to run outside the lock.
   std::vector<Entry> drainLocked(uint64_t NowMicros);

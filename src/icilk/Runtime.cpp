@@ -5,6 +5,7 @@
 #include "conc/Backoff.h"
 #include "icilk/EventRing.h"
 #include "icilk/Task.h"
+#include "support/CpuTopology.h"
 #include "support/Logging.h"
 #include "support/Metrics.h"
 #include "support/Timer.h"
@@ -36,6 +37,72 @@ constexpr std::size_t TaskCacheCap = 32;
 constexpr unsigned MaxInjectionSpins = 64;
 
 } // namespace
+
+const char *workerStateName(WorkerState S) {
+  switch (S) {
+  case WorkerState::Stealing:
+    return "stealing";
+  case WorkerState::Running:
+    return "running";
+  case WorkerState::Parked:
+    return "parked";
+  case WorkerState::InIo:
+    return "in-io";
+  }
+  return "unknown";
+}
+
+void Runtime::publishStatus(Worker &W, WorkerState State, uint8_t Level,
+                            uint32_t RingId, uint64_t SpanLo,
+                            uint64_t NowNanos) {
+  Worker::StatusLine &L = W.Status;
+  // Single writer (the owning worker): odd Seq marks the write in
+  // progress, even publishes it. The release fences order the payload
+  // against both Seq transitions for the sampling reader.
+  uint32_t Seq = L.Seq.load(std::memory_order_relaxed);
+  L.Seq.store(Seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  L.State.store(static_cast<uint8_t>(State), std::memory_order_relaxed);
+  L.Level.store(Level, std::memory_order_relaxed);
+  L.TaskRingId.store(RingId, std::memory_order_relaxed);
+  L.SpanTraceLo.store(SpanLo, std::memory_order_relaxed);
+  L.SinceNanos.store(NowNanos, std::memory_order_relaxed);
+  L.Seq.store(Seq + 2, std::memory_order_release);
+}
+
+bool Runtime::sampleWorkerStatus(unsigned Index, WorkerStatus &Out) const {
+  if (Index >= Workers.size())
+    return false;
+  const Worker::StatusLine &L = Workers[Index]->Status;
+  for (;;) {
+    uint32_t S1 = L.Seq.load(std::memory_order_acquire);
+    if (S1 & 1)
+      continue; // mid-publish; the writer's critical section is tiny
+    Out.State = static_cast<WorkerState>(L.State.load(std::memory_order_relaxed));
+    Out.Level = L.Level.load(std::memory_order_relaxed);
+    Out.TaskRingId = L.TaskRingId.load(std::memory_order_relaxed);
+    Out.SpanTraceLo = L.SpanTraceLo.load(std::memory_order_relaxed);
+    Out.SinceNanos = L.SinceNanos.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (L.Seq.load(std::memory_order_relaxed) == S1)
+      return true;
+  }
+}
+
+void Runtime::noteSteal(Worker &Thief, const Worker &Victim) {
+  // The thief's position is read fresh (it is about to run the stolen
+  // task here anyway); the victim's is its last published one. Unknown
+  // cpus — pre-first-task victims, platforms without sched_getcpu —
+  // count as same-socket, so the cross-socket counter never overstates.
+  int ThiefCpu = repro::currentCpu();
+  Thief.LastCpu.store(ThiefCpu, std::memory_order_relaxed);
+  int VictimCpu = Victim.LastCpu.load(std::memory_order_relaxed);
+  if (ThiefCpu >= 0 && VictimCpu >= 0 &&
+      repro::cpuSocketOf(ThiefCpu) != repro::cpuSocketOf(VictimCpu))
+    StealsCrossSocketCount.fetch_add(1, std::memory_order_relaxed);
+  else
+    StealsSameSocketCount.fetch_add(1, std::memory_order_relaxed);
+}
 
 Runtime::Runtime(RuntimeConfig Cfg) : Config(Cfg) {
   assert(Config.NumWorkers >= 1 && Config.NumLevels >= 1);
@@ -238,6 +305,8 @@ Task *Runtime::findTaskAtLevel(unsigned QueueIdx, Worker *Self, bool PopSelf) {
     if (auto T = W->Deques[QueueIdx]->steal()) {
       trace::emit(trace::EventKind::Steal, static_cast<uint8_t>(QueueIdx),
                   (*T)->ringId(), V);
+      if (Self && W != Self)
+        noteSteal(*Self, *W);
       return *T;
     }
   }
@@ -247,6 +316,12 @@ Task *Runtime::findTaskAtLevel(unsigned QueueIdx, Worker *Self, bool PopSelf) {
 void Runtime::runTask(Task *T, Worker *Self) {
   Pending[T->level()].fetch_sub(1, std::memory_order_relaxed);
   uint64_t Begin = repro::nowNanos();
+  if (Self) {
+    Self->LastCpu.store(repro::currentCpu(), std::memory_order_relaxed);
+    publishStatus(*Self, WorkerState::Running,
+                  static_cast<uint8_t>(T->level()), T->ringId(),
+                  T->span().TraceLo, Begin);
+  }
   bool Finished =
       T->startOrResume(FiberStacks, Self ? &Self->StackCache : nullptr);
   uint64_t ElapsedNanos = repro::nowNanos() - Begin;
@@ -266,6 +341,13 @@ void Runtime::runTask(Task *T, Worker *Self) {
   if (!Finished) {
     // The task suspended on a future: park it there. If the future turned
     // ready while the context was being saved, requeue immediately.
+    // Publish the in-io status *before* handing the task to the future —
+    // after addWaiter another worker may resume (and recycle) it, so the
+    // fields must be read while the task is still exclusively ours.
+    if (Self)
+      publishStatus(*Self, WorkerState::InIo,
+                    static_cast<uint8_t>(T->level()), T->ringId(),
+                    T->span().TraceLo, Begin + ElapsedNanos);
     FutureStateBase *Awaited = T->waitingOn();
     assert(Awaited && "task neither finished nor suspended");
     T->clearWaitingOn();
@@ -273,6 +355,11 @@ void Runtime::runTask(Task *T, Worker *Self) {
       resumeTask(T);
     return;
   }
+  if (Self)
+    publishStatus(*Self, WorkerState::Stealing,
+                  static_cast<uint8_t>(
+                      Config.PriorityAware ? Self->AssignedLevel.load() : 0u),
+                  0, 0, Begin + ElapsedNanos);
 
   LevelStats &S = levelStats(T->level());
   unsigned Shard = Self ? Self->Index : 0;
@@ -310,6 +397,10 @@ void Runtime::workerLoop(unsigned Index) {
   conc::Backoff B;
   bool HadWork = true; // throttles steal-fail events to one per episode
   unsigned IdleScans = 0;
+  publishStatus(W, WorkerState::Stealing,
+                static_cast<uint8_t>(
+                    Config.PriorityAware ? W.AssignedLevel.load() : 0u),
+                0, 0, repro::nowNanos());
   while (!Stop.load(std::memory_order_acquire)) {
     unsigned Q = Config.PriorityAware ? W.AssignedLevel.load() : 0u;
     Task *T = findTaskAtLevel(Q, &W, /*PopSelf=*/true);
@@ -353,8 +444,12 @@ void Runtime::workerLoop(unsigned Index) {
       continue;
     }
     ParkedCount.fetch_add(1, std::memory_order_relaxed);
+    publishStatus(W, WorkerState::Parked, static_cast<uint8_t>(Q), 0, 0,
+                  repro::nowNanos());
     IdleEc.commitWait(Key);
     ParkedCount.fetch_sub(1, std::memory_order_relaxed);
+    publishStatus(W, WorkerState::Stealing, static_cast<uint8_t>(Q), 0, 0,
+                  repro::nowNanos());
     IdleScans = 0;
     B.reset();
   }
@@ -546,9 +641,15 @@ RuntimeSnapshot Runtime::snapshot() const {
   S.PoolStacksCreated = FiberStacks.created();
   S.PoolStacksReused = FiberStacks.reused();
   S.TasksRecycled = TasksRecycledCount.load(std::memory_order_relaxed);
+  S.StealsSameSocket = StealsSameSocketCount.load(std::memory_order_relaxed);
+  S.StealsCrossSocket = StealsCrossSocketCount.load(std::memory_order_relaxed);
   S.Pending.reserve(Config.NumLevels);
-  for (unsigned L = 0; L < Config.NumLevels; ++L)
+  S.InjectionOverflow.reserve(Config.NumLevels);
+  for (unsigned L = 0; L < Config.NumLevels; ++L) {
     S.Pending.push_back(Pending[L].load(std::memory_order_relaxed));
+    S.InjectionOverflow.push_back(
+        OverflowSize[L].load(std::memory_order_relaxed));
+  }
   S.Assigned = countAssignments();
   S.Desires = currentDesires();
   if (const AdmissionView *A = AdmissionStats.load(std::memory_order_acquire))
@@ -569,6 +670,8 @@ void Runtime::sampleMetrics(repro::MetricsRegistry &M,
   M.counter(Prefix + ".pool_stacks_created").set(S.PoolStacksCreated);
   M.counter(Prefix + ".pool_stacks_reused").set(S.PoolStacksReused);
   M.counter(Prefix + ".tasks_recycled").set(S.TasksRecycled);
+  M.counter(Prefix + ".steals_same_socket").set(S.StealsSameSocket);
+  M.counter(Prefix + ".steals_cross_socket").set(S.StealsCrossSocket);
   M.setGauge(Prefix + ".outstanding", static_cast<double>(S.Outstanding));
   M.setGauge(Prefix + ".workers_parked", static_cast<double>(S.WorkersParked));
 
@@ -590,6 +693,10 @@ void Runtime::sampleMetrics(repro::MetricsRegistry &M,
       M.counter(AP + ".timed_out").set(AL.TimedOut);
       M.setGauge(AP + ".queued", static_cast<double>(AL.Queued));
       M.setGauge(AP + ".rate_per_sec", AL.RatePerSec);
+      M.setGauge(AP + ".observed_offer_rate_per_sec",
+                 AL.ObservedOfferRatePerSec);
+      M.setGauge(AP + ".clamped_for_micros",
+                 static_cast<double>(AL.ClampedForMicros));
     }
   }
 

@@ -111,6 +111,30 @@ struct LevelStats {
   std::atomic<uint64_t> Completed{0};
 };
 
+/// What a worker is doing right now, as published in its seqlock-guarded
+/// status line and sampled by the health plane (icilk/Health.h).
+enum class WorkerState : uint8_t {
+  Stealing = 0, ///< scanning deques/rings for work (nothing running)
+  Running = 1,  ///< executing a task's fiber slice
+  Parked = 2,   ///< asleep on the idle event count
+  InIo = 3,     ///< last slice suspended on a future (typically I/O) and
+                ///< no new work has been found since — the worker is
+                ///< technically scanning, but its level is blocked
+};
+
+const char *workerStateName(WorkerState S);
+
+/// One sampled copy of a worker's published status line (see
+/// Runtime::sampleWorkerStatus). Task fields are meaningful for Running
+/// and InIo; Level is the task's level then, the assigned level otherwise.
+struct WorkerStatus {
+  WorkerState State = WorkerState::Stealing;
+  uint8_t Level = 0;
+  uint32_t TaskRingId = 0;  ///< event-ring id of the task (0 = none)
+  uint64_t SpanTraceLo = 0; ///< local trace id of the task's span (0 = none)
+  uint64_t SinceNanos = 0;  ///< when this state was entered (repro::nowNanos)
+};
+
 /// Per-priority-level admission counters, as sampled from an attached
 /// overload controller (icilk/Admission.h). All counters are cumulative
 /// since the controller started.
@@ -123,6 +147,11 @@ struct AdmissionLevelSample {
   int64_t Queued = 0;     ///< entries waiting in the admission queue now
   double RatePerSec = 0;  ///< live token-bucket rate (0 = unlimited)
   double WindowP99Micros = 0; ///< controller's windowed response p99 input
+  double ObservedOfferRatePerSec = 0; ///< EMA of offers/sec at this level
+  uint64_t ClampedForMicros = 0; ///< how long the controller has held this
+                                 ///< level's clamp (0 = not clamped by the
+                                 ///< controller) — the doctor's
+                                 ///< "clamped below offer rate" input
 };
 
 /// One sample of an attached admission controller's observable state;
@@ -171,6 +200,14 @@ struct RuntimeSnapshot {
   uint64_t PoolStacksCreated = 0;  ///< fiber stacks allocated fresh
   uint64_t PoolStacksReused = 0;   ///< fiber stacks served from free lists
   uint64_t TasksRecycled = 0;      ///< Task objects returned to the slab
+  uint64_t StealsSameSocket = 0;   ///< successful steals whose thief and
+                                   ///< victim last ran on the same socket
+                                   ///< (cpu→socket via /sys; unknown cpus
+                                   ///< count here, the honest fallback)
+  uint64_t StealsCrossSocket = 0;  ///< steals that crossed a socket
+  std::vector<int64_t> InjectionOverflow; ///< spill-list depth, per queue
+                                          ///< level (nonzero = a ring is
+                                          ///< past its watermark)
   std::vector<int64_t> Pending;    ///< queued (not running/suspended), per level
   std::vector<unsigned> Assigned;  ///< workers currently assigned, per level
   std::vector<double> Desires;     ///< master's current desire, per level
@@ -238,6 +275,12 @@ public:
   /// True when the calling thread is one of this runtime's workers.
   bool onWorkerThread() const;
 
+  /// Reads worker \p Index's published status line (seqlock-consistent:
+  /// the snapshot is retried while the worker is mid-publish). Returns
+  /// false only when \p Index is out of range. Safe from any thread; this
+  /// is the health watcher's 97 Hz sampling surface.
+  bool sampleWorkerStatus(unsigned Index, WorkerStatus &Out) const;
+
   /// Live-counter hooks, fed by the touch paths (Context.h): a blocking
   /// ftouch on a lower-priority future (a priority inversion at the moment
   /// it bites) and a deadline touch that timed out. Lock-free; snapshot()
@@ -303,6 +346,26 @@ private:
     /// they false-share.
     alignas(conc::CacheLineBytes) std::atomic<unsigned> AssignedLevel{0};
     alignas(conc::CacheLineBytes) std::atomic<uint64_t> WorkNanos{0};
+    /// Seqlock-guarded status line, written only by the owning worker at
+    /// state transitions (task start/end, park/unpark) and sampled by the
+    /// health watcher. Seq goes odd before the payload writes and even
+    /// after; payload fields are relaxed atomics so a torn read is
+    /// impossible and the cross-thread access is race-free. Owns its
+    /// cache line: the watcher's reads must not bounce the scheduler's
+    /// hot atomics.
+    struct alignas(conc::CacheLineBytes) StatusLine {
+      std::atomic<uint32_t> Seq{0};
+      std::atomic<uint8_t> State{0}; ///< WorkerState
+      std::atomic<uint8_t> Level{0};
+      std::atomic<uint32_t> TaskRingId{0};
+      std::atomic<uint64_t> SpanTraceLo{0};
+      std::atomic<uint64_t> SinceNanos{0};
+    };
+    StatusLine Status;
+    /// CPU this worker last observed itself on (sched_getcpu in runTask;
+    /// -1 before the first task) — the steal-locality counters' victim
+    /// side.
+    std::atomic<int> LastCpu{-1};
     /// Scheduler-loop-private state, no synchronization: where this
     /// worker's victim scans start, and its stack-/task-slab caches.
     alignas(conc::CacheLineBytes) repro::Rng StealRng;
@@ -325,6 +388,12 @@ private:
 
   void workerLoop(unsigned Index);
   void masterLoop();
+  /// Publishes \p W's status line (seqlock write; owning worker only).
+  static void publishStatus(Worker &W, WorkerState State, uint8_t Level,
+                            uint32_t RingId, uint64_t SpanLo,
+                            uint64_t NowNanos);
+  /// Classifies a successful steal as same- vs cross-socket.
+  void noteSteal(Worker &Thief, const Worker &Victim);
   void enqueue(Task *T);
   Task *findTaskAtLevel(unsigned QueueIdx, Worker *Self, bool PopSelf);
   Task *popOverflow(unsigned QueueIdx);
@@ -361,6 +430,8 @@ private:
   std::atomic<uint32_t> ParkedCount{0};
   std::atomic<uint64_t> InjectionFullSpins{0};
   std::atomic<uint64_t> TasksRecycledCount{0};
+  std::atomic<uint64_t> StealsSameSocketCount{0};
+  std::atomic<uint64_t> StealsCrossSocketCount{0};
   std::atomic<bool> InjectionFullLogged{false};
   std::atomic<uint32_t> NextTraceTaskId{1}; ///< event-ring task ids
   std::atomic<class TraceRecorder *> Trace{nullptr};

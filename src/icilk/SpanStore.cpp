@@ -5,6 +5,7 @@
 #include "icilk/Task.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace repro::icilk {
@@ -345,8 +346,15 @@ void SpanStore::finishTrace(const SpanContext &Root) {
   std::lock_guard<std::mutex> Lock(RetainedMutex);
   Retained.push_back(std::move(Rec));
   while (Retained.size() > Cfg.MaxRetainedTraces) {
+    // A pinned trace leaving the ring is still referenced by a live
+    // exemplar: stash it (bounded by the pin set) instead of dropping, so
+    // metric→trace links keep resolving until the exemplar ages out.
+    TraceRecord &Front = Retained.front();
+    if (PinnedLos.count(Front.TraceLo))
+      PinnedStash.emplace(Front.TraceLo, std::move(Front));
+    else
+      StatRetainedDropped.fetch_add(1, std::memory_order_relaxed);
     Retained.pop_front();
-    StatRetainedDropped.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -366,7 +374,64 @@ std::string SpanStore::traceparentFor(const SpanContext &C) const {
 
 std::vector<TraceRecord> SpanStore::retained() const {
   std::lock_guard<std::mutex> Lock(RetainedMutex);
-  return {Retained.begin(), Retained.end()};
+  std::vector<TraceRecord> Out;
+  Out.reserve(PinnedStash.size() + Retained.size());
+  for (const auto &[Lo, Rec] : PinnedStash)
+    Out.push_back(Rec);
+  Out.insert(Out.end(), Retained.begin(), Retained.end());
+  return Out;
+}
+
+std::vector<SpanStore::RetainedSummary>
+SpanStore::retainedSince(uint64_t SinceNanos) const {
+  std::lock_guard<std::mutex> Lock(RetainedMutex);
+  std::vector<RetainedSummary> Out;
+  // The ring is ordered by finish time; walk from the back until we fall
+  // before the cutoff, then reverse — typically a handful of traces.
+  for (auto It = Retained.rbegin(); It != Retained.rend(); ++It) {
+    if (It->EndNanos < SinceNanos)
+      break;
+    RetainedSummary S;
+    S.DisplayHi = It->HasRemote ? It->RemoteTraceHi : It->TraceHi;
+    S.DisplayLo = It->HasRemote ? It->RemoteTraceLo : It->TraceLo;
+    S.LocalLo = It->TraceLo;
+    S.EndNanos = It->EndNanos;
+    S.DurationMicros = It->EndNanos > It->StartNanos
+                           ? static_cast<double>(It->EndNanos - It->StartNanos) /
+                                 1000.0
+                           : 0.0;
+    S.Flags = It->Flags;
+    S.RootLevel = It->Spans.empty() ? 0 : It->Spans[0].Level;
+    Out.push_back(S);
+  }
+  std::reverse(Out.begin(), Out.end());
+  return Out;
+}
+
+void SpanStore::pinRetained(const std::vector<uint64_t> &LocalLos) {
+  std::lock_guard<std::mutex> Lock(RetainedMutex);
+  PinnedLos.clear();
+  PinnedLos.insert(LocalLos.begin(), LocalLos.end());
+  // Stashed traces no longer referenced by any exemplar are done for.
+  for (auto It = PinnedStash.begin(); It != PinnedStash.end();) {
+    if (!PinnedLos.count(It->first)) {
+      It = PinnedStash.erase(It);
+      StatRetainedDropped.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++It;
+    }
+  }
+}
+
+std::string SpanStore::activeRootName(uint64_t TraceLo) const {
+  Shard &S = shardFor(TraceLo);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Active.find(TraceLo);
+  if (It == S.Active.end())
+    return std::string();
+  std::lock_guard<std::mutex> TLock(It->second->M);
+  return It->second->Rec.Spans.empty() ? std::string()
+                                       : It->second->Rec.Spans[0].Name;
 }
 
 SpanStore::Stats SpanStore::stats() const {
@@ -375,7 +440,8 @@ SpanStore::Stats SpanStore::stats() const {
   S.Finished = StatFinished.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> Lock(RetainedMutex);
-    S.Retained = Retained.size();
+    S.Retained = Retained.size() + PinnedStash.size();
+    S.Pinned = PinnedStash.size();
   }
   S.RetainedDropped = StatRetainedDropped.load(std::memory_order_relaxed);
   S.ActiveOverflow = StatActiveOverflow.load(std::memory_order_relaxed);

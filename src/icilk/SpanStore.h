@@ -44,7 +44,9 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace repro::icilk {
@@ -122,6 +124,21 @@ public:
     uint64_t ActiveOverflow = 0;  ///< startTrace past MaxActiveTraces
     uint64_t HeadSampled = 0;
     uint64_t TailKept = 0; ///< retained only because of tail flags
+    uint64_t Pinned = 0;   ///< traces held only by an exemplar pin
+  };
+
+  /// A lightweight view of one retained trace, cheap enough for the
+  /// telemetry sampler to scan every tick (no span vectors copied).
+  /// DisplayHi/Lo is the wire-visible id exporters show (remote when a
+  /// traceparent was adopted); LocalLo is the pin/retention key.
+  struct RetainedSummary {
+    uint64_t DisplayHi = 0;
+    uint64_t DisplayLo = 0;
+    uint64_t LocalLo = 0;
+    uint64_t EndNanos = 0;
+    double DurationMicros = 0;
+    uint32_t Flags = 0;
+    uint8_t RootLevel = 0;
   };
 
   explicit SpanStore(SpanStoreConfig Config = {});
@@ -171,8 +188,27 @@ public:
     return SlowThresholdMicros.load(std::memory_order_relaxed);
   }
 
-  /// Copies the retained traces, oldest first.
+  /// Copies the retained traces, oldest first (pinned stragglers that
+  /// outlived the ring come first — they are the oldest by construction).
   std::vector<TraceRecord> retained() const;
+
+  /// Summaries of retained traces whose EndNanos is at or after
+  /// \p SinceNanos, oldest first — the sampler's incremental exemplar
+  /// scan.
+  std::vector<RetainedSummary> retainedSince(uint64_t SinceNanos) const;
+
+  /// Replaces the exemplar pin set with \p LocalLos (the LocalLo keys of
+  /// traces the metrics plane currently links to). Pinned traces survive
+  /// retained-ring eviction: when the ring drops them they move to a
+  /// stash bounded by the pin set, so every exported exemplar keeps
+  /// resolving in retained(). Stashed traces unpinned by a later call are
+  /// finally dropped (counted in RetainedDropped).
+  void pinRetained(const std::vector<uint64_t> &LocalLos);
+
+  /// Root-span name of the *active* (unfinished) trace with local id
+  /// \p TraceLo, or "" when unknown — the health profiler's task-kind
+  /// label for folded stacks.
+  std::string activeRootName(uint64_t TraceLo) const;
 
   Stats stats() const;
 
@@ -206,6 +242,10 @@ private:
 
   mutable std::mutex RetainedMutex;
   std::deque<TraceRecord> Retained;
+  /// Exemplar retention (all guarded by RetainedMutex): the current pin
+  /// set, and traces the ring evicted while they were pinned.
+  std::unordered_set<uint64_t> PinnedLos;
+  std::unordered_map<uint64_t, TraceRecord> PinnedStash;
 
   std::atomic<uint64_t> StatStarted{0};
   std::atomic<uint64_t> StatFinished{0};

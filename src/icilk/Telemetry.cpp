@@ -64,6 +64,34 @@ double epochMicros(uint64_t TimeNanos, uint64_t EpochNanos) {
              : 0.0;
 }
 
+/// Health's view over the per-level latency windows: fast/slow SLO tails
+/// read the same epoch ring at two depths.
+class TelemetryWindowSource : public LatencyWindowSource {
+public:
+  TelemetryWindowSource(
+      const std::vector<std::unique_ptr<repro::WindowedHistogram>> &Windows,
+      unsigned Epochs, uint64_t EpochMs)
+      : Windows(Windows), Epochs_(Epochs), EpochMs(EpochMs) {}
+
+  unsigned levels() const override {
+    return static_cast<unsigned>(Windows.size());
+  }
+  repro::Histogram windowTail(unsigned Level,
+                              unsigned LastEpochs) const override {
+    if (Level >= Windows.size())
+      return repro::Histogram(0, 1, 1);
+    return LastEpochs ? Windows[Level]->mergedLast(LastEpochs)
+                      : Windows[Level]->merged();
+  }
+  unsigned epochs() const override { return Epochs_; }
+  uint64_t epochMillis() const override { return EpochMs; }
+
+private:
+  const std::vector<std::unique_ptr<repro::WindowedHistogram>> &Windows;
+  unsigned Epochs_;
+  uint64_t EpochMs;
+};
+
 json::Value traceFlagNames(uint32_t Flags) {
   static constexpr struct {
     uint32_t Bit;
@@ -97,6 +125,7 @@ void Telemetry::trackIo(const Io *Backend) {
 
 void Telemetry::trackSpans(SpanStore *Store) {
   Spans.store(Store, std::memory_order_release);
+  HealthPlane->trackSpans(Store);
 }
 
 std::string Telemetry::sanitizeMetricName(const std::string &Name) {
@@ -149,17 +178,40 @@ Telemetry::Telemetry(Runtime &Rt, TelemetryConfig Cfg,
   for (unsigned L = 0; L < Rt.config().NumLevels; ++L)
     Windows.push_back(std::make_unique<repro::WindowedHistogram>(
         Config.LatencyLoMicros, Config.LatencyHiMicros, Config.LatencyBuckets,
-        std::max(1u, Config.WindowEpochs)));
+        std::max(1u, Config.WindowEpochs), Config.ExemplarSlots));
+  WindowAdapter = std::make_unique<TelemetryWindowSource>(
+      Windows, std::max(1u, Config.WindowEpochs), Config.EpochMillis);
+  HealthPlane = std::make_unique<Health>(Rt, Config.Health);
+  HealthPlane->trackWindows(WindowAdapter.get());
 
   Server.route("/", [this](const http::Request &) {
     http::Response R;
     R.Body = "icilk live telemetry\n\n"
-             "  /metrics        Prometheus text exposition\n"
-             "  /snapshot.json  Runtime::snapshot() + event-ring stats\n"
-             "  /latency.json   windowed per-level latency quantiles\n"
-             "  /spans.json     retained request traces (tail-sampled)\n"
-             "  /trace?ms=500   Chrome-trace slice of the last N ms\n";
+             "  /metrics         Prometheus text exposition (with exemplars)\n"
+             "  /snapshot.json   Runtime::snapshot() + event-ring stats\n"
+             "  /latency.json    windowed per-level latency quantiles\n"
+             "  /spans.json      retained request traces (tail-sampled)\n"
+             "  /trace?ms=500    Chrome-trace slice of the last N ms\n"
+             "  /health.json     doctor verdicts + SLO burn rates\n"
+             "  /profile.json    sampled per-level x per-state time + folded\n"
+             "  /profile.folded  collapsed stacks (flamegraph.pl input)\n"
+             "  /healthz         liveness probe (200 ok)\n";
     return R;
+  });
+  Server.route("/health.json", [this](const http::Request &) {
+    return http::Response{200, "application/json",
+                          HealthPlane->healthJson().dump(2) + "\n"};
+  });
+  Server.route("/profile.json", [this](const http::Request &) {
+    return http::Response{200, "application/json",
+                          HealthPlane->profileJson().dump(2) + "\n"};
+  });
+  Server.route("/profile.folded", [this](const http::Request &) {
+    return http::Response{200, "text/plain; charset=utf-8",
+                          HealthPlane->profileFolded()};
+  });
+  Server.route("/healthz", [](const http::Request &) {
+    return http::Response{200, "text/plain; charset=utf-8", "ok\n"};
   });
   Server.route("/metrics", [this](const http::Request &) {
     return http::Response{200, PrometheusContentType, renderPrometheus()};
@@ -199,6 +251,7 @@ bool Telemetry::start(std::string *Error) {
     StopSampler = false;
   }
   Sampler = std::thread([this] { samplerLoop(); });
+  HealthPlane->start();
   Started = true;
   return true;
 }
@@ -206,6 +259,7 @@ bool Telemetry::start(std::string *Error) {
 void Telemetry::stop() {
   if (!Started)
     return;
+  HealthPlane->stop();
   Server.stop();
   {
     std::lock_guard<std::mutex> Lock(SamplerMutex);
@@ -249,9 +303,41 @@ void Telemetry::samplerLoop() {
       }
       if (MaxP99 > 0)
         SS->setSlowThresholdMicros(MaxP99);
+      if (Config.ExemplarSlots > 0)
+        harvestExemplars(Now);
     }
     Lock.lock();
   }
+}
+
+void Telemetry::harvestExemplars(uint64_t NowNanos) {
+  SpanStore *SS = Spans.load(std::memory_order_acquire);
+  if (!SS || Windows.empty())
+    return;
+  // New retained traces become exemplars on the window covering their
+  // root level (most-recent-wins per value slot, inside WindowedHistogram).
+  for (const SpanStore::RetainedSummary &T :
+       SS->retainedSince(ExemplarScanNanos)) {
+    unsigned L = std::min<unsigned>(T.RootLevel,
+                                    static_cast<unsigned>(Windows.size()) - 1);
+    Windows[L]->noteExemplar(T.DurationMicros, T.DisplayHi, T.DisplayLo,
+                             T.LocalLo, T.EndNanos);
+    ExemplarScanNanos = std::max(ExemplarScanNanos, T.EndNanos + 1);
+  }
+  // Expire exemplars older than the latency window, then re-pin: the span
+  // store keeps exactly the traces the exported exemplars point at alive,
+  // even past retained-ring eviction.
+  const uint64_t WindowNanos =
+      static_cast<uint64_t>(std::max(1u, Config.WindowEpochs)) *
+      Config.EpochMillis * 1000000;
+  const uint64_t Cutoff = NowNanos > WindowNanos ? NowNanos - WindowNanos : 0;
+  std::vector<uint64_t> Pins;
+  for (auto &W : Windows) {
+    W->expireExemplars(Cutoff);
+    for (const repro::HistogramExemplar &E : W->exemplars())
+      Pins.push_back(E.PinKey);
+  }
+  SS->pinRetained(Pins);
 }
 
 void Telemetry::harvestLatencies() {
@@ -370,6 +456,59 @@ std::string Telemetry::renderPrometheus() const {
     sample(Out, P + "_response_window_count", levelLabel(L),
            num(WindowCounts[L]));
 
+  if (Config.ExemplarSlots > 0) {
+    family(Out, P + "_response_latency_exemplar_micros", "gauge",
+           "Recent tail observations per level, each linked (OpenMetrics "
+           "exemplar syntax) to a trace retained in /spans.json.");
+    for (unsigned L = 0; L < Windows.size(); ++L) {
+      std::vector<repro::HistogramExemplar> Exs = Windows[L]->exemplars();
+      for (unsigned I = 0; I < Exs.size(); ++I) {
+        // OpenMetrics exemplar: `name{labels} value # {trace_id="…"} value`.
+        Out += P + "_response_latency_exemplar_micros{" + levelLabel(L) +
+               ",slot=\"" + std::to_string(I) + "\"} " + num(Exs[I].Value) +
+               " # {trace_id=\"" + hex32(Exs[I].TraceHi, Exs[I].TraceLo) +
+               "\"} " + num(Exs[I].Value) + "\n";
+      }
+    }
+  }
+
+  family(Out, P + "_steals_total", "counter",
+         "Successful deque steals by thief/victim cpu locality "
+         "(unknown cpus count as same_socket).");
+  sample(Out, P + "_steals_total", "locality=\"same_socket\"",
+         num(S.StealsSameSocket));
+  sample(Out, P + "_steals_total", "locality=\"cross_socket\"",
+         num(S.StealsCrossSocket));
+
+  {
+    HealthReport HR = HealthPlane->report();
+    family(Out, P + "_health_status", "gauge",
+           "Doctor rollup: 0 = ok, 1 = degraded, 2 = critical.");
+    double Status = HR.Status == "critical" ? 2 : HR.Status == "ok" ? 0 : 1;
+    sample(Out, P + "_health_status", "", num(Status));
+
+    family(Out, P + "_health_verdicts", "gauge",
+           "Active doctor verdicts (see /health.json for details).");
+    sample(Out, P + "_health_verdicts", "",
+           num(static_cast<uint64_t>(HR.Verdicts.size())));
+
+    if (!HR.Slo.empty()) {
+      family(Out, P + "_slo_burn_rate", "gauge",
+             "Error-budget burn-rate multiple per SLO level and window "
+             "(1.0 = burning exactly the budget).");
+      for (const SloBurnSample &B : HR.Slo) {
+        sample(Out, P + "_slo_burn_rate",
+               levelLabel(static_cast<unsigned>(B.Level)) +
+                   ",window=\"fast\"",
+               num(B.FastBurn));
+        sample(Out, P + "_slo_burn_rate",
+               levelLabel(static_cast<unsigned>(B.Level)) +
+                   ",window=\"slow\"",
+               num(B.SlowBurn));
+      }
+    }
+  }
+
   if (S.Admission.Attached) {
     const AdmissionSample &A = S.Admission;
     family(Out, P + "_admission_shed_total", "counter",
@@ -429,6 +568,20 @@ std::string Telemetry::renderPrometheus() const {
     for (unsigned L = 0; L < A.Levels.size(); ++L)
       sample(Out, P + "_admission_rate_per_sec", levelLabel(L),
              num(A.Levels[L].RatePerSec));
+
+    family(Out, P + "_admission_offer_rate_per_sec", "gauge",
+           "Observed arrival rate per level (EMA of offers/sec) — the "
+           "clamp's counterpart for the admission-clamped verdict.");
+    for (unsigned L = 0; L < A.Levels.size(); ++L)
+      sample(Out, P + "_admission_offer_rate_per_sec", levelLabel(L),
+             num(A.Levels[L].ObservedOfferRatePerSec));
+
+    family(Out, P + "_admission_clamped_for_micros", "gauge",
+           "How long the controller has held each level's current clamp "
+           "(0 = not clamped).");
+    for (unsigned L = 0; L < A.Levels.size(); ++L)
+      sample(Out, P + "_admission_clamped_for_micros", levelLabel(L),
+             num(A.Levels[L].ClampedForMicros));
   }
 
   {
@@ -513,12 +666,16 @@ json::Value Telemetry::snapshotJson() const {
   Out.set("pool_stacks_created", json::Value(S.PoolStacksCreated));
   Out.set("pool_stacks_reused", json::Value(S.PoolStacksReused));
   Out.set("tasks_recycled", json::Value(S.TasksRecycled));
+  Out.set("steals_same_socket", json::Value(S.StealsSameSocket));
+  Out.set("steals_cross_socket", json::Value(S.StealsCrossSocket));
 
   json::Value Levels = json::Value::array();
   for (unsigned L = 0; L < S.Pending.size(); ++L) {
     json::Value LV = json::Value::object();
     LV.set("level", json::Value(static_cast<uint64_t>(L)));
     LV.set("pending", json::Value(S.Pending[L]));
+    if (L < S.InjectionOverflow.size())
+      LV.set("injection_overflow", json::Value(S.InjectionOverflow[L]));
     LV.set("assigned", json::Value(static_cast<uint64_t>(S.Assigned[L])));
     LV.set("desire", json::Value(S.Desires[L]));
     LV.set("completed",
@@ -550,6 +707,9 @@ json::Value Telemetry::snapshotJson() const {
                            LS.Queued < 0 ? 0 : LS.Queued)));
       LV.set("rate_per_sec", json::Value(LS.RatePerSec));
       LV.set("window_p99_micros", json::Value(LS.WindowP99Micros));
+      LV.set("observed_offer_rate_per_sec",
+             json::Value(LS.ObservedOfferRatePerSec));
+      LV.set("clamped_for_micros", json::Value(LS.ClampedForMicros));
       ALs.push(std::move(LV));
     }
     AV.set("levels", std::move(ALs));
@@ -586,6 +746,15 @@ json::Value Telemetry::latencyJson() const {
     LV.set("p99", json::Value(H.quantile(0.99)));
     LV.set("p999", json::Value(H.quantile(0.999)));
     LV.set("overflow", json::Value(H.overflow()));
+    json::Value Exs = json::Value::array();
+    for (const repro::HistogramExemplar &E : Windows[L]->exemplars()) {
+      json::Value EV = json::Value::object();
+      EV.set("value_micros", json::Value(E.Value));
+      EV.set("trace_id", json::Value(hex32(E.TraceHi, E.TraceLo)));
+      EV.set("time_nanos", json::Value(E.TimeNanos));
+      Exs.push(std::move(EV));
+    }
+    LV.set("exemplars", std::move(Exs));
     Levels.push(std::move(LV));
   }
   Out.set("levels", std::move(Levels));

@@ -39,6 +39,7 @@
 #ifndef REPRO_ICILK_TELEMETRY_H
 #define REPRO_ICILK_TELEMETRY_H
 
+#include "icilk/Health.h"
 #include "icilk/Runtime.h"
 #include "support/Histogram.h"
 #include "support/HttpServer.h"
@@ -74,6 +75,13 @@ struct TelemetryConfig {
   std::size_t LatencyBuckets = 1000;
   /// Prometheus metric namespace ("icilk" → icilk_tasks_executed_total).
   std::string Prefix = "icilk";
+  /// Health-plane knobs (profiler cadence, doctor thresholds, SLOs). The
+  /// owned Health instance is constructed from this and started with the
+  /// sampler; see icilk/Health.h.
+  HealthConfig Health;
+  /// Exemplar slots per per-level latency window (plus an overflow slot);
+  /// 0 disables metric→trace exemplars.
+  std::size_t ExemplarSlots = 8;
 };
 
 /// Serves a running Runtime's observable state over HTTP. The Runtime
@@ -112,6 +120,11 @@ public:
   /// The actually-bound port (resolves Port=0); 0 before start().
   uint16_t port() const { return Server.port(); }
 
+  /// The owned health plane (profiler + doctor + SLO engine), for direct
+  /// report()/profile access; never null after construction.
+  class Health &health() { return *HealthPlane; }
+  const class Health &health() const { return *HealthPlane; }
+
   /// Endpoint renderers, public so tests can call them without sockets.
   std::string renderPrometheus() const;
   json::Value snapshotJson() const;
@@ -127,6 +140,10 @@ public:
 private:
   void samplerLoop();
   void harvestLatencies();
+  /// Scans the span store for freshly retained traces, attaches them as
+  /// exemplars to the per-level windows, expires stale exemplars, and
+  /// re-pins the span store so every exported exemplar keeps resolving.
+  void harvestExemplars(uint64_t NowNanos);
   /// Pre-rendered Chrome-trace events for retained request spans ending
   /// at or after \p CutoffNanos (the /trace overlay).
   std::string spanOverlay(uint64_t CutoffNanos) const;
@@ -139,6 +156,11 @@ private:
   /// One response-latency window per priority level, fed by the sampler.
   std::vector<std::unique_ptr<repro::WindowedHistogram>> Windows;
   std::vector<std::size_t> Harvested; ///< per-level consumed sample count
+  uint64_t ExemplarScanNanos = 0;     ///< sampler's retained-trace cursor
+
+  /// The health plane and its view over Windows (see health()).
+  std::unique_ptr<LatencyWindowSource> WindowAdapter;
+  std::unique_ptr<class Health> HealthPlane;
 
   /// I/O backends surfaced in /metrics (see trackIo). Guarded by IoMutex
   /// — registration and the render path may race.

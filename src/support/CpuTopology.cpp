@@ -1,0 +1,77 @@
+//===- support/CpuTopology.cpp - cpu→socket mapping for locality -----------===//
+
+#include "support/CpuTopology.h"
+
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace repro {
+
+namespace {
+
+struct SocketTable {
+  std::vector<int> SocketOf; ///< indexed by cpu id
+  int Sockets = 1;
+};
+
+/// Reads /sys once for every cpu the hardware reports. A missing or
+/// malformed file leaves that cpu at socket 0 (the fallback), so partial
+/// sysfs exposure never produces negative ids.
+SocketTable loadTable() {
+  SocketTable T;
+  unsigned N = std::thread::hardware_concurrency();
+  if (N == 0)
+    N = 1;
+  T.SocketOf.assign(N, 0);
+  std::set<int> Seen;
+  for (unsigned Cpu = 0; Cpu < N; ++Cpu) {
+    char Path[128];
+    std::snprintf(Path, sizeof Path,
+                  "/sys/devices/system/cpu/cpu%u/topology/physical_package_id",
+                  Cpu);
+    std::FILE *F = std::fopen(Path, "r");
+    if (!F)
+      continue;
+    int Id = 0;
+    if (std::fscanf(F, "%d", &Id) == 1 && Id >= 0) {
+      T.SocketOf[Cpu] = Id;
+      Seen.insert(Id);
+    }
+    std::fclose(F);
+  }
+  T.Sockets = Seen.empty() ? 1 : static_cast<int>(Seen.size());
+  return T;
+}
+
+const SocketTable &table() {
+  static SocketTable T = loadTable();
+  return T;
+}
+
+} // namespace
+
+int currentCpu() {
+#if defined(__linux__)
+  return sched_getcpu();
+#else
+  return -1;
+#endif
+}
+
+int cpuSocketOf(int Cpu) {
+  const SocketTable &T = table();
+  if (Cpu < 0 || static_cast<std::size_t>(Cpu) >= T.SocketOf.size())
+    return 0;
+  return T.SocketOf[Cpu];
+}
+
+int knownSocketCount() { return table().Sockets; }
+
+} // namespace repro

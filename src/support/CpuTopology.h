@@ -1,0 +1,42 @@
+//===- support/CpuTopology.h - cpu→socket mapping for locality -*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The steal-locality counters (Runtime::snapshot()'s StealsSameSocket /
+// StealsCrossSocket) need to know whether a thief and its victim last ran
+// on the same physical package. Linux exposes that as
+// /sys/devices/system/cpu/cpu<N>/topology/physical_package_id; when the
+// file is unreadable (containers, non-Linux) every cpu maps to socket 0,
+// so the counters degrade to "all steals same-socket" instead of lying
+// with noise.
+//
+// The mapping is loaded once, on first use, into an immutable table —
+// lookups after that are a bounds-checked array read, cheap enough for
+// the steal path.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_SUPPORT_CPUTOPOLOGY_H
+#define REPRO_SUPPORT_CPUTOPOLOGY_H
+
+namespace repro {
+
+/// The cpu the calling thread is currently running on (sched_getcpu), or
+/// -1 when the platform cannot say.
+int currentCpu();
+
+/// Physical package (socket) id of \p Cpu; 0 when the topology is
+/// unknown or \p Cpu is out of range (the single-socket fallback).
+int cpuSocketOf(int Cpu);
+
+/// Number of distinct sockets the topology table resolved (1 under the
+/// fallback) — lets exporters label whether cross-socket counts can be
+/// nonzero at all.
+int knownSocketCount();
+
+} // namespace repro
+
+#endif // REPRO_SUPPORT_CPUTOPOLOGY_H

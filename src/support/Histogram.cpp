@@ -65,6 +65,28 @@ double Histogram::quantile(double Q) const {
   return Hi; // rank falls in the overflow bucket
 }
 
+double Histogram::fractionAbove(double Value) const {
+  if (Total == 0)
+    return 0.0;
+  if (Value < Lo)
+    return static_cast<double>(Total - Under) / static_cast<double>(Total);
+  if (Value >= Hi) // overflow observations are all the histogram can
+    return static_cast<double>(Over) / static_cast<double>(Total); // place above Hi
+  double Width = (Hi - Lo) / static_cast<double>(Buckets.size());
+  auto Index = static_cast<std::size_t>((Value - Lo) / (Hi - Lo) *
+                                        static_cast<double>(Buckets.size()));
+  Index = std::min(Index, Buckets.size() - 1);
+  // Whole buckets above the containing one, plus overflow, plus the part
+  // of the containing bucket past Value (uniform-within-bucket estimate).
+  double Above = static_cast<double>(Over);
+  for (std::size_t I = Index + 1; I < Buckets.size(); ++I)
+    Above += static_cast<double>(Buckets[I]);
+  double InBucket = static_cast<double>(Buckets[Index]);
+  double FracPast = (bucketLowerEdge(Index) + Width - Value) / Width;
+  Above += InBucket * std::min(std::max(FracPast, 0.0), 1.0);
+  return Above / static_cast<double>(Total);
+}
+
 double Histogram::bucketLowerEdge(std::size_t Index) const {
   return Lo + (Hi - Lo) * static_cast<double>(Index) /
                   static_cast<double>(Buckets.size());
@@ -91,11 +113,15 @@ std::string Histogram::render(std::size_t Width) const {
 
 WindowedHistogram::WindowedHistogram(double Lo, double Hi,
                                      std::size_t NumBuckets,
-                                     std::size_t NumEpochs) {
+                                     std::size_t NumEpochs,
+                                     std::size_t ExemplarSlots)
+    : Lo(Lo), Hi(Hi) {
   assert(NumEpochs > 0 && "window needs at least one epoch");
   Epochs.reserve(NumEpochs);
   for (std::size_t I = 0; I < NumEpochs; ++I)
     Epochs.emplace_back(Lo, Hi, NumBuckets);
+  if (ExemplarSlots > 0)
+    Exemplars.resize(ExemplarSlots + 1); // +1: the >= Hi overflow slot
 }
 
 void WindowedHistogram::record(double Value) {
@@ -115,6 +141,50 @@ Histogram WindowedHistogram::merged() const {
   for (std::size_t I = 1; I < Epochs.size(); ++I)
     Out.merge(Epochs[I]);
   return Out;
+}
+
+Histogram WindowedHistogram::mergedLast(std::size_t K) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  K = std::max<std::size_t>(1, std::min(K, Epochs.size()));
+  // Walk the ring backwards from the current epoch: Current, Current-1, …
+  std::size_t First = (Current + Epochs.size() - (K - 1)) % Epochs.size();
+  Histogram Out = Epochs[First];
+  for (std::size_t I = 1; I < K; ++I)
+    Out.merge(Epochs[(First + I) % Epochs.size()]);
+  return Out;
+}
+
+void WindowedHistogram::noteExemplar(double Value, uint64_t TraceHi,
+                                     uint64_t TraceLo, uint64_t PinKey,
+                                     uint64_t TimeNanos) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Exemplars.empty())
+    return;
+  std::size_t ValueSlots = Exemplars.size() - 1;
+  std::size_t Slot = ValueSlots; // the >= Hi overflow slot
+  if (Value < Hi) {
+    double Frac = Value <= Lo ? 0.0 : (Value - Lo) / (Hi - Lo);
+    Slot = std::min(static_cast<std::size_t>(
+                        Frac * static_cast<double>(ValueSlots)),
+                    ValueSlots - 1);
+  }
+  Exemplars[Slot] = {Value, TraceHi, TraceLo, PinKey, TimeNanos, true};
+}
+
+std::vector<HistogramExemplar> WindowedHistogram::exemplars() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<HistogramExemplar> Out;
+  for (const HistogramExemplar &E : Exemplars)
+    if (E.Valid)
+      Out.push_back(E);
+  return Out;
+}
+
+void WindowedHistogram::expireExemplars(uint64_t CutoffNanos) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (HistogramExemplar &E : Exemplars)
+    if (E.Valid && E.TimeNanos < CutoffNanos)
+      E = HistogramExemplar{};
 }
 
 uint64_t WindowedHistogram::windowTotal() const {

@@ -29,6 +29,19 @@
 
 namespace repro {
 
+/// One retained trace-id sample attached to a histogram value range — the
+/// OpenMetrics "exemplar" shape: a recent concrete observation (with its
+/// trace id and timestamp) that the metrics plane can link back to the
+/// span plane. Valid=false marks an empty slot.
+struct HistogramExemplar {
+  double Value = 0;        ///< the observed value (same unit as the histogram)
+  uint64_t TraceHi = 0;    ///< wire-visible trace id, high half
+  uint64_t TraceLo = 0;    ///< wire-visible trace id, low half
+  uint64_t PinKey = 0;     ///< store-local retention key (local TraceLo)
+  uint64_t TimeNanos = 0;  ///< when the trace ended (staleness filter)
+  bool Valid = false;
+};
+
 /// Linear histogram over [Lo, Hi) with a fixed number of buckets; values
 /// outside the range land in saturating under/overflow buckets.
 class Histogram {
@@ -50,6 +63,12 @@ public:
   /// containing bucket. Underflow counts report Lo, overflow counts Hi
   /// (the histogram cannot see past its range). 0 when empty.
   double quantile(double Q) const;
+
+  /// Estimated fraction of observations strictly above \p Value (0..1,
+  /// interpolating inside the containing bucket; overflow counts as
+  /// above, underflow as below). The SLO burn-rate input: with target T,
+  /// fractionAbove(T) is the error fraction of the window. 0 when empty.
+  double fractionAbove(double Value) const;
 
   /// Total number of observations, including out-of-range ones.
   uint64_t total() const { return Total; }
@@ -82,8 +101,13 @@ private:
 /// NumEpochs×T seconds — never the whole run. Thread-safe.
 class WindowedHistogram {
 public:
+  /// \p ExemplarSlots > 0 additionally keeps that many coarse value-range
+  /// exemplar slots (plus one overflow slot) spanning [Lo, Hi): each slot
+  /// retains the most recent exemplar whose value falls in its range, so
+  /// the exported latency buckets can link to a recent tail trace. 0
+  /// disables exemplar storage entirely.
   WindowedHistogram(double Lo, double Hi, std::size_t NumBuckets,
-                    std::size_t NumEpochs);
+                    std::size_t NumEpochs, std::size_t ExemplarSlots = 0);
 
   /// Records one observation into the current epoch.
   void record(double Value);
@@ -94,15 +118,37 @@ public:
   /// Merge of all live epochs (a copy; safe while recording continues).
   Histogram merged() const;
 
+  /// Merge of the most recent \p K epochs only (the current one counts as
+  /// one). K is clamped to [1, numEpochs()]. The fast/slow SLO windows
+  /// read the same ring at two depths through this.
+  Histogram mergedLast(std::size_t K) const;
+
   /// Observations currently inside the window.
   uint64_t windowTotal() const;
 
   std::size_t numEpochs() const { return Epochs.size(); }
 
+  /// Attaches an exemplar to the slot covering \p Value (most recent
+  /// wins). No-op when exemplar slots are disabled.
+  void noteExemplar(double Value, uint64_t TraceHi, uint64_t TraceLo,
+                    uint64_t PinKey, uint64_t TimeNanos);
+
+  /// Every currently-valid exemplar, slot order (ascending value range,
+  /// overflow last). Empty when disabled.
+  std::vector<HistogramExemplar> exemplars() const;
+
+  /// Drops exemplars whose TimeNanos is older than \p CutoffNanos, so the
+  /// export never links to traces outside the live window.
+  void expireExemplars(uint64_t CutoffNanos);
+
+  std::size_t numExemplarSlots() const { return Exemplars.size(); }
+
 private:
   mutable std::mutex Mutex;
   std::vector<Histogram> Epochs;
   std::size_t Current = 0;
+  double Lo = 0, Hi = 1;
+  std::vector<HistogramExemplar> Exemplars; ///< empty when disabled
 };
 
 } // namespace repro

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <cctype>
 #include <map>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -51,8 +52,13 @@ bool validMetricName(const std::string &Name) {
 
 /// Parses one Prometheus text exposition: checks line-level validity and
 /// returns {series-name-with-labels: value}. Fails the test on malformed
-/// lines, samples without a preceding TYPE, or bad metric names.
-std::map<std::string, double> parseExposition(const std::string &Text) {
+/// lines, samples without a preceding TYPE, or bad metric names. Sample
+/// lines may carry an OpenMetrics exemplar suffix
+/// (`name{labels} value # {trace_id="…"} value`); when \p ExemplarTraceIds
+/// is given, every exemplar's trace id is validated and collected there.
+std::map<std::string, double>
+parseExposition(const std::string &Text,
+                std::vector<std::string> *ExemplarTraceIds = nullptr) {
   std::map<std::string, double> Out;
   std::map<std::string, std::string> Types; // metric -> counter/gauge
   std::istringstream In(Text);
@@ -76,6 +82,27 @@ std::map<std::string, double> parseExposition(const std::string &Text) {
     if (Line[0] == '#') {
       ADD_FAILURE() << "unknown comment form: " << Line;
       continue;
+    }
+    // An exemplar rides after " # " on an otherwise-normal sample line;
+    // split it off and validate it separately.
+    if (std::size_t Hash = Line.find(" # "); Hash != std::string::npos) {
+      std::string Ex = Line.substr(Hash + 3);
+      Line = Line.substr(0, Hash);
+      EXPECT_EQ(Ex.rfind("{trace_id=\"", 0), 0u) << Ex;
+      std::size_t IdEnd = Ex.find('"', 11);
+      std::size_t ExSpace = Ex.rfind(' ');
+      if (IdEnd == std::string::npos || ExSpace == std::string::npos) {
+        ADD_FAILURE() << "malformed exemplar: " << Ex;
+        continue;
+      }
+      std::string Id = Ex.substr(11, IdEnd - 11);
+      EXPECT_EQ(Id.size(), 32u) << Id; // 128-bit trace id, lowercase hex
+      for (char C : Id)
+        EXPECT_TRUE((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f')) << Id;
+      // "...\"} value" closes the exemplar.
+      EXPECT_NO_THROW((void)std::stod(Ex.substr(ExSpace + 1))) << Ex;
+      if (ExemplarTraceIds)
+        ExemplarTraceIds->push_back(Id);
     }
     // "name{labels} value" or "name value"
     std::size_t SpacePos = Line.rfind(' ');
@@ -353,6 +380,114 @@ TEST(TelemetryLiveTest, OverloadScrapeShowsAdmissionShedding) {
   EXPECT_GT(TotalShed, 0u);
   EXPECT_GT(Report.JobsByType[0], 0u)
       << "overload starved the very level admission control protects";
+}
+
+/// The health-plane surface, live: probe /healthz and the 404 path, render
+/// /health.json, /profile.json and /profile.folded mid-run, and close the
+/// metric→trace loop — every exemplar trace id on /metrics must resolve to
+/// a retained trace in /spans.json (exemplar pinning keeps them alive past
+/// ring eviction).
+TEST(TelemetryLiveTest, HealthEndpointsAndExemplarsResolve) {
+  JobServerConfig Config;
+  Config.DurationMillis = 1200;
+  Config.ArrivalIntervalMicros = 2500;
+  Config.Rt.NumWorkers = 2;
+  Config.Seed = 7;
+  Config.Tracing.Enabled = true;
+  Config.Tracing.Config.HeadSampleRate = 1.0; // retain every trace
+  Config.TelemetryPort = 0;
+  std::atomic<int> Port{-2};
+  Config.TelemetryPortOut = &Port;
+
+  bool ExemplarsResolved = false;
+  std::size_t ExemplarsSeen = 0;
+
+  std::thread Client([&] {
+    while (Port.load(std::memory_order_acquire) == -2)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    int P = Port.load(std::memory_order_acquire);
+    ASSERT_GT(P, 0);
+    auto Port16 = static_cast<uint16_t>(P);
+
+    // Liveness probe and the unknown-path 404.
+    auto Hz = http::get(Port16, "/healthz");
+    ASSERT_TRUE(Hz.has_value());
+    EXPECT_EQ(Hz->Status, 200);
+    EXPECT_EQ(Hz->Body, "ok\n");
+    auto Missing = http::get(Port16, "/no-such-endpoint");
+    ASSERT_TRUE(Missing.has_value());
+    EXPECT_EQ(Missing->Status, 404);
+
+    // The doctor's verdict surface renders mid-run.
+    auto H = http::get(Port16, "/health.json");
+    ASSERT_TRUE(H.has_value());
+    EXPECT_EQ(H->Status, 200);
+    std::string Err;
+    auto HV = json::parse(H->Body, &Err);
+    ASSERT_TRUE(HV.has_value()) << Err;
+    EXPECT_EQ(HV->find("schema")->asString(), "icilk-health-v1");
+    std::string Status = HV->find("status")->asString();
+    EXPECT_TRUE(Status == "ok" || Status == "degraded" ||
+                Status == "critical")
+        << Status;
+    ASSERT_NE(HV->find("workers"), nullptr);
+    EXPECT_EQ(HV->find("workers")->size(), 2u);
+
+    // The profiler: JSON and folded text agree on shape.
+    auto Pr = http::get(Port16, "/profile.json");
+    ASSERT_TRUE(Pr.has_value());
+    auto PV = json::parse(Pr->Body, &Err);
+    ASSERT_TRUE(PV.has_value()) << Err;
+    EXPECT_EQ(PV->find("schema")->asString(), "icilk-health-profile-v1");
+    auto Folded = http::get(Port16, "/profile.folded");
+    ASSERT_TRUE(Folded.has_value());
+    EXPECT_EQ(Folded->Status, 200);
+    EXPECT_NE(Folded->ContentType.find("text/plain"), std::string::npos);
+    std::istringstream FoldedIn(Folded->Body);
+    std::string FoldedLine;
+    while (std::getline(FoldedIn, FoldedLine))
+      EXPECT_EQ(FoldedLine.rfind("all;", 0), 0u) << FoldedLine;
+
+    // Exemplars: poll /metrics until some appear (the sampler harvests
+    // them every 100 ms), then require an attempt where every advertised
+    // trace id resolves in /spans.json. Retry the pair a few times: an
+    // exemplar can be replaced (and its trace unpinned) between the two
+    // fetches.
+    for (int Attempt = 0; Attempt < 40 && !ExemplarsResolved; ++Attempt) {
+      auto M = http::get(Port16, "/metrics");
+      ASSERT_TRUE(M.has_value());
+      std::vector<std::string> Ids;
+      parseExposition(M->Body, &Ids);
+      if (Ids.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        continue;
+      }
+      ExemplarsSeen = Ids.size();
+      auto Sp = http::get(Port16, "/spans.json");
+      ASSERT_TRUE(Sp.has_value());
+      auto SV = json::parse(Sp->Body, &Err);
+      ASSERT_TRUE(SV.has_value()) << Err;
+      std::set<std::string> Retained;
+      for (const json::Value &T : SV->find("traces")->elements())
+        Retained.insert(T.find("trace_id")->asString());
+      ExemplarsResolved = true;
+      for (const std::string &Id : Ids)
+        if (!Retained.count(Id)) {
+          ExemplarsResolved = false;
+          break;
+        }
+      if (!ExemplarsResolved)
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  });
+
+  JobServerReport Report = runJobServer(Config);
+  Client.join();
+
+  EXPECT_GT(Report.App.Requests, 0u);
+  EXPECT_GT(ExemplarsSeen, 0u) << "no exemplars ever appeared on /metrics";
+  EXPECT_TRUE(ExemplarsResolved)
+      << "an exemplar trace id did not resolve in /spans.json";
 }
 
 } // namespace

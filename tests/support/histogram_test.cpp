@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
 namespace repro {
 namespace {
 
@@ -123,6 +127,139 @@ TEST(WindowedHistogramTest, RotationExpiresOldestEpoch) {
   W.rotate(); // expires B too
   EXPECT_EQ(W.windowTotal(), 0u);
   EXPECT_DOUBLE_EQ(W.merged().quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, FractionAboveInterpolatesAndCountsOverflow) {
+  Histogram H(0, 100, 100);
+  for (int I = 0; I < 100; ++I)
+    H.add(I + 0.5); // uniform, one per bucket
+  EXPECT_NEAR(H.fractionAbove(90), 0.10, 0.02);
+  EXPECT_NEAR(H.fractionAbove(50), 0.50, 0.02);
+  EXPECT_DOUBLE_EQ(H.fractionAbove(100), 0.0);
+
+  Histogram Tail(0, 10, 10);
+  Tail.add(5);
+  Tail.add(1e9); // overflow counts as above any in-range threshold
+  EXPECT_DOUBLE_EQ(Tail.fractionAbove(9), 0.5);
+  Tail.add(-5); // underflow counts as below
+  EXPECT_NEAR(Tail.fractionAbove(9), 1.0 / 3.0, 1e-9);
+
+  Histogram Empty(0, 10, 10);
+  EXPECT_DOUBLE_EQ(Empty.fractionAbove(5), 0.0);
+}
+
+TEST(WindowedHistogramTest, MergedLastReadsTheRingAtTwoDepths) {
+  WindowedHistogram W(0, 100, 100, 4);
+  W.record(10); // oldest epoch
+  W.rotate();
+  W.record(20);
+  W.rotate();
+  W.record(30); // current epoch
+  EXPECT_EQ(W.mergedLast(1).total(), 1u); // current only
+  EXPECT_EQ(W.mergedLast(2).total(), 2u);
+  EXPECT_EQ(W.mergedLast(3).total(), 3u);
+  // K clamps to [1, numEpochs()]: 0 acts as 1, huge acts as all.
+  EXPECT_EQ(W.mergedLast(0).total(), 1u);
+  EXPECT_EQ(W.mergedLast(100).total(), 3u);
+  // The fast window really is the newest data, not a prefix.
+  EXPECT_GT(W.mergedLast(1).quantile(0.5), 25.0);
+}
+
+TEST(WindowedHistogramTest, RingWrapsAroundAndKeepsExpiring) {
+  // Many more rotations than epochs: every slot is reused several times,
+  // and the window must always hold exactly the last NumEpochs epochs.
+  WindowedHistogram W(0, 100, 10, 3);
+  for (int Round = 0; Round < 20; ++Round) {
+    W.record(50);
+    W.record(50);
+    EXPECT_EQ(W.windowTotal(),
+              static_cast<uint64_t>(2 * std::min(Round + 1, 3)))
+        << "round " << Round;
+    W.rotate();
+  }
+  // After the loop the current (just-cleared) slot is empty and the two
+  // previous epochs carry 2 samples each.
+  EXPECT_EQ(W.windowTotal(), 4u);
+  W.rotate();
+  W.rotate();
+  W.rotate();
+  EXPECT_EQ(W.windowTotal(), 0u); // fully drained, no resurrected counts
+}
+
+TEST(WindowedHistogramTest, HarvestWhileRecordingIsCoherent) {
+  // One writer hammers record()/rotate() while this thread merges and
+  // reads quantiles. The assertion is coherence (merged totals never
+  // exceed what was written, quantiles stay inside the recorded range);
+  // TSan (scripts/check.sh) turns any locking mistake into a failure.
+  WindowedHistogram W(0, 100, 100, 4);
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Written{0};
+  std::thread Writer([&] {
+    uint64_t N = 0;
+    while (!Stop.load(std::memory_order_relaxed)) {
+      W.record(42);
+      Written.store(++N, std::memory_order_release);
+      if (N % 64 == 0)
+        W.rotate();
+    }
+  });
+  while (Written.load(std::memory_order_acquire) == 0)
+    std::this_thread::yield();
+  for (int I = 0; I < 2000; ++I) {
+    Histogram M = W.merged();
+    EXPECT_LE(M.total(), Written.load(std::memory_order_acquire) + 1);
+    if (M.total() > 0) {
+      double Q = M.quantile(0.5);
+      EXPECT_GE(Q, 40.0);
+      EXPECT_LE(Q, 45.0);
+    }
+    W.windowTotal();
+    W.mergedLast(2);
+  }
+  Stop.store(true);
+  Writer.join();
+  EXPECT_GT(Written.load(), 0u);
+}
+
+TEST(WindowedHistogramTest, ExemplarSlotsKeepMostRecentPerRange) {
+  // 2 slots over [0, 100) → ranges [0,50) and [50,100), plus overflow.
+  WindowedHistogram W(0, 100, 10, 2, /*ExemplarSlots=*/2);
+  EXPECT_EQ(W.numExemplarSlots(), 3u); // +1 overflow slot
+  EXPECT_TRUE(W.exemplars().empty());  // nothing valid yet
+
+  W.noteExemplar(10, /*Hi=*/1, /*Lo=*/2, /*Pin=*/2, /*Time=*/100);
+  W.noteExemplar(60, 3, 4, 4, 200);
+  W.noteExemplar(500, 5, 6, 6, 300); // beyond Hi → overflow slot
+  auto Ex = W.exemplars();
+  ASSERT_EQ(Ex.size(), 3u);
+  EXPECT_DOUBLE_EQ(Ex[0].Value, 10);
+  EXPECT_DOUBLE_EQ(Ex[1].Value, 60);
+  EXPECT_DOUBLE_EQ(Ex[2].Value, 500);
+  EXPECT_EQ(Ex[0].TraceLo, 2u);
+  EXPECT_EQ(Ex[2].TraceHi, 5u);
+
+  // Most recent wins within a slot.
+  W.noteExemplar(20, 7, 8, 8, 400);
+  Ex = W.exemplars();
+  ASSERT_EQ(Ex.size(), 3u);
+  EXPECT_DOUBLE_EQ(Ex[0].Value, 20);
+  EXPECT_EQ(Ex[0].TraceLo, 8u);
+
+  // Expiry drops only stale slots: time 200 < cutoff 250 goes, the
+  // time-300 overflow and time-400 refresh stay.
+  W.expireExemplars(250);
+  Ex = W.exemplars();
+  ASSERT_EQ(Ex.size(), 2u);
+  EXPECT_DOUBLE_EQ(Ex[0].Value, 20);
+  EXPECT_DOUBLE_EQ(Ex[1].Value, 500);
+}
+
+TEST(WindowedHistogramTest, ExemplarsDisabledByDefault) {
+  WindowedHistogram W(0, 100, 10, 2);
+  EXPECT_EQ(W.numExemplarSlots(), 0u);
+  W.noteExemplar(10, 1, 2, 2, 100); // must be a no-op, not a crash
+  EXPECT_TRUE(W.exemplars().empty());
+  W.expireExemplars(1000);
 }
 
 TEST(WindowedHistogramTest, QuantilesFollowTheWindowNotTheRun) {
