@@ -170,6 +170,81 @@ void BM_HealthOverhead(benchmark::State &State) {
 }
 BENCHMARK(BM_HealthOverhead)->Arg(0)->Arg(1);
 
+// Steal-pressure stress: a deep *unbalanced* spawn tree (one long spine,
+// short side branches) whose every internal node touches both children.
+// The spine keeps one worker busy while the side branches land in its
+// deque, so the other workers live off steals; the touches force constant
+// suspension/resumption across workers. This is the shape batch stealing
+// and the next-task slot exist for — the gate for the locality-aware
+// scheduler refactor.
+int stealChurn(icilk::Context<Lo> &Ctx, int Depth) {
+  if (Depth <= 0)
+    return 1;
+  // Unbalanced: the left child carries the full remaining depth - 1, the
+  // right child only a stub — a pathological DAG for plain work-first
+  // scheduling.
+  auto Spine = Ctx.fcreate<Lo>(
+      [Depth](icilk::Context<Lo> &C) { return stealChurn(C, Depth - 1); });
+  auto Stub = Ctx.fcreate<Lo>(
+      [](icilk::Context<Lo> &C) { return stealChurn(C, 0); });
+  return Ctx.ftouch(Spine) + Ctx.ftouch(Stub);
+}
+
+// Arg(0) pins the pre-refactor behavior (no next-task slot, classic
+// one-task steals); Arg(1) is the locality-aware scheduler. Keeping both
+// in the same binary makes the A/B apples-to-apples on whatever machine
+// runs the gate — the locality win is the /1-vs-/0 ratio, not a
+// cross-run diff that shared-runner noise can swallow.
+void BM_StealChurn(benchmark::State &State) {
+  icilk::RuntimeConfig C;
+  C.NumWorkers = 4;
+  C.NumLevels = 1;
+  C.NextSlotEnabled = State.range(0) != 0;
+  C.StealBatchMax = State.range(0) != 0 ? 16 : 1;
+  icilk::Runtime Rt(C);
+  const int Depth = 64;
+  for (auto _ : State) {
+    auto F = icilk::fcreate<Lo>(
+        Rt, [Depth](icilk::Context<Lo> &Ctx) { return stealChurn(Ctx, Depth); });
+    benchmark::DoNotOptimize(icilk::touchFromOutside(Rt, F));
+    Rt.drain();
+  }
+  // Each depth level spawns a spine and a stub: 2*Depth + 1 tasks a lap.
+  State.SetItemsProcessed(State.iterations() * (2 * Depth + 1));
+}
+BENCHMARK(BM_StealChurn)->Arg(0)->Arg(1);
+
+// Parent/child ping-pong entirely inside the runtime: a task fcreates one
+// child and immediately ftouches it, in a tight loop. The child's working
+// set is the parent's still-hot cache line, so this is the round trip the
+// per-worker LIFO next-task slot accelerates (the child runs on the
+// parent's worker without a deque push/steal cycle).
+// Arg(0) disables the slot (pre-refactor deque round trip), Arg(1)
+// enables it — same A/B rationale as BM_StealChurn above.
+void BM_NextSlotPingPong(benchmark::State &State) {
+  icilk::RuntimeConfig C;
+  C.NumWorkers = 2;
+  C.NumLevels = 1;
+  C.NextSlotEnabled = State.range(0) != 0;
+  icilk::Runtime Rt(C);
+  constexpr int Laps = 64;
+  for (auto _ : State) {
+    auto F = icilk::fcreate<Lo>(Rt, [](icilk::Context<Lo> &Ctx) {
+      int Sum = 0;
+      for (int I = 0; I < Laps; ++I) {
+        auto Child =
+            Ctx.fcreate<Lo>([I](icilk::Context<Lo> &) { return I; });
+        Sum += Ctx.ftouch(Child);
+      }
+      return Sum;
+    });
+    benchmark::DoNotOptimize(icilk::touchFromOutside(Rt, F));
+    Rt.drain();
+  }
+  State.SetItemsProcessed(State.iterations() * Laps);
+}
+BENCHMARK(BM_NextSlotPingPong)->Arg(0)->Arg(1);
+
 // Wakeup latency of a parked runtime: both workers are asleep on the idle
 // event count when each submission arrives, so every iteration pays the
 // full futex-wake + reschedule path that replaced the old always-spinning

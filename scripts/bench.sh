@@ -61,7 +61,11 @@ ls -l "$REPO"/BENCH_*.json
 
 if [ "$UPDATE_BASELINES" = 1 ]; then
   mkdir -p "$REPO/bench/baselines"
-  cp "$REPO"/BENCH_*.json "$REPO/bench/baselines/"
+  # Only the suites this script produces — a blanket BENCH_*.json glob
+  # would also bless stale artifacts from other tools lying around.
+  for F in BENCH_micro_runtime.json BENCH_fig13_responsiveness.json            BENCH_loadgen_jobserver.json BENCH_reactor.json; do
+    cp "$REPO/$F" "$REPO/bench/baselines/"
+  done
   echo
   echo "bench.sh: refreshed baselines under bench/baselines/"
 fi

@@ -101,6 +101,60 @@ public:
     return Value;
   }
 
+  /// Thief: batch steal — takes up to \p MaxN tasks, never more than half
+  /// of the deque's observed occupancy (rounded up, so a 1-element deque
+  /// still yields its element), oldest first into \p Out. Returns the
+  /// number transferred; 0 on empty or a lost first race.
+  ///
+  /// The transfer is CAS-bounded, not single-CAS: element k is claimed by
+  /// its own Top CAS, and the loop stops at the first failed CAS once
+  /// anything was taken. A single CAS covering the whole range would be
+  /// unsound in Chase–Lev: the owner's pop takes bottom elements *without*
+  /// touching Top whenever it believes more than one element remains, so a
+  /// thief that read values [t, t+k) and then advanced Top by k in one CAS
+  /// can duplicate an element the owner popped in between. Claiming one
+  /// index at a time keeps the standard protocol's guarantee per element.
+  /// What the batch amortizes is everything around the CASes — one victim
+  /// scan, one fence pair, and one acquisition of the victim's Top cache
+  /// line (the follow-up CASes hit an already-exclusive line and stay off
+  /// the bus while uncontended).
+  std::size_t stealHalf(T *Out, std::size_t MaxN) {
+    std::size_t Want = 0; // fixed by the first observation of the deque
+    std::size_t Got = 0;
+    for (;;) {
+      // Every element is claimed by the full single-steal protocol — the
+      // per-iteration Bottom re-read is load-bearing: the owner pops
+      // bottom elements without a Top CAS while it sees two or more, so a
+      // claim against a stale Bottom could take an element the owner
+      // already returned.
+      int64_t Tp = Top.load(std::memory_order_acquire);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      int64_t B = Bottom.load(std::memory_order_acquire);
+      int64_t Avail = B - Tp;
+      if (Avail <= 0)
+        break;
+      if (Got == 0) {
+        // Half of the *initial* occupancy: as we drain the top, Avail
+        // shrinks — recomputing would steal half of a half each lap.
+        Want = static_cast<std::size_t>((Avail + 1) / 2);
+        if (Want > MaxN)
+          Want = MaxN;
+      }
+      if (Got >= Want)
+        break;
+      Ring *Buf = Buffer.load(std::memory_order_consume);
+      T Value = Buf->get(Tp);
+      if (!Top.compare_exchange_strong(Tp, Tp + 1, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+        if (Got)
+          break;  // contention after progress: leave with what we hold
+        return 0; // lost the first race — same contract as steal()
+      }
+      Out[Got++] = Value;
+    }
+    return Got;
+  }
+
   /// Approximate size (racy; for the desire heuristic and stats only).
   std::size_t sizeApprox() const {
     int64_t B = Bottom.load(std::memory_order_relaxed);

@@ -198,8 +198,10 @@ template <> struct FutureValueType<void> {
 /// Spawns \p Body as a new thread at priority \p ChildPrio and returns its
 /// handle (the paper's fcreate). \p Body is invoked with a
 /// Context<ChildPrio>& so its own touches are checked at its priority.
+/// \p Hint optionally asks the scheduler to place the child near a worker
+/// or socket (best-effort; see AffinityHint — dropped under pressure).
 template <typename ChildPrio, typename Fn>
-auto fcreate(Runtime &Rt, Fn &&Body)
+auto fcreate(Runtime &Rt, Fn &&Body, AffinityHint Hint = {})
     -> Future<ChildPrio,
               typename detail::FutureValueType<
                   detail::BodyResult<ChildPrio, Fn>>::type> {
@@ -229,6 +231,7 @@ auto fcreate(Runtime &Rt, Fn &&Body)
   // The Task comes from the runtime's slab (recycled object + pooled
   // fiber stack) rather than a fresh allocation per spawn.
   Task *NewTask = Rt.allocTask(std::move(Work), ChildPrio::Level);
+  NewTask->setAffinity(Hint);
   detail::traceSpawn(Rt, *State, *NewTask, ChildPrio::Level);
   Rt.submitTask(NewTask);
   return Future<ChildPrio, V>(std::move(State));
@@ -241,7 +244,8 @@ auto fcreate(Runtime &Rt, Fn &&Body)
 /// type \p T must be given explicitly. The handle is associated before the
 /// task is submitted, so the body can use it immediately.
 template <typename ChildPrio, typename T, typename Fn>
-Future<ChildPrio, T> fcreateSelf(Runtime &Rt, Fn &&Body) {
+Future<ChildPrio, T> fcreateSelf(Runtime &Rt, Fn &&Body,
+                                 AffinityHint Hint = {}) {
   static_assert(IsPriority<ChildPrio>, "fcreate priority must be a priority");
   assert(ChildPrio::Level < Rt.config().NumLevels &&
          "priority level outside the runtime's configured range");
@@ -256,6 +260,7 @@ Future<ChildPrio, T> fcreateSelf(Runtime &Rt, Fn &&Body) {
     }
   };
   Task *NewTask = Rt.allocTask(std::move(Work), ChildPrio::Level);
+  NewTask->setAffinity(Hint);
   detail::traceSpawn(Rt, *State, *NewTask, ChildPrio::Level);
   // Handing the body its own handle is a *publish*: record it so a touch
   // that later learns the handle through state the body wrote still has a
@@ -353,8 +358,11 @@ public:
   Runtime &runtime() const { return Rt; }
 
   /// Spawn a child thread at \p ChildPrio (no parent/child restriction).
-  template <typename ChildPrio, typename Fn> auto fcreate(Fn &&Body) {
-    return icilk::fcreate<ChildPrio>(Rt, std::forward<Fn>(Body));
+  /// An optional \p Hint asks for placement near a worker or socket
+  /// (best-effort; see AffinityHint).
+  template <typename ChildPrio, typename Fn>
+  auto fcreate(Fn &&Body, AffinityHint Hint = {}) {
+    return icilk::fcreate<ChildPrio>(Rt, std::forward<Fn>(Body), Hint);
   }
 
   /// Wait for \p F and return its value. Compiles only when this context's

@@ -191,6 +191,18 @@ void Health::tick(uint64_t NowNanos) {
       D << "worker " << W << " stalled in state stealing for "
         << formatMillis(HeldMillis) << " while " << TotalPending
         << " tasks are pending";
+      // Steal locality tells degraded-scan from no-work-at-all: a thief
+      // spinning with a healthy same-socket ratio is scanning queues that
+      // really are empty; a collapsing ratio says the work sits across
+      // the interconnect (tier policy, affinity hints, or the master's
+      // partition are fighting the victim scan).
+      uint64_t Steals = Snap.StealsSameSocket + Snap.StealsCrossSocket;
+      if (Steals > 0) {
+        D << "; steal locality "
+          << (Snap.StealsSameSocket * 100 / Steals) << "% same-socket ("
+          << Snap.StealsSameSocket << " same, " << Snap.StealsCrossSocket
+          << " cross)";
+      }
       V.Detail = D.str();
       Fresh.push_back(std::move(V));
     }

@@ -1,0 +1,83 @@
+//===- icilk/QueuePlane.h - 2-D level×worker work-stealing plane -*- C++ -*-===//
+//
+// Part of icilk-repro, a reproduction of "Responsive Parallelism with
+// Futures and State" (PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+//
+// The per-level work-stealing queues of the I-Cilk runtime as one indexed
+// 2-D structure: a row-major Levels × Workers plane of Chase–Lev deques,
+// cell (L, W) owned by worker W for pushes/pops, stolen from by every
+// other worker serving level L.
+//
+// This replaces the original layout where each Worker object carried its
+// own vector of per-level deques. The plane matters for the victim scan:
+// a thief sweeping level L walks row(L) — a contiguous array of deque
+// pointers — instead of pointer-chasing through every Worker object (and
+// dragging each worker's unrelated hot fields through its cache on the
+// way). Rows are where cross-worker traffic happens, so rows are what
+// must be dense.
+//
+// Each cell is heap-allocated behind its pointer: a Chase–Lev deque's
+// Top/Bottom atomics are written from different threads, and packing
+// neighbouring cells into one array would false-share every steal with
+// the neighbour's pushes. The pointer array itself is immutable after
+// construction — scans read it without synchronization.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef REPRO_ICILK_QUEUEPLANE_H
+#define REPRO_ICILK_QUEUEPLANE_H
+
+#include "conc/ChaseLevDeque.h"
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+namespace repro::icilk {
+
+class Task;
+
+/// The Levels × Workers deque plane. Indexing is row-major by level so a
+/// per-level victim scan is a linear walk.
+class QueuePlane {
+public:
+  using Deque = conc::ChaseLevDeque<Task *>;
+
+  QueuePlane() = default;
+  QueuePlane(unsigned Levels, unsigned Workers)
+      : LevelCount(Levels), WorkerCount(Workers) {
+    Cells.reserve(static_cast<std::size_t>(Levels) * Workers);
+    for (unsigned I = 0; I < Levels * Workers; ++I)
+      Cells.push_back(std::make_unique<Deque>());
+  }
+
+  unsigned levels() const { return LevelCount; }
+  unsigned workers() const { return WorkerCount; }
+
+  /// Cell (L, W): worker W's deque for level L.
+  Deque &at(unsigned Level, unsigned Worker) {
+    assert(Level < LevelCount && Worker < WorkerCount);
+    return *Cells[static_cast<std::size_t>(Level) * WorkerCount + Worker];
+  }
+  const Deque &at(unsigned Level, unsigned Worker) const {
+    assert(Level < LevelCount && Worker < WorkerCount);
+    return *Cells[static_cast<std::size_t>(Level) * WorkerCount + Worker];
+  }
+
+  /// Row L as a contiguous pointer array, for victim scans.
+  const std::unique_ptr<Deque> *row(unsigned Level) const {
+    assert(Level < LevelCount);
+    return Cells.data() + static_cast<std::size_t>(Level) * WorkerCount;
+  }
+
+private:
+  unsigned LevelCount = 0;
+  unsigned WorkerCount = 0;
+  std::vector<std::unique_ptr<Deque>> Cells;
+};
+
+} // namespace repro::icilk
+
+#endif // REPRO_ICILK_QUEUEPLANE_H

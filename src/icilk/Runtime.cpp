@@ -36,6 +36,10 @@ constexpr std::size_t TaskCacheCap = 32;
 /// spun here unboundedly).
 constexpr unsigned MaxInjectionSpins = 64;
 
+/// Hard cap on StealBatchMax: bounds the thief-side stack buffer a batch
+/// steal fills before requeueing the extras on its own deque.
+constexpr std::size_t StealBatchCap = 64;
+
 } // namespace
 
 const char *workerStateName(WorkerState S) {
@@ -117,8 +121,9 @@ Runtime::Runtime(RuntimeConfig Cfg) : Config(Cfg) {
   Pending = conc::PaddedAtomicArray<int64_t>(Config.NumLevels, 0);
   OverflowSize = conc::PaddedAtomicArray<int64_t>(QueueLevels, 0);
   DesireMirror = conc::PaddedAtomicArray<double>(Config.NumLevels, 1.0);
+  Plane = QueuePlane(QueueLevels, Config.NumWorkers);
   for (unsigned W = 0; W < Config.NumWorkers; ++W)
-    Workers.push_back(std::make_unique<Worker>(QueueLevels, W));
+    Workers.push_back(std::make_unique<Worker>(W));
 
   // Initial assignment: spread workers across levels, highest first, so the
   // first quantum is not blind.
@@ -160,10 +165,20 @@ void Runtime::shutdown() {
       delete T;
     O->Q.clear();
   }
-  for (auto &W : Workers)
-    for (auto &D : W->Deques)
-      while (auto T = D->pop())
+  for (unsigned L = 0; L < Plane.levels(); ++L)
+    for (unsigned W = 0; W < Plane.workers(); ++W)
+      while (auto T = Plane.at(L, W).pop())
         delete *T;
+  for (auto &W : Workers) {
+    // Next-slot and mailbox occupants are invisible to the queues above;
+    // drain them here or they leak (workers are joined, so both are cold).
+    if (W->NextSlot) {
+      delete W->NextSlot;
+      W->NextSlot = nullptr;
+    }
+    if (Task *M = W->Mailbox.exchange(nullptr, std::memory_order_relaxed))
+      delete M;
+  }
   // Tear down the slab: recycled Task objects and every worker's caches.
   // (Worker threads are joined, so their caches are safe to touch.)
   Task *T = nullptr;
@@ -178,6 +193,10 @@ void Runtime::shutdown() {
 }
 
 bool Runtime::onWorkerThread() const { return CurrentRuntime == this; }
+
+int Runtime::currentWorkerIndex() const {
+  return CurrentRuntime == this ? static_cast<int>(CurrentWorkerIndex) : -1;
+}
 
 Task *Runtime::allocTask(std::function<void()> Body, unsigned Level) {
   assert(Level < Config.NumLevels && "task level out of range");
@@ -221,8 +240,119 @@ void Runtime::resumeTask(Task *T) {
   enqueue(T);
 }
 
+int Runtime::resolveAffinityWorker(const AffinityHint &H,
+                                   const Worker *Self) const {
+  if (H.Worker >= 0)
+    return static_cast<unsigned>(H.Worker) < Workers.size() ? H.Worker : -1;
+  if (H.Socket < 0)
+    return -1;
+  // Socket hint: workers are unpinned, so "a worker on that socket" means
+  // one whose last observed cpu maps there. Prefer the submitter itself
+  // (next-slot beats any mailbox), then the first resident worker with an
+  // empty mailbox; no resident or all boxes full = pressure, hint dropped.
+  auto OnSocket = [&](const Worker &W) {
+    int Cpu = W.LastCpu.load(std::memory_order_relaxed);
+    return Cpu >= 0 && repro::cpuSocketOf(Cpu) == H.Socket;
+  };
+  if (Self && OnSocket(*Self))
+    return static_cast<int>(Self->Index);
+  for (const auto &W : Workers)
+    if (OnSocket(*W) && W->Mailbox.load(std::memory_order_relaxed) == nullptr)
+      return static_cast<int>(W->Index);
+  return -1;
+}
+
+bool Runtime::tryMailboxDeliver(unsigned WorkerIdx, Task *T) {
+  Worker &W = *Workers[WorkerIdx];
+  // A parked target is pressure: delivering to it would spend a futex
+  // wakeup on locality the sleeping cache no longer has. An occupied box
+  // is pressure too. Both fall back to the shared path.
+  if (W.ParkedFlag.load(std::memory_order_seq_cst))
+    return false;
+  Task *Expected = nullptr;
+  if (!W.Mailbox.compare_exchange_strong(Expected, T,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_relaxed))
+    return false;
+  // The target may have begun parking between the flag check and the CAS.
+  // Re-read the flag (seq_cst): if the owner's park-time mailbox re-check
+  // did not see this CAS, then under SC its earlier flag store is visible
+  // here, and the notify wakes it. See Worker::Mailbox's comment.
+  if (W.ParkedFlag.load(std::memory_order_seq_cst))
+    IdleEc.notifyAll();
+  return true;
+}
+
+void Runtime::placeInNextSlot(Worker &W, Task *T) {
+  if (!W.NextSlot) {
+    W.NextSlot = T;
+    W.NextSlotLevel = T->level();
+    return;
+  }
+  // Occupied: keep the higher-priority task in the slot (ties go to the
+  // newcomer — the freshest spawn has the hottest cache footprint) and
+  // spill the other onto the shared queues.
+  Task *Displaced = T;
+  if (T->level() >= W.NextSlotLevel) {
+    Displaced = W.NextSlot;
+    W.NextSlot = T;
+    W.NextSlotLevel = T->level();
+  }
+  Pending[Displaced->level()].fetch_add(1, std::memory_order_seq_cst);
+  Plane.at(queueIndex(Displaced->level()), W.Index).push(Displaced);
+  IdleEc.notifyOne();
+}
+
+void Runtime::flushNextSlot(Worker &W) {
+  Task *T = W.NextSlot;
+  W.NextSlot = nullptr;
+  Pending[T->level()].fetch_add(1, std::memory_order_seq_cst);
+  Plane.at(queueIndex(T->level()), W.Index).push(T);
+  IdleEc.notifyOne();
+}
+
+bool Runtime::higherLevelPending(unsigned Level) const {
+  for (unsigned L = Level + 1; L < Config.NumLevels; ++L)
+    if (Pending[L].load(std::memory_order_relaxed) > 0)
+      return true;
+  return false;
+}
+
 void Runtime::enqueue(Task *T) {
   unsigned Q = queueIndex(T->level());
+  Worker *Self =
+      CurrentRuntime == this ? Workers[CurrentWorkerIndex].get() : nullptr;
+
+  // Affinity hint first: a cross-worker hint goes through the target's
+  // mailbox, a self hint through the next-slot path below. Tasks placed by
+  // either are NOT counted in Pending — they are unstealable, and
+  // advertising them would make every idle worker spin on work only one
+  // of them can reach. Outstanding still counts them, so drain() is exact.
+  if (T->affinity().any()) {
+    int Target = resolveAffinityWorker(T->affinity(), Self);
+    if (Target >= 0) {
+      if (Self && static_cast<unsigned>(Target) == Self->Index &&
+          Config.NextSlotEnabled) {
+        AffinityHitsCount.fetch_add(1, std::memory_order_relaxed);
+        placeInNextSlot(*Self, T);
+        return;
+      }
+      if ((!Self || static_cast<unsigned>(Target) != Self->Index) &&
+          tryMailboxDeliver(static_cast<unsigned>(Target), T)) {
+        AffinityHitsCount.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    // Unresolvable or pressured hint: fall through to the normal paths.
+  }
+
+  // Worker spawns/resumes land in the worker's next-task slot (run-next
+  // locality; the displaced occupant spills to the worker's own deque).
+  if (Self && Config.NextSlotEnabled) {
+    placeInNextSlot(*Self, T);
+    return;
+  }
+
   // seq_cst, not relaxed: this is the producer half of the parking Dekker
   // protocol. A worker about to park registers on IdleEc (seq_cst RMW) and
   // re-checks these counters; with both sides seq_cst, either the worker
@@ -233,8 +363,8 @@ void Runtime::enqueue(Task *T) {
   // Worker spawns/resumes go to the worker's own per-level deque (work-
   // first locality; thieves and fall-through serving cover other levels).
   // External submissions go through the level's injection queue.
-  if (CurrentRuntime == this) {
-    Workers[CurrentWorkerIndex]->Deques[Q]->push(T);
+  if (Self) {
+    Plane.at(Q, Self->Index).push(T);
     IdleEc.notifyOne();
     return;
   }
@@ -283,38 +413,84 @@ Task *Runtime::findTaskAtLevel(unsigned QueueIdx, Worker *Self, bool PopSelf) {
   // spawns: those are reached through the steal loop below (Self included)
   // instead of paying an extra empty-pop per level per scan.
   if (Self && PopSelf)
-    if (auto T = Self->Deques[QueueIdx]->pop())
+    if (auto T = Plane.at(QueueIdx, Self->Index).pop())
       return *T;
   if (auto T = Injection[QueueIdx]->tryPop())
     return *T;
   if (OverflowSize[QueueIdx].load(std::memory_order_acquire) > 0)
     if (Task *T = popOverflow(QueueIdx))
       return T;
-  // Victim scan from a per-thief random start, so concurrent thieves fan
-  // out across victims instead of all hammering worker 0's deque first.
+  // Victim scan over the plane's level row, from a per-thief random start
+  // so concurrent thieves fan out across victims instead of all hammering
+  // worker 0's deque first. With LocalityTiers on a multi-socket machine
+  // the scan runs twice: pass 0 visits only same-socket victims (cache
+  // lines cross a die, not the interconnect), pass 1 only cross-socket
+  // ones — each pass keeping its own randomized start offset. Victims
+  // with no known cpu count as same-socket, matching noteSteal's honest
+  // fallback. Single-socket or unknown topology collapses to one flat
+  // pass with zero per-victim tier arithmetic.
   unsigned N = static_cast<unsigned>(Workers.size());
   unsigned Start =
       Self ? static_cast<unsigned>(Self->StealRng.nextBelow(N)) : 0;
-  for (unsigned I = 0; I < N; ++I) {
-    unsigned V = Start + I;
-    if (V >= N)
-      V -= N;
-    Worker *W = Workers[V].get();
-    if (W == Self && PopSelf)
-      continue; // own deque already popped above
-    if (auto T = W->Deques[QueueIdx]->steal()) {
-      trace::emit(trace::EventKind::Steal, static_cast<uint8_t>(QueueIdx),
-                  (*T)->ringId(), V);
-      if (Self && W != Self)
+  const std::unique_ptr<QueuePlane::Deque> *Row = Plane.row(QueueIdx);
+  int MyCpu = Self ? Self->LastCpu.load(std::memory_order_relaxed) : -1;
+  bool Tiered = Config.LocalityTiers && MyCpu >= 0 &&
+                repro::knownSocketCount() > 1;
+  int MySocket = Tiered ? repro::cpuSocketOf(MyCpu) : 0;
+  // Batch stealing (stealHalf) needs somewhere to put the extras — the
+  // thief's own deque at this level — so it requires a worker identity.
+  std::size_t BatchMax =
+      Self ? std::min<std::size_t>(Config.StealBatchMax, StealBatchCap) : 1;
+  const unsigned Passes = Tiered ? 2 : 1;
+  for (unsigned Pass = 0; Pass < Passes; ++Pass) {
+    for (unsigned I = 0; I < N; ++I) {
+      unsigned V = Start + I;
+      if (V >= N)
+        V -= N;
+      Worker *W = Workers[V].get();
+      if (W == Self && PopSelf)
+        continue; // own deque already popped above
+      if (Tiered) {
+        int VictimCpu = W->LastCpu.load(std::memory_order_relaxed);
+        bool Same = VictimCpu < 0 || repro::cpuSocketOf(VictimCpu) == MySocket;
+        if (Same != (Pass == 0))
+          continue;
+      }
+      if (BatchMax > 1 && W != Self) {
+        Task *Batch[StealBatchCap];
+        std::size_t Got = Row[V]->stealHalf(Batch, BatchMax);
+        if (Got == 0)
+          continue;
+        // Keep the oldest for ourselves; the rest go on our own deque at
+        // the same level. The thief owns its plane column, so owner-side
+        // pushes are legal here, and the extras were already counted in
+        // Pending at their original enqueue — no re-count, no notify.
+        for (std::size_t K = 1; K < Got; ++K)
+          Plane.at(QueueIdx, Self->Index).push(Batch[K]);
+        if (Got > 1) {
+          BatchStealsCount.fetch_add(1, std::memory_order_relaxed);
+          BatchStealTasksCount.fetch_add(Got, std::memory_order_relaxed);
+        }
+        trace::emit(trace::EventKind::Steal, static_cast<uint8_t>(QueueIdx),
+                    Batch[0]->ringId(), V);
         noteSteal(*Self, *W);
-      return *T;
+        return Batch[0];
+      }
+      if (auto T = Row[V]->steal()) {
+        trace::emit(trace::EventKind::Steal, static_cast<uint8_t>(QueueIdx),
+                    (*T)->ringId(), V);
+        if (Self && W != Self)
+          noteSteal(*Self, *W);
+        return *T;
+      }
     }
   }
   return nullptr;
 }
 
-void Runtime::runTask(Task *T, Worker *Self) {
-  Pending[T->level()].fetch_sub(1, std::memory_order_relaxed);
+void Runtime::runTask(Task *T, Worker *Self, bool CountedPending) {
+  if (CountedPending)
+    Pending[T->level()].fetch_sub(1, std::memory_order_relaxed);
   uint64_t Begin = repro::nowNanos();
   if (Self) {
     Self->LastCpu.store(repro::currentCpu(), std::memory_order_relaxed);
@@ -403,7 +579,33 @@ void Runtime::workerLoop(unsigned Index) {
                 0, 0, repro::nowNanos());
   while (!Stop.load(std::memory_order_acquire)) {
     unsigned Q = Config.PriorityAware ? W.AssignedLevel.load() : 0u;
-    Task *T = findTaskAtLevel(Q, &W, /*PopSelf=*/true);
+    // Next-task slot first — the freshest spawn on the hottest cache —
+    // unless the promptness guard trips: a strictly higher level with
+    // pending work means the slot must not jump the priority queue, so
+    // its occupant is flushed to the deque (stealable, Pending-visible)
+    // and the normal priority-ordered scan runs instead. This is the
+    // fairness bound: the slot can reorder work *within* a level but
+    // never delays a higher level by more than one guard check.
+    Task *T = nullptr;
+    bool Counted = true;
+    if (W.NextSlot) {
+      if (Config.PriorityAware && higherLevelPending(W.NextSlotLevel)) {
+        flushNextSlot(W);
+      } else {
+        T = W.NextSlot;
+        W.NextSlot = nullptr;
+        Counted = false;
+        NextSlotHitsCount.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Then the affinity mailbox (also never Pending-counted).
+    if (!T)
+      if ((T = W.Mailbox.load(std::memory_order_acquire)) != nullptr) {
+        W.Mailbox.store(nullptr, std::memory_order_relaxed);
+        Counted = false;
+      }
+    if (!T)
+      T = findTaskAtLevel(Q, &W, /*PopSelf=*/true);
     if (!T && Config.PriorityAware) {
       // Work conservation: the assignment is a preference, not a cage — an
       // idle worker serves other levels, highest priority first, rather
@@ -413,7 +615,7 @@ void Runtime::workerLoop(unsigned Index) {
           T = findTaskAtLevel(L, &W, /*PopSelf=*/false);
     }
     if (T) {
-      runTask(T, &W);
+      runTask(T, &W, Counted);
       B.reset();
       HadWork = true;
       IdleScans = 0;
@@ -436,8 +638,15 @@ void Runtime::workerLoop(unsigned Index) {
     // between the last scan and the futex sleep cannot be missed, because
     // its Pending increment either lands before the re-check (we stand
     // down) or after our seq_cst registration (its notify sees us).
+    // ParkedFlag goes up (seq_cst) before the registration and the
+    // mailbox joins the re-check: a mailbox producer whose CAS this
+    // re-check misses must itself see the raised flag and notifyAll —
+    // under SC one of the two loads is last (see Worker::Mailbox).
+    W.ParkedFlag.store(true, std::memory_order_seq_cst);
     conc::EventCount::Key Key = IdleEc.prepareWait();
-    if (Stop.load(std::memory_order_seq_cst) || anyPendingSeqCst()) {
+    if (Stop.load(std::memory_order_seq_cst) || anyPendingSeqCst() ||
+        W.Mailbox.load(std::memory_order_seq_cst) != nullptr) {
+      W.ParkedFlag.store(false, std::memory_order_relaxed);
       IdleEc.cancelWait();
       IdleScans = 0;
       B.reset();
@@ -447,6 +656,7 @@ void Runtime::workerLoop(unsigned Index) {
     publishStatus(W, WorkerState::Parked, static_cast<uint8_t>(Q), 0, 0,
                   repro::nowNanos());
     IdleEc.commitWait(Key);
+    W.ParkedFlag.store(false, std::memory_order_relaxed);
     ParkedCount.fetch_sub(1, std::memory_order_relaxed);
     publishStatus(W, WorkerState::Stealing, static_cast<uint8_t>(Q), 0, 0,
                   repro::nowNanos());
@@ -643,6 +853,10 @@ RuntimeSnapshot Runtime::snapshot() const {
   S.TasksRecycled = TasksRecycledCount.load(std::memory_order_relaxed);
   S.StealsSameSocket = StealsSameSocketCount.load(std::memory_order_relaxed);
   S.StealsCrossSocket = StealsCrossSocketCount.load(std::memory_order_relaxed);
+  S.NextSlotHits = NextSlotHitsCount.load(std::memory_order_relaxed);
+  S.BatchSteals = BatchStealsCount.load(std::memory_order_relaxed);
+  S.BatchStealTasks = BatchStealTasksCount.load(std::memory_order_relaxed);
+  S.AffinityHits = AffinityHitsCount.load(std::memory_order_relaxed);
   S.Pending.reserve(Config.NumLevels);
   S.InjectionOverflow.reserve(Config.NumLevels);
   for (unsigned L = 0; L < Config.NumLevels; ++L) {
@@ -672,6 +886,20 @@ void Runtime::sampleMetrics(repro::MetricsRegistry &M,
   M.counter(Prefix + ".tasks_recycled").set(S.TasksRecycled);
   M.counter(Prefix + ".steals_same_socket").set(S.StealsSameSocket);
   M.counter(Prefix + ".steals_cross_socket").set(S.StealsCrossSocket);
+  M.counter(Prefix + ".next_slot_hits").set(S.NextSlotHits);
+  M.counter(Prefix + ".batch_steals").set(S.BatchSteals);
+  M.counter(Prefix + ".batch_steal_tasks").set(S.BatchStealTasks);
+  M.counter(Prefix + ".affinity_hits").set(S.AffinityHits);
+  {
+    // Same-socket share of all steals as a live gauge, so one scrape
+    // answers "is the tiered scan working" without counter math. 1.0 when
+    // no steal has happened yet (vacuously all-local).
+    uint64_t Steals = S.StealsSameSocket + S.StealsCrossSocket;
+    M.setGauge(Prefix + ".steal_same_socket_ratio",
+               Steals == 0 ? 1.0
+                           : static_cast<double>(S.StealsSameSocket) /
+                                 static_cast<double>(Steals));
+  }
   M.setGauge(Prefix + ".outstanding", static_cast<double>(S.Outstanding));
   M.setGauge(Prefix + ".workers_parked", static_cast<double>(S.WorkersParked));
 

@@ -51,6 +51,7 @@
 #include "conc/StackPool.h"
 #include "conc/TreiberStack.h"
 #include "icilk/Future.h"
+#include "icilk/QueuePlane.h"
 #include "icilk/Task.h"
 #include "support/Random.h"
 #include "support/Stats.h"
@@ -96,6 +97,20 @@ struct RuntimeConfig {
   /// an unbounded mutex-guarded overflow list (counted in snapshot()).
   /// Small values are for tests; the default never overflows in practice.
   std::size_t InjectionCapacity = 1 << 16;
+  /// Worker-local LIFO next-task slot: a worker-side fcreate parks the
+  /// child in the parent's slot (unstealable, no shared-queue traffic) so
+  /// it runs next on the still-hot cache. The consumption-side promptness
+  /// guard flushes the slot whenever a strictly higher level has pending
+  /// work, so the slot can delay but never starve a higher priority.
+  bool NextSlotEnabled = true;
+  /// Upper bound on tasks a thief transfers per steal operation
+  /// (ChaseLevDeque::stealHalf takes up to half the victim's queue, capped
+  /// here). 1 degrades to classic single-task stealing. Hard cap 64.
+  unsigned StealBatchMax = 16;
+  /// Tiered victim scans: exhaust same-socket victims before crossing a
+  /// socket boundary. Automatically flat (one tier) on single-socket
+  /// machines or when the topology is unknown.
+  bool LocalityTiers = true;
 };
 
 /// Per-priority-level measurement sinks (Figs. 13–14 report summaries of
@@ -205,6 +220,17 @@ struct RuntimeSnapshot {
                                    ///< (cpu→socket via /sys; unknown cpus
                                    ///< count here, the honest fallback)
   uint64_t StealsCrossSocket = 0;  ///< steals that crossed a socket
+  uint64_t NextSlotHits = 0;       ///< tasks a worker ran straight from its
+                                   ///< next-task slot (no shared queue
+                                   ///< touched between fcreate and run)
+  uint64_t BatchSteals = 0;        ///< steal operations that transferred
+                                   ///< two or more tasks (stealHalf)
+  uint64_t BatchStealTasks = 0;    ///< tasks moved by those batch steals
+                                   ///< (kept + requeued on the thief)
+  uint64_t AffinityHits = 0;       ///< hinted tasks placed where the hint
+                                   ///< asked (next-slot or mailbox); a
+                                   ///< hinted task that fell back to the
+                                   ///< shared queues is not counted
   std::vector<int64_t> InjectionOverflow; ///< spill-list depth, per queue
                                           ///< level (nonzero = a ring is
                                           ///< past its watermark)
@@ -275,6 +301,11 @@ public:
   /// True when the calling thread is one of this runtime's workers.
   bool onWorkerThread() const;
 
+  /// Index of the calling worker thread within this runtime, or -1 when
+  /// called from any other thread. Tests use this to assert affinity
+  /// hints landed where they pointed.
+  int currentWorkerIndex() const;
+
   /// Reads worker \p Index's published status line (seqlock-consistent:
   /// the snapshot is retried while the worker is mid-publish). Returns
   /// false only when \p Index is out of range. Safe from any thread; this
@@ -331,14 +362,9 @@ public:
 
 private:
   struct Worker {
-    Worker(unsigned QueueLevels, unsigned Index)
-        : Index(Index), StealRng(0x51ab5000 + Index) {
-      Deques.reserve(QueueLevels);
-      for (unsigned L = 0; L < QueueLevels; ++L)
-        Deques.push_back(std::make_unique<conc::ChaseLevDeque<Task *>>());
-    }
+    explicit Worker(unsigned Index)
+        : Index(Index), StealRng(0x51ab5000 + Index) {}
     const unsigned Index; ///< position in Workers; latency-shard id
-    std::vector<std::unique_ptr<conc::ChaseLevDeque<Task *>>> Deques;
     /// The two cross-thread-hot atomics each own a cache line:
     /// AssignedLevel is master-written and polled by the worker every
     /// scan; WorkNanos is worker-written per task and harvested by the
@@ -364,8 +390,28 @@ private:
     StatusLine Status;
     /// CPU this worker last observed itself on (sched_getcpu in runTask;
     /// -1 before the first task) — the steal-locality counters' victim
-    /// side.
+    /// side and the tiered victim scan's socket oracle.
     std::atomic<int> LastCpu{-1};
+    /// Affinity mailbox: a one-deep cross-worker delivery box for tasks
+    /// hinted at this worker. Producers CAS nullptr→task (an occupied box
+    /// is "pressure" — the hint is dropped and the task takes the shared
+    /// path); only the owning worker clears it. ParkedFlag is the Dekker
+    /// flag for delivery-vs-park: the owner raises it (seq_cst) *before*
+    /// registering on the idle event count and re-checks the mailbox; a
+    /// producer that sees it raised after a successful CAS rings
+    /// notifyAll. Either the owner's re-check sees the task or the
+    /// producer's re-read sees the flag — under SC one of the two loads
+    /// is last, so no delivery is ever parked past. Shares a line: the
+    /// two are always touched together, by both sides.
+    alignas(conc::CacheLineBytes) std::atomic<Task *> Mailbox{nullptr};
+    std::atomic<bool> ParkedFlag{false};
+    /// The LIFO next-task slot (worker-private; no synchronization):
+    /// holds at most one task, run before any queue is consulted unless
+    /// the promptness guard flushes it. NextSlotLevel mirrors the
+    /// occupant's level so the guard and displacement policy need not
+    /// dereference the task.
+    Task *NextSlot = nullptr;
+    unsigned NextSlotLevel = 0;
     /// Scheduler-loop-private state, no synchronization: where this
     /// worker's victim scans start, and its stack-/task-slab caches.
     alignas(conc::CacheLineBytes) repro::Rng StealRng;
@@ -395,9 +441,27 @@ private:
   /// Classifies a successful steal as same- vs cross-socket.
   void noteSteal(Worker &Thief, const Worker &Victim);
   void enqueue(Task *T);
+  /// Resolves an affinity hint to a target worker index, or -1 when the
+  /// hint cannot be honored (bad index, socket with no resident worker).
+  int resolveAffinityWorker(const AffinityHint &H, const Worker *Self) const;
+  /// Producer half of the mailbox protocol; false = pressure, take the
+  /// shared path instead.
+  bool tryMailboxDeliver(unsigned WorkerIdx, Task *T);
+  /// Places \p T in \p W's next-task slot, displacing the lower-level of
+  /// the two occupants onto the shared queues (owning worker only).
+  void placeInNextSlot(Worker &W, Task *T);
+  /// Moves \p W's slot occupant onto the worker's own deque (making it
+  /// stealable and Pending-visible) — the promptness guard's flush path.
+  void flushNextSlot(Worker &W);
+  /// True when any level strictly above \p Level has pending work — the
+  /// next-slot promptness guard's condition.
+  bool higherLevelPending(unsigned Level) const;
   Task *findTaskAtLevel(unsigned QueueIdx, Worker *Self, bool PopSelf);
   Task *popOverflow(unsigned QueueIdx);
-  void runTask(Task *T, Worker *Self);
+  /// \p CountedPending is false for tasks consumed from a next-slot or
+  /// mailbox, which were never added to the Pending counters (they are
+  /// unstealable, so advertising them would make idle workers spin).
+  void runTask(Task *T, Worker *Self, bool CountedPending = true);
   void recycleTask(Task *T, Worker *Self);
   bool anyPendingSeqCst() const;
   std::vector<unsigned> countAssignments() const;
@@ -407,6 +471,10 @@ private:
   conc::StackPool FiberStacks{Task::StackBytes};
   conc::TreiberStack<Task *> FreeTasks; ///< slab overflow, any thread
   std::vector<std::unique_ptr<Worker>> Workers;
+  /// The 2-D queue-levels × workers deque plane (QueuePlane.h); cell
+  /// (L, W) is worker W's deque for level L. Replaces per-Worker deque
+  /// vectors so a level's victim scan walks one contiguous row.
+  QueuePlane Plane;
   std::vector<std::unique_ptr<conc::MpmcQueue<Task *>>> Injection;
   std::vector<std::unique_ptr<LevelOverflow>> Overflow;
   std::vector<std::unique_ptr<LevelStats>> Stats;
@@ -432,6 +500,10 @@ private:
   std::atomic<uint64_t> TasksRecycledCount{0};
   std::atomic<uint64_t> StealsSameSocketCount{0};
   std::atomic<uint64_t> StealsCrossSocketCount{0};
+  std::atomic<uint64_t> NextSlotHitsCount{0};
+  std::atomic<uint64_t> BatchStealsCount{0};
+  std::atomic<uint64_t> BatchStealTasksCount{0};
+  std::atomic<uint64_t> AffinityHitsCount{0};
   std::atomic<bool> InjectionFullLogged{false};
   std::atomic<uint32_t> NextTraceTaskId{1}; ///< event-ring task ids
   std::atomic<class TraceRecorder *> Trace{nullptr};

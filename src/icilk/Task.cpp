@@ -87,6 +87,7 @@ void Task::reset(std::function<void()> NewBody, unsigned NewLevel) {
   TraceId = 0;
   RingId = 0;
   Span = SpanContext{};
+  Affinity = AffinityHint{};
   WaitingOn = nullptr;
   ReturnCtx = nullptr;
 #if ICILK_TSAN_FIBERS

@@ -52,6 +52,18 @@ namespace repro::icilk {
 
 class FutureStateBase;
 
+/// Optional placement hint attached at fcreate: run the task near a
+/// specific worker or socket. Hints are best-effort — the scheduler
+/// honors them through the next-slot and mailbox paths when the target
+/// has room, and silently falls back to the shared queues under
+/// pressure (occupied mailbox, parked target, unknown topology). A
+/// default-constructed hint means "no preference".
+struct AffinityHint {
+  int16_t Worker = -1; ///< preferred worker index, -1 = none
+  int16_t Socket = -1; ///< preferred socket id, -1 = none
+  bool any() const { return Worker >= 0 || Socket >= 0; }
+};
+
 /// Fiber-backed task. Drive with startOrResume() from a worker; inspect
 /// isDone()/waitingOn() afterwards.
 class Task {
@@ -133,6 +145,10 @@ public:
   const SpanContext &span() const { return Span; }
   void setSpan(const SpanContext &C) { Span = C; }
 
+  /// Placement hint (see AffinityHint), set at fcreate; default = none.
+  const AffinityHint &affinity() const { return Affinity; }
+  void setAffinity(const AffinityHint &H) { Affinity = H; }
+
 private:
   static void trampoline();
 
@@ -147,6 +163,7 @@ private:
   uint32_t TraceId = 0;
   uint32_t RingId = 0;
   SpanContext Span{};
+  AffinityHint Affinity{};
   FutureStateBase *WaitingOn = nullptr;
   /// Pool-owned while free-listed, task-owned while attached. Acquired at
   /// first dispatch, returned in releaseRunResources; the destructor frees

@@ -480,6 +480,37 @@ std::string Telemetry::renderPrometheus() const {
   sample(Out, P + "_steals_total", "locality=\"cross_socket\"",
          num(S.StealsCrossSocket));
 
+  family(Out, P + "_steal_same_socket_ratio", "gauge",
+         "Same-socket share of all successful steals (1 = every steal "
+         "stayed on-die; also 1 before any steal happened).");
+  {
+    uint64_t Steals = S.StealsSameSocket + S.StealsCrossSocket;
+    sample(Out, P + "_steal_same_socket_ratio", "",
+           num(Steals == 0 ? 1.0
+                           : static_cast<double>(S.StealsSameSocket) /
+                                 static_cast<double>(Steals)));
+  }
+
+  family(Out, P + "_next_slot_hits_total", "counter",
+         "Tasks run straight from their worker's next-task slot (spawned "
+         "and executed on one cache, no shared queue touched).");
+  sample(Out, P + "_next_slot_hits_total", "", num(S.NextSlotHits));
+
+  family(Out, P + "_batch_steals_total", "counter",
+         "Steal operations that transferred two or more tasks at once "
+         "(stealHalf).");
+  sample(Out, P + "_batch_steals_total", "", num(S.BatchSteals));
+
+  family(Out, P + "_batch_steal_tasks_total", "counter",
+         "Tasks moved by multi-task steal operations (kept + requeued on "
+         "the thief).");
+  sample(Out, P + "_batch_steal_tasks_total", "", num(S.BatchStealTasks));
+
+  family(Out, P + "_affinity_hits_total", "counter",
+         "Hinted tasks placed where their affinity hint asked (next-slot "
+         "or mailbox; pressured fallbacks not counted).");
+  sample(Out, P + "_affinity_hits_total", "", num(S.AffinityHits));
+
   {
     HealthReport HR = HealthPlane->report();
     family(Out, P + "_health_status", "gauge",
@@ -668,6 +699,18 @@ json::Value Telemetry::snapshotJson() const {
   Out.set("tasks_recycled", json::Value(S.TasksRecycled));
   Out.set("steals_same_socket", json::Value(S.StealsSameSocket));
   Out.set("steals_cross_socket", json::Value(S.StealsCrossSocket));
+  Out.set("next_slot_hits", json::Value(S.NextSlotHits));
+  Out.set("batch_steals", json::Value(S.BatchSteals));
+  Out.set("batch_steal_tasks", json::Value(S.BatchStealTasks));
+  Out.set("affinity_hits", json::Value(S.AffinityHits));
+  {
+    uint64_t Steals = S.StealsSameSocket + S.StealsCrossSocket;
+    Out.set("steal_same_socket_ratio",
+            json::Value(Steals == 0
+                            ? 1.0
+                            : static_cast<double>(S.StealsSameSocket) /
+                                  static_cast<double>(Steals)));
+  }
 
   json::Value Levels = json::Value::array();
   for (unsigned L = 0; L < S.Pending.size(); ++L) {

@@ -3,10 +3,8 @@
 #include "support/CpuTopology.h"
 
 #include <cstdio>
-#include <mutex>
 #include <set>
 #include <thread>
-#include <vector>
 
 #if defined(__linux__)
 #include <sched.h>
@@ -14,31 +12,18 @@
 
 namespace repro {
 
-namespace {
-
-struct SocketTable {
-  std::vector<int> SocketOf; ///< indexed by cpu id
-  int Sockets = 1;
-};
-
-/// Reads /sys once for every cpu the hardware reports. A missing or
-/// malformed file leaves that cpu at socket 0 (the fallback), so partial
-/// sysfs exposure never produces negative ids.
-SocketTable loadTable() {
-  SocketTable T;
-  unsigned N = std::thread::hardware_concurrency();
-  if (N == 0)
-    N = 1;
-  T.SocketOf.assign(N, 0);
+CpuSocketMap loadCpuSocketMap(const std::string &SysfsRoot, unsigned NumCpus) {
+  CpuSocketMap T;
+  if (NumCpus == 0)
+    NumCpus = 1;
+  T.SocketOf.assign(NumCpus, 0);
   std::set<int> Seen;
-  for (unsigned Cpu = 0; Cpu < N; ++Cpu) {
-    char Path[128];
-    std::snprintf(Path, sizeof Path,
-                  "/sys/devices/system/cpu/cpu%u/topology/physical_package_id",
-                  Cpu);
-    std::FILE *F = std::fopen(Path, "r");
+  for (unsigned Cpu = 0; Cpu < NumCpus; ++Cpu) {
+    std::string Path = SysfsRoot + "/cpu" + std::to_string(Cpu) +
+                       "/topology/physical_package_id";
+    std::FILE *F = std::fopen(Path.c_str(), "r");
     if (!F)
-      continue;
+      continue; // this cpu stays on socket 0 — the fallback
     int Id = 0;
     if (std::fscanf(F, "%d", &Id) == 1 && Id >= 0) {
       T.SocketOf[Cpu] = Id;
@@ -50,8 +35,11 @@ SocketTable loadTable() {
   return T;
 }
 
-const SocketTable &table() {
-  static SocketTable T = loadTable();
+namespace {
+
+const CpuSocketMap &table() {
+  static CpuSocketMap T = loadCpuSocketMap(
+      "/sys/devices/system/cpu", std::thread::hardware_concurrency());
   return T;
 }
 
@@ -65,12 +53,7 @@ int currentCpu() {
 #endif
 }
 
-int cpuSocketOf(int Cpu) {
-  const SocketTable &T = table();
-  if (Cpu < 0 || static_cast<std::size_t>(Cpu) >= T.SocketOf.size())
-    return 0;
-  return T.SocketOf[Cpu];
-}
+int cpuSocketOf(int Cpu) { return table().socketOf(Cpu); }
 
 int knownSocketCount() { return table().Sockets; }
 

@@ -5,24 +5,54 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The steal-locality counters (Runtime::snapshot()'s StealsSameSocket /
-// StealsCrossSocket) need to know whether a thief and its victim last ran
-// on the same physical package. Linux exposes that as
+// The locality-aware scheduler (tiered victim scans, the steal-locality
+// counters StealsSameSocket/StealsCrossSocket) needs to know whether a
+// thief and its victim last ran on the same physical package. Linux
+// exposes that as
 // /sys/devices/system/cpu/cpu<N>/topology/physical_package_id; when the
-// file is unreadable (containers, non-Linux) every cpu maps to socket 0,
-// so the counters degrade to "all steals same-socket" instead of lying
-// with noise.
+// file is unreadable (containers, stripped sysfs, non-Linux) every cpu
+// maps to socket 0 — a well-defined single-socket fallback, never UB and
+// never negative ids — so the counters degrade to "all steals
+// same-socket" and the victim scan degrades to one flat tier instead of
+// lying with noise.
 //
 // The mapping is loaded once, on first use, into an immutable table —
 // lookups after that are a bounds-checked array read, cheap enough for
-// the steal path.
+// the steal path. loadCpuSocketMap() is the load step with the sysfs
+// root as a parameter, so tests can point it at a missing or fabricated
+// root and check the fallback without touching the real machine.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef REPRO_SUPPORT_CPUTOPOLOGY_H
 #define REPRO_SUPPORT_CPUTOPOLOGY_H
 
+#include <string>
+#include <vector>
+
 namespace repro {
+
+/// An immutable cpu→socket table. SocketOf is indexed by cpu id; Sockets
+/// counts the distinct ids resolved (1 under the fallback).
+struct CpuSocketMap {
+  std::vector<int> SocketOf;
+  int Sockets = 1;
+
+  /// Socket of \p Cpu; 0 for out-of-range or negative ids.
+  int socketOf(int Cpu) const {
+    if (Cpu < 0 || static_cast<std::size_t>(Cpu) >= SocketOf.size())
+      return 0;
+    return SocketOf[Cpu];
+  }
+};
+
+/// Reads \p NumCpus package ids from
+/// <SysfsRoot>/cpu<N>/topology/physical_package_id. Any missing,
+/// unreadable, or malformed entry leaves that cpu on socket 0; a wholly
+/// absent root (containers, CI sandboxes) yields the single-socket map.
+/// Pure function of the filesystem — the process-wide cached table the
+/// fast-path helpers below use feeds it the real root exactly once.
+CpuSocketMap loadCpuSocketMap(const std::string &SysfsRoot, unsigned NumCpus);
 
 /// The cpu the calling thread is currently running on (sched_getcpu), or
 /// -1 when the platform cannot say.
@@ -33,8 +63,9 @@ int currentCpu();
 int cpuSocketOf(int Cpu);
 
 /// Number of distinct sockets the topology table resolved (1 under the
-/// fallback) — lets exporters label whether cross-socket counts can be
-/// nonzero at all.
+/// fallback) — lets the scheduler skip tier bookkeeping entirely on
+/// single-socket machines and exporters label whether cross-socket
+/// counts can be nonzero at all.
 int knownSocketCount();
 
 } // namespace repro

@@ -1,0 +1,109 @@
+//===- tests/support/cputopology_test.cpp - cpu→socket map ------------------===//
+
+#include "support/CpuTopology.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace repro {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A sandboxed sysfs lookalike under the test's temp dir.
+class FakeSysfs {
+public:
+  FakeSysfs() {
+    Root = fs::temp_directory_path() /
+           ("cputopo-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(Counter++));
+    fs::create_directories(Root);
+  }
+  ~FakeSysfs() {
+    std::error_code Ec;
+    fs::remove_all(Root, Ec);
+  }
+
+  void addCpu(unsigned Cpu, const std::string &PackageIdContents) {
+    fs::path Dir = Root / ("cpu" + std::to_string(Cpu)) / "topology";
+    fs::create_directories(Dir);
+    std::ofstream(Dir / "physical_package_id") << PackageIdContents;
+  }
+
+  std::string path() const { return Root.string(); }
+
+private:
+  static inline int Counter = 0;
+  fs::path Root;
+};
+
+TEST(CpuTopologyTest, MissingSysfsRootFallsBackToSingleSocket) {
+  // Containers and CI sandboxes often hide /sys entirely. A nonexistent
+  // root must produce the well-defined single-socket map, not UB or
+  // negative ids.
+  CpuSocketMap M = loadCpuSocketMap("/nonexistent/cputopo-test-root", 8);
+  EXPECT_EQ(M.Sockets, 1);
+  ASSERT_EQ(M.SocketOf.size(), 8u);
+  for (unsigned Cpu = 0; Cpu < 8; ++Cpu)
+    EXPECT_EQ(M.socketOf(static_cast<int>(Cpu)), 0);
+}
+
+TEST(CpuTopologyTest, ZeroCpusStillYieldsAValidMap) {
+  CpuSocketMap M = loadCpuSocketMap("/nonexistent/cputopo-test-root", 0);
+  EXPECT_EQ(M.Sockets, 1);
+  EXPECT_FALSE(M.SocketOf.empty());
+  EXPECT_EQ(M.socketOf(0), 0);
+}
+
+TEST(CpuTopologyTest, OutOfRangeAndNegativeCpusMapToSocketZero) {
+  CpuSocketMap M = loadCpuSocketMap("/nonexistent/cputopo-test-root", 4);
+  EXPECT_EQ(M.socketOf(-1), 0);
+  EXPECT_EQ(M.socketOf(4), 0);
+  EXPECT_EQ(M.socketOf(1 << 20), 0);
+}
+
+TEST(CpuTopologyTest, ReadsTwoSocketLayoutFromFakeRoot) {
+  FakeSysfs Sys;
+  Sys.addCpu(0, "0\n");
+  Sys.addCpu(1, "0\n");
+  Sys.addCpu(2, "1\n");
+  Sys.addCpu(3, "1\n");
+  CpuSocketMap M = loadCpuSocketMap(Sys.path(), 4);
+  EXPECT_EQ(M.Sockets, 2);
+  EXPECT_EQ(M.socketOf(0), 0);
+  EXPECT_EQ(M.socketOf(1), 0);
+  EXPECT_EQ(M.socketOf(2), 1);
+  EXPECT_EQ(M.socketOf(3), 1);
+}
+
+TEST(CpuTopologyTest, MalformedAndPartialEntriesFallBackPerCpu) {
+  FakeSysfs Sys;
+  Sys.addCpu(0, "1\n");       // valid, socket 1
+  Sys.addCpu(1, "banana\n");  // malformed → socket 0
+  Sys.addCpu(2, "-3\n");      // negative id → socket 0 (never negative out)
+  // cpu3 has no entry at all → socket 0.
+  CpuSocketMap M = loadCpuSocketMap(Sys.path(), 4);
+  EXPECT_EQ(M.socketOf(0), 1);
+  EXPECT_EQ(M.socketOf(1), 0);
+  EXPECT_EQ(M.socketOf(2), 0);
+  EXPECT_EQ(M.socketOf(3), 0);
+  EXPECT_EQ(M.Sockets, 1); // only one distinct id resolved
+}
+
+TEST(CpuTopologyTest, ProcessWideHelpersAreConsistent) {
+  // Whatever the real machine looks like, the cached-table helpers must
+  // agree with each other and stay in the fallback's contract.
+  int Sockets = knownSocketCount();
+  EXPECT_GE(Sockets, 1);
+  EXPECT_GE(cpuSocketOf(0), 0);
+  EXPECT_EQ(cpuSocketOf(-1), 0);
+  int Cpu = currentCpu();
+  if (Cpu >= 0)
+    EXPECT_GE(cpuSocketOf(Cpu), 0);
+}
+
+} // namespace
+} // namespace repro
